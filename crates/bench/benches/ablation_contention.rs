@@ -1,0 +1,63 @@
+//! Ablation: multi-enclave EPC contention (paper §5.6). Several enclaves
+//! share the 96 MiB EPC and the exclusive load channel; each runs its own
+//! DFP independently.
+
+use sgx_bench::{pct, ResultTable};
+use sgx_preload_core::{run_apps, AppSpec, Scheme, SimConfig};
+use sgx_workloads::{Benchmark, InputSet};
+
+fn apps(cfg: &SimConfig, n: usize, bench: Benchmark) -> Vec<AppSpec> {
+    (0..n)
+        .map(|i| {
+            AppSpec::new(
+                format!("{}#{i}", bench.name()),
+                bench.elrange_pages(cfg.scale),
+                bench.build(InputSet::Ref, cfg.scale, cfg.seed + i as u64),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let bench = Benchmark::Lbm;
+
+    let mut t = ResultTable::new(
+        "ablation_contention",
+        "N enclaves sharing one EPC and load channel (lbm)",
+        "§5.6: preloading works per enclave, but contention shrinks everyone's share; \
+         fairness is deferred to cache-partitioning literature",
+    );
+    t.columns(vec![
+        "baseline/app",
+        "DFP/app",
+        "DFP gain",
+        "slowdown vs solo",
+        "channel util",
+    ]);
+
+    let mut solo = 0u64;
+    for n in [1usize, 2, 4] {
+        let base = run_apps(apps(&cfg, n, bench), &cfg, Scheme::Baseline);
+        let dfp = run_apps(apps(&cfg, n, bench), &cfg, Scheme::DfpStop);
+        let mean = |rs: &[sgx_preload_core::RunReport]| {
+            rs.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / rs.len() as u64
+        };
+        let (b, d) = (mean(&base), mean(&dfp));
+        if n == 1 {
+            solo = b;
+        }
+        t.row(
+            format!("N={n}"),
+            vec![
+                b.to_string(),
+                d.to_string(),
+                pct(1.0 - d as f64 / b as f64),
+                format!("{:.2}x", b as f64 / solo as f64),
+                format!("{:.0}%", base[0].channel_utilization * 100.0),
+            ],
+        );
+    }
+    t.finish();
+}

@@ -1,0 +1,85 @@
+//! Ablation: victim-selection policy. The SGX driver scans access bits
+//! CLOCK-style (paper §4.2); this bench swaps in FIFO, strict LRU and
+//! random eviction to show how much of the baseline and of DFP's benefit
+//! depends on the replacement policy.
+
+use sgx_bench::{pct, ResultTable};
+use sgx_epc::VictimPolicy;
+use sgx_kernel::{Kernel, KernelConfig};
+use sgx_preload_core::SimConfig;
+use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId, StreamConfig};
+use sgx_sim::Cycles;
+use sgx_workloads::{Benchmark, InputSet};
+
+fn run(
+    bench: Benchmark,
+    cfg: &SimConfig,
+    policy: VictimPolicy,
+    predictor: Box<dyn Predictor>,
+) -> (u64, u64) {
+    let mut kernel = Kernel::new(
+        KernelConfig::new(cfg.epc_pages)
+            .with_costs(cfg.costs)
+            .with_victim_policy(policy),
+        predictor,
+    );
+    let pid = ProcessId(0);
+    kernel
+        .register_enclave(pid, bench.elrange_pages(cfg.scale))
+        .expect("fresh kernel");
+    let mut now = Cycles::ZERO;
+    for a in bench.build(InputSet::Ref, cfg.scale, cfg.seed) {
+        now += a.compute;
+        if kernel.app_access(now, pid, a.page).is_none() {
+            now = kernel.page_fault(now, pid, a.page).resume_at;
+        }
+    }
+    (now.raw(), kernel.stats().faults)
+}
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let policies = [
+        VictimPolicy::Clock,
+        VictimPolicy::Lru,
+        VictimPolicy::Fifo,
+        VictimPolicy::Random { seed: 99 },
+    ];
+
+    let mut t = ResultTable::new(
+        "ablation_eviction",
+        "replacement policy: baseline faults and DFP gain",
+        "the driver's CLOCK approximates LRU; preloading should be robust to the policy",
+    );
+    t.columns(vec![
+        "clock flt",
+        "lru flt",
+        "fifo flt",
+        "rand flt",
+        "DFP@clock",
+        "DFP@fifo",
+    ]);
+
+    for bench in [Benchmark::Lbm, Benchmark::Deepsjeng, Benchmark::Mser] {
+        let mut cells: Vec<String> = Vec::new();
+        let mut base_cycles = std::collections::HashMap::new();
+        for policy in policies {
+            let (cycles, faults) = run(bench, &cfg, policy, Box::new(NoPredictor));
+            base_cycles.insert(policy.name(), cycles);
+            cells.push(faults.to_string());
+        }
+        for policy in [VictimPolicy::Clock, VictimPolicy::Fifo] {
+            let (cycles, _) = run(
+                bench,
+                &cfg,
+                policy,
+                Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+            );
+            let base = base_cycles[policy.name()];
+            cells.push(pct(1.0 - cycles as f64 / base as f64));
+        }
+        t.row(bench.name(), cells);
+    }
+    t.finish();
+}

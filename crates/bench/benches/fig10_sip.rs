@@ -1,0 +1,62 @@
+//! Fig. 10: SIP's improvement over baseline on the C/C++ benchmarks
+//! (profiling on train input, measuring on ref input), including mcf.2006
+//! and the famous mcf wash.
+
+use sgx_bench::{paper, pct, ResultTable};
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_workloads::Benchmark;
+
+const BENCHES: [Benchmark; 8] = [
+    Benchmark::Microbenchmark,
+    Benchmark::Lbm,
+    Benchmark::Mcf,
+    Benchmark::Deepsjeng,
+    Benchmark::Xz,
+    Benchmark::Mcf2006,
+    Benchmark::Sift,
+    Benchmark::Mser,
+];
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "fig10_sip",
+        "SIP improvement (train-input profile, ref-input measurement)",
+        "deepsjeng +9.0%, mcf.2006 +4.9%, lbm/micro no opportunity, mcf a wash (Fig. 10, §5.2)",
+    );
+    t.columns(vec![
+        "SIP",
+        "points",
+        "faults base",
+        "faults SIP",
+        "notifies",
+        "paper",
+    ]);
+
+    for bench in BENCHES {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let sip = run_benchmark(bench, Scheme::Sip, &cfg);
+        let reference = paper::FIG10_SIP
+            .iter()
+            .find(|(n, _)| *n == bench.name())
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_else(|| "-".into());
+        t.row(
+            bench.name(),
+            vec![
+                pct(sip.improvement_over(&base)),
+                sip.instrumentation_points.to_string(),
+                base.faults.to_string(),
+                sip.faults.to_string(),
+                sip.sip_notifies.to_string(),
+                reference,
+            ],
+        );
+    }
+    t.finish();
+    println!(
+        "   Fortran programs (bwaves, roms, wrf) and omnetpp are omitted, as in the paper (§5.2)"
+    );
+}

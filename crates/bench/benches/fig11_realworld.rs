@@ -1,0 +1,42 @@
+//! Fig. 11: the two SD-VBS vision applications — SIFT (sequential-heavy,
+//! DFP's case) and MSER (irregular-heavy, SIP's case) — profiled on one
+//! sample image, measured on fresh images.
+
+use sgx_bench::{paper, pct, ResultTable};
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_workloads::Benchmark;
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "fig11_realworld",
+        "SIFT and MSER under their matching preloading schemes",
+        "SIFT +9.5% with DFP, MSER +3.0% with SIP (Fig. 11, §5.3)",
+    );
+    t.columns(vec!["DFP", "SIP", "SIP+DFP", "points", "paper"]);
+
+    for bench in [Benchmark::Sift, Benchmark::Mser] {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let dfp = run_benchmark(bench, Scheme::DfpStop, &cfg);
+        let sip = run_benchmark(bench, Scheme::Sip, &cfg);
+        let hybrid = run_benchmark(bench, Scheme::Hybrid, &cfg);
+        let reference = paper::FIG11
+            .iter()
+            .find(|(n, _, _)| *n == bench.name())
+            .map(|(_, s, v)| format!("{} with {s}", pct(*v)))
+            .unwrap_or_else(|| "-".into());
+        t.row(
+            bench.name(),
+            vec![
+                pct(dfp.improvement_over(&base)),
+                pct(sip.improvement_over(&base)),
+                pct(hybrid.improvement_over(&base)),
+                sip.instrumentation_points.to_string(),
+                reference,
+            ],
+        );
+    }
+    t.finish();
+}

@@ -1,0 +1,45 @@
+//! Fig. 13: the *mixed-blood* synthetic — a sequential image scan followed
+//! by MSER — where neither scheme alone suffices and the hybrid beats both.
+
+use sgx_bench::{norm, paper, pct, ResultTable};
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_workloads::Benchmark;
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let bench = Benchmark::MixedBlood;
+
+    let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+    let mut t = ResultTable::new(
+        "fig13_mixed_blood",
+        "mixed-blood (sequential scan + MSER) under each scheme",
+        "SIP +1.6%, DFP +6.0%, SIP+DFP +7.1% — the hybrid wins (Fig. 13, §5.4)",
+    );
+    t.columns(vec!["normalized", "improvement", "paper"]);
+
+    t.row("baseline", vec![norm(1.0), pct(0.0), "-".to_string()]);
+    for scheme in [Scheme::Sip, Scheme::DfpStop, Scheme::Hybrid] {
+        let r = run_benchmark(bench, scheme, &cfg);
+        let reference = paper::FIG13
+            .iter()
+            .find(|(n, _)| {
+                *n == match scheme {
+                    Scheme::Sip => "SIP",
+                    Scheme::DfpStop => "DFP",
+                    _ => "SIP+DFP",
+                }
+            })
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_else(|| "-".into());
+        t.row(
+            scheme.name(),
+            vec![
+                norm(r.normalized_time(&base)),
+                pct(r.improvement_over(&base)),
+                reference,
+            ],
+        );
+    }
+    t.finish();
+}

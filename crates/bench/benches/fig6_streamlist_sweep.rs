@@ -1,0 +1,51 @@
+//! Fig. 6: execution time of lbm and bwaves under DFP as a function of the
+//! `stream_list` length, motivating the paper's choice of 30.
+
+use sgx_bench::{norm, ResultTable};
+use sgx_dfp::StreamConfig;
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_workloads::Benchmark;
+
+const LENGTHS: [usize; 8] = [2, 4, 8, 16, 30, 40, 50, 64];
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let base_cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "fig6_streamlist_sweep",
+        "normalized time vs stream_list length (DFP)",
+        "combined execution time of lbm+bwaves is shortest around length 30 (Fig. 6)",
+    );
+    t.columns(LENGTHS.iter().map(|l| format!("len {l}")).collect());
+
+    let mut combined = vec![0.0f64; LENGTHS.len()];
+    for bench in [Benchmark::Lbm, Benchmark::Bwaves] {
+        let baseline = run_benchmark(bench, Scheme::Baseline, &base_cfg);
+        let mut cells = Vec::new();
+        for (i, &len) in LENGTHS.iter().enumerate() {
+            let cfg = base_cfg
+                .with_stream(StreamConfig::paper_defaults().with_list_len(len));
+            let r = run_benchmark(bench, Scheme::Dfp, &cfg);
+            let n = r.normalized_time(&baseline);
+            combined[i] += n;
+            cells.push(norm(n));
+        }
+        t.row(bench.name(), cells);
+    }
+    t.row(
+        "combined",
+        combined.iter().map(|x| norm(*x / 2.0)).collect(),
+    );
+    t.finish();
+
+    let best = LENGTHS
+        .iter()
+        .zip(&combined)
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .expect("non-empty sweep");
+    println!(
+        "   best combined length here: {} (paper chooses 30)",
+        best.0
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 7: normalized execution time under DFP when preloading 1–16 pages
+//! per prediction (`LOADLENGTH`), across the seven large-footprint
+//! benchmarks. The paper fixes LOADLENGTH = 4 because larger values hurt
+//! the mispredicting programs (mcf, deepsjeng).
+
+use sgx_bench::{norm, ResultTable};
+use sgx_dfp::StreamConfig;
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_workloads::Benchmark;
+
+const LOADLENGTHS: [u64; 5] = [1, 2, 4, 8, 16];
+const BENCHES: [Benchmark; 7] = [
+    Benchmark::Bwaves,
+    Benchmark::Lbm,
+    Benchmark::Wrf,
+    Benchmark::Roms,
+    Benchmark::Mcf,
+    Benchmark::Deepsjeng,
+    Benchmark::Omnetpp,
+];
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let base_cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "fig7_loadlength_sweep",
+        "normalized time vs LOADLENGTH (DFP; baseline = no preloading)",
+        "beyond 4 pages, mcf/deepsjeng-class programs lose substantially (Fig. 7)",
+    );
+    t.columns(LOADLENGTHS.iter().map(|l| format!("LL={l}")).collect());
+
+    for bench in BENCHES {
+        let baseline = run_benchmark(bench, Scheme::Baseline, &base_cfg);
+        let cells = LOADLENGTHS
+            .iter()
+            .map(|&ll| {
+                let cfg = base_cfg
+                    .with_stream(StreamConfig::paper_defaults().with_load_length(ll));
+                let r = run_benchmark(bench, Scheme::Dfp, &cfg);
+                norm(r.normalized_time(&baseline))
+            })
+            .collect();
+        t.row(bench.name(), cells);
+    }
+    t.finish();
+    println!("   the workspace default follows the paper: LOADLENGTH = 4");
+}

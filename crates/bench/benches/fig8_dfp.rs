@@ -1,0 +1,82 @@
+//! Fig. 8: performance improvement of DFP and DFP-stop over the vanilla
+//! driver, per benchmark, plus the §5.1 averages.
+
+use sgx_bench::{paper, pct, ResultTable};
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_workloads::{Benchmark, Category};
+
+const BENCHES: [Benchmark; 9] = [
+    Benchmark::Microbenchmark,
+    Benchmark::Bwaves,
+    Benchmark::Lbm,
+    Benchmark::Wrf,
+    Benchmark::Roms,
+    Benchmark::Mcf,
+    Benchmark::Deepsjeng,
+    Benchmark::Omnetpp,
+    Benchmark::Xz,
+];
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "fig8_dfp",
+        "DFP / DFP-stop improvement over baseline",
+        "regular: micro +18.6%, lbm +13.3%, avg +11.4%; mispredictors regress up to 42%, \
+         DFP-stop caps the average overhead at 2.82% (Fig. 8, §5.1)",
+    );
+    t.columns(vec!["DFP", "DFP-stop", "valve fired", "paper DFP"]);
+
+    let mut regular_gains = Vec::new();
+    let mut overhead_before = Vec::new();
+    let mut overhead_after = Vec::new();
+    for bench in BENCHES {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let dfp = run_benchmark(bench, Scheme::Dfp, &cfg);
+        let stop = run_benchmark(bench, Scheme::DfpStop, &cfg);
+        let g_dfp = dfp.improvement_over(&base);
+        let g_stop = stop.improvement_over(&base);
+        if bench.category() == Category::LargeRegular || bench == Benchmark::Microbenchmark {
+            regular_gains.push(g_dfp);
+        }
+        if g_dfp < 0.0 {
+            overhead_before.push(-g_dfp);
+            overhead_after.push((-g_stop).max(0.0));
+        }
+        let reference = paper::FIG8_DFP
+            .iter()
+            .find(|(n, _)| *n == bench.name())
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_else(|| "-".into());
+        t.row(
+            bench.name(),
+            vec![
+                pct(g_dfp),
+                pct(g_stop),
+                if stop.dfp_stopped_at.is_some() {
+                    "yes".to_string()
+                } else {
+                    "no".to_string()
+                },
+                reference,
+            ],
+        );
+    }
+    t.finish();
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    println!(
+        "   regular-benchmark DFP average: {} (paper {})",
+        pct(mean(&regular_gains)),
+        pct(paper::DFP_AVG_REGULAR)
+    );
+    println!(
+        "   mispredictor overhead: plain {} -> DFP-stop {} (paper {} -> {})",
+        pct(mean(&overhead_before)),
+        pct(mean(&overhead_after)),
+        pct(paper::DFP_OVERHEAD_BEFORE_STOP),
+        pct(paper::DFP_OVERHEAD_AFTER_STOP)
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 9: deepsjeng's running time as a function of SIP's irregular-ratio
+//! instrumentation threshold. The paper finds the sweet spot around 5%
+//! (also confirmed on mcf) and uses it everywhere.
+
+use sgx_bench::{norm, ResultTable};
+use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_sip::SipConfig;
+use sgx_workloads::Benchmark;
+
+const THRESHOLDS: [f64; 8] = [0.005, 0.01, 0.03, 0.05, 0.10, 0.20, 0.40, 0.80];
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let base_cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "fig9_threshold_sweep",
+        "normalized time & selected points vs SIP threshold",
+        "deepsjeng is fastest around a 5% irregular-access threshold (Fig. 9)",
+    );
+    t.columns(vec!["deepsjeng time", "points", "mcf time", "points "]);
+
+    let mut best = (f64::MAX, 0.0);
+    for &threshold in &THRESHOLDS {
+        let cfg = base_cfg.with_sip(SipConfig::paper_defaults().with_threshold(threshold));
+        let mut cells = Vec::new();
+        let mut deeps_time = 0.0;
+        for bench in [Benchmark::Deepsjeng, Benchmark::Mcf] {
+            let baseline = run_benchmark(bench, Scheme::Baseline, &cfg);
+            let r = run_benchmark(bench, Scheme::Sip, &cfg);
+            let n = r.normalized_time(&baseline);
+            if bench == Benchmark::Deepsjeng {
+                deeps_time = n;
+            }
+            cells.push(norm(n));
+            cells.push(r.instrumentation_points.to_string());
+        }
+        if deeps_time < best.0 {
+            best = (deeps_time, threshold);
+        }
+        t.row(format!("{:.1}%", threshold * 100.0), cells);
+    }
+    t.finish();
+    println!(
+        "   fastest deepsjeng at threshold {:.1}% (paper picks 5%)",
+        best.1 * 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! §1/§2 motivation: the cost of taking SGX paging on the chin.
+//!
+//! Regenerates (a) the ≈46× slowdown of a sequential 1 GiB scan moved into
+//! an enclave, and (b) the per-fault cost decomposition (AEX + ELDU +
+//! ERESUME ≈ 64k cycles vs ≈2k outside).
+
+use sgx_bench::{paper, ResultTable};
+use sgx_preload_core::{run_benchmark, run_outside, Scheme, SimConfig};
+use sgx_workloads::{Benchmark, InputSet};
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let bench = Benchmark::Microbenchmark;
+
+    let outside = run_outside(
+        "outside",
+        bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+        &cfg,
+    );
+    let inside = run_benchmark(bench, Scheme::Baseline, &cfg);
+    let slowdown = inside.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
+
+    let mut t = ResultTable::new(
+        "motivation",
+        "sequential 1 GiB scan, in vs out of enclave",
+        "≈46x slowdown; enclave fault 60k–64k cycles, regular fault ≈2k (§1–2)",
+    );
+    t.columns(vec!["cycles", "faults", "mean fault", "slowdown"]);
+    t.row(
+        "outside enclave",
+        vec![
+            outside.total_cycles.to_string(),
+            outside.faults.to_string(),
+            cfg.costs.non_epc_fault.to_string(),
+            "1.0x".into(),
+        ],
+    );
+    t.row(
+        "inside enclave",
+        vec![
+            inside.total_cycles.to_string(),
+            inside.faults.to_string(),
+            inside.fault_service_mean.to_string(),
+            format!("{slowdown:.1}x"),
+        ],
+    );
+    t.row(
+        "paper",
+        vec![
+            "-".into(),
+            "-".into(),
+            "60,000-64,000".into(),
+            format!("{:.0}x", paper::MOTIVATION_SLOWDOWN),
+        ],
+    );
+    t.finish();
+
+    let c = cfg.costs;
+    println!(
+        "   fault decomposition: AEX {} + handler {} + ELDU {} + ERESUME {} = {}",
+        c.aex,
+        c.os_fault_path,
+        c.eldu,
+        c.eresume,
+        c.demand_fault_total()
+    );
+}

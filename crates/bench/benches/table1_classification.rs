@@ -1,0 +1,66 @@
+//! Table 1: the benchmark classification — small working set, large with
+//! irregular access, large with regular access — measured from the models
+//! rather than asserted.
+
+use sgx_bench::ResultTable;
+use sgx_epc::{usable_epc_pages, PAGE_SIZE_BYTES};
+use sgx_preload_core::SimConfig;
+use sgx_sip::profile_stream;
+use sgx_workloads::{Benchmark, Category, InputSet};
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "table1_classification",
+        "benchmark working sets and access regularity",
+        "small WS: cactuBSSN, imagick, leela, nab, exchange2; large+irregular: roms, mcf, \
+         deepsjeng, omnetpp, xz; large+regular: bwaves, lbm, wrf, microbenchmark (Table 1)",
+    );
+    t.columns(vec![
+        "footprint",
+        "vs EPC",
+        "class2",
+        "class3",
+        "measured class",
+        "paper class",
+    ]);
+
+    for bench in Benchmark::ALL {
+        let fp = bench.footprint_pages();
+        let profile = profile_stream(
+            bench
+                .build(InputSet::Ref, cfg.scale, cfg.seed)
+                .take(60_000),
+            cfg.epc_pages as usize,
+        );
+        let large = fp > usable_epc_pages();
+        let measured = if !large {
+            "small WS"
+        } else if profile.irregular_share() > profile.stream_share() {
+            "large, irregular"
+        } else {
+            "large, regular"
+        };
+        let paper_class = match bench.category() {
+            Category::SmallWorkingSet => "small WS",
+            Category::LargeIrregular => "large, irregular",
+            Category::LargeRegular => "large, regular",
+            Category::RealWorld => "(real-world)",
+            Category::Synthetic => "(synthetic)",
+        };
+        t.row(
+            bench.name(),
+            vec![
+                format!("{} MiB", fp * PAGE_SIZE_BYTES / (1 << 20)),
+                format!("{:.1}x", fp as f64 / usable_epc_pages() as f64),
+                format!("{:.0}%", profile.stream_share() * 100.0),
+                format!("{:.0}%", profile.irregular_share() * 100.0),
+                measured.to_string(),
+                paper_class.to_string(),
+            ],
+        );
+    }
+    t.finish();
+}

@@ -1,0 +1,38 @@
+//! Table 2 + §5.5: the number of SIP instrumentation points per benchmark
+//! and the resulting TCB growth (the notify function is 23 LoC).
+
+use sgx_bench::{paper, ResultTable};
+use sgx_preload_core::{build_plan, Scheme, SimConfig};
+use sgx_sip::NOTIFY_FUNCTION_LOC;
+use sgx_workloads::Benchmark;
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+
+    let mut t = ResultTable::new(
+        "table2_tcb",
+        "SIP instrumentation points and TCB growth",
+        "mcf.2006 114, mcf 99, xz 46, deepsjeng 35, lbm 0, MSER 54, SIFT 0, micro 0; \
+         notify function is 23 LoC (Table 2, §5.5)",
+    );
+    t.columns(vec!["points", "paper", "TCB LoC estimate"]);
+
+    for &(name, reference) in paper::TABLE2_POINTS {
+        let bench = Benchmark::from_name(name).expect("paper name known");
+        let plan = build_plan(bench, &cfg, Scheme::Sip);
+        t.row(
+            name,
+            vec![
+                plan.len().to_string(),
+                reference.to_string(),
+                plan.tcb_loc_estimate().to_string(),
+            ],
+        );
+    }
+    t.finish();
+    println!(
+        "   DFP adds zero TCB; SIP adds the {NOTIFY_FUNCTION_LOC}-line notify \
+         function plus the inserted call sites (§5.5)"
+    );
+}

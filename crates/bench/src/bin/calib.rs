@@ -1,0 +1,55 @@
+//! Calibration scratchpad: prints per-benchmark scheme comparisons so the
+//! workload models can be tuned against the paper's figures.
+
+use sgx_preload_core::{build_plan, run_benchmark, Scheme, SimConfig};
+use sgx_sip::profile_stream;
+use sgx_workloads::{Benchmark, InputSet, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = match args.first().map(String::as_str) {
+        Some("full") => Scale::FULL,
+        Some("quarter") => Scale::QUARTER,
+        _ => Scale::DEV,
+    };
+    let cfg = SimConfig::at_scale(scale);
+    let benches: Vec<Benchmark> = if args.len() > 1 {
+        args[1..]
+            .iter()
+            .filter_map(|n| Benchmark::from_name(n))
+            .collect()
+    } else {
+        Benchmark::ALL.to_vec()
+    };
+    let detail = std::env::var("CALIB_DETAIL").is_ok();
+    for b in benches {
+        let base = run_benchmark(b, Scheme::Baseline, &cfg);
+        print!("{:16}", b.name());
+        for s in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
+            let r = run_benchmark(b, s, &cfg);
+            if detail {
+                println!("\n{r}");
+            }
+            print!(
+                " {}:{:+6.1}%(f{:>3}k,p{})",
+                s,
+                r.improvement_over(&base) * 100.0,
+                r.faults / 1000,
+                r.instrumentation_points
+            );
+        }
+        let profile = profile_stream(
+            b.build(InputSet::Train, cfg.scale, cfg.seed),
+            cfg.epc_pages as usize,
+        );
+        let plan = build_plan(b, &cfg, Scheme::Sip);
+        println!(
+            "  base: f={}k hits={}k c3={:.2} c2={:.2} plan={}",
+            base.faults / 1000,
+            base.epc_hits / 1000,
+            profile.irregular_share(),
+            profile.stream_share(),
+            plan.len()
+        );
+    }
+}

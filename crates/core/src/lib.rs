@@ -1,0 +1,47 @@
+//! # sgx-preload-core — the end-to-end simulator
+//!
+//! Ties the substrate together: workloads from `sgx-workloads` execute
+//! against the `sgx-kernel`/`sgx-epc` paging model under one of the paper's
+//! five experimental arms ([`Scheme`]): baseline, DFP, DFP-stop, SIP, or
+//! the SIP+DFP hybrid.
+//!
+//! * [`SimConfig`] — the paper's parameters (EPC size, costs, `LOADLENGTH`,
+//!   `stream_list` length, SIP threshold, valve slack), scalable for tests.
+//! * [`run_benchmark`] — the whole pipeline for one program: profile on the
+//!   train input when SIP is on, then measure on the ref input.
+//! * [`run_apps`] — the general entry point: one or more applications
+//!   (multi-enclave EPC contention included) over one kernel.
+//! * [`run_outside`] — the non-enclave execution used by the §1 motivation
+//!   measurement (46× slowdown).
+//! * [`RunReport`] — cycles, faults, preload accuracy, SIP counters; every
+//!   figure is derived from these.
+//!
+//! # Examples
+//!
+//! Reproducing one bar of Fig. 8 (DFP on the microbenchmark) at dev scale:
+//!
+//! ```
+//! use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+//! use sgx_workloads::{Benchmark, Scale};
+//!
+//! let cfg = SimConfig::at_scale(Scale::DEV);
+//! let base = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &cfg);
+//! let dfp = run_benchmark(Benchmark::Microbenchmark, Scheme::Dfp, &cfg);
+//! println!("DFP improvement: {:.1}%", dfp.improvement_over(&base) * 100.0);
+//! assert!(dfp.improvement_over(&base) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod report;
+mod scheme;
+mod simulator;
+mod userspace;
+
+pub use config::SimConfig;
+pub use report::RunReport;
+pub use scheme::Scheme;
+pub use simulator::{build_plan, run_apps, run_benchmark, run_outside, AppSpec};
+pub use userspace::{run_userspace_paging, UserPagingConfig};

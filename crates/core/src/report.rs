@@ -1,0 +1,198 @@
+//! Run reports: the measurements every figure is built from.
+
+use std::fmt;
+
+use sgx_sim::Cycles;
+
+use crate::Scheme;
+
+/// The outcome of one simulated run (one application under one scheme).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Human label (benchmark name or custom).
+    pub label: String,
+    /// The scheme that ran.
+    pub scheme: Scheme,
+    /// End-to-end simulated time.
+    pub total_cycles: Cycles,
+    /// Page-touch events executed.
+    pub accesses: u64,
+    /// Dynamic executions (events weighted by their `repeats`).
+    pub executions: u64,
+    /// Accesses that hit the EPC directly.
+    pub epc_hits: u64,
+    /// Enclave page faults this application raised.
+    pub faults: u64,
+    /// Faults resolved by waiting on an in-flight preload.
+    pub faults_waited_inflight: u64,
+    /// Faults that found the page already preloaded (race win).
+    pub faults_found_resident: u64,
+    /// SIP bitmap checks executed.
+    pub sip_checks: u64,
+    /// SIP notifications sent (absent page at an instrumented site).
+    pub sip_notifies: u64,
+    /// Instrumentation points active during the run (paper Table 2).
+    pub instrumentation_points: usize,
+    /// Preloads started on the channel (whole-kernel).
+    pub preloads_started: u64,
+    /// Preloaded pages later touched (`AccPreloadCounter`).
+    pub preloads_touched: u64,
+    /// Preloaded pages evicted untouched — confirmed wasted work.
+    pub preloads_wasted: u64,
+    /// Queued preloads cancelled by the abort path.
+    pub preloads_aborted: u64,
+    /// Background (reclaimer) evictions.
+    pub background_evictions: u64,
+    /// Foreground (demand-path) evictions.
+    pub foreground_evictions: u64,
+    /// When the DFP-stop valve fired, if it did.
+    pub dfp_stopped_at: Option<Cycles>,
+    /// Load-channel utilization over the run.
+    pub channel_utilization: f64,
+    /// Mean end-to-end fault service time.
+    pub fault_service_mean: Cycles,
+}
+
+impl RunReport {
+    /// Execution time normalized to a baseline run (the y-axis of
+    /// Figs. 7–13): `< 1.0` is faster than baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline took zero cycles.
+    pub fn normalized_time(&self, baseline: &RunReport) -> f64 {
+        assert!(
+            baseline.total_cycles > Cycles::ZERO,
+            "baseline must have run"
+        );
+        self.total_cycles.raw() as f64 / baseline.total_cycles.raw() as f64
+    }
+
+    /// Performance improvement over a baseline, as a fraction: `0.114`
+    /// means 11.4% faster; negative values are regressions.
+    pub fn improvement_over(&self, baseline: &RunReport) -> f64 {
+        1.0 - self.normalized_time(baseline)
+    }
+
+    /// Fault-rate per 1,000 accesses.
+    pub fn faults_per_kilo_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.faults as f64 * 1_000.0 / self.accesses as f64
+        }
+    }
+
+    /// Share of completed preloads that were eventually used.
+    pub fn preload_accuracy(&self) -> f64 {
+        let denom = self.preloads_touched + self.preloads_wasted;
+        if denom == 0 {
+            0.0
+        } else {
+            self.preloads_touched as f64 / denom as f64
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}]: {} cycles over {} accesses",
+            self.label, self.scheme, self.total_cycles, self.accesses
+        )?;
+        writeln!(
+            f,
+            "  faults={} (inflight-wait={}, raced={}), hits={}, mean fault={}",
+            self.faults,
+            self.faults_waited_inflight,
+            self.faults_found_resident,
+            self.epc_hits,
+            self.fault_service_mean
+        )?;
+        writeln!(
+            f,
+            "  preloads: started={} touched={} wasted={} aborted={} accuracy={:.1}%",
+            self.preloads_started,
+            self.preloads_touched,
+            self.preloads_wasted,
+            self.preloads_aborted,
+            self.preload_accuracy() * 100.0
+        )?;
+        write!(
+            f,
+            "  sip: points={} checks={} notifies={}; channel util={:.1}%{}",
+            self.instrumentation_points,
+            self.sip_checks,
+            self.sip_notifies,
+            self.channel_utilization * 100.0,
+            match self.dfp_stopped_at {
+                Some(t) => format!("; DFP stopped at {t}"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> RunReport {
+        RunReport {
+            label: "t".into(),
+            scheme: Scheme::Baseline,
+            total_cycles: Cycles::new(cycles),
+            accesses: 100,
+            executions: 100,
+            epc_hits: 50,
+            faults: 50,
+            faults_waited_inflight: 0,
+            faults_found_resident: 0,
+            sip_checks: 0,
+            sip_notifies: 0,
+            instrumentation_points: 0,
+            preloads_started: 10,
+            preloads_touched: 8,
+            preloads_wasted: 2,
+            preloads_aborted: 1,
+            background_evictions: 0,
+            foreground_evictions: 0,
+            dfp_stopped_at: None,
+            channel_utilization: 0.5,
+            fault_service_mean: Cycles::new(64_000),
+        }
+    }
+
+    #[test]
+    fn improvement_math() {
+        let base = report(1_000);
+        let better = report(900);
+        let worse = report(1_100);
+        assert!((better.improvement_over(&base) - 0.1).abs() < 1e-12);
+        assert!((worse.improvement_over(&base) + 0.1).abs() < 1e-12);
+        assert!((better.normalized_time(&base) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_and_rates() {
+        let r = report(1_000);
+        assert!((r.preload_accuracy() - 0.8).abs() < 1e-12);
+        assert!((r.faults_per_kilo_access() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = report(123_456).to_string();
+        assert!(s.contains("123,456"));
+        assert!(s.contains("accuracy=80.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must have run")]
+    fn zero_baseline_panics() {
+        let z = report(0);
+        let r = report(10);
+        let _ = r.normalized_time(&z);
+    }
+}

@@ -1,0 +1,114 @@
+//! The preloading schemes under evaluation.
+
+use std::fmt;
+
+/// Which preloading machinery a run enables — the paper's experimental
+/// arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No preloading: the vanilla SGX driver (every figure's baseline).
+    Baseline,
+    /// Dynamic fault-history-based preloading without the safety valve
+    /// (plain "DFP" in Fig. 8).
+    Dfp,
+    /// DFP with the misprediction safety valve ("DFP-stop", Fig. 8; the
+    /// configuration the paper enables by default afterwards).
+    DfpStop,
+    /// Source-level instrumentation-based preloading only (Fig. 10).
+    Sip,
+    /// SIP and DFP-stop cooperating ("SIP+DFP", Figs. 12–13); Class-2
+    /// sites are left to DFP during instrumentation selection.
+    Hybrid,
+    /// The §6 comparator: an Eleos/CoSMIX-style user-level paging runtime
+    /// inside the enclave (not one of the paper's arms; excluded from
+    /// [`Scheme::ALL`]).
+    UserLevel,
+}
+
+impl Scheme {
+    /// The paper's five experimental arms, baseline first (the
+    /// [`Scheme::UserLevel`] comparator is deliberately excluded).
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::Dfp,
+        Scheme::DfpStop,
+        Scheme::Sip,
+        Scheme::Hybrid,
+    ];
+
+    /// Whether the scheme runs the DFP predictor.
+    pub fn uses_dfp(self) -> bool {
+        matches!(self, Scheme::Dfp | Scheme::DfpStop | Scheme::Hybrid)
+    }
+
+    /// Whether the scheme replaces hardware paging with the user-level
+    /// runtime.
+    pub fn is_user_level(self) -> bool {
+        matches!(self, Scheme::UserLevel)
+    }
+
+    /// Whether the DFP-stop safety valve is armed.
+    pub fn uses_valve(self) -> bool {
+        matches!(self, Scheme::DfpStop | Scheme::Hybrid)
+    }
+
+    /// Whether source instrumentation (SIP) is applied.
+    pub fn uses_sip(self) -> bool {
+        matches!(self, Scheme::Sip | Scheme::Hybrid)
+    }
+
+    /// The paper's label for the scheme.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Dfp => "DFP",
+            Scheme::DfpStop => "DFP-stop",
+            Scheme::Sip => "SIP",
+            Scheme::Hybrid => "SIP+DFP",
+            Scheme::UserLevel => "user-level",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_matrix() {
+        assert!(!Scheme::Baseline.uses_dfp());
+        assert!(!Scheme::Baseline.uses_sip());
+        assert!(Scheme::Dfp.uses_dfp());
+        assert!(!Scheme::Dfp.uses_valve());
+        assert!(Scheme::DfpStop.uses_valve());
+        assert!(!Scheme::DfpStop.uses_sip());
+        assert!(Scheme::Sip.uses_sip());
+        assert!(!Scheme::Sip.uses_dfp());
+        assert!(Scheme::Hybrid.uses_sip());
+        assert!(Scheme::Hybrid.uses_dfp());
+        assert!(Scheme::Hybrid.uses_valve());
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        let names: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["baseline", "DFP", "DFP-stop", "SIP", "SIP+DFP"]);
+        assert_eq!(Scheme::Hybrid.to_string(), "SIP+DFP");
+        assert_eq!(Scheme::UserLevel.to_string(), "user-level");
+    }
+
+    #[test]
+    fn user_level_is_not_a_paper_arm() {
+        assert!(!Scheme::ALL.contains(&Scheme::UserLevel));
+        assert!(Scheme::UserLevel.is_user_level());
+        assert!(!Scheme::UserLevel.uses_dfp());
+        assert!(!Scheme::UserLevel.uses_sip());
+        assert!(!Scheme::UserLevel.uses_valve());
+    }
+}

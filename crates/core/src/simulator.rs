@@ -1,0 +1,578 @@
+//! The simulator: applications executing inside enclaves over the
+//! kernel/EPC substrate, under any [`Scheme`].
+
+use std::collections::{HashSet, VecDeque};
+
+use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId};
+use sgx_kernel::{Kernel, KernelConfig};
+use sgx_sim::Cycles;
+use sgx_sip::{profile_stream, InstrumentationPlan};
+use sgx_workloads::{AccessIter, Benchmark, InputSet};
+
+use crate::{RunReport, Scheme, SimConfig};
+
+/// One application to simulate: its ELRANGE, access stream, and (for
+/// SIP/Hybrid) instrumentation plan.
+pub struct AppSpec {
+    /// Report label.
+    pub label: String,
+    /// Enclave virtual size in pages.
+    pub elrange_pages: u64,
+    /// The access stream (built from a workload generator).
+    pub workload: AccessIter,
+    /// Instrumented sites; use [`InstrumentationPlan::none`] when SIP is
+    /// off.
+    pub plan: InstrumentationPlan,
+    /// When `Some(i)`, this app is an additional *thread* of the `i`-th
+    /// app's enclave: shared ELRANGE and presence bitmap, separate
+    /// per-thread fault history (paper §3.1). `elrange_pages` is ignored.
+    pub thread_of: Option<usize>,
+}
+
+impl AppSpec {
+    /// An app without instrumentation.
+    pub fn new(label: impl Into<String>, elrange_pages: u64, workload: AccessIter) -> Self {
+        AppSpec {
+            label: label.into(),
+            elrange_pages,
+            workload,
+            plan: InstrumentationPlan::none(),
+            thread_of: None,
+        }
+    }
+
+    /// Marks this app as a thread of the `index`-th app's enclave.
+    pub fn as_thread_of(mut self, index: usize) -> Self {
+        self.thread_of = Some(index);
+        self
+    }
+
+    /// Attaches a SIP instrumentation plan.
+    pub fn with_plan(mut self, plan: InstrumentationPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+}
+
+/// Pulls the next access, maintaining the early-notify lookahead: while
+/// refilling the window, hoisted notifications for instrumented accesses
+/// are issued (one bitmap check + one notify each, then an asynchronous
+/// kernel prefetch). With `distance == 0` this degenerates to a plain pull
+/// and the conservative inline path in the main loop applies.
+fn next_access(
+    st: &mut AppState,
+    kernel: &mut Kernel,
+    cfg: &SimConfig,
+    distance: usize,
+) -> Option<sgx_workloads::Access> {
+    if distance == 0 {
+        return st.workload.next();
+    }
+    while st.lookahead.len() <= distance {
+        let Some(a) = st.workload.next() else { break };
+        if st.plan.is_instrumented(a.site) {
+            // The hoisted notification runs once (it sits outside the hot
+            // loop the access itself re-executes in).
+            st.now += cfg.costs.bitmap_check;
+            st.sip_checks += 1;
+            if !kernel.sip_present(st.now, st.pid, a.page) {
+                st.now += cfg.costs.notify;
+                st.sip_notifies += 1;
+                kernel.sip_prefetch(st.now, st.pid, a.page);
+            }
+        }
+        st.lookahead.push_back(a);
+    }
+    st.lookahead.pop_front()
+}
+
+fn make_predictor(cfg: &SimConfig, scheme: Scheme) -> Box<dyn Predictor> {
+    if scheme.uses_dfp() {
+        Box::new(MultiStreamPredictor::new(cfg.stream))
+    } else {
+        Box::new(NoPredictor)
+    }
+}
+
+fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Kernel {
+    let mut kcfg = KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs);
+    if scheme.uses_valve() {
+        kcfg = kcfg.with_abort_policy(cfg.abort);
+    }
+    Kernel::new(kcfg, make_predictor(cfg, scheme))
+}
+
+struct AppState {
+    pid: ProcessId,
+    label: String,
+    workload: AccessIter,
+    plan: InstrumentationPlan,
+    lookahead: VecDeque<sgx_workloads::Access>,
+    now: Cycles,
+    done: bool,
+    accesses: u64,
+    executions: u64,
+    epc_hits: u64,
+    faults: u64,
+    faults_waited: u64,
+    faults_raced: u64,
+    sip_checks: u64,
+    sip_notifies: u64,
+}
+
+/// Runs one or more applications concurrently inside enclaves sharing one
+/// EPC and load channel (the §5.6 multi-enclave scenario; a single app is
+/// the common case). Returns one report per app, in input order.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or an enclave fails to register (duplicate
+/// ELRANGE misuse).
+pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunReport> {
+    assert!(!apps.is_empty(), "need at least one application");
+    let mut kernel = make_kernel(cfg, scheme);
+    let mut states: Vec<AppState> = apps
+        .into_iter()
+        .enumerate()
+        .map(|(i, app)| {
+            let pid = ProcessId(i as u32);
+            match app.thread_of {
+                None => kernel
+                    .register_enclave(pid, app.elrange_pages)
+                    .expect("fresh pid registration cannot fail"),
+                Some(owner) => {
+                    assert!(owner < i, "thread_of must reference an earlier app");
+                    kernel
+                        .register_thread(ProcessId(owner as u32), pid)
+                        .expect("owner registered above");
+                }
+            }
+            AppState {
+                pid,
+                label: app.label,
+                workload: app.workload,
+                plan: app.plan,
+                lookahead: VecDeque::new(),
+                now: Cycles::ZERO,
+                done: false,
+                accesses: 0,
+                executions: 0,
+                epc_hits: 0,
+                faults: 0,
+                faults_waited: 0,
+                faults_raced: 0,
+                sip_checks: 0,
+                sip_notifies: 0,
+            }
+        })
+        .collect();
+
+    let distance = cfg.placement.distance();
+
+    // Round-robin by simulated time: always advance the app whose clock is
+    // furthest behind, so kernel calls stay (near) monotonic — the same
+    // interleaving a shared physical machine would produce.
+    loop {
+        let next = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .min_by_key(|(_, s)| s.now)
+            .map(|(i, _)| i);
+        let Some(i) = next else { break };
+        let st = &mut states[i];
+        let Some(access) = next_access(st, &mut kernel, cfg, distance) else {
+            st.done = true;
+            continue;
+        };
+        st.now += access.compute;
+        st.accesses += 1;
+        st.executions += access.repeats as u64;
+
+        if distance == 0 && st.plan.is_instrumented(access.site) {
+            // Paper Fig. 5: every execution re-runs BIT_MAP_CHECK; the
+            // page_loadin_function fires only when the bit is clear.
+            st.now += cfg.costs.bitmap_check * access.repeats as u64;
+            st.sip_checks += access.repeats as u64;
+            if !kernel.sip_present(st.now, st.pid, access.page) {
+                st.now += cfg.costs.notify;
+                st.now = kernel.sip_load(st.now, st.pid, access.page);
+                st.sip_notifies += 1;
+            }
+            let touched = kernel.app_access(st.now, st.pid, access.page);
+            debug_assert!(touched.is_some(), "page present after SIP load");
+            st.epc_hits += 1;
+        } else {
+            match kernel.app_access(st.now, st.pid, access.page) {
+                Some(_) => st.epc_hits += 1,
+                None => {
+                    let r = kernel.page_fault(st.now, st.pid, access.page);
+                    st.faults += 1;
+                    match r.kind {
+                        sgx_kernel::FaultServicing::WaitedForInflight => st.faults_waited += 1,
+                        sgx_kernel::FaultServicing::FoundResident => st.faults_raced += 1,
+                        sgx_kernel::FaultServicing::DemandLoaded => {}
+                    }
+                    st.now = r.resume_at;
+                }
+            }
+        }
+    }
+
+    let end = states
+        .iter()
+        .map(|s| s.now)
+        .max()
+        .expect("at least one app");
+    let ks = kernel.stats().clone();
+    let epc = kernel.epc();
+    let (touched, wasted) = (epc.preloads_touched(), epc.preloads_evicted_untouched());
+    let util = kernel.channel_utilization(end);
+
+    states
+        .into_iter()
+        .map(|s| RunReport {
+            label: s.label,
+            scheme,
+            total_cycles: s.now,
+            accesses: s.accesses,
+            executions: s.executions,
+            epc_hits: s.epc_hits,
+            faults: s.faults,
+            faults_waited_inflight: s.faults_waited,
+            faults_found_resident: s.faults_raced,
+            sip_checks: s.sip_checks,
+            sip_notifies: s.sip_notifies,
+            instrumentation_points: s.plan.len(),
+            preloads_started: ks.preloads_started,
+            preloads_touched: touched,
+            preloads_wasted: wasted,
+            preloads_aborted: ks.preloads_aborted,
+            background_evictions: ks.background_evictions,
+            foreground_evictions: ks.foreground_evictions,
+            dfp_stopped_at: ks.dfp_stopped_at,
+            channel_utilization: util,
+            fault_service_mean: ks.fault_service.mean(),
+        })
+        .collect()
+}
+
+/// Builds the SIP instrumentation plan for a benchmark by profiling its
+/// *train* input (the paper's PGO pipeline, §5.2). Returns an empty plan
+/// when the scheme does not instrument or the paper's prototype could not
+/// handle the program (Fortran, omnetpp).
+pub fn build_plan(bench: Benchmark, cfg: &SimConfig, scheme: Scheme) -> InstrumentationPlan {
+    if !scheme.uses_sip() || !bench.sip_supported() {
+        return InstrumentationPlan::none();
+    }
+    // The paper's compiler always cedes Class-2-dominant sites to DFP
+    // (§4.4) — DFP is an OS-side property the compiled binary can rely on,
+    // whether or not this particular run arms it.
+    let sip = cfg.sip;
+    let profile = profile_stream(
+        bench.build(InputSet::Train, cfg.scale, cfg.seed),
+        cfg.epc_pages as usize,
+    );
+    InstrumentationPlan::from_profile(&profile, sip)
+}
+
+/// Runs one benchmark under one scheme end to end: profiling (when SIP is
+/// on), then the measurement run on the *ref* input.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+/// use sgx_workloads::{Benchmark, Scale};
+///
+/// let cfg = SimConfig::at_scale(Scale::DEV);
+/// let base = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &cfg);
+/// let dfp = run_benchmark(Benchmark::Microbenchmark, Scheme::Dfp, &cfg);
+/// assert!(dfp.total_cycles < base.total_cycles, "DFP helps streaming");
+/// ```
+pub fn run_benchmark(bench: Benchmark, scheme: Scheme, cfg: &SimConfig) -> RunReport {
+    if scheme.is_user_level() {
+        return crate::run_userspace_paging(
+            bench.name(),
+            bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+            &cfg.user_paging,
+        );
+    }
+    let plan = build_plan(bench, cfg, scheme);
+    let app = AppSpec::new(
+        bench.name(),
+        bench.elrange_pages(cfg.scale),
+        bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+    )
+    .with_plan(plan);
+    run_apps(vec![app], cfg, scheme)
+        .pop()
+        .expect("one app in, one report out")
+}
+
+/// Runs a workload *outside* any enclave: unlimited RAM, first-touch
+/// faults at the regular ≈2,000-cycle cost. This is the "same program
+/// without SGX" side of the paper's 46× motivation measurement (§1).
+pub fn run_outside(label: impl Into<String>, workload: AccessIter, cfg: &SimConfig) -> RunReport {
+    let mut resident: HashSet<u64> = HashSet::new();
+    let mut now = Cycles::ZERO;
+    let mut accesses = 0u64;
+    let mut executions = 0u64;
+    let mut faults = 0u64;
+    for a in workload {
+        now += a.compute;
+        accesses += 1;
+        executions += a.repeats as u64;
+        if resident.insert(a.page.raw()) {
+            faults += 1;
+            now += cfg.costs.non_epc_fault;
+        }
+    }
+    RunReport {
+        label: label.into(),
+        scheme: Scheme::Baseline,
+        total_cycles: now,
+        accesses,
+        executions,
+        epc_hits: accesses - faults,
+        faults,
+        faults_waited_inflight: 0,
+        faults_found_resident: 0,
+        sip_checks: 0,
+        sip_notifies: 0,
+        instrumentation_points: 0,
+        preloads_started: 0,
+        preloads_touched: 0,
+        preloads_wasted: 0,
+        preloads_aborted: 0,
+        background_evictions: 0,
+        foreground_evictions: 0,
+        dfp_stopped_at: None,
+        channel_utilization: 0.0,
+        fault_service_mean: Cycles::ZERO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_workloads::Scale;
+
+    fn cfg() -> SimConfig {
+        SimConfig::at_scale(Scale::DEV)
+    }
+
+    fn run(bench: Benchmark, scheme: Scheme) -> RunReport {
+        run_benchmark(bench, scheme, &cfg())
+    }
+
+    #[test]
+    fn identical_configs_are_bit_deterministic() {
+        let a = run(Benchmark::Deepsjeng, Scheme::Hybrid);
+        let b = run(Benchmark::Deepsjeng, Scheme::Hybrid);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.sip_checks, b.sip_checks);
+    }
+
+    #[test]
+    fn dfp_speeds_up_sequential_microbenchmark() {
+        let base = run(Benchmark::Microbenchmark, Scheme::Baseline);
+        let dfp = run(Benchmark::Microbenchmark, Scheme::Dfp);
+        let gain = dfp.improvement_over(&base);
+        assert!(
+            gain > 0.05 && gain < 0.35,
+            "DFP gain {gain:.3} outside the plausible band"
+        );
+        assert!(dfp.preload_accuracy() > 0.9, "streams are predictable");
+    }
+
+    #[test]
+    fn plain_dfp_regresses_on_bursty_roms_and_valve_rescues_it() {
+        let base = run(Benchmark::Roms, Scheme::Baseline);
+        let dfp = run(Benchmark::Roms, Scheme::Dfp);
+        let stopped = run(Benchmark::Roms, Scheme::DfpStop);
+        assert!(
+            dfp.improvement_over(&base) < -0.02,
+            "plain DFP should regress on roms: {:.3}",
+            dfp.improvement_over(&base)
+        );
+        assert!(
+            stopped.improvement_over(&base) > dfp.improvement_over(&base),
+            "DFP-stop must beat plain DFP on roms"
+        );
+        assert!(stopped.dfp_stopped_at.is_some(), "valve should fire");
+        assert!(
+            stopped.improvement_over(&base) > -0.08,
+            "DFP-stop overhead must be bounded: {:.3}",
+            stopped.improvement_over(&base)
+        );
+    }
+
+    #[test]
+    fn sip_speeds_up_irregular_deepsjeng() {
+        let base = run(Benchmark::Deepsjeng, Scheme::Baseline);
+        let sip = run(Benchmark::Deepsjeng, Scheme::Sip);
+        assert!(sip.instrumentation_points > 0);
+        assert!(sip.sip_notifies > 0);
+        let gain = sip.improvement_over(&base);
+        assert!(
+            gain > 0.02,
+            "SIP should help deepsjeng, got {gain:.3} with {} points",
+            sip.instrumentation_points
+        );
+        assert!(
+            sip.faults * 10 < base.faults * 9,
+            "instrumented faults should drop: {} vs {}",
+            sip.faults,
+            base.faults
+        );
+    }
+
+    #[test]
+    fn sip_is_a_wash_on_mcf() {
+        let base = run(Benchmark::Mcf, Scheme::Baseline);
+        let sip = run(Benchmark::Mcf, Scheme::Sip);
+        assert!(sip.instrumentation_points > 50, "mcf sites instrumented");
+        let gain = sip.improvement_over(&base);
+        assert!(
+            gain.abs() < 0.06,
+            "mcf should be a wash under SIP, got {gain:.3}"
+        );
+    }
+
+    #[test]
+    fn sip_noops_on_fortran_benchmarks() {
+        let base = run(Benchmark::Bwaves, Scheme::Baseline);
+        let sip = run(Benchmark::Bwaves, Scheme::Sip);
+        assert_eq!(sip.instrumentation_points, 0);
+        assert_eq!(sip.sip_checks, 0);
+        assert_eq!(sip.total_cycles, base.total_cycles);
+    }
+
+    #[test]
+    fn small_working_set_is_insensitive_to_schemes() {
+        let base = run(Benchmark::Leela, Scheme::Baseline);
+        for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
+            let r = run(Benchmark::Leela, scheme);
+            let delta = r.improvement_over(&base).abs();
+            // Only the cold-start faults (a small share of a small-WS run)
+            // can move; steady state is all EPC hits.
+            assert!(
+                delta < 0.08,
+                "{scheme} moved leela by {delta:.3}; small WS should be near-flat"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_tracks_the_better_scheme_on_mixed_blood() {
+        let base = run(Benchmark::MixedBlood, Scheme::Baseline);
+        let dfp = run(Benchmark::MixedBlood, Scheme::DfpStop);
+        let sip = run(Benchmark::MixedBlood, Scheme::Sip);
+        let hybrid = run(Benchmark::MixedBlood, Scheme::Hybrid);
+        let best = dfp
+            .improvement_over(&base)
+            .max(sip.improvement_over(&base));
+        let h = hybrid.improvement_over(&base);
+        assert!(
+            h > best - 0.02,
+            "hybrid {h:.3} should be at least the best single scheme {best:.3}"
+        );
+        assert!(h > 0.0, "mixed-blood must benefit overall");
+    }
+
+    #[test]
+    fn outside_enclave_run_counts_first_touch_faults() {
+        let r = run_outside(
+            "micro-outside",
+            Benchmark::Microbenchmark.build(InputSet::Ref, Scale::DEV, 42),
+            &cfg(),
+        );
+        let fp = Benchmark::Microbenchmark.elrange_pages(Scale::DEV);
+        assert_eq!(r.faults, fp, "one fault per distinct page");
+        assert_eq!(r.accesses, fp * 3, "three passes");
+    }
+
+    #[test]
+    fn enclave_motivation_slowdown_is_an_order_of_magnitude() {
+        let inside = run(Benchmark::Microbenchmark, Scheme::Baseline);
+        let outside = run_outside(
+            "micro-outside",
+            Benchmark::Microbenchmark.build(InputSet::Ref, Scale::DEV, 42),
+            &cfg(),
+        );
+        let slowdown = inside.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
+        assert!(
+            slowdown > 15.0 && slowdown < 60.0,
+            "motivation slowdown {slowdown:.1}× not in the paper's regime (≈46×)"
+        );
+    }
+
+    #[test]
+    fn two_enclaves_contend_for_the_channel() {
+        let c = cfg();
+        let mk = || {
+            AppSpec::new(
+                "micro",
+                Benchmark::Microbenchmark.elrange_pages(c.scale),
+                Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
+            )
+        };
+        let solo = run_apps(vec![mk()], &c, Scheme::Baseline)
+            .pop()
+            .unwrap();
+        let pair = run_apps(vec![mk(), mk()], &c, Scheme::Baseline);
+        assert_eq!(pair.len(), 2);
+        for r in &pair {
+            assert!(
+                r.total_cycles.raw() as f64 > solo.total_cycles.raw() as f64 * 1.3,
+                "sharing the EPC must slow both apps: {} vs solo {}",
+                r.total_cycles,
+                solo.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn early_notify_reduces_blocking_on_compute_heavy_irregular_code() {
+        // A compute-heavy irregular workload: with enough work between
+        // accesses, a hoisted notification can hide most of the 44k-cycle
+        // load the conservative placement must block on.
+        use sgx_sip::NotifyPlacement;
+        let c = cfg();
+        let conservative = run_benchmark(Benchmark::Deepsjeng, Scheme::Sip, &c);
+        let early = run_benchmark(
+            Benchmark::Deepsjeng,
+            Scheme::Sip,
+            &c.with_placement(NotifyPlacement::Early { distance: 24 }),
+        );
+        // Early placement must never lose catastrophically, and its
+        // prefetches must actually run.
+        assert!(early.sip_notifies > 0);
+        let ratio = early.total_cycles.raw() as f64 / conservative.total_cycles.raw() as f64;
+        assert!(
+            ratio < 1.05,
+            "early notify should be competitive, got {ratio:.3}x of conservative"
+        );
+    }
+
+    #[test]
+    fn early_notify_distance_zero_equals_conservative() {
+        use sgx_sip::NotifyPlacement;
+        let c = cfg();
+        let a = run_benchmark(Benchmark::Mser, Scheme::Sip, &c);
+        let b = run_benchmark(
+            Benchmark::Mser,
+            Scheme::Sip,
+            &c.with_placement(NotifyPlacement::Early { distance: 0 }),
+        );
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one application")]
+    fn empty_app_list_panics() {
+        let _ = run_apps(vec![], &cfg(), Scheme::Baseline);
+    }
+}

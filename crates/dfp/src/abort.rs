@@ -1,0 +1,202 @@
+//! DFP's misprediction "safety valve" (paper §4.2, evaluated as *DFP-stop*).
+//!
+//! A service thread periodically compares `AccPreloadCounter` (preloaded
+//! pages later accessed) against `PreloadCounter` (all preloads) and stops
+//! the preload thread permanently once
+//! `AccPreloadCounter + slack < PreloadCounter / 2` — the paper's empirical
+//! formula with `slack = 200,000` on full SPEC runs. Both the slack and the
+//! check interval scale with the run size here.
+
+use sgx_sim::Cycles;
+
+/// Configuration of the abort safety valve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortPolicy {
+    /// The additive slack in the stop formula. The paper uses 200,000 for
+    /// full SPEC reference runs; scale it to the workload.
+    pub slack: u64,
+    /// Simulated time between service-thread checks.
+    pub check_interval: Cycles,
+}
+
+impl AbortPolicy {
+    /// The paper's empirical values: slack 200,000, checks every 10M cycles
+    /// (a few OS scheduler ticks at 3.5 GHz).
+    pub const fn paper_defaults() -> Self {
+        AbortPolicy {
+            slack: 200_000,
+            check_interval: Cycles::new(10_000_000),
+        }
+    }
+
+    /// Overrides the slack.
+    pub fn with_slack(mut self, slack: u64) -> Self {
+        self.slack = slack;
+        self
+    }
+
+    /// Overrides the check interval.
+    pub fn with_check_interval(mut self, every: Cycles) -> Self {
+        self.check_interval = every;
+        self
+    }
+
+    /// The stop predicate: `acc + slack < preloaded / 2`.
+    pub fn should_stop(&self, preloaded: u64, accessed: u64) -> bool {
+        accessed.saturating_add(self.slack) < preloaded / 2
+    }
+}
+
+impl Default for AbortPolicy {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Runtime state of the safety valve: evaluates the stop formula at the
+/// configured cadence and latches permanently once triggered ("the
+/// preloading thread stops itself").
+#[derive(Debug, Clone)]
+pub struct AbortValve {
+    policy: AbortPolicy,
+    next_check: Cycles,
+    stopped: bool,
+    checks: u64,
+}
+
+impl AbortValve {
+    /// Creates an armed valve; the first check happens one interval in.
+    pub fn new(policy: AbortPolicy) -> Self {
+        AbortValve {
+            next_check: policy.check_interval,
+            policy,
+            stopped: false,
+            checks: 0,
+        }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> AbortPolicy {
+        self.policy
+    }
+
+    /// Whether preloading has been stopped.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Number of checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Service-thread tick: if a check is due at `now`, evaluates the stop
+    /// formula against the counters. Returns `true` iff preloading is (now
+    /// or already) stopped.
+    ///
+    /// Several missed intervals collapse into a single check — the service
+    /// thread only sees the current counter values, never history.
+    pub fn observe(&mut self, now: Cycles, preloaded: u64, accessed: u64) -> bool {
+        if self.stopped {
+            return true;
+        }
+        if now >= self.next_check {
+            self.checks += 1;
+            // Re-arm relative to `now` so a long quiet period does not
+            // cause a burst of back-to-back checks.
+            self.next_check = now + self.policy.check_interval;
+            if self.policy.should_stop(preloaded, accessed) {
+                self.stopped = true;
+            }
+        }
+        self.stopped
+    }
+
+    /// Re-arms a stopped valve (used between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.stopped = false;
+        self.next_check = self.policy.check_interval;
+        self.checks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formula_boundary() {
+        let p = AbortPolicy::paper_defaults();
+        // acc + 200_000 < total/2
+        assert!(!p.should_stop(400_000, 0)); // 200_000 < 200_000 is false
+        assert!(p.should_stop(400_002, 0)); // 200_000 < 200_001
+        assert!(!p.should_stop(1_000_000, 300_001)); // 500_001 < 500_000 false
+        assert!(p.should_stop(1_000_000, 299_999));
+    }
+
+    #[test]
+    fn accurate_preloading_never_stops() {
+        let policy = AbortPolicy::paper_defaults()
+            .with_slack(10)
+            .with_check_interval(Cycles::new(100));
+        let mut v = AbortValve::new(policy);
+        for step in 1..100u64 {
+            // 90% of preloads get accessed.
+            let total = step * 1000;
+            let acc = total * 9 / 10;
+            assert!(!v.observe(Cycles::new(step * 100), total, acc));
+        }
+        assert!(!v.is_stopped());
+        assert_eq!(v.checks(), 99);
+    }
+
+    #[test]
+    fn wasteful_preloading_stops_and_latches() {
+        let policy = AbortPolicy::paper_defaults()
+            .with_slack(10)
+            .with_check_interval(Cycles::new(100));
+        let mut v = AbortValve::new(policy);
+        assert!(!v.observe(Cycles::new(50), 1_000, 10), "not due yet");
+        assert!(v.observe(Cycles::new(100), 1_000, 10), "10+10 < 500");
+        // Latched: even perfect accuracy afterwards cannot restart it.
+        assert!(v.observe(Cycles::new(200), 2_000, 2_000));
+        assert!(v.is_stopped());
+    }
+
+    #[test]
+    fn checks_only_fire_at_interval() {
+        let policy = AbortPolicy::paper_defaults().with_check_interval(Cycles::new(1_000));
+        let mut v = AbortValve::new(policy);
+        for t in (0..1_000).step_by(100) {
+            v.observe(Cycles::new(t), 0, 0);
+        }
+        assert_eq!(v.checks(), 0, "no check before the first interval");
+        v.observe(Cycles::new(1_000), 0, 0);
+        assert_eq!(v.checks(), 1);
+        // A long gap re-arms relative to `now`, not in arrears.
+        v.observe(Cycles::new(50_000), 0, 0);
+        assert_eq!(v.checks(), 2);
+        v.observe(Cycles::new(50_500), 0, 0);
+        assert_eq!(v.checks(), 2);
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let policy = AbortPolicy::paper_defaults()
+            .with_slack(0)
+            .with_check_interval(Cycles::new(10));
+        let mut v = AbortValve::new(policy);
+        assert!(v.observe(Cycles::new(10), 100, 0));
+        v.reset();
+        assert!(!v.is_stopped());
+        assert_eq!(v.checks(), 0);
+        assert!(!v.observe(Cycles::new(5), 0, 0));
+    }
+
+    #[test]
+    fn zero_counters_never_stop() {
+        let mut v = AbortValve::new(AbortPolicy::paper_defaults().with_slack(0));
+        assert!(!v.observe(Cycles::new(100_000_000), 0, 0));
+        assert!(!v.observe(Cycles::new(200_000_000), 1, 0)); // 0 < 0 false
+    }
+}

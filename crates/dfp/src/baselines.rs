@@ -1,0 +1,339 @@
+//! Baseline predictors from the design space the paper surveys (§4.1).
+//!
+//! The paper notes that production hardware prefetchers use "more
+//! conservative schemes such as next-line and stride prefetchers", and that
+//! heuristic or learning-based schemes are possible. These baselines make
+//! the ablation benches meaningful: the multiple-stream predictor is
+//! compared against next-line, stride, and a first-order Markov table under
+//! identical workloads.
+
+use std::collections::HashMap;
+
+use sgx_epc::VirtPage;
+use sgx_sim::Cycles;
+
+use crate::{Prediction, Predictor, ProcessId};
+
+/// Next-line prefetching: always predict the `degree` pages following the
+/// fault.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_dfp::{NextLinePredictor, Predictor, ProcessId};
+/// use sgx_epc::VirtPage;
+/// use sgx_sim::Cycles;
+///
+/// let mut p = NextLinePredictor::new(2);
+/// let out = p.on_fault(Cycles::ZERO, ProcessId(0), VirtPage::new(5));
+/// assert_eq!(out.pages, vec![VirtPage::new(6), VirtPage::new(7)]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NextLinePredictor {
+    degree: u64,
+}
+
+impl NextLinePredictor {
+    /// Creates a next-line predictor issuing `degree` pages per fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "prefetch degree must be positive");
+        NextLinePredictor { degree }
+    }
+}
+
+impl Predictor for NextLinePredictor {
+    fn on_fault(&mut self, _now: Cycles, _pid: ProcessId, npn: VirtPage) -> Prediction {
+        Prediction::of((1..=self.degree).map(|k| npn.offset(k)).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// Stride prefetching: learns a per-process constant fault stride and
+/// predicts `degree` further strides once the stride repeats.
+#[derive(Debug, Clone)]
+pub struct StridePredictor {
+    degree: u64,
+    state: HashMap<ProcessId, StrideState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StrideState {
+    last: VirtPage,
+    stride: Option<i64>,
+}
+
+impl StridePredictor {
+    /// Creates a stride predictor issuing `degree` pages per confirmed
+    /// stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "prefetch degree must be positive");
+        StridePredictor {
+            degree,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Predictor for StridePredictor {
+    fn on_fault(&mut self, _now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
+        let entry = self.state.get(&pid).copied();
+        let new_stride = entry.map(|s| npn.raw() as i64 - s.last.raw() as i64);
+        let confirmed = match (entry.and_then(|s| s.stride), new_stride) {
+            (Some(a), Some(b)) if a == b && a != 0 => Some(a),
+            _ => None,
+        };
+        self.state.insert(
+            pid,
+            StrideState {
+                last: npn,
+                stride: new_stride.filter(|&s| s != 0),
+            },
+        );
+        match confirmed {
+            None => Prediction::none(),
+            Some(stride) => {
+                let mut pages = Vec::with_capacity(self.degree as usize);
+                for k in 1..=self.degree as i64 {
+                    let target = npn.raw() as i64 + stride * k;
+                    if target >= 0 {
+                        pages.push(VirtPage::new(target as u64));
+                    }
+                }
+                Prediction::of(pages)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+/// First-order Markov prediction: remembers the successor observed after
+/// each faulted page and predicts the learned chain.
+///
+/// Table size is capped; when full, new transitions evict nothing (the
+/// table freezes) to keep behaviour simple and deterministic — this mirrors
+/// a fixed-size correlation table in hardware.
+#[derive(Debug, Clone)]
+pub struct MarkovPredictor {
+    degree: u64,
+    capacity: usize,
+    successor: HashMap<VirtPage, VirtPage>,
+    last_fault: HashMap<ProcessId, VirtPage>,
+}
+
+impl MarkovPredictor {
+    /// Creates a Markov predictor issuing up to `degree` chained pages, with
+    /// a transition table holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0` or `capacity == 0`.
+    pub fn new(degree: u64, capacity: usize) -> Self {
+        assert!(degree > 0, "prefetch degree must be positive");
+        assert!(capacity > 0, "table capacity must be positive");
+        MarkovPredictor {
+            degree,
+            capacity,
+            successor: HashMap::new(),
+            last_fault: HashMap::new(),
+        }
+    }
+
+    /// Current number of learned transitions.
+    pub fn table_len(&self) -> usize {
+        self.successor.len()
+    }
+}
+
+impl Predictor for MarkovPredictor {
+    fn on_fault(&mut self, _now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
+        if let Some(prev) = self.last_fault.insert(pid, npn) {
+            if self.successor.len() < self.capacity || self.successor.contains_key(&prev) {
+                self.successor.insert(prev, npn);
+            }
+        }
+        let mut pages = Vec::new();
+        let mut cur = npn;
+        for _ in 0..self.degree {
+            match self.successor.get(&cur) {
+                Some(&next) if !pages.contains(&next) && next != npn => {
+                    pages.push(next);
+                    cur = next;
+                }
+                _ => break,
+            }
+        }
+        Prediction::of(pages)
+    }
+
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn reset(&mut self) {
+        self.successor.clear();
+        self.last_fault.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    const PID: ProcessId = ProcessId(1);
+
+    fn fault<P: Predictor>(pr: &mut P, n: u64) -> Prediction {
+        pr.on_fault(Cycles::ZERO, PID, p(n))
+    }
+
+    #[test]
+    fn next_line_always_fires() {
+        let mut nl = NextLinePredictor::new(3);
+        assert_eq!(fault(&mut nl, 10).pages, vec![p(11), p(12), p(13)]);
+        assert_eq!(fault(&mut nl, 0).pages, vec![p(1), p(2), p(3)]);
+        assert_eq!(nl.name(), "next-line");
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn next_line_zero_degree_rejected() {
+        let _ = NextLinePredictor::new(0);
+    }
+
+    #[test]
+    fn stride_needs_two_equal_strides() {
+        let mut s = StridePredictor::new(2);
+        assert!(fault(&mut s, 10).is_empty()); // no history
+        assert!(fault(&mut s, 13).is_empty()); // first stride (3) observed
+        let out = fault(&mut s, 16); // stride 3 confirmed
+        assert_eq!(out.pages, vec![p(19), p(22)]);
+    }
+
+    #[test]
+    fn stride_detects_negative_strides_and_clamps() {
+        let mut s = StridePredictor::new(4);
+        fault(&mut s, 9);
+        fault(&mut s, 6);
+        let out = fault(&mut s, 3); // stride -3 confirmed
+        assert_eq!(out.pages, vec![p(0)]); // -3 and below are clamped away
+    }
+
+    #[test]
+    fn stride_change_breaks_confirmation() {
+        let mut s = StridePredictor::new(1);
+        fault(&mut s, 0);
+        fault(&mut s, 4);
+        fault(&mut s, 8);
+        assert!(fault(&mut s, 20).is_empty()); // stride changed 4 → 12
+        assert_eq!(fault(&mut s, 32).pages, vec![p(44)]); // 12 repeated
+        assert_eq!(fault(&mut s, 44).pages, vec![p(56)]); // still striding
+    }
+
+    #[test]
+    fn stride_ignores_zero_stride() {
+        let mut s = StridePredictor::new(1);
+        fault(&mut s, 5);
+        fault(&mut s, 5);
+        assert!(fault(&mut s, 5).is_empty());
+    }
+
+    #[test]
+    fn stride_is_per_process() {
+        let mut s = StridePredictor::new(1);
+        s.on_fault(Cycles::ZERO, ProcessId(1), p(0));
+        s.on_fault(Cycles::ZERO, ProcessId(2), p(100));
+        s.on_fault(Cycles::ZERO, ProcessId(1), p(2));
+        s.on_fault(Cycles::ZERO, ProcessId(2), p(105));
+        let a = s.on_fault(Cycles::ZERO, ProcessId(1), p(4));
+        let b = s.on_fault(Cycles::ZERO, ProcessId(2), p(110));
+        assert_eq!(a.pages, vec![p(6)]);
+        assert_eq!(b.pages, vec![p(115)]);
+    }
+
+    #[test]
+    fn markov_learns_repeating_cycle() {
+        let mut m = MarkovPredictor::new(2, 64);
+        for _ in 0..2 {
+            for n in [7u64, 42, 13] {
+                fault(&mut m, n);
+            }
+        }
+        // After training, faulting at 7 predicts 42 then 13.
+        let out = fault(&mut m, 7);
+        assert_eq!(out.pages, vec![p(42), p(13)]);
+    }
+
+    #[test]
+    fn markov_table_freezes_at_capacity() {
+        let mut m = MarkovPredictor::new(1, 2);
+        for n in [1u64, 2, 3, 4, 5] {
+            fault(&mut m, n);
+        }
+        assert_eq!(m.table_len(), 2); // only 1→2 and 2→3 learned
+        assert_eq!(fault(&mut m, 1).pages, vec![p(2)]);
+        assert!(fault(&mut m, 4).is_empty());
+    }
+
+    #[test]
+    fn markov_updates_existing_transition_when_full() {
+        let mut m = MarkovPredictor::new(1, 2);
+        for n in [1u64, 2, 3] {
+            fault(&mut m, n);
+        }
+        // Table full with 1→2, 2→3; revisiting 1 then 9 rewrites 1→9.
+        fault(&mut m, 1);
+        fault(&mut m, 9);
+        assert_eq!(fault(&mut m, 1).pages, vec![p(9)]);
+    }
+
+    #[test]
+    fn markov_chain_stops_on_loop() {
+        let mut m = MarkovPredictor::new(10, 16);
+        for n in [1u64, 2, 1, 2] {
+            fault(&mut m, n);
+        }
+        // Chain from 1: 2 → (1 = the fault itself, stop). No infinite loop.
+        let out = fault(&mut m, 1);
+        assert_eq!(out.pages, vec![p(2)]);
+    }
+
+    #[test]
+    fn reset_clears_all_baselines() {
+        let mut s = StridePredictor::new(1);
+        fault(&mut s, 0);
+        fault(&mut s, 3);
+        s.reset();
+        fault(&mut s, 6);
+        assert!(fault(&mut s, 9).is_empty(), "history must be gone");
+
+        let mut m = MarkovPredictor::new(1, 8);
+        fault(&mut m, 1);
+        fault(&mut m, 2);
+        m.reset();
+        assert_eq!(m.table_len(), 0);
+        assert!(fault(&mut m, 1).is_empty());
+    }
+}

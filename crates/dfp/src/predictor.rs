@@ -1,0 +1,113 @@
+//! The fault-driven page predictor interface.
+//!
+//! DFP's only input is the stream of *faulted* page numbers — SGX hides all
+//! other memory traffic from the OS (paper §3.1). A [`Predictor`] therefore
+//! sees one call per page fault and answers with the pages to preload.
+
+use std::fmt;
+
+use sgx_epc::VirtPage;
+use sgx_sim::Cycles;
+
+/// Identifies the faulting process: Algorithm 1 keeps one `stream_list` per
+/// process ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// The pages a predictor wants preloaded, in issue order.
+///
+/// An empty prediction means "no recognizable pattern; preload nothing".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Prediction {
+    /// Pages to enqueue on the preload worker, most-urgent first.
+    pub pages: Vec<VirtPage>,
+}
+
+impl Prediction {
+    /// A prediction carrying no pages.
+    pub fn none() -> Self {
+        Prediction { pages: Vec::new() }
+    }
+
+    /// A prediction of the given pages.
+    pub fn of(pages: Vec<VirtPage>) -> Self {
+        Prediction { pages }
+    }
+
+    /// `true` when nothing is predicted.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// A fault-history-driven page-preload predictor.
+///
+/// Implementations must be deterministic: the simulation relies on
+/// reproducible runs. The crate provides the paper's multiple-stream
+/// predictor plus next-line, stride and Markov baselines; downstream users
+/// can plug in their own (see the `custom_predictor` example in the
+/// workspace root).
+pub trait Predictor {
+    /// Called on every enclave page fault with the faulting process and the
+    /// faulted page number (`npn` in Algorithm 1; the bottom 12 address bits
+    /// are already gone). Returns the pages to preload.
+    fn on_fault(&mut self, now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction;
+
+    /// A short, stable name for reports (e.g. `"multi-stream"`).
+    fn name(&self) -> &'static str;
+
+    /// Clears learned state (used between profiling and measurement runs).
+    fn reset(&mut self);
+}
+
+/// The no-op predictor: the paper's baseline execution without preloading.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPredictor;
+
+impl Predictor for NoPredictor {
+    fn on_fault(&mut self, _now: Cycles, _pid: ProcessId, _npn: VirtPage) -> Prediction {
+        Prediction::none()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_predictor_predicts_nothing() {
+        let mut p = NoPredictor;
+        let out = p.on_fault(Cycles::ZERO, ProcessId(0), VirtPage::new(42));
+        assert!(out.is_empty());
+        assert_eq!(p.name(), "none");
+        p.reset();
+    }
+
+    #[test]
+    fn predictor_is_object_safe() {
+        let mut boxed: Box<dyn Predictor> = Box::new(NoPredictor);
+        assert!(boxed
+            .on_fault(Cycles::ZERO, ProcessId(1), VirtPage::new(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn prediction_constructors() {
+        assert!(Prediction::none().is_empty());
+        let p = Prediction::of(vec![VirtPage::new(1), VirtPage::new(2)]);
+        assert_eq!(p.pages.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the predictors.
+
+use proptest::prelude::*;
+
+use sgx_dfp::{
+    AbortPolicy, MarkovPredictor, MultiStreamPredictor, NextLinePredictor, Prediction,
+    Predictor, ProcessId, StreamConfig, StridePredictor,
+};
+use sgx_epc::VirtPage;
+use sgx_sim::Cycles;
+
+const PID: ProcessId = ProcessId(1);
+
+fn feed(p: &mut dyn Predictor, faults: &[u64]) -> Vec<Prediction> {
+    faults
+        .iter()
+        .map(|&f| p.on_fault(Cycles::ZERO, PID, VirtPage::new(f)))
+        .collect()
+}
+
+proptest! {
+    /// No shipped predictor ever predicts the faulting page itself, and
+    /// all respect their degree bound.
+    #[test]
+    fn predictors_never_predict_the_fault_itself(
+        faults in proptest::collection::vec(0u64..1u64 << 32, 1..200),
+        degree in 1u64..12,
+    ) {
+        let mut preds: Vec<Box<dyn Predictor>> = vec![
+            Box::new(MultiStreamPredictor::new(
+                StreamConfig::paper_defaults().with_load_length(degree),
+            )),
+            Box::new(NextLinePredictor::new(degree)),
+            Box::new(StridePredictor::new(degree)),
+            Box::new(MarkovPredictor::new(degree, 1 << 14)),
+        ];
+        for p in preds.iter_mut() {
+            for (i, out) in feed(p.as_mut(), &faults).into_iter().enumerate() {
+                prop_assert!(
+                    out.pages.len() <= degree as usize,
+                    "{} exceeded its degree",
+                    p.name()
+                );
+                prop_assert!(
+                    !out.pages.contains(&VirtPage::new(faults[i])),
+                    "{} predicted the fault page",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    /// Predictors are pure functions of their fault history: replaying
+    /// the identical history yields identical predictions.
+    #[test]
+    fn predictors_are_deterministic(
+        faults in proptest::collection::vec(0u64..100_000, 1..150),
+    ) {
+        let run = || -> Vec<Vec<u64>> {
+            let mut p = MultiStreamPredictor::new(StreamConfig::paper_defaults());
+            feed(&mut p, &faults)
+                .into_iter()
+                .map(|o| o.pages.iter().map(|pg| pg.raw()).collect())
+                .collect()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// reset() restores a predictor to its freshly constructed behaviour.
+    #[test]
+    fn reset_restores_initial_behaviour(
+        warmup in proptest::collection::vec(0u64..10_000, 0..100),
+        probe in proptest::collection::vec(0u64..10_000, 1..50),
+    ) {
+        let mut seasoned = MultiStreamPredictor::new(StreamConfig::paper_defaults());
+        feed(&mut seasoned, &warmup);
+        seasoned.reset();
+        let mut fresh = MultiStreamPredictor::new(StreamConfig::paper_defaults());
+        prop_assert_eq!(feed(&mut seasoned, &probe), feed(&mut fresh, &probe));
+    }
+
+    /// A pure ascending walk keeps exactly one stream alive and predicts
+    /// on every fault after the first.
+    #[test]
+    fn ascending_walk_is_one_stream(start in 0u64..1u64 << 40, len in 2usize..200) {
+        let faults: Vec<u64> = (0..len as u64).map(|i| start + i).collect();
+        let mut p = MultiStreamPredictor::new(StreamConfig::paper_defaults());
+        let outs = feed(&mut p, &faults);
+        prop_assert!(outs[0].is_empty());
+        for out in &outs[1..] {
+            prop_assert!(!out.is_empty());
+        }
+        let list = p.stream_list(PID).unwrap();
+        prop_assert_eq!(list.len(), 1);
+        prop_assert_eq!(list.matches(), len as u64 - 1);
+    }
+
+    /// The abort formula is monotone: if it stops at accuracy a, it also
+    /// stops at any lower accuracy with the same totals.
+    #[test]
+    fn abort_formula_is_monotone(total in 0u64..1u64 << 40, acc in 0u64..1u64 << 40, slack in 0u64..1u64 << 20) {
+        let policy = AbortPolicy::paper_defaults().with_slack(slack);
+        if policy.should_stop(total, acc) {
+            prop_assert!(policy.should_stop(total, acc.saturating_sub(1)));
+            prop_assert!(policy.should_stop(total + 2, acc));
+        }
+    }
+}

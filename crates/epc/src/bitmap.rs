@@ -1,0 +1,158 @@
+//! The shared presence bitmap used by SIP (paper §4.3).
+//!
+//! One bit per enclave virtual page: set while the page is resident in EPC.
+//! In the real system the bitmap lives in untrusted user memory shared
+//! between enclave and kernel — page-level presence is already visible to
+//! the OS, so exporting it leaks nothing new. Here it is an ordinary bit
+//! vector updated by the kernel model on every load/evict and read by the
+//! instrumented-access model.
+
+use crate::VirtPage;
+
+/// A fixed-size presence bitmap over an enclave's ELRANGE.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_epc::{PresenceBitmap, VirtPage};
+///
+/// let mut bm = PresenceBitmap::new(1024);
+/// let p = VirtPage::new(37);
+/// assert!(!bm.is_present(p));
+/// bm.set_present(p);
+/// assert!(bm.is_present(p));
+/// bm.clear_present(p);
+/// assert!(!bm.is_present(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PresenceBitmap {
+    words: Vec<u64>,
+    pages: u64,
+    set_count: u64,
+}
+
+impl PresenceBitmap {
+    /// Creates an all-absent bitmap covering `pages` virtual pages.
+    pub fn new(pages: u64) -> Self {
+        let words = pages.div_ceil(64) as usize;
+        PresenceBitmap {
+            words: vec![0; words],
+            pages,
+            set_count: 0,
+        }
+    }
+
+    /// Number of pages the bitmap covers (the ELRANGE size).
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Number of bits currently set (pages marked resident).
+    pub fn present_count(&self) -> u64 {
+        self.set_count
+    }
+
+    #[inline]
+    fn index(&self, page: VirtPage) -> (usize, u64) {
+        let n = page.raw();
+        assert!(
+            n < self.pages,
+            "page {n} outside ELRANGE of {} pages",
+            self.pages
+        );
+        ((n / 64) as usize, 1u64 << (n % 64))
+    }
+
+    /// `true` if the page's present bit is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` lies outside the covered ELRANGE.
+    #[inline]
+    pub fn is_present(&self, page: VirtPage) -> bool {
+        let (w, mask) = self.index(page);
+        self.words[w] & mask != 0
+    }
+
+    /// Marks the page resident. Idempotent.
+    pub fn set_present(&mut self, page: VirtPage) {
+        let (w, mask) = self.index(page);
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.set_count += 1;
+        }
+    }
+
+    /// Marks the page absent. Idempotent.
+    pub fn clear_present(&mut self, page: VirtPage) {
+        let (w, mask) = self.index(page);
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.set_count -= 1;
+        }
+    }
+
+    /// Iterates over all pages currently marked present, in ascending order.
+    pub fn iter_present(&self) -> impl Iterator<Item = VirtPage> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as u64;
+                    bits &= bits - 1;
+                    Some(VirtPage::new(wi as u64 * 64 + b))
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_roundtrip_and_count() {
+        let mut bm = PresenceBitmap::new(200);
+        assert_eq!(bm.present_count(), 0);
+        for n in [0u64, 63, 64, 127, 199] {
+            bm.set_present(VirtPage::new(n));
+        }
+        assert_eq!(bm.present_count(), 5);
+        // Idempotent set.
+        bm.set_present(VirtPage::new(63));
+        assert_eq!(bm.present_count(), 5);
+        bm.clear_present(VirtPage::new(64));
+        assert!(!bm.is_present(VirtPage::new(64)));
+        assert_eq!(bm.present_count(), 4);
+        // Idempotent clear.
+        bm.clear_present(VirtPage::new(64));
+        assert_eq!(bm.present_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside ELRANGE")]
+    fn out_of_range_panics() {
+        let bm = PresenceBitmap::new(10);
+        let _ = bm.is_present(VirtPage::new(10));
+    }
+
+    #[test]
+    fn iter_present_ascending() {
+        let mut bm = PresenceBitmap::new(300);
+        for n in [250u64, 3, 64, 65] {
+            bm.set_present(VirtPage::new(n));
+        }
+        let got: Vec<u64> = bm.iter_present().map(|p| p.raw()).collect();
+        assert_eq!(got, vec![3, 64, 65, 250]);
+    }
+
+    #[test]
+    fn zero_page_bitmap() {
+        let bm = PresenceBitmap::new(0);
+        assert_eq!(bm.pages(), 0);
+        assert_eq!(bm.iter_present().count(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Enclave identity and address-range (ELRANGE) description.
+//!
+//! An enclave's virtual address range may be far larger than the physical
+//! EPC (paper §2, Fig. 1); the EPC paging mechanism in the untrusted OS
+//! bridges the two. This module only describes the *virtual* side; residency
+//! lives in [`crate::Epc`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{pages_for_bytes, VirtPage};
+
+/// Identifies one enclave in a multi-enclave simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EnclaveId(pub u32);
+
+impl fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "enclave:{}", self.0)
+    }
+}
+
+/// Error constructing an [`Enclave`] with an empty ELRANGE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyElrangeError;
+
+impl fmt::Display for EmptyElrangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("enclave ELRANGE must cover at least one page")
+    }
+}
+
+impl Error for EmptyElrangeError {}
+
+/// An enclave's linear address range, in pages.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_epc::{Enclave, EnclaveId, VirtPage};
+///
+/// // A 1 GiB enclave, like the paper's microbenchmark.
+/// let enc = Enclave::with_bytes(EnclaveId(0), 1 << 30)?;
+/// assert_eq!(enc.elrange_pages(), 262_144);
+/// assert!(enc.contains(VirtPage::new(262_143)));
+/// assert!(!enc.contains(VirtPage::new(262_144)));
+/// # Ok::<(), sgx_epc::EmptyElrangeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Enclave {
+    id: EnclaveId,
+    elrange_pages: u64,
+}
+
+impl Enclave {
+    /// Creates an enclave whose ELRANGE covers `pages` virtual pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyElrangeError`] if `pages == 0`.
+    pub fn new(id: EnclaveId, pages: u64) -> Result<Self, EmptyElrangeError> {
+        if pages == 0 {
+            Err(EmptyElrangeError)
+        } else {
+            Ok(Enclave {
+                id,
+                elrange_pages: pages,
+            })
+        }
+    }
+
+    /// Creates an enclave sized to hold `bytes` of data (rounded up to
+    /// pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyElrangeError`] if `bytes == 0`.
+    pub fn with_bytes(id: EnclaveId, bytes: u64) -> Result<Self, EmptyElrangeError> {
+        Self::new(id, pages_for_bytes(bytes))
+    }
+
+    /// The enclave's identifier.
+    pub fn id(&self) -> EnclaveId {
+        self.id
+    }
+
+    /// ELRANGE size in pages.
+    pub fn elrange_pages(&self) -> u64 {
+        self.elrange_pages
+    }
+
+    /// Whether `page` falls inside the ELRANGE.
+    pub fn contains(&self, page: VirtPage) -> bool {
+        page.raw() < self.elrange_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_elrange() {
+        assert_eq!(Enclave::new(EnclaveId(1), 0), Err(EmptyElrangeError));
+        assert_eq!(Enclave::with_bytes(EnclaveId(1), 0), Err(EmptyElrangeError));
+        assert_eq!(
+            EmptyElrangeError.to_string(),
+            "enclave ELRANGE must cover at least one page"
+        );
+    }
+
+    #[test]
+    fn byte_construction_rounds_up() {
+        let e = Enclave::with_bytes(EnclaveId(0), 4097).unwrap();
+        assert_eq!(e.elrange_pages(), 2);
+    }
+
+    #[test]
+    fn containment_bounds() {
+        let e = Enclave::new(EnclaveId(2), 10).unwrap();
+        assert_eq!(e.id(), EnclaveId(2));
+        assert!(e.contains(VirtPage::new(0)));
+        assert!(e.contains(VirtPage::new(9)));
+        assert!(!e.contains(VirtPage::new(10)));
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(EnclaveId(7).to_string(), "enclave:7");
+    }
+}

@@ -1,0 +1,367 @@
+//! The Enclave Page Cache residency model.
+//!
+//! Tracks which virtual pages are resident in the (limited) EPC, how each
+//! got there (demand fault, DFP preload, SIP request), CLOCK access bits,
+//! and the preload-accuracy accounting that feeds DFP's abort mechanism
+//! (paper §4.2: `PreloadCounter` / `AccPreloadCounter`).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{ReplacementPolicy, VictimPolicy, VirtPage};
+
+/// How a page came to be loaded into EPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOrigin {
+    /// Loaded by the kernel servicing a demand page fault.
+    Demand,
+    /// Loaded speculatively by the DFP preload worker.
+    Preload,
+    /// Loaded on an explicit SIP notification from instrumented code.
+    Sip,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    origin: LoadOrigin,
+    /// For preloaded pages: has the application touched it yet?
+    touched: bool,
+}
+
+/// Returned by [`Epc::insert`] when no free slot exists; the caller must
+/// evict first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcFullError {
+    /// The capacity that was exhausted.
+    pub capacity: u64,
+}
+
+impl fmt::Display for EpcFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EPC full: all {} slots resident", self.capacity)
+    }
+}
+
+impl Error for EpcFullError {}
+
+/// Outcome of [`Epc::touch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// Whether the page was resident (an EPC hit).
+    pub resident: bool,
+    /// `true` exactly once per preloaded page: on its first touch. Drives
+    /// the `AccPreloadCounter` of the DFP abort mechanism.
+    pub first_touch_of_preload: bool,
+}
+
+/// Outcome of [`Epc::evict_victim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The page chosen by the CLOCK sweep.
+    pub page: VirtPage,
+    /// `true` if the page was preloaded and never touched — a confirmed
+    /// wasted preload.
+    pub wasted_preload: bool,
+}
+
+/// The EPC: a fixed number of page slots plus residency metadata.
+///
+/// Victim selection is pluggable (see [`VictimPolicy`]); the default is
+/// the driver's CLOCK scheme.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_epc::{Epc, LoadOrigin, VirtPage};
+///
+/// let mut epc = Epc::new(2);
+/// epc.insert(VirtPage::new(10), LoadOrigin::Demand)?;
+/// epc.insert(VirtPage::new(11), LoadOrigin::Preload)?;
+/// assert_eq!(epc.free_slots(), 0);
+/// assert!(epc.insert(VirtPage::new(12), LoadOrigin::Demand).is_err());
+/// let evicted = epc.evict_victim().unwrap();
+/// // The untouched preload is the colder page.
+/// assert_eq!(evicted.page, VirtPage::new(11));
+/// assert!(evicted.wasted_preload);
+/// # Ok::<(), sgx_epc::EpcFullError>(())
+/// ```
+#[derive(Debug)]
+pub struct Epc {
+    capacity: u64,
+    resident: HashMap<VirtPage, PageMeta>,
+    policy: Box<dyn ReplacementPolicy>,
+    preloads_completed: u64,
+    preloads_touched: u64,
+    preloads_evicted_untouched: u64,
+}
+
+impl Epc {
+    /// Creates an empty EPC with `capacity` page slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_policy(capacity, VictimPolicy::Clock)
+    }
+
+    /// Creates an empty EPC with an explicit victim-selection policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_policy(capacity: u64, policy: VictimPolicy) -> Self {
+        assert!(capacity > 0, "EPC must have at least one slot");
+        Epc {
+            capacity,
+            resident: HashMap::new(),
+            policy: policy.build(),
+            preloads_completed: 0,
+            preloads_touched: 0,
+            preloads_evicted_untouched: 0,
+        }
+    }
+
+    /// The victim-selection policy's name (e.g. `"clock"`).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Total page slots.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Resident page count.
+    pub fn resident_count(&self) -> u64 {
+        self.resident.len() as u64
+    }
+
+    /// Free page slots.
+    pub fn free_slots(&self) -> u64 {
+        self.capacity - self.resident_count()
+    }
+
+    /// Whether `page` is resident.
+    pub fn is_resident(&self, page: VirtPage) -> bool {
+        self.resident.contains_key(&page)
+    }
+
+    /// Loads `page` into a free slot.
+    ///
+    /// Demand/SIP loads enter the CLOCK queue hot (they are about to be
+    /// accessed); preloads enter cold so mispredictions are evicted first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EpcFullError`] when no slot is free; the caller must evict
+    /// first. (The kernel model keeps free slots available via its
+    /// watermark reclaimer, so this error is exceptional.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already resident — a double load indicates a
+    /// kernel-model bug.
+    pub fn insert(&mut self, page: VirtPage, origin: LoadOrigin) -> Result<(), EpcFullError> {
+        if self.free_slots() == 0 {
+            return Err(EpcFullError {
+                capacity: self.capacity,
+            });
+        }
+        assert!(!self.is_resident(page), "double load of {page}");
+        let hot = !matches!(origin, LoadOrigin::Preload);
+        self.policy.insert(page, hot);
+        self.resident.insert(
+            page,
+            PageMeta {
+                origin,
+                touched: hot,
+            },
+        );
+        if matches!(origin, LoadOrigin::Preload) {
+            self.preloads_completed += 1;
+        }
+        Ok(())
+    }
+
+    /// Records an application access to `page`: sets its CLOCK access bit
+    /// and reports whether this was the first touch of a preloaded page.
+    pub fn touch(&mut self, page: VirtPage) -> TouchOutcome {
+        match self.resident.get_mut(&page) {
+            None => TouchOutcome {
+                resident: false,
+                first_touch_of_preload: false,
+            },
+            Some(meta) => {
+                let first_preload_touch =
+                    matches!(meta.origin, LoadOrigin::Preload) && !meta.touched;
+                if first_preload_touch {
+                    self.preloads_touched += 1;
+                }
+                meta.touched = true;
+                self.policy.touch(page);
+                TouchOutcome {
+                    resident: true,
+                    first_touch_of_preload: first_preload_touch,
+                }
+            }
+        }
+    }
+
+    /// Evicts the policy's victim, returning it, or `None` if the EPC is
+    /// empty.
+    pub fn evict_victim(&mut self) -> Option<Eviction> {
+        let page = self.policy.evict()?;
+        let meta = self
+            .resident
+            .remove(&page)
+            .expect("policy and residency map diverged");
+        let wasted = matches!(meta.origin, LoadOrigin::Preload) && !meta.touched;
+        if wasted {
+            self.preloads_evicted_untouched += 1;
+        }
+        Some(Eviction {
+            page,
+            wasted_preload: wasted,
+        })
+    }
+
+    /// Total preloads that completed (the paper's `PreloadCounter`).
+    pub fn preloads_completed(&self) -> u64 {
+        self.preloads_completed
+    }
+
+    /// Preloaded pages later touched by the application (the paper's
+    /// `AccPreloadCounter`).
+    pub fn preloads_touched(&self) -> u64 {
+        self.preloads_touched
+    }
+
+    /// Preloaded pages evicted without ever being touched — confirmed
+    /// mispredictions.
+    pub fn preloads_evicted_untouched(&self) -> u64 {
+        self.preloads_evicted_untouched
+    }
+
+    /// All resident pages, ascending (the service thread's page-table view).
+    pub fn resident_pages(&self) -> Vec<VirtPage> {
+        let mut pages: Vec<VirtPage> = self.resident.keys().copied().collect();
+        pages.sort_unstable();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    #[test]
+    fn insert_until_full_then_error() {
+        let mut epc = Epc::new(3);
+        for n in 0..3 {
+            epc.insert(p(n), LoadOrigin::Demand).unwrap();
+        }
+        let err = epc.insert(p(99), LoadOrigin::Demand).unwrap_err();
+        assert_eq!(err.capacity, 3);
+        assert_eq!(err.to_string(), "EPC full: all 3 slots resident");
+        assert_eq!(epc.free_slots(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double load")]
+    fn double_insert_panics() {
+        let mut epc = Epc::new(2);
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+    }
+
+    #[test]
+    fn touch_tracks_preload_accuracy_once() {
+        let mut epc = Epc::new(4);
+        epc.insert(p(1), LoadOrigin::Preload).unwrap();
+        assert_eq!(epc.preloads_completed(), 1);
+        assert_eq!(epc.preloads_touched(), 0);
+        let t1 = epc.touch(p(1));
+        assert!(t1.resident);
+        assert!(t1.first_touch_of_preload);
+        let t2 = epc.touch(p(1));
+        assert!(t2.resident);
+        assert!(!t2.first_touch_of_preload);
+        assert_eq!(epc.preloads_touched(), 1);
+    }
+
+    #[test]
+    fn demand_loads_do_not_count_as_preloads() {
+        let mut epc = Epc::new(4);
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Sip).unwrap();
+        epc.touch(p(1));
+        epc.touch(p(2));
+        assert_eq!(epc.preloads_completed(), 0);
+        assert_eq!(epc.preloads_touched(), 0);
+    }
+
+    #[test]
+    fn touch_absent_page_reports_miss() {
+        let mut epc = Epc::new(2);
+        let t = epc.touch(p(5));
+        assert!(!t.resident);
+        assert!(!t.first_touch_of_preload);
+    }
+
+    #[test]
+    fn untouched_preload_eviction_is_wasted() {
+        let mut epc = Epc::new(2);
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Preload).unwrap();
+        // Preload enters cold, demand enters hot: preload evicted first.
+        let ev = epc.evict_victim().unwrap();
+        assert_eq!(ev.page, p(2));
+        assert!(ev.wasted_preload);
+        assert_eq!(epc.preloads_evicted_untouched(), 1);
+    }
+
+    #[test]
+    fn touched_preload_eviction_is_not_wasted() {
+        let mut epc = Epc::new(2);
+        epc.insert(p(2), LoadOrigin::Preload).unwrap();
+        epc.touch(p(2));
+        // Touch sets the access bit; one sweep clears it, then it is evicted.
+        let ev = epc.evict_victim().unwrap();
+        assert_eq!(ev.page, p(2));
+        assert!(!ev.wasted_preload);
+        assert_eq!(epc.preloads_evicted_untouched(), 0);
+    }
+
+    #[test]
+    fn evict_empty_returns_none() {
+        let mut epc = Epc::new(1);
+        assert_eq!(epc.evict_victim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_rejected() {
+        let _ = Epc::new(0);
+    }
+
+    #[test]
+    fn residency_and_counts_stay_consistent_under_churn() {
+        let mut epc = Epc::new(8);
+        for n in 0..8 {
+            epc.insert(p(n), LoadOrigin::Demand).unwrap();
+        }
+        for n in 100..150 {
+            let ev = epc.evict_victim().unwrap();
+            assert!(!epc.is_resident(ev.page));
+            epc.insert(p(n), LoadOrigin::Demand).unwrap();
+            assert_eq!(epc.resident_count(), 8);
+            assert_eq!(epc.resident_pages().len(), 8);
+        }
+    }
+}

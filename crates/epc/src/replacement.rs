@@ -1,0 +1,396 @@
+//! Pluggable victim-selection policies.
+//!
+//! The Intel driver uses a CLOCK scan ([`crate::ClockQueue`]); the ablation
+//! benches compare it against FIFO, strict LRU and random eviction to show
+//! how much of the preloading result depends on the replacement policy.
+
+use std::collections::{HashMap, VecDeque};
+
+use sgx_sim::DetRng;
+
+use crate::VirtPage;
+
+/// A victim-selection policy over the resident set.
+///
+/// Implementations must track exactly the pages inserted and not yet
+/// evicted/removed; `Epc` keeps the authoritative metadata and only asks
+/// the policy *which* page goes next.
+pub trait ReplacementPolicy: std::fmt::Debug {
+    /// Starts tracking a newly loaded page. `hot` is true for demand/SIP
+    /// loads (just accessed) and false for speculative preloads.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on double insertion — that is a caller
+    /// bug.
+    fn insert(&mut self, page: VirtPage, hot: bool);
+
+    /// Records an access to a (tracked) page; untracked pages are ignored.
+    fn touch(&mut self, page: VirtPage);
+
+    /// Selects and removes the victim, or `None` when empty.
+    fn evict(&mut self) -> Option<VirtPage>;
+
+    /// Stops tracking a specific page; returns whether it was tracked.
+    fn remove(&mut self, page: VirtPage) -> bool;
+
+    /// Number of tracked pages.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short, stable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl ReplacementPolicy for crate::ClockQueue {
+    fn insert(&mut self, page: VirtPage, hot: bool) {
+        crate::ClockQueue::insert(self, page, hot);
+    }
+
+    fn touch(&mut self, page: VirtPage) {
+        let _ = crate::ClockQueue::touch(self, page);
+    }
+
+    fn evict(&mut self) -> Option<VirtPage> {
+        crate::ClockQueue::evict(self)
+    }
+
+    fn remove(&mut self, page: VirtPage) -> bool {
+        crate::ClockQueue::remove(self, page)
+    }
+
+    fn len(&self) -> usize {
+        crate::ClockQueue::len(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+/// First-in, first-out eviction: access recency is ignored entirely.
+#[derive(Debug, Clone, Default)]
+pub struct FifoPolicy {
+    queue: VecDeque<VirtPage>,
+    members: HashMap<VirtPage, u64>,
+    epoch: u64,
+}
+
+impl FifoPolicy {
+    /// Creates an empty FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn insert(&mut self, page: VirtPage, _hot: bool) {
+        assert!(
+            !self.members.contains_key(&page),
+            "{page} already tracked by FIFO policy"
+        );
+        self.epoch += 1;
+        self.members.insert(page, self.epoch);
+        self.queue.push_back(page);
+    }
+
+    fn touch(&mut self, _page: VirtPage) {}
+
+    fn evict(&mut self) -> Option<VirtPage> {
+        while let Some(page) = self.queue.pop_front() {
+            if self.members.remove(&page).is_some() {
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, page: VirtPage) -> bool {
+        // Lazy removal: the queue entry is skipped at evict time.
+        self.members.remove(&page).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// Strict least-recently-used eviction.
+#[derive(Debug, Clone, Default)]
+pub struct LruPolicy {
+    stamp: u64,
+    stamps: HashMap<VirtPage, u64>,
+    order: VecDeque<(VirtPage, u64)>,
+}
+
+impl LruPolicy {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, page: VirtPage) {
+        self.stamp += 1;
+        self.stamps.insert(page, self.stamp);
+        self.order.push_back((page, self.stamp));
+        // Bound stale entries from re-touches.
+        if self.order.len() > self.stamps.len() * 4 + 16 {
+            let stamps = &self.stamps;
+            self.order.retain(|(p, s)| stamps.get(p) == Some(s));
+        }
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn insert(&mut self, page: VirtPage, _hot: bool) {
+        assert!(
+            !self.stamps.contains_key(&page),
+            "{page} already tracked by LRU policy"
+        );
+        self.push(page);
+    }
+
+    fn touch(&mut self, page: VirtPage) {
+        if self.stamps.contains_key(&page) {
+            self.push(page);
+        }
+    }
+
+    fn evict(&mut self) -> Option<VirtPage> {
+        while let Some((page, stamp)) = self.order.pop_front() {
+            if self.stamps.get(&page) == Some(&stamp) {
+                self.stamps.remove(&page);
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, page: VirtPage) -> bool {
+        self.stamps.remove(&page).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// Uniform-random eviction, seeded for determinism.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    pages: Vec<VirtPage>,
+    index: HashMap<VirtPage, usize>,
+    rng: DetRng,
+}
+
+impl RandomPolicy {
+    /// Creates an empty random policy with its own seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            rng: DetRng::seed_from(seed),
+        }
+    }
+
+    fn remove_at(&mut self, i: usize) -> VirtPage {
+        let page = self.pages.swap_remove(i);
+        self.index.remove(&page);
+        if let Some(&moved) = self.pages.get(i) {
+            self.index.insert(moved, i);
+        }
+        page
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn insert(&mut self, page: VirtPage, _hot: bool) {
+        assert!(
+            !self.index.contains_key(&page),
+            "{page} already tracked by random policy"
+        );
+        self.index.insert(page, self.pages.len());
+        self.pages.push(page);
+    }
+
+    fn touch(&mut self, _page: VirtPage) {}
+
+    fn evict(&mut self) -> Option<VirtPage> {
+        if self.pages.is_empty() {
+            return None;
+        }
+        let i = self.rng.uniform(self.pages.len() as u64) as usize;
+        Some(self.remove_at(i))
+    }
+
+    fn remove(&mut self, page: VirtPage) -> bool {
+        match self.index.get(&page).copied() {
+            Some(i) => {
+                self.remove_at(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Selector for the policies shipped with the crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// CLOCK second-chance (the SGX driver's scheme; default).
+    Clock,
+    /// FIFO.
+    Fifo,
+    /// Strict LRU.
+    Lru,
+    /// Seeded uniform-random.
+    Random {
+        /// RNG seed for victim draws.
+        seed: u64,
+    },
+}
+
+impl VictimPolicy {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            VictimPolicy::Clock => Box::new(crate::ClockQueue::new()),
+            VictimPolicy::Fifo => Box::new(FifoPolicy::new()),
+            VictimPolicy::Lru => Box::new(LruPolicy::new()),
+            VictimPolicy::Random { seed } => Box::new(RandomPolicy::new(seed)),
+        }
+    }
+
+    /// The policy's report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimPolicy::Clock => "clock",
+            VictimPolicy::Fifo => "fifo",
+            VictimPolicy::Lru => "lru",
+            VictimPolicy::Random { .. } => "random",
+        }
+    }
+}
+
+impl Default for VictimPolicy {
+    fn default() -> Self {
+        VictimPolicy::Clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    fn policies() -> Vec<Box<dyn ReplacementPolicy>> {
+        vec![
+            VictimPolicy::Clock.build(),
+            VictimPolicy::Fifo.build(),
+            VictimPolicy::Lru.build(),
+            VictimPolicy::Random { seed: 7 }.build(),
+        ]
+    }
+
+    #[test]
+    fn all_policies_conserve_pages() {
+        for mut pol in policies() {
+            for n in 0..50 {
+                pol.insert(p(n), n % 3 == 0);
+            }
+            pol.touch(p(10));
+            assert!(pol.remove(p(25)));
+            assert!(!pol.remove(p(25)));
+            let mut out = Vec::new();
+            while let Some(v) = pol.evict() {
+                out.push(v.raw());
+            }
+            out.sort_unstable();
+            let expected: Vec<u64> = (0..50).filter(|&n| n != 25).collect();
+            assert_eq!(out, expected, "policy {}", pol.name());
+            assert!(pol.is_empty());
+            assert_eq!(pol.evict(), None);
+        }
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut f = FifoPolicy::new();
+        for n in 0..4 {
+            f.insert(p(n), true);
+        }
+        f.touch(p(0));
+        f.touch(p(0));
+        assert_eq!(f.evict(), Some(p(0)), "FIFO evicts insertion order");
+    }
+
+    #[test]
+    fn lru_respects_touches() {
+        let mut l = LruPolicy::new();
+        for n in 0..4 {
+            l.insert(p(n), true);
+        }
+        l.touch(p(0));
+        assert_eq!(l.evict(), Some(p(1)));
+        l.touch(p(2));
+        assert_eq!(l.evict(), Some(p(3)));
+        assert_eq!(l.evict(), Some(p(0)));
+        assert_eq!(l.evict(), Some(p(2)));
+    }
+
+    #[test]
+    fn lru_bounds_internal_queue() {
+        let mut l = LruPolicy::new();
+        for n in 0..8 {
+            l.insert(p(n), true);
+        }
+        for _ in 0..10_000 {
+            l.touch(p(3));
+        }
+        assert!(l.order.len() < 8 * 4 + 17, "stale entries unbounded");
+        assert_eq!(l.len(), 8);
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic() {
+        let order = |seed: u64| -> Vec<u64> {
+            let mut r = RandomPolicy::new(seed);
+            for n in 0..20 {
+                r.insert(p(n), false);
+            }
+            std::iter::from_fn(|| r.evict().map(|v| v.raw())).collect()
+        };
+        assert_eq!(order(1), order(1));
+        assert_ne!(order(1), order(2));
+    }
+
+    #[test]
+    fn selector_names() {
+        assert_eq!(VictimPolicy::Clock.name(), "clock");
+        assert_eq!(VictimPolicy::Random { seed: 1 }.name(), "random");
+        assert_eq!(VictimPolicy::default(), VictimPolicy::Clock);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the EPC model against naive reference models.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use sgx_epc::{Epc, LoadOrigin, PresenceBitmap, VictimPolicy, VirtPage};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Touch(u64),
+    Evict,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..256).prop_map(Op::Insert),
+        (0u64..256).prop_map(Op::Touch),
+        Just(Op::Evict),
+    ]
+}
+
+proptest! {
+    /// The EPC's residency bookkeeping matches a plain set under random
+    /// insert/touch/evict interleavings, for every replacement policy.
+    #[test]
+    fn epc_matches_reference_set(
+        capacity in 1u64..64,
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        policy_pick in 0usize..4,
+    ) {
+        let policy = [
+            VictimPolicy::Clock,
+            VictimPolicy::Fifo,
+            VictimPolicy::Lru,
+            VictimPolicy::Random { seed: 5 },
+        ][policy_pick];
+        let mut epc = Epc::with_policy(capacity, policy);
+        let mut model: HashSet<u64> = HashSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(p) => {
+                    let page = VirtPage::new(p);
+                    if model.contains(&p) || model.len() as u64 == capacity {
+                        // Skip: double insert panics by contract; full EPC
+                        // errors.
+                        if model.len() as u64 == capacity && !model.contains(&p) {
+                            prop_assert!(epc.insert(page, LoadOrigin::Demand).is_err());
+                        }
+                    } else {
+                        epc.insert(page, LoadOrigin::Demand).unwrap();
+                        model.insert(p);
+                    }
+                }
+                Op::Touch(p) => {
+                    let out = epc.touch(VirtPage::new(p));
+                    prop_assert_eq!(out.resident, model.contains(&p));
+                }
+                Op::Evict => {
+                    match epc.evict_victim() {
+                        None => prop_assert!(model.is_empty()),
+                        Some(ev) => {
+                            prop_assert!(model.remove(&ev.page.raw()), "evicted non-resident page");
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(epc.resident_count(), model.len() as u64);
+            prop_assert_eq!(epc.free_slots(), capacity - model.len() as u64);
+            for &p in &model {
+                prop_assert!(epc.is_resident(VirtPage::new(p)));
+            }
+        }
+        let listed: HashSet<u64> = epc.resident_pages().iter().map(|p| p.raw()).collect();
+        prop_assert_eq!(listed, model);
+    }
+
+    /// Preload accounting: touched ≤ completed, and
+    /// touched + evicted_untouched ≤ completed at all times.
+    #[test]
+    fn preload_counters_are_consistent(
+        pages in proptest::collection::vec(0u64..64, 1..100),
+        touches in proptest::collection::vec(0u64..64, 0..100),
+    ) {
+        let mut epc = Epc::new(128);
+        for &p in &pages {
+            if !epc.is_resident(VirtPage::new(p)) {
+                epc.insert(VirtPage::new(p), LoadOrigin::Preload).unwrap();
+            }
+        }
+        for &t in &touches {
+            epc.touch(VirtPage::new(t));
+        }
+        while epc.evict_victim().is_some() {}
+        prop_assert!(epc.preloads_touched() <= epc.preloads_completed());
+        prop_assert_eq!(
+            epc.preloads_touched() + epc.preloads_evicted_untouched(),
+            epc.preloads_completed(),
+            "after a full drain, every preload was either touched or wasted"
+        );
+    }
+
+    /// The presence bitmap agrees with a reference set and its popcount.
+    #[test]
+    fn bitmap_matches_reference(
+        size in 1u64..2_000,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..2_000), 0..300),
+    ) {
+        let mut bm = PresenceBitmap::new(size);
+        let mut model: HashSet<u64> = HashSet::new();
+        for &(set, p) in &ops {
+            let p = p % size;
+            if set {
+                bm.set_present(VirtPage::new(p));
+                model.insert(p);
+            } else {
+                bm.clear_present(VirtPage::new(p));
+                model.remove(&p);
+            }
+        }
+        prop_assert_eq!(bm.present_count(), model.len() as u64);
+        for p in 0..size {
+            prop_assert_eq!(bm.is_present(VirtPage::new(p)), model.contains(&p));
+        }
+        let iterated: Vec<u64> = bm.iter_present().map(|p| p.raw()).collect();
+        let mut sorted: Vec<u64> = model.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(iterated, sorted);
+    }
+}

@@ -1,0 +1,1348 @@
+//! The untrusted-OS paging model.
+//!
+//! One [`Kernel`] owns everything the paper's modified SGX driver owns:
+//! the EPC residency state, the exclusive non-preemptible load channel,
+//! the background watermark reclaimer (the driver's `ksgxswapd`), the DFP
+//! predictor hook and preload worker with its abort path, the DFP-stop
+//! safety valve, and the SIP shared presence bitmaps.
+//!
+//! ## Timing model
+//!
+//! The application thread drives simulated time: it calls in with the
+//! current instant `now`, and the kernel *lazily advances* the load channel
+//! to `now`, starting/completing any background work (evictions, preloads)
+//! that would have run while the application was computing. All channel
+//! jobs are serial and non-preemptible (paper §3.1/§5.6); a demand fault
+//! that arrives mid-preload must wait for the in-flight page.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use sgx_dfp::{AbortPolicy, AbortValve, Prediction, Predictor, ProcessId};
+use sgx_epc::{CostModel, Epc, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage};
+use sgx_sim::{Cycles, Histogram};
+
+use crate::{PreloadQueue, Watermarks};
+
+/// Virtual-page gap between consecutive enclaves' ELRANGEs, so that no
+/// stream prediction can run off the end of one enclave into the next.
+const ENCLAVE_GUARD_PAGES: u64 = 1 << 24;
+
+/// Static configuration of the kernel model.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelConfig {
+    /// EPC capacity in pages (the paper's usable EPC is 24,576 pages).
+    pub epc_pages: u64,
+    /// Cycle costs of every paging event.
+    pub costs: CostModel,
+    /// Reclaimer watermarks; `None` selects driver defaults for the EPC
+    /// size.
+    pub watermarks: Option<Watermarks>,
+    /// DFP-stop safety valve; `None` runs plain DFP (no valve).
+    pub abort_policy: Option<AbortPolicy>,
+    /// EPC victim-selection policy (driver default: CLOCK).
+    pub victim_policy: VictimPolicy,
+}
+
+impl KernelConfig {
+    /// A configuration with the given EPC size and paper-default costs,
+    /// driver-default watermarks, and no safety valve.
+    pub fn new(epc_pages: u64) -> Self {
+        KernelConfig {
+            epc_pages,
+            costs: CostModel::paper_defaults(),
+            watermarks: None,
+            abort_policy: None,
+            victim_policy: VictimPolicy::Clock,
+        }
+    }
+
+    /// Overrides the EPC victim-selection policy.
+    pub fn with_victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Overrides the reclaimer watermarks.
+    pub fn with_watermarks(mut self, wm: Watermarks) -> Self {
+        self.watermarks = Some(wm);
+        self
+    }
+
+    /// Enables the DFP-stop safety valve.
+    pub fn with_abort_policy(mut self, policy: AbortPolicy) -> Self {
+        self.abort_policy = Some(policy);
+        self
+    }
+}
+
+/// Errors registering an enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The process already has an enclave.
+    DuplicateProcess(ProcessId),
+    /// The requested ELRANGE is empty.
+    EmptyRange,
+    /// The requested ELRANGE exceeds the per-enclave guard spacing.
+    RangeTooLarge {
+        /// Pages requested.
+        requested: u64,
+        /// Maximum supported pages per enclave.
+        max: u64,
+    },
+    /// `register_thread` named an owner with no registered enclave.
+    UnknownOwner(ProcessId),
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::DuplicateProcess(pid) => {
+                write!(f, "{pid} already has a registered enclave")
+            }
+            RegisterError::EmptyRange => f.write_str("enclave ELRANGE must be non-empty"),
+            RegisterError::RangeTooLarge { requested, max } => {
+                write!(f, "ELRANGE of {requested} pages exceeds maximum {max}")
+            }
+            RegisterError::UnknownOwner(pid) => {
+                write!(f, "{pid} has no enclave to attach a thread to")
+            }
+        }
+    }
+}
+
+impl Error for RegisterError {}
+
+/// One entry of the optional kernel event log (see
+/// [`Kernel::enable_event_log`]): a timestamped paging event, the raw
+/// material of the paper's Fig. 2 / Fig. 4 time sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoggedEvent {
+    /// When the event happened (job completions log their finish time).
+    pub at: Cycles,
+    /// What happened.
+    pub what: EventKind,
+    /// The page involved, if any.
+    pub page: Option<VirtPage>,
+}
+
+/// Event kinds recorded by the kernel event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A page fault arrived (AEX begins).
+    Fault,
+    /// A demand load completed on the channel.
+    DemandLoaded,
+    /// A background preload started on the channel.
+    PreloadStart,
+    /// A background preload completed (page resident).
+    PreloadDone,
+    /// A page was evicted (EWB) in the background.
+    EvictBackground,
+    /// A page was evicted (EWB) inside a blocking load.
+    EvictForeground,
+    /// Queued preloads were aborted by the fault handler.
+    PreloadAbort,
+    /// A SIP blocking load completed (no world switch).
+    SipLoaded,
+    /// The DFP-stop valve fired.
+    ValveStopped,
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EventKind::Fault => "fault",
+            EventKind::DemandLoaded => "demand-loaded",
+            EventKind::PreloadStart => "preload-start",
+            EventKind::PreloadDone => "preload-done",
+            EventKind::EvictBackground => "evict-bg",
+            EventKind::EvictForeground => "evict-fg",
+            EventKind::PreloadAbort => "preload-abort",
+            EventKind::SipLoaded => "sip-loaded",
+            EventKind::ValveStopped => "valve-stopped",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a page fault was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultServicing {
+    /// The page turned out to be resident by the time the handler ran (a
+    /// preload completed during the AEX).
+    FoundResident,
+    /// The faulted page was the in-flight preload; the handler waited for
+    /// it instead of issuing a new load.
+    WaitedForInflight,
+    /// A demand load was issued (queued preloads were aborted).
+    DemandLoaded,
+}
+
+/// Result of servicing a page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultResolution {
+    /// The instant the application resumes inside the enclave (after
+    /// ERESUME).
+    pub resume_at: Cycles,
+    /// Which path the handler took.
+    pub kind: FaultServicing,
+}
+
+/// Aggregate kernel statistics, exposed to reports.
+#[derive(Debug, Clone)]
+pub struct KernelStats {
+    /// Enclave page faults observed.
+    pub faults: u64,
+    /// Faults that found the page already resident (preload race win).
+    pub faults_found_resident: u64,
+    /// Faults that waited for the in-flight preload of the same page.
+    pub faults_waited_inflight: u64,
+    /// Demand loads issued by the fault handler.
+    pub demand_loads: u64,
+    /// SIP preload requests received (absent-page notifications).
+    pub sip_loads: u64,
+    /// Asynchronous SIP prefetches accepted (early-notify placement).
+    pub sip_prefetches: u64,
+    /// Asynchronous SIP prefetch loads started on the channel.
+    pub sip_prefetches_started: u64,
+    /// SIP requests that found the page already resident/in-flight.
+    pub sip_raced: u64,
+    /// Pages accepted onto the preload queue.
+    pub preloads_enqueued: u64,
+    /// Preload loads actually started on the channel.
+    pub preloads_started: u64,
+    /// Queued pages dropped because they were already resident at pop time.
+    pub preloads_skipped_resident: u64,
+    /// Queued pages dropped by the abort path (demand-fault cancellations
+    /// and the safety valve).
+    pub preloads_aborted: u64,
+    /// Predicted pages rejected for lying outside the enclave's ELRANGE.
+    pub preloads_rejected_range: u64,
+    /// EWB jobs run by the background reclaimer.
+    pub background_evictions: u64,
+    /// EWB jobs paid for inside a demand/SIP load (free pool exhausted).
+    pub foreground_evictions: u64,
+    /// End-to-end fault service times (access to post-ERESUME).
+    pub fault_service: Histogram,
+    /// When the DFP-stop valve fired, if it did.
+    pub dfp_stopped_at: Option<Cycles>,
+}
+
+impl KernelStats {
+    fn new() -> Self {
+        KernelStats {
+            faults: 0,
+            faults_found_resident: 0,
+            faults_waited_inflight: 0,
+            demand_loads: 0,
+            sip_loads: 0,
+            sip_prefetches: 0,
+            sip_prefetches_started: 0,
+            sip_raced: 0,
+            preloads_enqueued: 0,
+            preloads_started: 0,
+            preloads_skipped_resident: 0,
+            preloads_aborted: 0,
+            preloads_rejected_range: 0,
+            background_evictions: 0,
+            foreground_evictions: 0,
+            fault_service: Histogram::new("fault_service"),
+            dfp_stopped_at: None,
+        }
+    }
+}
+
+impl Default for KernelStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Job {
+    /// A background ELDU; the page becomes resident at completion.
+    Load { page: VirtPage, origin: LoadOrigin },
+    /// A background EWB; state already changed at start, this only holds
+    /// the channel.
+    Evict,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    job: Job,
+    done_at: Cycles,
+}
+
+impl InFlight {
+    fn is_load_of(&self, page: VirtPage) -> bool {
+        matches!(self.job, Job::Load { page: p, .. } if p == page)
+    }
+}
+
+#[derive(Debug)]
+struct EnclaveSlot {
+    base: u64,
+    pages: u64,
+    bitmap: PresenceBitmap,
+}
+
+/// The untrusted operating system: SGX driver, reclaimer, preload worker.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_dfp::{MultiStreamPredictor, ProcessId, StreamConfig};
+/// use sgx_epc::VirtPage;
+/// use sgx_kernel::{Kernel, KernelConfig};
+/// use sgx_sim::Cycles;
+///
+/// let mut k = Kernel::new(
+///     KernelConfig::new(1024),
+///     Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+/// );
+/// let pid = ProcessId(0);
+/// k.register_enclave(pid, 1 << 20)?;
+/// let r = k.page_fault(Cycles::ZERO, pid, VirtPage::new(0));
+/// // AEX + handler + ELDU + ERESUME with paper costs.
+/// assert_eq!(r.resume_at, Cycles::new(65_000));
+/// # Ok::<(), sgx_kernel::RegisterError>(())
+/// ```
+pub struct Kernel {
+    costs: CostModel,
+    wm: Watermarks,
+    epc: Epc,
+    enclaves: BTreeMap<ProcessId, EnclaveSlot>,
+    /// Threads aliasing another process's enclave (paper §3.1: fault
+    /// history is collected *per thread*, so each thread gets its own
+    /// ProcessId-keyed stream list while sharing the owner's ELRANGE).
+    thread_owner: BTreeMap<ProcessId, ProcessId>,
+    next_base: u64,
+    predictor: Box<dyn Predictor>,
+    valve: Option<AbortValve>,
+    preload_q: PreloadQueue,
+    /// Early-notify SIP prefetches: explicit application requests, so they
+    /// are *not* cancelled by the fault handler's abort path.
+    sip_q: PreloadQueue,
+    in_flight: Option<InFlight>,
+    channel_free_at: Cycles,
+    channel_busy: Cycles,
+    reclaiming: bool,
+    bg_evicted_last: bool,
+    preload_stopped: bool,
+    event_log: Option<Vec<LoggedEvent>>,
+    stats: KernelStats,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("epc_resident", &self.epc.resident_count())
+            .field("epc_capacity", &self.epc.capacity())
+            .field("predictor", &self.predictor.name())
+            .field("preload_q", &self.preload_q.len())
+            .field("channel_free_at", &self.channel_free_at)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with the given configuration and DFP predictor.
+    ///
+    /// Use [`sgx_dfp::NoPredictor`] for the no-preloading baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.epc_pages == 0`.
+    pub fn new(cfg: KernelConfig, predictor: Box<dyn Predictor>) -> Self {
+        let wm = cfg
+            .watermarks
+            .unwrap_or_else(|| Watermarks::driver_defaults(cfg.epc_pages));
+        Kernel {
+            costs: cfg.costs,
+            wm,
+            epc: Epc::with_policy(cfg.epc_pages, cfg.victim_policy),
+            enclaves: BTreeMap::new(),
+            thread_owner: BTreeMap::new(),
+            next_base: 0,
+            predictor,
+            valve: cfg.abort_policy.map(AbortValve::new),
+            preload_q: PreloadQueue::new(),
+            sip_q: PreloadQueue::new(),
+            in_flight: None,
+            channel_free_at: Cycles::ZERO,
+            channel_busy: Cycles::ZERO,
+            reclaiming: false,
+            bg_evicted_last: false,
+            preload_stopped: false,
+            event_log: None,
+            stats: KernelStats::new(),
+        }
+    }
+
+    /// Registers `thread` as an additional thread of `owner`'s enclave:
+    /// it shares the owner's ELRANGE and presence bitmap, but its page
+    /// faults feed a *separate* per-thread stream list, as the paper's
+    /// DFP does ("we collect the history of faulted pages in each
+    /// thread", §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `thread` is already registered (as enclave or thread) or
+    /// `owner` has no enclave.
+    pub fn register_thread(
+        &mut self,
+        owner: ProcessId,
+        thread: ProcessId,
+    ) -> Result<(), RegisterError> {
+        if self.enclaves.contains_key(&thread) || self.thread_owner.contains_key(&thread) {
+            return Err(RegisterError::DuplicateProcess(thread));
+        }
+        let owner = self.owner_pid(owner);
+        if !self.enclaves.contains_key(&owner) {
+            return Err(RegisterError::UnknownOwner(owner));
+        }
+        self.thread_owner.insert(thread, owner);
+        Ok(())
+    }
+
+    /// Registers an enclave of `pages` virtual pages for `pid` and creates
+    /// its shared presence bitmap.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate registration, an empty range, or a range larger
+    /// than the guard spacing between enclaves.
+    pub fn register_enclave(&mut self, pid: ProcessId, pages: u64) -> Result<(), RegisterError> {
+        if self.enclaves.contains_key(&pid) {
+            return Err(RegisterError::DuplicateProcess(pid));
+        }
+        if pages == 0 {
+            return Err(RegisterError::EmptyRange);
+        }
+        if pages > ENCLAVE_GUARD_PAGES {
+            return Err(RegisterError::RangeTooLarge {
+                requested: pages,
+                max: ENCLAVE_GUARD_PAGES,
+            });
+        }
+        if self.thread_owner.contains_key(&pid) {
+            return Err(RegisterError::DuplicateProcess(pid));
+        }
+        let base = self.next_base;
+        self.next_base += ENCLAVE_GUARD_PAGES;
+        self.enclaves.insert(
+            pid,
+            EnclaveSlot {
+                base,
+                pages,
+                bitmap: PresenceBitmap::new(pages),
+            },
+        );
+        Ok(())
+    }
+
+    /// Resolves a thread alias to the enclave-owning process.
+    fn owner_pid(&self, pid: ProcessId) -> ProcessId {
+        self.thread_owner.get(&pid).copied().unwrap_or(pid)
+    }
+
+    fn slot(&self, pid: ProcessId) -> &EnclaveSlot {
+        let owner = self.owner_pid(pid);
+        self.enclaves
+            .get(&owner)
+            .unwrap_or_else(|| panic!("{pid} has no registered enclave"))
+    }
+
+    fn global(&self, pid: ProcessId, local: VirtPage) -> VirtPage {
+        let slot = self.slot(pid);
+        assert!(
+            local.raw() < slot.pages,
+            "{pid} accessed {local} outside its {}-page ELRANGE",
+            slot.pages
+        );
+        VirtPage::new(slot.base + local.raw())
+    }
+
+    fn owner_of(&self, page: VirtPage) -> Option<(ProcessId, u64)> {
+        let g = page.raw();
+        self.enclaves
+            .iter()
+            .find(|(_, s)| g >= s.base && g < s.base + s.pages)
+            .map(|(&pid, s)| (pid, g - s.base))
+    }
+
+    fn set_bitmap(&mut self, page: VirtPage, present: bool) {
+        if let Some((pid, local)) = self.owner_of(page) {
+            let slot = self.enclaves.get_mut(&pid).expect("owner exists");
+            if present {
+                slot.bitmap.set_present(VirtPage::new(local));
+            } else {
+                slot.bitmap.clear_present(VirtPage::new(local));
+            }
+        }
+    }
+
+    /// Applies the state change of a completed channel job and frees the
+    /// channel at its completion time.
+    fn apply_completion(&mut self, f: InFlight) {
+        self.channel_free_at = f.done_at;
+        if let Job::Load { page, origin } = f.job {
+            self.epc
+                .insert(page, origin)
+                .expect("background load started with a free slot reserved");
+            self.set_bitmap(page, true);
+            self.log(f.done_at, EventKind::PreloadDone, Some(page));
+        }
+    }
+
+    /// Evicts one CLOCK victim *now* (state change at job start).
+    fn evict_one_now(&mut self) {
+        let ev = self
+            .epc
+            .evict_victim()
+            .expect("eviction requested on empty EPC");
+        self.set_bitmap(ev.page, false);
+    }
+
+    /// Lazily runs background channel work (reclaim, preloads) up to `now`.
+    fn advance(&mut self, now: Cycles) {
+        loop {
+            if let Some(f) = self.in_flight {
+                if f.done_at <= now {
+                    self.in_flight = None;
+                    self.apply_completion(f);
+                    continue;
+                }
+                break;
+            }
+            if self.channel_free_at > now {
+                break;
+            }
+            let t = self.channel_free_at;
+            let free = self.epc.free_slots();
+            if self.wm.start_reclaim(free) {
+                self.reclaiming = true;
+            }
+            if !self.wm.keep_reclaiming(free) {
+                self.reclaiming = false;
+            }
+            let want_sip = !self.sip_q.is_empty();
+            let want_preload = want_sip || (!self.preload_stopped && !self.preload_q.is_empty());
+            // The reclaimer (ksgxswapd) and the preload worker are separate
+            // kernel threads contending for the channel; when both have
+            // work they alternate, except that a full EPC forces an evict
+            // (a preload cannot insert without a free slot).
+            let must_evict = want_preload && free == 0;
+            let fair_evict = self.reclaiming && !(want_preload && free > 0 && !self.bg_evicted_last);
+            if (must_evict || fair_evict) && self.epc.resident_count() > 0 {
+                self.evict_one_now();
+                self.log(t, EventKind::EvictBackground, None);
+                self.stats.background_evictions += 1;
+                self.channel_busy += self.costs.ewb;
+                self.bg_evicted_last = true;
+                self.in_flight = Some(InFlight {
+                    job: Job::Evict,
+                    done_at: t + self.costs.ewb,
+                });
+                continue;
+            }
+            if want_preload {
+                // Explicit application prefetches outrank speculation.
+                let (page, origin) = if let Some(page) = self.sip_q.pop() {
+                    (page, LoadOrigin::Sip)
+                } else if let Some(page) = self.preload_q.pop() {
+                    (page, LoadOrigin::Preload)
+                } else {
+                    break;
+                };
+                if self.epc.is_resident(page) {
+                    match origin {
+                        LoadOrigin::Sip => self.stats.sip_raced += 1,
+                        _ => self.stats.preloads_skipped_resident += 1,
+                    }
+                    continue;
+                }
+                match origin {
+                    LoadOrigin::Sip => self.stats.sip_prefetches_started += 1,
+                    _ => self.stats.preloads_started += 1,
+                }
+                self.log(t, EventKind::PreloadStart, Some(page));
+                self.bg_evicted_last = false;
+                self.channel_busy += self.costs.eldu;
+                self.in_flight = Some(InFlight {
+                    job: Job::Load { page, origin },
+                    done_at: t + self.costs.eldu,
+                });
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Waits for the in-flight job (non-preemptible) and returns the
+    /// earliest instant ≥ `from` at which the channel is ours.
+    fn channel_acquire(&mut self, from: Cycles) -> Cycles {
+        if let Some(f) = self.in_flight.take() {
+            self.apply_completion(f);
+        }
+        from.max(self.channel_free_at)
+    }
+
+    /// Synchronously loads `page` through the channel for a blocked
+    /// requester; returns the completion instant.
+    fn blocking_load(&mut self, from: Cycles, page: VirtPage, origin: LoadOrigin) -> Cycles {
+        let mut t = self.channel_acquire(from);
+        if self.epc.free_slots() == 0 {
+            self.evict_one_now();
+            self.log(t, EventKind::EvictForeground, None);
+            self.stats.foreground_evictions += 1;
+            self.channel_busy += self.costs.ewb;
+            t += self.costs.ewb;
+        }
+        let done = t + self.costs.eldu;
+        self.channel_free_at = done;
+        self.channel_busy += self.costs.eldu;
+        self.epc.insert(page, origin).expect("slot freed above");
+        self.set_bitmap(page, true);
+        done
+    }
+
+    /// The safety valve's counters are kernel-global (as in the driver,
+    /// where the service thread owns them): in a multi-enclave run, one
+    /// enclave's sustained mispredictions stop preloading for all.
+    fn valve_check(&mut self, now: Cycles) {
+        if self.preload_stopped {
+            return;
+        }
+        if let Some(v) = &mut self.valve {
+            if v.observe(
+                now,
+                self.epc.preloads_completed(),
+                self.epc.preloads_touched(),
+            ) {
+                self.preload_stopped = true;
+                self.stats.preloads_aborted += self.preload_q.abort();
+                self.stats.dfp_stopped_at = Some(now);
+                self.log(now, EventKind::ValveStopped, None);
+            }
+        }
+    }
+
+    fn enqueue_predictions(&mut self, pid: ProcessId, pred: Prediction) {
+        let (base, pages) = {
+            let s = self.slot(pid);
+            (s.base, s.pages)
+        };
+        for page in pred.pages {
+            let g = page.raw();
+            if g < base || g >= base + pages {
+                self.stats.preloads_rejected_range += 1;
+                continue;
+            }
+            if self.epc.is_resident(page)
+                || self.preload_q.contains(page)
+                || matches!(self.in_flight, Some(f) if f.is_load_of(page))
+            {
+                continue;
+            }
+            if self.preload_q.enqueue(page) {
+                self.stats.preloads_enqueued += 1;
+            }
+        }
+    }
+
+    /// An application access at instant `now`. Returns the touch outcome on
+    /// an EPC hit, `None` on a miss (the caller must then raise
+    /// [`Kernel::page_fault`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
+    pub fn app_access(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> Option<TouchOutcome> {
+        let g = self.global(pid, local);
+        self.advance(now);
+        let t = self.epc.touch(g);
+        t.resident.then_some(t)
+    }
+
+    /// Services an enclave page fault raised at instant `now` (the AEX
+    /// begins at `now`). Returns when the application resumes.
+    ///
+    /// This is the paper's full DFP pipeline: fault history → Algorithm 1
+    /// prediction → asynchronous preloading, with queued-preload abort on a
+    /// miss and the DFP-stop valve consulted on every fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
+    pub fn page_fault(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> FaultResolution {
+        let g = self.global(pid, local);
+        let t = now + self.costs.aex;
+        self.advance(t);
+        self.stats.faults += 1;
+        self.log(now, EventKind::Fault, Some(g));
+        self.valve_check(t);
+
+        let (kind, handler_done) = if self.epc.is_resident(g) {
+            self.stats.faults_found_resident += 1;
+            self.epc.touch(g);
+            (FaultServicing::FoundResident, t + self.costs.os_fault_path)
+        } else if matches!(self.in_flight, Some(f) if f.is_load_of(g)) {
+            self.stats.faults_waited_inflight += 1;
+            let f = self.in_flight.take().expect("matched above");
+            let done = f.done_at;
+            self.apply_completion(f);
+            self.epc.touch(g);
+            (
+                FaultServicing::WaitedForInflight,
+                done.max(t) + self.costs.os_fault_path,
+            )
+        } else {
+            let dropped = self.preload_q.abort();
+            if dropped > 0 {
+                self.log(t, EventKind::PreloadAbort, Some(g));
+            }
+            self.stats.preloads_aborted += dropped;
+            let done = self.blocking_load(t + self.costs.os_fault_path, g, LoadOrigin::Demand);
+            self.stats.demand_loads += 1;
+            self.log(done, EventKind::DemandLoaded, Some(g));
+            self.epc.touch(g);
+            (FaultServicing::DemandLoaded, done)
+        };
+
+        if !self.preload_stopped {
+            let pred = self.predictor.on_fault(t, pid, g);
+            self.enqueue_predictions(pid, pred);
+        }
+
+        let resume_at = handler_done + self.costs.eresume;
+        self.stats.fault_service.record(resume_at - now);
+        FaultResolution { resume_at, kind }
+    }
+
+    /// SIP: reads the shared presence bitmap for `local` (the
+    /// `BIT_MAP_CHECK` of paper Fig. 5). The caller charges
+    /// [`CostModel::bitmap_check`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
+    pub fn sip_present(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> bool {
+        let _ = self.global(pid, local); // range validation
+        self.advance(now);
+        self.slot(pid).bitmap.is_present(local)
+    }
+
+    /// SIP: a blocking preload request from instrumented enclave code
+    /// (`page_loadin_function` of paper Fig. 5). No AEX/ERESUME is paid;
+    /// the caller charges [`CostModel::notify`]. Returns the completion
+    /// instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
+    pub fn sip_load(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> Cycles {
+        let g = self.global(pid, local);
+        self.advance(now);
+        if self.epc.is_resident(g) {
+            self.stats.sip_raced += 1;
+            return now;
+        }
+        if matches!(self.in_flight, Some(f) if f.is_load_of(g)) {
+            self.stats.sip_raced += 1;
+            let f = self.in_flight.take().expect("matched above");
+            let done = f.done_at;
+            self.apply_completion(f);
+            return done.max(now);
+        }
+        let done = self.blocking_load(now, g, LoadOrigin::Sip);
+        self.stats.sip_loads += 1;
+        self.log(done, EventKind::SipLoaded, Some(g));
+        done
+    }
+
+    /// SIP early-notify placement: an *asynchronous* preload request issued
+    /// ahead of the access (the hoisted variant of paper Fig. 4, which the
+    /// paper deems hard because 44k cycles are difficult to hide). The
+    /// application does not block; the kernel loads the page in background
+    /// with priority over DFP speculation, and the request survives fault
+    /// aborts (it is an explicit application demand, not a prediction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
+    pub fn sip_prefetch(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) {
+        let g = self.global(pid, local);
+        self.advance(now);
+        if self.epc.is_resident(g)
+            || self.sip_q.contains(g)
+            || matches!(self.in_flight, Some(f) if f.is_load_of(g))
+        {
+            return;
+        }
+        if self.sip_q.enqueue(g) {
+            self.stats.sip_prefetches += 1;
+        }
+        // The request may start immediately if the channel is idle.
+        self.advance(now);
+    }
+
+    #[inline]
+    fn log(&mut self, at: Cycles, what: EventKind, page: Option<VirtPage>) {
+        if let Some(log) = &mut self.event_log {
+            log.push(LoggedEvent { at, what, page });
+        }
+    }
+
+    /// Starts recording a timestamped event log (off by default; costs an
+    /// allocation per event while enabled). Use [`Kernel::take_event_log`]
+    /// to drain it.
+    pub fn enable_event_log(&mut self) {
+        if self.event_log.is_none() {
+            self.event_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the recorded events (empty if logging was never enabled).
+    pub fn take_event_log(&mut self) -> Vec<LoggedEvent> {
+        self.event_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Kernel statistics so far.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The EPC state (read-only).
+    pub fn epc(&self) -> &Epc {
+        &self.epc
+    }
+
+    /// The cost model in effect.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Pages currently waiting on the preload queue.
+    pub fn preload_queue_len(&self) -> usize {
+        self.preload_q.len()
+    }
+
+    /// Whether the DFP-stop valve has fired.
+    pub fn is_preload_stopped(&self) -> bool {
+        self.preload_stopped
+    }
+
+    /// Load-channel utilization over `[0, now]`.
+    pub fn channel_utilization(&self, now: Cycles) -> f64 {
+        if now == Cycles::ZERO {
+            0.0
+        } else {
+            self.channel_busy.raw() as f64 / now.raw() as f64
+        }
+    }
+
+    /// Checks the internal invariant that every enclave's shared bitmap
+    /// agrees with EPC residency. Used by tests and debug assertions.
+    pub fn bitmap_consistent(&self) -> bool {
+        for (pid, slot) in &self.enclaves {
+            for local in slot.bitmap.iter_present() {
+                if !self.epc.is_resident(VirtPage::new(slot.base + local.raw())) {
+                    let _ = pid;
+                    return false;
+                }
+            }
+        }
+        // And the reverse: every resident page owned by an enclave is set.
+        for page in self.epc.resident_pages() {
+            if let Some((pid, local)) = self.owner_of(page) {
+                if !self.slot(pid).bitmap.is_present(VirtPage::new(local)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_dfp::{MultiStreamPredictor, NextLinePredictor, NoPredictor, StreamConfig};
+
+    fn tiny_costs() -> CostModel {
+        CostModel::paper_defaults()
+            .with_aex(Cycles::new(10))
+            .with_eldu(Cycles::new(100))
+            .with_eresume(Cycles::new(10))
+            .with_ewb(Cycles::new(20))
+            .with_os_fault_path(Cycles::new(5))
+            .with_bitmap_check(Cycles::new(1))
+            .with_notify(Cycles::new(2))
+    }
+
+    fn p(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    const PID: ProcessId = ProcessId(1);
+
+    fn kernel_with(epc: u64, predictor: Box<dyn Predictor>) -> Kernel {
+        let mut k = Kernel::new(
+            KernelConfig::new(epc).with_costs(tiny_costs()),
+            predictor,
+        );
+        k.register_enclave(PID, 1 << 20).unwrap();
+        k
+    }
+
+    #[test]
+    fn cold_fault_pays_full_demand_path() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        let r = k.page_fault(Cycles::new(1_000), PID, p(0));
+        // aex 10 + os 5 + eldu 100 + eresume 10 = 125.
+        assert_eq!(r.resume_at, Cycles::new(1_125));
+        assert_eq!(r.kind, FaultServicing::DemandLoaded);
+        assert_eq!(k.stats().faults, 1);
+        assert_eq!(k.stats().demand_loads, 1);
+        assert!(k.app_access(r.resume_at, PID, p(0)).is_some());
+    }
+
+    #[test]
+    fn hit_after_load_is_free() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        let r = k.page_fault(Cycles::ZERO, PID, p(7));
+        let touch = k.app_access(r.resume_at, PID, p(7)).unwrap();
+        assert!(touch.resident);
+        assert!(!touch.first_touch_of_preload);
+    }
+
+    #[test]
+    fn preload_runs_in_background_and_fault_waits_for_inflight() {
+        // Next-line degree 1: the fault on page 0 queues page 1.
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(1)));
+        let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
+        assert_eq!(r0.resume_at, Cycles::new(125));
+        // The preload of page 1 starts when the channel frees (t=115) and
+        // completes at 215. Faulting on page 1 right after resume waits.
+        let r1 = k.page_fault(r0.resume_at, PID, p(1));
+        assert_eq!(r1.kind, FaultServicing::WaitedForInflight);
+        // done 215 + os 5 + eresume 10 = 230.
+        assert_eq!(r1.resume_at, Cycles::new(230));
+        assert_eq!(k.stats().preloads_started, 1);
+        assert_eq!(k.stats().faults_waited_inflight, 1);
+    }
+
+    #[test]
+    fn fault_after_preload_completion_finds_page_resident() {
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(1)));
+        let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
+        // Preload of page 1 completes at 215; access it much later.
+        let touch = k.app_access(Cycles::new(500), PID, p(1)).unwrap();
+        assert!(touch.resident);
+        assert!(touch.first_touch_of_preload, "preload accuracy counted");
+        assert_eq!(k.epc().preloads_touched(), 1);
+        let _ = r0;
+    }
+
+    #[test]
+    fn racing_fault_during_aex_finds_resident() {
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(1)));
+        let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
+        let _ = r0;
+        // Preload of page 1 completes at 215. Fault raised at 210: by the
+        // time the AEX finishes (220) the page is resident.
+        let r1 = k.page_fault(Cycles::new(210), PID, p(1));
+        assert_eq!(r1.kind, FaultServicing::FoundResident);
+        // 210 + aex 10 + os 5 + eresume 10.
+        assert_eq!(r1.resume_at, Cycles::new(235));
+    }
+
+    #[test]
+    fn mispredicting_fault_aborts_queued_preloads() {
+        // Degree 3: fault on 0 queues 1, 2, 3.
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(3)));
+        let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
+        assert_eq!(k.preload_queue_len(), 3);
+        // Fault on unrelated page 1000 while page 1 is mid-flight: pages 2
+        // and 3 are aborted; page 1 (in flight, non-preemptible) completes.
+        let r1 = k.page_fault(r0.resume_at, PID, p(1_000));
+        assert_eq!(r1.kind, FaultServicing::DemandLoaded);
+        assert_eq!(k.stats().preloads_aborted, 2);
+        // Demand had to wait for the in-flight page-1 load (done at 215).
+        // 215 + os already included: resume = max(135,215)... demand starts
+        // after channel acquire: aex at 125→135; channel free 215; eldu 100
+        // → done 315 (+ wait for os path before acquire).
+        assert!(r1.resume_at > Cycles::new(315));
+        // New prediction for 1001..1003 was queued after the abort.
+        assert_eq!(k.preload_queue_len(), 3);
+        // Page 1 still became resident (its load was not preempted). This
+        // access also advances the channel, putting 1001 in flight.
+        assert!(k.app_access(r1.resume_at, PID, p(1)).is_some());
+        assert_eq!(k.preload_queue_len(), 2);
+    }
+
+    #[test]
+    fn eviction_kicks_in_when_epc_full() {
+        let mut k = kernel_with(4, Box::new(NoPredictor));
+        let mut t = Cycles::ZERO;
+        for n in 0..16 {
+            let r = k.page_fault(t, PID, p(n));
+            t = r.resume_at + Cycles::new(1);
+        }
+        assert_eq!(k.epc().resident_count() + k.epc().free_slots(), 4);
+        let st = k.stats();
+        assert!(
+            st.background_evictions + st.foreground_evictions >= 12,
+            "evictions: bg={} fg={}",
+            st.background_evictions,
+            st.foreground_evictions
+        );
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn background_reclaimer_keeps_free_pool() {
+        // Watermarks low=2, high=4 on an EPC of 16.
+        let mut k = Kernel::new(
+            KernelConfig::new(16)
+                .with_costs(tiny_costs())
+                .with_watermarks(Watermarks::new(2, 4, 16).unwrap()),
+            Box::new(NoPredictor),
+        );
+        k.register_enclave(PID, 1 << 20).unwrap();
+        let mut t = Cycles::ZERO;
+        for n in 0..64 {
+            let r = k.page_fault(t, PID, p(n));
+            // Give the reclaimer idle channel time between faults.
+            t = r.resume_at + Cycles::new(500);
+        }
+        assert!(k.stats().background_evictions > 0);
+        // With generous idle time the demand path never pays the EWB.
+        assert_eq!(k.stats().foreground_evictions, 0);
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn dfp_stop_valve_halts_wasteful_preloading() {
+        // Next-line on a scattered fault pattern: preloads never touched.
+        let mut k = Kernel::new(
+            KernelConfig::new(256)
+                .with_costs(tiny_costs())
+                .with_abort_policy(
+                    AbortPolicy::paper_defaults()
+                        .with_slack(5)
+                        .with_check_interval(Cycles::new(1_000)),
+                ),
+            Box::new(NextLinePredictor::new(4)),
+        );
+        k.register_enclave(PID, 1 << 20).unwrap();
+        let mut t = Cycles::ZERO;
+        // Stride 100: predictions (n+1..n+4) are never accessed.
+        for i in 0..200u64 {
+            let r = k.page_fault(t, PID, p(i * 100));
+            t = r.resume_at + Cycles::new(200);
+        }
+        assert!(k.is_preload_stopped(), "valve should have fired");
+        let stopped_at = k.stats().dfp_stopped_at.expect("stop time recorded");
+        assert!(stopped_at <= t);
+        let started_at_stop = k.stats().preloads_started;
+        // Further faults must not start new preloads.
+        for i in 200..260u64 {
+            let r = k.page_fault(t, PID, p(i * 100));
+            t = r.resume_at + Cycles::new(200);
+        }
+        assert_eq!(k.stats().preloads_started, started_at_stop);
+        assert_eq!(k.preload_queue_len(), 0);
+    }
+
+    #[test]
+    fn plain_dfp_without_valve_never_stops() {
+        let mut k = kernel_with(256, Box::new(NextLinePredictor::new(4)));
+        let mut t = Cycles::ZERO;
+        for i in 0..200u64 {
+            let r = k.page_fault(t, PID, p(i * 100));
+            t = r.resume_at + Cycles::new(200);
+        }
+        assert!(!k.is_preload_stopped());
+        assert!(k.stats().dfp_stopped_at.is_none());
+    }
+
+    #[test]
+    fn sip_load_skips_world_switch() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        let done = k.sip_load(Cycles::new(1_000), PID, p(5));
+        // No AEX/ERESUME: just the (idle) channel load.
+        assert_eq!(done, Cycles::new(1_100));
+        assert_eq!(k.stats().sip_loads, 1);
+        assert_eq!(k.stats().faults, 0);
+        assert!(k.sip_present(done, PID, p(5)));
+    }
+
+    #[test]
+    fn sip_load_on_resident_page_is_instant() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        k.page_fault(Cycles::ZERO, PID, p(5));
+        let done = k.sip_load(Cycles::new(500), PID, p(5));
+        assert_eq!(done, Cycles::new(500));
+        assert_eq!(k.stats().sip_raced, 1);
+        assert_eq!(k.stats().sip_loads, 0);
+    }
+
+    #[test]
+    fn sip_load_waits_for_matching_inflight_preload() {
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(1)));
+        let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
+        // Page 1 preload in flight (115..215); SIP request for it at 130.
+        let done = k.sip_load(r0.resume_at + Cycles::new(5), PID, p(1));
+        assert_eq!(done, Cycles::new(215));
+        assert_eq!(k.stats().sip_raced, 1);
+    }
+
+    #[test]
+    fn bitmap_tracks_presence_through_sip_view() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        assert!(!k.sip_present(Cycles::ZERO, PID, p(9)));
+        let r = k.page_fault(Cycles::ZERO, PID, p(9));
+        assert!(k.sip_present(r.resume_at, PID, p(9)));
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn multi_enclave_streams_do_not_bleed() {
+        let mut k = Kernel::new(
+            KernelConfig::new(256).with_costs(tiny_costs()),
+            Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+        );
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(a, 1 << 16).unwrap();
+        k.register_enclave(b, 1 << 16).unwrap();
+        // Enclave A faults sequentially at 10, 11 — a stream.
+        let r = k.page_fault(Cycles::ZERO, a, p(10));
+        let r = k.page_fault(r.resume_at, a, p(11));
+        assert!(k.stats().preloads_enqueued > 0);
+        // Enclave B faulting at its local 12 must not extend A's stream
+        // (different pid and a guarded global range).
+        let before = k.stats().preloads_enqueued;
+        let _ = k.page_fault(r.resume_at, b, p(12));
+        assert_eq!(k.stats().preloads_enqueued, before);
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn threads_share_the_enclave_but_not_the_fault_history() {
+        let mut k = Kernel::new(
+            KernelConfig::new(256).with_costs(tiny_costs()),
+            Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+        );
+        let (owner, t2) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(owner, 1 << 16).unwrap();
+        k.register_thread(owner, t2).unwrap();
+
+        // Thread 2 faults a page; the owner thread then *hits* it — same
+        // ELRANGE, same EPC residency.
+        let r = k.page_fault(Cycles::ZERO, t2, p(500));
+        assert!(k.app_access(r.resume_at, owner, p(500)).is_some());
+
+        // Sequential faults interleaved across threads: each thread's
+        // stream list sees only its own faults, so a cross-thread
+        // successor does NOT extend the other thread's stream.
+        let before = k.stats().preloads_enqueued;
+        let r = k.page_fault(r.resume_at, owner, p(1_000));
+        let r = k.page_fault(r.resume_at, t2, p(1_001)); // not owner's stream
+        assert_eq!(k.stats().preloads_enqueued, before);
+        // But the same thread continuing its own stream does predict.
+        let _ = k.page_fault(r.resume_at, owner, p(1_001 + 9_000)); // miss, new stream
+        let r2 = k.page_fault(Cycles::new(10_000_000), owner, p(1_000 + 1));
+        let _ = r2;
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn thread_registration_errors() {
+        let mut k = kernel_with(16, Box::new(NoPredictor));
+        assert_eq!(
+            k.register_thread(ProcessId(9), ProcessId(10)),
+            Err(RegisterError::UnknownOwner(ProcessId(9)))
+        );
+        k.register_thread(PID, ProcessId(10)).unwrap();
+        assert_eq!(
+            k.register_thread(PID, ProcessId(10)),
+            Err(RegisterError::DuplicateProcess(ProcessId(10)))
+        );
+        // A thread id cannot also become an enclave owner.
+        assert_eq!(
+            k.register_enclave(ProcessId(10), 16),
+            Err(RegisterError::DuplicateProcess(ProcessId(10)))
+        );
+        // Threads chain to the root owner.
+        k.register_thread(ProcessId(10), ProcessId(11)).unwrap();
+        let r = k.page_fault(Cycles::ZERO, ProcessId(11), p(3));
+        assert!(k.app_access(r.resume_at, PID, p(3)).is_some());
+        assert!(RegisterError::UnknownOwner(ProcessId(9))
+            .to_string()
+            .contains("no enclave"));
+    }
+
+    #[test]
+    fn register_errors() {
+        let mut k = kernel_with(16, Box::new(NoPredictor));
+        assert_eq!(
+            k.register_enclave(PID, 10),
+            Err(RegisterError::DuplicateProcess(PID))
+        );
+        assert_eq!(
+            k.register_enclave(ProcessId(9), 0),
+            Err(RegisterError::EmptyRange)
+        );
+        assert!(matches!(
+            k.register_enclave(ProcessId(9), u64::MAX),
+            Err(RegisterError::RangeTooLarge { .. })
+        ));
+        assert!(RegisterError::EmptyRange.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its")]
+    fn out_of_elrange_access_panics() {
+        let mut k = Kernel::new(
+            KernelConfig::new(16).with_costs(tiny_costs()),
+            Box::new(NoPredictor),
+        );
+        k.register_enclave(PID, 8).unwrap();
+        let _ = k.page_fault(Cycles::ZERO, PID, p(8));
+    }
+
+    #[test]
+    fn predictions_outside_elrange_are_rejected() {
+        let mut k = Kernel::new(
+            KernelConfig::new(64).with_costs(tiny_costs()),
+            Box::new(NextLinePredictor::new(4)),
+        );
+        k.register_enclave(PID, 10).unwrap();
+        // Faulting the last page predicts pages 10..13, all out of range.
+        let _ = k.page_fault(Cycles::ZERO, PID, p(9));
+        assert_eq!(k.stats().preloads_rejected_range, 4);
+        assert_eq!(k.preload_queue_len(), 0);
+    }
+
+    #[test]
+    fn event_log_captures_the_fig2_sequence() {
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(1)));
+        k.enable_event_log();
+        let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
+        let _ = k.page_fault(r0.resume_at, PID, p(1)); // waits for in-flight
+        let events = k.take_event_log();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.what).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Fault,        // page 0 faults
+                EventKind::DemandLoaded, // page 0 loaded
+                EventKind::PreloadStart, // page 1 predicted
+                EventKind::Fault,        // page 1 faults mid-preload
+                EventKind::PreloadDone,  // the in-flight load satisfies it
+            ],
+            "got {events:?}"
+        );
+        // Times are monotone.
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        // Draining empties the log; logging continues afterwards.
+        assert!(k.take_event_log().is_empty());
+        let _ = k.page_fault(Cycles::new(1_000_000), PID, p(50));
+        assert!(!k.take_event_log().is_empty());
+    }
+
+    #[test]
+    fn event_log_disabled_by_default() {
+        let mut k = kernel_with(16, Box::new(NoPredictor));
+        let _ = k.page_fault(Cycles::ZERO, PID, p(0));
+        assert!(k.take_event_log().is_empty());
+    }
+
+    #[test]
+    fn channel_utilization_accounting() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        let r = k.page_fault(Cycles::ZERO, PID, p(0));
+        // One 100-cycle load in 125 cycles of wall time.
+        let u = k.channel_utilization(r.resume_at);
+        assert!((u - 100.0 / 125.0).abs() < 1e-9, "utilization {u}");
+        assert_eq!(k.channel_utilization(Cycles::ZERO), 0.0);
+    }
+
+    #[test]
+    fn sip_prefetch_loads_in_background() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        k.sip_prefetch(Cycles::new(100), PID, p(5));
+        assert_eq!(k.stats().sip_prefetches, 1);
+        // Load runs 100..200; at 250 the page is resident, no fault paid.
+        let touch = k.app_access(Cycles::new(250), PID, p(5));
+        assert!(touch.is_some(), "prefetched page should be resident");
+        assert_eq!(k.stats().sip_prefetches_started, 1);
+        assert_eq!(k.stats().faults, 0);
+    }
+
+    #[test]
+    fn sip_prefetch_survives_fault_abort() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        // Two prefetches queued; the first goes in flight immediately.
+        k.sip_prefetch(Cycles::ZERO, PID, p(5));
+        k.sip_prefetch(Cycles::ZERO, PID, p(6));
+        // An unrelated fault aborts DFP predictions, not SIP requests.
+        let r = k.page_fault(Cycles::new(1), PID, p(900));
+        assert_eq!(k.stats().preloads_aborted, 0);
+        // Eventually both prefetched pages arrive.
+        let late = r.resume_at + Cycles::new(500);
+        assert!(k.app_access(late, PID, p(5)).is_some());
+        assert!(k.app_access(late, PID, p(6)).is_some());
+    }
+
+    #[test]
+    fn sip_prefetch_dedupes_and_skips_resident() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        let r = k.page_fault(Cycles::ZERO, PID, p(7));
+        k.sip_prefetch(r.resume_at, PID, p(7)); // already resident
+        assert_eq!(k.stats().sip_prefetches, 0);
+        k.sip_prefetch(r.resume_at, PID, p(8));
+        k.sip_prefetch(r.resume_at, PID, p(8)); // in flight already
+        assert_eq!(k.stats().sip_prefetches, 1);
+    }
+
+    #[test]
+    fn fault_on_inflight_sip_prefetch_waits() {
+        let mut k = kernel_with(64, Box::new(NoPredictor));
+        k.sip_prefetch(Cycles::ZERO, PID, p(5)); // in flight 0..100
+        let r = k.page_fault(Cycles::new(10), PID, p(5));
+        assert_eq!(r.kind, FaultServicing::WaitedForInflight);
+        // done 100 + os 5 + eresume 10.
+        assert_eq!(r.resume_at, Cycles::new(115));
+    }
+
+    #[test]
+    fn duplicate_predictions_not_double_enqueued() {
+        let mut k = kernel_with(64, Box::new(NextLinePredictor::new(4)));
+        let r = k.page_fault(Cycles::ZERO, PID, p(0)); // queues 1..4
+        let q0 = k.preload_queue_len();
+        // Fault on page 2... wait, that's queued; it misses EPC and is not
+        // in flight... it IS eventually. Use page 3 after 1 is in flight:
+        // fault on 3 aborts the queue; then prediction 4..7 re-queued.
+        let r2 = k.page_fault(r.resume_at, PID, p(3));
+        let _ = (q0, r2);
+        assert!(k.bitmap_consistent());
+        // No duplicates: queue members unique by construction.
+        assert!(k.preload_queue_len() <= 4);
+    }
+}

@@ -1,0 +1,175 @@
+//! The preload worker's page queue.
+//!
+//! Predicted pages wait here until the load channel is idle. A demand fault
+//! that misses both EPC and the in-flight load aborts *everything still
+//! queued* (paper §4.1: "all the remaining pages yet to be preloaded …
+//! will be aborted"); the generation counter lets tests and stats attribute
+//! work to prediction batches.
+
+use std::collections::{HashSet, VecDeque};
+
+use sgx_epc::VirtPage;
+
+/// FIFO queue of pages awaiting preload, with O(1) membership tests and
+/// whole-queue abort.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_kernel::PreloadQueue;
+/// use sgx_epc::VirtPage;
+///
+/// let mut q = PreloadQueue::new();
+/// q.enqueue(VirtPage::new(3));
+/// q.enqueue(VirtPage::new(4));
+/// assert!(q.contains(VirtPage::new(4)));
+/// assert_eq!(q.abort(), 2); // a mispredicting fault cancels the rest
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PreloadQueue {
+    queue: VecDeque<VirtPage>,
+    members: HashSet<VirtPage>,
+    generation: u64,
+    enqueued_total: u64,
+    aborted_total: u64,
+}
+
+impl PreloadQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether `page` is queued.
+    pub fn contains(&self, page: VirtPage) -> bool {
+        self.members.contains(&page)
+    }
+
+    /// Appends `page` unless already queued. Returns `true` if enqueued.
+    pub fn enqueue(&mut self, page: VirtPage) -> bool {
+        if self.members.insert(page) {
+            self.queue.push_back(page);
+            self.enqueued_total += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next page to preload.
+    pub fn pop(&mut self) -> Option<VirtPage> {
+        let page = self.queue.pop_front()?;
+        self.members.remove(&page);
+        Some(page)
+    }
+
+    /// Puts a popped page back at the front (used when the channel must
+    /// evict before it can load).
+    pub fn push_front(&mut self, page: VirtPage) {
+        if self.members.insert(page) {
+            self.queue.push_front(page);
+        }
+    }
+
+    /// Cancels everything queued; returns how many pages were dropped.
+    /// Bumps the generation.
+    pub fn abort(&mut self) -> u64 {
+        let n = self.queue.len() as u64;
+        self.aborted_total += n;
+        self.queue.clear();
+        self.members.clear();
+        self.generation += 1;
+        n
+    }
+
+    /// Number of aborts (prediction-batch generations) so far.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total pages ever enqueued.
+    pub fn enqueued_total(&self) -> u64 {
+        self.enqueued_total
+    }
+
+    /// Total pages dropped by aborts.
+    pub fn aborted_total(&self) -> u64 {
+        self.aborted_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> VirtPage {
+        VirtPage::new(n)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = PreloadQueue::new();
+        for n in [3u64, 1, 2] {
+            assert!(q.enqueue(p(n)));
+        }
+        assert_eq!(q.pop(), Some(p(3)));
+        assert_eq!(q.pop(), Some(p(1)));
+        assert_eq!(q.pop(), Some(p(2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn duplicate_enqueue_rejected() {
+        let mut q = PreloadQueue::new();
+        assert!(q.enqueue(p(5)));
+        assert!(!q.enqueue(p(5)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.enqueued_total(), 1);
+    }
+
+    #[test]
+    fn membership_tracks_pop() {
+        let mut q = PreloadQueue::new();
+        q.enqueue(p(5));
+        q.pop();
+        assert!(!q.contains(p(5)));
+        assert!(q.enqueue(p(5)), "page can be re-queued after pop");
+    }
+
+    #[test]
+    fn abort_clears_and_counts() {
+        let mut q = PreloadQueue::new();
+        for n in 0..5 {
+            q.enqueue(p(n));
+        }
+        assert_eq!(q.abort(), 5);
+        assert!(q.is_empty());
+        assert!(!q.contains(p(0)));
+        assert_eq!(q.generation(), 1);
+        assert_eq!(q.aborted_total(), 5);
+        assert_eq!(q.abort(), 0);
+        assert_eq!(q.generation(), 2);
+    }
+
+    #[test]
+    fn push_front_reinserts_at_head() {
+        let mut q = PreloadQueue::new();
+        q.enqueue(p(1));
+        q.enqueue(p(2));
+        let got = q.pop().unwrap();
+        q.push_front(got);
+        assert_eq!(q.pop(), Some(p(1)));
+        assert_eq!(q.pop(), Some(p(2)));
+    }
+}

@@ -1,0 +1,152 @@
+//! Free-page watermarks for the background reclaimer.
+//!
+//! The Intel SGX driver runs a swapping thread (`ksgxswapd`) that keeps a
+//! pool of free EPC pages between a low and a high watermark, so that a
+//! demand fault normally finds a free slot and pays only
+//! AEX + ELDU + ERESUME (the paper's 60–64k estimate) rather than also
+//! waiting for an EWB. This module holds the hysteresis logic; the kernel
+//! model issues the actual EWB jobs on the load channel.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing invalid [`Watermarks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatermarkError {
+    low: u64,
+    high: u64,
+    capacity: u64,
+}
+
+impl fmt::Display for WatermarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid watermarks: need 0 < low ({}) <= high ({}) <= capacity ({})",
+            self.low, self.high, self.capacity
+        )
+    }
+}
+
+impl Error for WatermarkError {}
+
+/// Reclaimer hysteresis thresholds, in free pages.
+///
+/// Reclaim starts when free pages drop below `low` and continues until
+/// `high` pages are free.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_kernel::Watermarks;
+///
+/// let wm = Watermarks::new(32, 64, 24_576)?;
+/// assert!(wm.start_reclaim(31));
+/// assert!(!wm.start_reclaim(32));
+/// assert!(wm.keep_reclaiming(63));
+/// assert!(!wm.keep_reclaiming(64));
+/// # Ok::<(), sgx_kernel::WatermarkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    low: u64,
+    high: u64,
+}
+
+impl Watermarks {
+    /// Creates watermarks, validating `0 < low <= high <= capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatermarkError`] when the ordering constraint is violated.
+    pub fn new(low: u64, high: u64, capacity: u64) -> Result<Self, WatermarkError> {
+        if low == 0 || low > high || high > capacity {
+            Err(WatermarkError {
+                low,
+                high,
+                capacity,
+            })
+        } else {
+            Ok(Watermarks { low, high })
+        }
+    }
+
+    /// The SGX driver's defaults (32 low / 64 high free pages), clamped for
+    /// small simulated EPCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn driver_defaults(capacity: u64) -> Self {
+        assert!(capacity > 0, "EPC capacity must be positive");
+        let low = 32.min((capacity / 8).max(1));
+        let high = 64.min((capacity / 4).max(low.max(2)).max(low));
+        Watermarks {
+            low,
+            high: high.max(low),
+        }
+    }
+
+    /// The low watermark.
+    pub fn low(&self) -> u64 {
+        self.low
+    }
+
+    /// The high watermark.
+    pub fn high(&self) -> u64 {
+        self.high
+    }
+
+    /// Whether an idle reclaimer should start (free pages below low).
+    pub fn start_reclaim(&self, free: u64) -> bool {
+        free < self.low
+    }
+
+    /// Whether an active reclaimer should continue (free pages below high).
+    pub fn keep_reclaiming(&self, free: u64) -> bool {
+        free < self.high
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rules() {
+        assert!(Watermarks::new(0, 4, 10).is_err());
+        assert!(Watermarks::new(5, 4, 10).is_err());
+        assert!(Watermarks::new(4, 11, 10).is_err());
+        assert!(Watermarks::new(4, 4, 10).is_ok());
+        let err = Watermarks::new(0, 4, 10).unwrap_err();
+        assert!(err.to_string().contains("invalid watermarks"));
+    }
+
+    #[test]
+    fn hysteresis_window() {
+        let wm = Watermarks::new(2, 6, 100).unwrap();
+        assert!(wm.start_reclaim(1));
+        assert!(!wm.start_reclaim(2));
+        assert!(wm.keep_reclaiming(5));
+        assert!(!wm.keep_reclaiming(6));
+        assert!(!wm.keep_reclaiming(7));
+    }
+
+    #[test]
+    fn driver_defaults_scale_down() {
+        let big = Watermarks::driver_defaults(24_576);
+        assert_eq!((big.low(), big.high()), (32, 64));
+        let tiny = Watermarks::driver_defaults(8);
+        assert!(tiny.low() >= 1);
+        assert!(tiny.low() <= tiny.high());
+        assert!(tiny.high() <= 8);
+        let one = Watermarks::driver_defaults(1);
+        assert!(one.low() <= one.high());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn driver_defaults_zero_capacity_panics() {
+        let _ = Watermarks::driver_defaults(0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Simulated time measured in CPU clock cycles.
+//!
+//! Every latency in the reproduction — AEX, ELDU, ERESUME, compute gaps —
+//! is expressed in [`Cycles`], a newtype over `u64` that rules out mixing
+//! simulated time with ordinary integers (page numbers, counters).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// A duration or instant on the simulated clock, in CPU cycles.
+///
+/// `Cycles` is used both for durations ("ELDU takes 44,000 cycles") and for
+/// instants ("the channel is free at cycle 1,204,000"); the arithmetic is the
+/// same and the simulator never needs a zero-point other than the start of
+/// the run.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::Cycles;
+///
+/// let aex = Cycles::new(10_000);
+/// let eldu = Cycles::new(44_000);
+/// let eresume = Cycles::new(10_000);
+/// assert_eq!(aex + eldu + eresume, Cycles::new(64_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero duration / the start of simulated time.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for idle resources.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a `Cycles` value from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self - other`, or [`Cycles::ZERO`] if `other > self`.
+    ///
+    /// Useful for "time remaining until" computations where a deadline may
+    /// already have passed.
+    #[inline]
+    pub const fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Converts to seconds given a clock frequency in Hz.
+    ///
+    /// The paper's testbed runs at 3.5 GHz; this is only used for
+    /// human-readable report output, never for simulation decisions.
+    #[inline]
+    pub fn as_secs_at(self, hz: u64) -> f64 {
+        assert!(hz > 0, "clock frequency must be positive");
+        self.0 as f64 / hz as f64
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub const fn checked_add(self, other: Cycles) -> Option<Cycles> {
+        match self.0.checked_add(other.0) {
+            Some(v) => Some(Cycles(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated clock overflowed u64 cycles"),
+        )
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`Cycles::saturating_sub`] when a deadline
+    /// may already be in the past.
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulated time went backwards"),
+        )
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(
+            self.0
+                .checked_mul(rhs)
+                .expect("simulated duration overflowed u64 cycles"),
+        )
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        Cycles(raw)
+    }
+}
+
+impl From<Cycles> for u64 {
+    #[inline]
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycles {
+    /// Formats with thousands separators for report readability:
+    /// `Cycles::new(64000)` prints as `64,000`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0.to_string();
+        let bytes = s.as_bytes();
+        let mut out = String::with_capacity(s.len() + s.len() / 3);
+        for (i, b) in bytes.iter().enumerate() {
+            if i > 0 && (bytes.len() - i) % 3 == 0 {
+                out.push(',');
+            }
+            out.push(*b as char);
+        }
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(32);
+        assert_eq!((a + b).raw(), 42);
+        assert_eq!((b - a).raw(), 22);
+        assert_eq!((a * 3).raw(), 30);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.raw(), 42);
+        c -= a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycles::new(5).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+        assert_eq!(
+            Cycles::new(9).saturating_sub(Cycles::new(5)),
+            Cycles::new(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated time went backwards")]
+    fn sub_underflow_panics() {
+        let _ = Cycles::new(1) - Cycles::new(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed")]
+    fn add_overflow_panics() {
+        let _ = Cycles::MAX + Cycles::new(1);
+    }
+
+    #[test]
+    fn min_max_order() {
+        let a = Cycles::new(3);
+        let b = Cycles::new(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(b), b);
+    }
+
+    #[test]
+    fn display_groups_thousands() {
+        assert_eq!(Cycles::new(0).to_string(), "0");
+        assert_eq!(Cycles::new(999).to_string(), "999");
+        assert_eq!(Cycles::new(64_000).to_string(), "64,000");
+        assert_eq!(Cycles::new(1_234_567).to_string(), "1,234,567");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Cycles = [1u64, 2, 3].iter().map(|&x| Cycles::new(x)).sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn conversion_to_seconds() {
+        let c = Cycles::new(3_500_000_000);
+        assert!((c.as_secs_at(3_500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(Cycles::MAX.checked_add(Cycles::new(1)), None);
+        assert_eq!(
+            Cycles::new(1).checked_add(Cycles::new(2)),
+            Some(Cycles::new(3))
+        );
+    }
+}

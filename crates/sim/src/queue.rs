@@ -1,0 +1,191 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by their timestamp; ties are broken by insertion order
+//! (FIFO), which keeps multi-actor simulations reproducible regardless of the
+//! underlying heap's internal layout.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycles;
+
+/// An entry in the heap. Reversed ordering turns `BinaryHeap` (a max-heap)
+/// into the min-heap the simulator needs.
+struct Entry<T> {
+    at: Cycles,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest timestamp (then lowest sequence number) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-ordered event queue with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycles::new(20), "late");
+/// q.push(Cycles::new(10), "early");
+/// q.push(Cycles::new(10), "early-second");
+/// assert_eq!(q.pop(), Some((Cycles::new(10), "early")));
+/// assert_eq!(q.pop(), Some((Cycles::new(10), "early-second")));
+/// assert_eq!(q.pop(), Some((Cycles::new(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` to fire at instant `at`.
+    pub fn push(&mut self, at: Cycles, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(Cycles, T)> {
+        self.heap.pop().map(|e| (e.at, e.item))
+    }
+
+    /// Returns the timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: Cycles) -> Option<(Cycles, T)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5u64, 1, 9, 3, 7] {
+            q.push(Cycles::new(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(Cycles::new(42), i);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), "a");
+        q.push(Cycles::new(20), "b");
+        assert_eq!(q.pop_due(Cycles::new(5)), None);
+        assert_eq!(q.pop_due(Cycles::new(10)), Some((Cycles::new(10), "a")));
+        assert_eq!(q.pop_due(Cycles::new(15)), None);
+        assert_eq!(q.pop_due(Cycles::new(25)), Some((Cycles::new(20), "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(1), ());
+        q.push(Cycles::new(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycles::new(10), 10);
+        q.push(Cycles::new(30), 30);
+        assert_eq!(q.pop().unwrap().1, 10);
+        q.push(Cycles::new(20), 20);
+        assert_eq!(q.pop().unwrap().1, 20);
+        assert_eq!(q.pop().unwrap().1, 30);
+    }
+}

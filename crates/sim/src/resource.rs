@@ -1,0 +1,173 @@
+//! An exclusive, non-preemptible serial resource.
+//!
+//! Models the EPC load channel described in the paper (§3.1, §5.6): the
+//! hardware "can only load one page at a time, and the page loading operation
+//! … cannot be preempted when in progress". The resource tracks when it next
+//! becomes free and accumulates utilization statistics.
+
+use crate::Cycles;
+
+/// A serial server: one job at a time, jobs never preempted.
+///
+/// Callers ask to [`Resource::occupy`] the resource for a duration starting
+/// no earlier than `from`; the resource returns the actual `[start, end)`
+/// window, pushing the start back behind any in-progress job.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{Cycles, Resource};
+///
+/// let mut chan = Resource::new("epc-load-channel");
+/// let a = chan.occupy(Cycles::new(0), Cycles::new(44_000));
+/// assert_eq!(a.start, Cycles::new(0));
+/// assert_eq!(a.end, Cycles::new(44_000));
+/// // A job requested mid-flight waits for the first one (non-preemptible).
+/// let b = chan.occupy(Cycles::new(10_000), Cycles::new(44_000));
+/// assert_eq!(b.start, Cycles::new(44_000));
+/// assert_eq!(b.end, Cycles::new(88_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resource {
+    name: &'static str,
+    free_at: Cycles,
+    busy_total: Cycles,
+    jobs: u64,
+}
+
+/// The window actually granted by [`Resource::occupy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When the job begins (≥ the requested `from`).
+    pub start: Cycles,
+    /// When the job completes and the resource becomes free again.
+    pub end: Cycles,
+}
+
+impl Grant {
+    /// How long the requester waited beyond the requested start.
+    pub fn queueing_delay(&self, requested_from: Cycles) -> Cycles {
+        self.start.saturating_sub(requested_from)
+    }
+}
+
+impl Resource {
+    /// Creates an idle resource. `name` appears in `Debug` output and
+    /// utilization reports.
+    pub fn new(name: &'static str) -> Self {
+        Resource {
+            name,
+            free_at: Cycles::ZERO,
+            busy_total: Cycles::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// The instant the resource next becomes free. [`Cycles::ZERO`] if it has
+    /// never been used.
+    pub fn free_at(&self) -> Cycles {
+        self.free_at
+    }
+
+    /// Whether the resource is idle at instant `now`.
+    pub fn is_free(&self, now: Cycles) -> bool {
+        self.free_at <= now
+    }
+
+    /// Reserves the resource for `duration`, starting no earlier than `from`
+    /// and no earlier than the end of the in-progress job.
+    ///
+    /// Returns the granted window. `duration` may be zero (the grant is then
+    /// an empty window at the later of `from` / `free_at`).
+    pub fn occupy(&mut self, from: Cycles, duration: Cycles) -> Grant {
+        let start = from.max(self.free_at);
+        let end = start + duration;
+        self.free_at = end;
+        self.busy_total += duration;
+        self.jobs += 1;
+        Grant { start, end }
+    }
+
+    /// Total busy time accumulated across all jobs.
+    pub fn busy_total(&self) -> Cycles {
+        self.busy_total
+    }
+
+    /// Number of jobs served.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization in `[0, 1]` over the window `[0, now]`.
+    ///
+    /// Returns 0 when `now` is zero.
+    pub fn utilization(&self, now: Cycles) -> f64 {
+        if now == Cycles::ZERO {
+            0.0
+        } else {
+            self.busy_total.raw() as f64 / now.raw() as f64
+        }
+    }
+
+    /// The resource's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_resource_starts_immediately() {
+        let mut r = Resource::new("t");
+        let g = r.occupy(Cycles::new(100), Cycles::new(50));
+        assert_eq!(g.start, Cycles::new(100));
+        assert_eq!(g.end, Cycles::new(150));
+        assert_eq!(g.queueing_delay(Cycles::new(100)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn busy_resource_queues_job() {
+        let mut r = Resource::new("t");
+        r.occupy(Cycles::new(0), Cycles::new(100));
+        let g = r.occupy(Cycles::new(30), Cycles::new(10));
+        assert_eq!(g.start, Cycles::new(100));
+        assert_eq!(g.end, Cycles::new(110));
+        assert_eq!(g.queueing_delay(Cycles::new(30)), Cycles::new(70));
+    }
+
+    #[test]
+    fn jobs_are_never_preempted() {
+        let mut r = Resource::new("t");
+        let long = r.occupy(Cycles::new(0), Cycles::new(44_000));
+        // A later, "urgent" request cannot carve into the in-progress job.
+        let urgent = r.occupy(Cycles::new(1), Cycles::new(1));
+        assert_eq!(urgent.start, long.end);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy() {
+        let mut r = Resource::new("t");
+        r.occupy(Cycles::new(0), Cycles::new(10));
+        r.occupy(Cycles::new(90), Cycles::new(10));
+        assert_eq!(r.busy_total(), Cycles::new(20));
+        assert_eq!(r.jobs(), 2);
+        assert!((r.utilization(Cycles::new(100)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_grant_is_empty_window() {
+        let mut r = Resource::new("t");
+        let g = r.occupy(Cycles::new(5), Cycles::ZERO);
+        assert_eq!(g.start, g.end);
+        assert!(r.is_free(Cycles::new(5)));
+    }
+
+    #[test]
+    fn utilization_at_time_zero_is_zero() {
+        let r = Resource::new("t");
+        assert_eq!(r.utilization(Cycles::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Lightweight statistics used by the simulator's reports.
+
+use std::fmt;
+
+use crate::Cycles;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::Counter;
+///
+/// let mut faults = Counter::new("page_faults");
+/// faults.add(3);
+/// faults.incr();
+/// assert_eq!(faults.get(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// A power-of-two bucketed latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 additionally
+/// holds zero. 64 buckets cover the entire `u64` range, so recording can
+/// never lose a sample.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{Cycles, Histogram};
+///
+/// let mut h = Histogram::new("fault_latency");
+/// h.record(Cycles::new(64_000));
+/// h.record(Cycles::new(2_000));
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.mean(), Cycles::new(33_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Cycles) {
+        let raw = v.raw();
+        let idx = if raw == 0 {
+            0
+        } else {
+            63 - raw.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += raw as u128;
+        self.min = self.min.min(raw);
+        self.max = self.max.max(raw);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or [`Cycles::ZERO`] when empty.
+    pub fn mean(&self) -> Cycles {
+        if self.count == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new((self.sum / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<Cycles> {
+        (self.count > 0).then(|| Cycles::new(self.min))
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<Cycles> {
+        (self.count > 0).then(|| Cycles::new(self.max))
+    }
+
+    /// An approximate quantile (`q in [0, 1]`) from bucket boundaries.
+    ///
+    /// Resolution is a factor of two — sufficient for distinguishing "2k-cycle
+    /// fault" from "64k-cycle fault" regimes in reports.
+    pub fn quantile(&self, q: f64) -> Option<Cycles> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(Cycles::new(1u64 << i));
+            }
+        }
+        Some(Cycles::new(self.max))
+    }
+
+    /// Histogram name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={} min={} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(Cycles::ZERO),
+            self.max().unwrap_or(Cycles::ZERO),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("c");
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "c=10");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = Histogram::new("h");
+        for v in [10u64, 20, 30] {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), Cycles::new(20));
+        assert_eq!(h.min(), Some(Cycles::new(10)));
+        assert_eq!(h.max(), Some(Cycles::new(30)));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new("h");
+        assert_eq!(h.mean(), Cycles::ZERO);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn zero_sample_lands_in_first_bucket() {
+        let mut h = Histogram::new("h");
+        h.record(Cycles::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(Cycles::ZERO));
+    }
+
+    #[test]
+    fn quantile_orders_buckets() {
+        let mut h = Histogram::new("h");
+        for _ in 0..90 {
+            h.record(Cycles::new(2_000));
+        }
+        for _ in 0..10 {
+            h.record(Cycles::new(64_000));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < Cycles::new(8_192));
+        assert!(p99 >= Cycles::new(32_768));
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::new("h");
+        h.record(Cycles::new(u64::MAX));
+        h.record(Cycles::new(u64::MAX));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(Cycles::new(u64::MAX)));
+        assert_eq!(h.mean(), Cycles::new(u64::MAX));
+    }
+}

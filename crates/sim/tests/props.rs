@@ -1,0 +1,113 @@
+//! Property tests for the simulation substrate, checked against naive
+//! reference models.
+
+use proptest::prelude::*;
+
+use sgx_sim::{Cycles, DetRng, EventQueue, Histogram, Resource};
+
+proptest! {
+    /// The event queue is a stable min-sort: equal timestamps pop in
+    /// insertion order.
+    #[test]
+    fn event_queue_matches_stable_sort(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Cycles::new(t), i);
+        }
+        let mut reference: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        reference.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.raw(), i));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// pop_due never returns events from the future, and interleaving
+    /// pop_due with pushes still drains everything exactly once.
+    #[test]
+    fn pop_due_respects_time(
+        items in proptest::collection::vec((0u64..500, 0u64..500), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut drained = 0usize;
+        for &(at, probe) in &items {
+            q.push(Cycles::new(at), at);
+            while let Some((t, _)) = q.pop_due(Cycles::new(probe)) {
+                prop_assert!(t.raw() <= probe);
+                drained += 1;
+            }
+        }
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        prop_assert_eq!(drained, items.len());
+    }
+
+    /// A serial resource's grants never overlap and never start before
+    /// the request.
+    #[test]
+    fn resource_grants_are_serial(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100),
+    ) {
+        let mut r = Resource::new("prop");
+        let mut requested = 0u64;
+        let mut last_end = Cycles::ZERO;
+        let mut busy = 0u64;
+        for &(from_delta, dur) in &jobs {
+            requested = requested.saturating_add(from_delta);
+            let g = r.occupy(Cycles::new(requested), Cycles::new(dur));
+            prop_assert!(g.start >= Cycles::new(requested));
+            prop_assert!(g.start >= last_end, "grants overlapped");
+            prop_assert_eq!(g.end, g.start + Cycles::new(dur));
+            last_end = g.end;
+            busy += dur;
+        }
+        prop_assert_eq!(r.busy_total(), Cycles::new(busy));
+        prop_assert_eq!(r.jobs(), jobs.len() as u64);
+        prop_assert!(r.utilization(last_end.max(Cycles::new(1))) <= 1.0 + 1e-12);
+    }
+
+    /// Distribution helpers stay within their support for arbitrary seeds.
+    #[test]
+    fn rng_outputs_in_support(seed in any::<u64>(), n in 1u64..100_000, s in 0.1f64..3.0) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.uniform(n) < n);
+            prop_assert!(rng.zipf(n, s) < n);
+            let g = rng.geometric(0.3);
+            prop_assert!(g >= 1);
+            let u = rng.unit();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Histograms conserve count and sum, and mean stays within [min, max].
+    #[test]
+    fn histogram_conservation(values in proptest::collection::vec(0u64..1u64 << 48, 1..300)) {
+        let mut h = Histogram::new("prop");
+        for &v in &values {
+            h.record(Cycles::new(v));
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        let mean = h.mean();
+        prop_assert!(mean >= h.min().unwrap());
+        prop_assert!(mean <= h.max().unwrap());
+        let p100 = h.quantile(1.0).unwrap();
+        let p0 = h.quantile(0.0).unwrap();
+        prop_assert!(p0 <= p100);
+    }
+
+    /// Forked RNGs with distinct salts never alias the parent stream.
+    #[test]
+    fn forks_are_reproducible(seed in any::<u64>(), salt in any::<u64>()) {
+        let root = DetRng::seed_from(seed);
+        let mut a = root.fork(salt);
+        let mut b = root.fork(salt);
+        for _ in 0..16 {
+            prop_assert_eq!(a.uniform(1 << 40), b.uniform(1 << 40));
+        }
+    }
+}

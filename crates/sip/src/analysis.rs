@@ -1,0 +1,217 @@
+//! Offline trace analysis (paper §3.1).
+//!
+//! The paper instruments source code "to gather the page number and time
+//! stamp of every memory instruction", then studies the trace offline
+//! ("analyzed offline with curve fitting") to characterize page-level
+//! behaviour — that study is where Fig. 3 and the Table-1 classification
+//! come from. This module is that analysis pass: run-length structure,
+//! stride distribution, footprint and reuse statistics of an access
+//! stream.
+
+use std::collections::HashMap;
+
+use sgx_workloads::Access;
+
+/// Aggregate shape statistics of a page-access trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Page-touch events analyzed.
+    pub events: u64,
+    /// Distinct pages touched (the observed footprint).
+    pub distinct_pages: u64,
+    /// Fraction of steps that advance exactly one page (+1).
+    pub sequential_step_ratio: f64,
+    /// Mean length of maximal +1 runs.
+    pub mean_run_length: f64,
+    /// Longest +1 run observed.
+    pub max_run_length: u64,
+    /// The most common non-zero page strides with their frequencies,
+    /// descending, at most eight entries.
+    pub top_strides: Vec<(i64, u64)>,
+    /// Fraction of events that revisit a page seen before.
+    pub reuse_ratio: f64,
+}
+
+impl TraceSummary {
+    /// A crude Fig.-3-style verdict: is this trace stream-shaped?
+    ///
+    /// True when at least half the steps are sequential or the dominant
+    /// stride accounts for most transitions.
+    pub fn is_stream_shaped(&self) -> bool {
+        if self.sequential_step_ratio >= 0.5 {
+            return true;
+        }
+        match self.top_strides.first() {
+            Some((_, count)) if self.events > 1 => {
+                *count as f64 / (self.events - 1) as f64 >= 0.5
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Analyzes an access stream (consume a workload, a recorded trace, or a
+/// truncated prefix).
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sip::summarize_trace;
+/// use sgx_workloads::{Benchmark, InputSet, Scale};
+///
+/// let lbm = summarize_trace(Benchmark::Lbm.build(InputSet::Ref, Scale::DEV, 1).take(20_000));
+/// let sjeng = summarize_trace(Benchmark::Deepsjeng.build(InputSet::Ref, Scale::DEV, 1).take(20_000));
+/// assert!(lbm.is_stream_shaped());
+/// assert!(!sjeng.is_stream_shaped());
+/// ```
+pub fn summarize_trace(stream: impl Iterator<Item = Access>) -> TraceSummary {
+    let mut events = 0u64;
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    let mut reuse = 0u64;
+    let mut strides: HashMap<i64, u64> = HashMap::new();
+    let mut prev: Option<u64> = None;
+    let mut seq_steps = 0u64;
+    let mut run = 0u64; // current +1 run length (in steps)
+    let mut runs_total_steps = 0u64;
+    let mut runs_count = 0u64;
+    let mut max_run = 0u64;
+
+    for a in stream {
+        let page = a.page.raw();
+        events += 1;
+        if let Some(count) = seen.get_mut(&page) {
+            *count += 1;
+            reuse += 1;
+        } else {
+            seen.insert(page, 1);
+        }
+        if let Some(p) = prev {
+            let stride = page as i64 - p as i64;
+            if stride != 0 {
+                *strides.entry(stride).or_insert(0) += 1;
+            }
+            if stride == 1 {
+                seq_steps += 1;
+                run += 1;
+                max_run = max_run.max(run);
+            } else if run > 0 {
+                runs_total_steps += run;
+                runs_count += 1;
+                run = 0;
+            }
+        }
+        prev = Some(page);
+    }
+    if run > 0 {
+        runs_total_steps += run;
+        runs_count += 1;
+    }
+
+    let mut top: Vec<(i64, u64)> = strides.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    top.truncate(8);
+
+    TraceSummary {
+        events,
+        distinct_pages: seen.len() as u64,
+        sequential_step_ratio: if events > 1 {
+            seq_steps as f64 / (events - 1) as f64
+        } else {
+            0.0
+        },
+        // Run *length in pages* = steps + 1.
+        mean_run_length: if runs_count > 0 {
+            (runs_total_steps + runs_count) as f64 / runs_count as f64
+        } else {
+            1.0
+        },
+        max_run_length: if max_run > 0 { max_run + 1 } else { 1 },
+        top_strides: top,
+        reuse_ratio: if events > 0 {
+            reuse as f64 / events as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_epc::VirtPage;
+    use sgx_sim::Cycles;
+    use sgx_workloads::SiteId;
+
+    fn trace(pages: &[u64]) -> impl Iterator<Item = Access> + '_ {
+        pages
+            .iter()
+            .map(|&p| Access::new(VirtPage::new(p), Cycles::ZERO, SiteId(0)))
+    }
+
+    #[test]
+    fn pure_sequential_trace() {
+        let pages: Vec<u64> = (0..100).collect();
+        let s = summarize_trace(trace(&pages));
+        assert_eq!(s.events, 100);
+        assert_eq!(s.distinct_pages, 100);
+        assert!((s.sequential_step_ratio - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_run_length, 100);
+        assert!((s.mean_run_length - 100.0).abs() < 1e-12);
+        assert_eq!(s.top_strides[0], (1, 99));
+        assert_eq!(s.reuse_ratio, 0.0);
+        assert!(s.is_stream_shaped());
+    }
+
+    #[test]
+    fn strided_trace_reports_dominant_stride() {
+        let pages: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let s = summarize_trace(trace(&pages));
+        assert_eq!(s.sequential_step_ratio, 0.0);
+        assert_eq!(s.top_strides[0], (3, 99));
+        assert!(s.is_stream_shaped(), "dominant stride counts as a stream");
+    }
+
+    #[test]
+    fn scattered_trace_is_not_stream_shaped() {
+        // Quadratic residues: strides grow with i, so no single stride
+        // dominates and nothing is sequential.
+        let pages: Vec<u64> = (0..200u64).map(|i| (i * i * 31) % 99_991).collect();
+        let s = summarize_trace(trace(&pages));
+        assert!(s.sequential_step_ratio < 0.05);
+        assert!(!s.is_stream_shaped());
+    }
+
+    #[test]
+    fn runs_and_reuse() {
+        // Two runs of 3 pages (0,1,2 then 10,11,12), then a revisit of 0.
+        let pages = [0u64, 1, 2, 10, 11, 12, 0];
+        let s = summarize_trace(trace(&pages));
+        assert_eq!(s.events, 7);
+        assert_eq!(s.distinct_pages, 6);
+        assert_eq!(s.max_run_length, 3);
+        assert!((s.mean_run_length - 3.0).abs() < 1e-12);
+        assert!((s.reuse_ratio - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        let s = summarize_trace(trace(&[]));
+        assert_eq!(s.events, 0);
+        assert_eq!(s.distinct_pages, 0);
+        assert_eq!(s.reuse_ratio, 0.0);
+        assert!(!s.is_stream_shaped());
+
+        let s1 = summarize_trace(trace(&[42]));
+        assert_eq!(s1.events, 1);
+        assert_eq!(s1.mean_run_length, 1.0);
+        assert_eq!(s1.max_run_length, 1);
+    }
+
+    #[test]
+    fn backward_strides_are_tracked() {
+        let pages: Vec<u64> = (0..50).rev().collect();
+        let s = summarize_trace(trace(&pages));
+        assert_eq!(s.top_strides[0], (-1, 49));
+        assert_eq!(s.sequential_step_ratio, 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Where the preloading notification is inserted relative to the access.
+//!
+//! The paper's prototype is deliberately *conservative* (§3.2): the notify
+//! sits immediately before the memory access, so AEX/ERESUME are saved but
+//! the thread still blocks for the page load, because "it is extremely
+//! difficult to find code regions that are large enough to overlap with
+//! such a long page loading time" (≈44k cycles). The *early* placement
+//! implements that declared-hard alternative — hoisting the notification
+//! `distance` accesses ahead so the load overlaps compute — and the
+//! `ablation_early_notify` bench quantifies exactly how much (or little)
+//! it buys.
+
+/// Notification placement strategy for instrumented sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyPlacement {
+    /// Paper §3.2: check + blocking notify immediately before the access.
+    Conservative,
+    /// Hoist the check + notify `distance` accesses ahead of the use; the
+    /// kernel loads the page asynchronously and the access faults normally
+    /// if the load has not finished in time.
+    Early {
+        /// How many accesses ahead the notification is issued.
+        distance: usize,
+    },
+}
+
+impl NotifyPlacement {
+    /// The lookahead distance (0 for conservative placement).
+    pub fn distance(&self) -> usize {
+        match self {
+            NotifyPlacement::Conservative => 0,
+            NotifyPlacement::Early { distance } => *distance,
+        }
+    }
+}
+
+impl Default for NotifyPlacement {
+    fn default() -> Self {
+        NotifyPlacement::Conservative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        assert_eq!(NotifyPlacement::Conservative.distance(), 0);
+        assert_eq!(NotifyPlacement::Early { distance: 8 }.distance(), 8);
+        assert_eq!(NotifyPlacement::default(), NotifyPlacement::Conservative);
+    }
+}

@@ -1,0 +1,239 @@
+//! The page-access event stream that drives the simulator.
+//!
+//! SGX hides everything below page granularity from the OS, and the paper's
+//! two schemes only ever consume (a) faulted page numbers and (b) profiled
+//! page-level traces per source line. A workload is therefore a stream of
+//! [`Access`] events: one per page *touch* (consecutive references to the
+//! same page are coalesced into the `compute` gap), tagged with the source
+//! site that issued it so SIP can profile per-instruction behaviour.
+
+use std::fmt;
+
+use sgx_epc::VirtPage;
+use sgx_sim::Cycles;
+
+/// Identifies a source-level memory instruction (the unit SIP instruments;
+/// paper §4.4 and Table 2 count these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub u32);
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site:{}", self.0)
+    }
+}
+
+/// One page touch by the application.
+///
+/// A touch may stand for many consecutive *executions* of the same
+/// instruction against the same page (`repeats`): the page can fault at
+/// most once per touch, but an instrumented SIP site pays its bitmap check
+/// on **every** execution. This distinction is what makes the paper's *mcf*
+/// dilemma reproducible (§5.2): sites whose Class-1 hits re-execute in hot
+/// loops accumulate check overhead that cancels the world-switch savings on
+/// their Class-3 misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// The enclave-local virtual page touched.
+    pub page: VirtPage,
+    /// Compute cycles elapsed since the previous access event (the work the
+    /// application did in between — this is the time a preloader can hide
+    /// latency behind). Covers all `repeats` executions.
+    pub compute: Cycles,
+    /// The source-level instruction issuing the access.
+    pub site: SiteId,
+    /// Dynamic executions of the site coalesced into this touch (≥ 1).
+    pub repeats: u32,
+}
+
+impl Access {
+    /// A single-execution page touch.
+    pub fn new(page: VirtPage, compute: Cycles, site: SiteId) -> Self {
+        Access {
+            page,
+            compute,
+            site,
+            repeats: 1,
+        }
+    }
+
+    /// A touch standing for `repeats` consecutive executions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats == 0`.
+    pub fn with_repeats(page: VirtPage, compute: Cycles, site: SiteId, repeats: u32) -> Self {
+        assert!(repeats > 0, "a touch stands for at least one execution");
+        Access {
+            page,
+            compute,
+            site,
+            repeats,
+        }
+    }
+}
+
+/// A boxed access stream: the common currency between workload generators,
+/// the profiler and the simulator.
+pub type AccessIter = Box<dyn Iterator<Item = Access>>;
+
+/// A contiguous block of site IDs handed to one generator, assigned
+/// round-robin so every site in the block exhibits the generator's
+/// behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteRange {
+    base: u32,
+    count: u32,
+    next: u32,
+}
+
+impl SiteRange {
+    /// A block of `count` sites starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(base: u32, count: u32) -> Self {
+        assert!(count > 0, "site range must be non-empty");
+        SiteRange {
+            base,
+            count,
+            next: 0,
+        }
+    }
+
+    /// A single site.
+    pub fn single(id: u32) -> Self {
+        Self::new(id, 1)
+    }
+
+    /// First site ID in the block.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of sites in the block.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The next site, round-robin.
+    pub fn next_site(&mut self) -> SiteId {
+        let id = SiteId(self.base + self.next);
+        self.next = (self.next + 1) % self.count;
+        id
+    }
+
+    /// The `i`-th site of the block (wrapping).
+    pub fn site(&self, i: u32) -> SiteId {
+        SiteId(self.base + i % self.count)
+    }
+}
+
+/// A half-open page range `[start, end)` in enclave-local page numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRange {
+    /// First page of the region.
+    pub start: u64,
+    /// One past the last page.
+    pub end: u64,
+}
+
+impl PageRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "empty page range [{start}, {end})");
+        PageRange { start, end }
+    }
+
+    /// A range of `len` pages starting at 0.
+    pub fn first(len: u64) -> Self {
+        Self::new(0, len)
+    }
+
+    /// Number of pages covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Never empty by construction; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `page` lies inside the range.
+    pub fn contains(&self, page: VirtPage) -> bool {
+        (self.start..self.end).contains(&page.raw())
+    }
+
+    /// Splits off the leading `len` pages, returning `(head, tail)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or leaves no tail.
+    pub fn split_at(&self, len: u64) -> (PageRange, PageRange) {
+        assert!(len > 0 && len < self.len(), "invalid split of {self:?}");
+        (
+            PageRange::new(self.start, self.start + len),
+            PageRange::new(self.start + len, self.end),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_range_round_robin() {
+        let mut s = SiteRange::new(10, 3);
+        let got: Vec<u32> = (0..7).map(|_| s.next_site().0).collect();
+        assert_eq!(got, vec![10, 11, 12, 10, 11, 12, 10]);
+        assert_eq!(s.site(5), SiteId(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_site_range_panics() {
+        let _ = SiteRange::new(0, 0);
+    }
+
+    #[test]
+    fn page_range_basics() {
+        let r = PageRange::first(100);
+        assert_eq!(r.len(), 100);
+        assert!(r.contains(VirtPage::new(0)));
+        assert!(r.contains(VirtPage::new(99)));
+        assert!(!r.contains(VirtPage::new(100)));
+        let (a, b) = r.split_at(30);
+        assert_eq!((a.start, a.end), (0, 30));
+        assert_eq!((b.start, b.end), (30, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty page range")]
+    fn inverted_range_panics() {
+        let _ = PageRange::new(5, 5);
+    }
+
+    #[test]
+    fn access_constructor() {
+        let a = Access::new(VirtPage::new(1), Cycles::new(2), SiteId(3));
+        assert_eq!(a.page.raw(), 1);
+        assert_eq!(a.compute.raw(), 2);
+        assert_eq!(a.site.0, 3);
+        assert_eq!(a.repeats, 1);
+        let b = Access::with_repeats(VirtPage::new(1), Cycles::new(2), SiteId(3), 40);
+        assert_eq!(b.repeats, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one execution")]
+    fn zero_repeats_rejected() {
+        let _ = Access::with_repeats(VirtPage::new(0), Cycles::ZERO, SiteId(0), 0);
+    }
+}

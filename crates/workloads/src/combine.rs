@@ -1,0 +1,225 @@
+//! Combinators for composing generators into whole-program shapes.
+//!
+//! Real programs are phases (the *mixed-blood* synthetic of paper §5.4 is a
+//! sequential image scan followed by MSER's irregular phase) and mixtures
+//! (an *xz*-like program interleaves a sequential input scan with random
+//! dictionary probes).
+
+use sgx_sim::DetRng;
+
+use crate::{Access, AccessIter};
+
+/// Runs several access streams back to back.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::Cycles;
+/// use sgx_workloads::{PageRange, PhaseChain, SequentialScan, SiteRange};
+///
+/// let phases = PhaseChain::new(vec![
+///     Box::new(SequentialScan::new(PageRange::first(2), 1, Cycles::ZERO, SiteRange::single(0))),
+///     Box::new(SequentialScan::new(PageRange::new(10, 12), 1, Cycles::ZERO, SiteRange::single(1))),
+/// ]);
+/// let pages: Vec<u64> = phases.map(|a| a.page.raw()).collect();
+/// assert_eq!(pages, vec![0, 1, 10, 11]);
+/// ```
+pub struct PhaseChain {
+    phases: std::collections::VecDeque<AccessIter>,
+}
+
+impl PhaseChain {
+    /// Chains the given phases in order.
+    pub fn new(phases: Vec<AccessIter>) -> Self {
+        PhaseChain {
+            phases: phases.into(),
+        }
+    }
+}
+
+impl Iterator for PhaseChain {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        loop {
+            let front = self.phases.front_mut()?;
+            match front.next() {
+                Some(a) => return Some(a),
+                None => {
+                    self.phases.pop_front();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PhaseChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseChain")
+            .field("phases_left", &self.phases.len())
+            .finish()
+    }
+}
+
+/// Interleaves several access streams by weighted random choice; exhausted
+/// streams drop out and the rest continue.
+pub struct Mix {
+    parts: Vec<(AccessIter, f64)>,
+    rng: DetRng,
+}
+
+impl Mix {
+    /// Mixes `parts` with the given positive weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or any weight is not positive and finite.
+    pub fn new(parts: Vec<(AccessIter, f64)>, rng: DetRng) -> Self {
+        assert!(!parts.is_empty(), "mix needs at least one part");
+        assert!(
+            parts.iter().all(|(_, w)| w.is_finite() && *w > 0.0),
+            "mix weights must be positive and finite"
+        );
+        Mix { parts, rng }
+    }
+}
+
+impl Iterator for Mix {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        while !self.parts.is_empty() {
+            let total: f64 = self.parts.iter().map(|(_, w)| w).sum();
+            let mut pick = self.rng.unit() * total;
+            let mut idx = self.parts.len() - 1;
+            for (i, (_, w)) in self.parts.iter().enumerate() {
+                if pick < *w {
+                    idx = i;
+                    break;
+                }
+                pick -= w;
+            }
+            match self.parts[idx].0.next() {
+                Some(a) => return Some(a),
+                None => {
+                    drop(self.parts.swap_remove(idx));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mix")
+            .field("parts_left", &self.parts.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PageRange, SequentialScan, SiteRange};
+    use sgx_sim::Cycles;
+
+    fn seq(range: PageRange, site: u32) -> AccessIter {
+        Box::new(SequentialScan::new(
+            range,
+            1,
+            Cycles::ZERO,
+            SiteRange::single(site),
+        ))
+    }
+
+    #[test]
+    fn phase_chain_runs_in_order() {
+        let c = PhaseChain::new(vec![
+            seq(PageRange::first(3), 0),
+            seq(PageRange::new(100, 102), 1),
+        ]);
+        let got: Vec<(u64, u32)> = c.map(|a| (a.page.raw(), a.site.0)).collect();
+        assert_eq!(got, vec![(0, 0), (1, 0), (2, 0), (100, 1), (101, 1)]);
+    }
+
+    #[test]
+    fn phase_chain_skips_empty_phases() {
+        let c = PhaseChain::new(vec![
+            Box::new(std::iter::empty()),
+            seq(PageRange::first(1), 7),
+        ]);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn phase_chain_empty_input() {
+        let mut c = PhaseChain::new(vec![]);
+        assert!(c.next().is_none());
+    }
+
+    #[test]
+    fn mix_emits_everything_exactly_once() {
+        let m = Mix::new(
+            vec![
+                (seq(PageRange::first(50), 0), 1.0),
+                (seq(PageRange::new(1_000, 1_150), 1), 3.0),
+            ],
+            DetRng::seed_from(2),
+        );
+        let got: Vec<u64> = m.map(|a| a.page.raw()).collect();
+        assert_eq!(got.len(), 200);
+        let low: Vec<u64> = got.iter().copied().filter(|&p| p < 50).collect();
+        let high: Vec<u64> = got.iter().copied().filter(|&p| p >= 1_000).collect();
+        assert_eq!(low, (0..50).collect::<Vec<_>>(), "part order preserved");
+        assert_eq!(high, (1_000..1_150).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let m = Mix::new(
+            vec![
+                (seq(PageRange::first(10_000), 0), 1.0),
+                (seq(PageRange::new(100_000, 110_000), 1), 4.0),
+            ],
+            DetRng::seed_from(3),
+        );
+        // Among the first 1000 accesses, the heavy part should dominate.
+        let heavy = m
+            .take(1_000)
+            .filter(|a| a.page.raw() >= 100_000)
+            .count();
+        assert!(
+            (700..900).contains(&heavy),
+            "heavy part drew {heavy}/1000, expected ≈800"
+        );
+    }
+
+    #[test]
+    fn mix_is_deterministic() {
+        let mk = || {
+            Mix::new(
+                vec![
+                    (seq(PageRange::first(100), 0), 1.0),
+                    (seq(PageRange::new(500, 600), 1), 1.0),
+                ],
+                DetRng::seed_from(4),
+            )
+            .map(|a| a.page.raw())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn empty_mix_rejected() {
+        let _ = Mix::new(vec![], DetRng::seed_from(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_weight_rejected() {
+        let _ = Mix::new(vec![(seq(PageRange::first(1), 0), 0.0)], DetRng::seed_from(0));
+    }
+}

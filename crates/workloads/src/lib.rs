@@ -1,0 +1,49 @@
+//! # sgx-workloads — synthetic page-level workload models
+//!
+//! The paper evaluates on SPEC CPU2017 binaries, `mcf` from CPU2006, the
+//! SD-VBS SIFT/MSER vision kernels, a 1 GiB sequential microbenchmark and a
+//! *mixed-blood* synthetic, all running under Graphene-SGX. Neither the
+//! binaries nor the SGX testbed are available here, so this crate rebuilds
+//! each program as a **page-level access-stream model** — which is exactly
+//! the abstraction DFP and SIP consume: faulted page numbers at runtime, and
+//! per-source-site page traces during profiling.
+//!
+//! * [`Access`] / [`SiteId`] / [`AccessIter`] — the event-stream currency.
+//! * Generators: [`SequentialScan`], [`InterleavedStreams`], [`BurstyScan`]
+//!   (regular shapes, paper Fig. 3 a/c), [`UniformRandom`], [`ZipfRandom`],
+//!   [`PointerChase`], [`HotColdSites`] (irregular shapes, Fig. 3 b and the
+//!   §5.2 mcf dilemma), composed with [`PhaseChain`] and [`Mix`].
+//! * [`Benchmark`] — the registry of all 18 evaluated programs, with the
+//!   paper's Table-1 classification, language-based SIP support flags, and
+//!   train/ref input sets.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgx_workloads::{Benchmark, InputSet, Scale};
+//!
+//! let accesses: Vec<_> = Benchmark::Lbm
+//!     .build(InputSet::Ref, Scale::DEV, 42)
+//!     .take(10)
+//!     .collect();
+//! assert_eq!(accesses.len(), 10);
+//! assert!(Benchmark::Lbm.sip_supported());
+//! assert!(!Benchmark::Bwaves.sip_supported()); // Fortran
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod combine;
+mod irregular;
+mod regular;
+mod spec;
+mod trace;
+
+pub use access::{Access, AccessIter, PageRange, SiteId, SiteRange};
+pub use combine::{Mix, PhaseChain};
+pub use irregular::{HotColdSites, PointerChase, UniformRandom, ZipfRandom};
+pub use regular::{working_set_loop, BurstyScan, InterleavedStreams, SequentialScan};
+pub use spec::{Benchmark, Category, InputSet, Language, Scale};
+pub use trace::{RecordedTrace, TraceParseError};

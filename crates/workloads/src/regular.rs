@@ -1,0 +1,340 @@
+//! Regular (stream-shaped) access generators.
+//!
+//! These model the page-level behaviour the paper's Fig. 3(a)/(c) shows for
+//! *bwaves* and *lbm*: long sequential sweeps, possibly several interleaved,
+//! possibly broken into bursts (the *roms*-like shape that defeats stream
+//! detection).
+
+use sgx_epc::VirtPage;
+use sgx_sim::{Cycles, DetRng};
+
+use crate::{Access, PageRange, SiteRange};
+
+/// A sequential sweep over a region, repeated for a number of passes —
+/// the paper's 1 GiB microbenchmark is exactly this.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::Cycles;
+/// use sgx_workloads::{PageRange, SequentialScan, SiteRange};
+///
+/// let scan = SequentialScan::new(
+///     PageRange::first(3),
+///     2,
+///     Cycles::new(100),
+///     SiteRange::single(0),
+/// );
+/// let pages: Vec<u64> = scan.map(|a| a.page.raw()).collect();
+/// assert_eq!(pages, vec![0, 1, 2, 0, 1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialScan {
+    region: PageRange,
+    cur: u64,
+    passes_left: u64,
+    compute: Cycles,
+    sites: SiteRange,
+}
+
+impl SequentialScan {
+    /// Sweeps `region` `passes` times with `compute` cycles between page
+    /// touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passes == 0`.
+    pub fn new(region: PageRange, passes: u64, compute: Cycles, sites: SiteRange) -> Self {
+        assert!(passes > 0, "at least one pass required");
+        SequentialScan {
+            region,
+            cur: region.start,
+            passes_left: passes,
+            compute,
+            sites,
+        }
+    }
+}
+
+impl Iterator for SequentialScan {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.passes_left == 0 {
+            return None;
+        }
+        let page = VirtPage::new(self.cur);
+        self.cur += 1;
+        if self.cur == self.region.end {
+            self.cur = self.region.start;
+            self.passes_left -= 1;
+        }
+        Some(Access::new(page, self.compute, self.sites.next_site()))
+    }
+}
+
+/// Several sequential streams advanced round-robin — the *bwaves* shape:
+/// multiple arrays swept in lockstep.
+#[derive(Debug, Clone)]
+pub struct InterleavedStreams {
+    streams: Vec<(PageRange, u64)>,
+    idx: usize,
+    remaining: u64,
+    compute: Cycles,
+    sites: SiteRange,
+}
+
+impl InterleavedStreams {
+    /// Interleaves one sequential walker per region, emitting `total`
+    /// accesses in round-robin order; each walker wraps within its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty or `total == 0`.
+    pub fn new(regions: Vec<PageRange>, total: u64, compute: Cycles, sites: SiteRange) -> Self {
+        assert!(!regions.is_empty(), "need at least one stream");
+        assert!(total > 0, "need at least one access");
+        InterleavedStreams {
+            streams: regions.into_iter().map(|r| (r, r.start)).collect(),
+            idx: 0,
+            remaining: total,
+            compute,
+            sites,
+        }
+    }
+}
+
+impl Iterator for InterleavedStreams {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (region, cur) = &mut self.streams[self.idx];
+        let page = VirtPage::new(*cur);
+        *cur += 1;
+        if *cur == region.end {
+            *cur = region.start;
+        }
+        self.idx = (self.idx + 1) % self.streams.len();
+        Some(Access::new(page, self.compute, self.sites.next_site()))
+    }
+}
+
+/// Short sequential bursts at random positions — the *roms*-like shape:
+/// locally regular, globally jumpy. Burst lengths are geometric with the
+/// given mean, so many bursts end right after the stream detector locks on,
+/// which is what makes plain DFP regress on such programs (paper Fig. 8).
+#[derive(Debug, Clone)]
+pub struct BurstyScan {
+    region: PageRange,
+    rng: DetRng,
+    mean_burst: f64,
+    stride: u64,
+    remaining: u64,
+    cur: u64,
+    burst_left: u64,
+    compute: Cycles,
+    sites: SiteRange,
+}
+
+impl BurstyScan {
+    /// Emits `total` accesses in geometric bursts of the given mean length,
+    /// each burst starting at a uniform position in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `mean_burst < 1.0`.
+    pub fn new(
+        region: PageRange,
+        total: u64,
+        mean_burst: f64,
+        compute: Cycles,
+        sites: SiteRange,
+        rng: DetRng,
+    ) -> Self {
+        assert!(total > 0, "need at least one access");
+        assert!(mean_burst >= 1.0, "mean burst length below 1");
+        BurstyScan {
+            region,
+            rng,
+            mean_burst,
+            stride: 1,
+            remaining: total,
+            cur: 0,
+            burst_left: 0,
+            compute,
+            sites,
+        }
+    }
+
+    /// Sets the intra-burst stride in pages. A stride of 2 touches every
+    /// other page: each faulted page still lands inside the stream
+    /// detector's match window, so DFP keeps extending the stream, but half
+    /// of the pages it preloads are never touched — the access shape that
+    /// makes plain DFP *regress* (paper Fig. 8: roms, deepsjeng).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_stride(mut self, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        self.stride = stride;
+        self
+    }
+}
+
+impl Iterator for BurstyScan {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.burst_left == 0 {
+            self.cur = self.rng.uniform_range(self.region.start, self.region.end);
+            self.burst_left = self.rng.geometric(1.0 / self.mean_burst);
+        }
+        let page = VirtPage::new(self.cur);
+        self.burst_left -= 1;
+        self.cur += self.stride;
+        if self.cur >= self.region.end {
+            self.burst_left = 0;
+        }
+        Some(Access::new(page, self.compute, self.sites.next_site()))
+    }
+}
+
+/// A loop over a working set that fits in EPC — the paper's "small working
+/// set" benchmark class (Table 1), which page preloading can neither help
+/// nor hurt much.
+pub fn working_set_loop(
+    region: PageRange,
+    passes: u64,
+    compute: Cycles,
+    sites: SiteRange,
+) -> SequentialScan {
+    SequentialScan::new(region, passes, compute, sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_pages(it: impl Iterator<Item = Access>) -> Vec<u64> {
+        it.map(|a| a.page.raw()).collect()
+    }
+
+    #[test]
+    fn sequential_scan_wraps_per_pass() {
+        let s = SequentialScan::new(
+            PageRange::new(5, 8),
+            2,
+            Cycles::new(7),
+            SiteRange::single(1),
+        );
+        assert_eq!(collect_pages(s), vec![5, 6, 7, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sequential_scan_carries_compute_and_site() {
+        let mut s = SequentialScan::new(
+            PageRange::first(2),
+            1,
+            Cycles::new(42),
+            SiteRange::new(3, 2),
+        );
+        let a = s.next().unwrap();
+        let b = s.next().unwrap();
+        assert_eq!(a.compute, Cycles::new(42));
+        assert_eq!(a.site.0, 3);
+        assert_eq!(b.site.0, 4);
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn interleaved_streams_round_robin() {
+        let s = InterleavedStreams::new(
+            vec![PageRange::new(0, 100), PageRange::new(1000, 1100)],
+            6,
+            Cycles::ZERO,
+            SiteRange::single(0),
+        );
+        assert_eq!(collect_pages(s), vec![0, 1000, 1, 1001, 2, 1002]);
+    }
+
+    #[test]
+    fn interleaved_stream_wraps_in_its_region() {
+        let s = InterleavedStreams::new(
+            vec![PageRange::new(0, 2)],
+            5,
+            Cycles::ZERO,
+            SiteRange::single(0),
+        );
+        assert_eq!(collect_pages(s), vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn bursty_scan_emits_sequential_runs_inside_region() {
+        let region = PageRange::new(100, 10_000);
+        let s = BurstyScan::new(
+            region,
+            5_000,
+            6.0,
+            Cycles::ZERO,
+            SiteRange::single(0),
+            DetRng::seed_from(1),
+        );
+        let pages = collect_pages(s);
+        assert_eq!(pages.len(), 5_000);
+        assert!(pages.iter().all(|&p| (100..10_000).contains(&p)));
+        // A healthy fraction of steps are +1 (within a burst)…
+        let seq_steps = pages.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(
+            seq_steps > 3_000,
+            "expected mostly sequential steps, got {seq_steps}/4999"
+        );
+        // …but jumps exist too.
+        assert!(seq_steps < 4_990, "bursts must break sometimes");
+    }
+
+    #[test]
+    fn bursty_scan_is_deterministic_per_seed() {
+        let make = || {
+            BurstyScan::new(
+                PageRange::first(1_000),
+                200,
+                4.0,
+                Cycles::ZERO,
+                SiteRange::single(0),
+                DetRng::seed_from(9),
+            )
+        };
+        assert_eq!(collect_pages(make()), collect_pages(make()));
+    }
+
+    #[test]
+    fn working_set_loop_repeats() {
+        let w = working_set_loop(
+            PageRange::first(4),
+            3,
+            Cycles::new(1),
+            SiteRange::single(0),
+        );
+        assert_eq!(w.count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let _ = SequentialScan::new(
+            PageRange::first(1),
+            0,
+            Cycles::ZERO,
+            SiteRange::single(0),
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Recording and replaying access traces.
+//!
+//! The paper's profiling flow captures "the page number and time stamp of
+//! every memory instruction" to a trace that is analyzed offline (§3.1).
+//! [`RecordedTrace`] is that artifact: capture any access stream, persist
+//! it as CSV, and replay it later — e.g. profile once, then drive many
+//! simulator configurations from the identical trace, or import a
+//! page-level trace gathered on real hardware.
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use sgx_epc::VirtPage;
+use sgx_sim::Cycles;
+
+use crate::{Access, SiteId};
+
+/// A materialized access trace.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_workloads::{Benchmark, InputSet, RecordedTrace, Scale};
+///
+/// let trace = RecordedTrace::record(
+///     Benchmark::Lbm.build(InputSet::Ref, Scale::DEV, 1),
+///     1_000,
+/// );
+/// assert_eq!(trace.len(), 1_000);
+/// let replayed: Vec<_> = trace.replay().collect();
+/// assert_eq!(replayed.len(), 1_000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordedTrace {
+    accesses: Vec<Access>,
+}
+
+/// Error parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: usize,
+    reason: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for TraceParseError {}
+
+impl RecordedTrace {
+    /// Captures up to `limit` accesses from a stream.
+    pub fn record(stream: impl Iterator<Item = Access>, limit: usize) -> Self {
+        RecordedTrace {
+            accesses: stream.take(limit).collect(),
+        }
+    }
+
+    /// Wraps an existing access vector.
+    pub fn from_accesses(accesses: Vec<Access>) -> Self {
+        RecordedTrace { accesses }
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Number of distinct pages touched.
+    pub fn footprint_pages(&self) -> u64 {
+        let mut pages: Vec<u64> = self.accesses.iter().map(|a| a.page.raw()).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.len() as u64
+    }
+
+    /// The smallest ELRANGE (in pages) that contains the trace.
+    pub fn elrange_pages(&self) -> u64 {
+        self.accesses
+            .iter()
+            .map(|a| a.page.raw() + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Replays the trace as a fresh access stream (borrowing).
+    pub fn replay(&self) -> impl Iterator<Item = Access> + '_ {
+        self.accesses.iter().copied()
+    }
+
+    /// Consumes the trace into a boxed stream for [`crate::AccessIter`]
+    /// call sites.
+    pub fn into_stream(self) -> crate::AccessIter {
+        Box::new(self.accesses.into_iter())
+    }
+
+    /// Serializes to the trace CSV format
+    /// (`page,compute,site,repeats`, one access per line, header first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.accesses.len() * 16 + 32);
+        out.push_str("page,compute,site,repeats\n");
+        for a in &self.accesses {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                a.page.raw(),
+                a.compute.raw(),
+                a.site.0,
+                a.repeats
+            ));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Parses the CSV form produced by [`RecordedTrace::to_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] on a malformed header, field count, or
+    /// number, identifying the offending line.
+    pub fn from_csv(text: &str) -> Result<Self, TraceParseError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == "page,compute,site,repeats" => {}
+            Some((_, other)) => {
+                return Err(TraceParseError {
+                    line: 1,
+                    reason: format!("unexpected header {other:?}"),
+                })
+            }
+            None => {
+                return Err(TraceParseError {
+                    line: 1,
+                    reason: "empty input".into(),
+                })
+            }
+        }
+        let mut accesses = Vec::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 4 {
+                return Err(TraceParseError {
+                    line: lineno,
+                    reason: format!("expected 4 fields, found {}", fields.len()),
+                });
+            }
+            let num = |s: &str, what: &str| -> Result<u64, TraceParseError> {
+                s.trim().parse::<u64>().map_err(|e| TraceParseError {
+                    line: lineno,
+                    reason: format!("bad {what} {s:?}: {e}"),
+                })
+            };
+            let repeats = num(fields[3], "repeats")?;
+            if repeats == 0 || repeats > u32::MAX as u64 {
+                return Err(TraceParseError {
+                    line: lineno,
+                    reason: format!("repeats {repeats} out of range"),
+                });
+            }
+            let site = num(fields[2], "site")?;
+            if site > u32::MAX as u64 {
+                return Err(TraceParseError {
+                    line: lineno,
+                    reason: format!("site id {site} out of range"),
+                });
+            }
+            accesses.push(Access::with_repeats(
+                VirtPage::new(num(fields[0], "page")?),
+                Cycles::new(num(fields[1], "compute")?),
+                SiteId(site as u32),
+                repeats as u32,
+            ));
+        }
+        Ok(RecordedTrace { accesses })
+    }
+
+    /// Reads a trace CSV from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (as a parse error mentioning the path) and
+    /// parse errors.
+    pub fn read_csv(path: impl AsRef<Path>) -> Result<Self, TraceParseError> {
+        let text = std::fs::read_to_string(&path).map_err(|e| TraceParseError {
+            line: 0,
+            reason: format!("cannot read {}: {e}", path.as_ref().display()),
+        })?;
+        Self::from_csv(&text)
+    }
+}
+
+impl FromIterator<Access> for RecordedTrace {
+    fn from_iter<T: IntoIterator<Item = Access>>(iter: T) -> Self {
+        RecordedTrace {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, InputSet, Scale};
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let t = RecordedTrace::record(
+            Benchmark::Deepsjeng.build(InputSet::Ref, Scale::DEV, 1),
+            500,
+        );
+        assert_eq!(t.len(), 500);
+        let original: Vec<Access> = Benchmark::Deepsjeng
+            .build(InputSet::Ref, Scale::DEV, 1)
+            .take(500)
+            .collect();
+        let replayed: Vec<Access> = t.replay().collect();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_everything() {
+        let t = RecordedTrace::record(
+            Benchmark::Mcf.build(InputSet::Train, Scale::DEV, 3),
+            300,
+        );
+        let csv = t.to_csv();
+        let back = RecordedTrace::from_csv(&csv).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(t.footprint_pages(), back.footprint_pages());
+    }
+
+    #[test]
+    fn footprint_and_elrange() {
+        let t = RecordedTrace::from_accesses(vec![
+            Access::new(VirtPage::new(5), Cycles::ZERO, SiteId(0)),
+            Access::new(VirtPage::new(5), Cycles::ZERO, SiteId(0)),
+            Access::new(VirtPage::new(99), Cycles::ZERO, SiteId(1)),
+        ]);
+        assert_eq!(t.footprint_pages(), 2);
+        assert_eq!(t.elrange_pages(), 100);
+        let empty = RecordedTrace::default();
+        assert_eq!(empty.footprint_pages(), 0);
+        assert_eq!(empty.elrange_pages(), 1);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_identify_the_line() {
+        let e = RecordedTrace::from_csv("").unwrap_err();
+        assert!(e.to_string().contains("empty input"));
+
+        let e = RecordedTrace::from_csv("nope\n1,2,3,4\n").unwrap_err();
+        assert!(e.to_string().contains("unexpected header"));
+
+        let e = RecordedTrace::from_csv("page,compute,site,repeats\n1,2,3\n").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        assert!(e.to_string().contains("expected 4 fields"));
+
+        let e = RecordedTrace::from_csv("page,compute,site,repeats\n1,x,3,4\n").unwrap_err();
+        assert!(e.to_string().contains("bad compute"));
+
+        let e = RecordedTrace::from_csv("page,compute,site,repeats\n1,2,3,0\n").unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = RecordedTrace::from_csv("page,compute,site,repeats\n1,2,3,4\n\n5,6,7,8\n")
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.accesses()[1].page.raw(), 5);
+        assert_eq!(t.accesses()[1].repeats, 8);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sgx_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        let t = RecordedTrace::record(
+            Benchmark::Lbm.build(InputSet::Ref, Scale::DEV, 1),
+            100,
+        );
+        t.write_csv(&path).unwrap();
+        let back = RecordedTrace::read_csv(&path).unwrap();
+        assert_eq!(t, back);
+        let missing = RecordedTrace::read_csv(dir.join("missing.csv"));
+        assert!(missing.unwrap_err().to_string().contains("cannot read"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: RecordedTrace = Benchmark::Lbm
+            .build(InputSet::Ref, Scale::DEV, 1)
+            .take(10)
+            .collect();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.into_stream().count(), 10);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+
+use sgx_sim::{Cycles, DetRng};
+use sgx_workloads::{
+    Benchmark, BurstyScan, InputSet, PageRange, PointerChase, RecordedTrace, Scale,
+    SequentialScan, SiteRange, UniformRandom, ZipfRandom,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator keeps its pages inside the configured region for
+    /// arbitrary parameters.
+    #[test]
+    fn generators_respect_regions(
+        start in 0u64..10_000,
+        len in 2u64..5_000,
+        total in 1u64..2_000,
+        seed in any::<u64>(),
+        mean_burst in 1.0f64..20.0,
+        stride in 1u64..5,
+        p_local in 0.0f64..1.0,
+        zipf_s in 0.2f64..2.5,
+    ) {
+        let region = PageRange::new(start, start + len);
+        let gens: Vec<Box<dyn Iterator<Item = sgx_workloads::Access>>> = vec![
+            Box::new(SequentialScan::new(region, 2, Cycles::new(1), SiteRange::single(0))),
+            Box::new(
+                BurstyScan::new(region, total, mean_burst, Cycles::new(1),
+                    SiteRange::single(0), DetRng::seed_from(seed))
+                .with_stride(stride),
+            ),
+            Box::new(UniformRandom::new(region, total, Cycles::new(1),
+                SiteRange::single(0), DetRng::seed_from(seed))),
+            Box::new(ZipfRandom::new(region, total, zipf_s, Cycles::new(1),
+                SiteRange::single(0), DetRng::seed_from(seed))),
+            Box::new(PointerChase::new(region, total, p_local, 4, Cycles::new(1),
+                SiteRange::single(0), DetRng::seed_from(seed))),
+        ];
+        for g in gens {
+            for a in g {
+                prop_assert!(
+                    region.contains(a.page),
+                    "page {} escaped [{}, {})",
+                    a.page.raw(),
+                    region.start,
+                    region.end
+                );
+                prop_assert!(a.repeats >= 1);
+            }
+        }
+    }
+
+    /// Random-parameter bursty scans emit exactly `total` accesses.
+    #[test]
+    fn bursty_scan_emits_exact_count(
+        total in 1u64..3_000,
+        mean in 1.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let g = BurstyScan::new(
+            PageRange::first(10_000),
+            total,
+            mean,
+            Cycles::ZERO,
+            SiteRange::single(0),
+            DetRng::seed_from(seed),
+        );
+        prop_assert_eq!(g.count() as u64, total);
+    }
+
+    /// Benchmark builds are reproducible and scale-stable for arbitrary
+    /// seeds: the same (input, scale, seed) triple always yields the same
+    /// prefix.
+    #[test]
+    fn benchmark_builds_reproducible(seed in any::<u64>(), pick in 0usize..18) {
+        let bench = Benchmark::ALL[pick];
+        let collect = || -> Vec<(u64, u32)> {
+            bench
+                .build(InputSet::Ref, Scale::DEV, seed)
+                .take(200)
+                .map(|a| (a.page.raw(), a.site.0))
+                .collect()
+        };
+        prop_assert_eq!(collect(), collect());
+    }
+
+    /// Trace CSV serialization round-trips arbitrary access vectors.
+    #[test]
+    fn trace_csv_roundtrip(
+        raw in proptest::collection::vec(
+            (0u64..1u64 << 40, 0u64..1u64 << 30, 0u32..1 << 20, 1u32..1 << 16),
+            0..200,
+        ),
+    ) {
+        let trace: RecordedTrace = raw
+            .iter()
+            .map(|&(page, compute, site, repeats)| {
+                sgx_workloads::Access::with_repeats(
+                    sgx_epc::VirtPage::new(page),
+                    Cycles::new(compute),
+                    sgx_workloads::SiteId(site),
+                    repeats,
+                )
+            })
+            .collect();
+        let back = RecordedTrace::from_csv(&trace.to_csv()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+}

@@ -1,0 +1,64 @@
+//! Multi-enclave EPC contention (paper §5.6): several enclaves share the
+//! same 96 MiB EPC and the same exclusive load channel. Each enclave's
+//! preloading works independently, but the shared resources shrink.
+//!
+//! ```text
+//! cargo run --release --example multi_enclave -- dev
+//! ```
+
+use sgx_preloading::{run_apps, AppSpec, Benchmark, InputSet, Scale, Scheme, SimConfig};
+
+fn apps(cfg: &SimConfig, n: usize) -> Vec<AppSpec> {
+    (0..n)
+        .map(|i| {
+            AppSpec::new(
+                format!("lbm#{i}"),
+                Benchmark::Lbm.elrange_pages(cfg.scale),
+                Benchmark::Lbm.build(InputSet::Ref, cfg.scale, cfg.seed + i as u64),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("dev") => Scale::DEV,
+        Some("quarter") => Scale::QUARTER,
+        _ => Scale::FULL,
+    };
+    let cfg = SimConfig::at_scale(scale);
+
+    println!("== EPC contention: N copies of lbm sharing one EPC ==\n");
+    println!(
+        "{:>2} {:>18} {:>18} {:>10} {:>12}",
+        "N", "baseline/app", "DFP/app", "DFP gain", "vs solo"
+    );
+
+    let mut solo_cycles = 0u64;
+    for n in [1usize, 2, 4] {
+        let base = run_apps(apps(&cfg, n), &cfg, Scheme::Baseline);
+        let dfp = run_apps(apps(&cfg, n), &cfg, Scheme::DfpStop);
+        let base_mean =
+            base.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
+        let dfp_mean = dfp.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
+        if n == 1 {
+            solo_cycles = base_mean;
+        }
+        println!(
+            "{:>2} {:>18} {:>18} {:>+9.1}% {:>11.2}x",
+            n,
+            base_mean,
+            dfp_mean,
+            (1.0 - dfp_mean as f64 / base_mean as f64) * 100.0,
+            base_mean as f64 / solo_cycles as f64
+        );
+    }
+
+    println!(
+        "\nWith one enclave the preloader exploits idle channel time; once \
+         enclaves contend, demand faults saturate the exclusive load channel, \
+         the preload worker starves, and DFP degenerates gracefully to the \
+         baseline — the §5.6 contention/fairness problem the paper defers to \
+         cache-partitioning literature."
+    );
+}

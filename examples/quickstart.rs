@@ -1,0 +1,69 @@
+//! Quickstart: reproduce the paper's headline story in one page of code.
+//!
+//! Runs the 1 GiB sequential microbenchmark (paper §1/§5) three ways —
+//! outside any enclave, inside an enclave with the vanilla driver, and
+//! inside an enclave with DFP preloading — and prints the motivation
+//! slowdown plus DFP's recovery.
+//!
+//! ```text
+//! cargo run --release --example quickstart            # paper scale
+//! cargo run --release --example quickstart -- dev     # 1/16 scale, fast
+//! ```
+
+use sgx_preloading::{
+    run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig,
+};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("dev") => Scale::DEV,
+        Some("quarter") => Scale::QUARTER,
+        _ => Scale::FULL,
+    };
+    let cfg = SimConfig::at_scale(scale);
+    let bench = Benchmark::Microbenchmark;
+
+    println!("== microbenchmark: sequential scan of 1 GiB (scale 1/{}) ==\n", scale.divisor());
+
+    let outside = run_outside(
+        "outside enclave",
+        bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+        &cfg,
+    );
+    let baseline = run_benchmark(bench, Scheme::Baseline, &cfg);
+    let dfp = run_benchmark(bench, Scheme::Dfp, &cfg);
+
+    let ghz = 3_500_000_000; // the paper's 3.5 GHz Xeon E3-1240v5
+    println!(
+        "outside enclave : {:>16} cycles  ({:.2} s at 3.5 GHz), {} first-touch faults",
+        outside.total_cycles.to_string(),
+        outside.total_cycles.as_secs_at(ghz),
+        outside.faults
+    );
+    println!(
+        "inside, vanilla : {:>16} cycles  ({:.2} s), {} EPC faults of ~{} cycles",
+        baseline.total_cycles.to_string(),
+        baseline.total_cycles.as_secs_at(ghz),
+        baseline.faults,
+        baseline.fault_service_mean
+    );
+    println!(
+        "inside, DFP     : {:>16} cycles  ({:.2} s), preload accuracy {:.1}%",
+        dfp.total_cycles.to_string(),
+        dfp.total_cycles.as_secs_at(ghz),
+        dfp.preload_accuracy() * 100.0
+    );
+
+    let slowdown = baseline.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
+    println!(
+        "\nSGX slowdown    : {slowdown:.1}x   (paper reports ≈46x for this program)"
+    );
+    println!(
+        "DFP improvement : {:+.1}%  (paper reports +18.6%)",
+        dfp.improvement_over(&baseline) * 100.0
+    );
+    println!(
+        "seconds regained: {:.2} s per run at 3.5 GHz",
+        (baseline.total_cycles - dfp.total_cycles).as_secs_at(ghz)
+    );
+}

@@ -1,0 +1,68 @@
+//! The full SPEC-style evaluation campaign: every benchmark of the paper's
+//! Table 1 under every scheme, printed as one summary table (the union of
+//! Figs. 8, 10 and 12).
+//!
+//! ```text
+//! cargo run --release --example spec_campaign -- dev
+//! ```
+
+use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+use sgx_workloads::Category;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("dev") => Scale::DEV,
+        Some("quarter") => Scale::QUARTER,
+        _ => Scale::FULL,
+    };
+    let cfg = SimConfig::at_scale(scale);
+
+    println!(
+        "== SPEC campaign at scale 1/{} (EPC = {} pages) ==\n",
+        scale.divisor(),
+        cfg.epc_pages
+    );
+    println!(
+        "{:<16} {:<14} {:>9} {:>9} {:>9} {:>9}  {:>7} {:>6}",
+        "benchmark", "class", "DFP", "DFP-stop", "SIP", "SIP+DFP", "faults", "points"
+    );
+
+    let mut improvements: Vec<(Scheme, f64)> = Vec::new();
+    for bench in Benchmark::ALL {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let class = match bench.category() {
+            Category::SmallWorkingSet => "small WS",
+            Category::LargeIrregular => "large/irreg",
+            Category::LargeRegular => "large/regular",
+            Category::RealWorld => "real-world",
+            Category::Synthetic => "synthetic",
+        };
+        print!("{:<16} {:<14}", bench.name(), class);
+        let mut points = 0;
+        for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
+            let r = run_benchmark(bench, scheme, &cfg);
+            let imp = r.improvement_over(&base);
+            improvements.push((scheme, imp));
+            points = points.max(r.instrumentation_points);
+            print!(" {:+8.1}%", imp * 100.0);
+        }
+        println!("  {:>7} {:>6}", base.faults, points);
+    }
+
+    println!("\naverages over benchmarks where the scheme is active:");
+    for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
+        let xs: Vec<f64> = improvements
+            .iter()
+            .filter(|(s, imp)| *s == scheme && imp.abs() > 1e-9)
+            .map(|(_, imp)| *imp)
+            .collect();
+        if !xs.is_empty() {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            println!("  {:<9} {:+.1}% over {} benchmarks", scheme.name(), mean * 100.0, xs.len());
+        }
+    }
+    println!(
+        "\npaper reference: DFP +11.4% avg on regular benchmarks (max +18.6%), \
+         SIP +7.0% avg (max +9.0%), hybrid +7.1% on mixed workloads"
+    );
+}

@@ -1,0 +1,394 @@
+//! `sgx-preload` — command-line front end for the reproduction.
+//!
+//! ```text
+//! sgx-preload list
+//! sgx-preload run --bench lbm --scheme dfp --scale dev
+//! sgx-preload suite --scale dev
+//! sgx-preload profile --bench deepsjeng --scale dev
+//! sgx-preload trace --bench lbm -n 5000 --out lbm.csv
+//! sgx-preload replay --trace lbm.csv --scheme dfp
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use sgx_preloading::kernel::{Kernel, KernelConfig};
+use sgx_preloading::{
+    build_plan, profile_stream, run_apps, run_benchmark, AppSpec, Benchmark, Cycles,
+    InputSet, MultiStreamPredictor, NoPredictor, Predictor, ProcessId, NotifyPlacement,
+    RecordedTrace, Scale, Scheme, SimConfig, StreamConfig,
+};
+
+const USAGE: &str = "\
+sgx-preload — Regaining Lost Seconds, reproduced
+
+USAGE:
+    sgx-preload <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                       list benchmarks and schemes
+    run                        run one benchmark under one scheme
+    suite                      run every benchmark under every scheme
+    profile                    profile a benchmark and show the SIP plan
+    trace                      record a benchmark's access trace to CSV
+    replay                     run a recorded trace through the simulator
+    timeline                   print the kernel's paging-event sequence
+
+COMMON OPTIONS:
+    --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
+    --seed <N>                     workload seed (default: 42)
+
+run/replay OPTIONS:
+    --bench <name>                 benchmark name (see `list`)
+    --scheme <name>                baseline | dfp | dfp-stop | sip | hybrid | user-level
+    --epc-pages <N>                override EPC capacity
+    --load-length <N>              DFP LOADLENGTH (default 4)
+    --list-len <N>                 DFP stream_list length (default 30)
+    --threshold <F>                SIP irregular-ratio threshold (default 0.05)
+    --early <N>                    SIP early-notify distance (default: conservative)
+
+trace OPTIONS:
+    --bench <name>  -n <N>         accesses to record (default 10000)
+    --out <file>                   output CSV (default <bench>.trace.csv)
+
+replay OPTIONS:
+    --trace <file>                 trace CSV recorded by `trace`
+
+timeline OPTIONS:
+    --bench <name> --scheme <s> -n <events to print, default 40>
+";
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-'))
+                .ok_or_else(|| format!("unexpected argument {a:?}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("invalid --{key} {v:?}: {e}")),
+        }
+    }
+
+    fn scale(&self) -> Result<Scale, String> {
+        match self.get("scale") {
+            None | Some("dev") => Ok(Scale::DEV),
+            Some("quarter") => Ok(Scale::QUARTER),
+            Some("full") => Ok(Scale::FULL),
+            Some(n) => n
+                .parse::<u64>()
+                .map(Scale::new)
+                .map_err(|_| format!("invalid --scale {n:?}")),
+        }
+    }
+
+    fn scheme(&self) -> Result<Scheme, String> {
+        match self.get("scheme").unwrap_or("baseline") {
+            "baseline" => Ok(Scheme::Baseline),
+            "dfp" => Ok(Scheme::Dfp),
+            "dfp-stop" | "dfpstop" => Ok(Scheme::DfpStop),
+            "sip" => Ok(Scheme::Sip),
+            "hybrid" | "sip+dfp" => Ok(Scheme::Hybrid),
+            "user-level" | "userlevel" | "eleos" => Ok(Scheme::UserLevel),
+            other => Err(format!("unknown scheme {other:?}")),
+        }
+    }
+
+    fn bench(&self) -> Result<Benchmark, String> {
+        let name = self.get("bench").ok_or("missing --bench")?;
+        Benchmark::from_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?} (try `sgx-preload list`)"))
+    }
+
+    fn config(&self) -> Result<SimConfig, String> {
+        let mut cfg = SimConfig::at_scale(self.scale()?);
+        if let Some(seed) = self.parsed::<u64>("seed")? {
+            cfg = cfg.with_seed(seed);
+        }
+        if let Some(epc) = self.parsed::<u64>("epc-pages")? {
+            if epc == 0 {
+                return Err("--epc-pages must be positive".into());
+            }
+            cfg = cfg.with_epc_pages(epc);
+        }
+        let mut stream = StreamConfig::paper_defaults();
+        if let Some(ll) = self.parsed::<u64>("load-length")? {
+            stream = stream.with_load_length(ll);
+        }
+        if let Some(len) = self.parsed::<usize>("list-len")? {
+            stream = stream.with_list_len(len);
+        }
+        cfg = cfg.with_stream(stream);
+        if let Some(t) = self.parsed::<f64>("threshold")? {
+            if !(0.0..=1.0).contains(&t) {
+                return Err("--threshold must be in [0, 1]".into());
+            }
+            cfg = cfg.with_sip(cfg.sip.with_threshold(t));
+        }
+        if let Some(d) = self.parsed::<usize>("early")? {
+            cfg = cfg.with_placement(NotifyPlacement::Early { distance: d });
+        }
+        Ok(cfg)
+    }
+}
+
+fn cmd_list() {
+    println!("benchmarks:");
+    for b in Benchmark::ALL {
+        println!(
+            "  {:<16} {:>5} MiB  {:?}{}",
+            b.name(),
+            b.footprint_pages() / 256,
+            b.category(),
+            if b.sip_supported() { "" } else { "  (no SIP)" }
+        );
+    }
+    println!("\nschemes: baseline, dfp, dfp-stop, sip, hybrid, user-level (§6 comparator)");
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let scheme = args.scheme()?;
+    let r = run_benchmark(bench, scheme, &cfg);
+    println!("{r}");
+    if scheme != Scheme::Baseline {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        println!(
+            "\nimprovement over baseline: {:+.2}% ({} -> {} cycles)",
+            r.improvement_over(&base) * 100.0,
+            base.total_cycles,
+            r.total_cycles
+        );
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "DFP", "DFP-stop", "SIP", "SIP+DFP"
+    );
+    for bench in Benchmark::ALL {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        print!("{:<16}", bench.name());
+        for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
+            let r = run_benchmark(bench, scheme, &cfg);
+            print!(" {:+8.1}%", r.improvement_over(&base) * 100.0);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let profile = profile_stream(
+        bench.build(InputSet::Train, cfg.scale, cfg.seed),
+        cfg.epc_pages as usize,
+    );
+    println!(
+        "{}: {} events over {} sites; class2 {:.1}%, class3 {:.1}%",
+        bench.name(),
+        profile.total_events(),
+        profile.site_count(),
+        profile.stream_share() * 100.0,
+        profile.irregular_share() * 100.0
+    );
+    let plan = build_plan(bench, &cfg, Scheme::Sip);
+    println!(
+        "instrumentation plan at threshold {:.1}%: {} points (TCB ≈ {} LoC)",
+        cfg.sip.threshold * 100.0,
+        plan.len(),
+        plan.tcb_loc_estimate()
+    );
+    let mut rows: Vec<_> = profile.sites().collect();
+    rows.sort_by(|a, b| {
+        b.1.irregular_ratio()
+            .partial_cmp(&a.1.irregular_ratio())
+            .expect("ratios are finite")
+    });
+    println!("\ntop sites by irregular ratio:");
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>8}  instrumented",
+        "site", "events", "c1%", "c2%", "c3%"
+    );
+    for (id, s) in rows.into_iter().take(15) {
+        let n = s.events().max(1) as f64;
+        println!(
+            "{:>8} {:>10} {:>7.1}% {:>7.1}% {:>7.1}%  {}",
+            id.0,
+            s.events(),
+            s.class1 as f64 * 100.0 / n,
+            s.class2 as f64 * 100.0 / n,
+            s.class3 as f64 * 100.0 / n,
+            plan.is_instrumented(id)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let n = args.parsed::<usize>("n")?.unwrap_or(10_000);
+    let out = args
+        .get("out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("{}.trace.csv", bench.name()));
+    let trace = RecordedTrace::record(bench.build(InputSet::Ref, cfg.scale, cfg.seed), n);
+    trace
+        .write_csv(&out)
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "recorded {} accesses over {} distinct pages -> {out}",
+        trace.len(),
+        trace.footprint_pages()
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let scheme = args.scheme()?;
+    let path = args.get("trace").ok_or("missing --trace")?;
+    let trace = RecordedTrace::read_csv(path).map_err(|e| e.to_string())?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let elrange = trace.elrange_pages();
+    let run = |s: Scheme| {
+        run_apps(
+            vec![AppSpec::new(path.to_string(), elrange, trace.clone().into_stream())],
+            &cfg,
+            s,
+        )
+        .pop()
+        .expect("one report")
+    };
+    let r = run(scheme);
+    println!("{r}");
+    if scheme != Scheme::Baseline {
+        let base = run(Scheme::Baseline);
+        println!(
+            "\nimprovement over baseline: {:+.2}%",
+            r.improvement_over(&base) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let scheme = args.scheme()?;
+    if scheme.is_user_level() {
+        return Err("timeline shows hardware-paging events; the user-level runtime has none".into());
+    }
+    let limit = args.parsed::<usize>("n")?.unwrap_or(40);
+    let predictor: Box<dyn Predictor> = if scheme.uses_dfp() {
+        Box::new(MultiStreamPredictor::new(cfg.stream))
+    } else {
+        Box::new(NoPredictor)
+    };
+    let mut kernel = Kernel::new(
+        KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs),
+        predictor,
+    );
+    let pid = ProcessId(0);
+    kernel
+        .register_enclave(pid, bench.elrange_pages(cfg.scale))
+        .map_err(|e| e.to_string())?;
+    kernel.enable_event_log();
+
+    println!("{:>16}  {:<14} page", "cycle", "event");
+    let mut printed = 0usize;
+    let mut now = Cycles::ZERO;
+    for a in bench.build(InputSet::Ref, cfg.scale, cfg.seed) {
+        now += a.compute;
+        if kernel.app_access(now, pid, a.page).is_none() {
+            now = kernel.page_fault(now, pid, a.page).resume_at;
+        }
+        for e in kernel.take_event_log() {
+            println!(
+                "{:>16}  {:<14} {}",
+                e.at.to_string(),
+                e.what.to_string(),
+                e.page.map(|p| p.to_string()).unwrap_or_default()
+            );
+            printed += 1;
+        }
+        if printed >= limit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(&args),
+        "suite" => cmd_suite(&args),
+        "profile" => cmd_profile(&args),
+        "trace" => cmd_trace(&args),
+        "replay" => cmd_replay(&args),
+        "timeline" => cmd_timeline(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

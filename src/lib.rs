@@ -1,0 +1,72 @@
+//! # sgx-preloading — Regaining Lost Seconds, reproduced in Rust
+//!
+//! A full reproduction of *"Regaining Lost Seconds: Efficient Page
+//! Preloading for SGX Enclaves"* (Middleware '20): the **DFP**
+//! (dynamic fault-history-based) and **SIP** (source-level
+//! instrumentation-based) page-preloading schemes, built over a
+//! deterministic cycle-level simulation of the SGX EPC paging stack —
+//! because the original requires SGX hardware, a patched Intel driver and
+//! an LLVM pass, none of which travel well.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `sgx-sim` | cycles, event queue, exclusive channel, RNG, stats |
+//! | [`epc`] | `sgx-epc` | EPC residency, CLOCK bits, presence bitmap, cost model |
+//! | [`kernel`] | `sgx-kernel` | fault handler, load channel, reclaimer, preload worker |
+//! | [`dfp`] | `sgx-dfp` | Algorithm 1 multi-stream predictor, baselines, DFP-stop |
+//! | [`sip`] | `sgx-sip` | profiler, Class 1/2/3 classifier, instrumentation plans |
+//! | [`workloads`] | `sgx-workloads` | the 18 evaluated programs as page-level models |
+//! | [`core`] | `sgx-preload-core` | schemes, configs, the simulator, reports |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+//!
+//! let cfg = SimConfig::at_scale(Scale::DEV);
+//! let base = run_benchmark(Benchmark::Lbm, Scheme::Baseline, &cfg);
+//! let dfp = run_benchmark(Benchmark::Lbm, Scheme::Dfp, &cfg);
+//! println!(
+//!     "lbm: DFP removes {} of {} faults, {:+.1}%",
+//!     base.faults - dfp.faults,
+//!     base.faults,
+//!     dfp.improvement_over(&base) * 100.0,
+//! );
+//! assert!(dfp.improvement_over(&base) > 0.0);
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios (quickstart, the
+//! SPEC campaign, the SIFT/MSER image pipeline, a custom predictor, and
+//! multi-enclave contention) and `crates/bench` for the per-figure
+//! regeneration harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sgx_dfp as dfp;
+pub use sgx_epc as epc;
+pub use sgx_kernel as kernel;
+pub use sgx_preload_core as core;
+pub use sgx_sim as sim;
+pub use sgx_sip as sip;
+pub use sgx_workloads as workloads;
+
+pub use sgx_dfp::{
+    AbortPolicy, MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId,
+    StreamConfig,
+};
+pub use sgx_epc::{CostModel, VictimPolicy, VirtPage};
+pub use sgx_preload_core::{
+    build_plan, run_apps, run_benchmark, run_outside, run_userspace_paging, AppSpec,
+    RunReport, Scheme, SimConfig, UserPagingConfig,
+};
+pub use sgx_sim::Cycles;
+pub use sgx_sip::{
+    profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig,
+    TraceSummary,
+};
+pub use sgx_workloads::{Access, Benchmark, InputSet, RecordedTrace, Scale, SiteId};

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `sgx-preload` command-line tool.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sgx-preload"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn sgx-preload");
+    assert!(
+        out.status.success(),
+        "sgx-preload {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn sgx-preload");
+    assert!(
+        !out.status.success(),
+        "sgx-preload {args:?} unexpectedly succeeded"
+    );
+    String::from_utf8(out.stderr).expect("utf8 stderr")
+}
+
+#[test]
+fn list_names_all_benchmarks_and_schemes() {
+    let out = run_ok(&["list"]);
+    for name in ["microbenchmark", "lbm", "mcf.2006", "mixed-blood", "SIFT"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+    assert!(out.contains("dfp-stop"));
+    assert!(out.contains("(no SIP)"), "Fortran exclusions flagged");
+}
+
+#[test]
+fn run_reports_improvement() {
+    let out = run_ok(&[
+        "run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev",
+    ]);
+    assert!(out.contains("lbm [DFP]"));
+    assert!(out.contains("improvement over baseline: +"));
+}
+
+#[test]
+fn run_respects_parameter_overrides() {
+    // LOADLENGTH 1 must differ from LOADLENGTH 4 on lbm.
+    let a = run_ok(&[
+        "run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev",
+        "--load-length", "1",
+    ]);
+    let b = run_ok(&[
+        "run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev",
+        "--load-length", "4",
+    ]);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn profile_shows_plan_and_sites() {
+    let out = run_ok(&["profile", "--bench", "deepsjeng", "--scale", "dev"]);
+    assert!(out.contains("instrumentation plan"));
+    assert!(out.contains("top sites by irregular ratio"));
+}
+
+#[test]
+fn trace_then_replay_roundtrip() {
+    let dir = std::env::temp_dir().join("sgx_preload_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lbm.csv");
+    let out = run_ok(&[
+        "trace", "--bench", "lbm", "--scale", "dev", "-n", "800",
+        "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("recorded 800 accesses"));
+    let out = run_ok(&[
+        "replay", "--trace", path.to_str().unwrap(), "--scheme", "dfp",
+        "--scale", "dev",
+    ]);
+    assert!(out.contains("improvement over baseline"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn timeline_streams_kernel_events() {
+    let out = run_ok(&[
+        "timeline", "--bench", "microbenchmark", "--scheme", "dfp",
+        "--scale", "dev", "-n", "20",
+    ]);
+    assert!(out.contains("fault"));
+    assert!(out.contains("demand-loaded"));
+    assert!(out.contains("preload-start"), "DFP should preload:\n{out}");
+}
+
+#[test]
+fn helpful_errors() {
+    assert!(run_err(&["run", "--scheme", "dfp"]).contains("missing --bench"));
+    assert!(run_err(&["run", "--bench", "nope"]).contains("unknown benchmark"));
+    assert!(run_err(&["run", "--bench", "lbm", "--scheme", "warp"]).contains("unknown scheme"));
+    assert!(run_err(&["frobnicate"]).contains("unknown command"));
+    assert!(run_err(&[]).contains("USAGE"));
+    assert!(
+        run_err(&["run", "--bench", "lbm", "--threshold", "7"]).contains("must be in [0, 1]")
+    );
+}

@@ -1,0 +1,51 @@
+//! Integration checks for the §6 user-level paging comparator.
+
+use sgx_preloading::{run_benchmark, Benchmark, Cycles, Scale, Scheme, SimConfig, UserPagingConfig};
+
+#[test]
+fn user_level_beats_hardware_paging_on_speed() {
+    // The whole reason Eleos/CoSMIX exist: software swaps (~8k cycles)
+    // against hardware faults (~64k). The paper's counterargument is
+    // security/TCB, not speed.
+    let cfg = SimConfig::at_scale(Scale::DEV);
+    for bench in [Benchmark::Lbm, Benchmark::Deepsjeng] {
+        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let user = run_benchmark(bench, Scheme::UserLevel, &cfg);
+        let hybrid = run_benchmark(bench, Scheme::Hybrid, &cfg);
+        assert!(
+            user.improvement_over(&base) > hybrid.improvement_over(&base),
+            "{bench}: the user-level runtime should win on raw speed"
+        );
+        assert!(user.improvement_over(&base) > 0.3, "{bench}: sizable win expected");
+        // And it instruments *every* execution — the cost the paper avoids.
+        assert_eq!(user.sip_checks, user.executions);
+    }
+}
+
+#[test]
+fn user_level_check_cost_can_erase_the_win() {
+    // Without the software TLB (CoSMIX's point), per-access checks get
+    // expensive enough to matter on check-heavy code.
+    let cfg = SimConfig::at_scale(Scale::DEV);
+    let cheap = run_benchmark(Benchmark::Mcf, Scheme::UserLevel, &cfg);
+    let pricey_cfg = cfg.with_user_paging(
+        UserPagingConfig::defaults_for(cfg.epc_pages)
+            .with_check(Cycles::new(400), Cycles::new(400)),
+    );
+    let pricey = run_benchmark(Benchmark::Mcf, Scheme::UserLevel, &pricey_cfg);
+    assert!(
+        pricey.total_cycles > cheap.total_cycles,
+        "higher check costs must show up"
+    );
+}
+
+#[test]
+fn user_level_is_deterministic_and_fault_free() {
+    let cfg = SimConfig::at_scale(Scale::DEV);
+    let a = run_benchmark(Benchmark::Mser, Scheme::UserLevel, &cfg);
+    let b = run_benchmark(Benchmark::Mser, Scheme::UserLevel, &cfg);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    // "Faults" here are software swaps; no AEX-style fault service exists.
+    assert_eq!(a.faults_waited_inflight, 0);
+    assert_eq!(a.preloads_started, 0);
+}

@@ -1,0 +1,79 @@
+//! Reproducibility guarantees: the simulation is a pure function of
+//! (benchmark, scheme, config, seed).
+
+use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+
+#[test]
+fn every_scheme_is_bit_reproducible() {
+    let cfg = SimConfig::at_scale(Scale::DEV);
+    for bench in [Benchmark::Deepsjeng, Benchmark::Lbm, Benchmark::MixedBlood] {
+        for scheme in Scheme::ALL {
+            let a = run_benchmark(bench, scheme, &cfg);
+            let b = run_benchmark(bench, scheme, &cfg);
+            assert_eq!(
+                a.total_cycles, b.total_cycles,
+                "{bench}/{scheme}: cycles diverged"
+            );
+            assert_eq!(a.faults, b.faults, "{bench}/{scheme}: faults diverged");
+            assert_eq!(
+                a.preloads_started, b.preloads_started,
+                "{bench}/{scheme}: preloads diverged"
+            );
+            assert_eq!(
+                a.sip_notifies, b.sip_notifies,
+                "{bench}/{scheme}: notifies diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeds_change_random_workloads_but_not_deterministic_ones() {
+    let a = SimConfig::at_scale(Scale::DEV).with_seed(1);
+    let b = SimConfig::at_scale(Scale::DEV).with_seed(2);
+    // deepsjeng is stochastic: different seeds, different traces.
+    let d1 = run_benchmark(Benchmark::Deepsjeng, Scheme::Baseline, &a);
+    let d2 = run_benchmark(Benchmark::Deepsjeng, Scheme::Baseline, &b);
+    assert_ne!(d1.total_cycles, d2.total_cycles);
+    // The microbenchmark is a pure sequential scan: seed-independent.
+    let m1 = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &a);
+    let m2 = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &b);
+    assert_eq!(m1.total_cycles, m2.total_cycles);
+}
+
+#[test]
+fn conclusions_are_stable_across_seeds() {
+    // The paper averages five runs; here we check the *sign* of each
+    // headline result across five seeds.
+    for seed in 0..5 {
+        let cfg = SimConfig::at_scale(Scale::DEV).with_seed(seed);
+        let base = run_benchmark(Benchmark::Deepsjeng, Scheme::Baseline, &cfg);
+        let sip = run_benchmark(Benchmark::Deepsjeng, Scheme::Sip, &cfg);
+        assert!(
+            sip.improvement_over(&base) > 0.03,
+            "seed {seed}: deepsjeng SIP gain vanished"
+        );
+
+        let base = run_benchmark(Benchmark::Lbm, Scheme::Baseline, &cfg);
+        let dfp = run_benchmark(Benchmark::Lbm, Scheme::Dfp, &cfg);
+        assert!(
+            dfp.improvement_over(&base) > 0.08,
+            "seed {seed}: lbm DFP gain vanished"
+        );
+    }
+}
+
+#[test]
+fn scale_changes_size_not_story() {
+    for scale in [Scale::DEV, Scale::new(8)] {
+        let cfg = SimConfig::at_scale(scale);
+        let base = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &cfg);
+        let dfp = run_benchmark(Benchmark::Microbenchmark, Scheme::Dfp, &cfg);
+        let gain = dfp.improvement_over(&base);
+        assert!(
+            (0.10..0.25).contains(&gain),
+            "scale 1/{}: DFP gain {gain:.3} drifted",
+            scale.divisor()
+        );
+    }
+}

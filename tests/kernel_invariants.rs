@@ -1,0 +1,185 @@
+//! Property-based tests over the substrate crates: randomized operation
+//! sequences must never violate the structural invariants the simulator's
+//! correctness rests on.
+
+use proptest::prelude::*;
+
+use sgx_preloading::dfp::{
+    AbortPolicy, AbortValve, MultiStreamPredictor, Predictor, ProcessId, StreamConfig,
+};
+use sgx_preloading::epc::{ClockQueue, VirtPage};
+use sgx_preloading::kernel::{Kernel, KernelConfig};
+use sgx_preloading::sip::LruSet;
+use sgx_preloading::Cycles;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random fault/access storms: the kernel's shared bitmap always
+    /// agrees with EPC residency, residency never exceeds capacity, and
+    /// time never runs backwards.
+    #[test]
+    fn kernel_invariants_hold_under_random_traffic(
+        capacity in 4u64..64,
+        elrange in 64u64..4_096,
+        seed_pages in proptest::collection::vec(0u64..4_096, 20..200),
+        gaps in proptest::collection::vec(0u64..100_000, 20..200),
+    ) {
+        let mut kernel = Kernel::new(
+            KernelConfig::new(capacity),
+            Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+        );
+        let pid = ProcessId(0);
+        kernel.register_enclave(pid, elrange).unwrap();
+        let mut now = Cycles::ZERO;
+        let mut last_resume = Cycles::ZERO;
+        for (page, gap) in seed_pages.iter().zip(gaps.iter()) {
+            let local = VirtPage::new(page % elrange);
+            now += Cycles::new(*gap);
+            if kernel.app_access(now, pid, local).is_none() {
+                let r = kernel.page_fault(now, pid, local);
+                prop_assert!(r.resume_at >= now, "resume before the fault");
+                prop_assert!(r.resume_at >= last_resume, "time went backwards");
+                last_resume = r.resume_at;
+                now = r.resume_at;
+            }
+            prop_assert!(kernel.epc().resident_count() <= capacity);
+            prop_assert!(kernel.bitmap_consistent(), "bitmap diverged from EPC");
+            // The page just accessed must now be resident and visible to SIP.
+            prop_assert!(kernel.sip_present(now, pid, local));
+        }
+        // Preload accounting can never credit more touches than completions.
+        prop_assert!(kernel.epc().preloads_touched() <= kernel.epc().preloads_completed());
+    }
+
+    /// Algorithm 1: the stream list never exceeds its configured length,
+    /// every prediction is a contiguous run adjacent to the fault, and
+    /// every fault is either a match or a miss.
+    #[test]
+    fn stream_predictor_structural_properties(
+        list_len in 1usize..40,
+        load_length in 1u64..16,
+        faults in proptest::collection::vec(0u64..100_000, 1..300),
+    ) {
+        let cfg = StreamConfig::paper_defaults()
+            .with_list_len(list_len)
+            .with_load_length(load_length);
+        let mut p = MultiStreamPredictor::new(cfg);
+        let pid = ProcessId(3);
+        for (i, &f) in faults.iter().enumerate() {
+            let pred = p.on_fault(Cycles::ZERO, pid, VirtPage::new(f));
+            prop_assert!(pred.pages.len() <= load_length as usize);
+            for (k, page) in pred.pages.iter().enumerate() {
+                let expect_fwd = f + (k as u64 + 1);
+                let expect_bwd = f.checked_sub(k as u64 + 1);
+                prop_assert!(
+                    page.raw() == expect_fwd || Some(page.raw()) == expect_bwd,
+                    "prediction {page} not contiguous to fault {f}"
+                );
+            }
+            let list = p.stream_list(pid).unwrap();
+            prop_assert!(list.len() <= list_len);
+            prop_assert_eq!(list.matches() + list.misses(), i as u64 + 1);
+        }
+    }
+
+    /// The LRU residency proxy agrees with a naive reference model.
+    #[test]
+    fn lru_set_matches_reference_model(
+        cap in 1usize..32,
+        touches in proptest::collection::vec(0u64..64, 1..400),
+    ) {
+        let mut lru = LruSet::new(cap);
+        let mut reference: Vec<u64> = Vec::new(); // most recent last
+        for &t in &touches {
+            lru.touch(VirtPage::new(t));
+            reference.retain(|&x| x != t);
+            reference.push(t);
+            if reference.len() > cap {
+                reference.remove(0);
+            }
+            prop_assert_eq!(lru.len(), reference.len());
+            for &x in &reference {
+                prop_assert!(lru.contains(VirtPage::new(x)), "model says {x} is hot");
+            }
+        }
+    }
+
+    /// CLOCK: every inserted page is evicted exactly once, regardless of
+    /// the touch pattern interleaved with evictions.
+    #[test]
+    fn clock_conserves_pages(
+        pages in proptest::collection::vec(0u64..1_000, 1..100),
+        touches in proptest::collection::vec(0u64..1_000, 0..100),
+    ) {
+        let mut unique: Vec<u64> = pages.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut clock = ClockQueue::new();
+        for &p in &unique {
+            clock.insert(VirtPage::new(p), p % 2 == 0);
+        }
+        for &t in &touches {
+            clock.touch(VirtPage::new(t));
+        }
+        let mut evicted = Vec::new();
+        while let Some(v) = clock.evict() {
+            evicted.push(v.raw());
+        }
+        evicted.sort_unstable();
+        prop_assert_eq!(evicted, unique);
+        prop_assert!(clock.is_empty());
+    }
+
+    /// The DFP-stop valve latches: once stopped, no counter values can
+    /// restart it.
+    #[test]
+    fn abort_valve_latches(
+        slack in 0u64..1_000,
+        observations in proptest::collection::vec((0u64..100_000, 0u64..100_000), 1..100),
+    ) {
+        let mut valve = AbortValve::new(
+            AbortPolicy::paper_defaults()
+                .with_slack(slack)
+                .with_check_interval(Cycles::new(1)),
+        );
+        let mut stopped_seen = false;
+        for (i, &(preloaded, accessed)) in observations.iter().enumerate() {
+            let stopped = valve.observe(Cycles::new(i as u64 + 1), preloaded, accessed);
+            if stopped_seen {
+                prop_assert!(stopped, "valve un-latched");
+            }
+            stopped_seen = stopped;
+        }
+    }
+
+    /// Fault service cost is bounded below by the hardware minimum
+    /// (AEX + handler + ERESUME) and above by one full channel drain.
+    #[test]
+    fn fault_cost_bounds(
+        pages in proptest::collection::vec(0u64..256, 1..100),
+    ) {
+        let mut kernel = Kernel::new(
+            KernelConfig::new(16),
+            Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+        );
+        let pid = ProcessId(0);
+        kernel.register_enclave(pid, 256).unwrap();
+        let costs = *kernel.costs();
+        let floor = costs.aex + costs.os_fault_path + costs.eresume;
+        // Worst case: wait out an in-flight load, one eviction, one load.
+        let ceiling = floor + costs.eldu * 2 + costs.ewb * 2;
+        let mut now = Cycles::ZERO;
+        for &p in &pages {
+            let local = VirtPage::new(p);
+            if kernel.app_access(now, pid, local).is_none() {
+                let r = kernel.page_fault(now, pid, local);
+                let cost = r.resume_at - now;
+                prop_assert!(cost >= floor, "fault cheaper than hardware floor: {cost}");
+                prop_assert!(cost <= ceiling, "fault cost {cost} above ceiling {ceiling}");
+                now = r.resume_at;
+            }
+            now += Cycles::new(1);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the paper's qualitative claims, checked
+//! end-to-end at 1/16 scale through the public facade.
+
+use sgx_preloading::{
+    run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig,
+};
+
+fn cfg() -> SimConfig {
+    SimConfig::at_scale(Scale::DEV)
+}
+
+fn improvement(bench: Benchmark, scheme: Scheme) -> f64 {
+    let c = cfg();
+    let base = run_benchmark(bench, Scheme::Baseline, &c);
+    run_benchmark(bench, scheme, &c).improvement_over(&base)
+}
+
+#[test]
+fn motivation_sgx_slows_sequential_scan_by_an_order_of_magnitude() {
+    let c = cfg();
+    let inside = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &c);
+    let outside = run_outside(
+        "outside",
+        Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, c.seed),
+        &c,
+    );
+    let slowdown = inside.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
+    assert!(
+        (15.0..70.0).contains(&slowdown),
+        "slowdown {slowdown:.1}x out of the paper's ≈46x regime"
+    );
+    // And the per-fault cost matches §2's 60k–64k (+ handler overhead).
+    let mean = inside.fault_service_mean.raw();
+    assert!(
+        (60_000..70_000).contains(&mean),
+        "mean enclave fault cost {mean} outside 60–70k cycles"
+    );
+}
+
+#[test]
+fn fig8_dfp_helps_every_regular_large_benchmark() {
+    for bench in [
+        Benchmark::Microbenchmark,
+        Benchmark::Bwaves,
+        Benchmark::Lbm,
+        Benchmark::Wrf,
+        Benchmark::Sift,
+    ] {
+        let gain = improvement(bench, Scheme::Dfp);
+        assert!(
+            (0.08..0.30).contains(&gain),
+            "{bench}: DFP gain {gain:.3} outside the paper's 9–19% band"
+        );
+    }
+}
+
+#[test]
+fn fig8_dfp_regresses_on_irregular_benchmarks() {
+    for bench in [Benchmark::Roms, Benchmark::Mcf, Benchmark::Omnetpp] {
+        let gain = improvement(bench, Scheme::Dfp);
+        assert!(
+            gain < 0.0,
+            "{bench}: plain DFP should cost performance, got {gain:+.3}"
+        );
+    }
+}
+
+#[test]
+fn fig8_dfp_stop_bounds_the_regression() {
+    let c = cfg();
+    for bench in [Benchmark::Roms, Benchmark::Mcf, Benchmark::Deepsjeng] {
+        let base = run_benchmark(bench, Scheme::Baseline, &c);
+        let plain = run_benchmark(bench, Scheme::Dfp, &c);
+        let stopped = run_benchmark(bench, Scheme::DfpStop, &c);
+        assert!(
+            stopped.total_cycles <= plain.total_cycles,
+            "{bench}: DFP-stop must never lose to plain DFP"
+        );
+        let overhead = -stopped.improvement_over(&base);
+        assert!(
+            overhead < 0.05,
+            "{bench}: DFP-stop overhead {overhead:.3} exceeds the paper's ≈2.8% average regime"
+        );
+    }
+}
+
+#[test]
+fn fig10_sip_helps_irregular_c_benchmarks() {
+    for (bench, lo, hi) in [
+        (Benchmark::Deepsjeng, 0.05, 0.25),
+        (Benchmark::Mcf2006, 0.02, 0.12),
+        (Benchmark::Xz, 0.05, 0.25),
+    ] {
+        let gain = improvement(bench, Scheme::Sip);
+        assert!(
+            (lo..hi).contains(&gain),
+            "{bench}: SIP gain {gain:.3} outside [{lo}, {hi})"
+        );
+    }
+}
+
+#[test]
+fn fig10_sip_cannot_help_streaming_programs() {
+    for bench in [Benchmark::Microbenchmark, Benchmark::Lbm, Benchmark::Sift] {
+        let c = cfg();
+        let r = run_benchmark(bench, Scheme::Sip, &c);
+        assert_eq!(
+            r.instrumentation_points, 0,
+            "{bench}: no irregular sites should clear the 5% threshold"
+        );
+        let gain = improvement(bench, Scheme::Sip);
+        assert!(
+            gain.abs() < 0.01,
+            "{bench}: SIP without points must be a no-op, got {gain:+.3}"
+        );
+    }
+}
+
+#[test]
+fn sec52_mcf_is_the_sip_wash() {
+    let c = cfg();
+    let sip = run_benchmark(Benchmark::Mcf, Scheme::Sip, &c);
+    let base = run_benchmark(Benchmark::Mcf, Scheme::Baseline, &c);
+    assert!(
+        sip.instrumentation_points > 80,
+        "mcf is heavily instrumented (paper: 99 points), got {}",
+        sip.instrumentation_points
+    );
+    assert!(
+        sip.faults < base.faults / 3,
+        "instrumentation removes most faults"
+    );
+    let gain = sip.improvement_over(&base);
+    assert!(
+        gain.abs() < 0.05,
+        "Class-1 check overhead must cancel the Class-3 savings, got {gain:+.3}"
+    );
+}
+
+#[test]
+fn fig12_hybrid_tracks_the_better_single_scheme() {
+    let c = cfg();
+    for bench in [Benchmark::Deepsjeng, Benchmark::Xz, Benchmark::Mser, Benchmark::Lbm] {
+        let base = run_benchmark(bench, Scheme::Baseline, &c);
+        let dfp = run_benchmark(bench, Scheme::DfpStop, &c).improvement_over(&base);
+        let sip = run_benchmark(bench, Scheme::Sip, &c).improvement_over(&base);
+        let hybrid = run_benchmark(bench, Scheme::Hybrid, &c).improvement_over(&base);
+        assert!(
+            hybrid > dfp.max(sip) - 0.03,
+            "{bench}: hybrid {hybrid:+.3} falls behind best({dfp:+.3}, {sip:+.3})"
+        );
+    }
+}
+
+#[test]
+fn fig13_mixed_blood_needs_both_schemes() {
+    let c = cfg();
+    let base = run_benchmark(Benchmark::MixedBlood, Scheme::Baseline, &c);
+    let dfp = run_benchmark(Benchmark::MixedBlood, Scheme::DfpStop, &c).improvement_over(&base);
+    let sip = run_benchmark(Benchmark::MixedBlood, Scheme::Sip, &c).improvement_over(&base);
+    let hybrid = run_benchmark(Benchmark::MixedBlood, Scheme::Hybrid, &c).improvement_over(&base);
+    assert!(sip > 0.0, "SIP alone helps a little ({sip:+.3})");
+    assert!(dfp > sip, "DFP helps more on the scan phase ({dfp:+.3})");
+    assert!(
+        hybrid >= dfp.max(sip),
+        "the combination must win: hybrid {hybrid:+.3} vs dfp {dfp:+.3} / sip {sip:+.3}"
+    );
+}
+
+#[test]
+fn fig11_sift_is_dfp_territory_mser_is_sip_territory() {
+    let sift_dfp = improvement(Benchmark::Sift, Scheme::DfpStop);
+    let mser_sip = improvement(Benchmark::Mser, Scheme::Sip);
+    assert!(sift_dfp > 0.05, "SIFT under DFP: {sift_dfp:+.3}");
+    assert!(mser_sip > 0.01, "MSER under SIP: {mser_sip:+.3}");
+    // And SIP finds nothing to do on SIFT (paper Table 2: 0 points).
+    let c = cfg();
+    let sift_sip = run_benchmark(Benchmark::Sift, Scheme::Sip, &c);
+    assert_eq!(sift_sip.instrumentation_points, 0);
+}
+
+#[test]
+fn preloading_never_breaks_small_working_sets() {
+    let c = cfg();
+    for bench in [Benchmark::Leela, Benchmark::Exchange2, Benchmark::Nab] {
+        let base = run_benchmark(bench, Scheme::Baseline, &c);
+        for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
+            let r = run_benchmark(bench, scheme, &c);
+            let delta = r.improvement_over(&base);
+            assert!(
+                delta > -0.02,
+                "{bench} under {scheme}: regression {delta:+.3} on a small working set"
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The SIP profile-then-instrument pipeline across crates: train-input
+//! profiles must transfer to ref-input runs, and the instrumentation-point
+//! counts must reproduce the structure of the paper's Table 2.
+
+use sgx_preloading::{build_plan, profile_stream, Benchmark, InputSet, Scale, Scheme, SimConfig};
+use sgx_sip::{InstrumentationPlan, SipConfig};
+
+fn cfg() -> SimConfig {
+    SimConfig::at_scale(Scale::DEV)
+}
+
+#[test]
+fn table2_instrumentation_point_structure() {
+    // Paper Table 2: mcf.2006 114, mcf 99, xz 46, deepsjeng 35, lbm 0,
+    // MSER 54, SIFT 0, microbenchmark 0. The workload models reproduce the
+    // ordering and the zero entries; absolute counts are close by design.
+    let c = cfg();
+    let points = |b: Benchmark| build_plan(b, &c, Scheme::Sip).len();
+
+    assert_eq!(points(Benchmark::Lbm), 0, "lbm");
+    assert_eq!(points(Benchmark::Sift), 0, "SIFT");
+    assert_eq!(points(Benchmark::Microbenchmark), 0, "microbenchmark");
+
+    let mcf2006 = points(Benchmark::Mcf2006);
+    let mcf = points(Benchmark::Mcf);
+    let xz = points(Benchmark::Xz);
+    let deepsjeng = points(Benchmark::Deepsjeng);
+    let mser = points(Benchmark::Mser);
+
+    assert!((100..=120).contains(&mcf2006), "mcf.2006: {mcf2006} (paper 114)");
+    assert!((90..=118).contains(&mcf), "mcf: {mcf} (paper 99)");
+    assert!((40..=50).contains(&xz), "xz: {xz} (paper 46)");
+    assert!((30..=45).contains(&deepsjeng), "deepsjeng: {deepsjeng} (paper 35)");
+    assert!((45..=57).contains(&mser), "MSER: {mser} (paper 54)");
+    // Ordering, as in the paper.
+    assert!(mcf2006 >= mcf && mcf > mser && mser > xz && xz > deepsjeng);
+}
+
+#[test]
+fn fortran_and_omnetpp_get_empty_plans() {
+    let c = cfg();
+    for b in [
+        Benchmark::Bwaves,
+        Benchmark::Roms,
+        Benchmark::Wrf,
+        Benchmark::Omnetpp,
+    ] {
+        assert!(
+            build_plan(b, &c, Scheme::Sip).is_empty(),
+            "{b}: the paper's prototype cannot instrument it"
+        );
+    }
+}
+
+#[test]
+fn plans_are_empty_for_non_sip_schemes() {
+    let c = cfg();
+    for scheme in [Scheme::Baseline, Scheme::Dfp, Scheme::DfpStop] {
+        assert!(build_plan(Benchmark::Deepsjeng, &c, scheme).is_empty());
+    }
+}
+
+#[test]
+fn train_profile_transfers_to_ref_input() {
+    // Sites selected on the train input must still be the faulting sites
+    // on the ref input: the ref-run fault reduction proves the transfer.
+    let c = cfg();
+    let plan = build_plan(Benchmark::Deepsjeng, &c, Scheme::Sip);
+    assert!(!plan.is_empty());
+
+    // Profile the *ref* input independently and compare selections.
+    let ref_profile = profile_stream(
+        Benchmark::Deepsjeng.build(InputSet::Ref, c.scale, c.seed),
+        c.epc_pages as usize,
+    );
+    let ref_plan = InstrumentationPlan::from_profile(&ref_profile, c.sip);
+    let train_sites = plan.sites();
+    let ref_sites = ref_plan.sites();
+    let overlap = train_sites
+        .iter()
+        .filter(|s| ref_sites.contains(s))
+        .count();
+    assert!(
+        overlap * 10 >= train_sites.len() * 8,
+        "only {overlap}/{} train-selected sites remain hot on ref",
+        train_sites.len()
+    );
+}
+
+#[test]
+fn threshold_sweep_has_the_fig9_shape() {
+    // Fig. 9: too-aggressive thresholds instrument hot loops (check
+    // overhead), too-conservative ones miss irregular sites. The selected
+    // point count must decrease monotonically with the threshold.
+    let c = cfg();
+    let profile = profile_stream(
+        Benchmark::Deepsjeng.build(InputSet::Train, c.scale, c.seed),
+        c.epc_pages as usize,
+    );
+    let mut last = usize::MAX;
+    for threshold in [0.0, 0.01, 0.05, 0.2, 0.5, 0.99] {
+        let plan = InstrumentationPlan::from_profile(
+            &profile,
+            SipConfig::paper_defaults().with_threshold(threshold),
+        );
+        assert!(
+            plan.len() <= last,
+            "selection must shrink as the threshold rises"
+        );
+        last = plan.len();
+    }
+    assert_eq!(last, 0, "a ≈100% threshold instruments nothing");
+}
+
+#[test]
+fn tcb_growth_is_small() {
+    // §5.5: the notify function is 23 LoC; per-benchmark TCB growth is the
+    // function plus the inserted call sites.
+    let c = cfg();
+    let plan = build_plan(Benchmark::Deepsjeng, &c, Scheme::Sip);
+    let loc = plan.tcb_loc_estimate();
+    assert!(loc >= sgx_sip::NOTIFY_FUNCTION_LOC);
+    assert!(
+        loc < 500,
+        "TCB growth must stay tiny ({loc} LoC) — the paper's core argument vs Eleos/CoSMIX"
+    );
+}
