@@ -4,10 +4,10 @@
 //! depends on the replacement policy.
 
 use sgx_bench::{pct, ResultTable};
+use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId, StreamConfig};
 use sgx_epc::VictimPolicy;
 use sgx_kernel::{Kernel, KernelConfig};
 use sgx_preload_core::SimConfig;
-use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId, StreamConfig};
 use sgx_sim::Cycles;
 use sgx_workloads::{Benchmark, InputSet};
 

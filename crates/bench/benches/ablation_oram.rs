@@ -53,7 +53,12 @@ fn main() {
         "ORAM-like run-varying random pattern",
         "§3.1: ORAM defeats history-based prediction; DFP-stop must bail out cleanly",
     );
-    t.columns(vec!["improvement", "preload accuracy", "valve fired", "points"]);
+    t.columns(vec![
+        "improvement",
+        "preload accuracy",
+        "valve fired",
+        "points",
+    ]);
 
     for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip] {
         let r = run(&cfg, scheme, 1);
@@ -62,7 +67,12 @@ fn main() {
             vec![
                 pct(r.improvement_over(&base)),
                 format!("{:.1}%", r.preload_accuracy() * 100.0),
-                if r.dfp_stopped_at.is_some() { "yes" } else { "no" }.to_string(),
+                if r.dfp_stopped_at.is_some() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
                 r.instrumentation_points.to_string(),
             ],
         );

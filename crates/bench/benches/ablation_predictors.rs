@@ -4,8 +4,8 @@
 
 use sgx_bench::{pct, ResultTable};
 use sgx_dfp::{
-    MarkovPredictor, MultiStreamPredictor, NextLinePredictor, Predictor, ProcessId,
-    StreamConfig, StridePredictor,
+    MarkovPredictor, MultiStreamPredictor, NextLinePredictor, Predictor, ProcessId, StreamConfig,
+    StridePredictor,
 };
 use sgx_kernel::{Kernel, KernelConfig};
 use sgx_preload_core::SimConfig;

@@ -33,7 +33,11 @@ fn threaded_app(cfg: &SimConfig, threads: usize) -> Vec<AppSpec> {
 }
 
 fn total(reports: &[sgx_preload_core::RunReport]) -> u64 {
-    reports.iter().map(|r| r.total_cycles.raw()).max().unwrap_or(0)
+    reports
+        .iter()
+        .map(|r| r.total_cycles.raw())
+        .max()
+        .unwrap_or(0)
 }
 
 fn main() {

@@ -48,7 +48,10 @@ fn main() {
                 pct(hybrid.improvement_over(&base)),
                 pct(user.improvement_over(&base)),
                 user.faults.to_string(),
-                format!("{:.1}", user.sip_checks as f64 / user.accesses.max(1) as f64),
+                format!(
+                    "{:.1}",
+                    user.sip_checks as f64 / user.accesses.max(1) as f64
+                ),
             ],
         );
     }

@@ -52,7 +52,10 @@ fn main() {
         t.row(
             bench.name(),
             vec![
-                format!("{:.1}%", seq_steps as f64 * 100.0 / (pages.len() - 1) as f64),
+                format!(
+                    "{:.1}%",
+                    seq_steps as f64 * 100.0 / (pages.len() - 1) as f64
+                ),
                 format!("{:.1}%", profile.stream_share() * 100.0),
                 format!("{:.1}%", profile.irregular_share() * 100.0),
                 path.display().to_string(),

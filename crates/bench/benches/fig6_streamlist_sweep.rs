@@ -24,8 +24,7 @@ fn main() {
         let baseline = run_benchmark(bench, Scheme::Baseline, &base_cfg);
         let mut cells = Vec::new();
         for (i, &len) in LENGTHS.iter().enumerate() {
-            let cfg = base_cfg
-                .with_stream(StreamConfig::paper_defaults().with_list_len(len));
+            let cfg = base_cfg.with_stream(StreamConfig::paper_defaults().with_list_len(len));
             let r = run_benchmark(bench, Scheme::Dfp, &cfg);
             let n = r.normalized_time(&baseline);
             combined[i] += n;

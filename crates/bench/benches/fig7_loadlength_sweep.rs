@@ -35,8 +35,7 @@ fn main() {
         let cells = LOADLENGTHS
             .iter()
             .map(|&ll| {
-                let cfg = base_cfg
-                    .with_stream(StreamConfig::paper_defaults().with_load_length(ll));
+                let cfg = base_cfg.with_stream(StreamConfig::paper_defaults().with_load_length(ll));
                 let r = run_benchmark(bench, Scheme::Dfp, &cfg);
                 norm(r.normalized_time(&baseline))
             })

@@ -1,8 +1,13 @@
 //! Fig. 8: performance improvement of DFP and DFP-stop over the vanilla
 //! driver, per benchmark, plus the §5.1 averages.
+//!
+//! The three arms per benchmark run as one [`Campaign`] under shared
+//! seeding, so every scheme sees the identical workload stream and the
+//! improvement percentages compare like with like; the campaign engine
+//! parallelizes the cells across workers without changing any number.
 
 use sgx_bench::{paper, pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Campaign, RunReport, Scheme, SeedMode, SimConfig};
 use sgx_workloads::{Benchmark, Category};
 
 const BENCHES: [Benchmark; 9] = [
@@ -17,9 +22,21 @@ const BENCHES: [Benchmark; 9] = [
     Benchmark::Xz,
 ];
 
+const SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Dfp, Scheme::DfpStop];
+
 fn main() {
     let scale = sgx_bench::scale_from_env();
     let cfg = SimConfig::at_scale(scale);
+
+    let campaign = Campaign::grid("fig8_dfp", cfg.seed, &BENCHES, &SCHEMES, cfg)
+        .with_seed_mode(SeedMode::Shared);
+    let report = campaign.run();
+    let arm = |bench: Benchmark, scheme: Scheme| -> &RunReport {
+        &report
+            .cell(&format!("{}/{}", bench.name(), scheme.name()))
+            .expect("grid contains every (bench, scheme) cell")
+            .report
+    };
 
     let mut t = ResultTable::new(
         "fig8_dfp",
@@ -33,11 +50,11 @@ fn main() {
     let mut overhead_before = Vec::new();
     let mut overhead_after = Vec::new();
     for bench in BENCHES {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
-        let dfp = run_benchmark(bench, Scheme::Dfp, &cfg);
-        let stop = run_benchmark(bench, Scheme::DfpStop, &cfg);
-        let g_dfp = dfp.improvement_over(&base);
-        let g_stop = stop.improvement_over(&base);
+        let base = arm(bench, Scheme::Baseline);
+        let dfp = arm(bench, Scheme::Dfp);
+        let stop = arm(bench, Scheme::DfpStop);
+        let g_dfp = dfp.improvement_over(base);
+        let g_stop = stop.improvement_over(base);
         if bench.category() == Category::LargeRegular || bench == Benchmark::Microbenchmark {
             regular_gains.push(g_dfp);
         }

@@ -1,17 +1,52 @@
 //! Fig. 9: deepsjeng's running time as a function of SIP's irregular-ratio
 //! instrumentation threshold. The paper finds the sweet spot around 5%
 //! (also confirmed on mcf) and uses it everywhere.
+//!
+//! The whole sweep is one [`Campaign`]: a baseline + SIP cell pair per
+//! (benchmark, threshold), labeled `bench/scheme/threshold=X%`. Shared
+//! seeding keeps the workload stream identical across every cell of a
+//! benchmark, so normalized times compare like with like.
 
 use sgx_bench::{norm, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Campaign, Cell, RunReport, Scheme, SeedMode, SimConfig};
 use sgx_sip::SipConfig;
 use sgx_workloads::Benchmark;
 
 const THRESHOLDS: [f64; 8] = [0.005, 0.01, 0.03, 0.05, 0.10, 0.20, 0.40, 0.80];
+const BENCHES: [Benchmark; 2] = [Benchmark::Deepsjeng, Benchmark::Mcf];
+
+fn label(bench: Benchmark, scheme: Scheme, threshold: f64) -> String {
+    format!(
+        "{}/{}/threshold={:.1}%",
+        bench.name(),
+        scheme.name(),
+        threshold * 100.0
+    )
+}
 
 fn main() {
     let scale = sgx_bench::scale_from_env();
     let base_cfg = SimConfig::at_scale(scale);
+
+    let mut campaign =
+        Campaign::new("fig9_threshold_sweep", base_cfg.seed).with_seed_mode(SeedMode::Shared);
+    for &threshold in &THRESHOLDS {
+        let cfg = base_cfg.with_sip(SipConfig::paper_defaults().with_threshold(threshold));
+        for bench in BENCHES {
+            for scheme in [Scheme::Baseline, Scheme::Sip] {
+                campaign.push(
+                    Cell::new(bench, scheme, cfg).with_label(label(bench, scheme, threshold)),
+                );
+            }
+        }
+    }
+    let report = campaign.run();
+    let arm = |bench: Benchmark, scheme: Scheme, threshold: f64| -> &RunReport {
+        &report
+            .cell(&label(bench, scheme, threshold))
+            .expect("campaign contains every sweep cell")
+            .report
+    };
 
     let mut t = ResultTable::new(
         "fig9_threshold_sweep",
@@ -22,13 +57,12 @@ fn main() {
 
     let mut best = (f64::MAX, 0.0);
     for &threshold in &THRESHOLDS {
-        let cfg = base_cfg.with_sip(SipConfig::paper_defaults().with_threshold(threshold));
         let mut cells = Vec::new();
         let mut deeps_time = 0.0;
-        for bench in [Benchmark::Deepsjeng, Benchmark::Mcf] {
-            let baseline = run_benchmark(bench, Scheme::Baseline, &cfg);
-            let r = run_benchmark(bench, Scheme::Sip, &cfg);
-            let n = r.normalized_time(&baseline);
+        for bench in BENCHES {
+            let baseline = arm(bench, Scheme::Baseline, threshold);
+            let r = arm(bench, Scheme::Sip, threshold);
+            let n = r.normalized_time(baseline);
             if bench == Benchmark::Deepsjeng {
                 deeps_time = n;
             }

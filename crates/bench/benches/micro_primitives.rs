@@ -22,7 +22,11 @@ fn bench_stream_predictor(c: &mut Criterion) {
         b.iter(|| {
             // Alternate a stream hit and a random miss: the two paths.
             n += 1;
-            let page = if n % 2 == 0 { n / 2 } else { n * 7_919 };
+            let page = if n.is_multiple_of(2) {
+                n / 2
+            } else {
+                n * 7_919
+            };
             black_box(p.on_fault(Cycles::ZERO, pid, VirtPage::new(page)))
         });
     });

@@ -30,9 +30,7 @@ fn main() {
     for bench in Benchmark::ALL {
         let fp = bench.footprint_pages();
         let profile = profile_stream(
-            bench
-                .build(InputSet::Ref, cfg.scale, cfg.seed)
-                .take(60_000),
+            bench.build(InputSet::Ref, cfg.scale, cfg.seed).take(60_000),
             cfg.epc_pages as usize,
         );
         let large = fp > usable_epc_pages();

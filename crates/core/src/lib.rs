@@ -34,14 +34,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod config;
 mod report;
 mod scheme;
 mod simulator;
 mod userspace;
 
+pub use campaign::{
+    derive_cell_seed, effective_jobs, Campaign, CampaignReport, Cell, CellReport, SeedMode,
+    JOBS_ENV,
+};
 pub use config::SimConfig;
-pub use report::RunReport;
+pub use report::{EventCounts, RunReport};
 pub use scheme::Scheme;
-pub use simulator::{build_plan, run_apps, run_benchmark, run_outside, AppSpec};
+pub use simulator::{build_plan, run_apps, run_apps_traced, run_benchmark, run_outside, AppSpec};
 pub use userspace::{run_userspace_paging, UserPagingConfig};

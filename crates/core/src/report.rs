@@ -2,12 +2,116 @@
 
 use std::fmt;
 
+use sgx_kernel::EventKind;
 use sgx_sim::Cycles;
 
 use crate::Scheme;
 
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` as a JSON number (non-finite values, which a
+/// well-formed report never produces, are written as `0`).
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// Per-kind tallies of the kernel's paging-event log — the event-level
+/// telemetry a campaign cell drains from
+/// [`Kernel::take_event_log`](sgx_kernel::Kernel::take_event_log).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Page faults (AEX entries).
+    pub faults: u64,
+    /// Demand loads completed on the channel.
+    pub demand_loads: u64,
+    /// Background preloads started.
+    pub preload_starts: u64,
+    /// Background preloads completed.
+    pub preload_dones: u64,
+    /// Background (reclaimer) evictions.
+    pub background_evictions: u64,
+    /// Foreground (inside a blocking load) evictions.
+    pub foreground_evictions: u64,
+    /// Preload-queue abort batches.
+    pub preload_aborts: u64,
+    /// SIP blocking loads completed.
+    pub sip_loads: u64,
+    /// DFP-stop valve firings (0 or 1 per run).
+    pub valve_stops: u64,
+}
+
+impl EventCounts {
+    /// Tallies one logged event.
+    pub fn bump(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Fault => self.faults += 1,
+            EventKind::DemandLoaded => self.demand_loads += 1,
+            EventKind::PreloadStart => self.preload_starts += 1,
+            EventKind::PreloadDone => self.preload_dones += 1,
+            EventKind::EvictBackground => self.background_evictions += 1,
+            EventKind::EvictForeground => self.foreground_evictions += 1,
+            EventKind::PreloadAbort => self.preload_aborts += 1,
+            EventKind::SipLoaded => self.sip_loads += 1,
+            EventKind::ValveStopped => self.valve_stops += 1,
+        }
+    }
+
+    /// Total events tallied.
+    pub fn total(&self) -> u64 {
+        self.faults
+            + self.demand_loads
+            + self.preload_starts
+            + self.preload_dones
+            + self.background_evictions
+            + self.foreground_evictions
+            + self.preload_aborts
+            + self.sip_loads
+            + self.valve_stops
+    }
+
+    /// Appends this tally as a JSON object.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"faults\":{},\"demand_loads\":{},\"preload_starts\":{},\
+             \"preload_dones\":{},\"background_evictions\":{},\
+             \"foreground_evictions\":{},\"preload_aborts\":{},\
+             \"sip_loads\":{},\"valve_stops\":{}}}",
+            self.faults,
+            self.demand_loads,
+            self.preload_starts,
+            self.preload_dones,
+            self.background_evictions,
+            self.foreground_evictions,
+            self.preload_aborts,
+            self.sip_loads,
+            self.valve_stops,
+        ));
+    }
+}
+
 /// The outcome of one simulated run (one application under one scheme).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Human label (benchmark name or custom).
     pub label: String,
@@ -91,6 +195,55 @@ impl RunReport {
         } else {
             self.preloads_touched as f64 / denom as f64
         }
+    }
+
+    /// Appends this report as a JSON object. Every field is deterministic
+    /// for a fixed configuration and seed, so serial and parallel campaign
+    /// runs emit byte-identical output.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"label\":");
+        push_json_str(out, &self.label);
+        out.push_str(",\"scheme\":");
+        push_json_str(out, self.scheme.name());
+        out.push_str(&format!(
+            ",\"total_cycles\":{},\"accesses\":{},\"executions\":{},\
+             \"epc_hits\":{},\"faults\":{},\"faults_waited_inflight\":{},\
+             \"faults_found_resident\":{},\"sip_checks\":{},\"sip_notifies\":{},\
+             \"instrumentation_points\":{},\"preloads_started\":{},\
+             \"preloads_touched\":{},\"preloads_wasted\":{},\
+             \"preloads_aborted\":{},\"background_evictions\":{},\
+             \"foreground_evictions\":{},",
+            self.total_cycles.raw(),
+            self.accesses,
+            self.executions,
+            self.epc_hits,
+            self.faults,
+            self.faults_waited_inflight,
+            self.faults_found_resident,
+            self.sip_checks,
+            self.sip_notifies,
+            self.instrumentation_points,
+            self.preloads_started,
+            self.preloads_touched,
+            self.preloads_wasted,
+            self.preloads_aborted,
+            self.background_evictions,
+            self.foreground_evictions,
+        ));
+        match self.dfp_stopped_at {
+            Some(t) => out.push_str(&format!("\"dfp_stopped_at\":{},", t.raw())),
+            None => out.push_str("\"dfp_stopped_at\":null,"),
+        }
+        out.push_str("\"channel_utilization\":");
+        push_json_f64(out, self.channel_utilization);
+        out.push_str(&format!(
+            ",\"fault_service_mean\":{},\"preload_accuracy\":",
+            self.fault_service_mean.raw()
+        ));
+        push_json_f64(out, self.preload_accuracy());
+        out.push_str(",\"faults_per_kilo_access\":");
+        push_json_f64(out, self.faults_per_kilo_access());
+        out.push('}');
     }
 }
 
@@ -194,5 +347,69 @@ mod tests {
         let z = report(0);
         let r = report(10);
         let _ = r.normalized_time(&z);
+    }
+
+    /// An empty run (zero accesses, zero completed preloads) must report
+    /// clean zeros, never NaN, from the rate helpers.
+    #[test]
+    fn empty_run_rates_are_zero_not_nan() {
+        let mut r = report(0);
+        r.accesses = 0;
+        r.faults = 0;
+        r.preloads_touched = 0;
+        r.preloads_wasted = 0;
+        assert_eq!(r.faults_per_kilo_access(), 0.0);
+        assert_eq!(r.preload_accuracy(), 0.0);
+        assert!(!r.faults_per_kilo_access().is_nan());
+        assert!(!r.preload_accuracy().is_nan());
+    }
+
+    /// Wasted-only preloads give 0% accuracy, not a division artifact.
+    #[test]
+    fn all_wasted_preloads_give_zero_accuracy() {
+        let mut r = report(10);
+        r.preloads_touched = 0;
+        r.preloads_wasted = 4;
+        assert_eq!(r.preload_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let mut s = String::new();
+        report(123_456).write_json(&mut s);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"label\":\"t\""));
+        assert!(s.contains("\"scheme\":\"baseline\""));
+        assert!(s.contains("\"total_cycles\":123456"));
+        assert!(s.contains("\"dfp_stopped_at\":null"));
+        assert!(s.contains("\"preload_accuracy\":0.8"));
+        assert!(s.contains("\"channel_utilization\":0.5"));
+    }
+
+    #[test]
+    fn json_escapes_labels() {
+        let mut r = report(1);
+        r.label = "we\"ird\\lbl\n".into();
+        let mut s = String::new();
+        r.write_json(&mut s);
+        assert!(s.contains("\"label\":\"we\\\"ird\\\\lbl\\n\""));
+    }
+
+    #[test]
+    fn event_counts_tally_and_serialize() {
+        use sgx_kernel::EventKind;
+        let mut e = EventCounts::default();
+        e.bump(EventKind::Fault);
+        e.bump(EventKind::Fault);
+        e.bump(EventKind::PreloadStart);
+        e.bump(EventKind::PreloadDone);
+        e.bump(EventKind::ValveStopped);
+        assert_eq!(e.faults, 2);
+        assert_eq!(e.preload_starts, 1);
+        assert_eq!(e.total(), 5);
+        let mut s = String::new();
+        e.write_json(&mut s);
+        assert!(s.contains("\"faults\":2"));
+        assert!(s.contains("\"valve_stops\":1"));
     }
 }

@@ -9,7 +9,7 @@ use sgx_sim::Cycles;
 use sgx_sip::{profile_stream, InstrumentationPlan};
 use sgx_workloads::{AccessIter, Benchmark, InputSet};
 
-use crate::{RunReport, Scheme, SimConfig};
+use crate::{EventCounts, RunReport, Scheme, SimConfig};
 
 /// One application to simulate: its ELRANGE, access stream, and (for
 /// SIP/Hybrid) instrumentation plan.
@@ -129,8 +129,38 @@ struct AppState {
 /// Panics if `apps` is empty or an enclave fails to register (duplicate
 /// ELRANGE misuse).
 pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunReport> {
+    run_apps_inner(apps, cfg, scheme, false).0
+}
+
+/// Like [`run_apps`], but additionally enables the kernel event log and
+/// drains it incrementally into per-kind [`EventCounts`] — the telemetry
+/// campaign cells attach to their reports. Draining inside the loop keeps
+/// memory flat no matter how many paging events the run generates.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or an enclave fails to register (duplicate
+/// ELRANGE misuse).
+pub fn run_apps_traced(
+    apps: Vec<AppSpec>,
+    cfg: &SimConfig,
+    scheme: Scheme,
+) -> (Vec<RunReport>, EventCounts) {
+    run_apps_inner(apps, cfg, scheme, true)
+}
+
+fn run_apps_inner(
+    apps: Vec<AppSpec>,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    trace: bool,
+) -> (Vec<RunReport>, EventCounts) {
     assert!(!apps.is_empty(), "need at least one application");
     let mut kernel = make_kernel(cfg, scheme);
+    let mut events = EventCounts::default();
+    if trace {
+        kernel.enable_event_log();
+    }
     let mut states: Vec<AppState> = apps
         .into_iter()
         .enumerate()
@@ -180,6 +210,11 @@ pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunR
             .min_by_key(|(_, s)| s.now)
             .map(|(i, _)| i);
         let Some(i) = next else { break };
+        if trace {
+            for e in kernel.take_event_log() {
+                events.bump(e.what);
+            }
+        }
         let st = &mut states[i];
         let Some(access) = next_access(st, &mut kernel, cfg, distance) else {
             st.done = true;
@@ -224,12 +259,17 @@ pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunR
         .map(|s| s.now)
         .max()
         .expect("at least one app");
+    if trace {
+        for e in kernel.take_event_log() {
+            events.bump(e.what);
+        }
+    }
     let ks = kernel.stats().clone();
     let epc = kernel.epc();
     let (touched, wasted) = (epc.preloads_touched(), epc.preloads_evicted_untouched());
     let util = kernel.channel_utilization(end);
 
-    states
+    let reports: Vec<RunReport> = states
         .into_iter()
         .map(|s| RunReport {
             label: s.label,
@@ -254,7 +294,8 @@ pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunR
             channel_utilization: util,
             fault_service_mean: ks.fault_service.mean(),
         })
-        .collect()
+        .collect();
+    (reports, events)
 }
 
 /// Builds the SIP instrumentation plan for a benchmark by profiling its
@@ -471,9 +512,7 @@ mod tests {
         let dfp = run(Benchmark::MixedBlood, Scheme::DfpStop);
         let sip = run(Benchmark::MixedBlood, Scheme::Sip);
         let hybrid = run(Benchmark::MixedBlood, Scheme::Hybrid);
-        let best = dfp
-            .improvement_over(&base)
-            .max(sip.improvement_over(&base));
+        let best = dfp.improvement_over(&base).max(sip.improvement_over(&base));
         let h = hybrid.improvement_over(&base);
         assert!(
             h > best - 0.02,
@@ -519,9 +558,7 @@ mod tests {
                 Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
             )
         };
-        let solo = run_apps(vec![mk()], &c, Scheme::Baseline)
-            .pop()
-            .unwrap();
+        let solo = run_apps(vec![mk()], &c, Scheme::Baseline).pop().unwrap();
         let pair = run_apps(vec![mk(), mk()], &c, Scheme::Baseline);
         assert_eq!(pair.len(), 2);
         for r in &pair {

@@ -165,10 +165,9 @@ pub fn run_userspace_paging(
         foreground_evictions: swap_outs,
         dfp_stopped_at: None,
         channel_utilization: 0.0,
-        fault_service_mean: if misses == 0 {
-            Cycles::ZERO
-        } else {
-            cfg.swap_in + Cycles::new(swap_outs * cfg.swap_out.raw() / misses)
+        fault_service_mean: match (swap_outs * cfg.swap_out.raw()).checked_div(misses) {
+            None => Cycles::ZERO,
+            Some(amortized_ewb) => cfg.swap_in + Cycles::new(amortized_ewb),
         },
     }
 }
@@ -202,10 +201,7 @@ mod tests {
         // Two cold misses (swap-in only: cache not full), four hits.
         assert_eq!(r.faults, 2);
         assert_eq!(r.epc_hits, 4);
-        assert_eq!(
-            r.total_cycles,
-            Cycles::new(6 * 50 + 6 * 10 + 2 * 1_000)
-        );
+        assert_eq!(r.total_cycles, Cycles::new(6 * 50 + 6 * 10 + 2 * 1_000));
     }
 
     #[test]
@@ -217,10 +213,7 @@ mod tests {
         let r = run_userspace_paging("t", stream(&[1, 2, 3, 1, 2, 3], 0), &c);
         assert_eq!(r.faults, 6);
         assert_eq!(r.foreground_evictions, 4, "swap-outs after the cache fills");
-        assert_eq!(
-            r.total_cycles,
-            Cycles::new(6 * 10 + 6 * 1_000 + 4 * 1_000)
-        );
+        assert_eq!(r.total_cycles, Cycles::new(6 * 10 + 6 * 1_000 + 4 * 1_000));
     }
 
     #[test]

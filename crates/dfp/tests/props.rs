@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use sgx_dfp::{
-    AbortPolicy, MarkovPredictor, MultiStreamPredictor, NextLinePredictor, Prediction,
-    Predictor, ProcessId, StreamConfig, StridePredictor,
+    AbortPolicy, MarkovPredictor, MultiStreamPredictor, NextLinePredictor, Prediction, Predictor,
+    ProcessId, StreamConfig, StridePredictor,
 };
 use sgx_epc::VirtPage;
 use sgx_sim::Cycles;

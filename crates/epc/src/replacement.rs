@@ -255,9 +255,10 @@ impl ReplacementPolicy for RandomPolicy {
 }
 
 /// Selector for the policies shipped with the crate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VictimPolicy {
     /// CLOCK second-chance (the SGX driver's scheme; default).
+    #[default]
     Clock,
     /// FIFO.
     Fifo,
@@ -289,12 +290,6 @@ impl VictimPolicy {
             VictimPolicy::Lru => "lru",
             VictimPolicy::Random { .. } => "random",
         }
-    }
-}
-
-impl Default for VictimPolicy {
-    fn default() -> Self {
-        VictimPolicy::Clock
     }
 }
 

@@ -80,7 +80,9 @@ mod tests {
         let t = m.build_time(10, 100);
         assert_eq!(
             t,
-            Cycles::new(30_000) + m.per_page() * 10 + Cycles::new(7_000) * 100
+            Cycles::new(30_000)
+                + m.per_page() * 10
+                + Cycles::new(7_000) * 100
                 + Cycles::new(130_000)
         );
     }

@@ -541,7 +541,8 @@ impl Kernel {
             // work they alternate, except that a full EPC forces an evict
             // (a preload cannot insert without a free slot).
             let must_evict = want_preload && free == 0;
-            let fair_evict = self.reclaiming && !(want_preload && free > 0 && !self.bg_evicted_last);
+            let fair_evict =
+                self.reclaiming && !(want_preload && free > 0 && !self.bg_evicted_last);
             if (must_evict || fair_evict) && self.epc.resident_count() > 0 {
                 self.evict_one_now();
                 self.log(t, EventKind::EvictBackground, None);
@@ -666,7 +667,12 @@ impl Kernel {
     /// # Panics
     ///
     /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
-    pub fn app_access(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> Option<TouchOutcome> {
+    pub fn app_access(
+        &mut self,
+        now: Cycles,
+        pid: ProcessId,
+        local: VirtPage,
+    ) -> Option<TouchOutcome> {
         let g = self.global(pid, local);
         self.advance(now);
         let t = self.epc.touch(g);
@@ -899,10 +905,7 @@ mod tests {
     const PID: ProcessId = ProcessId(1);
 
     fn kernel_with(epc: u64, predictor: Box<dyn Predictor>) -> Kernel {
-        let mut k = Kernel::new(
-            KernelConfig::new(epc).with_costs(tiny_costs()),
-            predictor,
-        );
+        let mut k = Kernel::new(KernelConfig::new(epc).with_costs(tiny_costs()), predictor);
         k.register_enclave(PID, 1 << 20).unwrap();
         k
     }

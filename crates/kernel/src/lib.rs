@@ -46,8 +46,8 @@ mod queue;
 mod watermark;
 
 pub use kernel::{
-    EventKind, FaultResolution, FaultServicing, Kernel, KernelConfig, KernelStats,
-    LoggedEvent, RegisterError,
+    EventKind, FaultResolution, FaultServicing, Kernel, KernelConfig, KernelStats, LoggedEvent,
+    RegisterError,
 };
 pub use queue::PreloadQueue;
 pub use watermark::{WatermarkError, Watermarks};

@@ -42,9 +42,7 @@ impl TraceSummary {
             return true;
         }
         match self.top_strides.first() {
-            Some((_, count)) if self.events > 1 => {
-                *count as f64 / (self.events - 1) as f64 >= 0.5
-            }
+            Some((_, count)) if self.events > 1 => *count as f64 / (self.events - 1) as f64 >= 0.5,
             _ => false,
         }
     }

@@ -251,9 +251,7 @@ mod tests {
             let _ = round;
         }
         assert!(
-            last_round
-                .iter()
-                .all(|&cl| cl == AccessClass::Class1),
+            last_round.iter().all(|&cl| cl == AccessClass::Class1),
             "steady-state loop should be all Class 1: {last_round:?}"
         );
     }

@@ -11,9 +11,10 @@
 //! it buys.
 
 /// Notification placement strategy for instrumented sites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NotifyPlacement {
     /// Paper §3.2: check + blocking notify immediately before the access.
+    #[default]
     Conservative,
     /// Hoist the check + notify `distance` accesses ahead of the use; the
     /// kernel loads the page asynchronously and the access faults normally
@@ -31,12 +32,6 @@ impl NotifyPlacement {
             NotifyPlacement::Conservative => 0,
             NotifyPlacement::Early { distance } => *distance,
         }
-    }
-}
-
-impl Default for NotifyPlacement {
-    fn default() -> Self {
-        NotifyPlacement::Conservative
     }
 }
 

@@ -301,10 +301,8 @@ mod tests {
         assert_eq!(plan.sites(), vec![SiteId(0)]);
 
         // A 0% threshold instruments site 1 too.
-        let eager = InstrumentationPlan::from_profile(
-            &p,
-            SipConfig::paper_defaults().with_threshold(0.0),
-        );
+        let eager =
+            InstrumentationPlan::from_profile(&p, SipConfig::paper_defaults().with_threshold(0.0));
         assert!(eager.is_instrumented(SiteId(1)));
     }
 

@@ -185,10 +185,7 @@ mod tests {
             DetRng::seed_from(3),
         );
         // Among the first 1000 accesses, the heavy part should dominate.
-        let heavy = m
-            .take(1_000)
-            .filter(|a| a.page.raw() >= 100_000)
-            .count();
+        let heavy = m.take(1_000).filter(|a| a.page.raw() >= 100_000).count();
         assert!(
             (700..900).contains(&heavy),
             "heavy part drew {heavy}/1000, expected ≈800"
@@ -220,6 +217,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive and finite")]
     fn bad_weight_rejected() {
-        let _ = Mix::new(vec![(seq(PageRange::first(1), 0), 0.0)], DetRng::seed_from(0));
+        let _ = Mix::new(
+            vec![(seq(PageRange::first(1), 0), 0.0)],
+            DetRng::seed_from(0),
+        );
     }
 }

@@ -351,11 +351,7 @@ mod tests {
             SiteRange::single(0),
             DetRng::seed_from(5),
         ));
-        let near = ps
-            .windows(2)
-            .filter(|w| w[0].abs_diff(w[1]) <= 8)
-            .count() as f64
-            / 19_999.0;
+        let near = ps.windows(2).filter(|w| w[0].abs_diff(w[1]) <= 8).count() as f64 / 19_999.0;
         assert!(
             (0.7..0.9).contains(&near),
             "local-step fraction {near} outside [0.7, 0.9]"
@@ -399,8 +395,8 @@ mod tests {
         assert_eq!(make().cold_ratio_of(0), r0);
 
         // Empirical cold fraction per site tracks its configured ratio.
-        let mut cold_counts = vec![0u64; 6];
-        let mut totals = vec![0u64; 6];
+        let mut cold_counts = [0u64; 6];
+        let mut totals = [0u64; 6];
         for a in make() {
             let idx = a.site.0 as usize;
             totals[idx] += 1;

@@ -318,23 +318,13 @@ mod tests {
 
     #[test]
     fn working_set_loop_repeats() {
-        let w = working_set_loop(
-            PageRange::first(4),
-            3,
-            Cycles::new(1),
-            SiteRange::single(0),
-        );
+        let w = working_set_loop(PageRange::first(4), 3, Cycles::new(1), SiteRange::single(0));
         assert_eq!(w.count(), 12);
     }
 
     #[test]
     #[should_panic(expected = "at least one pass")]
     fn zero_passes_rejected() {
-        let _ = SequentialScan::new(
-            PageRange::first(1),
-            0,
-            Cycles::ZERO,
-            SiteRange::single(0),
-        );
+        let _ = SequentialScan::new(PageRange::first(1), 0, Cycles::ZERO, SiteRange::single(0));
     }
 }

@@ -222,9 +222,10 @@ impl Benchmark {
     pub fn language(self) -> Language {
         match self {
             Benchmark::Bwaves | Benchmark::Wrf | Benchmark::Roms => Language::Fortran,
-            Benchmark::Deepsjeng | Benchmark::Omnetpp | Benchmark::Leela | Benchmark::MixedBlood => {
-                Language::Cpp
-            }
+            Benchmark::Deepsjeng
+            | Benchmark::Omnetpp
+            | Benchmark::Leela
+            | Benchmark::MixedBlood => Language::Cpp,
             _ => Language::C,
         }
     }
@@ -320,9 +321,7 @@ impl Benchmark {
             InputSet::Train => 1,
             InputSet::Ref => 2,
         };
-        let rng = DetRng::seed_from(seed)
-            .fork(self as u64 + 1)
-            .fork(salt);
+        let rng = DetRng::seed_from(seed).fork(self as u64 + 1).fork(salt);
         let count = |full: u64| -> u64 {
             let base = scale.count(full);
             match input {
@@ -361,12 +360,7 @@ fn build_model(
             // bursty noise charged to the same sites (boundary updates).
             let regions = stream_regions(fp, 24);
             let sites = SiteRange::new(0, 6);
-            let main = InterleavedStreams::new(
-                regions,
-                count(720_000),
-                Cycles::new(1_600),
-                sites,
-            );
+            let main = InterleavedStreams::new(regions, count(720_000), Cycles::new(1_600), sites);
             let noise = BurstyScan::new(
                 PageRange::first(fp),
                 count(36_000),
@@ -386,8 +380,7 @@ fn build_model(
             // by two site groups).
             let regions = stream_regions(fp, 12);
             let sites = SiteRange::new(0, 4);
-            let main =
-                InterleavedStreams::new(regions, count(520_000), Cycles::new(1_200), sites);
+            let main = InterleavedStreams::new(regions, count(520_000), Cycles::new(1_200), sites);
             let noise = BurstyScan::new(
                 PageRange::first(fp),
                 count(18_000),
@@ -411,12 +404,7 @@ fn build_model(
                 Cycles::new(1_800),
                 sites,
             );
-            let hot = SequentialScan::new(
-                PageRange::new(grid, fp),
-                4,
-                Cycles::new(1_000),
-                sites,
-            );
+            let hot = SequentialScan::new(PageRange::new(grid, fp), 4, Cycles::new(1_000), sites);
             Box::new(PhaseChain::new(vec![Box::new(sweep), Box::new(hot)]))
         }
 
@@ -445,7 +433,10 @@ fn build_model(
                 rng.fork(2),
             );
             Box::new(Mix::new(
-                vec![(Box::new(strided) as AccessIter, 0.85), (Box::new(plain), 0.15)],
+                vec![
+                    (Box::new(strided) as AccessIter, 0.85),
+                    (Box::new(plain), 0.15),
+                ],
                 rng.fork(3),
             ))
         }
@@ -579,7 +570,10 @@ fn build_model(
             )
             .with_hot_repeats(4);
             Box::new(Mix::new(
-                vec![(Box::new(scan) as AccessIter, 0.35), (Box::new(probes), 0.65)],
+                vec![
+                    (Box::new(scan) as AccessIter, 0.35),
+                    (Box::new(probes), 0.65),
+                ],
                 rng.fork(2),
             ))
         }
@@ -621,12 +615,8 @@ fn build_model(
             // several octaves, plus a resident keypoint table.
             let sites = SiteRange::new(0, 6);
             let full = SequentialScan::new(PageRange::first(fp), 2, Cycles::new(1_500), sites);
-            let octave = SequentialScan::new(
-                PageRange::first(fp / 2),
-                2,
-                Cycles::new(1_500),
-                sites,
-            );
+            let octave =
+                SequentialScan::new(PageRange::first(fp / 2), 2, Cycles::new(1_500), sites);
             let keys = UniformRandom::new(
                 PageRange::first(boundary(fp, 9, 300)),
                 count(140_000),
@@ -807,10 +797,7 @@ mod tests {
         for b in [Benchmark::Deepsjeng, Benchmark::Mser, Benchmark::Roms] {
             let train = b.build(InputSet::Train, Scale::DEV, 3).count();
             let reference = b.build(InputSet::Ref, Scale::DEV, 3).count();
-            assert!(
-                train < reference,
-                "{b}: train {train} !< ref {reference}"
-            );
+            assert!(train < reference, "{b}: train {train} !< ref {reference}");
         }
     }
 

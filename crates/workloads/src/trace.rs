@@ -245,10 +245,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_preserves_everything() {
-        let t = RecordedTrace::record(
-            Benchmark::Mcf.build(InputSet::Train, Scale::DEV, 3),
-            300,
-        );
+        let t = RecordedTrace::record(Benchmark::Mcf.build(InputSet::Train, Scale::DEV, 3), 300);
         let csv = t.to_csv();
         let back = RecordedTrace::from_csv(&csv).unwrap();
         assert_eq!(t, back);
@@ -291,8 +288,7 @@ mod tests {
 
     #[test]
     fn blank_lines_are_skipped() {
-        let t = RecordedTrace::from_csv("page,compute,site,repeats\n1,2,3,4\n\n5,6,7,8\n")
-            .unwrap();
+        let t = RecordedTrace::from_csv("page,compute,site,repeats\n1,2,3,4\n\n5,6,7,8\n").unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.accesses()[1].page.raw(), 5);
         assert_eq!(t.accesses()[1].repeats, 8);
@@ -303,10 +299,7 @@ mod tests {
         let dir = std::env::temp_dir().join("sgx_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
-        let t = RecordedTrace::record(
-            Benchmark::Lbm.build(InputSet::Ref, Scale::DEV, 1),
-            100,
-        );
+        let t = RecordedTrace::record(Benchmark::Lbm.build(InputSet::Ref, Scale::DEV, 1), 100);
         t.write_csv(&path).unwrap();
         let back = RecordedTrace::read_csv(&path).unwrap();
         assert_eq!(t, back);

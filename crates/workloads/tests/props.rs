@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use sgx_sim::{Cycles, DetRng};
 use sgx_workloads::{
-    Benchmark, BurstyScan, InputSet, PageRange, PointerChase, RecordedTrace, Scale,
-    SequentialScan, SiteRange, UniformRandom, ZipfRandom,
+    Benchmark, BurstyScan, InputSet, PageRange, PointerChase, RecordedTrace, Scale, SequentialScan,
+    SiteRange, UniformRandom, ZipfRandom,
 };
 
 proptest! {

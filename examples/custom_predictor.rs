@@ -12,12 +12,12 @@
 //! cargo run --release --example custom_predictor -- dev
 //! ```
 
-use sgx_preloading::{
-    run_apps, AppSpec, Benchmark, Cycles, InputSet, MultiStreamPredictor, NoPredictor,
-    Prediction, Predictor, ProcessId, Scale, Scheme, SimConfig, StreamConfig, VirtPage,
-};
 use sgx_preloading::dfp::{NextLinePredictor, StridePredictor};
 use sgx_preloading::kernel::{Kernel, KernelConfig};
+use sgx_preloading::{
+    run_apps, AppSpec, Benchmark, Cycles, InputSet, MultiStreamPredictor, NoPredictor, Prediction,
+    Predictor, ProcessId, Scale, Scheme, SimConfig, StreamConfig, VirtPage,
+};
 
 /// Preloads the `width` pages surrounding every fault — a deliberately
 /// blunt spatial scheme, useful as a foil for Algorithm 1.
@@ -90,7 +90,11 @@ fn main() {
         .pop()
         .expect("one report");
 
-        println!("\n== {} (baseline {} cycles) ==", bench.name(), base.total_cycles);
+        println!(
+            "\n== {} (baseline {} cycles) ==",
+            bench.name(),
+            base.total_cycles
+        );
         let contenders: Vec<Box<dyn Predictor>> = vec![
             Box::new(NoPredictor),
             Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),

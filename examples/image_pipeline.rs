@@ -20,7 +20,10 @@ fn main() {
     };
     let cfg = SimConfig::at_scale(scale);
 
-    println!("== medical-imaging enclave pipeline (scale 1/{}) ==", scale.divisor());
+    println!(
+        "== medical-imaging enclave pipeline (scale 1/{}) ==",
+        scale.divisor()
+    );
     println!("profiling input: one sample image; measurement: fresh images\n");
     println!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}   notes",

@@ -38,8 +38,7 @@ fn main() {
     for n in [1usize, 2, 4] {
         let base = run_apps(apps(&cfg, n), &cfg, Scheme::Baseline);
         let dfp = run_apps(apps(&cfg, n), &cfg, Scheme::DfpStop);
-        let base_mean =
-            base.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
+        let base_mean = base.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
         let dfp_mean = dfp.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
         if n == 1 {
             solo_cycles = base_mean;

@@ -10,9 +10,7 @@
 //! cargo run --release --example quickstart -- dev     # 1/16 scale, fast
 //! ```
 
-use sgx_preloading::{
-    run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig,
-};
+use sgx_preloading::{run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -23,7 +21,10 @@ fn main() {
     let cfg = SimConfig::at_scale(scale);
     let bench = Benchmark::Microbenchmark;
 
-    println!("== microbenchmark: sequential scan of 1 GiB (scale 1/{}) ==\n", scale.divisor());
+    println!(
+        "== microbenchmark: sequential scan of 1 GiB (scale 1/{}) ==\n",
+        scale.divisor()
+    );
 
     let outside = run_outside(
         "outside enclave",
@@ -55,9 +56,7 @@ fn main() {
     );
 
     let slowdown = baseline.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
-    println!(
-        "\nSGX slowdown    : {slowdown:.1}x   (paper reports ≈46x for this program)"
-    );
+    println!("\nSGX slowdown    : {slowdown:.1}x   (paper reports ≈46x for this program)");
     println!(
         "DFP improvement : {:+.1}%  (paper reports +18.6%)",
         dfp.improvement_over(&baseline) * 100.0

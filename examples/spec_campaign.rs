@@ -58,7 +58,12 @@ fn main() {
             .collect();
         if !xs.is_empty() {
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-            println!("  {:<9} {:+.1}% over {} benchmarks", scheme.name(), mean * 100.0, xs.len());
+            println!(
+                "  {:<9} {:+.1}% over {} benchmarks",
+                scheme.name(),
+                mean * 100.0,
+                xs.len()
+            );
         }
     }
     println!(

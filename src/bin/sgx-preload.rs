@@ -3,7 +3,8 @@
 //! ```text
 //! sgx-preload list
 //! sgx-preload run --bench lbm --scheme dfp --scale dev
-//! sgx-preload suite --scale dev
+//! sgx-preload suite --scale dev --jobs 4
+//! sgx-preload campaign --benches lbm,mcf --schemes baseline,dfp --json-out out.json
 //! sgx-preload profile --bench deepsjeng --scale dev
 //! sgx-preload trace --bench lbm -n 5000 --out lbm.csv
 //! sgx-preload replay --trace lbm.csv --scheme dfp
@@ -14,9 +15,9 @@ use std::process::ExitCode;
 
 use sgx_preloading::kernel::{Kernel, KernelConfig};
 use sgx_preloading::{
-    build_plan, profile_stream, run_apps, run_benchmark, AppSpec, Benchmark, Cycles,
-    InputSet, MultiStreamPredictor, NoPredictor, Predictor, ProcessId, NotifyPlacement,
-    RecordedTrace, Scale, Scheme, SimConfig, StreamConfig,
+    build_plan, effective_jobs, profile_stream, run_apps, run_benchmark, AppSpec, Benchmark,
+    Campaign, Cycles, InputSet, MultiStreamPredictor, NoPredictor, NotifyPlacement, Predictor,
+    ProcessId, RecordedTrace, Scale, Scheme, SeedMode, SimConfig, StreamConfig,
 };
 
 const USAGE: &str = "\
@@ -28,7 +29,8 @@ USAGE:
 COMMANDS:
     list                       list benchmarks and schemes
     run                        run one benchmark under one scheme
-    suite                      run every benchmark under every scheme
+    suite                      run every benchmark under every scheme (parallel)
+    campaign                   run a benchmark × scheme campaign, JSON telemetry
     profile                    profile a benchmark and show the SIP plan
     trace                      record a benchmark's access trace to CSV
     replay                     run a recorded trace through the simulator
@@ -37,6 +39,19 @@ COMMANDS:
 COMMON OPTIONS:
     --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
     --seed <N>                     workload seed (default: 42)
+
+suite/campaign OPTIONS:
+    --jobs <N>                     worker threads (default: $SGX_PRELOAD_JOBS,
+                                   else available parallelism); results are
+                                   identical for every worker count
+    --campaign-seed <N>            campaign master seed (default: 42);
+                                   campaign derives per-cell seeds from it
+    --json-out <file>              write the full campaign report as JSON
+
+campaign OPTIONS:
+    --benches <a,b,..>             comma-separated benchmarks (default: all)
+    --schemes <a,b,..>             comma-separated schemes (default: all kernel
+                                   schemes: baseline,dfp,dfp-stop,sip,hybrid)
 
 run/replay OPTIONS:
     --bench <name>                 benchmark name (see `list`)
@@ -109,21 +124,49 @@ impl Args {
     }
 
     fn scheme(&self) -> Result<Scheme, String> {
-        match self.get("scheme").unwrap_or("baseline") {
-            "baseline" => Ok(Scheme::Baseline),
-            "dfp" => Ok(Scheme::Dfp),
-            "dfp-stop" | "dfpstop" => Ok(Scheme::DfpStop),
-            "sip" => Ok(Scheme::Sip),
-            "hybrid" | "sip+dfp" => Ok(Scheme::Hybrid),
-            "user-level" | "userlevel" | "eleos" => Ok(Scheme::UserLevel),
-            other => Err(format!("unknown scheme {other:?}")),
-        }
+        parse_scheme(self.get("scheme").unwrap_or("baseline"))
     }
 
     fn bench(&self) -> Result<Benchmark, String> {
         let name = self.get("bench").ok_or("missing --bench")?;
         Benchmark::from_name(name)
             .ok_or_else(|| format!("unknown benchmark {name:?} (try `sgx-preload list`)"))
+    }
+
+    fn jobs(&self) -> Result<usize, String> {
+        Ok(effective_jobs(self.parsed::<usize>("jobs")?))
+    }
+
+    fn campaign_seed(&self) -> Result<u64, String> {
+        Ok(self.parsed::<u64>("campaign-seed")?.unwrap_or(42))
+    }
+
+    /// `--benches a,b,c`, defaulting to every benchmark.
+    fn benches(&self) -> Result<Vec<Benchmark>, String> {
+        match self.get("benches") {
+            None => Ok(Benchmark::ALL.to_vec()),
+            Some(list) => list
+                .split(',')
+                .map(|name| {
+                    Benchmark::from_name(name.trim())
+                        .ok_or_else(|| format!("unknown benchmark {name:?}"))
+                })
+                .collect(),
+        }
+    }
+
+    /// `--schemes a,b,c`, defaulting to every kernel-level scheme.
+    fn schemes(&self) -> Result<Vec<Scheme>, String> {
+        match self.get("schemes") {
+            None => Ok(vec![
+                Scheme::Baseline,
+                Scheme::Dfp,
+                Scheme::DfpStop,
+                Scheme::Sip,
+                Scheme::Hybrid,
+            ]),
+            Some(list) => list.split(',').map(|s| parse_scheme(s.trim())).collect(),
+        }
     }
 
     fn config(&self) -> Result<SimConfig, String> {
@@ -158,6 +201,26 @@ impl Args {
     }
 }
 
+fn parse_scheme(name: &str) -> Result<Scheme, String> {
+    match name {
+        "baseline" => Ok(Scheme::Baseline),
+        "dfp" => Ok(Scheme::Dfp),
+        "dfp-stop" | "dfpstop" => Ok(Scheme::DfpStop),
+        "sip" => Ok(Scheme::Sip),
+        "hybrid" | "sip+dfp" => Ok(Scheme::Hybrid),
+        "user-level" | "userlevel" | "eleos" => Ok(Scheme::UserLevel),
+        other => Err(format!("unknown scheme {other:?}")),
+    }
+}
+
+fn write_json_out(args: &Args, json: &str) -> Result<(), String> {
+    if let Some(path) = args.get("json-out") {
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_list() {
     println!("benchmarks:");
     for b in Benchmark::ALL {
@@ -190,21 +253,54 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The schemes the `suite` table compares against baseline, in column order.
+const SUITE_SCHEMES: [Scheme; 4] = [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid];
+
 fn cmd_suite(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
+    // Shared seeding: every scheme must see the same workload stream as
+    // its baseline column for the improvement percentages to mean
+    // anything.
+    let mut schemes = vec![Scheme::Baseline];
+    schemes.extend(SUITE_SCHEMES);
+    let campaign = Campaign::grid("suite", cfg.seed, &Benchmark::ALL, &schemes, cfg)
+        .with_seed_mode(SeedMode::Shared);
+    let report = campaign.run_with_jobs(args.jobs()?);
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9}",
         "benchmark", "DFP", "DFP-stop", "SIP", "SIP+DFP"
     );
     for bench in Benchmark::ALL {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let base = &report
+            .cell(&format!("{}/baseline", bench.name()))
+            .expect("grid contains every baseline cell")
+            .report;
         print!("{:<16}", bench.name());
-        for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
-            let r = run_benchmark(bench, scheme, &cfg);
-            print!(" {:+8.1}%", r.improvement_over(&base) * 100.0);
+        for scheme in SUITE_SCHEMES {
+            let r = &report
+                .cell(&format!("{}/{}", bench.name(), scheme.name()))
+                .expect("grid contains every scheme cell")
+                .report;
+            print!(" {:+8.1}%", r.improvement_over(base) * 100.0);
         }
         println!();
     }
+    write_json_out(args, &report.to_json())?;
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let campaign = Campaign::grid(
+        "campaign",
+        args.campaign_seed()?,
+        &args.benches()?,
+        &args.schemes()?,
+        cfg,
+    );
+    let report = campaign.run_with_jobs(args.jobs()?);
+    print!("{report}");
+    write_json_out(args, &report.to_json())?;
     Ok(())
 }
 
@@ -287,7 +383,11 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     let elrange = trace.elrange_pages();
     let run = |s: Scheme| {
         run_apps(
-            vec![AppSpec::new(path.to_string(), elrange, trace.clone().into_stream())],
+            vec![AppSpec::new(
+                path.to_string(),
+                elrange,
+                trace.clone().into_stream(),
+            )],
             &cfg,
             s,
         )
@@ -311,7 +411,9 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
     let bench = args.bench()?;
     let scheme = args.scheme()?;
     if scheme.is_user_level() {
-        return Err("timeline shows hardware-paging events; the user-level runtime has none".into());
+        return Err(
+            "timeline shows hardware-paging events; the user-level runtime has none".into(),
+        );
     }
     let limit = args.parsed::<usize>("n")?.unwrap_or(40);
     let predictor: Box<dyn Predictor> = if scheme.uses_dfp() {
@@ -374,6 +476,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(&args),
         "suite" => cmd_suite(&args),
+        "campaign" => cmd_campaign(&args),
         "profile" => cmd_profile(&args),
         "trace" => cmd_trace(&args),
         "replay" => cmd_replay(&args),

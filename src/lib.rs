@@ -56,17 +56,16 @@ pub use sgx_sip as sip;
 pub use sgx_workloads as workloads;
 
 pub use sgx_dfp::{
-    AbortPolicy, MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId,
-    StreamConfig,
+    AbortPolicy, MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId, StreamConfig,
 };
 pub use sgx_epc::{CostModel, VictimPolicy, VirtPage};
 pub use sgx_preload_core::{
-    build_plan, run_apps, run_benchmark, run_outside, run_userspace_paging, AppSpec,
-    RunReport, Scheme, SimConfig, UserPagingConfig,
+    build_plan, derive_cell_seed, effective_jobs, run_apps, run_apps_traced, run_benchmark,
+    run_outside, run_userspace_paging, AppSpec, Campaign, CampaignReport, Cell, CellReport,
+    EventCounts, RunReport, Scheme, SeedMode, SimConfig, UserPagingConfig,
 };
 pub use sgx_sim::Cycles;
 pub use sgx_sip::{
-    profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig,
-    TraceSummary,
+    profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig, TraceSummary,
 };
 pub use sgx_workloads::{Access, Benchmark, InputSet, RecordedTrace, Scale, SiteId};

@@ -1,0 +1,107 @@
+//! Golden-report regression harness for the campaign engine.
+//!
+//! A small fixed campaign runs at reduced scale; its canonical JSON must
+//! (a) be byte-identical between serial and multi-worker execution, and
+//! (b) match the checked-in golden report under `tests/golden/`.
+//!
+//! When an intentional change shifts the numbers, regenerate the golden
+//! file with:
+//!
+//! ```text
+//! SGX_GOLDEN_UPDATE=1 cargo test --test campaign
+//! ```
+
+use std::path::PathBuf;
+
+use sgx_preloading::workloads::Benchmark;
+use sgx_preloading::{Campaign, Scale, Scheme, SimConfig};
+
+/// Environment variable that switches the harness from compare to
+/// regenerate.
+const UPDATE_ENV: &str = "SGX_GOLDEN_UPDATE";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The fixed campaign the golden file pins: two benchmarks across three
+/// schemes at a tiny scale, per-cell seeding (the default), fixed seed.
+fn golden_campaign() -> Campaign {
+    Campaign::grid(
+        "golden_small",
+        2020,
+        &[Benchmark::Microbenchmark, Benchmark::Deepsjeng],
+        &[Scheme::Baseline, Scheme::DfpStop, Scheme::Sip],
+        SimConfig::at_scale(Scale::new(64)),
+    )
+}
+
+#[test]
+fn parallel_report_is_field_identical_to_serial() {
+    let campaign = golden_campaign();
+    let serial = campaign.run_serial();
+    let parallel = campaign.run_with_jobs(4);
+    assert_eq!(serial.cells.len(), 6);
+    assert_eq!(parallel.cells.len(), 6);
+    for (s, p) in serial.cells.iter().zip(parallel.cells.iter()) {
+        assert_eq!(s.index, p.index);
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.seed, p.seed, "cell {} seed diverged", s.label);
+        assert_eq!(s.report, p.report, "cell {} report diverged", s.label);
+        assert_eq!(s.events, p.events, "cell {} telemetry diverged", s.label);
+    }
+    assert_eq!(
+        serial.to_canonical_json(),
+        parallel.to_canonical_json(),
+        "canonical JSON must be byte-identical regardless of worker count"
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_canonical_json() {
+    let campaign = golden_campaign();
+    let reference = campaign.run_serial().to_canonical_json();
+    for jobs in [2, 3, 4, 8] {
+        assert_eq!(
+            campaign.run_with_jobs(jobs).to_canonical_json(),
+            reference,
+            "{jobs} workers diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn campaign_matches_golden_report() {
+    let got = golden_campaign().run_with_jobs(4).to_canonical_json();
+    let path = golden_path("campaign_small.json");
+    if std::env::var_os(UPDATE_ENV).is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, &got).expect("write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run `{UPDATE_ENV}=1 cargo test --test campaign` to generate it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "campaign output drifted from the golden report; if the change is \
+         intentional, regenerate with `{UPDATE_ENV}=1 cargo test --test campaign`"
+    );
+}
+
+#[test]
+fn full_json_superset_carries_timing_context() {
+    let report = golden_campaign().run_with_jobs(2);
+    let full = report.to_json();
+    assert!(full.contains("\"jobs\":2"));
+    assert!(full.contains("\"wall_nanos\""));
+    let canonical = report.to_canonical_json();
+    assert!(!canonical.contains("wall_nanos"));
+}

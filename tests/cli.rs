@@ -37,9 +37,7 @@ fn list_names_all_benchmarks_and_schemes() {
 
 #[test]
 fn run_reports_improvement() {
-    let out = run_ok(&[
-        "run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev",
-    ]);
+    let out = run_ok(&["run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev"]);
     assert!(out.contains("lbm [DFP]"));
     assert!(out.contains("improvement over baseline: +"));
 }
@@ -48,12 +46,26 @@ fn run_reports_improvement() {
 fn run_respects_parameter_overrides() {
     // LOADLENGTH 1 must differ from LOADLENGTH 4 on lbm.
     let a = run_ok(&[
-        "run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev",
-        "--load-length", "1",
+        "run",
+        "--bench",
+        "lbm",
+        "--scheme",
+        "dfp",
+        "--scale",
+        "dev",
+        "--load-length",
+        "1",
     ]);
     let b = run_ok(&[
-        "run", "--bench", "lbm", "--scheme", "dfp", "--scale", "dev",
-        "--load-length", "4",
+        "run",
+        "--bench",
+        "lbm",
+        "--scheme",
+        "dfp",
+        "--scale",
+        "dev",
+        "--load-length",
+        "4",
     ]);
     assert_ne!(a, b);
 }
@@ -71,13 +83,25 @@ fn trace_then_replay_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("lbm.csv");
     let out = run_ok(&[
-        "trace", "--bench", "lbm", "--scale", "dev", "-n", "800",
-        "--out", path.to_str().unwrap(),
+        "trace",
+        "--bench",
+        "lbm",
+        "--scale",
+        "dev",
+        "-n",
+        "800",
+        "--out",
+        path.to_str().unwrap(),
     ]);
     assert!(out.contains("recorded 800 accesses"));
     let out = run_ok(&[
-        "replay", "--trace", path.to_str().unwrap(), "--scheme", "dfp",
-        "--scale", "dev",
+        "replay",
+        "--trace",
+        path.to_str().unwrap(),
+        "--scheme",
+        "dfp",
+        "--scale",
+        "dev",
     ]);
     assert!(out.contains("improvement over baseline"));
     let _ = std::fs::remove_dir_all(dir);
@@ -86,8 +110,15 @@ fn trace_then_replay_roundtrip() {
 #[test]
 fn timeline_streams_kernel_events() {
     let out = run_ok(&[
-        "timeline", "--bench", "microbenchmark", "--scheme", "dfp",
-        "--scale", "dev", "-n", "20",
+        "timeline",
+        "--bench",
+        "microbenchmark",
+        "--scheme",
+        "dfp",
+        "--scale",
+        "dev",
+        "-n",
+        "20",
     ]);
     assert!(out.contains("fault"));
     assert!(out.contains("demand-loaded"));
@@ -101,7 +132,5 @@ fn helpful_errors() {
     assert!(run_err(&["run", "--bench", "lbm", "--scheme", "warp"]).contains("unknown scheme"));
     assert!(run_err(&["frobnicate"]).contains("unknown command"));
     assert!(run_err(&[]).contains("USAGE"));
-    assert!(
-        run_err(&["run", "--bench", "lbm", "--threshold", "7"]).contains("must be in [0, 1]")
-    );
+    assert!(run_err(&["run", "--bench", "lbm", "--threshold", "7"]).contains("must be in [0, 1]"));
 }

@@ -1,6 +1,8 @@
 //! Integration checks for the §6 user-level paging comparator.
 
-use sgx_preloading::{run_benchmark, Benchmark, Cycles, Scale, Scheme, SimConfig, UserPagingConfig};
+use sgx_preloading::{
+    run_benchmark, Benchmark, Cycles, Scale, Scheme, SimConfig, UserPagingConfig,
+};
 
 #[test]
 fn user_level_beats_hardware_paging_on_speed() {
@@ -16,7 +18,10 @@ fn user_level_beats_hardware_paging_on_speed() {
             user.improvement_over(&base) > hybrid.improvement_over(&base),
             "{bench}: the user-level runtime should win on raw speed"
         );
-        assert!(user.improvement_over(&base) > 0.3, "{bench}: sizable win expected");
+        assert!(
+            user.improvement_over(&base) > 0.3,
+            "{bench}: sizable win expected"
+        );
         // And it instruments *every* execution — the cost the paper avoids.
         assert_eq!(user.sip_checks, user.executions);
     }

@@ -8,6 +8,7 @@ use sgx_preloading::dfp::{
     AbortPolicy, AbortValve, MultiStreamPredictor, Predictor, ProcessId, StreamConfig,
 };
 use sgx_preloading::epc::{ClockQueue, VirtPage};
+use sgx_preloading::kernel::EventKind;
 use sgx_preloading::kernel::{Kernel, KernelConfig};
 use sgx_preloading::sip::LruSet;
 use sgx_preloading::Cycles;
@@ -182,4 +183,102 @@ proptest! {
             now += Cycles::new(1);
         }
     }
+}
+
+/// A DFP-stop kernel with a twitchy valve: small slack, frequent checks.
+fn valve_kernel() -> (Kernel, ProcessId) {
+    let mut kernel = Kernel::new(
+        KernelConfig::new(256).with_abort_policy(
+            AbortPolicy::paper_defaults()
+                .with_slack(8)
+                .with_check_interval(Cycles::new(1_000)),
+        ),
+        Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+    );
+    let pid = ProcessId(0);
+    kernel.register_enclave(pid, 1 << 20).unwrap();
+    (kernel, pid)
+}
+
+/// Faults `page` if needed and returns a time comfortably after the
+/// resume, so the load channel can drain any queued preloads.
+fn touch(kernel: &mut Kernel, pid: ProcessId, now: Cycles, page: u64) -> Cycles {
+    let local = VirtPage::new(page);
+    if kernel.app_access(now, pid, local).is_some() {
+        now + Cycles::new(1)
+    } else {
+        kernel.page_fault(now, pid, local).resume_at + Cycles::new(100_000)
+    }
+}
+
+/// DFP-stop safety valve, positive case: an adversarially irregular
+/// workload — short adjacent-fault runs that establish a stream, then a
+/// far jump so every preloaded page goes to waste — must trip the valve.
+#[test]
+fn valve_trips_on_adversarial_irregular_workload() {
+    let (mut kernel, pid) = valve_kernel();
+    kernel.enable_event_log();
+    let mut now = Cycles::ZERO;
+    for i in 0..400u64 {
+        // Two adjacent faults convince Algorithm 1 it found a stream and
+        // queue LOADLENGTH preloads past base+1 …
+        let base = i * 100;
+        now = touch(&mut kernel, pid, now, base);
+        now = touch(&mut kernel, pid, now, base + 1);
+        // … which the jump to the next base never touches.
+        if kernel.is_preload_stopped() {
+            break;
+        }
+    }
+    assert!(
+        kernel.is_preload_stopped(),
+        "adversarial workload should trip the DFP-stop valve \
+         (completed {} vs touched {})",
+        kernel.epc().preloads_completed(),
+        kernel.epc().preloads_touched()
+    );
+    let stats = kernel.stats();
+    let stopped_at = stats.dfp_stopped_at.expect("valve records its stop time");
+    let events: Vec<_> = kernel.take_event_log();
+    let fired: Vec<_> = events
+        .iter()
+        .filter(|e| e.what == EventKind::ValveStopped)
+        .collect();
+    assert_eq!(fired.len(), 1, "the valve fires exactly once");
+    assert_eq!(fired[0].at, stopped_at);
+
+    // The valve latches: more of the same traffic never restarts
+    // preloading.
+    let started_at_stop = kernel.stats().preloads_started;
+    for i in 400..440u64 {
+        now = touch(&mut kernel, pid, now, i * 100);
+        now = touch(&mut kernel, pid, now, i * 100 + 1);
+    }
+    assert!(kernel.is_preload_stopped());
+    assert_eq!(kernel.stats().preloads_started, started_at_stop);
+    assert_eq!(kernel.preload_queue_len(), 0);
+}
+
+/// DFP-stop safety valve, negative case: a well-behaved sequential walk
+/// touches what it preloads, so the valve must stay open and preloading
+/// keeps absorbing faults.
+#[test]
+fn valve_stays_open_on_sequential_walk() {
+    let (mut kernel, pid) = valve_kernel();
+    let mut now = Cycles::ZERO;
+    for page in 0..4_000u64 {
+        now = touch(&mut kernel, pid, now, page);
+        assert!(
+            !kernel.is_preload_stopped(),
+            "sequential walk tripped the valve at page {page} \
+             (completed {} vs touched {})",
+            kernel.epc().preloads_completed(),
+            kernel.epc().preloads_touched()
+        );
+    }
+    assert!(kernel.stats().dfp_stopped_at.is_none());
+    assert!(
+        kernel.stats().preloads_started > 0,
+        "the walk should have exercised the preload path at all"
+    );
 }

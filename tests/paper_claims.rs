@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the paper's qualitative claims, checked
 //! end-to-end at 1/16 scale through the public facade.
 
-use sgx_preloading::{
-    run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig,
-};
+use sgx_preloading::{run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig};
 
 fn cfg() -> SimConfig {
     SimConfig::at_scale(Scale::DEV)
@@ -140,7 +138,12 @@ fn sec52_mcf_is_the_sip_wash() {
 #[test]
 fn fig12_hybrid_tracks_the_better_single_scheme() {
     let c = cfg();
-    for bench in [Benchmark::Deepsjeng, Benchmark::Xz, Benchmark::Mser, Benchmark::Lbm] {
+    for bench in [
+        Benchmark::Deepsjeng,
+        Benchmark::Xz,
+        Benchmark::Mser,
+        Benchmark::Lbm,
+    ] {
         let base = run_benchmark(bench, Scheme::Baseline, &c);
         let dfp = run_benchmark(bench, Scheme::DfpStop, &c).improvement_over(&base);
         let sip = run_benchmark(bench, Scheme::Sip, &c).improvement_over(&base);

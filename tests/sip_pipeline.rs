@@ -27,10 +27,16 @@ fn table2_instrumentation_point_structure() {
     let deepsjeng = points(Benchmark::Deepsjeng);
     let mser = points(Benchmark::Mser);
 
-    assert!((100..=120).contains(&mcf2006), "mcf.2006: {mcf2006} (paper 114)");
+    assert!(
+        (100..=120).contains(&mcf2006),
+        "mcf.2006: {mcf2006} (paper 114)"
+    );
     assert!((90..=118).contains(&mcf), "mcf: {mcf} (paper 99)");
     assert!((40..=50).contains(&xz), "xz: {xz} (paper 46)");
-    assert!((30..=45).contains(&deepsjeng), "deepsjeng: {deepsjeng} (paper 35)");
+    assert!(
+        (30..=45).contains(&deepsjeng),
+        "deepsjeng: {deepsjeng} (paper 35)"
+    );
     assert!((45..=57).contains(&mser), "MSER: {mser} (paper 54)");
     // Ordering, as in the paper.
     assert!(mcf2006 >= mcf && mcf > mser && mser > xz && xz > deepsjeng);
@@ -76,10 +82,7 @@ fn train_profile_transfers_to_ref_input() {
     let ref_plan = InstrumentationPlan::from_profile(&ref_profile, c.sip);
     let train_sites = plan.sites();
     let ref_sites = ref_plan.sites();
-    let overlap = train_sites
-        .iter()
-        .filter(|s| ref_sites.contains(s))
-        .count();
+    let overlap = train_sites.iter().filter(|s| ref_sites.contains(s)).count();
     assert!(
         overlap * 10 >= train_sites.len() * 8,
         "only {overlap}/{} train-selected sites remain hot on ref",

@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the subset of the criterion API the workspace's
+//! `micro_primitives` bench uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then a fixed
+//! sampling window, reporting the mean wall-clock time per iteration.
+//! There is no statistical analysis, HTML report, or baseline storage —
+//! the point is that `cargo bench` compiles, runs, and prints useful
+//! numbers without the real dependency.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in sizes every batch individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_nanos: f64,
+    iters: u64,
+}
+
+const WARMUP: Duration = Duration::from_millis(50);
+const WINDOW: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean_nanos: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over a fixed sampling window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < WINDOW {
+            for _ in 0..64 {
+                black_box(routine());
+            }
+            iters += 64;
+        }
+        self.record(start.elapsed(), iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        black_box(routine(input)); // warm-up pass
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < WINDOW {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.record(measured, iters);
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.iters = iters;
+        self.mean_nanos = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// The bench registry/runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        let (value, unit) = if b.mean_nanos >= 1_000_000.0 {
+            (b.mean_nanos / 1_000_000.0, "ms")
+        } else if b.mean_nanos >= 1_000.0 {
+            (b.mean_nanos / 1_000.0, "µs")
+        } else {
+            (b.mean_nanos, "ns")
+        };
+        println!("{id:<40} {value:>10.2} {unit}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Bundles bench functions into one group runner, mirroring criterion's
+/// macro of the same name (simple `name, targets...` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke/iter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0, "routine never ran");
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut b = Bencher::new();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+        assert!(b.mean_nanos >= 0.0);
+    }
+}
