@@ -10,6 +10,12 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps"
+# Our packages only: the vendored registry stand-ins don't doc cleanly.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p sgx-preloading -p sgx-preload-core -p sgx-bench -p sgx-kernel \
+  -p sgx-epc -p sgx-dfp -p sgx-sip -p sgx-workloads -p sgx-sim
+
 echo "==> cargo build --release"
 cargo build --release
 

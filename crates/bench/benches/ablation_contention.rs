@@ -3,7 +3,7 @@
 //! DFP independently.
 
 use sgx_bench::{pct, ResultTable};
-use sgx_preload_core::{run_apps, AppSpec, Scheme, SimConfig};
+use sgx_preload_core::{AppSpec, Scheme, SimConfig, SimRun};
 use sgx_workloads::{Benchmark, InputSet};
 
 fn apps(cfg: &SimConfig, n: usize, bench: Benchmark) -> Vec<AppSpec> {
@@ -39,8 +39,16 @@ fn main() {
 
     let mut solo = 0u64;
     for n in [1usize, 2, 4] {
-        let base = run_apps(apps(&cfg, n, bench), &cfg, Scheme::Baseline);
-        let dfp = run_apps(apps(&cfg, n, bench), &cfg, Scheme::DfpStop);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .apps(apps(&cfg, n, bench))
+            .run()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::DfpStop)
+            .apps(apps(&cfg, n, bench))
+            .run()
+            .unwrap();
         let mean = |rs: &[sgx_preload_core::RunReport]| {
             rs.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / rs.len() as u64
         };

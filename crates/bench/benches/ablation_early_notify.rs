@@ -10,7 +10,7 @@
 //! caps it.
 
 use sgx_bench::{pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_sip::NotifyPlacement;
 use sgx_workloads::Benchmark;
 
@@ -29,7 +29,11 @@ fn main() {
     t.columns(DISTANCES.iter().map(|d| format!("d={d}")).collect());
 
     for bench in [Benchmark::Deepsjeng, Benchmark::Mser, Benchmark::Mcf2006] {
-        let baseline = run_benchmark(bench, Scheme::Baseline, &base_cfg);
+        let baseline = SimRun::new(&base_cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let cells = DISTANCES
             .iter()
             .map(|&d| {
@@ -38,7 +42,11 @@ fn main() {
                 } else {
                     base_cfg.with_placement(NotifyPlacement::Early { distance: d })
                 };
-                let r = run_benchmark(bench, Scheme::Sip, &cfg);
+                let r = SimRun::new(&cfg)
+                    .scheme(Scheme::Sip)
+                    .bench(bench)
+                    .run_one()
+                    .unwrap();
                 pct(r.improvement_over(&baseline))
             })
             .collect();

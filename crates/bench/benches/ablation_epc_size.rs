@@ -3,7 +3,7 @@
 //! much preloading still buys at each size.
 
 use sgx_bench::{pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 fn main() {
@@ -25,8 +25,16 @@ fn main() {
 
     for (label, pages) in sizes {
         let cfg = base_cfg.with_epc_pages(pages);
-        let base = run_benchmark(Benchmark::Lbm, Scheme::Baseline, &cfg);
-        let dfp = run_benchmark(Benchmark::Lbm, Scheme::Dfp, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(Benchmark::Lbm)
+            .run_one()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::Dfp)
+            .bench(Benchmark::Lbm)
+            .run_one()
+            .unwrap();
         t.row(
             label,
             vec![

@@ -7,7 +7,7 @@
 //! behaviour, is stable across runs).
 
 use sgx_bench::{pct, ResultTable};
-use sgx_preload_core::{run_apps, AppSpec, Scheme, SimConfig};
+use sgx_preload_core::{AppSpec, Scheme, SimConfig, SimRun};
 use sgx_sim::{Cycles, DetRng};
 use sgx_workloads::{AccessIter, PageRange, SiteRange, UniformRandom};
 
@@ -34,13 +34,11 @@ fn run(cfg: &SimConfig, scheme: Scheme, run_seed: u64) -> sgx_preload_core::RunR
     } else {
         sgx_sip::InstrumentationPlan::none()
     };
-    run_apps(
-        vec![AppSpec::new("oram", pages, oram_stream(cfg, run_seed)).with_plan(plan)],
-        cfg,
-        scheme,
-    )
-    .pop()
-    .expect("one report")
+    SimRun::new(cfg)
+        .scheme(scheme)
+        .app(AppSpec::new("oram", pages, oram_stream(cfg, run_seed)).with_plan(plan))
+        .run_one()
+        .expect("one report")
 }
 
 fn main() {

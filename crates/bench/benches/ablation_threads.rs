@@ -5,7 +5,7 @@
 //! though the enclave-wide fault sequence interleaves T streams.
 
 use sgx_bench::{pct, ResultTable};
-use sgx_preload_core::{run_apps, AppSpec, Scheme, SimConfig};
+use sgx_preload_core::{AppSpec, Scheme, SimConfig, SimRun};
 use sgx_sim::Cycles;
 use sgx_workloads::{AccessIter, PageRange, SequentialScan, SiteRange};
 
@@ -52,8 +52,16 @@ fn main() {
     t.columns(vec!["baseline", "DFP", "DFP gain", "accuracy"]);
 
     for threads in [1usize, 2, 4, 8] {
-        let base = run_apps(threaded_app(&cfg, threads), &cfg, Scheme::Baseline);
-        let dfp = run_apps(threaded_app(&cfg, threads), &cfg, Scheme::DfpStop);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .apps(threaded_app(&cfg, threads))
+            .run()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::DfpStop)
+            .apps(threaded_app(&cfg, threads))
+            .run()
+            .unwrap();
         let (b, d) = (total(&base), total(&dfp));
         t.row(
             format!("T={threads}"),

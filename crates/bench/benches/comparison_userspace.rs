@@ -9,7 +9,7 @@
 //! guarantees.
 
 use sgx_bench::{pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 fn main() {
@@ -37,10 +37,26 @@ fn main() {
         Benchmark::Mcf,
         Benchmark::Mser,
     ] {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
-        let dfp = run_benchmark(bench, Scheme::DfpStop, &cfg);
-        let hybrid = run_benchmark(bench, Scheme::Hybrid, &cfg);
-        let user = run_benchmark(bench, Scheme::UserLevel, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::DfpStop)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let hybrid = SimRun::new(&cfg)
+            .scheme(Scheme::Hybrid)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let user = SimRun::new(&cfg)
+            .scheme(Scheme::UserLevel)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         t.row(
             bench.name(),
             vec![

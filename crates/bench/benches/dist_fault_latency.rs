@@ -1,0 +1,86 @@
+//! Fault-latency distribution: per-fault service-time histograms streamed
+//! from the kernel, not just the mean the figures report. The paper's §2
+//! cost model says a demand fault is a narrow ≈64k-cycle spike; preloading
+//! shifts mass toward the cheap resident/in-flight outcomes. This bench
+//! makes that shift visible as p50/p90/p99 and log2-bucket counts.
+
+use sgx_bench::ResultTable;
+use sgx_kernel::HistogramSink;
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
+use sgx_workloads::Benchmark;
+
+/// Log2 bucket lower bounds wide enough for every fault-service outcome:
+/// from the few-thousand-cycle resident-hit path to the full demand load.
+const BUCKETS: [u64; 8] = [
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+];
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let benches = [Benchmark::Microbenchmark, Benchmark::Lbm, Benchmark::Mcf];
+    let schemes = [
+        Scheme::Baseline,
+        Scheme::Dfp,
+        Scheme::DfpStop,
+        Scheme::Hybrid,
+    ];
+
+    let mut summary = ResultTable::new(
+        "dist_fault_latency",
+        "fault service-time percentiles (cycles)",
+        "§2: demand fault ≈64k cycles; preloading moves p50 toward the resident path",
+    );
+    summary.columns(vec!["faults", "mean", "p50", "p90", "p99", "max"]);
+
+    let mut dist = ResultTable::new(
+        "dist_fault_latency_buckets",
+        "fault service-time histogram (log2 buckets)",
+        "bucket columns are cycle lower bounds; counts are resolved faults",
+    );
+    dist.columns(BUCKETS.iter().map(|b| format!(">={b}")).collect());
+
+    for bench in benches {
+        for scheme in schemes {
+            let (sink, hist) = HistogramSink::new();
+            let r = SimRun::new(&cfg)
+                .scheme(scheme)
+                .bench(bench)
+                .sink(Box::new(sink))
+                .run_one()
+                .expect("kernel scheme on a known benchmark");
+            let label = format!("{}/{}", bench.name(), scheme.name());
+            let h = hist.borrow();
+            let s = h.fault_service.summary();
+            summary.row(
+                label.clone(),
+                vec![
+                    s.count.to_string(),
+                    s.mean.raw().to_string(),
+                    s.p50.raw().to_string(),
+                    s.p90.raw().to_string(),
+                    s.p99.raw().to_string(),
+                    s.max.raw().to_string(),
+                ],
+            );
+            let mut counts = vec![0u64; BUCKETS.len()];
+            for (lo, n) in h.fault_service.nonzero_buckets() {
+                // Everything below the table's range lands in the first
+                // column, everything above in the last.
+                let idx = BUCKETS.iter().rposition(|&b| b <= lo).unwrap_or(0);
+                counts[idx] += n;
+            }
+            dist.row(label, counts.iter().map(u64::to_string).collect());
+            assert_eq!(s.count, r.faults, "every fault resolves exactly once");
+        }
+    }
+    summary.finish();
+    dist.finish();
+}

@@ -1,0 +1,64 @@
+//! Preload lead-time distribution: for every page a preload landed in the
+//! EPC *before* the application touched it, how many cycles of head start
+//! did the predictor buy? A lead of 0 means the fault raced the load and
+//! merely shortened the wait (the paper's "regaining" case); large leads
+//! mean the stream was predicted well ahead. Also reports the predicted
+//! stream lengths driving those preloads (§4.2, `LOADLENGTH`).
+
+use sgx_bench::ResultTable;
+use sgx_kernel::HistogramSink;
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
+use sgx_workloads::Benchmark;
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let benches = [
+        Benchmark::Microbenchmark,
+        Benchmark::Lbm,
+        Benchmark::Bwaves,
+        Benchmark::MixedBlood,
+    ];
+    let schemes = [Scheme::Dfp, Scheme::DfpStop, Scheme::Hybrid];
+
+    let mut t = ResultTable::new(
+        "dist_preload_lead",
+        "preload lead time at first touch (cycles) and predicted stream length",
+        "DFP preloads land just ahead of a sequential walk: small leads, high hit counts",
+    );
+    t.columns(vec![
+        "hits", "lead p50", "lead p90", "lead p99", "streams", "len p50", "len p99",
+    ]);
+
+    for bench in benches {
+        for scheme in schemes {
+            let (sink, hist) = HistogramSink::new();
+            let r = SimRun::new(&cfg)
+                .scheme(scheme)
+                .bench(bench)
+                .sink(Box::new(sink))
+                .run_one()
+                .expect("kernel scheme on a known benchmark");
+            let h = hist.borrow();
+            let lead = h.preload_lead.summary();
+            let len = h.stream_len.summary();
+            t.row(
+                format!("{}/{}", bench.name(), scheme.name()),
+                vec![
+                    lead.count.to_string(),
+                    lead.p50.raw().to_string(),
+                    lead.p90.raw().to_string(),
+                    lead.p99.raw().to_string(),
+                    len.count.to_string(),
+                    len.p50.raw().to_string(),
+                    len.p99.raw().to_string(),
+                ],
+            );
+            assert!(
+                lead.count <= r.preloads_touched,
+                "a lead is recorded only for preloads that were touched"
+            );
+        }
+    }
+    t.finish();
+}

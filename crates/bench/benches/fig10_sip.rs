@@ -3,7 +3,7 @@
 //! and the famous mcf wash.
 
 use sgx_bench::{paper, pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 const BENCHES: [Benchmark; 8] = [
@@ -36,8 +36,16 @@ fn main() {
     ]);
 
     for bench in BENCHES {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
-        let sip = run_benchmark(bench, Scheme::Sip, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let sip = SimRun::new(&cfg)
+            .scheme(Scheme::Sip)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let reference = paper::FIG10_SIP
             .iter()
             .find(|(n, _)| *n == bench.name())

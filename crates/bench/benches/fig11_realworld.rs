@@ -3,7 +3,7 @@
 //! sample image, measured on fresh images.
 
 use sgx_bench::{paper, pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 fn main() {
@@ -18,10 +18,26 @@ fn main() {
     t.columns(vec!["DFP", "SIP", "SIP+DFP", "points", "paper"]);
 
     for bench in [Benchmark::Sift, Benchmark::Mser] {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
-        let dfp = run_benchmark(bench, Scheme::DfpStop, &cfg);
-        let sip = run_benchmark(bench, Scheme::Sip, &cfg);
-        let hybrid = run_benchmark(bench, Scheme::Hybrid, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::DfpStop)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let sip = SimRun::new(&cfg)
+            .scheme(Scheme::Sip)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let hybrid = SimRun::new(&cfg)
+            .scheme(Scheme::Hybrid)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let reference = paper::FIG11
             .iter()
             .find(|(n, _, _)| *n == bench.name())

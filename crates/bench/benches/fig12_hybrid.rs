@@ -4,7 +4,7 @@
 //! case (mcf) costs ≈4.2%.
 
 use sgx_bench::{norm, pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 const BENCHES: [Benchmark; 8] = [
@@ -31,10 +31,29 @@ fn main() {
 
     let mut worst: (f64, &str) = (0.0, "-");
     for bench in BENCHES {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
-        let sip = run_benchmark(bench, Scheme::Sip, &cfg).normalized_time(&base);
-        let dfp = run_benchmark(bench, Scheme::DfpStop, &cfg).normalized_time(&base);
-        let hybrid = run_benchmark(bench, Scheme::Hybrid, &cfg).normalized_time(&base);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let sip = SimRun::new(&cfg)
+            .scheme(Scheme::Sip)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+            .normalized_time(&base);
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::DfpStop)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+            .normalized_time(&base);
+        let hybrid = SimRun::new(&cfg)
+            .scheme(Scheme::Hybrid)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+            .normalized_time(&base);
         let gap = hybrid - sip.min(dfp);
         if hybrid - 1.0 > worst.0 {
             worst = (hybrid - 1.0, bench.name());

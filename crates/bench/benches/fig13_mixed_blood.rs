@@ -2,7 +2,7 @@
 //! by MSER — where neither scheme alone suffices and the hybrid beats both.
 
 use sgx_bench::{norm, paper, pct, ResultTable};
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 fn main() {
@@ -10,7 +10,11 @@ fn main() {
     let cfg = SimConfig::at_scale(scale);
     let bench = Benchmark::MixedBlood;
 
-    let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+    let base = SimRun::new(&cfg)
+        .scheme(Scheme::Baseline)
+        .bench(bench)
+        .run_one()
+        .unwrap();
     let mut t = ResultTable::new(
         "fig13_mixed_blood",
         "mixed-blood (sequential scan + MSER) under each scheme",
@@ -20,7 +24,11 @@ fn main() {
 
     t.row("baseline", vec![norm(1.0), pct(0.0), "-".to_string()]);
     for scheme in [Scheme::Sip, Scheme::DfpStop, Scheme::Hybrid] {
-        let r = run_benchmark(bench, scheme, &cfg);
+        let r = SimRun::new(&cfg)
+            .scheme(scheme)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let reference = paper::FIG13
             .iter()
             .find(|(n, _)| {

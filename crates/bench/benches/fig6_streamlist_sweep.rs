@@ -3,7 +3,7 @@
 
 use sgx_bench::{norm, ResultTable};
 use sgx_dfp::StreamConfig;
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 const LENGTHS: [usize; 8] = [2, 4, 8, 16, 30, 40, 50, 64];
@@ -21,11 +21,19 @@ fn main() {
 
     let mut combined = vec![0.0f64; LENGTHS.len()];
     for bench in [Benchmark::Lbm, Benchmark::Bwaves] {
-        let baseline = run_benchmark(bench, Scheme::Baseline, &base_cfg);
+        let baseline = SimRun::new(&base_cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let mut cells = Vec::new();
         for (i, &len) in LENGTHS.iter().enumerate() {
             let cfg = base_cfg.with_stream(StreamConfig::paper_defaults().with_list_len(len));
-            let r = run_benchmark(bench, Scheme::Dfp, &cfg);
+            let r = SimRun::new(&cfg)
+                .scheme(Scheme::Dfp)
+                .bench(bench)
+                .run_one()
+                .unwrap();
             let n = r.normalized_time(&baseline);
             combined[i] += n;
             cells.push(norm(n));

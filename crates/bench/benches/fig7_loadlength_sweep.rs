@@ -5,7 +5,7 @@
 
 use sgx_bench::{norm, ResultTable};
 use sgx_dfp::StreamConfig;
-use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::Benchmark;
 
 const LOADLENGTHS: [u64; 5] = [1, 2, 4, 8, 16];
@@ -31,12 +31,20 @@ fn main() {
     t.columns(LOADLENGTHS.iter().map(|l| format!("LL={l}")).collect());
 
     for bench in BENCHES {
-        let baseline = run_benchmark(bench, Scheme::Baseline, &base_cfg);
+        let baseline = SimRun::new(&base_cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let cells = LOADLENGTHS
             .iter()
             .map(|&ll| {
                 let cfg = base_cfg.with_stream(StreamConfig::paper_defaults().with_load_length(ll));
-                let r = run_benchmark(bench, Scheme::Dfp, &cfg);
+                let r = SimRun::new(&cfg)
+                    .scheme(Scheme::Dfp)
+                    .bench(bench)
+                    .run_one()
+                    .unwrap();
                 norm(r.normalized_time(&baseline))
             })
             .collect();

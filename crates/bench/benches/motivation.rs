@@ -5,7 +5,7 @@
 //! ERESUME ≈ 64k cycles vs ≈2k outside).
 
 use sgx_bench::{paper, ResultTable};
-use sgx_preload_core::{run_benchmark, run_outside, Scheme, SimConfig};
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
 use sgx_workloads::{Benchmark, InputSet};
 
 fn main() {
@@ -13,12 +13,15 @@ fn main() {
     let cfg = SimConfig::at_scale(scale);
     let bench = Benchmark::Microbenchmark;
 
-    let outside = run_outside(
-        "outside",
-        bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-        &cfg,
-    );
-    let inside = run_benchmark(bench, Scheme::Baseline, &cfg);
+    let outside = SimRun::new(&cfg)
+        .outside("outside", bench.build(InputSet::Ref, cfg.scale, cfg.seed))
+        .run_one()
+        .unwrap();
+    let inside = SimRun::new(&cfg)
+        .scheme(Scheme::Baseline)
+        .bench(bench)
+        .run_one()
+        .unwrap();
     let slowdown = inside.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
 
     let mut t = ResultTable::new(

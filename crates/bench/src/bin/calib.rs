@@ -1,7 +1,7 @@
 //! Calibration scratchpad: prints per-benchmark scheme comparisons so the
 //! workload models can be tuned against the paper's figures.
 
-use sgx_preload_core::{build_plan, run_benchmark, Scheme, SimConfig};
+use sgx_preload_core::{build_plan, Scheme, SimConfig, SimRun};
 use sgx_sip::profile_stream;
 use sgx_workloads::{Benchmark, InputSet, Scale};
 
@@ -23,10 +23,14 @@ fn main() {
     };
     let detail = std::env::var("CALIB_DETAIL").is_ok();
     for b in benches {
-        let base = run_benchmark(b, Scheme::Baseline, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(b)
+            .run_one()
+            .unwrap();
         print!("{:16}", b.name());
         for s in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
-            let r = run_benchmark(b, s, &cfg);
+            let r = SimRun::new(&cfg).scheme(s).bench(b).run_one().unwrap();
             if detail {
                 println!("\n{r}");
             }

@@ -48,13 +48,15 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use sgx_workloads::{Benchmark, InputSet};
+use sgx_kernel::{CountingSink, EventCounts, JsonlWriterSink, TraceSink};
+use sgx_workloads::Benchmark;
 
-use crate::report::{push_json_str, EventCounts};
-use crate::{build_plan, run_apps_traced, AppSpec, RunReport, Scheme, SimConfig};
+use crate::report::push_json_str;
+use crate::{RunReport, Scheme, SimConfig, SimRun};
 
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "SGX_PRELOAD_JOBS";
@@ -140,6 +142,7 @@ pub struct Campaign {
     /// Master seed all per-cell seeds derive from.
     pub seed: u64,
     seed_mode: SeedMode,
+    trace_dir: Option<PathBuf>,
     cells: Vec<Cell>,
 }
 
@@ -150,6 +153,7 @@ impl Campaign {
             name: name.into(),
             seed,
             seed_mode: SeedMode::PerCell,
+            trace_dir: None,
             cells: Vec::new(),
         }
     }
@@ -177,6 +181,17 @@ impl Campaign {
     /// [`SeedMode::PerCell`]).
     pub fn with_seed_mode(mut self, mode: SeedMode) -> Self {
         self.seed_mode = mode;
+        self
+    }
+
+    /// Streams every cell's paging events to
+    /// `<dir>/<index>_<label>.jsonl` (one JSONL file per cell, labels
+    /// sanitized to filename-safe characters). The directory is created on
+    /// demand; a cell whose file cannot be opened runs untraced with a
+    /// warning on stderr. Tracing never affects the measured results or
+    /// the canonical JSON.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -222,7 +237,7 @@ impl Campaign {
             .cells
             .iter()
             .enumerate()
-            .map(|(i, cell)| run_cell(cell, i, self.cell_seed(i)))
+            .map(|(i, cell)| run_cell(cell, i, self.cell_seed(i), self.trace_dir.as_deref()))
             .collect();
         self.assemble(cells, 1, t0)
     }
@@ -252,7 +267,12 @@ impl Campaign {
                 scope.spawn(move || loop {
                     let next = pop_or_steal(queues, w);
                     let Some(i) = next else { break };
-                    let report = run_cell(&campaign.cells[i], i, campaign.cell_seed(i));
+                    let report = run_cell(
+                        &campaign.cells[i],
+                        i,
+                        campaign.cell_seed(i),
+                        campaign.trace_dir.as_deref(),
+                    );
                     *slots[i].lock().expect("result slot poisoned") = Some(report);
                 });
             }
@@ -305,30 +325,64 @@ fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
     }
 }
 
+/// Replaces anything that doesn't belong in a filename with `-`.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Opens the per-cell JSONL trace file, or explains why it could not.
+fn open_cell_trace(
+    dir: &Path,
+    index: usize,
+    label: &str,
+) -> Option<JsonlWriterSink<impl std::io::Write>> {
+    let path = dir.join(format!("{:03}_{}.jsonl", index, sanitize_label(label)));
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
+        return None;
+    }
+    match JsonlWriterSink::create(&path) {
+        Ok(sink) => Some(sink),
+        Err(e) => {
+            eprintln!(
+                "warning: cell {label} runs untraced: {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 /// Executes one cell: profiling (when SIP is armed), the measurement run,
 /// and telemetry collection.
-fn run_cell(cell: &Cell, index: usize, seed: u64) -> CellReport {
+fn run_cell(cell: &Cell, index: usize, seed: u64, trace_dir: Option<&Path>) -> CellReport {
     let cfg = cell.cfg.with_seed(seed);
     let t0 = Instant::now();
-    let (report, events) = if cell.scheme.is_user_level() {
-        let report = crate::run_userspace_paging(
-            cell.bench.name(),
-            cell.bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-            &cfg.user_paging,
-        );
-        // The user-level runtime bypasses the kernel: no paging-event log.
-        (report, EventCounts::default())
-    } else {
-        let plan = build_plan(cell.bench, &cfg, cell.scheme);
-        let app = AppSpec::new(
-            cell.bench.name(),
-            cell.bench.elrange_pages(cfg.scale),
-            cell.bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-        )
-        .with_plan(plan);
-        let (mut reports, events) = run_apps_traced(vec![app], &cfg, cell.scheme);
-        (reports.pop().expect("one app in, one report out"), events)
-    };
+    let (counting, counts) = CountingSink::new();
+    let mut run = SimRun::new(&cfg)
+        .scheme(cell.scheme)
+        .bench(cell.bench)
+        .sink(Box::new(counting));
+    if let Some(dir) = trace_dir {
+        if let Some(sink) = open_cell_trace(dir, index, &cell.label) {
+            run = run.sink(Box::new(sink) as Box<dyn TraceSink>);
+        }
+    }
+    // A user-level cell bypasses the kernel, so its sinks see no events
+    // and the tallies stay zero — same behavior the event log had.
+    let report = run
+        .run_one()
+        .unwrap_or_else(|e| panic!("campaign cell {}: {e}", cell.label));
+    let events = counts.get();
     CellReport {
         index,
         label: cell.label.clone(),

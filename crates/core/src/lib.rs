@@ -7,28 +7,30 @@
 //!
 //! * [`SimConfig`] — the paper's parameters (EPC size, costs, `LOADLENGTH`,
 //!   `stream_list` length, SIP threshold, valve slack), scalable for tests.
-//! * [`run_benchmark`] — the whole pipeline for one program: profile on the
-//!   train input when SIP is on, then measure on the ref input.
-//! * [`run_apps`] — the general entry point: one or more applications
-//!   (multi-enclave EPC contention included) over one kernel.
-//! * [`run_outside`] — the non-enclave execution used by the §1 motivation
-//!   measurement (46× slowdown).
-//! * [`RunReport`] — cycles, faults, preload accuracy, SIP counters; every
-//!   figure is derived from these.
+//! * [`SimRun`] — the unified entry point: benchmarks, prepared apps
+//!   (multi-enclave EPC contention included), and outside-the-enclave
+//!   workloads over one kernel, with streaming [`sgx_kernel::TraceSink`]
+//!   subscriptions.
+//! * [`RunReport`] — cycles, faults, preload accuracy, latency percentiles,
+//!   SIP counters; every figure is derived from these.
 //!
 //! # Examples
 //!
 //! Reproducing one bar of Fig. 8 (DFP on the microbenchmark) at dev scale:
 //!
 //! ```
-//! use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
+//! use sgx_preload_core::{Scheme, SimConfig, SimRun};
 //! use sgx_workloads::{Benchmark, Scale};
 //!
 //! let cfg = SimConfig::at_scale(Scale::DEV);
-//! let base = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &cfg);
-//! let dfp = run_benchmark(Benchmark::Microbenchmark, Scheme::Dfp, &cfg);
+//! let base = SimRun::new(&cfg).bench(Benchmark::Microbenchmark).run_one()?;
+//! let dfp = SimRun::new(&cfg)
+//!     .scheme(Scheme::Dfp)
+//!     .bench(Benchmark::Microbenchmark)
+//!     .run_one()?;
 //! println!("DFP improvement: {:.1}%", dfp.improvement_over(&base) * 100.0);
 //! assert!(dfp.improvement_over(&base) > 0.0);
+//! # Ok::<(), sgx_preload_core::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,6 +40,7 @@ mod campaign;
 mod config;
 mod report;
 mod scheme;
+mod simrun;
 mod simulator;
 mod userspace;
 
@@ -46,7 +49,11 @@ pub use campaign::{
     JOBS_ENV,
 };
 pub use config::SimConfig;
-pub use report::{EventCounts, RunReport};
+pub use report::RunReport;
 pub use scheme::Scheme;
-pub use simulator::{build_plan, run_apps, run_apps_traced, run_benchmark, run_outside, AppSpec};
+pub use sgx_kernel::EventCounts;
+pub use simrun::{SimError, SimRun};
+pub use simulator::{build_plan, AppSpec};
+#[allow(deprecated)]
+pub use simulator::{run_apps, run_apps_traced, run_benchmark, run_outside};
 pub use userspace::{run_userspace_paging, UserPagingConfig};

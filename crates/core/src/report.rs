@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use sgx_kernel::EventKind;
 use sgx_sim::Cycles;
 
 use crate::Scheme;
@@ -33,80 +32,6 @@ pub(crate) fn push_json_f64(out: &mut String, v: f64) {
         out.push_str(&format!("{v}"));
     } else {
         out.push('0');
-    }
-}
-
-/// Per-kind tallies of the kernel's paging-event log — the event-level
-/// telemetry a campaign cell drains from
-/// [`Kernel::take_event_log`](sgx_kernel::Kernel::take_event_log).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EventCounts {
-    /// Page faults (AEX entries).
-    pub faults: u64,
-    /// Demand loads completed on the channel.
-    pub demand_loads: u64,
-    /// Background preloads started.
-    pub preload_starts: u64,
-    /// Background preloads completed.
-    pub preload_dones: u64,
-    /// Background (reclaimer) evictions.
-    pub background_evictions: u64,
-    /// Foreground (inside a blocking load) evictions.
-    pub foreground_evictions: u64,
-    /// Preload-queue abort batches.
-    pub preload_aborts: u64,
-    /// SIP blocking loads completed.
-    pub sip_loads: u64,
-    /// DFP-stop valve firings (0 or 1 per run).
-    pub valve_stops: u64,
-}
-
-impl EventCounts {
-    /// Tallies one logged event.
-    pub fn bump(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Fault => self.faults += 1,
-            EventKind::DemandLoaded => self.demand_loads += 1,
-            EventKind::PreloadStart => self.preload_starts += 1,
-            EventKind::PreloadDone => self.preload_dones += 1,
-            EventKind::EvictBackground => self.background_evictions += 1,
-            EventKind::EvictForeground => self.foreground_evictions += 1,
-            EventKind::PreloadAbort => self.preload_aborts += 1,
-            EventKind::SipLoaded => self.sip_loads += 1,
-            EventKind::ValveStopped => self.valve_stops += 1,
-        }
-    }
-
-    /// Total events tallied.
-    pub fn total(&self) -> u64 {
-        self.faults
-            + self.demand_loads
-            + self.preload_starts
-            + self.preload_dones
-            + self.background_evictions
-            + self.foreground_evictions
-            + self.preload_aborts
-            + self.sip_loads
-            + self.valve_stops
-    }
-
-    /// Appends this tally as a JSON object.
-    pub fn write_json(&self, out: &mut String) {
-        out.push_str(&format!(
-            "{{\"faults\":{},\"demand_loads\":{},\"preload_starts\":{},\
-             \"preload_dones\":{},\"background_evictions\":{},\
-             \"foreground_evictions\":{},\"preload_aborts\":{},\
-             \"sip_loads\":{},\"valve_stops\":{}}}",
-            self.faults,
-            self.demand_loads,
-            self.preload_starts,
-            self.preload_dones,
-            self.background_evictions,
-            self.foreground_evictions,
-            self.preload_aborts,
-            self.sip_loads,
-            self.valve_stops,
-        ));
     }
 }
 
@@ -155,6 +80,22 @@ pub struct RunReport {
     pub channel_utilization: f64,
     /// Mean end-to-end fault service time.
     pub fault_service_mean: Cycles,
+    /// Median fault service time (log2-bucket lower bound; zero when the
+    /// run had no faults).
+    pub fault_service_p50: Cycles,
+    /// 90th-percentile fault service time (bucket lower bound).
+    pub fault_service_p90: Cycles,
+    /// 99th-percentile fault service time (bucket lower bound).
+    pub fault_service_p99: Cycles,
+    /// Mean preload-completion-to-first-touch lead time (zero when no
+    /// preload was ever touched).
+    pub preload_lead_mean: Cycles,
+    /// Median preload lead time (bucket lower bound).
+    pub preload_lead_p50: Cycles,
+    /// 90th-percentile preload lead time (bucket lower bound).
+    pub preload_lead_p90: Cycles,
+    /// 99th-percentile preload lead time (bucket lower bound).
+    pub preload_lead_p99: Cycles,
 }
 
 impl RunReport {
@@ -237,8 +178,19 @@ impl RunReport {
         out.push_str("\"channel_utilization\":");
         push_json_f64(out, self.channel_utilization);
         out.push_str(&format!(
-            ",\"fault_service_mean\":{},\"preload_accuracy\":",
-            self.fault_service_mean.raw()
+            ",\"fault_service_mean\":{},\"fault_service_p50\":{},\
+             \"fault_service_p90\":{},\"fault_service_p99\":{},\
+             \"preload_lead_mean\":{},\"preload_lead_p50\":{},\
+             \"preload_lead_p90\":{},\"preload_lead_p99\":{},\
+             \"preload_accuracy\":",
+            self.fault_service_mean.raw(),
+            self.fault_service_p50.raw(),
+            self.fault_service_p90.raw(),
+            self.fault_service_p99.raw(),
+            self.preload_lead_mean.raw(),
+            self.preload_lead_p50.raw(),
+            self.preload_lead_p90.raw(),
+            self.preload_lead_p99.raw(),
         ));
         push_json_f64(out, self.preload_accuracy());
         out.push_str(",\"faults_per_kilo_access\":");
@@ -262,6 +214,17 @@ impl fmt::Display for RunReport {
             self.faults_found_resident,
             self.epc_hits,
             self.fault_service_mean
+        )?;
+        writeln!(
+            f,
+            "  fault cycles p50/p90/p99={}/{}/{}; preload lead mean={} p50/p90/p99={}/{}/{}",
+            self.fault_service_p50,
+            self.fault_service_p90,
+            self.fault_service_p99,
+            self.preload_lead_mean,
+            self.preload_lead_p50,
+            self.preload_lead_p90,
+            self.preload_lead_p99
         )?;
         writeln!(
             f,
@@ -314,6 +277,13 @@ mod tests {
             dfp_stopped_at: None,
             channel_utilization: 0.5,
             fault_service_mean: Cycles::new(64_000),
+            fault_service_p50: Cycles::new(32_768),
+            fault_service_p90: Cycles::new(65_536),
+            fault_service_p99: Cycles::new(65_536),
+            preload_lead_mean: Cycles::new(1_200),
+            preload_lead_p50: Cycles::new(1_024),
+            preload_lead_p90: Cycles::new(2_048),
+            preload_lead_p99: Cycles::new(2_048),
         }
     }
 
@@ -396,9 +366,19 @@ mod tests {
     }
 
     #[test]
+    fn json_carries_percentile_fields() {
+        let mut s = String::new();
+        report(9).write_json(&mut s);
+        assert!(s.contains("\"fault_service_p50\":32768"));
+        assert!(s.contains("\"fault_service_p99\":65536"));
+        assert!(s.contains("\"preload_lead_mean\":1200"));
+        assert!(s.contains("\"preload_lead_p90\":2048"));
+    }
+
+    #[test]
     fn event_counts_tally_and_serialize() {
         use sgx_kernel::EventKind;
-        let mut e = EventCounts::default();
+        let mut e = crate::EventCounts::default();
         e.bump(EventKind::Fault);
         e.bump(EventKind::Fault);
         e.bump(EventKind::PreloadStart);

@@ -4,12 +4,12 @@
 use std::collections::{HashSet, VecDeque};
 
 use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId};
-use sgx_kernel::{Kernel, KernelConfig};
+use sgx_kernel::{CountingSink, Kernel, KernelConfig, KernelError, TraceSink};
 use sgx_sim::Cycles;
 use sgx_sip::{profile_stream, InstrumentationPlan};
 use sgx_workloads::{AccessIter, Benchmark, InputSet};
 
-use crate::{EventCounts, RunReport, Scheme, SimConfig};
+use crate::{EventCounts, RunReport, Scheme, SimConfig, SimError, SimRun};
 
 /// One application to simulate: its ELRANGE, access stream, and (for
 /// SIP/Hybrid) instrumentation plan.
@@ -94,12 +94,12 @@ fn make_predictor(cfg: &SimConfig, scheme: Scheme) -> Box<dyn Predictor> {
     }
 }
 
-fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Kernel {
+fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelError> {
     let mut kcfg = KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs);
     if scheme.uses_valve() {
         kcfg = kcfg.with_abort_policy(cfg.abort);
     }
-    Kernel::new(kcfg, make_predictor(cfg, scheme))
+    Kernel::try_new(kcfg, make_predictor(cfg, scheme))
 }
 
 struct AppState {
@@ -121,81 +121,49 @@ struct AppState {
 }
 
 /// Runs one or more applications concurrently inside enclaves sharing one
-/// EPC and load channel (the §5.6 multi-enclave scenario; a single app is
-/// the common case). Returns one report per app, in input order.
-///
-/// # Panics
-///
-/// Panics if `apps` is empty or an enclave fails to register (duplicate
-/// ELRANGE misuse).
-pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunReport> {
-    run_apps_inner(apps, cfg, scheme, false).0
-}
-
-/// Like [`run_apps`], but additionally enables the kernel event log and
-/// drains it incrementally into per-kind [`EventCounts`] — the telemetry
-/// campaign cells attach to their reports. Draining inside the loop keeps
-/// memory flat no matter how many paging events the run generates.
-///
-/// # Panics
-///
-/// Panics if `apps` is empty or an enclave fails to register (duplicate
-/// ELRANGE misuse).
-pub fn run_apps_traced(
+/// EPC and load channel (the §5.6 multi-enclave scenario). The engine
+/// behind [`SimRun`]; returns one report per app, in input order.
+pub(crate) fn run_kernel_apps(
     apps: Vec<AppSpec>,
     cfg: &SimConfig,
     scheme: Scheme,
-) -> (Vec<RunReport>, EventCounts) {
-    run_apps_inner(apps, cfg, scheme, true)
-}
-
-fn run_apps_inner(
-    apps: Vec<AppSpec>,
-    cfg: &SimConfig,
-    scheme: Scheme,
-    trace: bool,
-) -> (Vec<RunReport>, EventCounts) {
-    assert!(!apps.is_empty(), "need at least one application");
-    let mut kernel = make_kernel(cfg, scheme);
-    let mut events = EventCounts::default();
-    if trace {
-        kernel.enable_event_log();
+    sinks: Vec<Box<dyn TraceSink>>,
+) -> Result<Vec<RunReport>, SimError> {
+    assert!(!apps.is_empty(), "caller gathers at least one app");
+    let mut kernel = make_kernel(cfg, scheme)?;
+    for sink in sinks {
+        kernel.subscribe(sink);
     }
-    let mut states: Vec<AppState> = apps
-        .into_iter()
-        .enumerate()
-        .map(|(i, app)| {
-            let pid = ProcessId(i as u32);
-            match app.thread_of {
-                None => kernel
-                    .register_enclave(pid, app.elrange_pages)
-                    .expect("fresh pid registration cannot fail"),
-                Some(owner) => {
-                    assert!(owner < i, "thread_of must reference an earlier app");
-                    kernel
-                        .register_thread(ProcessId(owner as u32), pid)
-                        .expect("owner registered above");
+    let mut states: Vec<AppState> = Vec::with_capacity(apps.len());
+    for (i, app) in apps.into_iter().enumerate() {
+        let pid = ProcessId(i as u32);
+        match app.thread_of {
+            None => kernel.register_enclave(pid, app.elrange_pages)?,
+            Some(owner) => {
+                if owner >= i {
+                    return Err(SimError::ThreadOrder { app: i });
                 }
+                kernel.register_thread(ProcessId(owner as u32), pid)?;
             }
-            AppState {
-                pid,
-                label: app.label,
-                workload: app.workload,
-                plan: app.plan,
-                lookahead: VecDeque::new(),
-                now: Cycles::ZERO,
-                done: false,
-                accesses: 0,
-                executions: 0,
-                epc_hits: 0,
-                faults: 0,
-                faults_waited: 0,
-                faults_raced: 0,
-                sip_checks: 0,
-                sip_notifies: 0,
-            }
-        })
-        .collect();
+        }
+        states.push(AppState {
+            pid,
+            label: app.label,
+            workload: app.workload,
+            plan: app.plan,
+            lookahead: VecDeque::new(),
+            now: Cycles::ZERO,
+            done: false,
+            accesses: 0,
+            executions: 0,
+            epc_hits: 0,
+            faults: 0,
+            faults_waited: 0,
+            faults_raced: 0,
+            sip_checks: 0,
+            sip_notifies: 0,
+        });
+    }
 
     let distance = cfg.placement.distance();
 
@@ -210,11 +178,6 @@ fn run_apps_inner(
             .min_by_key(|(_, s)| s.now)
             .map(|(i, _)| i);
         let Some(i) = next else { break };
-        if trace {
-            for e in kernel.take_event_log() {
-                events.bump(e.what);
-            }
-        }
         let st = &mut states[i];
         let Some(access) = next_access(st, &mut kernel, cfg, distance) else {
             st.done = true;
@@ -259,17 +222,14 @@ fn run_apps_inner(
         .map(|s| s.now)
         .max()
         .expect("at least one app");
-    if trace {
-        for e in kernel.take_event_log() {
-            events.bump(e.what);
-        }
-    }
     let ks = kernel.stats().clone();
     let epc = kernel.epc();
     let (touched, wasted) = (epc.preloads_touched(), epc.preloads_evicted_untouched());
     let util = kernel.channel_utilization(end);
+    let fs = ks.fault_service.summary();
+    let pl = ks.preload_lead.summary();
 
-    let reports: Vec<RunReport> = states
+    Ok(states
         .into_iter()
         .map(|s| RunReport {
             label: s.label,
@@ -292,10 +252,50 @@ fn run_apps_inner(
             foreground_evictions: ks.foreground_evictions,
             dfp_stopped_at: ks.dfp_stopped_at,
             channel_utilization: util,
-            fault_service_mean: ks.fault_service.mean(),
+            fault_service_mean: fs.mean,
+            fault_service_p50: fs.p50,
+            fault_service_p90: fs.p90,
+            fault_service_p99: fs.p99,
+            preload_lead_mean: pl.mean,
+            preload_lead_p50: pl.p50,
+            preload_lead_p90: pl.p90,
+            preload_lead_p99: pl.p99,
         })
-        .collect();
-    (reports, events)
+        .collect())
+}
+
+/// Runs one or more applications via the legacy panicking interface.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SimRun::new(cfg).scheme(scheme).apps(apps).run()"
+)]
+pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunReport> {
+    SimRun::new(cfg)
+        .scheme(scheme)
+        .apps(apps)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs applications and tallies the event stream via the legacy
+/// panicking interface.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SimRun with a CountingSink: SimRun::new(cfg).apps(apps).sink(...)"
+)]
+pub fn run_apps_traced(
+    apps: Vec<AppSpec>,
+    cfg: &SimConfig,
+    scheme: Scheme,
+) -> (Vec<RunReport>, EventCounts) {
+    let (sink, counts) = CountingSink::new();
+    let reports = SimRun::new(cfg)
+        .scheme(scheme)
+        .apps(apps)
+        .sink(Box::new(sink))
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
+    (reports, counts.get())
 }
 
 /// Builds the SIP instrumentation plan for a benchmark by profiling its
@@ -317,44 +317,41 @@ pub fn build_plan(bench: Benchmark, cfg: &SimConfig, scheme: Scheme) -> Instrume
     InstrumentationPlan::from_profile(&profile, sip)
 }
 
-/// Runs one benchmark under one scheme end to end: profiling (when SIP is
-/// on), then the measurement run on the *ref* input.
-///
-/// # Examples
-///
-/// ```
-/// use sgx_preload_core::{run_benchmark, Scheme, SimConfig};
-/// use sgx_workloads::{Benchmark, Scale};
-///
-/// let cfg = SimConfig::at_scale(Scale::DEV);
-/// let base = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &cfg);
-/// let dfp = run_benchmark(Benchmark::Microbenchmark, Scheme::Dfp, &cfg);
-/// assert!(dfp.total_cycles < base.total_cycles, "DFP helps streaming");
-/// ```
+/// Runs one benchmark under one scheme via the legacy panicking
+/// interface.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SimRun::new(cfg).scheme(scheme).bench(bench).run_one()"
+)]
 pub fn run_benchmark(bench: Benchmark, scheme: Scheme, cfg: &SimConfig) -> RunReport {
-    if scheme.is_user_level() {
-        return crate::run_userspace_paging(
-            bench.name(),
-            bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-            &cfg.user_paging,
-        );
-    }
-    let plan = build_plan(bench, cfg, scheme);
-    let app = AppSpec::new(
-        bench.name(),
-        bench.elrange_pages(cfg.scale),
-        bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-    )
-    .with_plan(plan);
-    run_apps(vec![app], cfg, scheme)
-        .pop()
-        .expect("one app in, one report out")
+    SimRun::new(cfg)
+        .scheme(scheme)
+        .bench(bench)
+        .run_one()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Runs a workload *outside* any enclave: unlimited RAM, first-touch
-/// faults at the regular ≈2,000-cycle cost. This is the "same program
-/// without SGX" side of the paper's 46× motivation measurement (§1).
+/// Runs a workload outside any enclave via the legacy panicking interface.
+#[deprecated(
+    since = "0.2.0",
+    note = "use SimRun::new(cfg).outside(label, workload).run_one()"
+)]
 pub fn run_outside(label: impl Into<String>, workload: AccessIter, cfg: &SimConfig) -> RunReport {
+    SimRun::new(cfg)
+        .outside(label, workload)
+        .run_one()
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The outside-the-enclave model behind [`SimRun::outside`]: unlimited
+/// RAM, first-touch faults at the regular ≈2,000-cycle cost. This is the
+/// "same program without SGX" side of the paper's 46× motivation
+/// measurement (§1).
+pub(crate) fn run_outside_model(
+    label: impl Into<String>,
+    workload: AccessIter,
+    cfg: &SimConfig,
+) -> RunReport {
     let mut resident: HashSet<u64> = HashSet::new();
     let mut now = Cycles::ZERO;
     let mut accesses = 0u64;
@@ -391,6 +388,13 @@ pub fn run_outside(label: impl Into<String>, workload: AccessIter, cfg: &SimConf
         dfp_stopped_at: None,
         channel_utilization: 0.0,
         fault_service_mean: Cycles::ZERO,
+        fault_service_p50: Cycles::ZERO,
+        fault_service_p90: Cycles::ZERO,
+        fault_service_p99: Cycles::ZERO,
+        preload_lead_mean: Cycles::ZERO,
+        preload_lead_p50: Cycles::ZERO,
+        preload_lead_p90: Cycles::ZERO,
+        preload_lead_p99: Cycles::ZERO,
     }
 }
 
@@ -404,7 +408,19 @@ mod tests {
     }
 
     fn run(bench: Benchmark, scheme: Scheme) -> RunReport {
-        run_benchmark(bench, scheme, &cfg())
+        SimRun::new(&cfg())
+            .scheme(scheme)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+    }
+
+    fn run_outside_of(bench: Benchmark) -> RunReport {
+        let c = cfg();
+        SimRun::new(&c)
+            .outside("micro-outside", bench.build(InputSet::Ref, c.scale, 42))
+            .run_one()
+            .unwrap()
     }
 
     #[test]
@@ -523,11 +539,7 @@ mod tests {
 
     #[test]
     fn outside_enclave_run_counts_first_touch_faults() {
-        let r = run_outside(
-            "micro-outside",
-            Benchmark::Microbenchmark.build(InputSet::Ref, Scale::DEV, 42),
-            &cfg(),
-        );
+        let r = run_outside_of(Benchmark::Microbenchmark);
         let fp = Benchmark::Microbenchmark.elrange_pages(Scale::DEV);
         assert_eq!(r.faults, fp, "one fault per distinct page");
         assert_eq!(r.accesses, fp * 3, "three passes");
@@ -536,11 +548,7 @@ mod tests {
     #[test]
     fn enclave_motivation_slowdown_is_an_order_of_magnitude() {
         let inside = run(Benchmark::Microbenchmark, Scheme::Baseline);
-        let outside = run_outside(
-            "micro-outside",
-            Benchmark::Microbenchmark.build(InputSet::Ref, Scale::DEV, 42),
-            &cfg(),
-        );
+        let outside = run_outside_of(Benchmark::Microbenchmark);
         let slowdown = inside.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
         assert!(
             slowdown > 15.0 && slowdown < 60.0,
@@ -558,8 +566,8 @@ mod tests {
                 Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
             )
         };
-        let solo = run_apps(vec![mk()], &c, Scheme::Baseline).pop().unwrap();
-        let pair = run_apps(vec![mk(), mk()], &c, Scheme::Baseline);
+        let solo = SimRun::new(&c).app(mk()).run_one().unwrap();
+        let pair = SimRun::new(&c).apps([mk(), mk()]).run().unwrap();
         assert_eq!(pair.len(), 2);
         for r in &pair {
             assert!(
@@ -578,12 +586,13 @@ mod tests {
         // load the conservative placement must block on.
         use sgx_sip::NotifyPlacement;
         let c = cfg();
-        let conservative = run_benchmark(Benchmark::Deepsjeng, Scheme::Sip, &c);
-        let early = run_benchmark(
-            Benchmark::Deepsjeng,
-            Scheme::Sip,
-            &c.with_placement(NotifyPlacement::Early { distance: 24 }),
-        );
+        let conservative = run(Benchmark::Deepsjeng, Scheme::Sip);
+        let early_cfg = c.with_placement(NotifyPlacement::Early { distance: 24 });
+        let early = SimRun::new(&early_cfg)
+            .scheme(Scheme::Sip)
+            .bench(Benchmark::Deepsjeng)
+            .run_one()
+            .unwrap();
         // Early placement must never lose catastrophically, and its
         // prefetches must actually run.
         assert!(early.sip_notifies > 0);
@@ -597,19 +606,13 @@ mod tests {
     #[test]
     fn early_notify_distance_zero_equals_conservative() {
         use sgx_sip::NotifyPlacement;
-        let c = cfg();
-        let a = run_benchmark(Benchmark::Mser, Scheme::Sip, &c);
-        let b = run_benchmark(
-            Benchmark::Mser,
-            Scheme::Sip,
-            &c.with_placement(NotifyPlacement::Early { distance: 0 }),
-        );
+        let a = run(Benchmark::Mser, Scheme::Sip);
+        let zero_cfg = cfg().with_placement(NotifyPlacement::Early { distance: 0 });
+        let b = SimRun::new(&zero_cfg)
+            .scheme(Scheme::Sip)
+            .bench(Benchmark::Mser)
+            .run_one()
+            .unwrap();
         assert_eq!(a.total_cycles, b.total_cycles);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one application")]
-    fn empty_app_list_panics() {
-        let _ = run_apps(vec![], &cfg(), Scheme::Baseline);
     }
 }

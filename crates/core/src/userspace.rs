@@ -169,6 +169,13 @@ pub fn run_userspace_paging(
             None => Cycles::ZERO,
             Some(amortized_ewb) => cfg.swap_in + Cycles::new(amortized_ewb),
         },
+        fault_service_p50: Cycles::ZERO,
+        fault_service_p90: Cycles::ZERO,
+        fault_service_p99: Cycles::ZERO,
+        preload_lead_mean: Cycles::ZERO,
+        preload_lead_p50: Cycles::ZERO,
+        preload_lead_p90: Cycles::ZERO,
+        preload_lead_p99: Cycles::ZERO,
     }
 }
 

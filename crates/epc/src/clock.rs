@@ -40,6 +40,7 @@ pub struct ClockQueue {
     free: Vec<usize>,
     index: HashMap<VirtPage, usize>,
     hand: usize,
+    last_sweep: u64,
 }
 
 impl ClockQueue {
@@ -50,7 +51,16 @@ impl ClockQueue {
             free: Vec::new(),
             index: HashMap::new(),
             hand: NIL,
+            last_sweep: 0,
         }
+    }
+
+    /// Number of entries the hand visited during the most recent successful
+    /// [`ClockQueue::evict`] (1 = the victim was cold immediately). Models
+    /// the access-bit scan cost the paper attributes to the driver's
+    /// reclaimer; 0 before any eviction.
+    pub fn last_sweep(&self) -> u64 {
+        self.last_sweep
     }
 
     /// Number of resident pages tracked.
@@ -177,12 +187,15 @@ impl ClockQueue {
         if self.hand == NIL {
             return None;
         }
+        let mut visited = 0u64;
         loop {
             let i = self.hand;
+            visited += 1;
             if self.entry(i).referenced {
                 self.entry_mut(i).referenced = false;
                 self.hand = self.entry(i).next;
             } else {
+                self.last_sweep = visited;
                 return Some(self.unlink(i));
             }
         }
@@ -226,6 +239,21 @@ mod tests {
 
     fn p(n: u64) -> VirtPage {
         VirtPage::new(n)
+    }
+
+    #[test]
+    fn last_sweep_counts_visited_entries() {
+        let mut c = ClockQueue::new();
+        assert_eq!(c.last_sweep(), 0);
+        c.insert(p(0), true);
+        c.insert(p(1), true);
+        c.insert(p(2), false);
+        // Hand clears bits on 0 and 1, then evicts 2: three entries visited.
+        assert_eq!(c.evict(), Some(p(2)));
+        assert_eq!(c.last_sweep(), 3);
+        // Both survivors are now cold: immediate hit.
+        assert_eq!(c.evict(), Some(p(0)));
+        assert_eq!(c.last_sweep(), 1);
     }
 
     #[test]

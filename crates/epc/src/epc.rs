@@ -63,6 +63,9 @@ pub struct Eviction {
     /// `true` if the page was preloaded and never touched — a confirmed
     /// wasted preload.
     pub wasted_preload: bool,
+    /// Entries the replacement policy inspected to find this victim (CLOCK
+    /// sweep length; 1 for direct-pick policies).
+    pub scanned: u64,
 }
 
 /// The EPC: a fixed number of page slots plus residency metadata.
@@ -224,6 +227,7 @@ impl Epc {
         Some(Eviction {
             page,
             wasted_preload: wasted,
+            scanned: self.policy.last_evict_scan(),
         })
     }
 

@@ -42,6 +42,13 @@ pub trait ReplacementPolicy: std::fmt::Debug {
         self.len() == 0
     }
 
+    /// Number of entries inspected by the most recent successful
+    /// [`ReplacementPolicy::evict`]. Policies that pick a victim directly
+    /// (FIFO, LRU, random) report 1; CLOCK reports its hand sweep length.
+    fn last_evict_scan(&self) -> u64 {
+        1
+    }
+
     /// A short, stable policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -65,6 +72,10 @@ impl ReplacementPolicy for crate::ClockQueue {
 
     fn len(&self) -> usize {
         crate::ClockQueue::len(self)
+    }
+
+    fn last_evict_scan(&self) -> u64 {
+        crate::ClockQueue::last_sweep(self)
     }
 
     fn name(&self) -> &'static str {

@@ -83,9 +83,15 @@ impl KernelConfig {
     }
 }
 
-/// Errors registering an enclave.
+/// Errors constructing or configuring a [`Kernel`].
+///
+/// This is the single fallible-API error type: registration and
+/// construction both report through it, so callers (and [`SimRun`] in
+/// `sgx-preload-core`) propagate one error instead of matching panics.
+///
+/// [`SimRun`]: https://docs.rs/sgx-preload-core
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RegisterError {
+pub enum KernelError {
     /// The process already has an enclave.
     DuplicateProcess(ProcessId),
     /// The requested ELRANGE is empty.
@@ -97,32 +103,39 @@ pub enum RegisterError {
         /// Maximum supported pages per enclave.
         max: u64,
     },
+    /// The configuration requested a zero-page EPC.
+    NoEpc,
     /// `register_thread` named an owner with no registered enclave.
     UnknownOwner(ProcessId),
 }
 
-impl fmt::Display for RegisterError {
+impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RegisterError::DuplicateProcess(pid) => {
+            KernelError::DuplicateProcess(pid) => {
                 write!(f, "{pid} already has a registered enclave")
             }
-            RegisterError::EmptyRange => f.write_str("enclave ELRANGE must be non-empty"),
-            RegisterError::RangeTooLarge { requested, max } => {
+            KernelError::EmptyRange => f.write_str("enclave ELRANGE must be non-empty"),
+            KernelError::RangeTooLarge { requested, max } => {
                 write!(f, "ELRANGE of {requested} pages exceeds maximum {max}")
             }
-            RegisterError::UnknownOwner(pid) => {
+            KernelError::NoEpc => f.write_str("EPC capacity must be non-zero"),
+            KernelError::UnknownOwner(pid) => {
                 write!(f, "{pid} has no enclave to attach a thread to")
             }
         }
     }
 }
 
-impl Error for RegisterError {}
+impl Error for KernelError {}
 
-/// One entry of the optional kernel event log (see
-/// [`Kernel::enable_event_log`]): a timestamped paging event, the raw
-/// material of the paper's Fig. 2 / Fig. 4 time sequences.
+/// Former name of [`KernelError`].
+#[deprecated(since = "0.2.0", note = "renamed to KernelError")]
+pub type RegisterError = KernelError;
+
+/// One streamed paging event, delivered to every subscribed
+/// [`TraceSink`](crate::TraceSink): the raw material of the paper's
+/// Fig. 2 / Fig. 4 time sequences.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoggedEvent {
     /// When the event happened (job completions log their finish time).
@@ -131,29 +144,50 @@ pub struct LoggedEvent {
     pub what: EventKind,
     /// The page involved, if any.
     pub page: Option<VirtPage>,
+    /// A kind-specific metric payload: service cycles for
+    /// [`EventKind::FaultResolved`], lead cycles for
+    /// [`EventKind::PreloadHit`], scan length for the eviction kinds,
+    /// stream length for [`EventKind::StreamPredicted`], and dropped-page
+    /// count for the abort kinds.
+    pub value: Option<u64>,
 }
 
-/// Event kinds recorded by the kernel event log.
+/// Event kinds streamed to trace sinks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A page fault arrived (AEX begins).
     Fault,
     /// A demand load completed on the channel.
     DemandLoaded,
-    /// A background preload started on the channel.
+    /// A background DFP preload started on the channel.
     PreloadStart,
-    /// A background preload completed (page resident).
+    /// A background load (DFP preload or SIP prefetch) completed (page
+    /// resident).
     PreloadDone,
-    /// A page was evicted (EWB) in the background.
+    /// A page was evicted (EWB) in the background; `value` is the
+    /// replacement policy's scan length.
     EvictBackground,
-    /// A page was evicted (EWB) inside a blocking load.
+    /// A page was evicted (EWB) inside a blocking load; `value` is the
+    /// replacement policy's scan length.
     EvictForeground,
-    /// Queued preloads were aborted by the fault handler.
+    /// Queued preloads were aborted by the fault handler; `value` is the
+    /// number of dropped pages.
     PreloadAbort,
     /// A SIP blocking load completed (no world switch).
     SipLoaded,
-    /// The DFP-stop valve fired.
+    /// The DFP-stop valve fired; `value` is the number of dropped pages.
     ValveStopped,
+    /// An asynchronous SIP prefetch started on the channel.
+    SipPrefetchStart,
+    /// A fault's ERESUME fired (`at` is the resume instant); `value` is the
+    /// end-to-end service time in cycles.
+    FaultResolved,
+    /// First touch of a DFP-preloaded page — a successful preload; `value`
+    /// is the completion-to-touch lead time in cycles.
+    PreloadHit,
+    /// The DFP emitted a non-empty prediction; `value` is the number of
+    /// predicted pages.
+    StreamPredicted,
 }
 
 impl std::fmt::Display for EventKind {
@@ -168,6 +202,10 @@ impl std::fmt::Display for EventKind {
             EventKind::PreloadAbort => "preload-abort",
             EventKind::SipLoaded => "sip-loaded",
             EventKind::ValveStopped => "valve-stopped",
+            EventKind::SipPrefetchStart => "sip-prefetch-start",
+            EventKind::FaultResolved => "fault-resolved",
+            EventKind::PreloadHit => "preload-hit",
+            EventKind::StreamPredicted => "stream-predicted",
         };
         f.write_str(s)
     }
@@ -232,6 +270,13 @@ pub struct KernelStats {
     pub foreground_evictions: u64,
     /// End-to-end fault service times (access to post-ERESUME).
     pub fault_service: Histogram,
+    /// Preload-completion-to-first-touch lead times (DFP preloads only:
+    /// SIP loads are demanded by the application, not speculated).
+    pub preload_lead: Histogram,
+    /// Replacement-policy scan lengths per eviction (CLOCK sweep cost).
+    pub evict_scan: Histogram,
+    /// Lengths of the DFP's non-empty stream predictions.
+    pub stream_len: Histogram,
     /// When the DFP-stop valve fired, if it did.
     pub dfp_stopped_at: Option<Cycles>,
 }
@@ -255,6 +300,9 @@ impl KernelStats {
             background_evictions: 0,
             foreground_evictions: 0,
             fault_service: Histogram::new("fault_service"),
+            preload_lead: Histogram::new("preload_lead"),
+            evict_scan: Histogram::new("evict_scan"),
+            stream_len: Histogram::new("stream_len"),
             dfp_stopped_at: None,
         }
     }
@@ -313,7 +361,7 @@ struct EnclaveSlot {
 /// let r = k.page_fault(Cycles::ZERO, pid, VirtPage::new(0));
 /// // AEX + handler + ELDU + ERESUME with paper costs.
 /// assert_eq!(r.resume_at, Cycles::new(65_000));
-/// # Ok::<(), sgx_kernel::RegisterError>(())
+/// # Ok::<(), sgx_kernel::KernelError>(())
 /// ```
 pub struct Kernel {
     costs: CostModel,
@@ -337,7 +385,11 @@ pub struct Kernel {
     reclaiming: bool,
     bg_evicted_last: bool,
     preload_stopped: bool,
-    event_log: Option<Vec<LoggedEvent>>,
+    sinks: Vec<Box<dyn crate::TraceSink>>,
+    /// Completion instants of DFP preloads whose pages are resident but not
+    /// yet touched; consumed at first touch to compute the preload lead
+    /// time, dropped on eviction.
+    preload_done_at: BTreeMap<VirtPage, Cycles>,
     stats: KernelStats,
 }
 
@@ -360,7 +412,8 @@ impl Kernel {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.epc_pages == 0`.
+    /// Panics if `cfg.epc_pages == 0`; use [`Kernel::try_new`] for a
+    /// fallible construction.
     pub fn new(cfg: KernelConfig, predictor: Box<dyn Predictor>) -> Self {
         let wm = cfg
             .watermarks
@@ -382,9 +435,23 @@ impl Kernel {
             reclaiming: false,
             bg_evicted_last: false,
             preload_stopped: false,
-            event_log: None,
+            sinks: Vec::new(),
+            preload_done_at: BTreeMap::new(),
             stats: KernelStats::new(),
         }
+    }
+
+    /// Fallible construction: like [`Kernel::new`] but reports a zero-page
+    /// EPC as [`KernelError::NoEpc`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `cfg.epc_pages == 0`.
+    pub fn try_new(cfg: KernelConfig, predictor: Box<dyn Predictor>) -> Result<Self, KernelError> {
+        if cfg.epc_pages == 0 {
+            return Err(KernelError::NoEpc);
+        }
+        Ok(Self::new(cfg, predictor))
     }
 
     /// Registers `thread` as an additional thread of `owner`'s enclave:
@@ -401,13 +468,13 @@ impl Kernel {
         &mut self,
         owner: ProcessId,
         thread: ProcessId,
-    ) -> Result<(), RegisterError> {
+    ) -> Result<(), KernelError> {
         if self.enclaves.contains_key(&thread) || self.thread_owner.contains_key(&thread) {
-            return Err(RegisterError::DuplicateProcess(thread));
+            return Err(KernelError::DuplicateProcess(thread));
         }
         let owner = self.owner_pid(owner);
         if !self.enclaves.contains_key(&owner) {
-            return Err(RegisterError::UnknownOwner(owner));
+            return Err(KernelError::UnknownOwner(owner));
         }
         self.thread_owner.insert(thread, owner);
         Ok(())
@@ -420,21 +487,21 @@ impl Kernel {
     ///
     /// Fails on duplicate registration, an empty range, or a range larger
     /// than the guard spacing between enclaves.
-    pub fn register_enclave(&mut self, pid: ProcessId, pages: u64) -> Result<(), RegisterError> {
+    pub fn register_enclave(&mut self, pid: ProcessId, pages: u64) -> Result<(), KernelError> {
         if self.enclaves.contains_key(&pid) {
-            return Err(RegisterError::DuplicateProcess(pid));
+            return Err(KernelError::DuplicateProcess(pid));
         }
         if pages == 0 {
-            return Err(RegisterError::EmptyRange);
+            return Err(KernelError::EmptyRange);
         }
         if pages > ENCLAVE_GUARD_PAGES {
-            return Err(RegisterError::RangeTooLarge {
+            return Err(KernelError::RangeTooLarge {
                 requested: pages,
                 max: ENCLAVE_GUARD_PAGES,
             });
         }
         if self.thread_owner.contains_key(&pid) {
-            return Err(RegisterError::DuplicateProcess(pid));
+            return Err(KernelError::DuplicateProcess(pid));
         }
         let base = self.next_base;
         self.next_base += ENCLAVE_GUARD_PAGES;
@@ -499,17 +566,39 @@ impl Kernel {
                 .insert(page, origin)
                 .expect("background load started with a free slot reserved");
             self.set_bitmap(page, true);
-            self.log(f.done_at, EventKind::PreloadDone, Some(page));
+            if matches!(origin, LoadOrigin::Preload) {
+                self.preload_done_at.insert(page, f.done_at);
+            }
+            self.log(f.done_at, EventKind::PreloadDone, Some(page), None);
         }
     }
 
-    /// Evicts one CLOCK victim *now* (state change at job start).
-    fn evict_one_now(&mut self) {
+    /// Evicts one victim *now* (state change at job start); returns it for
+    /// event emission.
+    fn evict_one_now(&mut self) -> sgx_epc::Eviction {
         let ev = self
             .epc
             .evict_victim()
             .expect("eviction requested on empty EPC");
         self.set_bitmap(ev.page, false);
+        self.preload_done_at.remove(&ev.page);
+        self.stats.evict_scan.record(Cycles::new(ev.scanned));
+        ev
+    }
+
+    /// Touches `g` in the EPC, emitting a [`EventKind::PreloadHit`] with
+    /// the completion-to-touch lead time on the first touch of a
+    /// DFP-preloaded page. `at` is the access instant.
+    fn touch_tracked(&mut self, at: Cycles, g: VirtPage) -> TouchOutcome {
+        let t = self.epc.touch(g);
+        if t.first_touch_of_preload {
+            if let Some(done) = self.preload_done_at.remove(&g) {
+                let lead = Cycles::new(at.raw().saturating_sub(done.raw()));
+                self.stats.preload_lead.record(lead);
+                self.log(at, EventKind::PreloadHit, Some(g), Some(lead.raw()));
+            }
+        }
+        t
     }
 
     /// Lazily runs background channel work (reclaim, preloads) up to `now`.
@@ -544,8 +633,13 @@ impl Kernel {
             let fair_evict =
                 self.reclaiming && !(want_preload && free > 0 && !self.bg_evicted_last);
             if (must_evict || fair_evict) && self.epc.resident_count() > 0 {
-                self.evict_one_now();
-                self.log(t, EventKind::EvictBackground, None);
+                let ev = self.evict_one_now();
+                self.log(
+                    t,
+                    EventKind::EvictBackground,
+                    Some(ev.page),
+                    Some(ev.scanned),
+                );
                 self.stats.background_evictions += 1;
                 self.channel_busy += self.costs.ewb;
                 self.bg_evicted_last = true;
@@ -572,10 +666,15 @@ impl Kernel {
                     continue;
                 }
                 match origin {
-                    LoadOrigin::Sip => self.stats.sip_prefetches_started += 1,
-                    _ => self.stats.preloads_started += 1,
+                    LoadOrigin::Sip => {
+                        self.stats.sip_prefetches_started += 1;
+                        self.log(t, EventKind::SipPrefetchStart, Some(page), None);
+                    }
+                    _ => {
+                        self.stats.preloads_started += 1;
+                        self.log(t, EventKind::PreloadStart, Some(page), None);
+                    }
                 }
-                self.log(t, EventKind::PreloadStart, Some(page));
                 self.bg_evicted_last = false;
                 self.channel_busy += self.costs.eldu;
                 self.in_flight = Some(InFlight {
@@ -602,8 +701,13 @@ impl Kernel {
     fn blocking_load(&mut self, from: Cycles, page: VirtPage, origin: LoadOrigin) -> Cycles {
         let mut t = self.channel_acquire(from);
         if self.epc.free_slots() == 0 {
-            self.evict_one_now();
-            self.log(t, EventKind::EvictForeground, None);
+            let ev = self.evict_one_now();
+            self.log(
+                t,
+                EventKind::EvictForeground,
+                Some(ev.page),
+                Some(ev.scanned),
+            );
             self.stats.foreground_evictions += 1;
             self.channel_busy += self.costs.ewb;
             t += self.costs.ewb;
@@ -630,9 +734,10 @@ impl Kernel {
                 self.epc.preloads_touched(),
             ) {
                 self.preload_stopped = true;
-                self.stats.preloads_aborted += self.preload_q.abort();
+                let dropped = self.preload_q.abort();
+                self.stats.preloads_aborted += dropped;
                 self.stats.dfp_stopped_at = Some(now);
-                self.log(now, EventKind::ValveStopped, None);
+                self.log(now, EventKind::ValveStopped, None, Some(dropped));
             }
         }
     }
@@ -675,7 +780,7 @@ impl Kernel {
     ) -> Option<TouchOutcome> {
         let g = self.global(pid, local);
         self.advance(now);
-        let t = self.epc.touch(g);
+        let t = self.touch_tracked(now, g);
         t.resident.then_some(t)
     }
 
@@ -694,19 +799,19 @@ impl Kernel {
         let t = now + self.costs.aex;
         self.advance(t);
         self.stats.faults += 1;
-        self.log(now, EventKind::Fault, Some(g));
+        self.log(now, EventKind::Fault, Some(g), None);
         self.valve_check(t);
 
         let (kind, handler_done) = if self.epc.is_resident(g) {
             self.stats.faults_found_resident += 1;
-            self.epc.touch(g);
+            self.touch_tracked(t, g);
             (FaultServicing::FoundResident, t + self.costs.os_fault_path)
         } else if matches!(self.in_flight, Some(f) if f.is_load_of(g)) {
             self.stats.faults_waited_inflight += 1;
             let f = self.in_flight.take().expect("matched above");
             let done = f.done_at;
             self.apply_completion(f);
-            self.epc.touch(g);
+            self.touch_tracked(done.max(t), g);
             (
                 FaultServicing::WaitedForInflight,
                 done.max(t) + self.costs.os_fault_path,
@@ -714,23 +819,35 @@ impl Kernel {
         } else {
             let dropped = self.preload_q.abort();
             if dropped > 0 {
-                self.log(t, EventKind::PreloadAbort, Some(g));
+                self.log(t, EventKind::PreloadAbort, Some(g), Some(dropped));
             }
             self.stats.preloads_aborted += dropped;
             let done = self.blocking_load(t + self.costs.os_fault_path, g, LoadOrigin::Demand);
             self.stats.demand_loads += 1;
-            self.log(done, EventKind::DemandLoaded, Some(g));
-            self.epc.touch(g);
+            self.log(done, EventKind::DemandLoaded, Some(g), None);
+            self.touch_tracked(done, g);
             (FaultServicing::DemandLoaded, done)
         };
 
         if !self.preload_stopped {
             let pred = self.predictor.on_fault(t, pid, g);
+            let predicted = pred.pages.len() as u64;
+            if predicted > 0 {
+                self.stats.stream_len.record(Cycles::new(predicted));
+                self.log(t, EventKind::StreamPredicted, Some(g), Some(predicted));
+            }
             self.enqueue_predictions(pid, pred);
         }
 
         let resume_at = handler_done + self.costs.eresume;
-        self.stats.fault_service.record(resume_at - now);
+        let service = resume_at - now;
+        self.stats.fault_service.record(service);
+        self.log(
+            resume_at,
+            EventKind::FaultResolved,
+            Some(g),
+            Some(service.raw()),
+        );
         FaultResolution { resume_at, kind }
     }
 
@@ -771,7 +888,7 @@ impl Kernel {
         }
         let done = self.blocking_load(now, g, LoadOrigin::Sip);
         self.stats.sip_loads += 1;
-        self.log(done, EventKind::SipLoaded, Some(g));
+        self.log(done, EventKind::SipLoaded, Some(g), None);
         done
     }
 
@@ -802,27 +919,27 @@ impl Kernel {
     }
 
     #[inline]
-    fn log(&mut self, at: Cycles, what: EventKind, page: Option<VirtPage>) {
-        if let Some(log) = &mut self.event_log {
-            log.push(LoggedEvent { at, what, page });
+    fn log(&mut self, at: Cycles, what: EventKind, page: Option<VirtPage>, value: Option<u64>) {
+        if self.sinks.is_empty() {
+            return;
+        }
+        let event = LoggedEvent {
+            at,
+            what,
+            page,
+            value,
+        };
+        for sink in &mut self.sinks {
+            sink.on_event(&event);
         }
     }
 
-    /// Starts recording a timestamped event log (off by default; costs an
-    /// allocation per event while enabled). Use [`Kernel::take_event_log`]
-    /// to drain it.
-    pub fn enable_event_log(&mut self) {
-        if self.event_log.is_none() {
-            self.event_log = Some(Vec::new());
-        }
-    }
-
-    /// Drains the recorded events (empty if logging was never enabled).
-    pub fn take_event_log(&mut self) -> Vec<LoggedEvent> {
-        self.event_log
-            .as_mut()
-            .map(std::mem::take)
-            .unwrap_or_default()
+    /// Subscribes a streaming [`TraceSink`](crate::TraceSink): every
+    /// subsequent paging event is delivered to it (and to any other
+    /// subscribed sinks, in subscription order). With no subscribers the
+    /// event path is a no-op — nothing is buffered.
+    pub fn subscribe(&mut self, sink: Box<dyn crate::TraceSink>) {
+        self.sinks.push(sink);
     }
 
     /// Kernel statistics so far.
@@ -1177,23 +1294,23 @@ mod tests {
         let mut k = kernel_with(16, Box::new(NoPredictor));
         assert_eq!(
             k.register_thread(ProcessId(9), ProcessId(10)),
-            Err(RegisterError::UnknownOwner(ProcessId(9)))
+            Err(KernelError::UnknownOwner(ProcessId(9)))
         );
         k.register_thread(PID, ProcessId(10)).unwrap();
         assert_eq!(
             k.register_thread(PID, ProcessId(10)),
-            Err(RegisterError::DuplicateProcess(ProcessId(10)))
+            Err(KernelError::DuplicateProcess(ProcessId(10)))
         );
         // A thread id cannot also become an enclave owner.
         assert_eq!(
             k.register_enclave(ProcessId(10), 16),
-            Err(RegisterError::DuplicateProcess(ProcessId(10)))
+            Err(KernelError::DuplicateProcess(ProcessId(10)))
         );
         // Threads chain to the root owner.
         k.register_thread(ProcessId(10), ProcessId(11)).unwrap();
         let r = k.page_fault(Cycles::ZERO, ProcessId(11), p(3));
         assert!(k.app_access(r.resume_at, PID, p(3)).is_some());
-        assert!(RegisterError::UnknownOwner(ProcessId(9))
+        assert!(KernelError::UnknownOwner(ProcessId(9))
             .to_string()
             .contains("no enclave"));
     }
@@ -1203,17 +1320,17 @@ mod tests {
         let mut k = kernel_with(16, Box::new(NoPredictor));
         assert_eq!(
             k.register_enclave(PID, 10),
-            Err(RegisterError::DuplicateProcess(PID))
+            Err(KernelError::DuplicateProcess(PID))
         );
         assert_eq!(
             k.register_enclave(ProcessId(9), 0),
-            Err(RegisterError::EmptyRange)
+            Err(KernelError::EmptyRange)
         );
         assert!(matches!(
             k.register_enclave(ProcessId(9), u64::MAX),
-            Err(RegisterError::RangeTooLarge { .. })
+            Err(KernelError::RangeTooLarge { .. })
         ));
-        assert!(RegisterError::EmptyRange.to_string().contains("non-empty"));
+        assert!(KernelError::EmptyRange.to_string().contains("non-empty"));
     }
 
     #[test]
@@ -1241,39 +1358,90 @@ mod tests {
     }
 
     #[test]
-    fn event_log_captures_the_fig2_sequence() {
+    fn trace_stream_captures_the_fig2_sequence() {
         let mut k = kernel_with(64, Box::new(NextLinePredictor::new(1)));
-        k.enable_event_log();
+        let (sink, events) = crate::CollectingSink::new();
+        k.subscribe(Box::new(sink));
         let r0 = k.page_fault(Cycles::ZERO, PID, p(0));
         let _ = k.page_fault(r0.resume_at, PID, p(1)); // waits for in-flight
-        let events = k.take_event_log();
-        let kinds: Vec<EventKind> = events.iter().map(|e| e.what).collect();
+        let kinds: Vec<EventKind> = events.borrow().iter().map(|e| e.what).collect();
         assert_eq!(
             kinds,
             vec![
-                EventKind::Fault,        // page 0 faults
-                EventKind::DemandLoaded, // page 0 loaded
-                EventKind::PreloadStart, // page 1 predicted
-                EventKind::Fault,        // page 1 faults mid-preload
-                EventKind::PreloadDone,  // the in-flight load satisfies it
+                EventKind::Fault,           // page 0 faults
+                EventKind::DemandLoaded,    // page 0 loaded
+                EventKind::StreamPredicted, // page 1 predicted
+                EventKind::FaultResolved,   // page 0's ERESUME
+                EventKind::PreloadStart,    // page 1's preload starts
+                EventKind::Fault,           // page 1 faults mid-preload
+                EventKind::PreloadDone,     // the in-flight load satisfies it
+                EventKind::PreloadHit,      // ...and is touched on arrival
+                EventKind::StreamPredicted, // page 2 predicted
+                EventKind::FaultResolved,   // page 1's ERESUME
             ],
-            "got {events:?}"
+            "got {:?}",
+            events.borrow()
         );
-        // Times are monotone.
-        for w in events.windows(2) {
-            assert!(w[0].at <= w[1].at);
-        }
-        // Draining empties the log; logging continues afterwards.
-        assert!(k.take_event_log().is_empty());
-        let _ = k.page_fault(Cycles::new(1_000_000), PID, p(50));
-        assert!(!k.take_event_log().is_empty());
+        // The fault-resolved payload is the recorded service time.
+        let resolved: Vec<u64> = events
+            .borrow()
+            .iter()
+            .filter(|e| e.what == EventKind::FaultResolved)
+            .map(|e| e.value.unwrap())
+            .collect();
+        assert_eq!(resolved.len(), 2);
+        assert_eq!(
+            resolved.iter().sum::<u64>() as u128,
+            k.stats().fault_service.sum()
+        );
+        // The second fault's page arrived exactly at its touch: zero lead.
+        let hit = events.borrow()[7];
+        assert_eq!(hit.page, Some(p(1)));
+        assert_eq!(hit.value, Some(0));
+        assert_eq!(k.stats().preload_lead.count(), 1);
     }
 
     #[test]
-    fn event_log_disabled_by_default() {
+    fn sinks_see_nothing_until_subscribed() {
         let mut k = kernel_with(16, Box::new(NoPredictor));
-        let _ = k.page_fault(Cycles::ZERO, PID, p(0));
-        assert!(k.take_event_log().is_empty());
+        let r = k.page_fault(Cycles::ZERO, PID, p(0));
+        let (sink, events) = crate::CollectingSink::new();
+        k.subscribe(Box::new(sink));
+        assert!(events.borrow().is_empty());
+        let _ = k.page_fault(r.resume_at, PID, p(1));
+        // Fault, DemandLoaded, FaultResolved (NoPredictor: no stream).
+        assert_eq!(events.borrow().len(), 3);
+    }
+
+    #[test]
+    fn counting_sink_matches_kernel_stats() {
+        let mut k = kernel_with(8, Box::new(NextLinePredictor::new(3)));
+        let (sink, counts) = crate::CountingSink::new();
+        k.subscribe(Box::new(sink));
+        let mut now = Cycles::ZERO;
+        for i in 0..200u64 {
+            let page = p(i % 24);
+            if k.app_access(now, PID, page).is_none() {
+                now = k.page_fault(now, PID, page).resume_at;
+            }
+            now += Cycles::new(50);
+        }
+        let c = counts.get();
+        let s = k.stats();
+        assert_eq!(c.faults, s.faults);
+        assert_eq!(c.preload_aborts, s.preloads_aborted);
+        assert_eq!(c.faults_resolved, s.faults);
+        assert_eq!(c.demand_loads, s.demand_loads);
+        assert_eq!(c.preload_starts, s.preloads_started);
+        assert_eq!(c.background_evictions, s.background_evictions);
+        assert_eq!(c.foreground_evictions, s.foreground_evictions);
+        assert_eq!(c.preload_hits, s.preload_lead.count());
+        assert_eq!(c.stream_predictions, s.stream_len.count());
+        assert_eq!(
+            (c.background_evictions + c.foreground_evictions),
+            s.evict_scan.count()
+        );
+        assert!(c.faults > 0 && c.preload_starts > 0, "workload too tame");
     }
 
     #[test]

@@ -35,7 +35,29 @@
 //! let r = kernel.page_fault(Cycles::ZERO, pid, VirtPage::new(0));
 //! let _ = kernel.page_fault(r.resume_at, pid, VirtPage::new(1));
 //! assert!(kernel.stats().preloads_enqueued > 0);
-//! # Ok::<(), sgx_kernel::RegisterError>(())
+//! # Ok::<(), sgx_kernel::KernelError>(())
+//! ```
+//!
+//! ## Observability
+//!
+//! Any number of [`TraceSink`]s can subscribe to a kernel and stream its
+//! paging events — see [`CountingSink`], [`HistogramSink`], [`TailSink`]
+//! and [`JsonlWriterSink`]:
+//!
+//! ```
+//! use sgx_dfp::{NextLinePredictor, ProcessId};
+//! use sgx_epc::VirtPage;
+//! use sgx_kernel::{CountingSink, Kernel, KernelConfig};
+//! use sgx_sim::Cycles;
+//!
+//! let mut kernel = Kernel::new(KernelConfig::new(64), Box::new(NextLinePredictor::new(4)));
+//! let (sink, counts) = CountingSink::new();
+//! kernel.subscribe(Box::new(sink));
+//! let pid = ProcessId(0);
+//! kernel.register_enclave(pid, 1024)?;
+//! kernel.page_fault(Cycles::ZERO, pid, VirtPage::new(0));
+//! assert_eq!(counts.get().faults, 1);
+//! # Ok::<(), sgx_kernel::KernelError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,11 +65,18 @@
 
 mod kernel;
 mod queue;
+mod trace;
 mod watermark;
 
+#[allow(deprecated)]
+pub use kernel::RegisterError;
 pub use kernel::{
-    EventKind, FaultResolution, FaultServicing, Kernel, KernelConfig, KernelStats, LoggedEvent,
-    RegisterError,
+    EventKind, FaultResolution, FaultServicing, Kernel, KernelConfig, KernelError, KernelStats,
+    LoggedEvent,
 };
 pub use queue::PreloadQueue;
+pub use trace::{
+    CollectingSink, CountingSink, EventCounts, HistogramSink, JsonlWriterSink, TailSink,
+    TraceHistograms, TraceSink,
+};
 pub use watermark::{WatermarkError, Watermarks};

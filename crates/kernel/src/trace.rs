@@ -1,0 +1,550 @@
+//! Streaming observability: trace sinks over the kernel's paging events.
+//!
+//! The kernel no longer buffers a `Vec<LoggedEvent>`; instead any number of
+//! [`TraceSink`]s subscribe via [`Kernel::subscribe`](crate::Kernel::subscribe)
+//! and see every event as it is emitted. The built-in sinks cover the common
+//! needs: [`CountingSink`] (per-kind tallies), [`HistogramSink`] (log2-bucketed
+//! cycle distributions), [`CollectingSink`] (the old buffer-everything
+//! behavior, opt-in), [`TailSink`] (ring buffer for post-mortems) and
+//! [`JsonlWriterSink`] (streaming JSON-lines to a file).
+//!
+//! Sinks hand out shared [`Rc`] handles at construction so the caller can
+//! read results after the boxed sink has been moved into the kernel. The
+//! kernel is single-threaded by design (campaign workers each build their
+//! own), so no `Send` bound is required.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use sgx_sim::{Cycles, Histogram};
+
+use crate::{EventKind, LoggedEvent};
+
+/// A streaming consumer of kernel paging events.
+///
+/// Implementations must be cheap: `on_event` runs inline on the simulated
+/// fault path. Sinks are invoked in subscription order.
+pub trait TraceSink {
+    /// Observes one event. Events within a single kernel call are emitted
+    /// in causal order; timestamps across calls are monotone per call site
+    /// but completions may be logged at their (future) finish instant.
+    fn on_event(&mut self, event: &LoggedEvent);
+}
+
+impl<F: FnMut(&LoggedEvent)> TraceSink for F {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        self(event)
+    }
+}
+
+/// Per-kind tallies of the kernel's paging events — the event-level
+/// telemetry a campaign cell derives from a [`CountingSink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Page faults (AEX entries).
+    pub faults: u64,
+    /// Demand loads completed on the channel.
+    pub demand_loads: u64,
+    /// Background DFP preloads started.
+    pub preload_starts: u64,
+    /// Background loads (DFP preloads or SIP prefetches) completed.
+    pub preload_dones: u64,
+    /// Background (reclaimer) evictions.
+    pub background_evictions: u64,
+    /// Foreground (inside a blocking load) evictions.
+    pub foreground_evictions: u64,
+    /// Queued preloads dropped (individual pages): the batch sizes of
+    /// every abort event plus the pages flushed when the valve fires —
+    /// matches `KernelStats::preloads_aborted`.
+    pub preload_aborts: u64,
+    /// SIP blocking loads completed.
+    pub sip_loads: u64,
+    /// DFP-stop valve firings (0 or 1 per run).
+    pub valve_stops: u64,
+    /// Asynchronous SIP prefetch loads started.
+    pub sip_prefetch_starts: u64,
+    /// Fault resolutions (ERESUME; one per fault).
+    pub faults_resolved: u64,
+    /// First touches of preloaded pages (successful preloads).
+    pub preload_hits: u64,
+    /// Non-empty stream predictions emitted by the DFP.
+    pub stream_predictions: u64,
+}
+
+impl EventCounts {
+    /// Tallies one event of `kind`, weighted as a single occurrence.
+    pub fn bump(&mut self, kind: EventKind) {
+        self.bump_by(kind, 1);
+    }
+
+    /// Tallies a full event. Most kinds count occurrences; abort-flavored
+    /// events carry a batch size in `value`, and every dropped page is
+    /// counted so `preload_aborts` matches `KernelStats`.
+    pub fn record(&mut self, event: &LoggedEvent) {
+        match event.what {
+            EventKind::PreloadAbort => self.bump_by(event.what, event.value.unwrap_or(1)),
+            EventKind::ValveStopped => {
+                // The valve flushes the queue as it latches: one firing,
+                // `value` pages aborted.
+                self.valve_stops += 1;
+                self.preload_aborts += event.value.unwrap_or(0);
+            }
+            _ => self.bump(event.what),
+        }
+    }
+
+    fn bump_by(&mut self, kind: EventKind, n: u64) {
+        match kind {
+            EventKind::Fault => self.faults += n,
+            EventKind::DemandLoaded => self.demand_loads += n,
+            EventKind::PreloadStart => self.preload_starts += n,
+            EventKind::PreloadDone => self.preload_dones += n,
+            EventKind::EvictBackground => self.background_evictions += n,
+            EventKind::EvictForeground => self.foreground_evictions += n,
+            EventKind::PreloadAbort => self.preload_aborts += n,
+            EventKind::SipLoaded => self.sip_loads += n,
+            EventKind::ValveStopped => self.valve_stops += n,
+            EventKind::SipPrefetchStart => self.sip_prefetch_starts += n,
+            EventKind::FaultResolved => self.faults_resolved += n,
+            EventKind::PreloadHit => self.preload_hits += n,
+            EventKind::StreamPredicted => self.stream_predictions += n,
+        }
+    }
+
+    /// Total events tallied.
+    pub fn total(&self) -> u64 {
+        self.faults
+            + self.demand_loads
+            + self.preload_starts
+            + self.preload_dones
+            + self.background_evictions
+            + self.foreground_evictions
+            + self.preload_aborts
+            + self.sip_loads
+            + self.valve_stops
+            + self.sip_prefetch_starts
+            + self.faults_resolved
+            + self.preload_hits
+            + self.stream_predictions
+    }
+
+    /// Appends this tally as a JSON object.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"faults\":{},\"demand_loads\":{},\"preload_starts\":{},\
+             \"preload_dones\":{},\"background_evictions\":{},\
+             \"foreground_evictions\":{},\"preload_aborts\":{},\
+             \"sip_loads\":{},\"valve_stops\":{},\"sip_prefetch_starts\":{},\
+             \"faults_resolved\":{},\"preload_hits\":{},\
+             \"stream_predictions\":{}}}",
+            self.faults,
+            self.demand_loads,
+            self.preload_starts,
+            self.preload_dones,
+            self.background_evictions,
+            self.foreground_evictions,
+            self.preload_aborts,
+            self.sip_loads,
+            self.valve_stops,
+            self.sip_prefetch_starts,
+            self.faults_resolved,
+            self.preload_hits,
+            self.stream_predictions,
+        ));
+    }
+}
+
+/// A sink that tallies events per kind into a shared [`EventCounts`].
+///
+/// # Examples
+///
+/// ```
+/// use sgx_kernel::{CountingSink, EventKind, LoggedEvent};
+/// use sgx_sim::Cycles;
+///
+/// let (sink, counts) = CountingSink::new();
+/// let mut sink = sink; // normally boxed into Kernel::subscribe
+/// use sgx_kernel::TraceSink;
+/// sink.on_event(&LoggedEvent {
+///     at: Cycles::ZERO,
+///     what: EventKind::Fault,
+///     page: None,
+///     value: None,
+/// });
+/// assert_eq!(counts.get().faults, 1);
+/// ```
+#[derive(Debug)]
+pub struct CountingSink {
+    counts: Rc<Cell<EventCounts>>,
+}
+
+impl CountingSink {
+    /// Creates the sink plus the shared handle the caller keeps.
+    pub fn new() -> (Self, Rc<Cell<EventCounts>>) {
+        let counts = Rc::new(Cell::new(EventCounts::default()));
+        (
+            CountingSink {
+                counts: Rc::clone(&counts),
+            },
+            counts,
+        )
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        let mut c = self.counts.get();
+        c.record(event);
+        self.counts.set(c);
+    }
+}
+
+/// The cycle histograms a [`HistogramSink`] accumulates.
+#[derive(Debug, Clone)]
+pub struct TraceHistograms {
+    /// End-to-end fault service time (`FaultResolved.value`).
+    pub fault_service: Histogram,
+    /// Preload-completion-to-first-touch lead time (`PreloadHit.value`).
+    pub preload_lead: Histogram,
+    /// Predicted stream lengths (`StreamPredicted.value`).
+    pub stream_len: Histogram,
+    /// Replacement-policy scan lengths per eviction (`Evict*.value`).
+    pub evict_scan: Histogram,
+}
+
+impl TraceHistograms {
+    fn new() -> Self {
+        TraceHistograms {
+            fault_service: Histogram::new("fault_service"),
+            preload_lead: Histogram::new("preload_lead"),
+            stream_len: Histogram::new("stream_len"),
+            evict_scan: Histogram::new("evict_scan"),
+        }
+    }
+}
+
+impl Default for TraceHistograms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A sink that folds the event stream's metric payloads into log2-bucketed
+/// [`Histogram`]s: fault latency, preload lead time, stream length, and
+/// eviction scan cost.
+#[derive(Debug)]
+pub struct HistogramSink {
+    hists: Rc<RefCell<TraceHistograms>>,
+}
+
+impl HistogramSink {
+    /// Creates the sink plus the shared handle the caller keeps.
+    pub fn new() -> (Self, Rc<RefCell<TraceHistograms>>) {
+        let hists = Rc::new(RefCell::new(TraceHistograms::new()));
+        (
+            HistogramSink {
+                hists: Rc::clone(&hists),
+            },
+            hists,
+        )
+    }
+}
+
+impl TraceSink for HistogramSink {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        let v = Cycles::new(event.value.unwrap_or(0));
+        let mut h = self.hists.borrow_mut();
+        match event.what {
+            EventKind::FaultResolved => h.fault_service.record(v),
+            EventKind::PreloadHit => h.preload_lead.record(v),
+            EventKind::StreamPredicted => h.stream_len.record(v),
+            EventKind::EvictBackground | EventKind::EvictForeground => h.evict_scan.record(v),
+            _ => {}
+        }
+    }
+}
+
+/// A sink that buffers every event — the old `take_event_log` behavior,
+/// now opt-in. Prefer [`TailSink`] unless the full stream is needed.
+#[derive(Debug)]
+pub struct CollectingSink {
+    events: Rc<RefCell<Vec<LoggedEvent>>>,
+}
+
+impl CollectingSink {
+    /// Creates the sink plus the shared buffer handle.
+    pub fn new() -> (Self, Rc<RefCell<Vec<LoggedEvent>>>) {
+        let events = Rc::new(RefCell::new(Vec::new()));
+        (
+            CollectingSink {
+                events: Rc::clone(&events),
+            },
+            events,
+        )
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        self.events.borrow_mut().push(*event);
+    }
+}
+
+/// A bounded ring buffer keeping only the most recent events — cheap
+/// always-on post-mortem context.
+#[derive(Debug)]
+pub struct TailSink {
+    capacity: usize,
+    tail: Rc<RefCell<VecDeque<LoggedEvent>>>,
+}
+
+impl TailSink {
+    /// Creates a sink retaining at most `capacity` events, plus the shared
+    /// ring handle. A zero capacity retains nothing.
+    pub fn new(capacity: usize) -> (Self, Rc<RefCell<VecDeque<LoggedEvent>>>) {
+        let tail = Rc::new(RefCell::new(VecDeque::with_capacity(capacity.min(4096))));
+        (
+            TailSink {
+                capacity,
+                tail: Rc::clone(&tail),
+            },
+            tail,
+        )
+    }
+}
+
+impl TraceSink for TailSink {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut t = self.tail.borrow_mut();
+        if t.len() == self.capacity {
+            t.pop_front();
+        }
+        t.push_back(*event);
+    }
+}
+
+/// A sink that streams events as JSON lines (one object per event) to any
+/// writer, typically a buffered file.
+///
+/// Write errors are latched rather than panicking mid-simulation: the first
+/// failure stops further writes and [`JsonlWriterSink::into_inner`] /
+/// [`Drop`] surface nothing (the simulation result is still valid, the
+/// trace file is just truncated).
+pub struct JsonlWriterSink<W: Write> {
+    // Option only so into_inner can move the writer out despite Drop.
+    out: Option<W>,
+    failed: bool,
+    written: u64,
+}
+
+impl JsonlWriterSink<BufWriter<File>> {
+    /// Creates (truncates) `path` and streams events to it through a
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlWriterSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlWriterSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlWriterSink {
+            out: Some(out),
+            failed: false,
+            written: 0,
+        }
+    }
+
+    /// Number of events successfully serialized so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the writer (for in-memory writers in tests).
+    pub fn into_inner(mut self) -> W {
+        let mut out = self.out.take().expect("writer only taken here");
+        let _ = out.flush();
+        out
+    }
+}
+
+impl<W: Write> std::fmt::Debug for JsonlWriterSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlWriterSink")
+            .field("failed", &self.failed)
+            .field("written", &self.written)
+            .finish()
+    }
+}
+
+impl<W: Write> TraceSink for JsonlWriterSink<W> {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        if self.failed {
+            return;
+        }
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        let mut line = String::with_capacity(96);
+        line.push_str(&format!(
+            "{{\"at\":{},\"kind\":\"{}\"",
+            event.at.raw(),
+            event.what
+        ));
+        if let Some(p) = event.page {
+            line.push_str(&format!(",\"page\":{}", p.raw()));
+        }
+        if let Some(v) = event.value {
+            line.push_str(&format!(",\"value\":{v}"));
+        }
+        line.push_str("}\n");
+        if out.write_all(line.as_bytes()).is_err() {
+            self.failed = true;
+            return;
+        }
+        self.written += 1;
+    }
+}
+
+impl<W: Write> Drop for JsonlWriterSink<W> {
+    fn drop(&mut self) {
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_epc::VirtPage;
+
+    fn ev(at: u64, what: EventKind) -> LoggedEvent {
+        LoggedEvent {
+            at: Cycles::new(at),
+            what,
+            page: Some(VirtPage::new(7)),
+            value: Some(at),
+        }
+    }
+
+    #[test]
+    fn counting_sink_tallies_every_kind() {
+        let (mut sink, counts) = CountingSink::new();
+        let kinds = [
+            EventKind::Fault,
+            EventKind::DemandLoaded,
+            EventKind::PreloadStart,
+            EventKind::PreloadDone,
+            EventKind::EvictBackground,
+            EventKind::EvictForeground,
+            EventKind::PreloadAbort,
+            EventKind::SipLoaded,
+            EventKind::ValveStopped,
+            EventKind::SipPrefetchStart,
+            EventKind::FaultResolved,
+            EventKind::PreloadHit,
+            EventKind::StreamPredicted,
+        ];
+        for k in kinds {
+            sink.on_event(&ev(1, k));
+        }
+        let c = counts.get();
+        // Both abort-flavored kinds carry `value: Some(1)` here, so the
+        // valve event lands once in `valve_stops` and once more in
+        // `preload_aborts` alongside the abort's own batch.
+        assert_eq!(c.total(), kinds.len() as u64 + 1);
+        assert_eq!(c.faults, 1);
+        assert_eq!(c.valve_stops, 1);
+        assert_eq!(c.preload_aborts, 2);
+        assert_eq!(c.stream_predictions, 1);
+    }
+
+    #[test]
+    fn histogram_sink_routes_values() {
+        let (mut sink, hists) = HistogramSink::new();
+        sink.on_event(&ev(60_000, EventKind::FaultResolved));
+        sink.on_event(&ev(2_000, EventKind::FaultResolved));
+        sink.on_event(&ev(500, EventKind::PreloadHit));
+        sink.on_event(&ev(3, EventKind::StreamPredicted));
+        sink.on_event(&ev(4, EventKind::EvictBackground));
+        sink.on_event(&ev(2, EventKind::EvictForeground));
+        sink.on_event(&ev(1, EventKind::Fault)); // no payload routed
+        let h = hists.borrow();
+        assert_eq!(h.fault_service.count(), 2);
+        assert_eq!(h.preload_lead.count(), 1);
+        assert_eq!(h.stream_len.count(), 1);
+        assert_eq!(h.evict_scan.count(), 2);
+    }
+
+    #[test]
+    fn tail_sink_keeps_only_last_n() {
+        let (mut sink, tail) = TailSink::new(3);
+        for i in 0..10 {
+            sink.on_event(&ev(i, EventKind::Fault));
+        }
+        let at: Vec<u64> = tail.borrow().iter().map(|e| e.at.raw()).collect();
+        assert_eq!(at, vec![7, 8, 9]);
+
+        let (mut zero, ring) = TailSink::new(0);
+        zero.on_event(&ev(1, EventKind::Fault));
+        assert!(ring.borrow().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_serializes_optional_fields() {
+        let mut sink = JsonlWriterSink::new(Vec::new());
+        sink.on_event(&ev(5, EventKind::Fault));
+        sink.on_event(&LoggedEvent {
+            at: Cycles::new(9),
+            what: EventKind::ValveStopped,
+            page: None,
+            value: None,
+        });
+        assert_eq!(sink.written(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "{\"at\":5,\"kind\":\"fault\",\"page\":7,\"value\":5}\n\
+             {\"at\":9,\"kind\":\"valve-stopped\"}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlWriterSink::new(Failing);
+        sink.on_event(&ev(1, EventKind::Fault));
+        sink.on_event(&ev(2, EventKind::Fault));
+        assert_eq!(sink.written(), 0);
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let mut n = 0u64;
+        {
+            let mut f = |_: &LoggedEvent| n += 1;
+            TraceSink::on_event(&mut f, &ev(1, EventKind::Fault));
+        }
+        assert_eq!(n, 1);
+    }
+}

@@ -42,4 +42,4 @@ pub use cycles::Cycles;
 pub use queue::EventQueue;
 pub use resource::{Grant, Resource};
 pub use rng::DetRng;
-pub use stats::{Counter, Histogram};
+pub use stats::{Counter, Histogram, HistogramSummary};

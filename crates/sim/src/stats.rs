@@ -142,6 +142,44 @@ impl Histogram {
         (self.count > 0).then(|| Cycles::new(self.max))
     }
 
+    /// Folds another histogram into this one, bucket by bucket. Campaign
+    /// aggregation uses this to combine per-cell distributions.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    /// Bucket `i` spans `[2^i, 2^(i+1))` (bucket 0 also holds zero), so the
+    /// lower bound is `1 << i`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, &b)| (1u64 << i, b))
+    }
+
+    /// The percentile summary reports embed: count, mean, min/max, and the
+    /// p50/p90/p99 bucket bounds. All fields are zero for an empty
+    /// histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min().unwrap_or(Cycles::ZERO),
+            max: self.max().unwrap_or(Cycles::ZERO),
+            p50: self.quantile(0.50).unwrap_or(Cycles::ZERO),
+            p90: self.quantile(0.90).unwrap_or(Cycles::ZERO),
+            p99: self.quantile(0.99).unwrap_or(Cycles::ZERO),
+        }
+    }
+
     /// An approximate quantile (`q in [0, 1]`) from bucket boundaries.
     ///
     /// Resolution is a factor of two — sufficient for distinguishing "2k-cycle
@@ -165,6 +203,38 @@ impl Histogram {
     /// Histogram name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+}
+
+/// Point-in-time percentile digest of a [`Histogram`].
+///
+/// Percentiles are bucket lower bounds (factor-of-two resolution), which is
+/// what makes them stable across runs and cheap to compare in golden files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean (zero when empty).
+    pub mean: Cycles,
+    /// Smallest sample (zero when empty).
+    pub min: Cycles,
+    /// Largest sample (zero when empty).
+    pub max: Cycles,
+    /// Median bucket bound.
+    pub p50: Cycles,
+    /// 90th-percentile bucket bound.
+    pub p90: Cycles,
+    /// 99th-percentile bucket bound.
+    pub p99: Cycles,
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p90={} p99={} max={}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max,
+        )
     }
 }
 
@@ -238,6 +308,59 @@ mod tests {
         let p99 = h.quantile(0.99).unwrap();
         assert!(p50 < Cycles::new(8_192));
         assert!(p99 >= Cycles::new(32_768));
+    }
+
+    #[test]
+    fn bucket_edges_zero_one_and_max() {
+        let mut h = Histogram::new("h");
+        h.record(Cycles::ZERO);
+        h.record(Cycles::new(1));
+        h.record(Cycles::new(u64::MAX));
+        // 0 and 1 share bucket 0; u64::MAX lands in the top bucket.
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(1, 2), (1u64 << 63, 1)]);
+        assert_eq!(h.quantile(0.0), Some(Cycles::new(1)));
+        assert_eq!(h.quantile(1.0), Some(Cycles::new(1u64 << 63)));
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Cycles::ZERO);
+        assert_eq!(s.max, Cycles::new(u64::MAX));
+        assert_eq!(s.p50, Cycles::new(1));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        a.record(Cycles::new(4));
+        b.record(Cycles::new(1_000));
+        b.record(Cycles::new(2));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 1_006);
+        assert_eq!(a.min(), Some(Cycles::new(2)));
+        assert_eq!(a.max(), Some(Cycles::new(1_000)));
+        // Merging an empty histogram changes nothing.
+        let before = a.summary();
+        a.merge(&Histogram::new("empty"));
+        assert_eq!(a.summary(), before);
+    }
+
+    #[test]
+    fn summary_of_empty_histogram_is_zeroed() {
+        let s = Histogram::new("h").summary();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                mean: Cycles::ZERO,
+                min: Cycles::ZERO,
+                max: Cycles::ZERO,
+                p50: Cycles::ZERO,
+                p90: Cycles::ZERO,
+                p99: Cycles::ZERO,
+            }
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 use sgx_preloading::dfp::{NextLinePredictor, StridePredictor};
 use sgx_preloading::kernel::{Kernel, KernelConfig};
 use sgx_preloading::{
-    run_apps, AppSpec, Benchmark, Cycles, InputSet, MultiStreamPredictor, NoPredictor, Prediction,
-    Predictor, ProcessId, Scale, Scheme, SimConfig, StreamConfig, VirtPage,
+    AppSpec, Benchmark, Cycles, InputSet, MultiStreamPredictor, NoPredictor, Prediction, Predictor,
+    ProcessId, Scale, Scheme, SimConfig, SimRun, StreamConfig, VirtPage,
 };
 
 /// Preloads the `width` pages surrounding every fault — a deliberately
@@ -54,7 +54,7 @@ fn race(bench: Benchmark, cfg: &SimConfig, predictor: Box<dyn Predictor>) -> (u6
     kernel
         .register_enclave(pid, bench.elrange_pages(cfg.scale))
         .expect("fresh kernel");
-    // Drive the kernel manually — the same loop `run_apps` uses, shown
+    // Drive the kernel manually — the same loop `SimRun` uses, shown
     // here in the open so custom integrations have a template.
     let mut now = Cycles::ZERO;
     for access in bench.build(InputSet::Ref, cfg.scale, cfg.seed) {
@@ -78,17 +78,15 @@ fn main() {
 
     for bench in [Benchmark::Lbm, Benchmark::Roms] {
         // Baseline via the high-level API, for comparison.
-        let base = run_apps(
-            vec![AppSpec::new(
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .app(AppSpec::new(
                 bench.name(),
                 bench.elrange_pages(cfg.scale),
                 bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-            )],
-            &cfg,
-            Scheme::Baseline,
-        )
-        .pop()
-        .expect("one report");
+            ))
+            .run_one()
+            .expect("one report");
 
         println!(
             "\n== {} (baseline {} cycles) ==",

@@ -10,7 +10,7 @@
 //! cargo run --release --example image_pipeline -- dev
 //! ```
 
-use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -31,11 +31,19 @@ fn main() {
     );
 
     for bench in [Benchmark::Sift, Benchmark::Mser, Benchmark::MixedBlood] {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let mut cells = Vec::new();
         let mut sip_points = 0;
         for scheme in [Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
-            let r = run_benchmark(bench, scheme, &cfg);
+            let r = SimRun::new(&cfg)
+                .scheme(scheme)
+                .bench(bench)
+                .run_one()
+                .unwrap();
             if scheme == Scheme::Sip {
                 sip_points = r.instrumentation_points;
             }

@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_enclave -- dev
 //! ```
 
-use sgx_preloading::{run_apps, AppSpec, Benchmark, InputSet, Scale, Scheme, SimConfig};
+use sgx_preloading::{AppSpec, Benchmark, InputSet, Scale, Scheme, SimConfig, SimRun};
 
 fn apps(cfg: &SimConfig, n: usize) -> Vec<AppSpec> {
     (0..n)
@@ -36,8 +36,16 @@ fn main() {
 
     let mut solo_cycles = 0u64;
     for n in [1usize, 2, 4] {
-        let base = run_apps(apps(&cfg, n), &cfg, Scheme::Baseline);
-        let dfp = run_apps(apps(&cfg, n), &cfg, Scheme::DfpStop);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .apps(apps(&cfg, n))
+            .run()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::DfpStop)
+            .apps(apps(&cfg, n))
+            .run()
+            .unwrap();
         let base_mean = base.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
         let dfp_mean = dfp.iter().map(|r| r.total_cycles.raw()).sum::<u64>() / n as u64;
         if n == 1 {

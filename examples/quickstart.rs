@@ -10,7 +10,7 @@
 //! cargo run --release --example quickstart -- dev     # 1/16 scale, fast
 //! ```
 
-use sgx_preloading::{run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig};
+use sgx_preloading::{Benchmark, InputSet, Scale, Scheme, SimConfig, SimRun};
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
@@ -26,13 +26,23 @@ fn main() {
         scale.divisor()
     );
 
-    let outside = run_outside(
-        "outside enclave",
-        bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-        &cfg,
-    );
-    let baseline = run_benchmark(bench, Scheme::Baseline, &cfg);
-    let dfp = run_benchmark(bench, Scheme::Dfp, &cfg);
+    let outside = SimRun::new(&cfg)
+        .outside(
+            "outside enclave",
+            bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+        )
+        .run_one()
+        .unwrap();
+    let baseline = SimRun::new(&cfg)
+        .scheme(Scheme::Baseline)
+        .bench(bench)
+        .run_one()
+        .unwrap();
+    let dfp = SimRun::new(&cfg)
+        .scheme(Scheme::Dfp)
+        .bench(bench)
+        .run_one()
+        .unwrap();
 
     let ghz = 3_500_000_000; // the paper's 3.5 GHz Xeon E3-1240v5
     println!(

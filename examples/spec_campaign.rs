@@ -6,7 +6,7 @@
 //! cargo run --release --example spec_campaign -- dev
 //! ```
 
-use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
 use sgx_workloads::Category;
 
 fn main() {
@@ -29,7 +29,11 @@ fn main() {
 
     let mut improvements: Vec<(Scheme, f64)> = Vec::new();
     for bench in Benchmark::ALL {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         let class = match bench.category() {
             Category::SmallWorkingSet => "small WS",
             Category::LargeIrregular => "large/irreg",
@@ -40,7 +44,11 @@ fn main() {
         print!("{:<16} {:<14}", bench.name(), class);
         let mut points = 0;
         for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
-            let r = run_benchmark(bench, scheme, &cfg);
+            let r = SimRun::new(&cfg)
+                .scheme(scheme)
+                .bench(bench)
+                .run_one()
+                .unwrap();
             let imp = r.improvement_over(&base);
             improvements.push((scheme, imp));
             points = points.max(r.instrumentation_points);

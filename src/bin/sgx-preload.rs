@@ -15,9 +15,10 @@ use std::process::ExitCode;
 
 use sgx_preloading::kernel::{Kernel, KernelConfig};
 use sgx_preloading::{
-    build_plan, effective_jobs, profile_stream, run_apps, run_benchmark, AppSpec, Benchmark,
-    Campaign, Cycles, InputSet, MultiStreamPredictor, NoPredictor, NotifyPlacement, Predictor,
-    ProcessId, RecordedTrace, Scale, Scheme, SeedMode, SimConfig, StreamConfig,
+    build_plan, effective_jobs, profile_stream, AppSpec, Benchmark, Campaign, CampaignReport,
+    CollectingSink, Cycles, HistogramSink, InputSet, JsonlWriterSink, MultiStreamPredictor,
+    NoPredictor, NotifyPlacement, Predictor, ProcessId, RecordedTrace, RunReport, Scale, Scheme,
+    SeedMode, SimConfig, SimRun, StreamConfig,
 };
 
 const USAGE: &str = "\
@@ -47,6 +48,10 @@ suite/campaign OPTIONS:
     --campaign-seed <N>            campaign master seed (default: 42);
                                    campaign derives per-cell seeds from it
     --json-out <file>              write the full campaign report as JSON
+    --trace-out <dir>              stream each cell's paging events to
+                                   <dir>/<index>_<label>.jsonl
+    --hist                         print per-cell fault-latency and preload-lead
+                                   percentiles (p50/p90/p99)
 
 campaign OPTIONS:
     --benches <a,b,..>             comma-separated benchmarks (default: all)
@@ -65,6 +70,12 @@ run/replay OPTIONS:
 trace OPTIONS:
     --bench <name>  -n <N>         accesses to record (default 10000)
     --out <file>                   output CSV (default <bench>.trace.csv)
+    --jsonl <file>                 instead of recording accesses, simulate the
+                                   benchmark under --scheme and stream kernel
+                                   paging events to <file> as JSON lines
+    --hist                         simulate under --scheme and print cycle
+                                   histograms (fault latency, preload lead,
+                                   stream length, eviction scan cost)
 
 replay OPTIONS:
     --trace <file>                 trace CSV recorded by `trace`
@@ -77,6 +88,9 @@ struct Args {
     flags: HashMap<String, String>,
 }
 
+/// Flags that take no value; their presence means `true`.
+const BOOL_FLAGS: [&str; 1] = ["hist"];
+
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
         let mut flags = HashMap::new();
@@ -86,6 +100,10 @@ impl Args {
                 .strip_prefix("--")
                 .or_else(|| a.strip_prefix('-'))
                 .ok_or_else(|| format!("unexpected argument {a:?}"))?;
+            if BOOL_FLAGS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -96,6 +114,10 @@ impl Args {
 
     fn get(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
@@ -239,10 +261,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
     let bench = args.bench()?;
     let scheme = args.scheme()?;
-    let r = run_benchmark(bench, scheme, &cfg);
+    let run = |s: Scheme| {
+        SimRun::new(&cfg)
+            .scheme(s)
+            .bench(bench)
+            .run_one()
+            .map_err(|e| e.to_string())
+    };
+    let r = run(scheme)?;
     println!("{r}");
     if scheme != Scheme::Baseline {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
+        let base = run(Scheme::Baseline)?;
         println!(
             "\nimprovement over baseline: {:+.2}% ({} -> {} cycles)",
             r.improvement_over(&base) * 100.0,
@@ -256,6 +285,36 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 /// The schemes the `suite` table compares against baseline, in column order.
 const SUITE_SCHEMES: [Scheme; 4] = [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid];
 
+/// Applies the shared `--trace-out` option to a campaign.
+fn apply_trace_out(args: &Args, campaign: Campaign) -> Campaign {
+    match args.get("trace-out") {
+        Some(dir) => campaign.with_trace_dir(dir),
+        None => campaign,
+    }
+}
+
+/// The `--hist` table: per-cell latency percentiles, derived from the
+/// kernel's streamed histograms (deterministic for any worker count).
+fn print_percentiles(report: &CampaignReport) {
+    println!(
+        "\n{:<32} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "cell", "fault p50", "fault p90", "fault p99", "lead p50", "lead p90", "lead p99"
+    );
+    for c in &report.cells {
+        let r: &RunReport = &c.report;
+        println!(
+            "{:<32} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+            c.label,
+            r.fault_service_p50.raw(),
+            r.fault_service_p90.raw(),
+            r.fault_service_p99.raw(),
+            r.preload_lead_p50.raw(),
+            r.preload_lead_p90.raw(),
+            r.preload_lead_p99.raw(),
+        );
+    }
+}
+
 fn cmd_suite(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
     // Shared seeding: every scheme must see the same workload stream as
@@ -263,8 +322,11 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
     // anything.
     let mut schemes = vec![Scheme::Baseline];
     schemes.extend(SUITE_SCHEMES);
-    let campaign = Campaign::grid("suite", cfg.seed, &Benchmark::ALL, &schemes, cfg)
-        .with_seed_mode(SeedMode::Shared);
+    let campaign = apply_trace_out(
+        args,
+        Campaign::grid("suite", cfg.seed, &Benchmark::ALL, &schemes, cfg)
+            .with_seed_mode(SeedMode::Shared),
+    );
     let report = campaign.run_with_jobs(args.jobs()?);
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9}",
@@ -285,21 +347,30 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
         }
         println!();
     }
+    if args.flag("hist") {
+        print_percentiles(&report);
+    }
     write_json_out(args, &report.to_json())?;
     Ok(())
 }
 
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
-    let campaign = Campaign::grid(
-        "campaign",
-        args.campaign_seed()?,
-        &args.benches()?,
-        &args.schemes()?,
-        cfg,
+    let campaign = apply_trace_out(
+        args,
+        Campaign::grid(
+            "campaign",
+            args.campaign_seed()?,
+            &args.benches()?,
+            &args.schemes()?,
+            cfg,
+        ),
     );
     let report = campaign.run_with_jobs(args.jobs()?);
     print!("{report}");
+    if args.flag("hist") {
+        print_percentiles(&report);
+    }
     write_json_out(args, &report.to_json())?;
     Ok(())
 }
@@ -355,6 +426,9 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 fn cmd_trace(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
     let bench = args.bench()?;
+    if args.get("jsonl").is_some() || args.flag("hist") {
+        return cmd_trace_events(args, &cfg, bench);
+    }
     let n = args.parsed::<usize>("n")?.unwrap_or(10_000);
     let out = args
         .get("out")
@@ -372,6 +446,50 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The event-stream side of `trace`: simulate the benchmark under the
+/// selected scheme with streaming sinks attached (`--jsonl` and/or
+/// `--hist`).
+fn cmd_trace_events(args: &Args, cfg: &SimConfig, bench: Benchmark) -> Result<(), String> {
+    let scheme = args.scheme()?;
+    if scheme.is_user_level() {
+        return Err("event tracing needs a kernel scheme; the user-level runtime has none".into());
+    }
+    let mut run = SimRun::new(cfg).scheme(scheme).bench(bench);
+    let jsonl_path = args.get("jsonl").map(String::from);
+    if let Some(path) = &jsonl_path {
+        let sink =
+            JsonlWriterSink::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        run = run.sink(Box::new(sink));
+    }
+    let hist = if args.flag("hist") {
+        let (sink, h) = HistogramSink::new();
+        run = run.sink(Box::new(sink));
+        Some(h)
+    } else {
+        None
+    };
+    let report = run.run_one().map_err(|e| e.to_string())?;
+    println!("{report}");
+    if let Some(path) = jsonl_path {
+        println!("streamed paging events -> {path}");
+    }
+    if let Some(h) = hist {
+        let h = h.borrow();
+        for (name, hist) in [
+            ("fault service cycles", &h.fault_service),
+            ("preload lead cycles", &h.preload_lead),
+            ("predicted stream length", &h.stream_len),
+            ("eviction scan length", &h.evict_scan),
+        ] {
+            println!("\n{name}: {}", hist.summary());
+            for (lo, count) in hist.nonzero_buckets() {
+                println!("  >= {lo:>12}: {count}");
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_replay(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
     let scheme = args.scheme()?;
@@ -382,22 +500,20 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     }
     let elrange = trace.elrange_pages();
     let run = |s: Scheme| {
-        run_apps(
-            vec![AppSpec::new(
+        SimRun::new(&cfg)
+            .scheme(s)
+            .app(AppSpec::new(
                 path.to_string(),
                 elrange,
                 trace.clone().into_stream(),
-            )],
-            &cfg,
-            s,
-        )
-        .pop()
-        .expect("one report")
+            ))
+            .run_one()
+            .map_err(|e| e.to_string())
     };
-    let r = run(scheme);
+    let r = run(scheme)?;
     println!("{r}");
     if scheme != Scheme::Baseline {
-        let base = run(Scheme::Baseline);
+        let base = run(Scheme::Baseline)?;
         println!(
             "\nimprovement over baseline: {:+.2}%",
             r.improvement_over(&base) * 100.0
@@ -421,15 +537,17 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
     } else {
         Box::new(NoPredictor)
     };
-    let mut kernel = Kernel::new(
+    let mut kernel = Kernel::try_new(
         KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs),
         predictor,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let pid = ProcessId(0);
     kernel
         .register_enclave(pid, bench.elrange_pages(cfg.scale))
         .map_err(|e| e.to_string())?;
-    kernel.enable_event_log();
+    let (sink, events) = CollectingSink::new();
+    kernel.subscribe(Box::new(sink));
 
     println!("{:>16}  {:<14} page", "cycle", "event");
     let mut printed = 0usize;
@@ -439,7 +557,7 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
         if kernel.app_access(now, pid, a.page).is_none() {
             now = kernel.page_fault(now, pid, a.page).resume_at;
         }
-        for e in kernel.take_event_log() {
+        for e in events.borrow_mut().drain(..) {
             println!(
                 "{:>16}  {:<14} {}",
                 e.at.to_string(),

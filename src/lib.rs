@@ -25,11 +25,14 @@
 //! # Examples
 //!
 //! ```
-//! use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+//! use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
 //!
 //! let cfg = SimConfig::at_scale(Scale::DEV);
-//! let base = run_benchmark(Benchmark::Lbm, Scheme::Baseline, &cfg);
-//! let dfp = run_benchmark(Benchmark::Lbm, Scheme::Dfp, &cfg);
+//! let base = SimRun::new(&cfg).bench(Benchmark::Lbm).run_one()?;
+//! let dfp = SimRun::new(&cfg)
+//!     .scheme(Scheme::Dfp)
+//!     .bench(Benchmark::Lbm)
+//!     .run_one()?;
 //! println!(
 //!     "lbm: DFP removes {} of {} faults, {:+.1}%",
 //!     base.faults - dfp.faults,
@@ -37,6 +40,7 @@
 //!     dfp.improvement_over(&base) * 100.0,
 //! );
 //! assert!(dfp.improvement_over(&base) > 0.0);
+//! # Ok::<(), sgx_preloading::SimError>(())
 //! ```
 //!
 //! See the `examples/` directory for runnable scenarios (quickstart, the
@@ -59,12 +63,18 @@ pub use sgx_dfp::{
     AbortPolicy, MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId, StreamConfig,
 };
 pub use sgx_epc::{CostModel, VictimPolicy, VirtPage};
-pub use sgx_preload_core::{
-    build_plan, derive_cell_seed, effective_jobs, run_apps, run_apps_traced, run_benchmark,
-    run_outside, run_userspace_paging, AppSpec, Campaign, CampaignReport, Cell, CellReport,
-    EventCounts, RunReport, Scheme, SeedMode, SimConfig, UserPagingConfig,
+pub use sgx_kernel::{
+    CollectingSink, CountingSink, HistogramSink, JsonlWriterSink, KernelError, TailSink,
+    TraceHistograms, TraceSink,
 };
-pub use sgx_sim::Cycles;
+pub use sgx_preload_core::{
+    build_plan, derive_cell_seed, effective_jobs, run_userspace_paging, AppSpec, Campaign,
+    CampaignReport, Cell, CellReport, EventCounts, RunReport, Scheme, SeedMode, SimConfig,
+    SimError, SimRun, UserPagingConfig,
+};
+#[allow(deprecated)]
+pub use sgx_preload_core::{run_apps, run_apps_traced, run_benchmark, run_outside};
+pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{
     profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig, TraceSummary,
 };

@@ -1,8 +1,6 @@
 //! Integration checks for the §6 user-level paging comparator.
 
-use sgx_preloading::{
-    run_benchmark, Benchmark, Cycles, Scale, Scheme, SimConfig, UserPagingConfig,
-};
+use sgx_preloading::{Benchmark, Cycles, Scale, Scheme, SimConfig, SimRun, UserPagingConfig};
 
 #[test]
 fn user_level_beats_hardware_paging_on_speed() {
@@ -11,9 +9,21 @@ fn user_level_beats_hardware_paging_on_speed() {
     // security/TCB, not speed.
     let cfg = SimConfig::at_scale(Scale::DEV);
     for bench in [Benchmark::Lbm, Benchmark::Deepsjeng] {
-        let base = run_benchmark(bench, Scheme::Baseline, &cfg);
-        let user = run_benchmark(bench, Scheme::UserLevel, &cfg);
-        let hybrid = run_benchmark(bench, Scheme::Hybrid, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let user = SimRun::new(&cfg)
+            .scheme(Scheme::UserLevel)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let hybrid = SimRun::new(&cfg)
+            .scheme(Scheme::Hybrid)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         assert!(
             user.improvement_over(&base) > hybrid.improvement_over(&base),
             "{bench}: the user-level runtime should win on raw speed"
@@ -32,12 +42,20 @@ fn user_level_check_cost_can_erase_the_win() {
     // Without the software TLB (CoSMIX's point), per-access checks get
     // expensive enough to matter on check-heavy code.
     let cfg = SimConfig::at_scale(Scale::DEV);
-    let cheap = run_benchmark(Benchmark::Mcf, Scheme::UserLevel, &cfg);
+    let cheap = SimRun::new(&cfg)
+        .scheme(Scheme::UserLevel)
+        .bench(Benchmark::Mcf)
+        .run_one()
+        .unwrap();
     let pricey_cfg = cfg.with_user_paging(
         UserPagingConfig::defaults_for(cfg.epc_pages)
             .with_check(Cycles::new(400), Cycles::new(400)),
     );
-    let pricey = run_benchmark(Benchmark::Mcf, Scheme::UserLevel, &pricey_cfg);
+    let pricey = SimRun::new(&pricey_cfg)
+        .scheme(Scheme::UserLevel)
+        .bench(Benchmark::Mcf)
+        .run_one()
+        .unwrap();
     assert!(
         pricey.total_cycles > cheap.total_cycles,
         "higher check costs must show up"
@@ -47,8 +65,16 @@ fn user_level_check_cost_can_erase_the_win() {
 #[test]
 fn user_level_is_deterministic_and_fault_free() {
     let cfg = SimConfig::at_scale(Scale::DEV);
-    let a = run_benchmark(Benchmark::Mser, Scheme::UserLevel, &cfg);
-    let b = run_benchmark(Benchmark::Mser, Scheme::UserLevel, &cfg);
+    let a = SimRun::new(&cfg)
+        .scheme(Scheme::UserLevel)
+        .bench(Benchmark::Mser)
+        .run_one()
+        .unwrap();
+    let b = SimRun::new(&cfg)
+        .scheme(Scheme::UserLevel)
+        .bench(Benchmark::Mser)
+        .run_one()
+        .unwrap();
     assert_eq!(a.total_cycles, b.total_cycles);
     // "Faults" here are software swaps; no AEX-style fault service exists.
     assert_eq!(a.faults_waited_inflight, 0);

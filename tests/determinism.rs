@@ -1,15 +1,23 @@
 //! Reproducibility guarantees: the simulation is a pure function of
 //! (benchmark, scheme, config, seed).
 
-use sgx_preloading::{run_benchmark, Benchmark, Scale, Scheme, SimConfig};
+use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
 
 #[test]
 fn every_scheme_is_bit_reproducible() {
     let cfg = SimConfig::at_scale(Scale::DEV);
     for bench in [Benchmark::Deepsjeng, Benchmark::Lbm, Benchmark::MixedBlood] {
         for scheme in Scheme::ALL {
-            let a = run_benchmark(bench, scheme, &cfg);
-            let b = run_benchmark(bench, scheme, &cfg);
+            let a = SimRun::new(&cfg)
+                .scheme(scheme)
+                .bench(bench)
+                .run_one()
+                .unwrap();
+            let b = SimRun::new(&cfg)
+                .scheme(scheme)
+                .bench(bench)
+                .run_one()
+                .unwrap();
             assert_eq!(
                 a.total_cycles, b.total_cycles,
                 "{bench}/{scheme}: cycles diverged"
@@ -32,12 +40,28 @@ fn seeds_change_random_workloads_but_not_deterministic_ones() {
     let a = SimConfig::at_scale(Scale::DEV).with_seed(1);
     let b = SimConfig::at_scale(Scale::DEV).with_seed(2);
     // deepsjeng is stochastic: different seeds, different traces.
-    let d1 = run_benchmark(Benchmark::Deepsjeng, Scheme::Baseline, &a);
-    let d2 = run_benchmark(Benchmark::Deepsjeng, Scheme::Baseline, &b);
+    let d1 = SimRun::new(&a)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::Deepsjeng)
+        .run_one()
+        .unwrap();
+    let d2 = SimRun::new(&b)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::Deepsjeng)
+        .run_one()
+        .unwrap();
     assert_ne!(d1.total_cycles, d2.total_cycles);
     // The microbenchmark is a pure sequential scan: seed-independent.
-    let m1 = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &a);
-    let m2 = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &b);
+    let m1 = SimRun::new(&a)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::Microbenchmark)
+        .run_one()
+        .unwrap();
+    let m2 = SimRun::new(&b)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::Microbenchmark)
+        .run_one()
+        .unwrap();
     assert_eq!(m1.total_cycles, m2.total_cycles);
 }
 
@@ -47,15 +71,31 @@ fn conclusions_are_stable_across_seeds() {
     // headline result across five seeds.
     for seed in 0..5 {
         let cfg = SimConfig::at_scale(Scale::DEV).with_seed(seed);
-        let base = run_benchmark(Benchmark::Deepsjeng, Scheme::Baseline, &cfg);
-        let sip = run_benchmark(Benchmark::Deepsjeng, Scheme::Sip, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(Benchmark::Deepsjeng)
+            .run_one()
+            .unwrap();
+        let sip = SimRun::new(&cfg)
+            .scheme(Scheme::Sip)
+            .bench(Benchmark::Deepsjeng)
+            .run_one()
+            .unwrap();
         assert!(
             sip.improvement_over(&base) > 0.03,
             "seed {seed}: deepsjeng SIP gain vanished"
         );
 
-        let base = run_benchmark(Benchmark::Lbm, Scheme::Baseline, &cfg);
-        let dfp = run_benchmark(Benchmark::Lbm, Scheme::Dfp, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(Benchmark::Lbm)
+            .run_one()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::Dfp)
+            .bench(Benchmark::Lbm)
+            .run_one()
+            .unwrap();
         assert!(
             dfp.improvement_over(&base) > 0.08,
             "seed {seed}: lbm DFP gain vanished"
@@ -67,8 +107,16 @@ fn conclusions_are_stable_across_seeds() {
 fn scale_changes_size_not_story() {
     for scale in [Scale::DEV, Scale::new(8)] {
         let cfg = SimConfig::at_scale(scale);
-        let base = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &cfg);
-        let dfp = run_benchmark(Benchmark::Microbenchmark, Scheme::Dfp, &cfg);
+        let base = SimRun::new(&cfg)
+            .scheme(Scheme::Baseline)
+            .bench(Benchmark::Microbenchmark)
+            .run_one()
+            .unwrap();
+        let dfp = SimRun::new(&cfg)
+            .scheme(Scheme::Dfp)
+            .bench(Benchmark::Microbenchmark)
+            .run_one()
+            .unwrap();
         let gain = dfp.improvement_over(&base);
         assert!(
             (0.10..0.25).contains(&gain),

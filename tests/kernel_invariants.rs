@@ -217,7 +217,8 @@ fn touch(kernel: &mut Kernel, pid: ProcessId, now: Cycles, page: u64) -> Cycles 
 #[test]
 fn valve_trips_on_adversarial_irregular_workload() {
     let (mut kernel, pid) = valve_kernel();
-    kernel.enable_event_log();
+    let (sink, events) = sgx_preloading::CollectingSink::new();
+    kernel.subscribe(Box::new(sink));
     let mut now = Cycles::ZERO;
     for i in 0..400u64 {
         // Two adjacent faults convince Algorithm 1 it found a stream and
@@ -239,10 +240,11 @@ fn valve_trips_on_adversarial_irregular_workload() {
     );
     let stats = kernel.stats();
     let stopped_at = stats.dfp_stopped_at.expect("valve records its stop time");
-    let events: Vec<_> = kernel.take_event_log();
     let fired: Vec<_> = events
+        .borrow()
         .iter()
         .filter(|e| e.what == EventKind::ValveStopped)
+        .cloned()
         .collect();
     assert_eq!(fired.len(), 1, "the valve fires exactly once");
     assert_eq!(fired[0].at, stopped_at);

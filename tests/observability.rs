@@ -1,0 +1,238 @@
+//! Integration tests for the streaming observability layer: trace sinks
+//! subscribed through [`SimRun`], the histogram percentiles surfaced in
+//! [`RunReport`], and their agreement with the simulator's own counters.
+
+use sgx_preloading::{
+    Benchmark, CollectingSink, CountingSink, Cycles, HistogramSink, JsonlWriterSink, RunReport,
+    Scale, Scheme, SimConfig, SimRun,
+};
+
+fn cfg() -> SimConfig {
+    SimConfig::at_scale(Scale::new(64))
+}
+
+const KERNEL_SCHEMES: [Scheme; 5] = [
+    Scheme::Baseline,
+    Scheme::Dfp,
+    Scheme::DfpStop,
+    Scheme::Sip,
+    Scheme::Hybrid,
+];
+
+/// The acceptance bar for the sink layer: on every benchmark × kernel
+/// scheme, the tallies a `CountingSink` reconstructs from the event stream
+/// must match the counters the simulator reports — nothing is emitted
+/// twice, nothing is dropped.
+#[test]
+fn counting_sink_matches_report_counters_on_every_workload() {
+    let c = cfg();
+    for bench in Benchmark::ALL {
+        for scheme in KERNEL_SCHEMES {
+            let (sink, counts) = CountingSink::new();
+            let r = SimRun::new(&c)
+                .scheme(scheme)
+                .bench(bench)
+                .sink(Box::new(sink))
+                .run_one()
+                .unwrap();
+            let ev = counts.get();
+            let ctx = format!("{}/{}", bench.name(), scheme.name());
+            assert_eq!(ev.faults, r.faults, "{ctx}: faults");
+            assert_eq!(ev.faults_resolved, r.faults, "{ctx}: every fault resolves");
+            assert_eq!(ev.preload_starts, r.preloads_started, "{ctx}: preloads");
+            assert_eq!(ev.preload_aborts, r.preloads_aborted, "{ctx}: aborts");
+            assert_eq!(
+                ev.background_evictions, r.background_evictions,
+                "{ctx}: background evictions"
+            );
+            assert_eq!(
+                ev.foreground_evictions, r.foreground_evictions,
+                "{ctx}: foreground evictions"
+            );
+            assert_eq!(
+                ev.valve_stops,
+                u64::from(r.dfp_stopped_at.is_some()),
+                "{ctx}: valve"
+            );
+            assert!(
+                ev.demand_loads <= ev.faults,
+                "{ctx}: demand loads are a subset of faults"
+            );
+            assert!(
+                ev.preload_hits <= r.preloads_touched,
+                "{ctx}: a lead is recorded only for touched preloads"
+            );
+        }
+    }
+}
+
+/// Every subscribed sink observes the same stream, in the same order.
+#[test]
+fn all_sinks_see_the_same_stream_in_order() {
+    let c = cfg();
+    let (first, a) = CollectingSink::new();
+    let (second, b) = CollectingSink::new();
+    SimRun::new(&c)
+        .scheme(Scheme::Dfp)
+        .bench(Benchmark::Lbm)
+        .sink(Box::new(first))
+        .sink(Box::new(second))
+        .run_one()
+        .unwrap();
+    let a = a.borrow();
+    assert!(!a.is_empty(), "a faulting run emits events");
+    assert_eq!(*a, *b.borrow());
+}
+
+/// A sink-free run produces byte-identical results to a fully observed
+/// one: observation never perturbs the simulation.
+#[test]
+fn sinks_do_not_perturb_the_simulation() {
+    let c = cfg();
+    let plain = SimRun::new(&c)
+        .scheme(Scheme::Hybrid)
+        .bench(Benchmark::Deepsjeng)
+        .run_one()
+        .unwrap();
+    let (counting, _counts) = CountingSink::new();
+    let (hist, _h) = HistogramSink::new();
+    let observed = SimRun::new(&c)
+        .scheme(Scheme::Hybrid)
+        .bench(Benchmark::Deepsjeng)
+        .sink(Box::new(counting))
+        .sink(Box::new(hist))
+        .run_one()
+        .unwrap();
+    assert_eq!(plain, observed);
+}
+
+/// The deprecated wrappers are thin delegates: same seed, same numbers.
+#[test]
+#[allow(deprecated)]
+fn legacy_wrappers_are_equivalent_to_simrun() {
+    let c = cfg();
+    for scheme in [Scheme::Baseline, Scheme::Dfp, Scheme::Sip] {
+        let old: RunReport = sgx_preloading::run_benchmark(Benchmark::Lbm, scheme, &c);
+        let new = SimRun::new(&c)
+            .scheme(scheme)
+            .bench(Benchmark::Lbm)
+            .run_one()
+            .unwrap();
+        assert_eq!(old, new, "{} diverged", scheme.name());
+    }
+    let outside_old = sgx_preloading::run_outside(
+        "o",
+        Benchmark::Microbenchmark.build(sgx_preloading::InputSet::Ref, c.scale, c.seed),
+        &c,
+    );
+    let outside_new = SimRun::new(&c)
+        .outside(
+            "o",
+            Benchmark::Microbenchmark.build(sgx_preloading::InputSet::Ref, c.scale, c.seed),
+        )
+        .run_one()
+        .unwrap();
+    assert_eq!(outside_old, outside_new);
+}
+
+/// Fault-latency percentiles surface in the report, are ordered, and are
+/// identical for 1, 2 and 4 campaign workers (the figure-determinism
+/// acceptance bar).
+#[test]
+fn percentiles_are_ordered_and_deterministic_across_jobs() {
+    use sgx_preloading::{Campaign, SeedMode};
+    let campaign = Campaign::grid(
+        "pctl",
+        42,
+        &[Benchmark::Microbenchmark, Benchmark::Lbm],
+        &[Scheme::Baseline, Scheme::Dfp],
+        cfg(),
+    )
+    .with_seed_mode(SeedMode::Shared);
+    let one = campaign.run_with_jobs(1);
+    let two = campaign.run_with_jobs(2);
+    let four = campaign.run_with_jobs(4);
+    assert_eq!(one.to_canonical_json(), two.to_canonical_json());
+    assert_eq!(one.to_canonical_json(), four.to_canonical_json());
+    assert!(one.to_canonical_json().contains("\"fault_service_p50\""));
+    for cell in &one.cells {
+        let r = &cell.report;
+        assert!(r.faults > 0, "{}: these workloads fault", cell.label);
+        assert!(r.fault_service_p50 > Cycles::ZERO, "{}", cell.label);
+        assert!(r.fault_service_p50 <= r.fault_service_p90, "{}", cell.label);
+        assert!(r.fault_service_p90 <= r.fault_service_p99, "{}", cell.label);
+    }
+}
+
+/// `Campaign::with_trace_dir` drops one parseable JSONL file per cell.
+#[test]
+fn campaign_trace_dir_streams_one_jsonl_file_per_cell() {
+    use sgx_preloading::Campaign;
+    let dir = std::env::temp_dir().join("sgx_obs_trace_dir_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = Campaign::grid(
+        "traced",
+        7,
+        &[Benchmark::Microbenchmark],
+        &[Scheme::Baseline, Scheme::Dfp],
+        cfg(),
+    )
+    .with_trace_dir(&dir);
+    let report = campaign.run_with_jobs(2);
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("trace dir created")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    files.sort();
+    assert_eq!(
+        files,
+        [
+            "000_microbenchmark-baseline.jsonl",
+            "001_microbenchmark-DFP.jsonl"
+        ]
+    );
+    for (file, cell) in files.iter().zip(&report.cells) {
+        let text = std::fs::read_to_string(dir.join(file)).unwrap();
+        let faults = text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"fault\","))
+            .count() as u64;
+        assert_eq!(faults, cell.events.faults, "{file}: fault lines");
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "{file}: {line}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The JSONL writer and the tail ring agree with the collecting sink on
+/// the same run.
+#[test]
+fn jsonl_and_tail_sinks_agree_with_collector() {
+    use sgx_preloading::TailSink;
+    let c = cfg();
+    let path = std::env::temp_dir().join("sgx_obs_jsonl_test.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let (collector, events) = CollectingSink::new();
+    let (tail, ring) = TailSink::new(5);
+    let writer = JsonlWriterSink::create(&path).unwrap();
+    SimRun::new(&c)
+        .scheme(Scheme::Dfp)
+        .bench(Benchmark::Microbenchmark)
+        .sink(Box::new(collector))
+        .sink(Box::new(tail))
+        .sink(Box::new(writer))
+        .run_one()
+        .unwrap();
+    let events = events.borrow();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), events.len());
+    let ring = ring.borrow();
+    assert_eq!(ring.len(), 5);
+    let last5: Vec<_> = events.iter().rev().take(5).rev().cloned().collect();
+    assert_eq!(Vec::from_iter(ring.iter().cloned()), last5);
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the paper's qualitative claims, checked
 //! end-to-end at 1/16 scale through the public facade.
 
-use sgx_preloading::{run_benchmark, run_outside, Benchmark, InputSet, Scale, Scheme, SimConfig};
+use sgx_preloading::{Benchmark, InputSet, Scale, Scheme, SimConfig, SimRun};
 
 fn cfg() -> SimConfig {
     SimConfig::at_scale(Scale::DEV)
@@ -9,19 +9,34 @@ fn cfg() -> SimConfig {
 
 fn improvement(bench: Benchmark, scheme: Scheme) -> f64 {
     let c = cfg();
-    let base = run_benchmark(bench, Scheme::Baseline, &c);
-    run_benchmark(bench, scheme, &c).improvement_over(&base)
+    let base = SimRun::new(&c)
+        .scheme(Scheme::Baseline)
+        .bench(bench)
+        .run_one()
+        .unwrap();
+    SimRun::new(&c)
+        .scheme(scheme)
+        .bench(bench)
+        .run_one()
+        .unwrap()
+        .improvement_over(&base)
 }
 
 #[test]
 fn motivation_sgx_slows_sequential_scan_by_an_order_of_magnitude() {
     let c = cfg();
-    let inside = run_benchmark(Benchmark::Microbenchmark, Scheme::Baseline, &c);
-    let outside = run_outside(
-        "outside",
-        Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, c.seed),
-        &c,
-    );
+    let inside = SimRun::new(&c)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::Microbenchmark)
+        .run_one()
+        .unwrap();
+    let outside = SimRun::new(&c)
+        .outside(
+            "outside",
+            Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, c.seed),
+        )
+        .run_one()
+        .unwrap();
     let slowdown = inside.total_cycles.raw() as f64 / outside.total_cycles.raw() as f64;
     assert!(
         (15.0..70.0).contains(&slowdown),
@@ -67,9 +82,21 @@ fn fig8_dfp_regresses_on_irregular_benchmarks() {
 fn fig8_dfp_stop_bounds_the_regression() {
     let c = cfg();
     for bench in [Benchmark::Roms, Benchmark::Mcf, Benchmark::Deepsjeng] {
-        let base = run_benchmark(bench, Scheme::Baseline, &c);
-        let plain = run_benchmark(bench, Scheme::Dfp, &c);
-        let stopped = run_benchmark(bench, Scheme::DfpStop, &c);
+        let base = SimRun::new(&c)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let plain = SimRun::new(&c)
+            .scheme(Scheme::Dfp)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let stopped = SimRun::new(&c)
+            .scheme(Scheme::DfpStop)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         assert!(
             stopped.total_cycles <= plain.total_cycles,
             "{bench}: DFP-stop must never lose to plain DFP"
@@ -101,7 +128,11 @@ fn fig10_sip_helps_irregular_c_benchmarks() {
 fn fig10_sip_cannot_help_streaming_programs() {
     for bench in [Benchmark::Microbenchmark, Benchmark::Lbm, Benchmark::Sift] {
         let c = cfg();
-        let r = run_benchmark(bench, Scheme::Sip, &c);
+        let r = SimRun::new(&c)
+            .scheme(Scheme::Sip)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         assert_eq!(
             r.instrumentation_points, 0,
             "{bench}: no irregular sites should clear the 5% threshold"
@@ -117,8 +148,16 @@ fn fig10_sip_cannot_help_streaming_programs() {
 #[test]
 fn sec52_mcf_is_the_sip_wash() {
     let c = cfg();
-    let sip = run_benchmark(Benchmark::Mcf, Scheme::Sip, &c);
-    let base = run_benchmark(Benchmark::Mcf, Scheme::Baseline, &c);
+    let sip = SimRun::new(&c)
+        .scheme(Scheme::Sip)
+        .bench(Benchmark::Mcf)
+        .run_one()
+        .unwrap();
+    let base = SimRun::new(&c)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::Mcf)
+        .run_one()
+        .unwrap();
     assert!(
         sip.instrumentation_points > 80,
         "mcf is heavily instrumented (paper: 99 points), got {}",
@@ -144,10 +183,29 @@ fn fig12_hybrid_tracks_the_better_single_scheme() {
         Benchmark::Mser,
         Benchmark::Lbm,
     ] {
-        let base = run_benchmark(bench, Scheme::Baseline, &c);
-        let dfp = run_benchmark(bench, Scheme::DfpStop, &c).improvement_over(&base);
-        let sip = run_benchmark(bench, Scheme::Sip, &c).improvement_over(&base);
-        let hybrid = run_benchmark(bench, Scheme::Hybrid, &c).improvement_over(&base);
+        let base = SimRun::new(&c)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
+        let dfp = SimRun::new(&c)
+            .scheme(Scheme::DfpStop)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+            .improvement_over(&base);
+        let sip = SimRun::new(&c)
+            .scheme(Scheme::Sip)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+            .improvement_over(&base);
+        let hybrid = SimRun::new(&c)
+            .scheme(Scheme::Hybrid)
+            .bench(bench)
+            .run_one()
+            .unwrap()
+            .improvement_over(&base);
         assert!(
             hybrid > dfp.max(sip) - 0.03,
             "{bench}: hybrid {hybrid:+.3} falls behind best({dfp:+.3}, {sip:+.3})"
@@ -158,10 +216,29 @@ fn fig12_hybrid_tracks_the_better_single_scheme() {
 #[test]
 fn fig13_mixed_blood_needs_both_schemes() {
     let c = cfg();
-    let base = run_benchmark(Benchmark::MixedBlood, Scheme::Baseline, &c);
-    let dfp = run_benchmark(Benchmark::MixedBlood, Scheme::DfpStop, &c).improvement_over(&base);
-    let sip = run_benchmark(Benchmark::MixedBlood, Scheme::Sip, &c).improvement_over(&base);
-    let hybrid = run_benchmark(Benchmark::MixedBlood, Scheme::Hybrid, &c).improvement_over(&base);
+    let base = SimRun::new(&c)
+        .scheme(Scheme::Baseline)
+        .bench(Benchmark::MixedBlood)
+        .run_one()
+        .unwrap();
+    let dfp = SimRun::new(&c)
+        .scheme(Scheme::DfpStop)
+        .bench(Benchmark::MixedBlood)
+        .run_one()
+        .unwrap()
+        .improvement_over(&base);
+    let sip = SimRun::new(&c)
+        .scheme(Scheme::Sip)
+        .bench(Benchmark::MixedBlood)
+        .run_one()
+        .unwrap()
+        .improvement_over(&base);
+    let hybrid = SimRun::new(&c)
+        .scheme(Scheme::Hybrid)
+        .bench(Benchmark::MixedBlood)
+        .run_one()
+        .unwrap()
+        .improvement_over(&base);
     assert!(sip > 0.0, "SIP alone helps a little ({sip:+.3})");
     assert!(dfp > sip, "DFP helps more on the scan phase ({dfp:+.3})");
     assert!(
@@ -178,7 +255,11 @@ fn fig11_sift_is_dfp_territory_mser_is_sip_territory() {
     assert!(mser_sip > 0.01, "MSER under SIP: {mser_sip:+.3}");
     // And SIP finds nothing to do on SIFT (paper Table 2: 0 points).
     let c = cfg();
-    let sift_sip = run_benchmark(Benchmark::Sift, Scheme::Sip, &c);
+    let sift_sip = SimRun::new(&c)
+        .scheme(Scheme::Sip)
+        .bench(Benchmark::Sift)
+        .run_one()
+        .unwrap();
     assert_eq!(sift_sip.instrumentation_points, 0);
 }
 
@@ -186,9 +267,17 @@ fn fig11_sift_is_dfp_territory_mser_is_sip_territory() {
 fn preloading_never_breaks_small_working_sets() {
     let c = cfg();
     for bench in [Benchmark::Leela, Benchmark::Exchange2, Benchmark::Nab] {
-        let base = run_benchmark(bench, Scheme::Baseline, &c);
+        let base = SimRun::new(&c)
+            .scheme(Scheme::Baseline)
+            .bench(bench)
+            .run_one()
+            .unwrap();
         for scheme in [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid] {
-            let r = run_benchmark(bench, scheme, &c);
+            let r = SimRun::new(&c)
+                .scheme(scheme)
+                .bench(bench)
+                .run_one()
+                .unwrap();
             let delta = r.improvement_over(&base);
             assert!(
                 delta > -0.02,
