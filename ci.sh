@@ -19,6 +19,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> chaos smoke"
+# The fault-injection layer's graceful-degradation contract, end to end:
+# the release CLI must hold the invariants under the heavy preset.
+./target/release/sgx-preload chaos --bench microbenchmark --scheme dfp \
+  --scale 48 --preset heavy --chaos-seed 5 --max-slowdown 3.0 >/dev/null
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 

@@ -1,0 +1,59 @@
+//! Chaos degradation: cycle overhead of seeded fault injection per
+//! scheme. The graceful-degradation contract says injection may shift
+//! *when* paging work happens, never *what* the run computes — this table
+//! quantifies the "when": slowdown vs. the uninjected run under the
+//! `light` and `heavy` preset schedules, per scheme. DFP-stop's valve
+//! should keep the heavy column's preloading overhead bounded (the
+//! paper's §4 bounded-misprediction argument, stress-tested).
+
+use sgx_bench::{pct, ResultTable};
+use sgx_kernel::ChaosSchedule;
+use sgx_preload_core::{Scheme, SimConfig, SimRun};
+use sgx_workloads::Benchmark;
+
+fn cycles(cfg: &SimConfig, bench: Benchmark, scheme: Scheme, chaos: ChaosSchedule) -> u64 {
+    SimRun::new(&cfg.with_chaos(chaos))
+        .scheme(scheme)
+        .bench(bench)
+        .run_one()
+        .expect("chaos run")
+        .total_cycles
+        .raw()
+}
+
+fn main() {
+    let scale = sgx_bench::scale_from_env();
+    let cfg = SimConfig::at_scale(scale);
+    let schemes = [Scheme::Baseline, Scheme::Dfp, Scheme::DfpStop];
+
+    let mut t = ResultTable::new(
+        "chaos_degradation",
+        "slowdown under seeded fault injection, vs. the clean run",
+        "bounded degradation: drops/delays/stalls/spikes cost cycles, never correctness",
+    );
+    t.columns(vec![
+        "base light",
+        "base heavy",
+        "DFP light",
+        "DFP heavy",
+        "stop light",
+        "stop heavy",
+    ]);
+
+    for bench in [
+        Benchmark::Microbenchmark,
+        Benchmark::Lbm,
+        Benchmark::Deepsjeng,
+    ] {
+        let mut cells: Vec<String> = Vec::new();
+        for scheme in schemes {
+            let clean = cycles(&cfg, bench, scheme, ChaosSchedule::none());
+            for sched in [ChaosSchedule::light(7), ChaosSchedule::heavy(7)] {
+                let injected = cycles(&cfg, bench, scheme, sched);
+                cells.push(pct(injected as f64 / clean as f64 - 1.0));
+            }
+        }
+        t.row(bench.name(), cells);
+    }
+    t.finish();
+}

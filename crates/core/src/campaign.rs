@@ -52,7 +52,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use sgx_kernel::{CountingSink, EventCounts, JsonlWriterSink, TraceSink};
+use sgx_kernel::{ChaosSchedule, CountingSink, EventCounts, JsonlWriterSink, TraceSink};
 use sgx_workloads::Benchmark;
 
 use crate::report::push_json_str;
@@ -62,14 +62,11 @@ use crate::{RunReport, Scheme, SimConfig, SimRun};
 pub const JOBS_ENV: &str = "SGX_PRELOAD_JOBS";
 
 /// Derives the seed for the cell at `cell_index` from the campaign seed —
-/// a stable SplitMix64-style hash, so the mapping is identical across
-/// runs, platforms and worker counts.
+/// the same stable SplitMix64-style hash ([`sgx_sim::mix`]) the chaos
+/// layer forks its capability streams with, so the mapping is identical
+/// across runs, platforms and worker counts.
 pub fn derive_cell_seed(campaign_seed: u64, cell_index: usize) -> u64 {
-    let mut z =
-        campaign_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(cell_index as u64 + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    sgx_sim::mix(campaign_seed, cell_index as u64)
 }
 
 /// Resolves the worker count: explicit request, else [`JOBS_ENV`], else
@@ -172,6 +169,33 @@ impl Campaign {
         for &bench in benches {
             for &scheme in schemes {
                 c.push(Cell::new(bench, scheme, cfg));
+            }
+        }
+        c
+    }
+
+    /// The `benches × schemes × chaos` cross-product: [`Campaign::grid`]
+    /// extended with a third axis of named [`ChaosSchedule`]s. Cells are
+    /// labeled `bench/scheme/chaos=<name>` and enumerated
+    /// benchmark-major, then scheme, then schedule — so a schedule's
+    /// cells for one bench/scheme pair are adjacent and A/B comparisons
+    /// against a `("none", ChaosSchedule::none())` column line up.
+    pub fn chaos_grid(
+        name: impl Into<String>,
+        seed: u64,
+        benches: &[Benchmark],
+        schemes: &[Scheme],
+        cfg: SimConfig,
+        chaos: &[(&str, ChaosSchedule)],
+    ) -> Self {
+        let mut c = Campaign::new(name, seed);
+        for &bench in benches {
+            for &scheme in schemes {
+                for (label, sched) in chaos {
+                    let cell = Cell::new(bench, scheme, cfg.with_chaos(*sched))
+                        .with_label(format!("{}/{}/chaos={label}", bench.name(), scheme.name()));
+                    c.push(cell);
+                }
             }
         }
         c
@@ -615,6 +639,34 @@ mod tests {
         .with_seed_mode(SeedMode::Shared);
         let r = c.run_serial();
         // Same workload stream under both schemes: identical access counts.
+        assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
+    }
+
+    #[test]
+    fn chaos_grid_adds_a_schedule_axis() {
+        let c = Campaign::chaos_grid(
+            "chaos",
+            13,
+            &[Benchmark::Microbenchmark],
+            &[Scheme::Dfp],
+            tiny_cfg(),
+            &[
+                ("none", ChaosSchedule::none()),
+                ("light", ChaosSchedule::light(1)),
+            ],
+        );
+        let labels: Vec<&str> = c.cells().iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "microbenchmark/DFP/chaos=none",
+                "microbenchmark/DFP/chaos=light"
+            ]
+        );
+        assert!(c.cells()[0].cfg.chaos.is_none());
+        assert!(!c.cells()[1].cfg.chaos.is_none());
+        let r = c.with_seed_mode(SeedMode::Shared).run_serial();
+        // Same workload either way; chaos only perturbs the kernel.
         assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
     }
 

@@ -2,6 +2,7 @@
 
 use sgx_dfp::{AbortPolicy, StreamConfig};
 use sgx_epc::CostModel;
+use sgx_kernel::ChaosSchedule;
 use sgx_sim::Cycles;
 use sgx_sip::{NotifyPlacement, SipConfig};
 use sgx_workloads::Scale;
@@ -45,6 +46,10 @@ pub struct SimConfig {
     pub user_paging: UserPagingConfig,
     /// Master seed for workload generation.
     pub seed: u64,
+    /// Deterministic fault-injection schedule. The default
+    /// ([`ChaosSchedule::none`]) never draws and leaves runs bit-identical
+    /// to a kernel with no injector installed.
+    pub chaos: ChaosSchedule,
 }
 
 impl SimConfig {
@@ -69,6 +74,7 @@ impl SimConfig {
             placement: NotifyPlacement::Conservative,
             user_paging: UserPagingConfig::defaults_for(scale.epc_pages()),
             seed: 42,
+            chaos: ChaosSchedule::none(),
         }
     }
 
@@ -121,6 +127,14 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Installs a deterministic fault-injection schedule (the chaos
+    /// layer). The injector draws from its own seeded streams, so the
+    /// workload generation under [`SimConfig::seed`] is unperturbed.
+    pub fn with_chaos(mut self, chaos: ChaosSchedule) -> Self {
+        self.chaos = chaos;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +166,15 @@ mod tests {
         assert_eq!(c.epc_pages, 99);
         assert_eq!(c.seed, 7);
         assert_eq!(c.scale, Scale::FULL);
+    }
+
+    #[test]
+    fn chaos_defaults_off_and_overrides() {
+        let c = SimConfig::at_scale(Scale::DEV);
+        assert!(c.chaos.is_none());
+        let c = c.with_chaos(ChaosSchedule::light(9));
+        assert!(!c.chaos.is_none());
+        assert_eq!(c.chaos.seed, 9);
+        assert_eq!(c.seed, 42, "workload seed untouched by chaos");
     }
 }

@@ -51,9 +51,7 @@ pub use campaign::{
 pub use config::SimConfig;
 pub use report::RunReport;
 pub use scheme::Scheme;
-pub use sgx_kernel::EventCounts;
+pub use sgx_kernel::{ChaosSchedule, ChaosStats, EventCounts, FaultInjector};
 pub use simrun::{SimError, SimRun};
 pub use simulator::{build_plan, AppSpec};
-#[allow(deprecated)]
-pub use simulator::{run_apps, run_apps_traced, run_benchmark, run_outside};
 pub use userspace::{run_userspace_paging, UserPagingConfig};

@@ -1,10 +1,9 @@
 //! The unified simulation entry point.
 //!
-//! [`SimRun`] replaces the four historical entrypoints (`run_apps`,
-//! `run_apps_traced`, `run_benchmark`, `run_outside`) with one builder:
-//! pick a scheme, add work (prepared [`AppSpec`]s, whole [`Benchmark`]s, or
-//! outside-the-enclave workloads), attach any number of streaming
-//! [`TraceSink`]s, and run. All enclave entries share one kernel, EPC and
+//! [`SimRun`] is one builder for every kind of run (the four historical
+//! `run_*` entrypoints it replaced are gone): pick a scheme, add work
+//! (prepared [`AppSpec`]s, whole [`Benchmark`]s, or outside-the-enclave
+//! workloads), attach any number of streaming [`TraceSink`]s, and run. All enclave entries share one kernel, EPC and
 //! load channel — the paper's multi-enclave contention scenario falls out
 //! of adding more than one.
 

@@ -4,12 +4,12 @@
 use std::collections::{HashSet, VecDeque};
 
 use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId};
-use sgx_kernel::{CountingSink, Kernel, KernelConfig, KernelError, TraceSink};
+use sgx_kernel::{Kernel, KernelConfig, KernelError, TraceSink};
 use sgx_sim::Cycles;
 use sgx_sip::{profile_stream, InstrumentationPlan};
 use sgx_workloads::{AccessIter, Benchmark, InputSet};
 
-use crate::{EventCounts, RunReport, Scheme, SimConfig, SimError, SimRun};
+use crate::{RunReport, Scheme, SimConfig, SimError};
 
 /// One application to simulate: its ELRANGE, access stream, and (for
 /// SIP/Hybrid) instrumentation plan.
@@ -98,6 +98,9 @@ fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelError> {
     let mut kcfg = KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs);
     if scheme.uses_valve() {
         kcfg = kcfg.with_abort_policy(cfg.abort);
+    }
+    if !cfg.chaos.is_none() {
+        kcfg = kcfg.with_chaos(cfg.chaos);
     }
     Kernel::try_new(kcfg, make_predictor(cfg, scheme))
 }
@@ -264,40 +267,6 @@ pub(crate) fn run_kernel_apps(
         .collect())
 }
 
-/// Runs one or more applications via the legacy panicking interface.
-#[deprecated(
-    since = "0.2.0",
-    note = "use SimRun::new(cfg).scheme(scheme).apps(apps).run()"
-)]
-pub fn run_apps(apps: Vec<AppSpec>, cfg: &SimConfig, scheme: Scheme) -> Vec<RunReport> {
-    SimRun::new(cfg)
-        .scheme(scheme)
-        .apps(apps)
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Runs applications and tallies the event stream via the legacy
-/// panicking interface.
-#[deprecated(
-    since = "0.2.0",
-    note = "use SimRun with a CountingSink: SimRun::new(cfg).apps(apps).sink(...)"
-)]
-pub fn run_apps_traced(
-    apps: Vec<AppSpec>,
-    cfg: &SimConfig,
-    scheme: Scheme,
-) -> (Vec<RunReport>, EventCounts) {
-    let (sink, counts) = CountingSink::new();
-    let reports = SimRun::new(cfg)
-        .scheme(scheme)
-        .apps(apps)
-        .sink(Box::new(sink))
-        .run()
-        .unwrap_or_else(|e| panic!("{e}"));
-    (reports, counts.get())
-}
-
 /// Builds the SIP instrumentation plan for a benchmark by profiling its
 /// *train* input (the paper's PGO pipeline, §5.2). Returns an empty plan
 /// when the scheme does not instrument or the paper's prototype could not
@@ -315,32 +284,6 @@ pub fn build_plan(bench: Benchmark, cfg: &SimConfig, scheme: Scheme) -> Instrume
         cfg.epc_pages as usize,
     );
     InstrumentationPlan::from_profile(&profile, sip)
-}
-
-/// Runs one benchmark under one scheme via the legacy panicking
-/// interface.
-#[deprecated(
-    since = "0.2.0",
-    note = "use SimRun::new(cfg).scheme(scheme).bench(bench).run_one()"
-)]
-pub fn run_benchmark(bench: Benchmark, scheme: Scheme, cfg: &SimConfig) -> RunReport {
-    SimRun::new(cfg)
-        .scheme(scheme)
-        .bench(bench)
-        .run_one()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Runs a workload outside any enclave via the legacy panicking interface.
-#[deprecated(
-    since = "0.2.0",
-    note = "use SimRun::new(cfg).outside(label, workload).run_one()"
-)]
-pub fn run_outside(label: impl Into<String>, workload: AccessIter, cfg: &SimConfig) -> RunReport {
-    SimRun::new(cfg)
-        .outside(label, workload)
-        .run_one()
-        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The outside-the-enclave model behind [`SimRun::outside`]: unlimited
@@ -401,6 +344,7 @@ pub(crate) fn run_outside_model(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimRun;
     use sgx_workloads::Scale;
 
     fn cfg() -> SimConfig {

@@ -105,4 +105,103 @@ proptest! {
             prop_assert!(policy.should_stop(total + 2, acc));
         }
     }
+
+    /// Capacity invariant: whatever fault sequence arrives — including the
+    /// page soup a chaos mispredict storm induces — the `stream_list`
+    /// never exceeds its configured length, and every fault is accounted
+    /// as exactly one match or one miss.
+    #[test]
+    fn stream_list_never_exceeds_capacity(
+        faults in proptest::collection::vec(0u64..1u64 << 32, 1..400),
+        list_len in 1usize..32,
+        load_length in 1u64..9,
+    ) {
+        let cfg = StreamConfig::paper_defaults()
+            .with_list_len(list_len)
+            .with_load_length(load_length);
+        let mut m = MultiStreamPredictor::new(cfg);
+        for (i, &f) in faults.iter().enumerate() {
+            m.on_fault(Cycles::ZERO, PID, VirtPage::new(f));
+            let list = m.stream_list(PID).expect("PID has faulted");
+            prop_assert!(
+                list.len() <= list_len,
+                "after fault {i}: {} streams > capacity {list_len}",
+                list.len()
+            );
+            prop_assert_eq!(list.matches() + list.misses(), i as u64 + 1);
+        }
+    }
+
+    /// LRU eviction order: seed `n` well-separated streams in sequence
+    /// into a list of capacity `cap`; exactly the `cap` most recently
+    /// seeded survive, and probing a head's successor predicts iff its
+    /// stream survived. Each probe runs on a clone so it cannot disturb
+    /// the list under test.
+    #[test]
+    fn lru_evicts_exactly_the_oldest_streams(
+        n in 2usize..16,
+        cap_raw in 1usize..16,
+        load_length in 1u64..9,
+    ) {
+        let cap = 1 + cap_raw % (n - 1).max(1); // 1 ..= n-1
+        let cfg = StreamConfig::paper_defaults()
+            .with_list_len(cap)
+            .with_load_length(load_length);
+        let mut m = MultiStreamPredictor::new(cfg);
+        // Heads 10_000 apart: far beyond any match window, so each seed
+        // fault starts a distinct stream.
+        let head = |i: usize| (i as u64 + 1) * 10_000;
+        for i in 0..n {
+            prop_assert!(m.on_fault(Cycles::ZERO, PID, VirtPage::new(head(i))).is_empty());
+        }
+        prop_assert_eq!(m.stream_list(PID).unwrap().len(), cap);
+        for i in 0..n {
+            let mut probe = m.clone();
+            let pred = probe.on_fault(Cycles::ZERO, PID, VirtPage::new(head(i) + 1));
+            let survived = i >= n - cap;
+            prop_assert_eq!(
+                !pred.is_empty(),
+                survived,
+                "stream {i} of {n} (cap {cap}): expected survived={survived}"
+            );
+        }
+    }
+
+    /// Stream-tail monotonicity: an ascending walk whose strides stay
+    /// within the match window keeps predicting, and its first predicted
+    /// page is strictly increasing — even with up to `list_len - 1`
+    /// self-advancing interloper streams interleaved arbitrarily (the
+    /// shape a chaos spurious-fault storm produces).
+    #[test]
+    fn walk_tail_is_monotone_under_interleaved_streams(
+        schedule in proptest::collection::vec((0usize..8, 1u64..5), 1..300),
+    ) {
+        let cfg = StreamConfig::paper_defaults(); // window 4, list 30
+        let mut m = MultiStreamPredictor::new(cfg);
+        let walk_base = 1u64 << 30;
+        let mut walk_pos = walk_base;
+        // Interlopers live a megapage apart; each advances by one per
+        // fault, so nothing ever strays into another stream's window.
+        let mut noise_pos = [0u64; 8];
+        prop_assert!(m.on_fault(Cycles::ZERO, PID, VirtPage::new(walk_pos)).is_empty());
+        let mut last_first: Option<u64> = None;
+        for &(lane, step) in &schedule {
+            if lane == 0 {
+                walk_pos += step; // 1..=4 = within the window
+                let pred = m.on_fault(Cycles::ZERO, PID, VirtPage::new(walk_pos));
+                prop_assert!(!pred.is_empty(), "in-window stride {step} must match");
+                let first = pred.pages[0].raw();
+                prop_assert_eq!(first, walk_pos + 1);
+                if let Some(prev) = last_first {
+                    prop_assert!(first > prev, "tail went backwards: {prev} -> {first}");
+                }
+                last_first = Some(first);
+            } else {
+                let base = lane as u64 * 1_000_000;
+                let fault = base + noise_pos[lane];
+                noise_pos[lane] += 1;
+                m.on_fault(Cycles::ZERO, PID, VirtPage::new(fault));
+            }
+        }
+    }
 }

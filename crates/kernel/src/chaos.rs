@@ -1,0 +1,526 @@
+//! Deterministic fault injection — the chaos layer.
+//!
+//! The paper's safety story (§4: the two-level abort plus the DFP-stop
+//! valve) claims mispredictions cost at most a *bounded* overhead. The
+//! [`FaultInjector`] exists to attack that claim on purpose: driven by a
+//! seeded [`ChaosSchedule`], it can drop or delay queued preload batches,
+//! inject spurious mispredict storms, spike EPC pressure by withholding
+//! usable slots, stall CLOCK scans, and force-flap the DFP-stop valve.
+//!
+//! Two properties are load-bearing and guarded by `tests/chaos.rs`:
+//!
+//! 1. **Graceful degradation.** Injection may change cycle counts, never
+//!    page contents or termination: every demand fault still ends with the
+//!    page resident, `KernelStats` still reconciles with the streamed
+//!    event counts, and the valve stays latched once stopped.
+//! 2. **Zero schedule == no injector.** Every capability draws through
+//!    [`DetRng::chance`], which returns `false` *without consuming a
+//!    draw* when the rate is `0.0`; an all-zero schedule therefore leaves
+//!    the simulation bit-identical to a run with no injector installed.
+//!
+//! Each capability owns an independent forked RNG (see [`sgx_sim::mix`]),
+//! so enabling one capability never perturbs the draw stream of another.
+
+use std::fmt;
+
+use sgx_epc::VirtPage;
+use sgx_sim::{mix, Cycles, DetRng};
+
+/// A seeded description of what to break and how often.
+///
+/// Rates are per-opportunity Bernoulli probabilities in `[0, 1]`: drop and
+/// delay rates apply per preload popped off the queue, scan-stall per
+/// eviction, and the spurious / EPC-spike / valve-flap rates per page
+/// fault. All-zero rates (see [`ChaosSchedule::none`]) make the injector a
+/// strict no-op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSchedule {
+    /// Root seed for the injector's independent draw streams.
+    pub seed: u64,
+    /// Probability that a popped preload batch entry is dropped.
+    pub drop_rate: f64,
+    /// Retries granted to a dropped preload before it is abandoned.
+    pub max_retries: u32,
+    /// Base backoff before a dropped preload re-enters the queue; doubles
+    /// per attempt.
+    pub retry_backoff: Cycles,
+    /// Probability that a started preload is delayed.
+    pub delay_rate: f64,
+    /// Extra channel occupancy added to a delayed preload.
+    pub delay_cycles: Cycles,
+    /// Probability that a fault triggers a spurious mispredict storm.
+    pub spurious_rate: f64,
+    /// Pages injected per spurious storm.
+    pub spurious_burst: u64,
+    /// Probability that a fault triggers an EPC pressure spike.
+    pub epc_spike_rate: f64,
+    /// Usable-EPC pages withheld during a spike.
+    pub epc_spike_pages: u64,
+    /// How long a spike withholds its pages.
+    pub epc_spike_cycles: Cycles,
+    /// Probability that an eviction's CLOCK scan stalls.
+    pub scan_stall_rate: f64,
+    /// Extra channel occupancy added to a stalled eviction.
+    pub scan_stall_cycles: Cycles,
+    /// Probability that a fault force-trips the DFP-stop valve.
+    pub valve_flap_rate: f64,
+}
+
+impl ChaosSchedule {
+    /// The all-zero schedule: an injector built from it never draws and
+    /// never perturbs the run.
+    pub fn none() -> Self {
+        ChaosSchedule {
+            seed: 0,
+            drop_rate: 0.0,
+            max_retries: 0,
+            retry_backoff: Cycles::ZERO,
+            delay_rate: 0.0,
+            delay_cycles: Cycles::ZERO,
+            spurious_rate: 0.0,
+            spurious_burst: 0,
+            epc_spike_rate: 0.0,
+            epc_spike_pages: 0,
+            epc_spike_cycles: Cycles::ZERO,
+            scan_stall_rate: 0.0,
+            scan_stall_cycles: Cycles::ZERO,
+            valve_flap_rate: 0.0,
+        }
+    }
+
+    /// A mild preset: occasional drops (with retries), short delays and
+    /// stalls, small storms. Degradation should stay well inside the
+    /// paper's bounded-misprediction envelope.
+    pub fn light(seed: u64) -> Self {
+        ChaosSchedule::none()
+            .with_seed(seed)
+            .with_drop(0.05)
+            .with_retry(3, Cycles::new(10_000))
+            .with_delay(0.05, Cycles::new(20_000))
+            .with_spurious(0.02, 4)
+            .with_epc_spike(0.01, 64, Cycles::new(500_000))
+            .with_scan_stall(0.05, Cycles::new(5_000))
+    }
+
+    /// An aggressive preset: frequent drops with few retries, long delays,
+    /// large storms, deep EPC spikes and heavy scan stalls.
+    pub fn heavy(seed: u64) -> Self {
+        ChaosSchedule::none()
+            .with_seed(seed)
+            .with_drop(0.25)
+            .with_retry(2, Cycles::new(20_000))
+            .with_delay(0.2, Cycles::new(50_000))
+            .with_spurious(0.1, 16)
+            .with_epc_spike(0.05, 256, Cycles::new(2_000_000))
+            .with_scan_stall(0.2, Cycles::new(20_000))
+    }
+
+    /// `true` when every rate is zero — the schedule cannot perturb a run.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.spurious_rate == 0.0
+            && self.epc_spike_rate == 0.0
+            && self.scan_stall_rate == 0.0
+            && self.valve_flap_rate == 0.0
+    }
+
+    /// Overrides the injector seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the preload drop rate.
+    pub fn with_drop(mut self, rate: f64) -> Self {
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Sets the retry budget and base backoff for dropped preloads.
+    pub fn with_retry(mut self, max_retries: u32, backoff: Cycles) -> Self {
+        self.max_retries = max_retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the preload delay rate and magnitude.
+    pub fn with_delay(mut self, rate: f64, cycles: Cycles) -> Self {
+        self.delay_rate = rate;
+        self.delay_cycles = cycles;
+        self
+    }
+
+    /// Sets the spurious-storm rate and burst size.
+    pub fn with_spurious(mut self, rate: f64, burst: u64) -> Self {
+        self.spurious_rate = rate;
+        self.spurious_burst = burst;
+        self
+    }
+
+    /// Sets the EPC-spike rate, depth and duration.
+    pub fn with_epc_spike(mut self, rate: f64, pages: u64, cycles: Cycles) -> Self {
+        self.epc_spike_rate = rate;
+        self.epc_spike_pages = pages;
+        self.epc_spike_cycles = cycles;
+        self
+    }
+
+    /// Sets the eviction scan-stall rate and magnitude.
+    pub fn with_scan_stall(mut self, rate: f64, cycles: Cycles) -> Self {
+        self.scan_stall_rate = rate;
+        self.scan_stall_cycles = cycles;
+        self
+    }
+
+    /// Sets the valve force-flap rate. The valve latches: only the first
+    /// successful flap has any effect, after which preloading stays off.
+    pub fn with_valve_flap(mut self, rate: f64) -> Self {
+        self.valve_flap_rate = rate;
+        self
+    }
+
+    /// Appends the schedule as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"drop_rate\":{},\"max_retries\":{},\"retry_backoff\":{},\
+             \"delay_rate\":{},\"delay_cycles\":{},\"spurious_rate\":{},\"spurious_burst\":{},\
+             \"epc_spike_rate\":{},\"epc_spike_pages\":{},\"epc_spike_cycles\":{},\
+             \"scan_stall_rate\":{},\"scan_stall_cycles\":{},\"valve_flap_rate\":{}}}",
+            self.seed,
+            self.drop_rate,
+            self.max_retries,
+            self.retry_backoff.raw(),
+            self.delay_rate,
+            self.delay_cycles.raw(),
+            self.spurious_rate,
+            self.spurious_burst,
+            self.epc_spike_rate,
+            self.epc_spike_pages,
+            self.epc_spike_cycles.raw(),
+            self.scan_stall_rate,
+            self.scan_stall_cycles.raw(),
+            self.valve_flap_rate,
+        );
+    }
+}
+
+impl Default for ChaosSchedule {
+    fn default() -> Self {
+        ChaosSchedule::none()
+    }
+}
+
+/// What the injector actually did, kept apart from [`KernelStats`] so the
+/// streamed-event reconciliation (`KernelStats == EventCounts`) is
+/// untouched by injection bookkeeping.
+///
+/// [`KernelStats`]: crate::KernelStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Preload batch entries dropped off the queue.
+    pub preloads_dropped: u64,
+    /// Dropped entries re-queued after their backoff.
+    pub retries_scheduled: u64,
+    /// Dropped entries abandoned after exhausting their retries.
+    pub retries_abandoned: u64,
+    /// Started preloads that were delayed.
+    pub preloads_delayed: u64,
+    /// Total extra channel cycles added by delays.
+    pub delay_cycles: u64,
+    /// Spurious pages pushed at the prediction queue.
+    pub spurious_pages: u64,
+    /// EPC pressure spikes triggered.
+    pub epc_spikes: u64,
+    /// Evictions whose scan was stalled.
+    pub scan_stalls: u64,
+    /// Total extra channel cycles added by scan stalls.
+    pub stall_cycles: u64,
+    /// Successful forced valve trips (at most one: the valve latches).
+    pub valve_trips: u64,
+}
+
+impl ChaosStats {
+    /// Total number of injected disturbances of any kind.
+    pub fn total_injections(&self) -> u64 {
+        self.preloads_dropped
+            + self.preloads_delayed
+            + self.spurious_pages
+            + self.epc_spikes
+            + self.scan_stalls
+            + self.valve_trips
+    }
+
+    /// Appends the stats as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"preloads_dropped\":{},\"retries_scheduled\":{},\"retries_abandoned\":{},\
+             \"preloads_delayed\":{},\"delay_cycles\":{},\"spurious_pages\":{},\
+             \"epc_spikes\":{},\"scan_stalls\":{},\"stall_cycles\":{},\"valve_trips\":{}}}",
+            self.preloads_dropped,
+            self.retries_scheduled,
+            self.retries_abandoned,
+            self.preloads_delayed,
+            self.delay_cycles,
+            self.spurious_pages,
+            self.epc_spikes,
+            self.scan_stalls,
+            self.stall_cycles,
+            self.valve_trips,
+        );
+    }
+}
+
+/// Fork salts for the per-capability draw streams.
+const SALT_DROP: u64 = 1;
+const SALT_DELAY: u64 = 2;
+const SALT_STALL: u64 = 3;
+const SALT_SPIKE: u64 = 4;
+const SALT_VALVE: u64 = 5;
+const SALT_STORM: u64 = 6;
+
+/// The deterministic fault injector, installed on a kernel via
+/// [`Kernel::install_injector`] or [`KernelConfig::with_chaos`] —
+/// alongside [`TraceSink`] on the builder path.
+///
+/// [`Kernel::install_injector`]: crate::Kernel::install_injector
+/// [`KernelConfig::with_chaos`]: crate::KernelConfig::with_chaos
+/// [`TraceSink`]: crate::TraceSink
+pub struct FaultInjector {
+    schedule: ChaosSchedule,
+    drop_rng: DetRng,
+    delay_rng: DetRng,
+    stall_rng: DetRng,
+    spike_rng: DetRng,
+    valve_rng: DetRng,
+    storm_rng: DetRng,
+    stats: ChaosStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a schedule; each capability forks its own
+    /// independent draw stream off `schedule.seed`.
+    pub fn new(schedule: ChaosSchedule) -> Self {
+        let fork = |salt| DetRng::seed_from(mix(schedule.seed, salt));
+        FaultInjector {
+            schedule,
+            drop_rng: fork(SALT_DROP),
+            delay_rng: fork(SALT_DELAY),
+            stall_rng: fork(SALT_STALL),
+            spike_rng: fork(SALT_SPIKE),
+            valve_rng: fork(SALT_VALVE),
+            storm_rng: fork(SALT_STORM),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// The schedule driving this injector.
+    pub fn schedule(&self) -> &ChaosSchedule {
+        &self.schedule
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Per popped preload: should this batch entry be dropped?
+    pub fn drop_preload(&mut self) -> bool {
+        if self.drop_rng.chance(self.schedule.drop_rate) {
+            self.stats.preloads_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Backoff before retry `attempt` (0-based) of a dropped preload, or
+    /// `None` once the retry budget is spent. The backoff doubles per
+    /// attempt and is always at least one cycle so a retried page cannot
+    /// re-enter the queue at the drop instant (which would livelock the
+    /// advance loop under `drop_rate == 1.0`).
+    pub fn retry_backoff(&mut self, attempt: u32) -> Option<Cycles> {
+        if attempt >= self.schedule.max_retries {
+            self.stats.retries_abandoned += 1;
+            return None;
+        }
+        self.stats.retries_scheduled += 1;
+        let shift = attempt.min(32);
+        let raw = self.schedule.retry_backoff.raw() << shift;
+        Some(Cycles::new(raw.max(1)))
+    }
+
+    /// Per started preload: extra channel occupancy, if this one is
+    /// delayed.
+    pub fn delay_preload(&mut self) -> Option<Cycles> {
+        if self.delay_rng.chance(self.schedule.delay_rate) {
+            self.stats.preloads_delayed += 1;
+            self.stats.delay_cycles += self.schedule.delay_cycles.raw();
+            Some(self.schedule.delay_cycles)
+        } else {
+            None
+        }
+    }
+
+    /// Per eviction: extra scan occupancy, if this CLOCK sweep stalls.
+    pub fn scan_stall(&mut self) -> Option<Cycles> {
+        if self.stall_rng.chance(self.schedule.scan_stall_rate) {
+            self.stats.scan_stalls += 1;
+            self.stats.stall_cycles += self.schedule.scan_stall_cycles.raw();
+            Some(self.schedule.scan_stall_cycles)
+        } else {
+            None
+        }
+    }
+
+    /// Per fault: pages-to-withhold and duration, if a pressure spike
+    /// fires.
+    pub fn epc_spike(&mut self) -> Option<(u64, Cycles)> {
+        if self.spike_rng.chance(self.schedule.epc_spike_rate) {
+            self.stats.epc_spikes += 1;
+            Some((
+                self.schedule.epc_spike_pages,
+                self.schedule.epc_spike_cycles,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Per fault (while preloading is live): force-trip the valve?
+    pub fn force_valve(&mut self) -> bool {
+        if self.valve_rng.chance(self.schedule.valve_flap_rate) {
+            self.stats.valve_trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per fault (while preloading is live): a spurious mispredict storm —
+    /// `spurious_burst` pages drawn uniformly from the faulting enclave's
+    /// `[base, base + pages)` ELRANGE. Empty when the storm does not fire.
+    pub fn spurious_storm(&mut self, base: u64, pages: u64) -> Vec<VirtPage> {
+        if pages == 0 || !self.storm_rng.chance(self.schedule.spurious_rate) {
+            return Vec::new();
+        }
+        let burst = self.schedule.spurious_burst;
+        self.stats.spurious_pages += burst;
+        (0..burst)
+            .map(|_| VirtPage::new(base + self.storm_rng.uniform(pages)))
+            .collect()
+    }
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("schedule", &self.schedule)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_schedule_never_fires_and_never_draws() {
+        let mut inj = FaultInjector::new(ChaosSchedule::none().with_seed(99));
+        for _ in 0..100 {
+            assert!(!inj.drop_preload());
+            assert!(inj.delay_preload().is_none());
+            assert!(inj.scan_stall().is_none());
+            assert!(inj.epc_spike().is_none());
+            assert!(!inj.force_valve());
+            assert!(inj.spurious_storm(0, 1 << 20).is_empty());
+        }
+        assert_eq!(*inj.stats(), ChaosStats::default());
+        assert_eq!(inj.stats().total_injections(), 0);
+    }
+
+    #[test]
+    fn certain_rates_always_fire() {
+        let sched = ChaosSchedule::none()
+            .with_seed(7)
+            .with_drop(1.0)
+            .with_delay(1.0, Cycles::new(5))
+            .with_scan_stall(1.0, Cycles::new(3))
+            .with_epc_spike(1.0, 10, Cycles::new(50))
+            .with_valve_flap(1.0)
+            .with_spurious(1.0, 4);
+        let mut inj = FaultInjector::new(sched);
+        assert!(inj.drop_preload());
+        assert_eq!(inj.delay_preload(), Some(Cycles::new(5)));
+        assert_eq!(inj.scan_stall(), Some(Cycles::new(3)));
+        assert_eq!(inj.epc_spike(), Some((10, Cycles::new(50))));
+        assert!(inj.force_valve());
+        let storm = inj.spurious_storm(1000, 16);
+        assert_eq!(storm.len(), 4);
+        assert!(storm.iter().all(|p| (1000..1016).contains(&p.raw())));
+        let s = inj.stats();
+        assert_eq!(s.preloads_dropped, 1);
+        assert_eq!(s.preloads_delayed, 1);
+        assert_eq!(s.scan_stalls, 1);
+        assert_eq!(s.epc_spikes, 1);
+        assert_eq!(s.valve_trips, 1);
+        assert_eq!(s.spurious_pages, 4);
+        assert_eq!(s.total_injections(), 9);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let sched = ChaosSchedule::light(42);
+        let mut a = FaultInjector::new(sched);
+        let mut b = FaultInjector::new(sched);
+        for _ in 0..500 {
+            assert_eq!(a.drop_preload(), b.drop_preload());
+            assert_eq!(a.delay_preload(), b.delay_preload());
+            assert_eq!(a.spurious_storm(64, 4096), b.spurious_storm(64, 4096));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_abandons() {
+        let mut inj = FaultInjector::new(ChaosSchedule::none().with_retry(3, Cycles::new(100)));
+        assert_eq!(inj.retry_backoff(0), Some(Cycles::new(100)));
+        assert_eq!(inj.retry_backoff(1), Some(Cycles::new(200)));
+        assert_eq!(inj.retry_backoff(2), Some(Cycles::new(400)));
+        assert_eq!(inj.retry_backoff(3), None);
+        assert_eq!(inj.stats().retries_scheduled, 3);
+        assert_eq!(inj.stats().retries_abandoned, 1);
+    }
+
+    #[test]
+    fn retry_backoff_is_never_zero() {
+        let mut inj = FaultInjector::new(ChaosSchedule::none().with_retry(1, Cycles::ZERO));
+        assert_eq!(inj.retry_backoff(0), Some(Cycles::new(1)));
+    }
+
+    #[test]
+    fn presets_are_active_and_none_is_not() {
+        assert!(ChaosSchedule::none().is_none());
+        assert!(!ChaosSchedule::light(1).is_none());
+        assert!(!ChaosSchedule::heavy(1).is_none());
+        // A zero schedule with a nonzero seed is still inert.
+        assert!(ChaosSchedule::none().with_seed(77).is_none());
+    }
+
+    #[test]
+    fn json_shapes_are_objects() {
+        let mut s = String::new();
+        ChaosSchedule::heavy(3).write_json(&mut s);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"drop_rate\":0.25"));
+        let mut t = String::new();
+        ChaosStats::default().write_json(&mut t);
+        assert!(t.starts_with('{') && t.ends_with('}'));
+        assert!(t.contains("\"valve_trips\":0"));
+    }
+}

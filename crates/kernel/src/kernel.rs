@@ -23,7 +23,7 @@ use sgx_dfp::{AbortPolicy, AbortValve, Prediction, Predictor, ProcessId};
 use sgx_epc::{CostModel, Epc, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage};
 use sgx_sim::{Cycles, Histogram};
 
-use crate::{PreloadQueue, Watermarks};
+use crate::{ChaosSchedule, ChaosStats, FaultInjector, PreloadQueue, Watermarks};
 
 /// Virtual-page gap between consecutive enclaves' ELRANGEs, so that no
 /// stream prediction can run off the end of one enclave into the next.
@@ -43,6 +43,9 @@ pub struct KernelConfig {
     pub abort_policy: Option<AbortPolicy>,
     /// EPC victim-selection policy (driver default: CLOCK).
     pub victim_policy: VictimPolicy,
+    /// Deterministic fault-injection schedule; `None` (or an all-zero
+    /// schedule) leaves the run undisturbed.
+    pub chaos: Option<ChaosSchedule>,
 }
 
 impl KernelConfig {
@@ -55,6 +58,7 @@ impl KernelConfig {
             watermarks: None,
             abort_policy: None,
             victim_policy: VictimPolicy::Clock,
+            chaos: None,
         }
     }
 
@@ -79,6 +83,13 @@ impl KernelConfig {
     /// Enables the DFP-stop safety valve.
     pub fn with_abort_policy(mut self, policy: AbortPolicy) -> Self {
         self.abort_policy = Some(policy);
+        self
+    }
+
+    /// Installs a deterministic fault-injection schedule (the chaos
+    /// layer).
+    pub fn with_chaos(mut self, schedule: ChaosSchedule) -> Self {
+        self.chaos = Some(schedule);
         self
     }
 }
@@ -342,6 +353,14 @@ struct EnclaveSlot {
     bitmap: PresenceBitmap,
 }
 
+/// A preload batch entry dropped by the chaos injector, waiting out its
+/// backoff before re-entering the queue.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    not_before: Cycles,
+    page: VirtPage,
+}
+
 /// The untrusted operating system: SGX driver, reclaimer, preload worker.
 ///
 /// # Examples
@@ -390,6 +409,18 @@ pub struct Kernel {
     /// yet touched; consumed at first touch to compute the preload lead
     /// time, dropped on eviction.
     preload_done_at: BTreeMap<VirtPage, Cycles>,
+    /// The chaos layer, if installed. A `None` (or an injector with an
+    /// all-zero schedule, which never draws) leaves every path identical
+    /// to an uninjected run.
+    injector: Option<FaultInjector>,
+    /// Dropped preloads waiting out their retry backoff.
+    retry_q: Vec<RetryEntry>,
+    /// Retry attempts consumed per dropped page.
+    retry_attempts: BTreeMap<VirtPage, u32>,
+    /// Usable-EPC pages withheld by an active chaos pressure spike.
+    chaos_reserved_pages: u64,
+    /// When the active chaos pressure spike ends.
+    chaos_reserved_until: Cycles,
     stats: KernelStats,
 }
 
@@ -437,6 +468,11 @@ impl Kernel {
             preload_stopped: false,
             sinks: Vec::new(),
             preload_done_at: BTreeMap::new(),
+            injector: cfg.chaos.map(FaultInjector::new),
+            retry_q: Vec::new(),
+            retry_attempts: BTreeMap::new(),
+            chaos_reserved_pages: 0,
+            chaos_reserved_until: Cycles::ZERO,
             stats: KernelStats::new(),
         }
     }
@@ -601,6 +637,76 @@ impl Kernel {
         t
     }
 
+    /// Free EPC slots as the scheduler sees them: real free slots minus any
+    /// pages withheld by an active chaos pressure spike. Real capacity is
+    /// untouched — a load that reaches the channel always has a slot.
+    fn usable_free_slots(&self, t: Cycles) -> u64 {
+        let withheld = if t < self.chaos_reserved_until {
+            self.chaos_reserved_pages
+        } else {
+            0
+        };
+        self.epc.free_slots().saturating_sub(withheld)
+    }
+
+    /// A popped preload batch entry was dropped by the injector: schedule a
+    /// backoff retry, or abandon the page once its retry budget is spent.
+    fn chaos_drop(&mut self, t: Cycles, page: VirtPage) {
+        let attempt = self.retry_attempts.get(&page).copied().unwrap_or(0);
+        let backoff = self
+            .injector
+            .as_mut()
+            .and_then(|i| i.retry_backoff(attempt));
+        match backoff {
+            Some(b) => {
+                self.retry_attempts.insert(page, attempt + 1);
+                self.retry_q.push(RetryEntry {
+                    not_before: t + b,
+                    page,
+                });
+            }
+            None => {
+                self.retry_attempts.remove(&page);
+            }
+        }
+    }
+
+    /// Re-queues dropped preloads whose backoff has expired. Retries
+    /// respect the valve latch: once preloading stops, pending retries are
+    /// discarded rather than re-queued.
+    fn chaos_release_retries(&mut self, t: Cycles) {
+        if self.retry_q.is_empty() {
+            return;
+        }
+        if self.preload_stopped {
+            for e in std::mem::take(&mut self.retry_q) {
+                self.retry_attempts.remove(&e.page);
+            }
+            return;
+        }
+        let mut due = Vec::new();
+        self.retry_q.retain(|e| {
+            if e.not_before <= t {
+                due.push(e.page);
+                false
+            } else {
+                true
+            }
+        });
+        for page in due {
+            if self.epc.is_resident(page)
+                || self.preload_q.contains(page)
+                || matches!(self.in_flight, Some(f) if f.is_load_of(page))
+            {
+                self.retry_attempts.remove(&page);
+                continue;
+            }
+            // Re-entry is not a new enqueue for the stats: the page was
+            // already accounted for when first predicted.
+            self.preload_q.enqueue(page);
+        }
+    }
+
     /// Lazily runs background channel work (reclaim, preloads) up to `now`.
     fn advance(&mut self, now: Cycles) {
         loop {
@@ -616,7 +722,8 @@ impl Kernel {
                 break;
             }
             let t = self.channel_free_at;
-            let free = self.epc.free_slots();
+            self.chaos_release_retries(t);
+            let free = self.usable_free_slots(t);
             if self.wm.start_reclaim(free) {
                 self.reclaiming = true;
             }
@@ -641,11 +748,15 @@ impl Kernel {
                     Some(ev.scanned),
                 );
                 self.stats.background_evictions += 1;
-                self.channel_busy += self.costs.ewb;
+                let mut ewb = self.costs.ewb;
+                if let Some(extra) = self.injector.as_mut().and_then(|i| i.scan_stall()) {
+                    ewb += extra;
+                }
+                self.channel_busy += ewb;
                 self.bg_evicted_last = true;
                 self.in_flight = Some(InFlight {
                     job: Job::Evict,
-                    done_at: t + self.costs.ewb,
+                    done_at: t + ewb,
                 });
                 continue;
             }
@@ -665,23 +776,54 @@ impl Kernel {
                     }
                     continue;
                 }
+                // Chaos: only speculative (DFP) batches are droppable —
+                // SIP requests are explicit application demands.
+                if matches!(origin, LoadOrigin::Preload)
+                    && self.injector.as_mut().is_some_and(|i| i.drop_preload())
+                {
+                    self.chaos_drop(t, page);
+                    continue;
+                }
                 match origin {
                     LoadOrigin::Sip => {
                         self.stats.sip_prefetches_started += 1;
                         self.log(t, EventKind::SipPrefetchStart, Some(page), None);
                     }
                     _ => {
+                        self.retry_attempts.remove(&page);
                         self.stats.preloads_started += 1;
                         self.log(t, EventKind::PreloadStart, Some(page), None);
                     }
                 }
                 self.bg_evicted_last = false;
-                self.channel_busy += self.costs.eldu;
+                let mut eldu = self.costs.eldu;
+                if matches!(origin, LoadOrigin::Preload) {
+                    if let Some(extra) = self.injector.as_mut().and_then(|i| i.delay_preload()) {
+                        eldu += extra;
+                    }
+                }
+                self.channel_busy += eldu;
                 self.in_flight = Some(InFlight {
                     job: Job::Load { page, origin },
-                    done_at: t + self.costs.eldu,
+                    done_at: t + eldu,
                 });
                 continue;
+            }
+            // An idle channel with a pending chaos retry: jump to the
+            // earliest backoff expiry `now` has already passed so the
+            // retry can start (the channel was idle in between anyway).
+            // `nb > t` guarantees progress.
+            if !self.preload_stopped {
+                if let Some(next) = self
+                    .retry_q
+                    .iter()
+                    .map(|e| e.not_before)
+                    .filter(|&nb| nb > t && nb <= now)
+                    .min()
+                {
+                    self.channel_free_at = next;
+                    continue;
+                }
             }
             break;
         }
@@ -700,7 +842,7 @@ impl Kernel {
     /// requester; returns the completion instant.
     fn blocking_load(&mut self, from: Cycles, page: VirtPage, origin: LoadOrigin) -> Cycles {
         let mut t = self.channel_acquire(from);
-        if self.epc.free_slots() == 0 {
+        if self.usable_free_slots(t) == 0 && self.epc.resident_count() > 0 {
             let ev = self.evict_one_now();
             self.log(
                 t,
@@ -709,13 +851,22 @@ impl Kernel {
                 Some(ev.scanned),
             );
             self.stats.foreground_evictions += 1;
-            self.channel_busy += self.costs.ewb;
-            t += self.costs.ewb;
+            let mut ewb = self.costs.ewb;
+            if let Some(extra) = self.injector.as_mut().and_then(|i| i.scan_stall()) {
+                ewb += extra;
+            }
+            self.channel_busy += ewb;
+            t += ewb;
         }
         let done = t + self.costs.eldu;
         self.channel_free_at = done;
         self.channel_busy += self.costs.eldu;
-        self.epc.insert(page, origin).expect("slot freed above");
+        // A chaos pressure spike only shrinks the scheduler's view of the
+        // free pool, never real capacity, so a slot is always available
+        // here (freed above, or hidden-but-real).
+        self.epc
+            .insert(page, origin)
+            .expect("a real free slot exists");
         self.set_bitmap(page, true);
         done
     }
@@ -733,12 +884,37 @@ impl Kernel {
                 self.epc.preloads_completed(),
                 self.epc.preloads_touched(),
             ) {
-                self.preload_stopped = true;
-                let dropped = self.preload_q.abort();
-                self.stats.preloads_aborted += dropped;
-                self.stats.dfp_stopped_at = Some(now);
-                self.log(now, EventKind::ValveStopped, None, Some(dropped));
+                self.stop_preloading(now);
             }
+        }
+    }
+
+    /// Latches the DFP stop: aborts the queue and records the stop. Both
+    /// the real valve and the chaos force-flap funnel through here, so the
+    /// "once stopped, zero further preloads" invariant has a single owner.
+    fn stop_preloading(&mut self, now: Cycles) {
+        self.preload_stopped = true;
+        let dropped = self.preload_q.abort();
+        self.stats.preloads_aborted += dropped;
+        self.stats.dfp_stopped_at = Some(now);
+        self.log(now, EventKind::ValveStopped, None, Some(dropped));
+    }
+
+    /// Per-fault chaos: EPC pressure spikes and forced valve trips. Runs
+    /// right after the real valve check so a forced trip takes the same
+    /// latch path (and the latch absorbs any further flap attempts).
+    fn chaos_on_fault(&mut self, now: Cycles) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        let spike = inj.epc_spike();
+        let flap = !self.preload_stopped && inj.force_valve();
+        if let Some((pages, duration)) = spike {
+            self.chaos_reserved_pages = pages.min(self.epc.capacity().saturating_sub(1));
+            self.chaos_reserved_until = now + duration;
+        }
+        if flap {
+            self.stop_preloading(now);
         }
     }
 
@@ -801,6 +977,7 @@ impl Kernel {
         self.stats.faults += 1;
         self.log(now, EventKind::Fault, Some(g), None);
         self.valve_check(t);
+        self.chaos_on_fault(t);
 
         let (kind, handler_done) = if self.epc.is_resident(g) {
             self.stats.faults_found_resident += 1;
@@ -837,6 +1014,22 @@ impl Kernel {
                 self.log(t, EventKind::StreamPredicted, Some(g), Some(predicted));
             }
             self.enqueue_predictions(pid, pred);
+            // Chaos: a spurious mispredict storm rides in with the genuine
+            // prediction, through the same range/dedup/enqueue filter.
+            if self.injector.is_some() {
+                let (base, pages) = {
+                    let s = self.slot(pid);
+                    (s.base, s.pages)
+                };
+                let storm = self
+                    .injector
+                    .as_mut()
+                    .map(|i| i.spurious_storm(base, pages))
+                    .unwrap_or_default();
+                if !storm.is_empty() {
+                    self.enqueue_predictions(pid, Prediction::of(storm));
+                }
+            }
         }
 
         let resume_at = handler_done + self.costs.eresume;
@@ -940,6 +1133,26 @@ impl Kernel {
     /// event path is a no-op — nothing is buffered.
     pub fn subscribe(&mut self, sink: Box<dyn crate::TraceSink>) {
         self.sinks.push(sink);
+    }
+
+    /// Installs a deterministic [`FaultInjector`] (the chaos layer),
+    /// replacing any injector configured via [`KernelConfig::with_chaos`].
+    /// Like [`Kernel::subscribe`], this is part of the builder path: call
+    /// it before driving the kernel.
+    pub fn install_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Chaos-injection telemetry, if an injector is installed. Kept apart
+    /// from [`KernelStats`] so injection bookkeeping never disturbs the
+    /// streamed-event reconciliation.
+    pub fn chaos_stats(&self) -> Option<&ChaosStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Preload retries currently waiting out a chaos backoff.
+    pub fn chaos_retry_queue_len(&self) -> usize {
+        self.retry_q.len()
     }
 
     /// Kernel statistics so far.
@@ -1515,5 +1728,199 @@ mod tests {
         assert!(k.bitmap_consistent());
         // No duplicates: queue members unique by construction.
         assert!(k.preload_queue_len() <= 4);
+    }
+
+    fn chaos_kernel(epc: u64, predictor: Box<dyn Predictor>, sched: ChaosSchedule) -> Kernel {
+        let mut k = Kernel::new(
+            KernelConfig::new(epc)
+                .with_costs(tiny_costs())
+                .with_chaos(sched),
+            predictor,
+        );
+        k.register_enclave(PID, 1 << 20).unwrap();
+        k
+    }
+
+    /// Drives `k` over a fixed strided access pattern and returns the
+    /// final instant.
+    fn drive(k: &mut Kernel, accesses: u64, stride: u64, span: u64) -> Cycles {
+        let mut now = Cycles::ZERO;
+        for i in 0..accesses {
+            let page = p((i * stride) % span);
+            if k.app_access(now, PID, page).is_none() {
+                now = k.page_fault(now, PID, page).resume_at;
+            }
+            now += Cycles::new(50);
+        }
+        now
+    }
+
+    #[test]
+    fn zero_chaos_schedule_is_bit_identical_to_no_injector() {
+        let mut plain = kernel_with(16, Box::new(NextLinePredictor::new(3)));
+        let mut chaos = chaos_kernel(
+            16,
+            Box::new(NextLinePredictor::new(3)),
+            ChaosSchedule::none().with_seed(12345),
+        );
+        let end_a = drive(&mut plain, 300, 3, 64);
+        let end_b = drive(&mut chaos, 300, 3, 64);
+        assert_eq!(end_a, end_b, "zero schedule must not change timing");
+        let (a, b) = (plain.stats(), chaos.stats());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.preloads_started, b.preloads_started);
+        assert_eq!(a.preloads_aborted, b.preloads_aborted);
+        assert_eq!(a.background_evictions, b.background_evictions);
+        assert_eq!(a.foreground_evictions, b.foreground_evictions);
+        assert_eq!(a.fault_service.sum(), b.fault_service.sum());
+        assert_eq!(chaos.chaos_stats(), Some(&crate::ChaosStats::default()));
+    }
+
+    #[test]
+    fn dropped_preloads_retry_with_backoff_then_abandon() {
+        // Certain drop: every popped preload is dropped; two retries each.
+        let sched = ChaosSchedule::none()
+            .with_seed(1)
+            .with_drop(1.0)
+            .with_retry(2, Cycles::new(100));
+        let mut k = chaos_kernel(64, Box::new(NextLinePredictor::new(1)), sched);
+        let r = k.page_fault(Cycles::ZERO, PID, p(0)); // queues p1
+                                                       // Idle time lets the drop → backoff → redrop cycle play out.
+        assert!(k
+            .app_access(r.resume_at + Cycles::new(5_000), PID, p(0))
+            .is_some());
+        assert_eq!(k.stats().preloads_started, 0, "every preload was dropped");
+        let cs = *k.chaos_stats().unwrap();
+        assert_eq!(cs.preloads_dropped, 3, "initial pop + two retries");
+        assert_eq!(cs.retries_scheduled, 2);
+        assert_eq!(cs.retries_abandoned, 1);
+        assert_eq!(k.chaos_retry_queue_len(), 0);
+        // The page is still loadable on demand — degradation, not loss.
+        let r1 = k.page_fault(Cycles::new(10_000), PID, p(1));
+        assert_eq!(r1.kind, FaultServicing::DemandLoaded);
+    }
+
+    #[test]
+    fn forced_valve_flap_latches_like_the_real_valve() {
+        let sched = ChaosSchedule::none().with_seed(2).with_valve_flap(1.0);
+        let mut k = chaos_kernel(256, Box::new(NextLinePredictor::new(4)), sched);
+        let (sink, counts) = crate::CountingSink::new();
+        k.subscribe(Box::new(sink));
+        drive(&mut k, 100, 7, 4096);
+        assert!(k.is_preload_stopped(), "first fault force-trips the valve");
+        assert!(k.stats().dfp_stopped_at.is_some());
+        assert_eq!(
+            k.stats().preloads_started,
+            0,
+            "no preload survives the trip"
+        );
+        let c = counts.get();
+        assert_eq!(c.valve_stops, 1, "the latch absorbs further flaps");
+        assert_eq!(c.preload_starts, 0);
+        assert_eq!(k.chaos_stats().unwrap().valve_trips, 1);
+        // Stats reconcile with the stream under injection.
+        assert_eq!(c.faults, k.stats().faults);
+        assert_eq!(c.preload_aborts, k.stats().preloads_aborted);
+    }
+
+    #[test]
+    fn epc_spike_withholds_usable_slots() {
+        // Spike deeper than the EPC on every fault: the scheduler sees
+        // zero usable slots and pays foreground evictions even though
+        // real capacity is never full.
+        let sched =
+            ChaosSchedule::none()
+                .with_seed(3)
+                .with_epc_spike(1.0, 1 << 20, Cycles::new(1_000_000));
+        let mut k = chaos_kernel(64, Box::new(NoPredictor), sched);
+        let mut now = Cycles::ZERO;
+        for i in 0..20 {
+            now = k.page_fault(now, PID, p(i)).resume_at + Cycles::new(10);
+        }
+        let evictions = k.stats().background_evictions + k.stats().foreground_evictions;
+        assert!(evictions > 0, "spike forces evictions");
+        assert!(
+            k.epc().resident_count() < k.epc().capacity(),
+            "real EPC never filled"
+        );
+        assert!(k.chaos_stats().unwrap().epc_spikes > 0);
+        assert!(k.bitmap_consistent());
+        // Every faulted page still ended resident at its load: contents
+        // were never lost, only time.
+        assert_eq!(k.stats().faults, 20);
+        assert_eq!(k.stats().demand_loads, 20);
+    }
+
+    #[test]
+    fn delayed_preloads_complete_late_but_complete() {
+        let sched = ChaosSchedule::none()
+            .with_seed(4)
+            .with_delay(1.0, Cycles::new(1_000));
+        let mut k = chaos_kernel(64, Box::new(NextLinePredictor::new(1)), sched);
+        let _ = k.page_fault(Cycles::ZERO, PID, p(0)); // preload p1 at 115
+                                                       // Undelayed the preload lands at 215; delayed it lands at 1215.
+        assert!(k.app_access(Cycles::new(500), PID, p(1)).is_none());
+        let r = k.page_fault(Cycles::new(500), PID, p(1));
+        assert_eq!(r.kind, FaultServicing::WaitedForInflight);
+        assert_eq!(k.chaos_stats().unwrap().preloads_delayed, 1);
+        assert!(k.app_access(r.resume_at, PID, p(1)).is_some());
+    }
+
+    #[test]
+    fn scan_stalls_slow_evictions_without_losing_pages() {
+        let sched = ChaosSchedule::none()
+            .with_seed(5)
+            .with_scan_stall(1.0, Cycles::new(500));
+        let mut k = chaos_kernel(4, Box::new(NoPredictor), sched);
+        drive(&mut k, 32, 1, 16);
+        let cs = *k.chaos_stats().unwrap();
+        assert!(cs.scan_stalls > 0, "every eviction stalls");
+        assert_eq!(cs.stall_cycles, cs.scan_stalls * 500);
+        assert_eq!(k.epc().resident_count() + k.epc().free_slots(), 4);
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn spurious_storms_flow_through_the_normal_enqueue_filter() {
+        let sched = ChaosSchedule::none().with_seed(6).with_spurious(1.0, 8);
+        let mut k = chaos_kernel(256, Box::new(NoPredictor), sched);
+        let (sink, counts) = crate::CountingSink::new();
+        k.subscribe(Box::new(sink));
+        drive(&mut k, 60, 11, 4096);
+        let cs = *k.chaos_stats().unwrap();
+        assert!(cs.spurious_pages > 0, "storms fired");
+        // Storm pages become ordinary queued preloads: started or aborted
+        // or skipped, all reconciling with the event stream.
+        let c = counts.get();
+        let s = k.stats();
+        assert!(s.preloads_enqueued > 0, "storm pages entered the queue");
+        assert_eq!(c.preload_starts, s.preloads_started);
+        assert_eq!(c.preload_aborts, s.preloads_aborted);
+        assert_eq!(c.faults, s.faults);
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn heavy_chaos_preserves_accounting_and_terminates() {
+        let mut k = chaos_kernel(
+            32,
+            Box::new(NextLinePredictor::new(4)),
+            ChaosSchedule::heavy(77).with_valve_flap(0.01),
+        );
+        let (sink, counts) = crate::CountingSink::new();
+        k.subscribe(Box::new(sink));
+        drive(&mut k, 500, 3, 128);
+        let c = counts.get();
+        let s = k.stats();
+        assert_eq!(c.faults, s.faults);
+        assert_eq!(c.faults_resolved, s.faults);
+        assert_eq!(c.demand_loads, s.demand_loads);
+        assert_eq!(c.preload_starts, s.preloads_started);
+        assert_eq!(c.preload_aborts, s.preloads_aborted);
+        assert_eq!(c.background_evictions, s.background_evictions);
+        assert_eq!(c.foreground_evictions, s.foreground_evictions);
+        assert_eq!(c.valve_stops, u64::from(s.dfp_stopped_at.is_some()));
+        assert!(k.chaos_stats().unwrap().total_injections() > 0);
+        assert!(k.bitmap_consistent());
     }
 }

@@ -11,6 +11,11 @@
 //!   `ksgxswapd` analogue), which keeps free EPC pages available so a
 //!   typical demand fault costs AEX + ELDU + ERESUME ≈ 64k cycles.
 //! * [`PreloadQueue`] — the preload worker's abortable page queue.
+//! * [`FaultInjector`] — a deterministic, seeded chaos layer
+//!   ([`ChaosSchedule`]) that drops/delays preload batches, injects
+//!   mispredict storms, spikes EPC pressure, stalls CLOCK scans and
+//!   force-flaps the DFP-stop valve — used to prove the abort machinery
+//!   degrades gracefully.
 //!
 //! Timing is driven lazily by the application thread; see
 //! [`Kernel`] for the model's rules.
@@ -63,11 +68,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod kernel;
 mod queue;
 mod trace;
 mod watermark;
 
+pub use chaos::{ChaosSchedule, ChaosStats, FaultInjector};
 #[allow(deprecated)]
 pub use kernel::RegisterError;
 pub use kernel::{

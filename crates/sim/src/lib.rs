@@ -41,5 +41,5 @@ mod stats;
 pub use cycles::Cycles;
 pub use queue::EventQueue;
 pub use resource::{Grant, Resource};
-pub use rng::DetRng;
+pub use rng::{mix, DetRng};
 pub use stats::{Counter, Histogram, HistogramSummary};

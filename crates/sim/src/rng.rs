@@ -9,6 +9,20 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// SplitMix64-style mix of `(seed, salt)` into a new 64-bit seed.
+///
+/// This is the one seed-derivation function of the workspace: [`DetRng::fork`]
+/// uses it to give workload phases independent streams, the campaign engine
+/// uses it for positional per-cell seeds, and the kernel's fault injector
+/// uses it to give every chaos capability its own draw stream. Keeping them
+/// on one function means a seed printed anywhere reproduces everywhere.
+pub fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A deterministic random source.
 ///
 /// # Examples
@@ -47,14 +61,7 @@ impl DetRng {
     /// Used to give each workload phase / site its own stream so that adding
     /// a phase does not perturb the draws of another.
     pub fn fork(&self, salt: u64) -> DetRng {
-        // SplitMix64-style mixing of (seed, salt).
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(salt.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        DetRng::seed_from(z)
+        DetRng::seed_from(mix(self.seed, salt))
     }
 
     /// Uniform integer in `[0, n)`.

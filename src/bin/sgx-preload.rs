@@ -13,12 +13,12 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use sgx_preloading::kernel::{Kernel, KernelConfig};
+use sgx_preloading::kernel::{EventKind, Kernel, KernelConfig};
 use sgx_preloading::{
     build_plan, effective_jobs, profile_stream, AppSpec, Benchmark, Campaign, CampaignReport,
-    CollectingSink, Cycles, HistogramSink, InputSet, JsonlWriterSink, MultiStreamPredictor,
-    NoPredictor, NotifyPlacement, Predictor, ProcessId, RecordedTrace, RunReport, Scale, Scheme,
-    SeedMode, SimConfig, SimRun, StreamConfig,
+    ChaosSchedule, CollectingSink, CountingSink, Cycles, HistogramSink, InputSet, JsonlWriterSink,
+    MultiStreamPredictor, NoPredictor, NotifyPlacement, Predictor, ProcessId, RecordedTrace,
+    RunReport, Scale, Scheme, SeedMode, SimConfig, SimRun, StreamConfig,
 };
 
 const USAGE: &str = "\
@@ -36,6 +36,8 @@ COMMANDS:
     trace                      record a benchmark's access trace to CSV
     replay                     run a recorded trace through the simulator
     timeline                   print the kernel's paging-event sequence
+    chaos                      run a benchmark under fault injection and
+                               check the graceful-degradation invariants
 
 COMMON OPTIONS:
     --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
@@ -82,6 +84,23 @@ replay OPTIONS:
 
 timeline OPTIONS:
     --bench <name> --scheme <s> -n <events to print, default 40>
+
+chaos OPTIONS:
+    --bench <name> --scheme <s>    workload and scheme (scheme default: baseline)
+    --chaos-seed <N>               seed for the injector's own RNG streams
+                                   (default 1; independent of --seed)
+    --preset <none|light|heavy>    baseline schedule the knobs below refine
+    --drop <F>                     P(drop a popped preload)       [0, 1]
+    --retries <N> --backoff <C>    retry budget / base backoff for drops
+    --delay <F> --delay-cycles <C>             preload ELDU delay
+    --spurious <F> --spurious-burst <N>        mispredict storms
+    --epc-spike <F> --epc-spike-pages <N> --epc-spike-cycles <C>
+                                   transient EPC pressure (withheld slots)
+    --scan-stall <F> --scan-stall-cycles <C>   CLOCK-scan stalls
+    --valve-flap <F>               P(force the DFP-stop valve per fault)
+    --max-slowdown <F>             fail (exit 1) if injected/uninjected
+                                   cycle ratio exceeds F
+    --json-out <file>              write the differential report as JSON
 ";
 
 struct Args {
@@ -522,6 +541,174 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the chaos schedule from `--preset` plus per-capability knobs.
+fn chaos_schedule(args: &Args) -> Result<ChaosSchedule, String> {
+    let seed = args.parsed::<u64>("chaos-seed")?.unwrap_or(1);
+    let mut s = match args.get("preset") {
+        None | Some("none") => ChaosSchedule::none(),
+        Some("light") => ChaosSchedule::light(seed),
+        Some("heavy") => ChaosSchedule::heavy(seed),
+        Some(other) => return Err(format!("unknown --preset {other:?} (none|light|heavy)")),
+    }
+    .with_seed(seed);
+    let rate = |key: &str| -> Result<Option<f64>, String> {
+        match args.parsed::<f64>(key)? {
+            Some(r) if !(0.0..=1.0).contains(&r) => Err(format!("--{key} must be in [0, 1]")),
+            r => Ok(r),
+        }
+    };
+    if let Some(r) = rate("drop")? {
+        s = s.with_drop(r);
+    }
+    let retries = args.parsed::<u32>("retries")?;
+    let backoff = args.parsed::<u64>("backoff")?.map(Cycles::new);
+    if retries.is_some() || backoff.is_some() {
+        s = s.with_retry(
+            retries.unwrap_or(s.max_retries),
+            backoff.unwrap_or(s.retry_backoff),
+        );
+    }
+    if let Some(r) = rate("delay")? {
+        let cycles = args.parsed::<u64>("delay-cycles")?.unwrap_or(20_000);
+        s = s.with_delay(r, Cycles::new(cycles));
+    }
+    if let Some(r) = rate("spurious")? {
+        s = s.with_spurious(r, args.parsed::<u64>("spurious-burst")?.unwrap_or(4));
+    }
+    if let Some(r) = rate("epc-spike")? {
+        let pages = args.parsed::<u64>("epc-spike-pages")?.unwrap_or(64);
+        let cycles = args.parsed::<u64>("epc-spike-cycles")?.unwrap_or(500_000);
+        s = s.with_epc_spike(r, pages, Cycles::new(cycles));
+    }
+    if let Some(r) = rate("scan-stall")? {
+        let cycles = args.parsed::<u64>("scan-stall-cycles")?.unwrap_or(5_000);
+        s = s.with_scan_stall(r, Cycles::new(cycles));
+    }
+    if let Some(r) = rate("valve-flap")? {
+        s = s.with_valve_flap(r);
+    }
+    Ok(s)
+}
+
+/// The differential chaos run: uninjected reference vs injected run of
+/// the same workload, with the graceful-degradation invariants checked.
+/// Any violation (or a `--max-slowdown` breach) exits nonzero.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let scheme = args.scheme()?;
+    if scheme.is_user_level() {
+        return Err("chaos injects kernel faults; the user-level runtime has none".into());
+    }
+    let sched = chaos_schedule(args)?;
+    if sched.is_none() {
+        return Err(
+            "the schedule is all-zero; enable a preset (--preset light) or a rate knob".into(),
+        );
+    }
+
+    let base = SimRun::new(&cfg)
+        .scheme(scheme)
+        .bench(bench)
+        .run_one()
+        .map_err(|e| e.to_string())?;
+    let (counting, counts) = CountingSink::new();
+    let (collecting, events) = CollectingSink::new();
+    let injected = SimRun::new(&cfg.with_chaos(sched))
+        .scheme(scheme)
+        .bench(bench)
+        .sink(Box::new(counting))
+        .sink(Box::new(collecting))
+        .run_one()
+        .map_err(|e| e.to_string())?;
+    let c = counts.get();
+    let events = events.borrow();
+
+    let mut violations: Vec<String> = Vec::new();
+    if injected.accesses != base.accesses {
+        violations.push(format!(
+            "access count changed under injection ({} vs {})",
+            injected.accesses, base.accesses
+        ));
+    }
+    if injected.faults != c.faults {
+        violations.push(format!(
+            "KernelStats.faults {} disagrees with the event stream's {}",
+            injected.faults, c.faults
+        ));
+    }
+    if injected.preloads_started != c.preload_starts {
+        violations.push(format!(
+            "KernelStats.preloads_started {} disagrees with the event stream's {}",
+            injected.preloads_started, c.preload_starts
+        ));
+    }
+    if let Some(stop) = events
+        .iter()
+        .position(|e| e.what == EventKind::ValveStopped)
+    {
+        if events[stop..]
+            .iter()
+            .any(|e| e.what == EventKind::PreloadStart)
+        {
+            violations.push("a preload started after the valve latched".into());
+        }
+    }
+    let slowdown = injected.total_cycles.raw() as f64 / base.total_cycles.raw().max(1) as f64;
+    if let Some(max) = args.parsed::<f64>("max-slowdown")? {
+        if slowdown > max {
+            violations.push(format!(
+                "slowdown {slowdown:.3}x exceeds --max-slowdown {max}"
+            ));
+        }
+    }
+
+    println!(
+        "chaos {}/{}: {} -> {} cycles ({:.3}x), {} faults -> {}, valve stops {}",
+        bench.name(),
+        scheme.name(),
+        base.total_cycles,
+        injected.total_cycles,
+        slowdown,
+        base.faults,
+        injected.faults,
+        c.valve_stops,
+    );
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"bench\":\"{}\",\"scheme\":\"{}\",\"chaos\":",
+        bench.name(),
+        scheme.name()
+    ));
+    sched.write_json(&mut json);
+    json.push_str(&format!(
+        ",\"baseline_total_cycles\":{},\"chaos_total_cycles\":{},\"slowdown\":{:.6}",
+        base.total_cycles.raw(),
+        injected.total_cycles.raw(),
+        slowdown
+    ));
+    json.push_str(",\"invariants\":{\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{:?}", v));
+    }
+    json.push_str("]},\"events\":");
+    c.write_json(&mut json);
+    json.push('}');
+    write_json_out(args, &json)?;
+
+    if !violations.is_empty() {
+        return Err(format!(
+            "graceful-degradation invariants violated: {}",
+            violations.join("; ")
+        ));
+    }
+    println!("invariants hold (accounting, valve latch, termination)");
+    Ok(())
+}
+
 fn cmd_timeline(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
     let bench = args.bench()?;
@@ -599,6 +786,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "replay" => cmd_replay(&args),
         "timeline" => cmd_timeline(&args),
+        "chaos" => cmd_chaos(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -69,11 +69,9 @@ pub use sgx_kernel::{
 };
 pub use sgx_preload_core::{
     build_plan, derive_cell_seed, effective_jobs, run_userspace_paging, AppSpec, Campaign,
-    CampaignReport, Cell, CellReport, EventCounts, RunReport, Scheme, SeedMode, SimConfig,
-    SimError, SimRun, UserPagingConfig,
+    CampaignReport, Cell, CellReport, ChaosSchedule, ChaosStats, EventCounts, FaultInjector,
+    RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun, UserPagingConfig,
 };
-#[allow(deprecated)]
-pub use sgx_preload_core::{run_apps, run_apps_traced, run_benchmark, run_outside};
 pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{
     profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig, TraceSummary,

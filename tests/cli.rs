@@ -126,6 +126,110 @@ fn timeline_streams_kernel_events() {
 }
 
 #[test]
+fn chaos_reports_slowdown_and_holds_invariants() {
+    let dir = std::env::temp_dir().join("sgx_preload_cli_chaos_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("chaos.json");
+    let out = run_ok(&[
+        "chaos",
+        "--bench",
+        "microbenchmark",
+        "--scheme",
+        "dfp",
+        "--scale",
+        "48",
+        "--preset",
+        "light",
+        "--chaos-seed",
+        "5",
+        "--json-out",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.contains("chaos microbenchmark/DFP:"),
+        "summary line:\n{out}"
+    );
+    assert!(
+        out.contains("invariants hold"),
+        "clean exit states the contract:\n{out}"
+    );
+    let json = std::fs::read_to_string(&json_path).expect("chaos JSON written");
+    for key in [
+        "\"bench\":\"microbenchmark\"",
+        "\"scheme\":\"DFP\"",
+        "\"chaos\":{\"seed\":5",
+        "\"baseline_total_cycles\":",
+        "\"chaos_total_cycles\":",
+        "\"slowdown\":",
+        "\"invariants\":{\"violations\":[]}",
+        "\"events\":{\"faults\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn chaos_schedule_knobs_override_the_preset() {
+    // Two different drop rates must produce different runs.
+    let base = [
+        "chaos",
+        "--bench",
+        "lbm",
+        "--scheme",
+        "dfp",
+        "--scale",
+        "48",
+        "--chaos-seed",
+        "3",
+    ];
+    let mut a_args = base.to_vec();
+    a_args.extend(["--drop", "0.5", "--retries", "2", "--backoff", "10000"]);
+    let mut b_args = base.to_vec();
+    b_args.extend(["--drop", "0.05", "--retries", "2", "--backoff", "10000"]);
+    let a = run_ok(&a_args);
+    let b = run_ok(&b_args);
+    assert_ne!(a, b, "drop rate had no effect");
+}
+
+#[test]
+fn chaos_exits_nonzero_on_envelope_violation_and_bad_flags() {
+    // An impossible envelope: injection cannot *halve* total cycles.
+    let err = run_err(&[
+        "chaos",
+        "--bench",
+        "microbenchmark",
+        "--scale",
+        "48",
+        "--preset",
+        "heavy",
+        "--max-slowdown",
+        "0.5",
+    ]);
+    assert!(
+        err.contains("exceeds --max-slowdown"),
+        "envelope breach reported: {err}"
+    );
+    // Rate validation.
+    let err = run_err(&["chaos", "--bench", "lbm", "--drop", "1.5"]);
+    assert!(err.contains("must be in [0, 1]"), "{err}");
+    // An all-zero schedule is refused (nothing to inject).
+    let err = run_err(&["chaos", "--bench", "lbm"]);
+    assert!(err.contains("all-zero"), "{err}");
+    // The user-level scheme has no kernel to disturb.
+    let err = run_err(&[
+        "chaos",
+        "--bench",
+        "lbm",
+        "--scheme",
+        "user-level",
+        "--preset",
+        "light",
+    ]);
+    assert!(err.contains("user-level"), "{err}");
+}
+
+#[test]
 fn helpful_errors() {
     assert!(run_err(&["run", "--scheme", "dfp"]).contains("missing --bench"));
     assert!(run_err(&["run", "--bench", "nope"]).contains("unknown benchmark"));

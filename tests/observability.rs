@@ -3,8 +3,8 @@
 //! [`RunReport`], and their agreement with the simulator's own counters.
 
 use sgx_preloading::{
-    Benchmark, CollectingSink, CountingSink, Cycles, HistogramSink, JsonlWriterSink, RunReport,
-    Scale, Scheme, SimConfig, SimRun,
+    Benchmark, CollectingSink, CountingSink, Cycles, HistogramSink, JsonlWriterSink, Scale, Scheme,
+    SimConfig, SimRun,
 };
 
 fn cfg() -> SimConfig {
@@ -104,35 +104,6 @@ fn sinks_do_not_perturb_the_simulation() {
         .run_one()
         .unwrap();
     assert_eq!(plain, observed);
-}
-
-/// The deprecated wrappers are thin delegates: same seed, same numbers.
-#[test]
-#[allow(deprecated)]
-fn legacy_wrappers_are_equivalent_to_simrun() {
-    let c = cfg();
-    for scheme in [Scheme::Baseline, Scheme::Dfp, Scheme::Sip] {
-        let old: RunReport = sgx_preloading::run_benchmark(Benchmark::Lbm, scheme, &c);
-        let new = SimRun::new(&c)
-            .scheme(scheme)
-            .bench(Benchmark::Lbm)
-            .run_one()
-            .unwrap();
-        assert_eq!(old, new, "{} diverged", scheme.name());
-    }
-    let outside_old = sgx_preloading::run_outside(
-        "o",
-        Benchmark::Microbenchmark.build(sgx_preloading::InputSet::Ref, c.scale, c.seed),
-        &c,
-    );
-    let outside_new = SimRun::new(&c)
-        .outside(
-            "o",
-            Benchmark::Microbenchmark.build(sgx_preloading::InputSet::Ref, c.scale, c.seed),
-        )
-        .run_one()
-        .unwrap();
-    assert_eq!(outside_old, outside_new);
 }
 
 /// Fault-latency percentiles surface in the report, are ordered, and are
