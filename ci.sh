@@ -25,6 +25,14 @@ echo "==> chaos smoke"
 ./target/release/sgx-preload chaos --bench microbenchmark --scheme dfp \
   --scale 48 --preset heavy --chaos-seed 5 --max-slowdown 3.0 >/dev/null
 
+echo "==> contention campaign"
+# The small multi-tenant contention campaign: victim solo, then co-run
+# under the fair 1:1 policy. Seeds the perf trajectory with wall-clock
+# and per-enclave cycle totals.
+mkdir -p results
+./target/release/sgx-preload contend --scale 32 --scheme dfp \
+  --json-out results/BENCH_contention.json >/dev/null
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 

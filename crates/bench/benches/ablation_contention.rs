@@ -14,6 +14,8 @@ fn apps(cfg: &SimConfig, n: usize, bench: Benchmark) -> Vec<AppSpec> {
                 bench.elrange_pages(cfg.scale),
                 bench.build(InputSet::Ref, cfg.scale, cfg.seed + i as u64),
             )
+            .build()
+            .expect("non-empty ELRANGE")
         })
         .collect()
 }

@@ -36,7 +36,12 @@ fn run(cfg: &SimConfig, scheme: Scheme, run_seed: u64) -> sgx_preload_core::RunR
     };
     SimRun::new(cfg)
         .scheme(scheme)
-        .app(AppSpec::new("oram", pages, oram_stream(cfg, run_seed)).with_plan(plan))
+        .app(
+            AppSpec::new("oram", pages, oram_stream(cfg, run_seed))
+                .plan(plan)
+                .build()
+                .expect("non-empty ELRANGE"),
+        )
         .run_one()
         .expect("one report")
 }

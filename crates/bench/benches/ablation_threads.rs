@@ -23,11 +23,8 @@ fn threaded_app(cfg: &SimConfig, threads: usize) -> Vec<AppSpec> {
                 SiteRange::single(t as u32),
             ));
             let app = AppSpec::new(format!("thread{t}"), fp, workload);
-            if t == 0 {
-                app
-            } else {
-                app.as_thread_of(0)
-            }
+            let app = if t == 0 { app } else { app.thread_of(0) };
+            app.build().expect("well-formed thread topology")
         })
         .collect()
 }

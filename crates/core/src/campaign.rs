@@ -52,7 +52,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use sgx_kernel::{ChaosSchedule, CountingSink, EventCounts, JsonlWriterSink, TraceSink};
+use sgx_kernel::{
+    ChaosSchedule, CountingSink, EventCounts, JsonlWriterSink, TenantPolicy, TraceSink,
+};
 use sgx_workloads::Benchmark;
 
 use crate::report::push_json_str;
@@ -194,6 +196,34 @@ impl Campaign {
                 for (label, sched) in chaos {
                     let cell = Cell::new(bench, scheme, cfg.with_chaos(*sched))
                         .with_label(format!("{}/{}/chaos={label}", bench.name(), scheme.name()));
+                    c.push(cell);
+                }
+            }
+        }
+        c
+    }
+
+    /// The `benches × schemes × tenant-policy` cross-product:
+    /// [`Campaign::grid`] extended with a third axis of named
+    /// [`TenantPolicy`]s. Cells are labeled `bench/scheme/tenant=<name>`
+    /// and enumerated benchmark-major, then scheme, then policy — so a
+    /// policy's cells for one bench/scheme pair are adjacent and A/B
+    /// comparisons against a `("none", TenantPolicy::none())` column line
+    /// up.
+    pub fn tenant_grid(
+        name: impl Into<String>,
+        seed: u64,
+        benches: &[Benchmark],
+        schemes: &[Scheme],
+        cfg: SimConfig,
+        tenants: &[(&str, TenantPolicy)],
+    ) -> Self {
+        let mut c = Campaign::new(name, seed);
+        for &bench in benches {
+            for &scheme in schemes {
+                for (label, policy) in tenants {
+                    let cell = Cell::new(bench, scheme, cfg.with_tenant_policy(*policy))
+                        .with_label(format!("{}/{}/tenant={label}", bench.name(), scheme.name()));
                     c.push(cell);
                 }
             }
@@ -668,6 +698,38 @@ mod tests {
         let r = c.with_seed_mode(SeedMode::Shared).run_serial();
         // Same workload either way; chaos only perturbs the kernel.
         assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
+    }
+
+    #[test]
+    fn tenant_grid_adds_a_policy_axis() {
+        let cfg = tiny_cfg();
+        let c = Campaign::tenant_grid(
+            "tenancy",
+            17,
+            &[Benchmark::Microbenchmark],
+            &[Scheme::Dfp],
+            cfg,
+            &[
+                ("none", TenantPolicy::none()),
+                ("fair2", TenantPolicy::fair(2, cfg.epc_pages)),
+            ],
+        );
+        let labels: Vec<&str> = c.cells().iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "microbenchmark/DFP/tenant=none",
+                "microbenchmark/DFP/tenant=fair2"
+            ]
+        );
+        assert!(c.cells()[0].cfg.tenant.is_none());
+        assert!(!c.cells()[1].cfg.tenant.is_none());
+        let r = c.with_seed_mode(SeedMode::Shared).run_serial();
+        // Same workload either way; the policy only perturbs the kernel.
+        assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
+        // A single-enclave cell under fair(2) stays within its share, so
+        // the tenant fields serialize (zero wait, zero shed) either way.
+        assert!(r.to_canonical_json().contains("\"channel_wait_cycles\":"));
     }
 
     #[test]

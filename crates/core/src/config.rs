@@ -2,7 +2,7 @@
 
 use sgx_dfp::{AbortPolicy, StreamConfig};
 use sgx_epc::CostModel;
-use sgx_kernel::ChaosSchedule;
+use sgx_kernel::{ChaosSchedule, TenantPolicy};
 use sgx_sim::Cycles;
 use sgx_sip::{NotifyPlacement, SipConfig};
 use sgx_workloads::Scale;
@@ -50,6 +50,11 @@ pub struct SimConfig {
     /// ([`ChaosSchedule::none`]) never draws and leaves runs bit-identical
     /// to a kernel with no injector installed.
     pub chaos: ChaosSchedule,
+    /// Multi-tenant EPC scheduling policy. The default
+    /// ([`TenantPolicy::none`]) keeps the shared-everything driver
+    /// behaviour, bit-identically; per-enclave telemetry is collected
+    /// either way.
+    pub tenant: TenantPolicy,
 }
 
 impl SimConfig {
@@ -75,6 +80,7 @@ impl SimConfig {
             user_paging: UserPagingConfig::defaults_for(scale.epc_pages()),
             seed: 42,
             chaos: ChaosSchedule::none(),
+            tenant: TenantPolicy::none(),
         }
     }
 
@@ -135,6 +141,14 @@ impl SimConfig {
         self.chaos = chaos;
         self
     }
+
+    /// Installs a multi-tenant EPC scheduling policy: per-enclave quotas,
+    /// weighted preload arbitration, valve scoping and admission control.
+    /// Shares map to enclaves in registration order.
+    pub fn with_tenant_policy(mut self, tenant: TenantPolicy) -> Self {
+        self.tenant = tenant;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -176,5 +190,15 @@ mod tests {
         assert!(!c.chaos.is_none());
         assert_eq!(c.chaos.seed, 9);
         assert_eq!(c.seed, 42, "workload seed untouched by chaos");
+    }
+
+    #[test]
+    fn tenant_policy_defaults_off_and_overrides() {
+        let c = SimConfig::at_scale(Scale::DEV);
+        assert!(c.tenant.is_none());
+        let c = c.with_tenant_policy(TenantPolicy::fair(2, c.epc_pages));
+        assert!(!c.tenant.is_none());
+        assert_eq!(c.tenant.quota(0).soft_pages, 768);
+        assert_eq!(c.seed, 42, "workload seed untouched by tenancy");
     }
 }

@@ -50,8 +50,12 @@ pub use campaign::{
 };
 pub use config::SimConfig;
 pub use report::RunReport;
-pub use scheme::Scheme;
-pub use sgx_kernel::{ChaosSchedule, ChaosStats, EventCounts, FaultInjector};
+pub use scheme::{ParseSchemeError, Scheme};
+pub use sgx_epc::TenantQuota;
+pub use sgx_kernel::{
+    ChaosPreset, ChaosSchedule, ChaosStats, EventCounts, FaultInjector, ParseChaosPresetError,
+    TenantPolicy, TenantShare, TenantStats, MAX_TENANTS,
+};
 pub use simrun::{SimError, SimRun};
-pub use simulator::{build_plan, AppSpec};
+pub use simulator::{build_plan, AppSpec, AppSpecBuilder, SpecError};
 pub use userspace::{run_userspace_paging, UserPagingConfig};

@@ -96,6 +96,17 @@ pub struct RunReport {
     pub preload_lead_p90: Cycles,
     /// 99th-percentile preload lead time (bucket lower bound).
     pub preload_lead_p99: Cycles,
+    /// Cycles this application's demand faults spent waiting for the load
+    /// channel (another requester's in-flight job) — the fairness signal
+    /// of the multi-tenant scheduler.
+    pub channel_wait_cycles: Cycles,
+    /// Preload pages shed by tenant admission control (zero without a
+    /// tenant policy).
+    pub preloads_shed: u64,
+    /// Median EPC residency (pages) sampled at this application's faults.
+    pub residency_p50: u64,
+    /// 99th-percentile EPC residency (pages) at this application's faults.
+    pub residency_p99: u64,
 }
 
 impl RunReport {
@@ -182,7 +193,7 @@ impl RunReport {
              \"fault_service_p90\":{},\"fault_service_p99\":{},\
              \"preload_lead_mean\":{},\"preload_lead_p50\":{},\
              \"preload_lead_p90\":{},\"preload_lead_p99\":{},\
-             \"preload_accuracy\":",
+             \"channel_wait_cycles\":",
             self.fault_service_mean.raw(),
             self.fault_service_p50.raw(),
             self.fault_service_p90.raw(),
@@ -191,6 +202,14 @@ impl RunReport {
             self.preload_lead_p50.raw(),
             self.preload_lead_p90.raw(),
             self.preload_lead_p99.raw(),
+        ));
+        out.push_str(&format!(
+            "{},\"preloads_shed\":{},\"residency_p50\":{},\"residency_p99\":{},\
+             \"preload_accuracy\":",
+            self.channel_wait_cycles.raw(),
+            self.preloads_shed,
+            self.residency_p50,
+            self.residency_p99,
         ));
         push_json_f64(out, self.preload_accuracy());
         out.push_str(",\"faults_per_kilo_access\":");
@@ -235,7 +254,7 @@ impl fmt::Display for RunReport {
             self.preloads_aborted,
             self.preload_accuracy() * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "  sip: points={} checks={} notifies={}; channel util={:.1}%{}",
             self.instrumentation_points,
@@ -246,6 +265,11 @@ impl fmt::Display for RunReport {
                 Some(t) => format!("; DFP stopped at {t}"),
                 None => String::new(),
             }
+        )?;
+        write!(
+            f,
+            "  tenancy: channel wait={} shed={} residency p50/p99={}/{}",
+            self.channel_wait_cycles, self.preloads_shed, self.residency_p50, self.residency_p99
         )
     }
 }
@@ -284,6 +308,10 @@ mod tests {
             preload_lead_p50: Cycles::new(1_024),
             preload_lead_p90: Cycles::new(2_048),
             preload_lead_p99: Cycles::new(2_048),
+            channel_wait_cycles: Cycles::new(7_000),
+            preloads_shed: 3,
+            residency_p50: 40,
+            residency_p99: 60,
         }
     }
 
@@ -373,6 +401,17 @@ mod tests {
         assert!(s.contains("\"fault_service_p99\":65536"));
         assert!(s.contains("\"preload_lead_mean\":1200"));
         assert!(s.contains("\"preload_lead_p90\":2048"));
+    }
+
+    #[test]
+    fn json_carries_tenant_fields() {
+        let mut s = String::new();
+        report(9).write_json(&mut s);
+        assert!(s.contains("\"channel_wait_cycles\":7000"));
+        assert!(s.contains("\"preloads_shed\":3"));
+        assert!(s.contains("\"residency_p50\":40"));
+        assert!(s.contains("\"residency_p99\":60"));
+        assert!(report(9).to_string().contains("channel wait=7,000"));
     }
 
     #[test]

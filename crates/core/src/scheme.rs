@@ -1,6 +1,7 @@
 //! The preloading schemes under evaluation.
 
 use std::fmt;
+use std::str::FromStr;
 
 /// Which preloading machinery a run enables — the paper's experimental
 /// arms.
@@ -76,6 +77,41 @@ impl fmt::Display for Scheme {
     }
 }
 
+/// The error [`Scheme::from_str`] reports for an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(String);
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheme {:?} (baseline|dfp|dfp-stop|sip|hybrid|user-level)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    /// Parses a scheme name, case-insensitively. Accepts the paper labels
+    /// ([`Scheme::name`], so `parse(x.to_string()) == x` round-trips) plus
+    /// the CLI aliases `dfpstop`, `hybrid`, `userlevel` and `eleos`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" => Ok(Scheme::Baseline),
+            "dfp" => Ok(Scheme::Dfp),
+            "dfp-stop" | "dfpstop" => Ok(Scheme::DfpStop),
+            "sip" => Ok(Scheme::Sip),
+            "hybrid" | "sip+dfp" => Ok(Scheme::Hybrid),
+            "user-level" | "userlevel" | "eleos" => Ok(Scheme::UserLevel),
+            _ => Err(ParseSchemeError(s.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +137,24 @@ mod tests {
         assert_eq!(names, ["baseline", "DFP", "DFP-stop", "SIP", "SIP+DFP"]);
         assert_eq!(Scheme::Hybrid.to_string(), "SIP+DFP");
         assert_eq!(Scheme::UserLevel.to_string(), "user-level");
+    }
+
+    #[test]
+    fn parse_round_trips_every_display_name() {
+        for s in Scheme::ALL.iter().copied().chain([Scheme::UserLevel]) {
+            assert_eq!(s.to_string().parse::<Scheme>(), Ok(s));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_cli_aliases_and_rejects_garbage() {
+        assert_eq!("dfpstop".parse::<Scheme>(), Ok(Scheme::DfpStop));
+        assert_eq!("hybrid".parse::<Scheme>(), Ok(Scheme::Hybrid));
+        assert_eq!("eleos".parse::<Scheme>(), Ok(Scheme::UserLevel));
+        assert_eq!("BASELINE".parse::<Scheme>(), Ok(Scheme::Baseline));
+        let err = "turbo".parse::<Scheme>().unwrap_err();
+        assert!(err.to_string().contains("unknown scheme"));
+        assert!(err.to_string().contains("turbo"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::fmt;
 use sgx_kernel::{KernelError, TraceSink};
 use sgx_workloads::{AccessIter, Benchmark, InputSet};
 
-use crate::simulator::{build_plan, run_kernel_apps, run_outside_model, AppSpec};
+use crate::simulator::{build_plan, run_kernel_apps, run_outside_model, AppSpec, SpecError};
 use crate::{RunReport, Scheme, SimConfig};
 
 /// Errors from [`SimRun::run`].
@@ -23,11 +23,9 @@ pub enum SimError {
     NoApps,
     /// Kernel construction or enclave/thread registration failed.
     Kernel(KernelError),
-    /// An [`AppSpec::thread_of`] referenced itself or a later app.
-    ThreadOrder {
-        /// Index of the offending app among the enclave entries.
-        app: usize,
-    },
+    /// An [`AppSpec`] was malformed (bad `thread_of` topology); raised by
+    /// the pre-kernel validation pass.
+    Spec(SpecError),
     /// [`SimRun::run_one`] was called with a number of entries other
     /// than one.
     NotSingular(usize),
@@ -38,9 +36,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoApps => f.write_str("need at least one application"),
             SimError::Kernel(e) => write!(f, "kernel setup failed: {e}"),
-            SimError::ThreadOrder { app } => {
-                write!(f, "app {app}: thread_of must reference an earlier app")
-            }
+            SimError::Spec(e) => write!(f, "bad app spec: {e}"),
             SimError::NotSingular(n) => {
                 write!(f, "run_one expects exactly one entry, got {n} reports")
             }
@@ -53,6 +49,12 @@ impl Error for SimError {}
 impl From<KernelError> for SimError {
     fn from(e: KernelError) -> Self {
         SimError::Kernel(e)
+    }
+}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
     }
 }
 
@@ -172,8 +174,8 @@ impl<'a> SimRun<'a> {
     ///
     /// [`SimError::NoApps`] when nothing was added, [`SimError::Kernel`]
     /// when kernel construction or registration fails, and
-    /// [`SimError::ThreadOrder`] for a bad [`AppSpec::thread_of`]
-    /// reference.
+    /// [`SimError::Spec`] for a bad [`AppSpec::thread_of`] reference
+    /// (caught before any kernel is built).
     pub fn run(self) -> Result<Vec<RunReport>, SimError> {
         if self.entries.is_empty() {
             return Err(SimError::NoApps);
@@ -215,7 +217,8 @@ impl<'a> SimRun<'a> {
                         bench.elrange_pages(cfg.scale),
                         bench.build(InputSet::Ref, cfg.scale, cfg.seed),
                     )
-                    .with_plan(plan);
+                    .plan(plan)
+                    .build()?;
                     kernel_apps.push(app);
                     slots.push(Slot::Kernel);
                 }
@@ -299,16 +302,40 @@ mod tests {
     }
 
     #[test]
-    fn bad_thread_order_is_reported() {
+    fn bad_thread_order_is_reported_before_any_kernel_exists() {
         let c = cfg();
         let app = AppSpec::new(
             "t",
             64,
             Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
         )
-        .as_thread_of(0);
+        .thread_of(0)
+        .build()
+        .unwrap();
         let r = SimRun::new(&c).app(app).run();
-        assert_eq!(r, Err(SimError::ThreadOrder { app: 0 }));
+        assert_eq!(r, Err(SimError::Spec(SpecError::ThreadOrder { app: 0 })));
+        assert!(r.unwrap_err().to_string().contains("earlier app"));
+    }
+
+    #[test]
+    fn empty_elrange_fails_at_build_time() {
+        let c = cfg();
+        let r = AppSpec::new(
+            "t",
+            0,
+            Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
+        )
+        .build();
+        assert!(matches!(r, Err(SpecError::EmptyElrange)));
+        // A thread entry has no ELRANGE of its own, so zero is fine there.
+        let t = AppSpec::new(
+            "t",
+            0,
+            Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
+        )
+        .thread_of(0)
+        .build();
+        assert!(t.is_ok());
     }
 
     #[test]

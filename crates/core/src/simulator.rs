@@ -11,8 +11,39 @@ use sgx_workloads::{AccessIter, Benchmark, InputSet};
 
 use crate::{RunReport, Scheme, SimConfig, SimError};
 
+/// A spec-level validation error, reported by [`AppSpecBuilder::build`]
+/// or by [`SimRun::run`]'s topology pass — always *before* any kernel is
+/// built.
+///
+/// [`SimRun::run`]: crate::SimRun::run
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// A non-thread app declared a zero-page ELRANGE.
+    EmptyElrange,
+    /// An [`AppSpec::thread_of`] referenced its own entry or a later one;
+    /// `app` is the offending index among the run's enclave entries.
+    ThreadOrder {
+        /// Index of the offending app among the enclave entries.
+        app: usize,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyElrange => f.write_str("an enclave needs a non-empty ELRANGE"),
+            SpecError::ThreadOrder { app } => {
+                write!(f, "app {app}: thread_of must reference an earlier app")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// One application to simulate: its ELRANGE, access stream, and (for
-/// SIP/Hybrid) instrumentation plan.
+/// SIP/Hybrid) instrumentation plan. Assembled by the [`AppSpecBuilder`]
+/// that [`AppSpec::new`] returns.
 pub struct AppSpec {
     /// Report label.
     pub label: String,
@@ -20,8 +51,8 @@ pub struct AppSpec {
     pub elrange_pages: u64,
     /// The access stream (built from a workload generator).
     pub workload: AccessIter,
-    /// Instrumented sites; use [`InstrumentationPlan::none`] when SIP is
-    /// off.
+    /// Instrumented sites; empty unless [`AppSpecBuilder::plan`] attached
+    /// one.
     pub plan: InstrumentationPlan,
     /// When `Some(i)`, this app is an additional *thread* of the `i`-th
     /// app's enclave: shared ELRANGE and presence bitmap, separate
@@ -30,9 +61,28 @@ pub struct AppSpec {
 }
 
 impl AppSpec {
-    /// An app without instrumentation.
-    pub fn new(label: impl Into<String>, elrange_pages: u64, workload: AccessIter) -> Self {
-        AppSpec {
+    /// Starts building an app without instrumentation. Finish with
+    /// [`AppSpecBuilder::build`], which validates the spec so malformed
+    /// topologies fail before a kernel exists.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sgx_preload_core::AppSpec;
+    /// use sgx_workloads::{Benchmark, InputSet, Scale};
+    ///
+    /// let stream = Benchmark::Microbenchmark.build(InputSet::Ref, Scale::DEV, 1);
+    /// let app = AppSpec::new("micro", 64, stream).build()?;
+    /// assert_eq!(app.label, "micro");
+    /// # Ok::<(), sgx_preload_core::SpecError>(())
+    /// ```
+    #[allow(clippy::new_ret_no_self)] // `new` is the builder's entry point
+    pub fn new(
+        label: impl Into<String>,
+        elrange_pages: u64,
+        workload: AccessIter,
+    ) -> AppSpecBuilder {
+        AppSpecBuilder {
             label: label.into(),
             elrange_pages,
             workload,
@@ -40,17 +90,53 @@ impl AppSpec {
             thread_of: None,
         }
     }
+}
 
-    /// Marks this app as a thread of the `index`-th app's enclave.
-    pub fn as_thread_of(mut self, index: usize) -> Self {
+/// Builder for [`AppSpec`] (mirrors the [`SimRun`] naming:
+/// `AppSpec::new(..).thread_of(..).build()?`).
+///
+/// [`SimRun`]: crate::SimRun
+pub struct AppSpecBuilder {
+    label: String,
+    elrange_pages: u64,
+    workload: AccessIter,
+    plan: InstrumentationPlan,
+    thread_of: Option<usize>,
+}
+
+impl AppSpecBuilder {
+    /// Marks this app as a thread of the `index`-th app's enclave; `index`
+    /// counts the run's enclave entries in insertion order and must
+    /// reference an earlier entry (cross-checked when the run assembles
+    /// its topology, still before any kernel is built).
+    pub fn thread_of(mut self, index: usize) -> Self {
         self.thread_of = Some(index);
         self
     }
 
     /// Attaches a SIP instrumentation plan.
-    pub fn with_plan(mut self, plan: InstrumentationPlan) -> Self {
+    pub fn plan(mut self, plan: InstrumentationPlan) -> Self {
         self.plan = plan;
         self
+    }
+
+    /// Validates the spec and builds it.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::EmptyElrange`] when a non-thread app declared a
+    /// zero-page ELRANGE.
+    pub fn build(self) -> Result<AppSpec, SpecError> {
+        if self.thread_of.is_none() && self.elrange_pages == 0 {
+            return Err(SpecError::EmptyElrange);
+        }
+        Ok(AppSpec {
+            label: self.label,
+            elrange_pages: self.elrange_pages,
+            workload: self.workload,
+            plan: self.plan,
+            thread_of: self.thread_of,
+        })
     }
 }
 
@@ -100,7 +186,10 @@ fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelError> {
         kcfg = kcfg.with_abort_policy(cfg.abort);
     }
     if !cfg.chaos.is_none() {
-        kcfg = kcfg.with_chaos(cfg.chaos);
+        kcfg.chaos = Some(cfg.chaos);
+    }
+    if !cfg.tenant.is_none() {
+        kcfg.tenant = Some(cfg.tenant);
     }
     Kernel::try_new(kcfg, make_predictor(cfg, scheme))
 }
@@ -133,6 +222,13 @@ pub(crate) fn run_kernel_apps(
     sinks: Vec<Box<dyn TraceSink>>,
 ) -> Result<Vec<RunReport>, SimError> {
     assert!(!apps.is_empty(), "caller gathers at least one app");
+    // Topology validation happens before the kernel exists: a bad
+    // thread_of reference never half-registers a run.
+    for (i, app) in apps.iter().enumerate() {
+        if matches!(app.thread_of, Some(owner) if owner >= i) {
+            return Err(SimError::Spec(crate::SpecError::ThreadOrder { app: i }));
+        }
+    }
     let mut kernel = make_kernel(cfg, scheme)?;
     for sink in sinks {
         kernel.subscribe(sink);
@@ -142,12 +238,7 @@ pub(crate) fn run_kernel_apps(
         let pid = ProcessId(i as u32);
         match app.thread_of {
             None => kernel.register_enclave(pid, app.elrange_pages)?,
-            Some(owner) => {
-                if owner >= i {
-                    return Err(SimError::ThreadOrder { app: i });
-                }
-                kernel.register_thread(ProcessId(owner as u32), pid)?;
-            }
+            Some(owner) => kernel.register_thread(ProcessId(owner as u32), pid)?,
         }
         states.push(AppState {
             pid,
@@ -231,10 +322,27 @@ pub(crate) fn run_kernel_apps(
     let util = kernel.channel_utilization(end);
     let fs = ks.fault_service.summary();
     let pl = ks.preload_lead.summary();
+    // Per-app fairness telemetry: threads share their enclave's tenant.
+    let tenancy: Vec<(Cycles, u64, u64, u64)> = (0..states.len())
+        .map(|i| match kernel.tenant_index(ProcessId(i as u32)) {
+            Some(t) => {
+                let ts = kernel.tenant_stats(t);
+                let rs = ts.residency.summary();
+                (
+                    ts.channel_wait,
+                    ts.preloads_shed,
+                    rs.p50.raw(),
+                    rs.p99.raw(),
+                )
+            }
+            None => (Cycles::ZERO, 0, 0, 0),
+        })
+        .collect();
 
     Ok(states
         .into_iter()
-        .map(|s| RunReport {
+        .zip(tenancy)
+        .map(|(s, (wait, shed, res_p50, res_p99))| RunReport {
             label: s.label,
             scheme,
             total_cycles: s.now,
@@ -263,6 +371,10 @@ pub(crate) fn run_kernel_apps(
             preload_lead_p50: pl.p50,
             preload_lead_p90: pl.p90,
             preload_lead_p99: pl.p99,
+            channel_wait_cycles: wait,
+            preloads_shed: shed,
+            residency_p50: res_p50,
+            residency_p99: res_p99,
         })
         .collect())
 }
@@ -338,6 +450,10 @@ pub(crate) fn run_outside_model(
         preload_lead_p50: Cycles::ZERO,
         preload_lead_p90: Cycles::ZERO,
         preload_lead_p99: Cycles::ZERO,
+        channel_wait_cycles: Cycles::ZERO,
+        preloads_shed: 0,
+        residency_p50: 0,
+        residency_p99: 0,
     }
 }
 
@@ -509,6 +625,8 @@ mod tests {
                 Benchmark::Microbenchmark.elrange_pages(c.scale),
                 Benchmark::Microbenchmark.build(InputSet::Ref, c.scale, 1),
             )
+            .build()
+            .unwrap()
         };
         let solo = SimRun::new(&c).app(mk()).run_one().unwrap();
         let pair = SimRun::new(&c).apps([mk(), mk()]).run().unwrap();

@@ -176,6 +176,10 @@ pub fn run_userspace_paging(
         preload_lead_p50: Cycles::ZERO,
         preload_lead_p90: Cycles::ZERO,
         preload_lead_p99: Cycles::ZERO,
+        channel_wait_cycles: Cycles::ZERO,
+        preloads_shed: 0,
+        residency_p50: 0,
+        residency_p99: 0,
     }
 }
 

@@ -68,6 +68,54 @@ pub struct Eviction {
     pub scanned: u64,
 }
 
+/// An EPC residency quota for one registered tenant extent.
+///
+/// Both limits are in pages; `0` means "unlimited" (the unpartitioned
+/// driver default). The *soft* quota marks the tenant's fair share: the
+/// reclaimer preferentially evicts from tenants above it. The *hard* cap
+/// is never exceeded: loads for a capped tenant must first self-evict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantQuota {
+    /// Fair-share residency target; reclaim prefers tenants above it.
+    pub soft_pages: u64,
+    /// Absolute residency ceiling; `0` disables the cap.
+    pub hard_pages: u64,
+}
+
+impl TenantQuota {
+    /// The unpartitioned default: no share, no cap.
+    pub const NONE: TenantQuota = TenantQuota {
+        soft_pages: 0,
+        hard_pages: 0,
+    };
+
+    /// Whether this quota constrains anything.
+    pub fn is_none(&self) -> bool {
+        self.soft_pages == 0 && self.hard_pages == 0
+    }
+}
+
+/// Per-tenant residency accounting for one registered virtual extent.
+#[derive(Debug, Clone)]
+struct TenantExtent {
+    base: VirtPage,
+    pages: u64,
+    quota: TenantQuota,
+    resident: u64,
+    preloads_completed: u64,
+    preloads_touched: u64,
+}
+
+impl TenantExtent {
+    fn contains(&self, page: VirtPage) -> bool {
+        page >= self.base && page.raw() < self.base.raw() + self.pages
+    }
+
+    fn over_soft(&self) -> bool {
+        self.quota.soft_pages > 0 && self.resident > self.quota.soft_pages
+    }
+}
+
 /// The EPC: a fixed number of page slots plus residency metadata.
 ///
 /// Victim selection is pluggable (see [`VictimPolicy`]); the default is
@@ -97,6 +145,10 @@ pub struct Epc {
     preloads_completed: u64,
     preloads_touched: u64,
     preloads_evicted_untouched: u64,
+    /// Registered tenant extents, in registration order. Empty for the
+    /// single-tenant/unpartitioned configurations, where every tenant path
+    /// below is a no-op.
+    extents: Vec<TenantExtent>,
 }
 
 impl Epc {
@@ -123,6 +175,7 @@ impl Epc {
             preloads_completed: 0,
             preloads_touched: 0,
             preloads_evicted_untouched: 0,
+            extents: Vec::new(),
         }
     }
 
@@ -185,12 +238,20 @@ impl Epc {
         if matches!(origin, LoadOrigin::Preload) {
             self.preloads_completed += 1;
         }
+        if let Some(t) = self.owner_of(page) {
+            let ext = &mut self.extents[t];
+            ext.resident += 1;
+            if matches!(origin, LoadOrigin::Preload) {
+                ext.preloads_completed += 1;
+            }
+        }
         Ok(())
     }
 
     /// Records an application access to `page`: sets its CLOCK access bit
     /// and reports whether this was the first touch of a preloaded page.
     pub fn touch(&mut self, page: VirtPage) -> TouchOutcome {
+        let owner = self.owner_of(page);
         match self.resident.get_mut(&page) {
             None => TouchOutcome {
                 resident: false,
@@ -201,6 +262,9 @@ impl Epc {
                     matches!(meta.origin, LoadOrigin::Preload) && !meta.touched;
                 if first_preload_touch {
                     self.preloads_touched += 1;
+                    if let Some(t) = owner {
+                        self.extents[t].preloads_touched += 1;
+                    }
                 }
                 meta.touched = true;
                 self.policy.touch(page);
@@ -216,6 +280,12 @@ impl Epc {
     /// empty.
     pub fn evict_victim(&mut self) -> Option<Eviction> {
         let page = self.policy.evict()?;
+        Some(self.finish_eviction(page, self.policy.last_evict_scan()))
+    }
+
+    /// Removes an already-chosen victim from the residency map and settles
+    /// the accounting shared by every eviction path.
+    fn finish_eviction(&mut self, page: VirtPage, scanned: u64) -> Eviction {
         let meta = self
             .resident
             .remove(&page)
@@ -224,11 +294,172 @@ impl Epc {
         if wasted {
             self.preloads_evicted_untouched += 1;
         }
-        Some(Eviction {
+        if let Some(t) = self.owner_of(page) {
+            self.extents[t].resident -= 1;
+        }
+        Eviction {
             page,
             wasted_preload: wasted,
-            scanned: self.policy.last_evict_scan(),
+            scanned,
+        }
+    }
+
+    /// Registers a tenant's virtual extent for per-enclave residency
+    /// accounting, returning its tenant index (registration order).
+    ///
+    /// Extents must not overlap; pages outside every extent are simply
+    /// unaccounted (the unpartitioned behaviour).
+    pub fn register_extent(&mut self, base: VirtPage, pages: u64) -> usize {
+        debug_assert!(
+            !self
+                .extents
+                .iter()
+                .any(|e| base.raw() < e.base.raw() + e.pages && e.base.raw() < base.raw() + pages),
+            "tenant extents must not overlap"
+        );
+        self.extents.push(TenantExtent {
+            base,
+            pages,
+            quota: TenantQuota::NONE,
+            resident: self
+                .resident
+                .keys()
+                .filter(|p| **p >= base && p.raw() < base.raw() + pages)
+                .count() as u64,
+            preloads_completed: 0,
+            preloads_touched: 0,
+        });
+        self.extents.len() - 1
+    }
+
+    /// Sets (or clears) the residency quota for a registered extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` was never registered.
+    pub fn set_quota(&mut self, tenant: usize, quota: TenantQuota) {
+        self.extents[tenant].quota = quota;
+    }
+
+    /// The quota currently applied to `tenant`.
+    pub fn quota(&self, tenant: usize) -> TenantQuota {
+        self.extents[tenant].quota
+    }
+
+    /// Number of registered tenant extents.
+    pub fn tenant_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// The tenant index owning `page`, if it falls inside a registered
+    /// extent.
+    pub fn owner_of(&self, page: VirtPage) -> Option<usize> {
+        self.extents.iter().position(|e| e.contains(page))
+    }
+
+    /// Resident pages currently charged to `tenant`.
+    pub fn tenant_resident(&self, tenant: usize) -> u64 {
+        self.extents[tenant].resident
+    }
+
+    /// Preloads completed for `tenant` (its slice of the paper's
+    /// `PreloadCounter`).
+    pub fn tenant_preloads_completed(&self, tenant: usize) -> u64 {
+        self.extents[tenant].preloads_completed
+    }
+
+    /// Preloaded pages of `tenant` later touched (its slice of
+    /// `AccPreloadCounter`).
+    pub fn tenant_preloads_touched(&self, tenant: usize) -> u64 {
+        self.extents[tenant].preloads_touched
+    }
+
+    /// Whether `tenant` is above its soft share (always `false` without a
+    /// quota).
+    pub fn over_soft_quota(&self, tenant: usize) -> bool {
+        self.extents[tenant].over_soft()
+    }
+
+    /// Whether loading one more page for `tenant` would exceed its hard
+    /// cap (always `false` without a cap).
+    pub fn at_hard_cap(&self, tenant: usize) -> bool {
+        let e = &self.extents[tenant];
+        e.quota.hard_pages > 0 && e.resident >= e.quota.hard_pages
+    }
+
+    /// `true` when at least one tenant is above its soft quota — the
+    /// precondition for the quota-aware reclaim path.
+    pub fn any_over_soft_quota(&self) -> bool {
+        self.extents.iter().any(|e| e.over_soft())
+    }
+
+    /// Quota-aware victim selection: evicts the first victim (in policy
+    /// order) owned by a tenant above its soft quota, falling back to the
+    /// plain policy victim when no tenant is over quota or no such page is
+    /// found within one full sweep.
+    ///
+    /// Victims skipped during the search re-enter the policy cold, so the
+    /// search itself acts like a CLOCK sweep over them. This path is only
+    /// reachable with quotas configured; the unpartitioned default always
+    /// takes [`Epc::evict_victim`] and is bit-identical to the pre-quota
+    /// behaviour.
+    pub fn evict_victim_quota_aware(&mut self) -> Option<Eviction> {
+        if !self.any_over_soft_quota() {
+            return self.evict_victim();
+        }
+        self.evict_victim_where(|epc, page| {
+            epc.owner_of(page)
+                .is_some_and(|t| epc.extents[t].over_soft())
         })
+    }
+
+    /// Evicts the first policy victim owned by `tenant`, re-entering
+    /// skipped victims cold. Used to keep a hard-capped tenant inside its
+    /// cap by self-eviction. Returns `None` when the tenant has no
+    /// resident pages.
+    pub fn evict_victim_owned_by(&mut self, tenant: usize) -> Option<Eviction> {
+        if self.extents.get(tenant).map_or(0, |e| e.resident) == 0 {
+            return None;
+        }
+        self.evict_victim_where(|epc, page| epc.owner_of(page) == Some(tenant))
+    }
+
+    /// Shared search: pops policy victims until `keep` matches, bounded by
+    /// one pass over the resident set; non-matching victims are reinserted
+    /// cold in their original order. Falls back to the first victim popped
+    /// when nothing matches.
+    fn evict_victim_where(&mut self, keep: impl Fn(&Epc, VirtPage) -> bool) -> Option<Eviction> {
+        let mut skipped: Vec<VirtPage> = Vec::new();
+        let mut scanned = 0u64;
+        let mut chosen: Option<VirtPage> = None;
+        let budget = self.policy.len();
+        for _ in 0..budget {
+            let Some(page) = self.policy.evict() else {
+                break;
+            };
+            scanned += self.policy.last_evict_scan();
+            if keep(self, page) {
+                chosen = Some(page);
+                break;
+            }
+            skipped.push(page);
+        }
+        // Skipped victims re-enter cold, preserving their relative order.
+        for page in &skipped {
+            self.policy.insert(*page, false);
+        }
+        let page = match chosen {
+            Some(p) => p,
+            // Nothing matched: fall back to the overall coldest page, which
+            // was the first one the sweep produced.
+            None => {
+                let first = *skipped.first()?;
+                let removed = self.policy.remove(first);
+                debug_assert!(removed, "fallback victim vanished from the policy");
+                first
+            }
+        };
+        Some(self.finish_eviction(page, scanned))
     }
 
     /// Total preloads that completed (the paper's `PreloadCounter`).
@@ -352,6 +583,110 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_capacity_rejected() {
         let _ = Epc::new(0);
+    }
+
+    #[test]
+    fn extents_account_residency_per_tenant() {
+        let mut epc = Epc::new(8);
+        let a = epc.register_extent(p(0), 100);
+        let b = epc.register_extent(p(1000), 100);
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Preload).unwrap();
+        epc.insert(p(1001), LoadOrigin::Demand).unwrap();
+        assert_eq!(epc.tenant_resident(a), 2);
+        assert_eq!(epc.tenant_resident(b), 1);
+        assert_eq!(epc.tenant_preloads_completed(a), 1);
+        assert_eq!(epc.tenant_preloads_completed(b), 0);
+        epc.touch(p(2));
+        assert_eq!(epc.tenant_preloads_touched(a), 1);
+        assert_eq!(epc.owner_of(p(1001)), Some(b));
+        assert_eq!(epc.owner_of(p(500)), None);
+        // Evictions give the slot back to the owner's account.
+        while let Some(ev) = epc.evict_victim() {
+            assert!(!epc.is_resident(ev.page));
+        }
+        assert_eq!(epc.tenant_resident(a), 0);
+        assert_eq!(epc.tenant_resident(b), 0);
+    }
+
+    #[test]
+    fn quota_aware_eviction_prefers_over_quota_tenant() {
+        let mut epc = Epc::new(8);
+        let a = epc.register_extent(p(0), 100);
+        let b = epc.register_extent(p(1000), 100);
+        epc.set_quota(
+            a,
+            TenantQuota {
+                soft_pages: 1,
+                hard_pages: 0,
+            },
+        );
+        // Tenant B's page is the coldest (inserted first), but tenant A is
+        // over its soft share, so the quota-aware sweep skips B.
+        epc.insert(p(1000), LoadOrigin::Demand).unwrap();
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Demand).unwrap();
+        assert!(epc.over_soft_quota(a));
+        assert!(!epc.over_soft_quota(b));
+        let ev = epc.evict_victim_quota_aware().unwrap();
+        assert_eq!(epc.owner_of(ev.page), Some(a));
+        assert_eq!(epc.tenant_resident(a), 1);
+        assert_eq!(epc.tenant_resident(b), 1);
+        // Nobody over quota any more: falls through to the plain victim.
+        assert!(!epc.any_over_soft_quota());
+        assert!(epc.evict_victim_quota_aware().is_some());
+    }
+
+    #[test]
+    fn quota_aware_eviction_without_quotas_matches_plain_eviction() {
+        let mut a = Epc::new(4);
+        let mut b = Epc::new(4);
+        let _ = b.register_extent(p(0), 100);
+        for n in 0..4 {
+            a.insert(p(n), LoadOrigin::Demand).unwrap();
+            b.insert(p(n), LoadOrigin::Demand).unwrap();
+        }
+        a.touch(p(2));
+        b.touch(p(2));
+        for _ in 0..4 {
+            let va = a.evict_victim().unwrap();
+            let vb = b.evict_victim_quota_aware().unwrap();
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn hard_cap_self_eviction_targets_the_capped_tenant() {
+        let mut epc = Epc::new(8);
+        let a = epc.register_extent(p(0), 100);
+        let b = epc.register_extent(p(1000), 100);
+        epc.set_quota(
+            a,
+            TenantQuota {
+                soft_pages: 0,
+                hard_pages: 2,
+            },
+        );
+        epc.insert(p(1000), LoadOrigin::Demand).unwrap();
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Demand).unwrap();
+        assert!(epc.at_hard_cap(a));
+        assert!(!epc.at_hard_cap(b));
+        let ev = epc.evict_victim_owned_by(a).unwrap();
+        assert_eq!(epc.owner_of(ev.page), Some(a));
+        assert!(!epc.at_hard_cap(a));
+        // The bystander tenant kept its page.
+        assert!(epc.is_resident(p(1000)));
+    }
+
+    #[test]
+    fn self_eviction_with_no_resident_pages_returns_none() {
+        let mut epc = Epc::new(4);
+        let a = epc.register_extent(p(0), 100);
+        let b = epc.register_extent(p(1000), 100);
+        epc.insert(p(1000), LoadOrigin::Demand).unwrap();
+        assert!(epc.evict_victim_owned_by(a).is_none());
+        assert!(epc.evict_victim_owned_by(b).is_some());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use bitmap::PresenceBitmap;
 pub use clock::ClockQueue;
 pub use cost::CostModel;
 pub use enclave::{EmptyElrangeError, Enclave, EnclaveId};
-pub use epc::{Epc, EpcFullError, Eviction, LoadOrigin, TouchOutcome};
+pub use epc::{Epc, EpcFullError, Eviction, LoadOrigin, TenantQuota, TouchOutcome};
 pub use page::{pages_for_bytes, VirtPage, PAGE_SIZE_BYTES};
 pub use replacement::{FifoPolicy, LruPolicy, RandomPolicy, ReplacementPolicy, VictimPolicy};
 pub use startup::StartupModel;

@@ -213,6 +213,87 @@ impl Default for ChaosSchedule {
     }
 }
 
+/// The named chaos presets — a parseable handle for the three
+/// [`ChaosSchedule`] starting points (`none`, [`ChaosSchedule::light`],
+/// [`ChaosSchedule::heavy`]). CLI flags and campaign axes go through this
+/// type so the names round-trip: `parse(preset.to_string()) == preset`.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_kernel::ChaosPreset;
+///
+/// let p: ChaosPreset = "light".parse()?;
+/// assert_eq!(p, ChaosPreset::Light);
+/// assert_eq!(p.to_string(), "light");
+/// assert!(!p.schedule(7).is_none());
+/// # Ok::<(), sgx_kernel::ParseChaosPresetError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosPreset {
+    /// The all-zero schedule: no injection.
+    None,
+    /// The mild preset ([`ChaosSchedule::light`]).
+    Light,
+    /// The aggressive preset ([`ChaosSchedule::heavy`]).
+    Heavy,
+}
+
+impl ChaosPreset {
+    /// Every preset, mildest first.
+    pub const ALL: [ChaosPreset; 3] = [ChaosPreset::None, ChaosPreset::Light, ChaosPreset::Heavy];
+
+    /// The preset's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosPreset::None => "none",
+            ChaosPreset::Light => "light",
+            ChaosPreset::Heavy => "heavy",
+        }
+    }
+
+    /// Builds the preset's schedule under `seed` (ignored by
+    /// [`ChaosPreset::None`], whose schedule never draws).
+    pub fn schedule(self, seed: u64) -> ChaosSchedule {
+        match self {
+            ChaosPreset::None => ChaosSchedule::none(),
+            ChaosPreset::Light => ChaosSchedule::light(seed),
+            ChaosPreset::Heavy => ChaosSchedule::heavy(seed),
+        }
+    }
+}
+
+impl fmt::Display for ChaosPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The error [`ChaosPreset`]'s `FromStr` impl reports for an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseChaosPresetError(String);
+
+impl fmt::Display for ParseChaosPresetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown chaos preset {:?} (none|light|heavy)", self.0)
+    }
+}
+
+impl std::error::Error for ParseChaosPresetError {}
+
+impl std::str::FromStr for ChaosPreset {
+    type Err = ParseChaosPresetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" => Ok(ChaosPreset::None),
+            "light" => Ok(ChaosPreset::Light),
+            "heavy" => Ok(ChaosPreset::Heavy),
+            _ => Err(ParseChaosPresetError(s.to_string())),
+        }
+    }
+}
+
 /// What the injector actually did, kept apart from [`KernelStats`] so the
 /// streamed-event reconciliation (`KernelStats == EventCounts`) is
 /// untouched by injection bookkeeping.
@@ -510,6 +591,19 @@ mod tests {
         assert!(!ChaosSchedule::heavy(1).is_none());
         // A zero schedule with a nonzero seed is still inert.
         assert!(ChaosSchedule::none().with_seed(77).is_none());
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for p in ChaosPreset::ALL {
+            assert_eq!(p.to_string().parse::<ChaosPreset>(), Ok(p));
+        }
+        assert_eq!("HEAVY".parse::<ChaosPreset>(), Ok(ChaosPreset::Heavy));
+        let err = "medium".parse::<ChaosPreset>().unwrap_err();
+        assert!(err.to_string().contains("unknown chaos preset"));
+        assert!(ChaosPreset::None.schedule(9).is_none());
+        assert_eq!(ChaosPreset::Light.schedule(9), ChaosSchedule::light(9));
+        assert_eq!(ChaosPreset::Heavy.schedule(9), ChaosSchedule::heavy(9));
     }
 
     #[test]

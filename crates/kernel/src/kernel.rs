@@ -23,7 +23,9 @@ use sgx_dfp::{AbortPolicy, AbortValve, Prediction, Predictor, ProcessId};
 use sgx_epc::{CostModel, Epc, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage};
 use sgx_sim::{Cycles, Histogram};
 
-use crate::{ChaosSchedule, ChaosStats, FaultInjector, PreloadQueue, Watermarks};
+use crate::{
+    ChaosSchedule, ChaosStats, FaultInjector, PreloadQueue, TenantPolicy, TenantStats, Watermarks,
+};
 
 /// Virtual-page gap between consecutive enclaves' ELRANGEs, so that no
 /// stream prediction can run off the end of one enclave into the next.
@@ -46,6 +48,9 @@ pub struct KernelConfig {
     /// Deterministic fault-injection schedule; `None` (or an all-zero
     /// schedule) leaves the run undisturbed.
     pub chaos: Option<ChaosSchedule>,
+    /// Multi-tenant scheduling policy; `None` (or [`TenantPolicy::none`])
+    /// keeps the shared-everything driver behaviour, bit-identically.
+    pub tenant: Option<TenantPolicy>,
 }
 
 impl KernelConfig {
@@ -59,6 +64,7 @@ impl KernelConfig {
             abort_policy: None,
             victim_policy: VictimPolicy::Clock,
             chaos: None,
+            tenant: None,
         }
     }
 
@@ -88,6 +94,14 @@ impl KernelConfig {
 
     /// Installs a deterministic fault-injection schedule (the chaos
     /// layer).
+    ///
+    /// Deprecated: this duplicated `SimConfig::with_chaos` threading
+    /// logic. Route chaos through the documented `SimConfig` path (or set
+    /// the public `chaos` field directly when building a bare kernel).
+    #[deprecated(
+        since = "0.2.0",
+        note = "route chaos through SimConfig::with_chaos (or set the public `chaos` field)"
+    )]
     pub fn with_chaos(mut self, schedule: ChaosSchedule) -> Self {
         self.chaos = Some(schedule);
         self
@@ -353,6 +367,20 @@ struct EnclaveSlot {
     bitmap: PresenceBitmap,
 }
 
+/// Per-enclave scheduler runtime, indexed by registration order (the same
+/// index as the EPC's tenant extents).
+#[derive(Debug)]
+struct TenantRt {
+    /// First global page of this enclave's ELRANGE (event attribution).
+    base: u64,
+    /// This enclave's DFP-stop valve, when valves are per-enclave.
+    valve: Option<AbortValve>,
+    /// Whether this enclave's valve has latched.
+    stopped: bool,
+    /// Fairness telemetry, collected policy or not.
+    stats: TenantStats,
+}
+
 /// A preload batch entry dropped by the chaos injector, waiting out its
 /// backoff before re-entering the queue.
 #[derive(Debug, Clone, Copy)]
@@ -394,6 +422,27 @@ pub struct Kernel {
     next_base: u64,
     predictor: Box<dyn Predictor>,
     valve: Option<AbortValve>,
+    /// The tenant-scheduling policy; [`TenantPolicy::none`] when unset.
+    tenant_policy: TenantPolicy,
+    /// Whether the policy configures anything. All tenant scheduling paths
+    /// gate on this, so the zero policy is bit-identical to the
+    /// shared-everything default.
+    tenant_active: bool,
+    /// The abort policy as configured (kept to build per-enclave valves at
+    /// registration when the policy scopes valves per enclave).
+    abort_cfg: Option<AbortPolicy>,
+    /// Per-enclave runtime (valve, latch, telemetry), by registration
+    /// order.
+    tenants: Vec<TenantRt>,
+    /// Enclave-owner pid → tenant index.
+    tenant_of: BTreeMap<ProcessId, usize>,
+    /// Per-enclave preload queues, used instead of `preload_q` when the
+    /// tenant policy is active; drained by weighted deficit round-robin.
+    per_q: Vec<PreloadQueue>,
+    /// DRR deficit counters (remaining quantum per tenant).
+    drr_deficit: Vec<u64>,
+    /// DRR scan position.
+    drr_cursor: usize,
     preload_q: PreloadQueue,
     /// Early-notify SIP prefetches: explicit application requests, so they
     /// are *not* cancelled by the fault handler's abort path.
@@ -449,6 +498,15 @@ impl Kernel {
         let wm = cfg
             .watermarks
             .unwrap_or_else(|| Watermarks::driver_defaults(cfg.epc_pages));
+        let tenant_policy = cfg.tenant.unwrap_or_else(TenantPolicy::none);
+        let tenant_active = !tenant_policy.is_none();
+        // With per-enclave valves the kernel-global valve is retired; each
+        // enclave gets its own at registration.
+        let global_valve = if tenant_active && tenant_policy.per_enclave_valves {
+            None
+        } else {
+            cfg.abort_policy.map(AbortValve::new)
+        };
         Kernel {
             costs: cfg.costs,
             wm,
@@ -457,7 +515,15 @@ impl Kernel {
             thread_owner: BTreeMap::new(),
             next_base: 0,
             predictor,
-            valve: cfg.abort_policy.map(AbortValve::new),
+            valve: global_valve,
+            tenant_policy,
+            tenant_active,
+            abort_cfg: cfg.abort_policy,
+            tenants: Vec::new(),
+            tenant_of: BTreeMap::new(),
+            per_q: Vec::new(),
+            drr_deficit: Vec::new(),
+            drr_cursor: 0,
             preload_q: PreloadQueue::new(),
             sip_q: PreloadQueue::new(),
             in_flight: None,
@@ -549,6 +615,27 @@ impl Kernel {
                 bitmap: PresenceBitmap::new(pages),
             },
         );
+        // Every enclave becomes an EPC tenant extent (telemetry is
+        // unconditional); quotas, per-enclave valves and a DRR queue slot
+        // only when the policy is active.
+        let ten = self.epc.register_extent(VirtPage::new(base), pages);
+        self.tenant_of.insert(pid, ten);
+        if self.tenant_active {
+            self.epc.set_quota(ten, self.tenant_policy.quota(ten));
+        }
+        let valve = if self.tenant_active && self.tenant_policy.per_enclave_valves {
+            self.abort_cfg.map(AbortValve::new)
+        } else {
+            None
+        };
+        self.tenants.push(TenantRt {
+            base,
+            valve,
+            stopped: false,
+            stats: TenantStats::new(),
+        });
+        self.per_q.push(PreloadQueue::new());
+        self.drr_deficit.push(0);
         Ok(())
     }
 
@@ -593,6 +680,106 @@ impl Kernel {
         }
     }
 
+    /// The tenant index of `pid`'s enclave (resolving thread aliases).
+    fn tenant_of_pid(&self, pid: ProcessId) -> usize {
+        let owner = self.owner_pid(pid);
+        *self
+            .tenant_of
+            .get(&owner)
+            .unwrap_or_else(|| panic!("{owner} has no registered enclave"))
+    }
+
+    /// Whether `page` sits on a preload queue (global or per-tenant).
+    fn preload_queued(&self, page: VirtPage) -> bool {
+        if self.tenant_active {
+            self.epc
+                .owner_of(page)
+                .is_some_and(|t| self.per_q[t].contains(page))
+        } else {
+            self.preload_q.contains(page)
+        }
+    }
+
+    /// Queues `page` for preloading on the owning tenant's queue (or the
+    /// global queue when the policy is inactive). Returns `false` on a
+    /// duplicate.
+    fn preload_enqueue(&mut self, page: VirtPage) -> bool {
+        if self.tenant_active {
+            match self.epc.owner_of(page) {
+                Some(t) => self.per_q[t].enqueue(page),
+                None => self.preload_q.enqueue(page),
+            }
+        } else {
+            self.preload_q.enqueue(page)
+        }
+    }
+
+    /// Whether any preload work is runnable (global queue, or a
+    /// non-stopped tenant's queue).
+    fn preload_pending(&self) -> bool {
+        if self.preload_stopped {
+            return false;
+        }
+        if self.tenant_active {
+            self.per_q
+                .iter()
+                .enumerate()
+                .any(|(i, q)| !q.is_empty() && !self.tenants[i].stopped)
+        } else {
+            !self.preload_q.is_empty()
+        }
+    }
+
+    /// Pops the next preload: FIFO from the global queue, or weighted
+    /// deficit round-robin across the per-tenant queues when the policy is
+    /// active. Each tenant spends a quantum of `weight` pops before the
+    /// cursor moves on, so queued preloads from different enclaves
+    /// interleave by configured weight instead of strict FIFO.
+    fn preload_pop(&mut self) -> Option<VirtPage> {
+        if !self.tenant_active {
+            return self.preload_q.pop();
+        }
+        let n = self.per_q.len();
+        for _ in 0..n {
+            let i = self.drr_cursor;
+            if self.tenants[i].stopped || self.per_q[i].is_empty() {
+                self.drr_deficit[i] = 0;
+                self.drr_cursor = (self.drr_cursor + 1) % n;
+                continue;
+            }
+            if self.drr_deficit[i] == 0 {
+                self.drr_deficit[i] = self.tenant_policy.weight(i);
+            }
+            let page = self.per_q[i].pop();
+            self.drr_deficit[i] -= 1;
+            if self.per_q[i].is_empty() {
+                self.drr_deficit[i] = 0;
+            }
+            if self.drr_deficit[i] == 0 {
+                self.drr_cursor = (self.drr_cursor + 1) % n;
+            }
+            return page;
+        }
+        None
+    }
+
+    /// Drops queued preloads on a demand fault. With the tenant policy
+    /// active only the *faulting* enclave's queue is cleared — one
+    /// tenant's miss no longer cancels another's pipeline.
+    fn abort_preloads_for(&mut self, ten: usize) -> u64 {
+        if self.tenant_active {
+            self.per_q[ten].abort()
+        } else {
+            self.preload_q.abort()
+        }
+    }
+
+    /// Whether DFP preloading is off for `ten` (the kernel-global latch,
+    /// or the tenant's own when valves are per-enclave).
+    fn preloading_stopped_for(&self, ten: usize) -> bool {
+        self.preload_stopped || self.tenants.get(ten).is_some_and(|t| t.stopped)
+    }
+
     /// Applies the state change of a completed channel job and frees the
     /// channel at its completion time.
     fn apply_completion(&mut self, f: InFlight) {
@@ -605,20 +792,31 @@ impl Kernel {
             if matches!(origin, LoadOrigin::Preload) {
                 self.preload_done_at.insert(page, f.done_at);
             }
+            if let Some(t) = self.epc.owner_of(page) {
+                self.tenants[t].stats.preload_dones += 1;
+            }
             self.log(f.done_at, EventKind::PreloadDone, Some(page), None);
         }
     }
 
-    /// Evicts one victim *now* (state change at job start); returns it for
-    /// event emission.
-    fn evict_one_now(&mut self) -> sgx_epc::Eviction {
-        let ev = self
-            .epc
-            .evict_victim()
-            .expect("eviction requested on empty EPC");
+    /// Kernel-side bookkeeping for an eviction the EPC already performed.
+    fn note_eviction(&mut self, ev: &sgx_epc::Eviction) {
         self.set_bitmap(ev.page, false);
         self.preload_done_at.remove(&ev.page);
         self.stats.evict_scan.record(Cycles::new(ev.scanned));
+    }
+
+    /// Evicts one victim *now* (state change at job start); returns it for
+    /// event emission. With the tenant policy active the scan prefers
+    /// victims from enclaves above their soft quota.
+    fn evict_one_now(&mut self) -> sgx_epc::Eviction {
+        let ev = if self.tenant_active {
+            self.epc.evict_victim_quota_aware()
+        } else {
+            self.epc.evict_victim()
+        }
+        .expect("eviction requested on empty EPC");
+        self.note_eviction(&ev);
         ev
     }
 
@@ -695,7 +893,7 @@ impl Kernel {
         });
         for page in due {
             if self.epc.is_resident(page)
-                || self.preload_q.contains(page)
+                || self.preload_queued(page)
                 || matches!(self.in_flight, Some(f) if f.is_load_of(page))
             {
                 self.retry_attempts.remove(&page);
@@ -703,7 +901,7 @@ impl Kernel {
             }
             // Re-entry is not a new enqueue for the stats: the page was
             // already accounted for when first predicted.
-            self.preload_q.enqueue(page);
+            self.preload_enqueue(page);
         }
     }
 
@@ -731,7 +929,7 @@ impl Kernel {
                 self.reclaiming = false;
             }
             let want_sip = !self.sip_q.is_empty();
-            let want_preload = want_sip || (!self.preload_stopped && !self.preload_q.is_empty());
+            let want_preload = want_sip || self.preload_pending();
             // The reclaimer (ksgxswapd) and the preload worker are separate
             // kernel threads contending for the channel; when both have
             // work they alternate, except that a full EPC forces an evict
@@ -748,6 +946,9 @@ impl Kernel {
                     Some(ev.scanned),
                 );
                 self.stats.background_evictions += 1;
+                if let Some(vt) = self.epc.owner_of(ev.page) {
+                    self.tenants[vt].stats.background_evictions += 1;
+                }
                 let mut ewb = self.costs.ewb;
                 if let Some(extra) = self.injector.as_mut().and_then(|i| i.scan_stall()) {
                     ewb += extra;
@@ -764,7 +965,7 @@ impl Kernel {
                 // Explicit application prefetches outrank speculation.
                 let (page, origin) = if let Some(page) = self.sip_q.pop() {
                     (page, LoadOrigin::Sip)
-                } else if let Some(page) = self.preload_q.pop() {
+                } else if let Some(page) = self.preload_pop() {
                     (page, LoadOrigin::Preload)
                 } else {
                     break;
@@ -775,6 +976,18 @@ impl Kernel {
                         _ => self.stats.preloads_skipped_resident += 1,
                     }
                     continue;
+                }
+                // Hard cap: a tenant at its ceiling may not grow through
+                // speculation — the preload is shed, not the cap raised.
+                // (SIP loads are explicit application demands and instead
+                // self-evict in `blocking_load`.)
+                if matches!(origin, LoadOrigin::Preload) && self.tenant_active {
+                    if let Some(t) = self.epc.owner_of(page) {
+                        if self.epc.at_hard_cap(t) {
+                            self.tenants[t].stats.preloads_shed += 1;
+                            continue;
+                        }
+                    }
                 }
                 // Chaos: only speculative (DFP) batches are droppable —
                 // SIP requests are explicit application demands.
@@ -792,6 +1005,9 @@ impl Kernel {
                     _ => {
                         self.retry_attempts.remove(&page);
                         self.stats.preloads_started += 1;
+                        if let Some(ten) = self.epc.owner_of(page) {
+                            self.tenants[ten].stats.preload_starts += 1;
+                        }
                         self.log(t, EventKind::PreloadStart, Some(page), None);
                     }
                 }
@@ -839,11 +1055,37 @@ impl Kernel {
     }
 
     /// Synchronously loads `page` through the channel for a blocked
-    /// requester; returns the completion instant.
-    fn blocking_load(&mut self, from: Cycles, page: VirtPage, origin: LoadOrigin) -> Cycles {
+    /// requester; returns the completion instant. `requester` (a tenant
+    /// index) attributes the channel wait to the demanding enclave.
+    fn blocking_load(
+        &mut self,
+        from: Cycles,
+        page: VirtPage,
+        origin: LoadOrigin,
+        requester: Option<usize>,
+    ) -> Cycles {
         let mut t = self.channel_acquire(from);
-        if self.usable_free_slots(t) == 0 && self.epc.resident_count() > 0 {
-            let ev = self.evict_one_now();
+        if let Some(r) = requester {
+            self.tenants[r].stats.channel_wait += t - from;
+        }
+        // A tenant at its hard cap frees one of its *own* pages before
+        // loading, even when the global free pool has room — the cap is a
+        // ceiling on residency, not a reservation against others.
+        let owner = self.epc.owner_of(page);
+        let cap_evict = self.tenant_active && owner.is_some_and(|o| self.epc.at_hard_cap(o));
+        let ev = if cap_evict {
+            let o = owner.expect("cap implies a registered owner");
+            let ev = self.epc.evict_victim_owned_by(o);
+            if let Some(ev) = &ev {
+                self.note_eviction(ev);
+            }
+            ev
+        } else if self.usable_free_slots(t) == 0 && self.epc.resident_count() > 0 {
+            Some(self.evict_one_now())
+        } else {
+            None
+        };
+        if let Some(ev) = ev {
             self.log(
                 t,
                 EventKind::EvictForeground,
@@ -851,6 +1093,9 @@ impl Kernel {
                 Some(ev.scanned),
             );
             self.stats.foreground_evictions += 1;
+            if let Some(vt) = self.epc.owner_of(ev.page) {
+                self.tenants[vt].stats.foreground_evictions += 1;
+            }
             let mut ewb = self.costs.ewb;
             if let Some(extra) = self.injector.as_mut().and_then(|i| i.scan_stall()) {
                 ewb += extra;
@@ -871,10 +1116,28 @@ impl Kernel {
         done
     }
 
-    /// The safety valve's counters are kernel-global (as in the driver,
-    /// where the service thread owns them): in a multi-enclave run, one
-    /// enclave's sustained mispredictions stop preloading for all.
-    fn valve_check(&mut self, now: Cycles) {
+    /// The safety valve's counters are kernel-global by default (as in the
+    /// driver, where the service thread owns them): in a multi-enclave
+    /// run, one enclave's sustained mispredictions stop preloading for
+    /// all. An active [`TenantPolicy`] with `per_enclave_valves` instead
+    /// gives the faulting enclave its own valve over its own accuracy
+    /// counters, so a mispredicting neighbour cannot trip anyone else.
+    fn valve_check(&mut self, now: Cycles, ten: usize) {
+        if self.tenant_active && self.tenant_policy.per_enclave_valves {
+            if self.tenants[ten].stopped || self.tenants[ten].valve.is_none() {
+                return;
+            }
+            let completed = self.epc.tenant_preloads_completed(ten);
+            let touched = self.epc.tenant_preloads_touched(ten);
+            let tripped = self.tenants[ten]
+                .valve
+                .as_mut()
+                .is_some_and(|v| v.observe(now, completed, touched));
+            if tripped {
+                self.stop_tenant_preloading(now, ten);
+            }
+            return;
+        }
         if self.preload_stopped {
             return;
         }
@@ -889,15 +1152,36 @@ impl Kernel {
         }
     }
 
-    /// Latches the DFP stop: aborts the queue and records the stop. Both
+    /// Latches the DFP stop: aborts the queues and records the stop. Both
     /// the real valve and the chaos force-flap funnel through here, so the
     /// "once stopped, zero further preloads" invariant has a single owner.
     fn stop_preloading(&mut self, now: Cycles) {
         self.preload_stopped = true;
-        let dropped = self.preload_q.abort();
+        let mut dropped = self.preload_q.abort();
+        for (i, q) in self.per_q.iter_mut().enumerate() {
+            let d = q.abort();
+            self.tenants[i].stats.preload_aborts += d;
+            dropped += d;
+        }
         self.stats.preloads_aborted += dropped;
         self.stats.dfp_stopped_at = Some(now);
         self.log(now, EventKind::ValveStopped, None, Some(dropped));
+    }
+
+    /// Latches one tenant's DFP stop: aborts only its queue and stamps the
+    /// event with its ELRANGE base so stream consumers can attribute it
+    /// (the kernel-global stop keeps `page = None`).
+    fn stop_tenant_preloading(&mut self, now: Cycles, ten: usize) {
+        self.tenants[ten].stopped = true;
+        let dropped = self.per_q[ten].abort();
+        self.stats.preloads_aborted += dropped;
+        self.tenants[ten].stats.preload_aborts += dropped;
+        self.tenants[ten].stats.dfp_stopped_at = Some(now);
+        if self.stats.dfp_stopped_at.is_none() {
+            self.stats.dfp_stopped_at = Some(now);
+        }
+        let base = VirtPage::new(self.tenants[ten].base);
+        self.log(now, EventKind::ValveStopped, Some(base), Some(dropped));
     }
 
     /// Per-fault chaos: EPC pressure spikes and forced valve trips. Runs
@@ -919,6 +1203,18 @@ impl Kernel {
     }
 
     fn enqueue_predictions(&mut self, pid: ProcessId, pred: Prediction) {
+        let ten = self.tenant_of_pid(pid);
+        // Admission control: under memory pressure (free pool below the
+        // reclaimer's low watermark) an enclave already above its soft
+        // share may not queue more speculation — the whole batch is shed.
+        if self.tenant_active
+            && self.tenant_policy.admission_control
+            && self.epc.free_slots() < self.wm.low()
+            && self.epc.over_soft_quota(ten)
+        {
+            self.tenants[ten].stats.preloads_shed += pred.pages.len() as u64;
+            return;
+        }
         let (base, pages) = {
             let s = self.slot(pid);
             (s.base, s.pages)
@@ -930,12 +1226,12 @@ impl Kernel {
                 continue;
             }
             if self.epc.is_resident(page)
-                || self.preload_q.contains(page)
+                || self.preload_queued(page)
                 || matches!(self.in_flight, Some(f) if f.is_load_of(page))
             {
                 continue;
             }
-            if self.preload_q.enqueue(page) {
+            if self.preload_enqueue(page) {
                 self.stats.preloads_enqueued += 1;
             }
         }
@@ -972,11 +1268,18 @@ impl Kernel {
     /// Panics if `pid` is unregistered or `local` lies outside its ELRANGE.
     pub fn page_fault(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> FaultResolution {
         let g = self.global(pid, local);
+        let ten = self.tenant_of_pid(pid);
         let t = now + self.costs.aex;
         self.advance(t);
         self.stats.faults += 1;
+        self.tenants[ten].stats.faults += 1;
+        let resident_now = self.epc.tenant_resident(ten);
+        self.tenants[ten]
+            .stats
+            .residency
+            .record(Cycles::new(resident_now));
         self.log(now, EventKind::Fault, Some(g), None);
-        self.valve_check(t);
+        self.valve_check(t, ten);
         self.chaos_on_fault(t);
 
         let (kind, handler_done) = if self.epc.is_resident(g) {
@@ -994,19 +1297,26 @@ impl Kernel {
                 done.max(t) + self.costs.os_fault_path,
             )
         } else {
-            let dropped = self.preload_q.abort();
+            let dropped = self.abort_preloads_for(ten);
             if dropped > 0 {
                 self.log(t, EventKind::PreloadAbort, Some(g), Some(dropped));
             }
             self.stats.preloads_aborted += dropped;
-            let done = self.blocking_load(t + self.costs.os_fault_path, g, LoadOrigin::Demand);
+            self.tenants[ten].stats.preload_aborts += dropped;
+            let done = self.blocking_load(
+                t + self.costs.os_fault_path,
+                g,
+                LoadOrigin::Demand,
+                Some(ten),
+            );
             self.stats.demand_loads += 1;
+            self.tenants[ten].stats.demand_loads += 1;
             self.log(done, EventKind::DemandLoaded, Some(g), None);
             self.touch_tracked(done, g);
             (FaultServicing::DemandLoaded, done)
         };
 
-        if !self.preload_stopped {
+        if !self.preloading_stopped_for(ten) {
             let pred = self.predictor.on_fault(t, pid, g);
             let predicted = pred.pages.len() as u64;
             if predicted > 0 {
@@ -1079,7 +1389,7 @@ impl Kernel {
             self.apply_completion(f);
             return done.max(now);
         }
-        let done = self.blocking_load(now, g, LoadOrigin::Sip);
+        let done = self.blocking_load(now, g, LoadOrigin::Sip, None);
         self.stats.sip_loads += 1;
         self.log(done, EventKind::SipLoaded, Some(g), None);
         done
@@ -1136,9 +1446,9 @@ impl Kernel {
     }
 
     /// Installs a deterministic [`FaultInjector`] (the chaos layer),
-    /// replacing any injector configured via [`KernelConfig::with_chaos`].
-    /// Like [`Kernel::subscribe`], this is part of the builder path: call
-    /// it before driving the kernel.
+    /// replacing any injector configured via the `KernelConfig::chaos`
+    /// field. Like [`Kernel::subscribe`], this is part of the builder
+    /// path: call it before driving the kernel.
     pub fn install_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
     }
@@ -1170,9 +1480,44 @@ impl Kernel {
         &self.costs
     }
 
-    /// Pages currently waiting on the preload queue.
+    /// Pages currently waiting on the preload queues (global plus every
+    /// per-tenant queue).
     pub fn preload_queue_len(&self) -> usize {
-        self.preload_q.len()
+        self.preload_q.len() + self.per_q.iter().map(PreloadQueue::len).sum::<usize>()
+    }
+
+    /// The tenant-scheduling policy in effect ([`TenantPolicy::none`] when
+    /// unconfigured).
+    pub fn tenant_policy(&self) -> &TenantPolicy {
+        &self.tenant_policy
+    }
+
+    /// Registered enclaves, in registration order (the tenant index
+    /// space).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Tenant index of `pid`'s enclave (resolving thread aliases), if
+    /// registered.
+    pub fn tenant_index(&self, pid: ProcessId) -> Option<usize> {
+        self.tenant_of.get(&self.owner_pid(pid)).copied()
+    }
+
+    /// Per-enclave fairness telemetry for tenant `idx` (registration
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.tenant_count()`.
+    pub fn tenant_stats(&self, idx: usize) -> &TenantStats {
+        &self.tenants[idx].stats
+    }
+
+    /// Whether DFP preloading has stopped for tenant `idx` — via the
+    /// kernel-global valve or its own when valves are per-enclave.
+    pub fn is_tenant_preload_stopped(&self, idx: usize) -> bool {
+        self.preloading_stopped_for(idx)
     }
 
     /// Whether the DFP-stop valve has fired.
@@ -1731,12 +2076,9 @@ mod tests {
     }
 
     fn chaos_kernel(epc: u64, predictor: Box<dyn Predictor>, sched: ChaosSchedule) -> Kernel {
-        let mut k = Kernel::new(
-            KernelConfig::new(epc)
-                .with_costs(tiny_costs())
-                .with_chaos(sched),
-            predictor,
-        );
+        let mut cfg = KernelConfig::new(epc).with_costs(tiny_costs());
+        cfg.chaos = Some(sched);
+        let mut k = Kernel::new(cfg, predictor);
         k.register_enclave(PID, 1 << 20).unwrap();
         k
     }
@@ -1921,6 +2263,247 @@ mod tests {
         assert_eq!(c.foreground_evictions, s.foreground_evictions);
         assert_eq!(c.valve_stops, u64::from(s.dfp_stopped_at.is_some()));
         assert!(k.chaos_stats().unwrap().total_injections() > 0);
+        assert!(k.bitmap_consistent());
+    }
+
+    // ---- multi-tenant scheduling ----
+
+    use sgx_epc::TenantQuota;
+
+    fn tenant_kernel(epc: u64, predictor: Box<dyn Predictor>, policy: TenantPolicy) -> Kernel {
+        let mut cfg = KernelConfig::new(epc).with_costs(tiny_costs());
+        cfg.tenant = Some(policy);
+        Kernel::new(cfg, predictor)
+    }
+
+    #[test]
+    fn zero_tenant_policy_is_bit_identical_to_default() {
+        let mut plain = kernel_with(16, Box::new(NextLinePredictor::new(3)));
+        let mut tenanted = tenant_kernel(
+            16,
+            Box::new(NextLinePredictor::new(3)),
+            TenantPolicy::none(),
+        );
+        tenanted.register_enclave(PID, 1 << 20).unwrap();
+        let end_a = drive(&mut plain, 300, 3, 64);
+        let end_b = drive(&mut tenanted, 300, 3, 64);
+        assert_eq!(end_a, end_b, "zero policy must not change timing");
+        let (a, b) = (plain.stats(), tenanted.stats());
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.preloads_started, b.preloads_started);
+        assert_eq!(a.preloads_aborted, b.preloads_aborted);
+        assert_eq!(a.background_evictions, b.background_evictions);
+        assert_eq!(a.foreground_evictions, b.foreground_evictions);
+        assert_eq!(a.fault_service.sum(), b.fault_service.sum());
+        // Telemetry is collected even with no policy.
+        let ts = tenanted.tenant_stats(0);
+        assert_eq!(ts.faults, b.faults);
+        assert_eq!(ts.demand_loads, b.demand_loads);
+        assert_eq!(ts.residency.count(), ts.faults);
+        assert_eq!(tenanted.tenant_index(PID), Some(0));
+        assert_eq!(tenanted.tenant_count(), 1);
+    }
+
+    #[test]
+    fn drr_interleaves_preloads_and_scopes_demand_aborts() {
+        let policy = TenantPolicy::none().with_weight(0, 1).with_weight(1, 1);
+        let mut k = tenant_kernel(256, Box::new(NextLinePredictor::new(4)), policy);
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(a, 1 << 16).unwrap();
+        k.register_enclave(b, 1 << 16).unwrap();
+        let (sink, events) = crate::CollectingSink::new();
+        k.subscribe(Box::new(sink));
+        let ra = k.page_fault(Cycles::ZERO, a, p(0)); // queues a's 1..=4
+                                                      // B's demand fault clears only B's (empty) queue: A's queued
+                                                      // preloads survive a neighbour's miss.
+        let _rb = k.page_fault(ra.resume_at + Cycles::new(1), b, p(0));
+        assert_eq!(k.stats().preloads_aborted, 0);
+        // Drain with idle time; starts must alternate A,B,A,B,…
+        let _ = k.app_access(Cycles::new(1_000_000), a, p(0));
+        let owners: Vec<u8> = events
+            .borrow()
+            .iter()
+            .filter(|e| e.what == EventKind::PreloadStart)
+            .map(|e| u8::from(e.page.unwrap().raw() >= (1 << 24)))
+            .collect();
+        assert_eq!(owners, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        // B's demand fault waited for A's in-flight preload and billed it.
+        assert!(k.tenant_stats(1).channel_wait.raw() > 0);
+        assert_eq!(k.tenant_stats(0).faults, 1);
+        assert_eq!(k.tenant_stats(1).faults, 1);
+        assert_eq!(
+            k.tenant_stats(0).preload_starts + k.tenant_stats(1).preload_starts,
+            k.stats().preloads_started
+        );
+    }
+
+    #[test]
+    fn drr_weights_bias_the_preload_interleave() {
+        let policy = TenantPolicy::none().with_weight(0, 2).with_weight(1, 1);
+        let mut k = tenant_kernel(256, Box::new(NextLinePredictor::new(4)), policy);
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(a, 1 << 16).unwrap();
+        k.register_enclave(b, 1 << 16).unwrap();
+        let (sink, events) = crate::CollectingSink::new();
+        k.subscribe(Box::new(sink));
+        let ra = k.page_fault(Cycles::ZERO, a, p(0));
+        let _rb = k.page_fault(ra.resume_at + Cycles::new(1), b, p(0));
+        let _ = k.app_access(Cycles::new(1_000_000), a, p(0));
+        let owners: Vec<u8> = events
+            .borrow()
+            .iter()
+            .filter(|e| e.what == EventKind::PreloadStart)
+            .map(|e| u8::from(e.page.unwrap().raw() >= (1 << 24)))
+            .collect();
+        // Weight 2:1 — A spends a two-pop quantum per turn.
+        assert_eq!(owners, vec![0, 0, 1, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn per_enclave_valve_stops_only_the_mispredicting_tenant() {
+        let policy = TenantPolicy::none().with_per_enclave_valves(true);
+        let mut cfg = KernelConfig::new(512)
+            .with_costs(tiny_costs())
+            .with_abort_policy(
+                AbortPolicy::paper_defaults()
+                    .with_slack(5)
+                    .with_check_interval(Cycles::new(1_000)),
+            );
+        cfg.tenant = Some(policy);
+        let mut k = Kernel::new(cfg, Box::new(NextLinePredictor::new(4)));
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(a, 1 << 20).unwrap();
+        k.register_enclave(b, 1 << 20).unwrap();
+        let (sink, events) = crate::CollectingSink::new();
+        k.subscribe(Box::new(sink));
+        // A scatters (its preloads are never touched); B walks
+        // sequentially (its preloads are touched).
+        let mut now = Cycles::ZERO;
+        for i in 0..200u64 {
+            let ra = k.page_fault(now, a, p(i * 100));
+            let rb = k.page_fault(ra.resume_at + Cycles::new(1), b, p(i));
+            now = rb.resume_at + Cycles::new(300);
+        }
+        assert!(k.is_tenant_preload_stopped(0), "aggressor valve fired");
+        assert!(!k.is_tenant_preload_stopped(1), "victim keeps preloading");
+        assert!(!k.is_preload_stopped(), "no kernel-global latch");
+        assert!(k.tenant_stats(0).dfp_stopped_at.is_some());
+        assert!(k.tenant_stats(1).dfp_stopped_at.is_none());
+        assert!(k.stats().dfp_stopped_at.is_some());
+        // The stop event carries the tripping enclave's ELRANGE base.
+        let stop = events
+            .borrow()
+            .iter()
+            .find(|e| e.what == EventKind::ValveStopped)
+            .copied()
+            .expect("valve stop streamed");
+        assert_eq!(stop.page, Some(p(0)));
+        // B's pipeline stayed alive after A's stop.
+        let stopped_at = k.tenant_stats(0).dfp_stopped_at.unwrap();
+        assert!(events.borrow().iter().any(|e| {
+            e.what == EventKind::PreloadStart
+                && e.at > stopped_at
+                && e.page.unwrap().raw() >= (1 << 24)
+        }));
+    }
+
+    #[test]
+    fn admission_control_sheds_over_share_batches_under_pressure() {
+        let policy = TenantPolicy::fair(2, 16);
+        let mut cfg = KernelConfig::new(16)
+            .with_costs(tiny_costs())
+            .with_watermarks(Watermarks::new(4, 8, 16).unwrap());
+        cfg.tenant = Some(policy);
+        let mut k = Kernel::new(cfg, Box::new(NextLinePredictor::new(4)));
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(a, 1 << 16).unwrap();
+        k.register_enclave(b, 1 << 16).unwrap();
+        let mut now = Cycles::ZERO;
+        for i in 0..40u64 {
+            now = k.page_fault(now, a, p(i)).resume_at + Cycles::new(10);
+        }
+        assert!(
+            k.tenant_stats(0).preloads_shed > 0,
+            "over-share batches shed under pressure"
+        );
+        assert_eq!(k.tenant_stats(1).preloads_shed, 0);
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn hard_cap_forces_self_eviction_with_free_pool_available() {
+        let policy = TenantPolicy::none().with_quota(
+            0,
+            TenantQuota {
+                soft_pages: 0,
+                hard_pages: 4,
+            },
+        );
+        let mut k = tenant_kernel(64, Box::new(NoPredictor), policy);
+        k.register_enclave(PID, 1 << 16).unwrap();
+        let mut now = Cycles::ZERO;
+        for i in 0..10u64 {
+            now = k.page_fault(now, PID, p(i)).resume_at + Cycles::new(10);
+        }
+        assert_eq!(k.epc().tenant_resident(0), 4, "cap is a hard ceiling");
+        assert_eq!(
+            k.stats().foreground_evictions,
+            6,
+            "each over-cap load self-evicts"
+        );
+        assert_eq!(k.tenant_stats(0).foreground_evictions, 6);
+        assert_eq!(k.stats().background_evictions, 0, "free pool never ran low");
+        assert!(k.epc().free_slots() >= 60);
+        assert!(k.bitmap_consistent());
+    }
+
+    #[test]
+    fn quota_aware_reclaim_prefers_the_over_share_tenant() {
+        // A tiny EPC shared 12/4: A's soft share 4 is exceeded while B
+        // stays within its own, so background reclaim should bleed A.
+        let policy = TenantPolicy::none()
+            .with_quota(
+                0,
+                TenantQuota {
+                    soft_pages: 4,
+                    hard_pages: 0,
+                },
+            )
+            .with_quota(
+                1,
+                TenantQuota {
+                    soft_pages: 8,
+                    hard_pages: 0,
+                },
+            );
+        let mut cfg = KernelConfig::new(16)
+            .with_costs(tiny_costs())
+            .with_watermarks(Watermarks::new(2, 4, 16).unwrap());
+        cfg.tenant = Some(policy);
+        let mut k = Kernel::new(cfg, Box::new(NoPredictor));
+        let (a, b) = (ProcessId(1), ProcessId(2));
+        k.register_enclave(a, 1 << 16).unwrap();
+        k.register_enclave(b, 1 << 16).unwrap();
+        // B loads 4 pages (within share), then A churns far past its own.
+        let mut now = Cycles::ZERO;
+        for i in 0..4u64 {
+            now = k.page_fault(now, b, p(i)).resume_at + Cycles::new(500);
+        }
+        for i in 0..32u64 {
+            now = k.page_fault(now, a, p(i)).resume_at + Cycles::new(500);
+        }
+        let evicted_from_a =
+            k.tenant_stats(0).background_evictions + k.tenant_stats(0).foreground_evictions;
+        let evicted_from_b =
+            k.tenant_stats(1).background_evictions + k.tenant_stats(1).foreground_evictions;
+        assert!(
+            evicted_from_a > evicted_from_b,
+            "reclaim should prefer the over-quota tenant: a={evicted_from_a} b={evicted_from_b}"
+        );
+        assert_eq!(
+            k.epc().tenant_resident(0) + k.epc().tenant_resident(1),
+            k.epc().resident_count()
+        );
         assert!(k.bitmap_consistent());
     }
 }

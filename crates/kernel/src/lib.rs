@@ -71,10 +71,11 @@
 mod chaos;
 mod kernel;
 mod queue;
+mod tenant;
 mod trace;
 mod watermark;
 
-pub use chaos::{ChaosSchedule, ChaosStats, FaultInjector};
+pub use chaos::{ChaosPreset, ChaosSchedule, ChaosStats, FaultInjector, ParseChaosPresetError};
 #[allow(deprecated)]
 pub use kernel::RegisterError;
 pub use kernel::{
@@ -82,6 +83,7 @@ pub use kernel::{
     LoggedEvent,
 };
 pub use queue::PreloadQueue;
+pub use tenant::{TenantPolicy, TenantShare, TenantStats, MAX_TENANTS};
 pub use trace::{
     CollectingSink, CountingSink, EventCounts, HistogramSink, JsonlWriterSink, TailSink,
     TraceHistograms, TraceSink,

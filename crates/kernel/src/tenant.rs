@@ -1,0 +1,295 @@
+//! Multi-tenant EPC scheduling policy and per-enclave telemetry.
+//!
+//! The paper's §5.6 multi-enclave scenario shares everything: one CLOCK
+//! hand, one DFP-stop valve, one FIFO preload queue. This module holds the
+//! opt-in tenant layer grown on top of it: per-enclave EPC quotas (soft
+//! share + hard cap), a weighted deficit-round-robin (DRR) arbiter over the
+//! per-enclave preload queues, per-enclave valve scoping, and preload
+//! admission control under memory pressure.
+//!
+//! The zero policy ([`TenantPolicy::none`]) is strictly inert: every kernel
+//! path it gates falls back to the shared-everything driver behaviour,
+//! bit-identically. Per-enclave *telemetry* ([`TenantStats`]) is collected
+//! unconditionally — observation never perturbs the simulation.
+
+use sgx_epc::TenantQuota;
+use sgx_sim::{Cycles, Histogram};
+
+/// Maximum enclaves a [`TenantPolicy`] can configure. Keeps the policy
+/// `Copy` (it travels inside `SimConfig`, which campaign cells copy
+/// freely); enclaves registered beyond this count run with the default
+/// share.
+pub const MAX_TENANTS: usize = 8;
+
+/// One enclave's scheduling share: its DRR weight on the load channel and
+/// its EPC residency quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantShare {
+    /// Deficit-round-robin weight for queued preloads; `0` means the
+    /// default weight of 1.
+    pub weight: u32,
+    /// EPC residency quota ([`TenantQuota::NONE`] = unpartitioned).
+    pub quota: TenantQuota,
+}
+
+impl TenantShare {
+    /// The unconfigured share: default weight, no quota.
+    pub const NONE: TenantShare = TenantShare {
+        weight: 0,
+        quota: TenantQuota::NONE,
+    };
+
+    /// Whether this share configures anything.
+    pub fn is_none(&self) -> bool {
+        self.weight == 0 && self.quota.is_none()
+    }
+}
+
+/// The multi-tenant EPC scheduling policy.
+///
+/// Shares apply to enclaves in *registration order* (the order
+/// `SimRun::app` adds them). The default policy is inert — see the module
+/// docs.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_kernel::{TenantPolicy, TenantShare};
+/// use sgx_epc::TenantQuota;
+///
+/// let policy = TenantPolicy::none()
+///     .with_weight(0, 1)
+///     .with_weight(1, 1)
+///     .with_quota(1, TenantQuota { soft_pages: 512, hard_pages: 0 })
+///     .with_admission_control(true);
+/// assert!(!policy.is_none());
+/// assert_eq!(policy.weight(0), 1);
+/// assert_eq!(policy.weight(7), 1); // unset shares default to weight 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Per-enclave shares, indexed by enclave registration order.
+    pub shares: [TenantShare; MAX_TENANTS],
+    /// Scope the DFP-stop valve per enclave instead of kernel-global (the
+    /// driver-faithful default is `false`: one valve for all).
+    pub per_enclave_valves: bool,
+    /// Shed preload batches from enclaves above their soft share when free
+    /// pages fall below the reclaimer's low watermark.
+    pub admission_control: bool,
+}
+
+impl TenantPolicy {
+    /// The inert policy: no shares, global valve, no admission control.
+    pub fn none() -> Self {
+        TenantPolicy {
+            shares: [TenantShare::NONE; MAX_TENANTS],
+            per_enclave_valves: false,
+            admission_control: false,
+        }
+    }
+
+    /// `true` when the policy configures nothing — the kernel then keeps
+    /// the shared-everything driver behaviour, bit-identically.
+    pub fn is_none(&self) -> bool {
+        !self.per_enclave_valves
+            && !self.admission_control
+            && self.shares.iter().all(TenantShare::is_none)
+    }
+
+    /// Sets tenant `idx`'s full share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= MAX_TENANTS`.
+    pub fn with_share(mut self, idx: usize, share: TenantShare) -> Self {
+        self.shares[idx] = share;
+        self
+    }
+
+    /// Sets tenant `idx`'s DRR weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= MAX_TENANTS`.
+    pub fn with_weight(mut self, idx: usize, weight: u32) -> Self {
+        self.shares[idx].weight = weight;
+        self
+    }
+
+    /// Sets tenant `idx`'s EPC residency quota.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= MAX_TENANTS`.
+    pub fn with_quota(mut self, idx: usize, quota: TenantQuota) -> Self {
+        self.shares[idx].quota = quota;
+        self
+    }
+
+    /// Scopes the DFP-stop valve per enclave (or back to kernel-global).
+    pub fn with_per_enclave_valves(mut self, on: bool) -> Self {
+        self.per_enclave_valves = on;
+        self
+    }
+
+    /// Enables preload admission control under memory pressure.
+    pub fn with_admission_control(mut self, on: bool) -> Self {
+        self.admission_control = on;
+        self
+    }
+
+    /// An equal-share policy for `n` tenants: weight 1 each and a soft
+    /// quota of `epc_pages / n` (no hard cap), with admission control on.
+    /// The canonical "weights 1:1" fairness configuration.
+    pub fn fair(n: usize, epc_pages: u64) -> Self {
+        let n = n.clamp(1, MAX_TENANTS);
+        let mut p = TenantPolicy::none().with_admission_control(true);
+        for i in 0..n {
+            p = p.with_share(
+                i,
+                TenantShare {
+                    weight: 1,
+                    quota: TenantQuota {
+                        soft_pages: epc_pages / n as u64,
+                        hard_pages: 0,
+                    },
+                },
+            );
+        }
+        p
+    }
+
+    /// The effective DRR weight of tenant `idx` (unset shares and indices
+    /// past [`MAX_TENANTS`] weigh 1).
+    pub fn weight(&self, idx: usize) -> u64 {
+        self.shares.get(idx).map_or(1, |s| {
+            if s.weight == 0 {
+                1
+            } else {
+                u64::from(s.weight)
+            }
+        })
+    }
+
+    /// The quota of tenant `idx` ([`TenantQuota::NONE`] past the array).
+    pub fn quota(&self, idx: usize) -> TenantQuota {
+        self.shares.get(idx).map_or(TenantQuota::NONE, |s| s.quota)
+    }
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Per-enclave fairness telemetry, collected unconditionally (policy or
+/// not) and keyed by enclave registration order.
+///
+/// Attribution follows the *event stream*, so stream-reconstructed
+/// per-enclave counts reconcile exactly: faults, demand loads and preload
+/// aborts belong to the faulting enclave; preload starts/completions and
+/// evictions belong to the owner of the page involved.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// Page faults raised by this enclave's threads.
+    pub faults: u64,
+    /// Demand loads issued for this enclave's faults.
+    pub demand_loads: u64,
+    /// Background preload loads started for this enclave's pages.
+    pub preload_starts: u64,
+    /// Background loads (preload or SIP prefetch) completed for this
+    /// enclave's pages.
+    pub preload_dones: u64,
+    /// Queued preloads dropped by this enclave's demand faults (and its
+    /// valve, when valves are per-enclave).
+    pub preload_aborts: u64,
+    /// This enclave's pages evicted by the background reclaimer.
+    pub background_evictions: u64,
+    /// This enclave's pages evicted inside a blocking load.
+    pub foreground_evictions: u64,
+    /// Preload batches shed by admission control, in pages.
+    pub preloads_shed: u64,
+    /// Cycles this enclave's demand faults spent waiting for the load
+    /// channel (the in-flight job of another requester).
+    pub channel_wait: Cycles,
+    /// EPC residency (pages) sampled at each of this enclave's faults.
+    pub residency: Histogram,
+    /// When this enclave's valve fired, if valves are per-enclave.
+    pub dfp_stopped_at: Option<Cycles>,
+}
+
+impl TenantStats {
+    pub(crate) fn new() -> Self {
+        TenantStats {
+            faults: 0,
+            demand_loads: 0,
+            preload_starts: 0,
+            preload_dones: 0,
+            preload_aborts: 0,
+            background_evictions: 0,
+            foreground_evictions: 0,
+            preloads_shed: 0,
+            channel_wait: Cycles::ZERO,
+            residency: Histogram::new("tenant_residency"),
+            dfp_stopped_at: None,
+        }
+    }
+}
+
+impl Default for TenantStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_policy_is_none() {
+        let p = TenantPolicy::none();
+        assert!(p.is_none());
+        assert!(TenantPolicy::default().is_none());
+        assert_eq!(p.weight(0), 1);
+        assert_eq!(p.weight(100), 1);
+        assert!(p.quota(100).is_none());
+    }
+
+    #[test]
+    fn any_knob_makes_the_policy_active() {
+        assert!(!TenantPolicy::none().with_weight(2, 3).is_none());
+        assert!(!TenantPolicy::none()
+            .with_quota(
+                0,
+                TenantQuota {
+                    soft_pages: 4,
+                    hard_pages: 0
+                }
+            )
+            .is_none());
+        assert!(!TenantPolicy::none().with_per_enclave_valves(true).is_none());
+        assert!(!TenantPolicy::none().with_admission_control(true).is_none());
+    }
+
+    #[test]
+    fn fair_splits_the_epc_equally() {
+        let p = TenantPolicy::fair(2, 1000);
+        assert!(p.admission_control);
+        assert_eq!(p.weight(0), 1);
+        assert_eq!(p.weight(1), 1);
+        assert_eq!(p.quota(0).soft_pages, 500);
+        assert_eq!(p.quota(1).soft_pages, 500);
+        assert!(p.quota(2).is_none());
+        // Clamped tenant counts stay sane.
+        assert_eq!(TenantPolicy::fair(0, 100).quota(0).soft_pages, 100);
+    }
+
+    #[test]
+    fn weight_zero_means_default_one() {
+        let p = TenantPolicy::none().with_weight(0, 5);
+        assert_eq!(p.weight(0), 5);
+        assert_eq!(p.weight(1), 1);
+    }
+}

@@ -80,11 +80,15 @@ fn main() {
         // Baseline via the high-level API, for comparison.
         let base = SimRun::new(&cfg)
             .scheme(Scheme::Baseline)
-            .app(AppSpec::new(
-                bench.name(),
-                bench.elrange_pages(cfg.scale),
-                bench.build(InputSet::Ref, cfg.scale, cfg.seed),
-            ))
+            .app(
+                AppSpec::new(
+                    bench.name(),
+                    bench.elrange_pages(cfg.scale),
+                    bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+                )
+                .build()
+                .expect("non-empty ELRANGE"),
+            )
             .run_one()
             .expect("one report");
 

@@ -16,6 +16,8 @@ fn apps(cfg: &SimConfig, n: usize) -> Vec<AppSpec> {
                 Benchmark::Lbm.elrange_pages(cfg.scale),
                 Benchmark::Lbm.build(InputSet::Ref, cfg.scale, cfg.seed + i as u64),
             )
+            .build()
+            .expect("non-empty ELRANGE")
         })
         .collect()
 }

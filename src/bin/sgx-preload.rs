@@ -16,9 +16,9 @@ use std::process::ExitCode;
 use sgx_preloading::kernel::{EventKind, Kernel, KernelConfig};
 use sgx_preloading::{
     build_plan, effective_jobs, profile_stream, AppSpec, Benchmark, Campaign, CampaignReport,
-    ChaosSchedule, CollectingSink, CountingSink, Cycles, HistogramSink, InputSet, JsonlWriterSink,
+    ChaosPreset, CollectingSink, CountingSink, Cycles, HistogramSink, InputSet, JsonlWriterSink,
     MultiStreamPredictor, NoPredictor, NotifyPlacement, Predictor, ProcessId, RecordedTrace,
-    RunReport, Scale, Scheme, SeedMode, SimConfig, SimRun, StreamConfig,
+    RunReport, Scale, Scheme, SeedMode, SimConfig, SimRun, StreamConfig, TenantPolicy,
 };
 
 const USAGE: &str = "\
@@ -38,6 +38,8 @@ COMMANDS:
     timeline                   print the kernel's paging-event sequence
     chaos                      run a benchmark under fault injection and
                                check the graceful-degradation invariants
+    contend                    co-run a victim with an aggressor enclave and
+                               report per-tenant fairness telemetry
 
 COMMON OPTIONS:
     --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
@@ -101,6 +103,16 @@ chaos OPTIONS:
     --max-slowdown <F>             fail (exit 1) if injected/uninjected
                                    cycle ratio exceeds F
     --json-out <file>              write the differential report as JSON
+
+contend OPTIONS:
+    --victim <name>                victim benchmark (default: microbenchmark)
+    --aggressor <name>             aggressor benchmark (default: mixed-blood)
+    --scheme <s>                   kernel scheme (default: dfp)
+    --policy <fair|none>           tenant policy (default: fair — equal DRR
+                                   weights, equal soft EPC shares, admission
+                                   control on; none = shared-everything)
+    --weights <A:B>                override the victim:aggressor DRR weights
+    --json-out <file>              write the contention report as JSON
 ";
 
 struct Args {
@@ -165,7 +177,10 @@ impl Args {
     }
 
     fn scheme(&self) -> Result<Scheme, String> {
-        parse_scheme(self.get("scheme").unwrap_or("baseline"))
+        self.get("scheme")
+            .unwrap_or("baseline")
+            .parse::<Scheme>()
+            .map_err(|e| e.to_string())
     }
 
     fn bench(&self) -> Result<Benchmark, String> {
@@ -206,7 +221,10 @@ impl Args {
                 Scheme::Sip,
                 Scheme::Hybrid,
             ]),
-            Some(list) => list.split(',').map(|s| parse_scheme(s.trim())).collect(),
+            Some(list) => list
+                .split(',')
+                .map(|s| s.trim().parse::<Scheme>().map_err(|e| e.to_string()))
+                .collect(),
         }
     }
 
@@ -239,18 +257,6 @@ impl Args {
             cfg = cfg.with_placement(NotifyPlacement::Early { distance: d });
         }
         Ok(cfg)
-    }
-}
-
-fn parse_scheme(name: &str) -> Result<Scheme, String> {
-    match name {
-        "baseline" => Ok(Scheme::Baseline),
-        "dfp" => Ok(Scheme::Dfp),
-        "dfp-stop" | "dfpstop" => Ok(Scheme::DfpStop),
-        "sip" => Ok(Scheme::Sip),
-        "hybrid" | "sip+dfp" => Ok(Scheme::Hybrid),
-        "user-level" | "userlevel" | "eleos" => Ok(Scheme::UserLevel),
-        other => Err(format!("unknown scheme {other:?}")),
     }
 }
 
@@ -519,13 +525,12 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     }
     let elrange = trace.elrange_pages();
     let run = |s: Scheme| {
+        let app = AppSpec::new(path.to_string(), elrange, trace.clone().into_stream())
+            .build()
+            .map_err(|e| e.to_string())?;
         SimRun::new(&cfg)
             .scheme(s)
-            .app(AppSpec::new(
-                path.to_string(),
-                elrange,
-                trace.clone().into_stream(),
-            ))
+            .app(app)
             .run_one()
             .map_err(|e| e.to_string())
     };
@@ -542,15 +547,15 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 }
 
 /// Builds the chaos schedule from `--preset` plus per-capability knobs.
-fn chaos_schedule(args: &Args) -> Result<ChaosSchedule, String> {
+fn chaos_schedule(args: &Args) -> Result<sgx_preloading::ChaosSchedule, String> {
     let seed = args.parsed::<u64>("chaos-seed")?.unwrap_or(1);
-    let mut s = match args.get("preset") {
-        None | Some("none") => ChaosSchedule::none(),
-        Some("light") => ChaosSchedule::light(seed),
-        Some("heavy") => ChaosSchedule::heavy(seed),
-        Some(other) => return Err(format!("unknown --preset {other:?} (none|light|heavy)")),
-    }
-    .with_seed(seed);
+    let preset = match args.get("preset") {
+        None => ChaosPreset::None,
+        Some(p) => p
+            .parse::<ChaosPreset>()
+            .map_err(|e| format!("--preset: {e}"))?,
+    };
+    let mut s = preset.schedule(seed).with_seed(seed);
     let rate = |key: &str| -> Result<Option<f64>, String> {
         match args.parsed::<f64>(key)? {
             Some(r) if !(0.0..=1.0).contains(&r) => Err(format!("--{key} must be in [0, 1]")),
@@ -709,6 +714,138 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves `--policy` / `--weights` into a [`TenantPolicy`] for two
+/// enclaves (victim = tenant 0, aggressor = tenant 1).
+fn tenant_policy_arg(args: &Args, epc_pages: u64) -> Result<TenantPolicy, String> {
+    let mut policy = match args.get("policy") {
+        None | Some("fair") => TenantPolicy::fair(2, epc_pages),
+        Some("none") => TenantPolicy::none(),
+        Some(other) => return Err(format!("unknown --policy {other:?} (fair|none)")),
+    };
+    if let Some(w) = args.get("weights") {
+        let (a, b) = w
+            .split_once(':')
+            .ok_or_else(|| format!("--weights wants A:B, got {w:?}"))?;
+        let a: u32 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid weight {a:?}"))?;
+        let b: u32 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid weight {b:?}"))?;
+        policy = policy.with_weight(0, a).with_weight(1, b);
+    }
+    Ok(policy)
+}
+
+/// The multi-tenant contention demo: the victim solo, then the victim
+/// co-run with the aggressor under the selected tenant policy, with the
+/// per-tenant fairness telemetry printed side by side.
+fn cmd_contend(args: &Args) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let cfg = args.config()?;
+    let scheme = match args.get("scheme") {
+        None => Scheme::Dfp,
+        Some(_) => args.scheme()?,
+    };
+    if scheme.is_user_level() {
+        return Err("contend measures kernel channel fairness; pick a kernel scheme".into());
+    }
+    let bench_arg = |key: &str, default: &str| -> Result<Benchmark, String> {
+        let name = args.get(key).unwrap_or(default);
+        Benchmark::from_name(name)
+            .ok_or_else(|| format!("unknown benchmark {name:?} (try `sgx-preload list`)"))
+    };
+    let victim = bench_arg("victim", "microbenchmark")?;
+    let aggressor = bench_arg("aggressor", "mixed-blood")?;
+    let policy = tenant_policy_arg(args, cfg.epc_pages)?;
+    let mk = |bench: Benchmark, label: &str, seed: u64| {
+        AppSpec::new(
+            label,
+            bench.elrange_pages(cfg.scale),
+            bench.build(InputSet::Ref, cfg.scale, seed),
+        )
+        .build()
+        .map_err(|e| e.to_string())
+    };
+
+    let solo = SimRun::new(&cfg)
+        .scheme(scheme)
+        .app(mk(victim, "victim", cfg.seed)?)
+        .run_one()
+        .map_err(|e| e.to_string())?;
+    let pair_cfg = cfg.with_tenant_policy(policy);
+    let pair = SimRun::new(&pair_cfg)
+        .scheme(scheme)
+        .apps([
+            mk(victim, "victim", cfg.seed)?,
+            mk(aggressor, "aggressor", cfg.seed + 1)?,
+        ])
+        .run()
+        .map_err(|e| e.to_string())?;
+    let (v, a) = (&pair[0], &pair[1]);
+
+    println!(
+        "contention under {} ({}), policy {}:",
+        scheme.name(),
+        victim.name(),
+        if policy.is_none() {
+            "none (shared-everything)".to_string()
+        } else {
+            format!(
+                "weights {}:{}, soft shares {}/{} pages",
+                policy.weight(0),
+                policy.weight(1),
+                policy.quota(0).soft_pages,
+                policy.quota(1).soft_pages
+            )
+        }
+    );
+    println!(
+        "{:<18} {:>16} {:>10} {:>16} {:>8} {:>10}",
+        "run", "cycles", "faults", "channel wait", "shed", "res p50/99"
+    );
+    for (name, r) in [
+        ("victim (solo)", &solo),
+        ("victim", v),
+        (&format!("aggressor ({})", aggressor.name()) as &str, a),
+    ] {
+        println!(
+            "{:<18} {:>16} {:>10} {:>16} {:>8} {:>5}/{:<5}",
+            name,
+            r.total_cycles.raw(),
+            r.faults,
+            r.channel_wait_cycles.raw(),
+            r.preloads_shed,
+            r.residency_p50,
+            r.residency_p99,
+        );
+    }
+    let slowdown = v.total_cycles.raw() as f64 / solo.total_cycles.raw().max(1) as f64;
+    let wait_delta = v.channel_wait_cycles.raw() as i128 - solo.channel_wait_cycles.raw() as i128;
+    println!("victim slowdown {slowdown:.3}x; channel-wait delta {wait_delta:+} cycles");
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"scheme\":\"{}\",\"policy_active\":{},\"victim_slowdown\":{:.6},\"victim_solo\":",
+        scheme.name(),
+        !policy.is_none(),
+        slowdown
+    ));
+    solo.write_json(&mut json);
+    json.push_str(",\"victim\":");
+    v.write_json(&mut json);
+    json.push_str(",\"aggressor\":");
+    a.write_json(&mut json);
+    json.push_str(&format!(
+        ",\"wall_nanos\":{}}}",
+        t0.elapsed().as_nanos() as u64
+    ));
+    write_json_out(args, &json)?;
+    Ok(())
+}
+
 fn cmd_timeline(args: &Args) -> Result<(), String> {
     let cfg = args.config()?;
     let bench = args.bench()?;
@@ -787,6 +924,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(&args),
         "timeline" => cmd_timeline(&args),
         "chaos" => cmd_chaos(&args),
+        "contend" => cmd_contend(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

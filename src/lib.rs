@@ -68,9 +68,10 @@ pub use sgx_kernel::{
     TraceHistograms, TraceSink,
 };
 pub use sgx_preload_core::{
-    build_plan, derive_cell_seed, effective_jobs, run_userspace_paging, AppSpec, Campaign,
-    CampaignReport, Cell, CellReport, ChaosSchedule, ChaosStats, EventCounts, FaultInjector,
-    RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun, UserPagingConfig,
+    build_plan, derive_cell_seed, effective_jobs, run_userspace_paging, AppSpec, AppSpecBuilder,
+    Campaign, CampaignReport, Cell, CellReport, ChaosPreset, ChaosSchedule, ChaosStats,
+    EventCounts, FaultInjector, RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun,
+    SpecError, TenantPolicy, TenantQuota, TenantShare, TenantStats, UserPagingConfig, MAX_TENANTS,
 };
 pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{

@@ -179,6 +179,126 @@ fn campaign_trace_dir_streams_one_jsonl_file_per_cell() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Per-enclave telemetry is reconstructible from the event stream alone:
+/// on a 3-enclave contention run — with and without chaos — partitioning
+/// the stream by ELRANGE owner and tallying [`EventCounts`] per enclave
+/// reproduces the kernel's own per-tenant counters exactly. Faults, demand
+/// loads and aborts attribute to the faulting enclave; preload starts,
+/// completions and evictions to the page's owner — both reduce to the
+/// page's ELRANGE because tenant mode scopes demand aborts to the
+/// faulter's queue.
+#[test]
+fn per_enclave_event_counts_match_tenant_stats_under_contention_and_chaos() {
+    use sgx_preloading::kernel::{Kernel, KernelConfig};
+    use sgx_preloading::{
+        ChaosSchedule, EventCounts, InputSet, MultiStreamPredictor, ProcessId, StreamConfig,
+        TenantPolicy,
+    };
+
+    // Consecutive ELRANGEs are 2^24 pages apart, so an event's enclave is
+    // its page's high bits (the same rule `Epc::owner_of` applies).
+    const STRIDE_SHIFT: u32 = 24;
+
+    let c = cfg();
+    for chaos in [None, Some(ChaosSchedule::light(17))] {
+        let mut kcfg = KernelConfig::new(c.epc_pages).with_costs(c.costs);
+        kcfg.chaos = chaos;
+        kcfg.tenant = Some(TenantPolicy::fair(3, c.epc_pages).with_per_enclave_valves(true));
+        let mut k = Kernel::new(
+            kcfg,
+            Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
+        );
+        let (sink, events) = CollectingSink::new();
+        k.subscribe(Box::new(sink));
+
+        let pids = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        for pid in pids {
+            k.register_enclave(pid, Benchmark::Lbm.elrange_pages(c.scale))
+                .unwrap();
+        }
+        // The same min-next-instant interleave the SimRun engine uses.
+        let mut streams: Vec<_> = (0..3u64)
+            .map(|i| Benchmark::Lbm.build(InputSet::Ref, c.scale, c.seed + i))
+            .collect();
+        let mut clocks = [Cycles::ZERO; 3];
+        let mut pending: Vec<_> = streams.iter_mut().map(|s| s.next()).collect();
+        while let Some(i) = (0..3)
+            .filter(|&i| pending[i].is_some())
+            .min_by_key(|&i| clocks[i] + pending[i].as_ref().unwrap().compute)
+        {
+            let a = pending[i].take().unwrap();
+            let now = clocks[i] + a.compute;
+            clocks[i] = match k.app_access(now, pids[i], a.page) {
+                Some(_) => now,
+                None => k.page_fault(now, pids[i], a.page).resume_at,
+            };
+            pending[i] = streams[i].next();
+        }
+
+        let mut per = vec![EventCounts::default(); 3];
+        for e in events.borrow().iter() {
+            let page = e.page.expect("every event of a DFP run names a page");
+            per[(page.raw() >> STRIDE_SHIFT) as usize].record(e);
+        }
+        for (i, counts) in per.iter().enumerate() {
+            let ts = k.tenant_stats(i);
+            let ctx = format!("enclave {i}, chaos={}", chaos.is_some());
+            assert!(counts.faults > 0, "{ctx}: contention faults");
+            assert_eq!(counts.faults, ts.faults, "{ctx}: faults");
+            assert_eq!(counts.faults_resolved, ts.faults, "{ctx}: resolutions");
+            assert_eq!(counts.demand_loads, ts.demand_loads, "{ctx}: demand loads");
+            assert_eq!(counts.preload_starts, ts.preload_starts, "{ctx}: starts");
+            assert_eq!(counts.preload_dones, ts.preload_dones, "{ctx}: dones");
+            assert_eq!(counts.preload_aborts, ts.preload_aborts, "{ctx}: aborts");
+            assert_eq!(
+                counts.background_evictions, ts.background_evictions,
+                "{ctx}: background evictions"
+            );
+            assert_eq!(
+                counts.foreground_evictions, ts.foreground_evictions,
+                "{ctx}: foreground evictions"
+            );
+        }
+    }
+}
+
+/// The same partition rule ties the stream to the public [`SimRun`]
+/// surface: per-enclave fault tallies match each app's report, and the
+/// per-enclave preload starts sum to the kernel-global counter.
+#[test]
+fn stream_partition_agrees_with_per_app_reports_on_contention() {
+    use sgx_preloading::{AppSpec, EventCounts, InputSet, TenantPolicy};
+    let c = cfg().with_tenant_policy(TenantPolicy::fair(3, cfg().epc_pages));
+    let mk = |i: u64| {
+        AppSpec::new(
+            format!("lbm#{i}"),
+            Benchmark::Lbm.elrange_pages(c.scale),
+            Benchmark::Lbm.build(InputSet::Ref, c.scale, c.seed + i),
+        )
+        .build()
+        .unwrap()
+    };
+    let (sink, events) = CollectingSink::new();
+    let reports = SimRun::new(&c)
+        .scheme(Scheme::Dfp)
+        .apps(vec![mk(0), mk(1), mk(2)])
+        .sink(Box::new(sink))
+        .run()
+        .unwrap();
+    let mut per = vec![EventCounts::default(); 3];
+    for e in events.borrow().iter() {
+        if let Some(page) = e.page {
+            per[(page.raw() >> 24) as usize].record(e);
+        }
+    }
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(per[i].faults, r.faults, "app {i}: faults");
+        assert_eq!(per[i].faults_resolved, r.faults, "app {i}: resolutions");
+    }
+    let started: u64 = per.iter().map(|c| c.preload_starts).sum();
+    assert_eq!(started, reports[0].preloads_started, "global preload tally");
+}
+
 /// The JSONL writer and the tail ring agree with the collecting sink on
 /// the same run.
 #[test]
