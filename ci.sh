@@ -33,6 +33,35 @@ mkdir -p results
 ./target/release/sgx-preload contend --scale 32 --scheme dfp \
   --json-out results/BENCH_contention.json >/dev/null
 
+echo "==> timeline smoke"
+# The causal-span pipeline end to end: the release CLI replays a run with
+# span lineage, checks the invariants (parents resolve, one terminal
+# run-end, attribution buckets sum to the total), and writes the chrome
+# trace + gauge series + summary JSON with wall-clock and span counts.
+mkdir -p results
+./target/release/sgx-preload timeline --bench microbenchmark --scheme dfp \
+  --scale 48 -n 0 --attr \
+  --chrome-out results/BENCH_timeline.chrome.json \
+  --series-out results/BENCH_timeline.series.csv \
+  --json-out results/BENCH_timeline.json >/dev/null
+# The exported chrome trace must be valid JSON and the summary must report
+# a reconciled attribution with zero violations.
+python3 - <<'EOF'
+import json
+with open("results/BENCH_timeline.chrome.json") as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "empty chrome trace"
+with open("results/BENCH_timeline.json") as f:
+    summary = json.load(f)
+assert summary["reconciles"] is True, summary
+assert summary["violations"] == [], summary
+assert summary["run_ends"] == 1, summary
+attr = summary["attribution"]
+assert sum(attr.values()) == summary["total_cycles"], attr
+print(f"timeline OK: {summary['events']} events, {summary['spans']} spans, "
+      f"{len(trace['traceEvents'])} chrome entries")
+EOF
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 

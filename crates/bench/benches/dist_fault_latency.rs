@@ -38,7 +38,9 @@ fn main() {
         "fault service-time percentiles (cycles)",
         "§2: demand fault ≈64k cycles; preloading moves p50 toward the resident path",
     );
-    summary.columns(vec!["faults", "mean", "p50", "p90", "p99", "max"]);
+    summary.columns(vec![
+        "faults", "mean", "p50", "p90", "p99", "max", "drain ns",
+    ]);
 
     let mut dist = ResultTable::new(
         "dist_fault_latency_buckets",
@@ -47,18 +49,34 @@ fn main() {
     );
     dist.columns(BUCKETS.iter().map(|b| format!(">={b}")).collect());
 
+    // One sink for the whole grid: the histogram arrays are allocated once
+    // and reset between cells, so the loop never pays construction cost.
+    // Clones share the underlying histograms.
+    let (sink, hist) = HistogramSink::new();
     for bench in benches {
         for scheme in schemes {
-            let (sink, hist) = HistogramSink::new();
             let r = SimRun::new(&cfg)
                 .scheme(scheme)
                 .bench(bench)
-                .sink(Box::new(sink))
+                .sink(Box::new(sink.clone()))
                 .run_one()
                 .expect("kernel scheme on a known benchmark");
             let label = format!("{}/{}", bench.name(), scheme.name());
-            let h = hist.borrow();
-            let s = h.fault_service.summary();
+            let drain0 = std::time::Instant::now();
+            let (s, counts) = {
+                let h = hist.borrow();
+                let s = h.fault_service.summary();
+                let mut counts = vec![0u64; BUCKETS.len()];
+                for (lo, n) in h.fault_service.nonzero_buckets() {
+                    // Everything below the table's range lands in the first
+                    // column, everything above in the last.
+                    let idx = BUCKETS.iter().rposition(|&b| b <= lo).unwrap_or(0);
+                    counts[idx] += n;
+                }
+                (s, counts)
+            };
+            hist.borrow_mut().reset();
+            let drain_ns = drain0.elapsed().as_nanos() as u64;
             summary.row(
                 label.clone(),
                 vec![
@@ -68,15 +86,9 @@ fn main() {
                     s.p90.raw().to_string(),
                     s.p99.raw().to_string(),
                     s.max.raw().to_string(),
+                    drain_ns.to_string(),
                 ],
             );
-            let mut counts = vec![0u64; BUCKETS.len()];
-            for (lo, n) in h.fault_service.nonzero_buckets() {
-                // Everything below the table's range lands in the first
-                // column, everything above in the last.
-                let idx = BUCKETS.iter().rposition(|&b| b <= lo).unwrap_or(0);
-                counts[idx] += n;
-            }
             dist.row(label, counts.iter().map(u64::to_string).collect());
             assert_eq!(s.count, r.faults, "every fault resolves exactly once");
         }

@@ -27,21 +27,27 @@ fn main() {
         "DFP preloads land just ahead of a sequential walk: small leads, high hit counts",
     );
     t.columns(vec![
-        "hits", "lead p50", "lead p90", "lead p99", "streams", "len p50", "len p99",
+        "hits", "lead p50", "lead p90", "lead p99", "streams", "len p50", "len p99", "drain ns",
     ]);
 
+    // One sink for the whole grid, reset between cells — construction cost
+    // stays out of the measured loop (clones share the histograms).
+    let (sink, hist) = HistogramSink::new();
     for bench in benches {
         for scheme in schemes {
-            let (sink, hist) = HistogramSink::new();
             let r = SimRun::new(&cfg)
                 .scheme(scheme)
                 .bench(bench)
-                .sink(Box::new(sink))
+                .sink(Box::new(sink.clone()))
                 .run_one()
                 .expect("kernel scheme on a known benchmark");
-            let h = hist.borrow();
-            let lead = h.preload_lead.summary();
-            let len = h.stream_len.summary();
+            let drain0 = std::time::Instant::now();
+            let (lead, len) = {
+                let h = hist.borrow();
+                (h.preload_lead.summary(), h.stream_len.summary())
+            };
+            hist.borrow_mut().reset();
+            let drain_ns = drain0.elapsed().as_nanos() as u64;
             t.row(
                 format!("{}/{}", bench.name(), scheme.name()),
                 vec![
@@ -52,6 +58,7 @@ fn main() {
                     len.count.to_string(),
                     len.p50.raw().to_string(),
                     len.p99.raw().to_string(),
+                    drain_ns.to_string(),
                 ],
             );
             assert!(

@@ -53,7 +53,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use sgx_kernel::{
-    ChaosSchedule, CountingSink, EventCounts, JsonlWriterSink, TenantPolicy, TraceSink,
+    ChaosSchedule, ChromeTraceSink, CountingSink, EventCounts, JsonlWriterSink, SeriesFormat,
+    TenantPolicy, TimeSeriesSink, TraceSink,
 };
 use sgx_workloads::Benchmark;
 
@@ -142,6 +143,7 @@ pub struct Campaign {
     pub seed: u64,
     seed_mode: SeedMode,
     trace_dir: Option<PathBuf>,
+    timeline_dir: Option<PathBuf>,
     cells: Vec<Cell>,
 }
 
@@ -153,6 +155,7 @@ impl Campaign {
             seed,
             seed_mode: SeedMode::PerCell,
             trace_dir: None,
+            timeline_dir: None,
             cells: Vec::new(),
         }
     }
@@ -249,6 +252,18 @@ impl Campaign {
         self
     }
 
+    /// Writes per-cell timeline artifacts into `dir`: a perfetto-loadable
+    /// Chrome trace (`<index>_<label>.chrome.json`) and a gauge time
+    /// series (`<index>_<label>.series.csv`). Cells whose config leaves
+    /// [`SimConfig::series_interval`] at `0` sample every
+    /// [`DEFAULT_TIMELINE_SERIES_INTERVAL`] cycles so the series is never
+    /// empty. Like tracing, timelines never affect measured results or
+    /// canonical JSON.
+    pub fn with_timeline_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.timeline_dir = Some(dir.into());
+        self
+    }
+
     /// Appends a cell.
     pub fn push(&mut self, cell: Cell) -> &mut Self {
         self.cells.push(cell);
@@ -291,7 +306,15 @@ impl Campaign {
             .cells
             .iter()
             .enumerate()
-            .map(|(i, cell)| run_cell(cell, i, self.cell_seed(i), self.trace_dir.as_deref()))
+            .map(|(i, cell)| {
+                run_cell(
+                    cell,
+                    i,
+                    self.cell_seed(i),
+                    self.trace_dir.as_deref(),
+                    self.timeline_dir.as_deref(),
+                )
+            })
             .collect();
         self.assemble(cells, 1, t0)
     }
@@ -326,6 +349,7 @@ impl Campaign {
                         i,
                         campaign.cell_seed(i),
                         campaign.trace_dir.as_deref(),
+                        campaign.timeline_dir.as_deref(),
                     );
                     *slots[i].lock().expect("result slot poisoned") = Some(report);
                 });
@@ -416,10 +440,43 @@ fn open_cell_trace(
     }
 }
 
+/// The gauge-sampling interval (cycles) timeline cells fall back to when
+/// their config leaves [`SimConfig::series_interval`] unset.
+pub const DEFAULT_TIMELINE_SERIES_INTERVAL: u64 = 100_000;
+
+/// Opens the per-cell timeline sinks (Chrome trace + gauge series), or
+/// explains why it could not.
+fn open_cell_timeline(dir: &Path, index: usize, label: &str) -> Vec<Box<dyn TraceSink>> {
+    let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create timeline dir {}: {e}", dir.display());
+        return sinks;
+    }
+    let base = format!("{:03}_{}", index, sanitize_label(label));
+    match ChromeTraceSink::create(dir.join(format!("{base}.chrome.json"))) {
+        Ok(sink) => sinks.push(Box::new(sink)),
+        Err(e) => eprintln!("warning: cell {label} has no chrome trace: {e}"),
+    }
+    match TimeSeriesSink::create(dir.join(format!("{base}.series.csv")), SeriesFormat::Csv) {
+        Ok(sink) => sinks.push(Box::new(sink)),
+        Err(e) => eprintln!("warning: cell {label} has no gauge series: {e}"),
+    }
+    sinks
+}
+
 /// Executes one cell: profiling (when SIP is armed), the measurement run,
 /// and telemetry collection.
-fn run_cell(cell: &Cell, index: usize, seed: u64, trace_dir: Option<&Path>) -> CellReport {
-    let cfg = cell.cfg.with_seed(seed);
+fn run_cell(
+    cell: &Cell,
+    index: usize,
+    seed: u64,
+    trace_dir: Option<&Path>,
+    timeline_dir: Option<&Path>,
+) -> CellReport {
+    let mut cfg = cell.cfg.with_seed(seed);
+    if timeline_dir.is_some() && cfg.series_interval == 0 {
+        cfg = cfg.with_series_interval(DEFAULT_TIMELINE_SERIES_INTERVAL);
+    }
     let t0 = Instant::now();
     let (counting, counts) = CountingSink::new();
     let mut run = SimRun::new(&cfg)
@@ -429,6 +486,11 @@ fn run_cell(cell: &Cell, index: usize, seed: u64, trace_dir: Option<&Path>) -> C
     if let Some(dir) = trace_dir {
         if let Some(sink) = open_cell_trace(dir, index, &cell.label) {
             run = run.sink(Box::new(sink) as Box<dyn TraceSink>);
+        }
+    }
+    if let Some(dir) = timeline_dir {
+        for sink in open_cell_timeline(dir, index, &cell.label) {
+            run = run.sink(sink);
         }
     }
     // A user-level cell bypasses the kernel, so its sinks see no events

@@ -55,6 +55,9 @@ pub struct SimConfig {
     /// behaviour, bit-identically; per-enclave telemetry is collected
     /// either way.
     pub tenant: TenantPolicy,
+    /// Gauge-sampling interval in simulated cycles for subscribed trace
+    /// sinks (`0`, the default, disables sampling entirely).
+    pub series_interval: u64,
 }
 
 impl SimConfig {
@@ -81,6 +84,7 @@ impl SimConfig {
             seed: 42,
             chaos: ChaosSchedule::none(),
             tenant: TenantPolicy::none(),
+            series_interval: 0,
         }
     }
 
@@ -149,6 +153,14 @@ impl SimConfig {
         self.tenant = tenant;
         self
     }
+
+    /// Samples kernel gauges every `every` simulated cycles into subscribed
+    /// trace sinks (see `TimeSeriesSink`). `0` disables sampling; with no
+    /// sinks attached the interval has no observable effect.
+    pub fn with_series_interval(mut self, every: u64) -> Self {
+        self.series_interval = every;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +202,14 @@ mod tests {
         assert!(!c.chaos.is_none());
         assert_eq!(c.chaos.seed, 9);
         assert_eq!(c.seed, 42, "workload seed untouched by chaos");
+    }
+
+    #[test]
+    fn series_interval_defaults_off_and_overrides() {
+        let c = SimConfig::at_scale(Scale::DEV);
+        assert_eq!(c.series_interval, 0);
+        let c = c.with_series_interval(50_000);
+        assert_eq!(c.series_interval, 50_000);
     }
 
     #[test]

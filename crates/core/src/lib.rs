@@ -46,15 +46,16 @@ mod userspace;
 
 pub use campaign::{
     derive_cell_seed, effective_jobs, Campaign, CampaignReport, Cell, CellReport, SeedMode,
-    JOBS_ENV,
+    DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
 };
 pub use config::SimConfig;
 pub use report::RunReport;
 pub use scheme::{ParseSchemeError, Scheme};
 pub use sgx_epc::TenantQuota;
 pub use sgx_kernel::{
-    ChaosPreset, ChaosSchedule, ChaosStats, EventCounts, FaultInjector, ParseChaosPresetError,
-    TenantPolicy, TenantShare, TenantStats, MAX_TENANTS,
+    render_chrome_trace, ChaosPreset, ChaosSchedule, ChaosStats, ChromeTraceSink, CycleAttribution,
+    EventCounts, FaultInjector, GaugeSample, ParseChaosPresetError, SeriesFormat, SpanId,
+    TenantPolicy, TenantShare, TenantStats, TimeSeriesSink, MAX_TENANTS,
 };
 pub use simrun::{SimError, SimRun};
 pub use simulator::{build_plan, AppSpec, AppSpecBuilder, SpecError};

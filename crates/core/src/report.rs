@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use sgx_kernel::CycleAttribution;
 use sgx_sim::Cycles;
 
 use crate::Scheme;
@@ -107,6 +108,11 @@ pub struct RunReport {
     pub residency_p50: u64,
     /// 99th-percentile EPC residency (pages) at this application's faults.
     pub residency_p99: u64,
+    /// Per-subsystem cycle attribution: the run's `total_cycles` split into
+    /// named buckets (`sum(buckets) == total_cycles`). In multi-app runs
+    /// the whole-kernel overhead is clipped against this application's own
+    /// total.
+    pub attribution: CycleAttribution,
 }
 
 impl RunReport {
@@ -205,12 +211,14 @@ impl RunReport {
         ));
         out.push_str(&format!(
             "{},\"preloads_shed\":{},\"residency_p50\":{},\"residency_p99\":{},\
-             \"preload_accuracy\":",
+             \"attribution\":",
             self.channel_wait_cycles.raw(),
             self.preloads_shed,
             self.residency_p50,
             self.residency_p99,
         ));
+        self.attribution.write_json(out);
+        out.push_str(",\"preload_accuracy\":");
         push_json_f64(out, self.preload_accuracy());
         out.push_str(",\"faults_per_kilo_access\":");
         push_json_f64(out, self.faults_per_kilo_access());
@@ -266,11 +274,12 @@ impl fmt::Display for RunReport {
                 None => String::new(),
             }
         )?;
-        write!(
+        writeln!(
             f,
             "  tenancy: channel wait={} shed={} residency p50/p99={}/{}",
             self.channel_wait_cycles, self.preloads_shed, self.residency_p50, self.residency_p99
-        )
+        )?;
+        write!(f, "  cycles: {}", self.attribution)
     }
 }
 
@@ -312,6 +321,12 @@ mod tests {
             preloads_shed: 3,
             residency_p50: 40,
             residency_p99: 60,
+            attribution: CycleAttribution {
+                app_compute: cycles.saturating_sub(200),
+                demand_fault: 100,
+                aex_eresume: 100,
+                ..CycleAttribution::default()
+            },
         }
     }
 
@@ -401,6 +416,15 @@ mod tests {
         assert!(s.contains("\"fault_service_p99\":65536"));
         assert!(s.contains("\"preload_lead_mean\":1200"));
         assert!(s.contains("\"preload_lead_p90\":2048"));
+    }
+
+    #[test]
+    fn json_carries_attribution_object() {
+        let mut s = String::new();
+        report(1_000).write_json(&mut s);
+        assert!(s.contains("\"attribution\":{\"app_compute\":800,\"demand_fault\":100,"));
+        assert!(s.contains("\"eviction\":0},\"preload_accuracy\":"));
+        assert!(report(1_000).to_string().contains("cycles: compute"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId};
-use sgx_kernel::{Kernel, KernelConfig, KernelError, TraceSink};
+use sgx_kernel::{CycleAttribution, Kernel, KernelConfig, KernelError, TraceSink};
 use sgx_sim::Cycles;
 use sgx_sip::{profile_stream, InstrumentationPlan};
 use sgx_workloads::{AccessIter, Benchmark, InputSet};
@@ -191,7 +191,9 @@ fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelError> {
     if !cfg.tenant.is_none() {
         kcfg.tenant = Some(cfg.tenant);
     }
-    Kernel::try_new(kcfg, make_predictor(cfg, scheme))
+    let mut kernel = Kernel::try_new(kcfg, make_predictor(cfg, scheme))?;
+    kernel.set_sample_interval(cfg.series_interval);
+    Ok(kernel)
 }
 
 struct AppState {
@@ -316,6 +318,10 @@ pub(crate) fn run_kernel_apps(
         .map(|s| s.now)
         .max()
         .expect("at least one app");
+    // Closes the event stream: terminal RunEnd marker plus a final gauge
+    // sample. Deliberately does not advance the channel — trailing
+    // in-flight work stays unaccounted, exactly as before spans existed.
+    kernel.finish(end);
     let ks = kernel.stats().clone();
     let epc = kernel.epc();
     let (touched, wasted) = (epc.preloads_touched(), epc.preloads_evicted_untouched());
@@ -375,6 +381,7 @@ pub(crate) fn run_kernel_apps(
             preloads_shed: shed,
             residency_p50: res_p50,
             residency_p99: res_p99,
+            attribution: kernel.attribution(s.now),
         })
         .collect())
 }
@@ -454,6 +461,12 @@ pub(crate) fn run_outside_model(
         preloads_shed: 0,
         residency_p50: 0,
         residency_p99: 0,
+        // Outside the enclave there is no paging machinery: the regular
+        // first-touch faults are part of ordinary execution.
+        attribution: CycleAttribution {
+            app_compute: now.raw(),
+            ..CycleAttribution::default()
+        },
     }
 }
 

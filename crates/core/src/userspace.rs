@@ -180,6 +180,16 @@ pub fn run_userspace_paging(
         preloads_shed: 0,
         residency_p50: 0,
         residency_p99: 0,
+        // The runtime's swaps are its only paging overhead; the per-access
+        // checks are instrumentation compiled into the application.
+        attribution: {
+            let swaps = misses * cfg.swap_in.raw() + swap_outs * cfg.swap_out.raw();
+            sgx_kernel::CycleAttribution {
+                app_compute: now.raw().saturating_sub(swaps),
+                demand_fault: swaps.min(now.raw()),
+                ..Default::default()
+            }
+        },
     }
 }
 

@@ -64,6 +64,12 @@ pub trait Predictor {
 
     /// Clears learned state (used between profiling and measurement runs).
     fn reset(&mut self);
+
+    /// Prediction streams currently tracked, as a sampling gauge. The
+    /// default (`0`) suits stateless predictors.
+    fn live_streams(&self) -> u64 {
+        0
+    }
 }
 
 /// The no-op predictor: the paper's baseline execution without preloading.

@@ -314,6 +314,10 @@ impl Predictor for MultiStreamPredictor {
     fn reset(&mut self) {
         self.per_process.clear();
     }
+
+    fn live_streams(&self) -> u64 {
+        self.per_process.values().map(|l| l.len() as u64).sum()
+    }
 }
 
 #[cfg(test)]

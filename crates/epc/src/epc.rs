@@ -145,6 +145,9 @@ pub struct Epc {
     preloads_completed: u64,
     preloads_touched: u64,
     preloads_evicted_untouched: u64,
+    /// Cumulative replacement-policy scan steps across every eviction
+    /// (the gauge behind time-series sampling).
+    scanned_total: u64,
     /// Registered tenant extents, in registration order. Empty for the
     /// single-tenant/unpartitioned configurations, where every tenant path
     /// below is a no-op.
@@ -175,6 +178,7 @@ impl Epc {
             preloads_completed: 0,
             preloads_touched: 0,
             preloads_evicted_untouched: 0,
+            scanned_total: 0,
             extents: Vec::new(),
         }
     }
@@ -286,6 +290,7 @@ impl Epc {
     /// Removes an already-chosen victim from the residency map and settles
     /// the accounting shared by every eviction path.
     fn finish_eviction(&mut self, page: VirtPage, scanned: u64) -> Eviction {
+        self.scanned_total += scanned;
         let meta = self
             .resident
             .remove(&page)
@@ -477,6 +482,18 @@ impl Epc {
     /// mispredictions.
     pub fn preloads_evicted_untouched(&self) -> u64 {
         self.preloads_evicted_untouched
+    }
+
+    /// Cumulative replacement-policy scan steps across every eviction so
+    /// far (a monotone gauge for time-series sampling).
+    pub fn scan_steps_total(&self) -> u64 {
+        self.scanned_total
+    }
+
+    /// Resident page counts per registered tenant extent, in registration
+    /// order (empty when no extents are registered).
+    pub fn residency_snapshot(&self) -> Vec<u64> {
+        self.extents.iter().map(|e| e.resident).collect()
     }
 
     /// All resident pages, ascending (the service thread's page-table view).

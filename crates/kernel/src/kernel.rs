@@ -23,8 +23,10 @@ use sgx_dfp::{AbortPolicy, AbortValve, Prediction, Predictor, ProcessId};
 use sgx_epc::{CostModel, Epc, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage};
 use sgx_sim::{Cycles, Histogram};
 
+use crate::span::SpanAlloc;
 use crate::{
-    ChaosSchedule, ChaosStats, FaultInjector, PreloadQueue, TenantPolicy, TenantStats, Watermarks,
+    ChaosSchedule, ChaosStats, CycleAttribution, FaultInjector, GaugeSample, PreloadQueue, SpanId,
+    TenantPolicy, TenantStats, Watermarks,
 };
 
 /// Virtual-page gap between consecutive enclaves' ELRANGEs, so that no
@@ -172,9 +174,17 @@ pub struct LoggedEvent {
     /// A kind-specific metric payload: service cycles for
     /// [`EventKind::FaultResolved`], lead cycles for
     /// [`EventKind::PreloadHit`], scan length for the eviction kinds,
-    /// stream length for [`EventKind::StreamPredicted`], and dropped-page
-    /// count for the abort kinds.
+    /// stream length for [`EventKind::StreamPredicted`], dropped-page
+    /// count for the abort kinds, and total run cycles for
+    /// [`EventKind::RunEnd`].
     pub value: Option<u64>,
+    /// This event's causal span. Open/close pairs share one id (a `Fault`
+    /// and its `FaultResolved`; a `PreloadStart`/`SipPrefetchStart` and
+    /// its `PreloadDone`); every other event gets a fresh id.
+    pub span: SpanId,
+    /// The span this event was caused by, per the table in
+    /// [`crate::span`]; `None` for autonomous events.
+    pub parent: Option<SpanId>,
 }
 
 /// Event kinds streamed to trace sinks.
@@ -213,6 +223,10 @@ pub enum EventKind {
     /// The DFP emitted a non-empty prediction; `value` is the number of
     /// predicted pages.
     StreamPredicted,
+    /// The run ended; `value` is the run's total cycles. Emitted exactly
+    /// once, by [`Kernel::finish`], so stream consumers can tell a
+    /// truncated trace from a complete one.
+    RunEnd,
 }
 
 impl std::fmt::Display for EventKind {
@@ -231,6 +245,7 @@ impl std::fmt::Display for EventKind {
             EventKind::FaultResolved => "fault-resolved",
             EventKind::PreloadHit => "preload-hit",
             EventKind::StreamPredicted => "stream-predicted",
+            EventKind::RunEnd => "run-end",
         };
         f.write_str(s)
     }
@@ -352,6 +367,17 @@ enum Job {
 struct InFlight {
     job: Job,
     done_at: Cycles,
+    /// The span opened at job start (its completion event closes it).
+    span: SpanId,
+    /// The prediction-batch span that queued this load, if any.
+    parent: Option<SpanId>,
+    /// Channel cycles attributable to this job as *background* work:
+    /// starts at the job's cost and is reduced by any overlap with app
+    /// stalls (those cycles are already billed to the stall buckets).
+    billed: u64,
+    /// The chaos scan-stall portion of an eviction's cost, so the billed
+    /// remainder splits between `clock_scan` and `eviction`.
+    scan_extra: u64,
 }
 
 impl InFlight {
@@ -387,6 +413,28 @@ struct TenantRt {
 struct RetryEntry {
     not_before: Cycles,
     page: VirtPage,
+}
+
+/// A background load's completed-but-untouched residue: the span that
+/// staged the page (fault lineage) and its billed channel cost, moved to
+/// `preload_work` on first touch or `wasted_preload` on eviction/run end.
+#[derive(Debug, Clone, Copy)]
+struct Staged {
+    span: SpanId,
+    cost: u64,
+}
+
+/// Running overhead-cycle ledger; [`Kernel::attribution`] turns it into a
+/// [`crate::CycleAttribution`] with `app_compute` as the residual.
+#[derive(Debug, Default, Clone, Copy)]
+struct AttrLedger {
+    demand_fault: u64,
+    aex_eresume: u64,
+    channel_wait: u64,
+    preload_work: u64,
+    wasted_preload: u64,
+    clock_scan: u64,
+    eviction: u64,
 }
 
 /// The untrusted operating system: SGX driver, reclaimer, preload worker.
@@ -470,6 +518,27 @@ pub struct Kernel {
     chaos_reserved_pages: u64,
     /// When the active chaos pressure spike ends.
     chaos_reserved_until: Cycles,
+    /// Monotonic span-id allocator; ids are assigned whether or not any
+    /// sink is subscribed, so observation never perturbs a run.
+    spans: SpanAlloc,
+    /// Completed background loads not yet touched, keyed by page.
+    staged: BTreeMap<VirtPage, Staged>,
+    /// Queued preload page → the prediction-batch span that queued it.
+    batch_of: BTreeMap<VirtPage, SpanId>,
+    /// Overhead-cycle ledger behind [`Kernel::attribution`].
+    attr: AttrLedger,
+    /// Start of the app stall currently being serviced, if any; channel
+    /// completions inside it deduct the overlap from their billed cost.
+    stall_from: Option<Cycles>,
+    /// The previous app-stall window; channel jobs lazily dispatched into
+    /// it deduct the overlap at dispatch.
+    last_stall: Option<(Cycles, Cycles)>,
+    /// Whether [`Kernel::finish`] already emitted the terminal event.
+    finished: bool,
+    /// Gauge-sampling interval in cycles (0 = off, the default).
+    sample_every: u64,
+    /// When the last gauge sample was emitted.
+    last_sample_at: Cycles,
     stats: KernelStats,
 }
 
@@ -539,6 +608,15 @@ impl Kernel {
             retry_attempts: BTreeMap::new(),
             chaos_reserved_pages: 0,
             chaos_reserved_until: Cycles::ZERO,
+            spans: SpanAlloc::default(),
+            staged: BTreeMap::new(),
+            batch_of: BTreeMap::new(),
+            attr: AttrLedger::default(),
+            stall_from: None,
+            last_stall: None,
+            finished: false,
+            sample_every: 0,
+            last_sample_at: Cycles::ZERO,
             stats: KernelStats::new(),
         }
     }
@@ -763,14 +841,15 @@ impl Kernel {
         None
     }
 
-    /// Drops queued preloads on a demand fault. With the tenant policy
-    /// active only the *faulting* enclave's queue is cleared — one
-    /// tenant's miss no longer cancels another's pipeline.
-    fn abort_preloads_for(&mut self, ten: usize) -> u64 {
+    /// Drops queued preloads on a demand fault, returning the dropped
+    /// pages (for batch-span lineage). With the tenant policy active only
+    /// the *faulting* enclave's queue is cleared — one tenant's miss no
+    /// longer cancels another's pipeline.
+    fn abort_preloads_for(&mut self, ten: usize) -> Vec<VirtPage> {
         if self.tenant_active {
-            self.per_q[ten].abort()
+            self.per_q[ten].abort_pages()
         } else {
-            self.preload_q.abort()
+            self.preload_q.abort_pages()
         }
     }
 
@@ -781,21 +860,50 @@ impl Kernel {
     }
 
     /// Applies the state change of a completed channel job and frees the
-    /// channel at its completion time.
-    fn apply_completion(&mut self, f: InFlight) {
+    /// channel at its completion time. When the completion lands inside an
+    /// app stall (`stall_from` set), the overlap is deducted from the
+    /// job's billed background cost — those cycles are already billed to
+    /// the stall buckets.
+    fn apply_completion(&mut self, mut f: InFlight) {
         self.channel_free_at = f.done_at;
-        if let Job::Load { page, origin } = f.job {
-            self.epc
-                .insert(page, origin)
-                .expect("background load started with a free slot reserved");
-            self.set_bitmap(page, true);
-            if matches!(origin, LoadOrigin::Preload) {
-                self.preload_done_at.insert(page, f.done_at);
+        if let Some(s) = self.stall_from {
+            if f.done_at > s {
+                f.billed -= f.billed.min(f.done_at.raw() - s.raw());
             }
-            if let Some(t) = self.epc.owner_of(page) {
-                self.tenants[t].stats.preload_dones += 1;
+        }
+        match f.job {
+            Job::Load { page, origin } => {
+                self.epc
+                    .insert(page, origin)
+                    .expect("background load started with a free slot reserved");
+                self.set_bitmap(page, true);
+                if matches!(origin, LoadOrigin::Preload) {
+                    self.preload_done_at.insert(page, f.done_at);
+                }
+                if let Some(t) = self.epc.owner_of(page) {
+                    self.tenants[t].stats.preload_dones += 1;
+                }
+                self.staged.insert(
+                    page,
+                    Staged {
+                        span: f.span,
+                        cost: f.billed,
+                    },
+                );
+                self.log(
+                    f.done_at,
+                    EventKind::PreloadDone,
+                    Some(page),
+                    None,
+                    f.span,
+                    f.parent,
+                );
             }
-            self.log(f.done_at, EventKind::PreloadDone, Some(page), None);
+            Job::Evict => {
+                let scan = f.billed.min(f.scan_extra);
+                self.attr.clock_scan += scan;
+                self.attr.eviction += f.billed - scan;
+            }
         }
     }
 
@@ -803,6 +911,10 @@ impl Kernel {
     fn note_eviction(&mut self, ev: &sgx_epc::Eviction) {
         self.set_bitmap(ev.page, false);
         self.preload_done_at.remove(&ev.page);
+        // A staged page evicted before its first touch was wasted work.
+        if let Some(s) = self.staged.remove(&ev.page) {
+            self.attr.wasted_preload += s.cost;
+        }
         self.stats.evict_scan.record(Cycles::new(ev.scanned));
     }
 
@@ -825,11 +937,25 @@ impl Kernel {
     /// DFP-preloaded page. `at` is the access instant.
     fn touch_tracked(&mut self, at: Cycles, g: VirtPage) -> TouchOutcome {
         let t = self.epc.touch(g);
+        // First touch of a staged background load: its billed channel
+        // cost becomes useful preload work.
+        let staged = self.staged.remove(&g);
+        if let Some(s) = &staged {
+            self.attr.preload_work += s.cost;
+        }
         if t.first_touch_of_preload {
             if let Some(done) = self.preload_done_at.remove(&g) {
                 let lead = Cycles::new(at.raw().saturating_sub(done.raw()));
                 self.stats.preload_lead.record(lead);
-                self.log(at, EventKind::PreloadHit, Some(g), Some(lead.raw()));
+                let hspan = self.spans.next();
+                self.log(
+                    at,
+                    EventKind::PreloadHit,
+                    Some(g),
+                    Some(lead.raw()),
+                    hspan,
+                    staged.map(|s| s.span),
+                );
             }
         }
         t
@@ -939,25 +1065,38 @@ impl Kernel {
                 self.reclaiming && !(want_preload && free > 0 && !self.bg_evicted_last);
             if (must_evict || fair_evict) && self.epc.resident_count() > 0 {
                 let ev = self.evict_one_now();
+                let espan = self.spans.next();
                 self.log(
                     t,
                     EventKind::EvictBackground,
                     Some(ev.page),
                     Some(ev.scanned),
+                    espan,
+                    None,
                 );
                 self.stats.background_evictions += 1;
                 if let Some(vt) = self.epc.owner_of(ev.page) {
                     self.tenants[vt].stats.background_evictions += 1;
                 }
                 let mut ewb = self.costs.ewb;
+                let mut scan_extra = 0u64;
                 if let Some(extra) = self.injector.as_mut().and_then(|i| i.scan_stall()) {
                     ewb += extra;
+                    scan_extra = extra.raw();
                 }
                 self.channel_busy += ewb;
                 self.bg_evicted_last = true;
+                let done = t + ewb;
+                // Cycles overlapping the previous app stall are already
+                // billed to the stall buckets.
+                let billed = ewb.raw() - ewb.raw().min(self.past_stall_overlap(t, done));
                 self.in_flight = Some(InFlight {
                     job: Job::Evict,
-                    done_at: t + ewb,
+                    done_at: done,
+                    span: espan,
+                    parent: None,
+                    billed,
+                    scan_extra,
                 });
                 continue;
             }
@@ -975,6 +1114,7 @@ impl Kernel {
                         LoadOrigin::Sip => self.stats.sip_raced += 1,
                         _ => self.stats.preloads_skipped_resident += 1,
                     }
+                    self.batch_of.remove(&page);
                     continue;
                 }
                 // Hard cap: a tenant at its ceiling may not grow through
@@ -985,22 +1125,27 @@ impl Kernel {
                     if let Some(t) = self.epc.owner_of(page) {
                         if self.epc.at_hard_cap(t) {
                             self.tenants[t].stats.preloads_shed += 1;
+                            self.batch_of.remove(&page);
                             continue;
                         }
                     }
                 }
                 // Chaos: only speculative (DFP) batches are droppable —
-                // SIP requests are explicit application demands.
+                // SIP requests are explicit application demands. A dropped
+                // page keeps its `batch_of` entry so a backoff retry still
+                // parents the original prediction batch.
                 if matches!(origin, LoadOrigin::Preload)
                     && self.injector.as_mut().is_some_and(|i| i.drop_preload())
                 {
                     self.chaos_drop(t, page);
                     continue;
                 }
-                match origin {
+                let (span, parent) = match origin {
                     LoadOrigin::Sip => {
                         self.stats.sip_prefetches_started += 1;
-                        self.log(t, EventKind::SipPrefetchStart, Some(page), None);
+                        let span = self.spans.next();
+                        self.log(t, EventKind::SipPrefetchStart, Some(page), None, span, None);
+                        (span, None)
                     }
                     _ => {
                         self.retry_attempts.remove(&page);
@@ -1008,9 +1153,12 @@ impl Kernel {
                         if let Some(ten) = self.epc.owner_of(page) {
                             self.tenants[ten].stats.preload_starts += 1;
                         }
-                        self.log(t, EventKind::PreloadStart, Some(page), None);
+                        let parent = self.batch_of.remove(&page);
+                        let span = self.spans.next();
+                        self.log(t, EventKind::PreloadStart, Some(page), None, span, parent);
+                        (span, parent)
                     }
-                }
+                };
                 self.bg_evicted_last = false;
                 let mut eldu = self.costs.eldu;
                 if matches!(origin, LoadOrigin::Preload) {
@@ -1019,9 +1167,15 @@ impl Kernel {
                     }
                 }
                 self.channel_busy += eldu;
+                let done = t + eldu;
+                let billed = eldu.raw() - eldu.raw().min(self.past_stall_overlap(t, done));
                 self.in_flight = Some(InFlight {
                     job: Job::Load { page, origin },
-                    done_at: t + eldu,
+                    done_at: done,
+                    span,
+                    parent,
+                    billed,
+                    scan_extra: 0,
                 });
                 continue;
             }
@@ -1056,15 +1210,19 @@ impl Kernel {
 
     /// Synchronously loads `page` through the channel for a blocked
     /// requester; returns the completion instant. `requester` (a tenant
-    /// index) attributes the channel wait to the demanding enclave.
+    /// index) attributes the channel wait to the demanding enclave;
+    /// `cause` (the demanding fault's or SIP load's span) parents any
+    /// foreground eviction forced here.
     fn blocking_load(
         &mut self,
         from: Cycles,
         page: VirtPage,
         origin: LoadOrigin,
         requester: Option<usize>,
+        cause: Option<SpanId>,
     ) -> Cycles {
         let mut t = self.channel_acquire(from);
+        self.attr.channel_wait += t.raw() - from.raw();
         if let Some(r) = requester {
             self.tenants[r].stats.channel_wait += t - from;
         }
@@ -1086,26 +1244,34 @@ impl Kernel {
             None
         };
         if let Some(ev) = ev {
+            let espan = self.spans.next();
             self.log(
                 t,
                 EventKind::EvictForeground,
                 Some(ev.page),
                 Some(ev.scanned),
+                espan,
+                cause,
             );
             self.stats.foreground_evictions += 1;
             if let Some(vt) = self.epc.owner_of(ev.page) {
                 self.tenants[vt].stats.foreground_evictions += 1;
             }
             let mut ewb = self.costs.ewb;
+            let mut extra_raw = 0u64;
             if let Some(extra) = self.injector.as_mut().and_then(|i| i.scan_stall()) {
                 ewb += extra;
+                extra_raw = extra.raw();
             }
+            self.attr.clock_scan += extra_raw;
+            self.attr.eviction += self.costs.ewb.raw();
             self.channel_busy += ewb;
             t += ewb;
         }
         let done = t + self.costs.eldu;
         self.channel_free_at = done;
         self.channel_busy += self.costs.eldu;
+        self.attr.demand_fault += self.costs.eldu.raw();
         // A chaos pressure spike only shrinks the scheduler's view of the
         // free pool, never real capacity, so a slot is always available
         // here (freed above, or hidden-but-real).
@@ -1122,7 +1288,7 @@ impl Kernel {
     /// all. An active [`TenantPolicy`] with `per_enclave_valves` instead
     /// gives the faulting enclave its own valve over its own accuracy
     /// counters, so a mispredicting neighbour cannot trip anyone else.
-    fn valve_check(&mut self, now: Cycles, ten: usize) {
+    fn valve_check(&mut self, now: Cycles, ten: usize, cause: SpanId) {
         if self.tenant_active && self.tenant_policy.per_enclave_valves {
             if self.tenants[ten].stopped || self.tenants[ten].valve.is_none() {
                 return;
@@ -1134,7 +1300,7 @@ impl Kernel {
                 .as_mut()
                 .is_some_and(|v| v.observe(now, completed, touched));
             if tripped {
-                self.stop_tenant_preloading(now, ten);
+                self.stop_tenant_preloading(now, ten, cause);
             }
             return;
         }
@@ -1147,7 +1313,7 @@ impl Kernel {
                 self.epc.preloads_completed(),
                 self.epc.preloads_touched(),
             ) {
-                self.stop_preloading(now);
+                self.stop_preloading(now, cause);
             }
         }
     }
@@ -1155,25 +1321,45 @@ impl Kernel {
     /// Latches the DFP stop: aborts the queues and records the stop. Both
     /// the real valve and the chaos force-flap funnel through here, so the
     /// "once stopped, zero further preloads" invariant has a single owner.
-    fn stop_preloading(&mut self, now: Cycles) {
+    fn stop_preloading(&mut self, now: Cycles, cause: SpanId) {
         self.preload_stopped = true;
-        let mut dropped = self.preload_q.abort();
-        for (i, q) in self.per_q.iter_mut().enumerate() {
-            let d = q.abort();
+        let pages = self.preload_q.abort_pages();
+        let mut dropped = pages.len() as u64;
+        for p in pages {
+            self.batch_of.remove(&p);
+        }
+        for i in 0..self.per_q.len() {
+            let pages = self.per_q[i].abort_pages();
+            let d = pages.len() as u64;
+            for p in pages {
+                self.batch_of.remove(&p);
+            }
             self.tenants[i].stats.preload_aborts += d;
             dropped += d;
         }
         self.stats.preloads_aborted += dropped;
         self.stats.dfp_stopped_at = Some(now);
-        self.log(now, EventKind::ValveStopped, None, Some(dropped));
+        let vspan = self.spans.next();
+        self.log(
+            now,
+            EventKind::ValveStopped,
+            None,
+            Some(dropped),
+            vspan,
+            Some(cause),
+        );
     }
 
     /// Latches one tenant's DFP stop: aborts only its queue and stamps the
     /// event with its ELRANGE base so stream consumers can attribute it
     /// (the kernel-global stop keeps `page = None`).
-    fn stop_tenant_preloading(&mut self, now: Cycles, ten: usize) {
+    fn stop_tenant_preloading(&mut self, now: Cycles, ten: usize, cause: SpanId) {
         self.tenants[ten].stopped = true;
-        let dropped = self.per_q[ten].abort();
+        let pages = self.per_q[ten].abort_pages();
+        let dropped = pages.len() as u64;
+        for p in pages {
+            self.batch_of.remove(&p);
+        }
         self.stats.preloads_aborted += dropped;
         self.tenants[ten].stats.preload_aborts += dropped;
         self.tenants[ten].stats.dfp_stopped_at = Some(now);
@@ -1181,13 +1367,21 @@ impl Kernel {
             self.stats.dfp_stopped_at = Some(now);
         }
         let base = VirtPage::new(self.tenants[ten].base);
-        self.log(now, EventKind::ValveStopped, Some(base), Some(dropped));
+        let vspan = self.spans.next();
+        self.log(
+            now,
+            EventKind::ValveStopped,
+            Some(base),
+            Some(dropped),
+            vspan,
+            Some(cause),
+        );
     }
 
     /// Per-fault chaos: EPC pressure spikes and forced valve trips. Runs
     /// right after the real valve check so a forced trip takes the same
     /// latch path (and the latch absorbs any further flap attempts).
-    fn chaos_on_fault(&mut self, now: Cycles) {
+    fn chaos_on_fault(&mut self, now: Cycles, cause: SpanId) {
         let Some(inj) = self.injector.as_mut() else {
             return;
         };
@@ -1198,11 +1392,11 @@ impl Kernel {
             self.chaos_reserved_until = now + duration;
         }
         if flap {
-            self.stop_preloading(now);
+            self.stop_preloading(now, cause);
         }
     }
 
-    fn enqueue_predictions(&mut self, pid: ProcessId, pred: Prediction) {
+    fn enqueue_predictions(&mut self, pid: ProcessId, pred: Prediction, batch: Option<SpanId>) {
         let ten = self.tenant_of_pid(pid);
         // Admission control: under memory pressure (free pool below the
         // reclaimer's low watermark) an enclave already above its soft
@@ -1233,6 +1427,17 @@ impl Kernel {
             }
             if self.preload_enqueue(page) {
                 self.stats.preloads_enqueued += 1;
+                // A genuine batch stamps its span for lineage; a chaos
+                // storm (no batch) clears any stale entry so its loads
+                // don't inherit a bogus parent.
+                match batch {
+                    Some(b) => {
+                        self.batch_of.insert(page, b);
+                    }
+                    None => {
+                        self.batch_of.remove(&page);
+                    }
+                }
             }
         }
     }
@@ -1252,6 +1457,7 @@ impl Kernel {
     ) -> Option<TouchOutcome> {
         let g = self.global(pid, local);
         self.advance(now);
+        self.maybe_sample(now);
         let t = self.touch_tracked(now, g);
         t.resident.then_some(t)
     }
@@ -1270,6 +1476,9 @@ impl Kernel {
         let g = self.global(pid, local);
         let ten = self.tenant_of_pid(pid);
         let t = now + self.costs.aex;
+        // The app is stalled from `now` until ERESUME: background channel
+        // completions inside this window must not double-bill.
+        self.stall_from = Some(now);
         self.advance(t);
         self.stats.faults += 1;
         self.tenants[ten].stats.faults += 1;
@@ -1278,9 +1487,22 @@ impl Kernel {
             .stats
             .residency
             .record(Cycles::new(resident_now));
-        self.log(now, EventKind::Fault, Some(g), None);
-        self.valve_check(t, ten);
-        self.chaos_on_fault(t);
+        let fspan = self.spans.next();
+        // Fault lineage: the span of the background load that staged (or
+        // is staging) this page; `None` means a cold fault.
+        let cause = self
+            .staged
+            .get(&g)
+            .map(|s| s.span)
+            .or(match &self.in_flight {
+                Some(f) if f.is_load_of(g) => Some(f.span),
+                _ => None,
+            });
+        self.log(now, EventKind::Fault, Some(g), None, fspan, cause);
+        self.valve_check(t, ten, fspan);
+        self.chaos_on_fault(t, fspan);
+        self.attr.aex_eresume += self.costs.aex.raw() + self.costs.eresume.raw();
+        self.attr.demand_fault += self.costs.os_fault_path.raw();
 
         let (kind, handler_done) = if self.epc.is_resident(g) {
             self.stats.faults_found_resident += 1;
@@ -1290,6 +1512,7 @@ impl Kernel {
             self.stats.faults_waited_inflight += 1;
             let f = self.in_flight.take().expect("matched above");
             let done = f.done_at;
+            self.attr.channel_wait += done.raw().saturating_sub(t.raw());
             self.apply_completion(f);
             self.touch_tracked(done.max(t), g);
             (
@@ -1297,9 +1520,22 @@ impl Kernel {
                 done.max(t) + self.costs.os_fault_path,
             )
         } else {
-            let dropped = self.abort_preloads_for(ten);
+            let pages = self.abort_preloads_for(ten);
+            let dropped = pages.len() as u64;
             if dropped > 0 {
-                self.log(t, EventKind::PreloadAbort, Some(g), Some(dropped));
+                let abort_parent = pages.first().and_then(|p| self.batch_of.get(p).copied());
+                for p in &pages {
+                    self.batch_of.remove(p);
+                }
+                let aspan = self.spans.next();
+                self.log(
+                    t,
+                    EventKind::PreloadAbort,
+                    Some(g),
+                    Some(dropped),
+                    aspan,
+                    abort_parent,
+                );
             }
             self.stats.preloads_aborted += dropped;
             self.tenants[ten].stats.preload_aborts += dropped;
@@ -1308,10 +1544,19 @@ impl Kernel {
                 g,
                 LoadOrigin::Demand,
                 Some(ten),
+                Some(fspan),
             );
             self.stats.demand_loads += 1;
             self.tenants[ten].stats.demand_loads += 1;
-            self.log(done, EventKind::DemandLoaded, Some(g), None);
+            let dspan = self.spans.next();
+            self.log(
+                done,
+                EventKind::DemandLoaded,
+                Some(g),
+                None,
+                dspan,
+                Some(fspan),
+            );
             self.touch_tracked(done, g);
             (FaultServicing::DemandLoaded, done)
         };
@@ -1319,11 +1564,21 @@ impl Kernel {
         if !self.preloading_stopped_for(ten) {
             let pred = self.predictor.on_fault(t, pid, g);
             let predicted = pred.pages.len() as u64;
+            let mut batch = None;
             if predicted > 0 {
                 self.stats.stream_len.record(Cycles::new(predicted));
-                self.log(t, EventKind::StreamPredicted, Some(g), Some(predicted));
+                let b = self.spans.next();
+                batch = Some(b);
+                self.log(
+                    t,
+                    EventKind::StreamPredicted,
+                    Some(g),
+                    Some(predicted),
+                    b,
+                    Some(fspan),
+                );
             }
-            self.enqueue_predictions(pid, pred);
+            self.enqueue_predictions(pid, pred, batch);
             // Chaos: a spurious mispredict storm rides in with the genuine
             // prediction, through the same range/dedup/enqueue filter.
             if self.injector.is_some() {
@@ -1337,7 +1592,7 @@ impl Kernel {
                     .map(|i| i.spurious_storm(base, pages))
                     .unwrap_or_default();
                 if !storm.is_empty() {
-                    self.enqueue_predictions(pid, Prediction::of(storm));
+                    self.enqueue_predictions(pid, Prediction::of(storm), None);
                 }
             }
         }
@@ -1350,7 +1605,13 @@ impl Kernel {
             EventKind::FaultResolved,
             Some(g),
             Some(service.raw()),
+            fspan,
+            cause,
         );
+        self.absorb_inflight_overlap(now, resume_at);
+        self.stall_from = None;
+        self.last_stall = Some((now, resume_at));
+        self.maybe_sample(resume_at);
         FaultResolution { resume_at, kind }
     }
 
@@ -1380,18 +1641,29 @@ impl Kernel {
         self.advance(now);
         if self.epc.is_resident(g) {
             self.stats.sip_raced += 1;
+            self.maybe_sample(now);
             return now;
         }
         if matches!(self.in_flight, Some(f) if f.is_load_of(g)) {
             self.stats.sip_raced += 1;
             let f = self.in_flight.take().expect("matched above");
             let done = f.done_at;
+            self.stall_from = Some(now);
+            self.attr.channel_wait += done.raw().saturating_sub(now.raw());
             self.apply_completion(f);
+            self.stall_from = None;
+            self.last_stall = Some((now, done.max(now)));
+            self.maybe_sample(done.max(now));
             return done.max(now);
         }
-        let done = self.blocking_load(now, g, LoadOrigin::Sip, None);
+        self.stall_from = Some(now);
+        let sspan = self.spans.next();
+        let done = self.blocking_load(now, g, LoadOrigin::Sip, None, Some(sspan));
         self.stats.sip_loads += 1;
-        self.log(done, EventKind::SipLoaded, Some(g), None);
+        self.log(done, EventKind::SipLoaded, Some(g), None, sspan, None);
+        self.stall_from = None;
+        self.last_stall = Some((now, done));
+        self.maybe_sample(done);
         done
     }
 
@@ -1419,10 +1691,19 @@ impl Kernel {
         }
         // The request may start immediately if the channel is idle.
         self.advance(now);
+        self.maybe_sample(now);
     }
 
     #[inline]
-    fn log(&mut self, at: Cycles, what: EventKind, page: Option<VirtPage>, value: Option<u64>) {
+    fn log(
+        &mut self,
+        at: Cycles,
+        what: EventKind,
+        page: Option<VirtPage>,
+        value: Option<u64>,
+        span: SpanId,
+        parent: Option<SpanId>,
+    ) {
         if self.sinks.is_empty() {
             return;
         }
@@ -1431,6 +1712,8 @@ impl Kernel {
             what,
             page,
             value,
+            span,
+            parent,
         };
         for sink in &mut self.sinks {
             sink.on_event(&event);
@@ -1523,6 +1806,155 @@ impl Kernel {
     /// Whether the DFP-stop valve has fired.
     pub fn is_preload_stopped(&self) -> bool {
         self.preload_stopped
+    }
+
+    /// Ends the run at `now`: emits the terminal [`EventKind::RunEnd`]
+    /// event (value = total cycles) exactly once — so stream consumers
+    /// can tell a truncated trace from a complete one — plus a final
+    /// gauge sample when time-series sampling is on. Idempotent.
+    ///
+    /// Deliberately does *not* run pending background work: trailing
+    /// in-flight jobs stay unapplied, so finishing a run changes no
+    /// statistic and observation never perturbs what it observes.
+    pub fn finish(&mut self, now: Cycles) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if self.sample_every > 0 && !self.sinks.is_empty() {
+            self.emit_sample(now);
+        }
+        let span = self.spans.next();
+        self.log(now, EventKind::RunEnd, None, Some(now.raw()), span, None);
+    }
+
+    /// Sets the gauge-sampling interval: one
+    /// [`TraceSink::on_sample`](crate::TraceSink::on_sample) delivery per
+    /// `every` simulated cycles, taken at the public entry points. `0`
+    /// (the default) disables sampling.
+    pub fn set_sample_interval(&mut self, every: u64) {
+        self.sample_every = every;
+    }
+
+    /// Spans allocated so far (the raw id of the newest span).
+    pub fn span_count(&self) -> u64 {
+        self.spans.count()
+    }
+
+    /// Splits a run of `total` cycles into [`crate::CycleAttribution`]
+    /// buckets.
+    ///
+    /// The overhead buckets come from the kernel's running ledger;
+    /// `app_compute` is the residual, so the buckets always sum exactly
+    /// to `total`. Staged-but-untouched pages and any trailing in-flight
+    /// load count as wasted speculation. If bookkeeping ever over-bills
+    /// (rare corner cases of the stall-overlap deduction, and multi-app
+    /// runs where one app's report sees another's overhead), the excess
+    /// is clipped from the most-speculative buckets first, preserving the
+    /// invariant unconditionally.
+    pub fn attribution(&self, total: Cycles) -> CycleAttribution {
+        let mut a = self.attr;
+        for s in self.staged.values() {
+            a.wasted_preload += s.cost;
+        }
+        if let Some(f) = &self.in_flight {
+            match f.job {
+                Job::Load { .. } => a.wasted_preload += f.billed,
+                Job::Evict => {
+                    let scan = f.billed.min(f.scan_extra);
+                    a.clock_scan += scan;
+                    a.eviction += f.billed - scan;
+                }
+            }
+        }
+        let mut buckets = [
+            a.wasted_preload,
+            a.preload_work,
+            a.eviction,
+            a.clock_scan,
+            a.channel_wait,
+            a.demand_fault,
+            a.aex_eresume,
+        ];
+        let mut excess = buckets.iter().sum::<u64>().saturating_sub(total.raw());
+        for b in &mut buckets {
+            let cut = excess.min(*b);
+            *b -= cut;
+            excess -= cut;
+        }
+        let [wasted_preload, preload_work, eviction, clock_scan, channel_wait, demand_fault, aex_eresume] =
+            buckets;
+        let overhead = buckets.iter().sum::<u64>();
+        CycleAttribution {
+            app_compute: total.raw().saturating_sub(overhead),
+            demand_fault,
+            aex_eresume,
+            channel_wait,
+            preload_work,
+            wasted_preload,
+            clock_scan,
+            eviction,
+        }
+    }
+
+    /// Overlap of `[start, done]` with the previous app-stall window:
+    /// channel cycles a lazily-dispatched job spent inside it are already
+    /// billed to the stall buckets.
+    fn past_stall_overlap(&self, start: Cycles, done: Cycles) -> u64 {
+        match self.last_stall {
+            Some((s, e)) => {
+                let lo = start.max(s).raw();
+                let hi = done.min(e).raw();
+                hi.saturating_sub(lo)
+            }
+            None => 0,
+        }
+    }
+
+    /// Deducts from the in-flight job's billed cost its overlap with the
+    /// app-stall window `[from, to]` just ended (the job keeps running
+    /// past the stall, so the completion-side deduction will not see it).
+    fn absorb_inflight_overlap(&mut self, from: Cycles, to: Cycles) {
+        if let Some(f) = &mut self.in_flight {
+            let start = f.done_at.raw().saturating_sub(f.billed);
+            let lo = start.max(from.raw());
+            let hi = f.done_at.min(to).raw();
+            f.billed -= f.billed.min(hi.saturating_sub(lo));
+        }
+    }
+
+    /// Emits a gauge sample if sampling is on, a sink is listening, and
+    /// at least one interval has elapsed since the last sample.
+    fn maybe_sample(&mut self, now: Cycles) {
+        if self.sample_every == 0 || self.sinks.is_empty() {
+            return;
+        }
+        if now.raw().saturating_sub(self.last_sample_at.raw()) < self.sample_every {
+            return;
+        }
+        self.emit_sample(now);
+    }
+
+    fn emit_sample(&mut self, now: Cycles) {
+        self.last_sample_at = now;
+        let stopped_tenants = self.tenants.iter().filter(|t| t.stopped).count() as u64;
+        let sample = GaugeSample {
+            at: now,
+            epc_resident: self.epc.resident_count(),
+            epc_free: self.epc.free_slots(),
+            queue_depth: self.preload_queue_len() as u64,
+            sip_queue_depth: self.sip_q.len() as u64,
+            live_streams: self.predictor.live_streams(),
+            valve_stops: self.preload_stopped as u64 + stopped_tenants,
+            channel_busy: self.channel_busy,
+            faults: self.stats.faults,
+            preloads_started: self.stats.preloads_started,
+            scan_steps: self.epc.scan_steps_total(),
+            tenant_resident: self.epc.residency_snapshot(),
+        };
+        for sink in &mut self.sinks {
+            sink.on_sample(&sample);
+        }
     }
 
     /// Load-channel utilization over `[0, now]`.

@@ -71,7 +71,9 @@
 mod chaos;
 mod kernel;
 mod queue;
+pub mod span;
 mod tenant;
+mod timeline;
 mod trace;
 mod watermark;
 
@@ -83,7 +85,12 @@ pub use kernel::{
     LoggedEvent,
 };
 pub use queue::PreloadQueue;
+pub use span::SpanId;
 pub use tenant::{TenantPolicy, TenantShare, TenantStats, MAX_TENANTS};
+pub use timeline::{
+    render_chrome_trace, ChromeTraceSink, CycleAttribution, GaugeSample, SeriesFormat,
+    TimeSeriesSink,
+};
 pub use trace::{
     CollectingSink, CountingSink, EventCounts, HistogramSink, JsonlWriterSink, TailSink,
     TraceHistograms, TraceSink,

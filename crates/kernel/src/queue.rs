@@ -85,12 +85,18 @@ impl PreloadQueue {
     /// Cancels everything queued; returns how many pages were dropped.
     /// Bumps the generation.
     pub fn abort(&mut self) -> u64 {
-        let n = self.queue.len() as u64;
-        self.aborted_total += n;
-        self.queue.clear();
+        self.abort_pages().len() as u64
+    }
+
+    /// Cancels everything queued; returns the dropped pages in queue
+    /// order (so callers can release per-page bookkeeping). Bumps the
+    /// generation.
+    pub fn abort_pages(&mut self) -> Vec<VirtPage> {
+        let pages: Vec<VirtPage> = self.queue.drain(..).collect();
+        self.aborted_total += pages.len() as u64;
         self.members.clear();
         self.generation += 1;
-        n
+        pages
     }
 
     /// Number of aborts (prediction-batch generations) so far.

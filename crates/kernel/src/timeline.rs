@@ -1,0 +1,705 @@
+//! Timeline exports over the causal span stream: per-subsystem cycle
+//! attribution, Chrome trace-event JSON (perfetto-loadable), and periodic
+//! gauge sampling into a compact series.
+//!
+//! Everything here consumes the same [`LoggedEvent`] stream every other
+//! sink sees — the kernel computes nothing extra for an unobserved run —
+//! plus, for [`TimeSeriesSink`], the [`GaugeSample`] callbacks the kernel
+//! emits when a sampling interval is configured
+//! ([`Kernel::set_sample_interval`](crate::Kernel::set_sample_interval)).
+
+use std::io::{self, Write};
+
+use sgx_sim::Cycles;
+
+use crate::{EventKind, LoggedEvent, SpanId, TraceSink};
+
+/// A run's total cycles split into named buckets, one per paging
+/// subsystem, with the invariant that the buckets sum exactly to the
+/// run's total cycles (`app_compute` is the residual).
+///
+/// The stall-side buckets (`demand_fault`, `aex_eresume`, `channel_wait`)
+/// partition the cycles the application spent blocked in fault handling
+/// and blocking SIP loads; the channel-side buckets (`preload_work`,
+/// `wasted_preload`, `clock_scan`, `eviction`) count background channel
+/// cycles *clipped* of any portion an application stall already paid for,
+/// so no cycle is counted twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleAttribution {
+    /// Residual: cycles the application spent computing inside the
+    /// enclave (total minus every overhead bucket).
+    pub app_compute: u64,
+    /// Blocking load service on the application's critical path: the OS
+    /// fault path plus demand/SIP ELDU cycles.
+    pub demand_fault: u64,
+    /// World-switch overhead: AEX + ERESUME, per fault.
+    pub aex_eresume: u64,
+    /// Cycles a blocked application waited for the non-preemptible load
+    /// channel (in-flight completions and channel acquisition).
+    pub channel_wait: u64,
+    /// Channel cycles spent on preloads/prefetches whose page was touched
+    /// (useful speculation).
+    pub preload_work: u64,
+    /// Channel cycles spent on preloads/prefetches evicted or abandoned
+    /// untouched (wasted speculation).
+    pub wasted_preload: u64,
+    /// Replacement-scan stall cycles (zero under the paper's cost model,
+    /// which prices CLOCK sweeps at zero; chaos scan stalls land here).
+    pub clock_scan: u64,
+    /// EWB cycles spent writing victims back (foreground and background).
+    pub eviction: u64,
+}
+
+impl CycleAttribution {
+    /// Sum of every bucket; equals the run's total cycles by construction.
+    pub fn total(&self) -> u64 {
+        self.app_compute
+            + self.demand_fault
+            + self.aex_eresume
+            + self.channel_wait
+            + self.preload_work
+            + self.wasted_preload
+            + self.clock_scan
+            + self.eviction
+    }
+
+    /// Every named overhead bucket as `(name, cycles)`, in schema order
+    /// (`app_compute` first).
+    pub fn buckets(&self) -> [(&'static str, u64); 8] {
+        [
+            ("app_compute", self.app_compute),
+            ("demand_fault", self.demand_fault),
+            ("aex_eresume", self.aex_eresume),
+            ("channel_wait", self.channel_wait),
+            ("preload_work", self.preload_work),
+            ("wasted_preload", self.wasted_preload),
+            ("clock_scan", self.clock_scan),
+            ("eviction", self.eviction),
+        ]
+    }
+
+    /// Appends the attribution as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, v)) in self.buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+    }
+}
+
+impl std::fmt::Display for CycleAttribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total().max(1);
+        let pct = |v: u64| 100.0 * v as f64 / total as f64;
+        write!(
+            f,
+            "compute {:.1}% | demand-fault {:.1}% | aex/eresume {:.1}% | \
+             channel-wait {:.1}% | preload {:.1}% | wasted {:.1}% | \
+             scan {:.1}% | evict {:.1}%",
+            pct(self.app_compute),
+            pct(self.demand_fault),
+            pct(self.aex_eresume),
+            pct(self.channel_wait),
+            pct(self.preload_work),
+            pct(self.wasted_preload),
+            pct(self.clock_scan),
+            pct(self.eviction),
+        )
+    }
+}
+
+/// A point-in-time snapshot of the kernel's gauges, delivered to
+/// [`TraceSink::on_sample`] every configured sampling interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// The simulated instant of the sample.
+    pub at: Cycles,
+    /// EPC pages resident.
+    pub epc_resident: u64,
+    /// EPC slots free.
+    pub epc_free: u64,
+    /// Pages waiting on the DFP preload queues (global + per-tenant).
+    pub queue_depth: u64,
+    /// Pages waiting on the SIP early-notify queue.
+    pub sip_queue_depth: u64,
+    /// Live prediction streams tracked by the predictor.
+    pub live_streams: u64,
+    /// Valve latches so far: the kernel-global latch plus every latched
+    /// per-enclave valve.
+    pub valve_stops: u64,
+    /// Cumulative load-channel busy cycles.
+    pub channel_busy: Cycles,
+    /// Cumulative fault count.
+    pub faults: u64,
+    /// Cumulative preload starts.
+    pub preloads_started: u64,
+    /// Cumulative replacement-policy scan steps.
+    pub scan_steps: u64,
+    /// Resident pages per tenant extent, in registration order.
+    pub tenant_resident: Vec<u64>,
+}
+
+/// Output encoding for [`TimeSeriesSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesFormat {
+    /// One CSV row per sample, header first; `tenant_resident` is a
+    /// `|`-joined list in the last column.
+    Csv,
+    /// A JSON array of sample objects.
+    Json,
+}
+
+/// Streams [`GaugeSample`]s into a compact CSV or JSON series.
+///
+/// Ignores ordinary events; only sampled gauges are written. The JSON
+/// array is closed by [`TimeSeriesSink::finish`] (called from `Drop` if
+/// not called explicitly). Write errors are latched: the first failure
+/// stops further output and is reported by `finish`.
+pub struct TimeSeriesSink<W: Write> {
+    out: Option<W>,
+    format: SeriesFormat,
+    samples: u64,
+    error: Option<io::Error>,
+}
+
+impl TimeSeriesSink<io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and streams samples into it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn create(path: impl AsRef<std::path::Path>, format: SeriesFormat) -> io::Result<Self> {
+        Ok(Self::new(
+            io::BufWriter::new(std::fs::File::create(path)?),
+            format,
+        ))
+    }
+}
+
+impl<W: Write> TimeSeriesSink<W> {
+    /// Wraps `out`; samples are appended in `format`.
+    pub fn new(out: W, format: SeriesFormat) -> Self {
+        TimeSeriesSink {
+            out: Some(out),
+            format,
+            samples: 0,
+            error: None,
+        }
+    }
+
+    /// Samples written so far.
+    pub fn written(&self) -> u64 {
+        self.samples
+    }
+
+    fn try_write(&mut self, sample: &GaugeSample) -> io::Result<()> {
+        let Some(out) = self.out.as_mut() else {
+            return Ok(());
+        };
+        let tenants = sample
+            .tenant_resident
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join("|");
+        match self.format {
+            SeriesFormat::Csv => {
+                if self.samples == 0 {
+                    writeln!(
+                        out,
+                        "at,epc_resident,epc_free,queue_depth,sip_queue_depth,\
+                         live_streams,valve_stops,channel_busy,faults,\
+                         preloads_started,scan_steps,tenant_resident"
+                    )?;
+                }
+                writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    sample.at.raw(),
+                    sample.epc_resident,
+                    sample.epc_free,
+                    sample.queue_depth,
+                    sample.sip_queue_depth,
+                    sample.live_streams,
+                    sample.valve_stops,
+                    sample.channel_busy.raw(),
+                    sample.faults,
+                    sample.preloads_started,
+                    sample.scan_steps,
+                    tenants,
+                )?;
+            }
+            SeriesFormat::Json => {
+                out.write_all(if self.samples == 0 { b"[\n" } else { b",\n" })?;
+                write!(
+                    out,
+                    "{{\"at\":{},\"epc_resident\":{},\"epc_free\":{},\
+                     \"queue_depth\":{},\"sip_queue_depth\":{},\
+                     \"live_streams\":{},\"valve_stops\":{},\
+                     \"channel_busy\":{},\"faults\":{},\
+                     \"preloads_started\":{},\"scan_steps\":{},\
+                     \"tenant_resident\":[{}]}}",
+                    sample.at.raw(),
+                    sample.epc_resident,
+                    sample.epc_free,
+                    sample.queue_depth,
+                    sample.sip_queue_depth,
+                    sample.live_streams,
+                    sample.valve_stops,
+                    sample.channel_busy.raw(),
+                    sample.faults,
+                    sample.preloads_started,
+                    sample.scan_steps,
+                    sample
+                        .tenant_resident
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )?;
+            }
+        }
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// Closes the series (terminates the JSON array) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first latched write error, if any.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            self.out = None;
+            return Err(e);
+        }
+        let Some(mut out) = self.out.take() else {
+            return Ok(());
+        };
+        if matches!(self.format, SeriesFormat::Json) {
+            out.write_all(if self.samples == 0 { b"[]\n" } else { b"\n]\n" })?;
+        }
+        out.flush()
+    }
+}
+
+impl<W: Write> TraceSink for TimeSeriesSink<W> {
+    fn on_event(&mut self, _event: &LoggedEvent) {}
+
+    fn on_sample(&mut self, sample: &GaugeSample) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.try_write(sample) {
+            self.error = Some(e);
+            self.out = None;
+        }
+    }
+}
+
+impl<W: Write> Drop for TimeSeriesSink<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Lane assignment for the Chrome trace: channel-side events share one
+/// lane, everything else goes to its enclave's lane (ELRANGE index + 1).
+fn chrome_lane(e: &LoggedEvent) -> u64 {
+    match e.what {
+        EventKind::PreloadStart
+        | EventKind::PreloadDone
+        | EventKind::SipPrefetchStart
+        | EventKind::EvictBackground
+        | EventKind::EvictForeground => 0,
+        _ => match e.page {
+            // ELRANGEs are spaced 2^24 pages apart (the kernel's guard
+            // stride), so the lane is the page's high bits.
+            Some(p) => 1 + (p.raw() >> 24),
+            None => 0,
+        },
+    }
+}
+
+/// Whether this kind opens a duration span closed by a later event with
+/// the same [`SpanId`].
+fn opens_span(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Fault | EventKind::PreloadStart | EventKind::SipPrefetchStart
+    )
+}
+
+/// Whether this kind closes the duration span its [`SpanId`] opened.
+fn closes_span(kind: EventKind) -> bool {
+    matches!(kind, EventKind::FaultResolved | EventKind::PreloadDone)
+}
+
+/// Buffers the event stream and renders Chrome trace-event JSON
+/// (loadable in `ui.perfetto.dev` or `chrome://tracing`) on
+/// [`ChromeTraceSink::finish`] / drop.
+///
+/// Layout: one lane per enclave plus a load-channel lane (`tid 0`).
+/// Open/close pairs sharing a span id (`fault`→`fault-resolved`,
+/// `preload-start`/`sip-prefetch-start`→`preload-done`) become complete
+/// (`"X"`) duration events; everything else is an instant. Every causal
+/// `parent` link whose parent span was emitted becomes a flow arrow
+/// (`"s"`/`"f"` pair, `id` = the child span). Timestamps are simulated
+/// cycles, rendered as the trace's microsecond unit.
+pub struct ChromeTraceSink<W: Write> {
+    out: Option<W>,
+    buf: Vec<LoggedEvent>,
+}
+
+impl ChromeTraceSink<io::BufWriter<std::fs::File>> {
+    /// Creates (truncating) `path` and renders the trace into it at the
+    /// end of the run.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(Self::new(io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> ChromeTraceSink<W> {
+    /// Wraps `out`; the trace is rendered when the run finishes.
+    pub fn new(out: W) -> Self {
+        ChromeTraceSink {
+            out: Some(out),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Events buffered so far.
+    pub fn event_count(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Renders the buffered stream and flushes. Idempotent: the second
+    /// call is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let Some(mut out) = self.out.take() else {
+            return Ok(());
+        };
+        let body = render_chrome_trace(&self.buf);
+        out.write_all(body.as_bytes())?;
+        out.flush()
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceSink<W> {
+    fn on_event(&mut self, event: &LoggedEvent) {
+        self.buf.push(*event);
+    }
+}
+
+impl<W: Write> Drop for ChromeTraceSink<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Renders `events` (one run's stream, in emission order) as a Chrome
+/// trace-event JSON document. Deterministic: a byte-identical stream
+/// renders to byte-identical JSON.
+pub fn render_chrome_trace(events: &[LoggedEvent]) -> String {
+    use std::collections::BTreeMap;
+
+    // First event of every span: the flow-arrow anchor.
+    let mut anchor: BTreeMap<SpanId, (Cycles, u64)> = BTreeMap::new();
+    // span -> close timestamp, for open events rendered as durations.
+    let mut close_at: BTreeMap<SpanId, Cycles> = BTreeMap::new();
+    let mut lanes: std::collections::BTreeSet<u64> = [0].into();
+    for e in events {
+        let lane = chrome_lane(e);
+        lanes.insert(lane);
+        anchor.entry(e.span).or_insert((e.at, lane));
+        if closes_span(e.what) {
+            close_at.entry(e.span).or_insert(e.at);
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, line: &str, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(line);
+    };
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"sgx-preload\"}}",
+        &mut first,
+    );
+    for &lane in &lanes {
+        let name = if lane == 0 {
+            "load channel".to_string()
+        } else {
+            format!("enclave {}", lane - 1)
+        };
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+
+    for e in events {
+        let lane = chrome_lane(e);
+        let mut args = format!("\"span\":{}", e.span.raw());
+        if let Some(p) = e.parent {
+            args.push_str(&format!(",\"parent\":{}", p.raw()));
+        }
+        if let Some(p) = e.page {
+            args.push_str(&format!(",\"page\":{}", p.raw()));
+        }
+        if let Some(v) = e.value {
+            args.push_str(&format!(",\"value\":{v}"));
+        }
+        if closes_span(e.what) && close_at.get(&e.span) == Some(&e.at) {
+            // Rendered as the duration of its opening event; but if no
+            // opener exists (foreign stream), fall through to an instant.
+            if events
+                .iter()
+                .any(|o| o.span == e.span && opens_span(o.what))
+            {
+                continue;
+            }
+        }
+        let line = if opens_span(e.what) {
+            match close_at.get(&e.span) {
+                Some(&done) => format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{lane},\"ts\":{},\"dur\":{},\
+                     \"name\":\"{}\",\"args\":{{{args}}}}}",
+                    e.at.raw(),
+                    done.raw().saturating_sub(e.at.raw()),
+                    e.what,
+                ),
+                None => format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{lane},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"{}\",\"args\":{{{args}}}}}",
+                    e.at.raw(),
+                    e.what,
+                ),
+            }
+        } else {
+            format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{lane},\"ts\":{},\"s\":\"t\",\
+                 \"name\":\"{}\",\"args\":{{{args}}}}}",
+                e.at.raw(),
+                e.what,
+            )
+        };
+        push(&mut out, &line, &mut first);
+        // One flow arrow per causal link, anchored at the parent span's
+        // first event. Links to spans absent from the stream draw nothing
+        // — a rendered arrow always references two emitted spans.
+        if let Some(parent) = e.parent {
+            if let Some(&(pts, ptid)) = anchor.get(&parent) {
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"s\",\"pid\":1,\"tid\":{ptid},\"ts\":{},\
+                         \"id\":{},\"name\":\"cause\",\"cat\":\"flow\"}}",
+                        pts.raw(),
+                        e.span.raw(),
+                    ),
+                    &mut first,
+                );
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{lane},\
+                         \"ts\":{},\"id\":{},\"name\":\"cause\",\"cat\":\"flow\"}}",
+                        e.at.raw(),
+                        e.span.raw(),
+                    ),
+                    &mut first,
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_epc::VirtPage;
+
+    fn ev(
+        at: u64,
+        what: EventKind,
+        page: Option<u64>,
+        value: Option<u64>,
+        span: u64,
+        parent: Option<u64>,
+    ) -> LoggedEvent {
+        LoggedEvent {
+            at: Cycles::new(at),
+            what,
+            page: page.map(VirtPage::new),
+            value,
+            span: SpanId::new(span),
+            parent: parent.map(SpanId::new),
+        }
+    }
+
+    #[test]
+    fn attribution_total_sums_every_bucket() {
+        let a = CycleAttribution {
+            app_compute: 100,
+            demand_fault: 20,
+            aex_eresume: 3,
+            channel_wait: 4,
+            preload_work: 5,
+            wasted_preload: 6,
+            clock_scan: 7,
+            eviction: 8,
+        };
+        assert_eq!(a.total(), 153);
+        assert_eq!(a.buckets()[0], ("app_compute", 100));
+        let mut json = String::new();
+        a.write_json(&mut json);
+        assert!(json.starts_with("{\"app_compute\":100,"));
+        assert!(json.ends_with("\"eviction\":8}"));
+        assert!(a.to_string().contains("demand-fault"));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_open_close_into_durations() {
+        let events = [
+            ev(10, EventKind::Fault, Some(7), None, 1, None),
+            ev(90, EventKind::FaultResolved, Some(7), Some(80), 1, None),
+        ];
+        let json = render_chrome_trace(&events);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":10,\"dur\":80"));
+        // The close event itself is folded into the duration.
+        assert!(!json.contains("fault-resolved"));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn chrome_trace_draws_flows_only_between_emitted_spans() {
+        let events = [
+            ev(10, EventKind::Fault, Some(7), None, 1, None),
+            ev(11, EventKind::StreamPredicted, Some(7), Some(2), 2, Some(1)),
+            // Parent span 99 was never emitted: no arrow may reference it.
+            ev(12, EventKind::PreloadStart, Some(8), None, 3, Some(99)),
+        ];
+        let json = render_chrome_trace(&events);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert!(json.contains("\"id\":2"), "flow id is the child span");
+        assert!(!json.contains("\"id\":3"), "dangling parent draws nothing");
+    }
+
+    #[test]
+    fn chrome_trace_separates_channel_and_enclave_lanes() {
+        let enclave1_page = (1u64 << 24) + 5;
+        let events = [
+            ev(10, EventKind::Fault, Some(enclave1_page), None, 1, None),
+            ev(
+                20,
+                EventKind::PreloadStart,
+                Some(enclave1_page + 1),
+                None,
+                2,
+                None,
+            ),
+        ];
+        let json = render_chrome_trace(&events);
+        assert!(json.contains("\"name\":\"load channel\""));
+        assert!(json.contains("\"name\":\"enclave 1\""));
+        assert!(
+            json.contains("\"tid\":0,\"ts\":20"),
+            "preload on channel lane"
+        );
+    }
+
+    #[test]
+    fn time_series_csv_emits_header_then_rows() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = TimeSeriesSink::new(&mut buf, SeriesFormat::Csv);
+            let sample = GaugeSample {
+                at: Cycles::new(500),
+                epc_resident: 3,
+                epc_free: 1,
+                queue_depth: 2,
+                sip_queue_depth: 0,
+                live_streams: 1,
+                valve_stops: 0,
+                channel_busy: Cycles::new(40),
+                faults: 6,
+                preloads_started: 2,
+                scan_steps: 9,
+                tenant_resident: vec![2, 1],
+            };
+            sink.on_sample(&sample);
+            sink.on_sample(&sample);
+            assert_eq!(sink.written(), 2);
+            sink.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("at,epc_resident"));
+        assert_eq!(lines.next().unwrap(), "500,3,1,2,0,1,0,40,6,2,9,2|1");
+        assert_eq!(text.lines().count(), 3, "header + two samples");
+    }
+
+    #[test]
+    fn time_series_json_is_a_closed_array() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = TimeSeriesSink::new(&mut buf, SeriesFormat::Json);
+            sink.on_sample(&GaugeSample {
+                at: Cycles::new(1),
+                epc_resident: 0,
+                epc_free: 4,
+                queue_depth: 0,
+                sip_queue_depth: 0,
+                live_streams: 0,
+                valve_stops: 0,
+                channel_busy: Cycles::ZERO,
+                faults: 0,
+                preloads_started: 0,
+                scan_steps: 0,
+                tenant_resident: vec![0],
+            });
+        } // drop finishes
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"tenant_resident\":[0]"));
+    }
+
+    #[test]
+    fn empty_json_series_still_closes() {
+        let mut buf = Vec::new();
+        TimeSeriesSink::new(&mut buf, SeriesFormat::Json)
+            .finish()
+            .unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().trim(), "[]");
+    }
+}

@@ -22,7 +22,7 @@ use std::rc::Rc;
 
 use sgx_sim::{Cycles, Histogram};
 
-use crate::{EventKind, LoggedEvent};
+use crate::{EventKind, GaugeSample, LoggedEvent};
 
 /// A streaming consumer of kernel paging events.
 ///
@@ -33,6 +33,13 @@ pub trait TraceSink {
     /// in causal order; timestamps across calls are monotone per call site
     /// but completions may be logged at their (future) finish instant.
     fn on_event(&mut self, event: &LoggedEvent);
+
+    /// Observes one periodic gauge sample. Only delivered when the kernel
+    /// has a sampling interval configured
+    /// ([`Kernel::set_sample_interval`](crate::Kernel::set_sample_interval));
+    /// the default implementation ignores samples, so existing sinks are
+    /// unaffected.
+    fn on_sample(&mut self, _sample: &GaugeSample) {}
 }
 
 impl<F: FnMut(&LoggedEvent)> TraceSink for F {
@@ -73,6 +80,8 @@ pub struct EventCounts {
     pub preload_hits: u64,
     /// Non-empty stream predictions emitted by the DFP.
     pub stream_predictions: u64,
+    /// Terminal run-end markers (exactly one per complete stream).
+    pub run_ends: u64,
 }
 
 impl EventCounts {
@@ -112,6 +121,7 @@ impl EventCounts {
             EventKind::FaultResolved => self.faults_resolved += n,
             EventKind::PreloadHit => self.preload_hits += n,
             EventKind::StreamPredicted => self.stream_predictions += n,
+            EventKind::RunEnd => self.run_ends += n,
         }
     }
 
@@ -130,6 +140,7 @@ impl EventCounts {
             + self.faults_resolved
             + self.preload_hits
             + self.stream_predictions
+            + self.run_ends
     }
 
     /// Appends this tally as a JSON object.
@@ -140,7 +151,7 @@ impl EventCounts {
              \"foreground_evictions\":{},\"preload_aborts\":{},\
              \"sip_loads\":{},\"valve_stops\":{},\"sip_prefetch_starts\":{},\
              \"faults_resolved\":{},\"preload_hits\":{},\
-             \"stream_predictions\":{}}}",
+             \"stream_predictions\":{},\"run_ends\":{}}}",
             self.faults,
             self.demand_loads,
             self.preload_starts,
@@ -154,6 +165,7 @@ impl EventCounts {
             self.faults_resolved,
             self.preload_hits,
             self.stream_predictions,
+            self.run_ends,
         ));
     }
 }
@@ -163,7 +175,7 @@ impl EventCounts {
 /// # Examples
 ///
 /// ```
-/// use sgx_kernel::{CountingSink, EventKind, LoggedEvent};
+/// use sgx_kernel::{CountingSink, EventKind, LoggedEvent, SpanId};
 /// use sgx_sim::Cycles;
 ///
 /// let (sink, counts) = CountingSink::new();
@@ -174,6 +186,8 @@ impl EventCounts {
 ///     what: EventKind::Fault,
 ///     page: None,
 ///     value: None,
+///     span: SpanId::new(1),
+///     parent: None,
 /// });
 /// assert_eq!(counts.get().faults, 1);
 /// ```
@@ -225,6 +239,13 @@ impl TraceHistograms {
             evict_scan: Histogram::new("evict_scan"),
         }
     }
+
+    /// Clears every histogram, keeping the allocation. Lets benchmarks
+    /// reuse one subscribed sink across iterations instead of rebuilding
+    /// the kernel's sink list per measurement.
+    pub fn reset(&mut self) {
+        *self = TraceHistograms::new();
+    }
 }
 
 impl Default for TraceHistograms {
@@ -236,7 +257,10 @@ impl Default for TraceHistograms {
 /// A sink that folds the event stream's metric payloads into log2-bucketed
 /// [`Histogram`]s: fault latency, preload lead time, stream length, and
 /// eviction scan cost.
-#[derive(Debug)]
+///
+/// Cloning yields a second sink sharing the same histograms, so one can be
+/// subscribed while the caller keeps draining the other's handle.
+#[derive(Debug, Clone)]
 pub struct HistogramSink {
     hists: Rc<RefCell<TraceHistograms>>,
 }
@@ -408,6 +432,10 @@ impl<W: Write> TraceSink for JsonlWriterSink<W> {
         if let Some(v) = event.value {
             line.push_str(&format!(",\"value\":{v}"));
         }
+        line.push_str(&format!(",\"span\":{}", event.span.raw()));
+        if let Some(p) = event.parent {
+            line.push_str(&format!(",\"parent\":{}", p.raw()));
+        }
         line.push_str("}\n");
         if out.write_all(line.as_bytes()).is_err() {
             self.failed = true;
@@ -436,6 +464,8 @@ mod tests {
             what,
             page: Some(VirtPage::new(7)),
             value: Some(at),
+            span: crate::SpanId::new(at),
+            parent: None,
         }
     }
 
@@ -456,6 +486,7 @@ mod tests {
             EventKind::FaultResolved,
             EventKind::PreloadHit,
             EventKind::StreamPredicted,
+            EventKind::RunEnd,
         ];
         for k in kinds {
             sink.on_event(&ev(1, k));
@@ -469,6 +500,7 @@ mod tests {
         assert_eq!(c.valve_stops, 1);
         assert_eq!(c.preload_aborts, 2);
         assert_eq!(c.stream_predictions, 1);
+        assert_eq!(c.run_ends, 1);
     }
 
     #[test]
@@ -511,13 +543,15 @@ mod tests {
             what: EventKind::ValveStopped,
             page: None,
             value: None,
+            span: crate::SpanId::new(2),
+            parent: Some(crate::SpanId::new(5)),
         });
         assert_eq!(sink.written(), 2);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(
             text,
-            "{\"at\":5,\"kind\":\"fault\",\"page\":7,\"value\":5}\n\
-             {\"at\":9,\"kind\":\"valve-stopped\"}\n"
+            "{\"at\":5,\"kind\":\"fault\",\"page\":7,\"value\":5,\"span\":5}\n\
+             {\"at\":9,\"kind\":\"valve-stopped\",\"span\":2,\"parent\":5}\n"
         );
     }
 

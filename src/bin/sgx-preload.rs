@@ -10,15 +10,16 @@
 //! sgx-preload replay --trace lbm.csv --scheme dfp
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::process::ExitCode;
 
-use sgx_preloading::kernel::{EventKind, Kernel, KernelConfig};
+use sgx_preloading::kernel::EventKind;
 use sgx_preloading::{
-    build_plan, effective_jobs, profile_stream, AppSpec, Benchmark, Campaign, CampaignReport,
-    ChaosPreset, CollectingSink, CountingSink, Cycles, HistogramSink, InputSet, JsonlWriterSink,
-    MultiStreamPredictor, NoPredictor, NotifyPlacement, Predictor, ProcessId, RecordedTrace,
-    RunReport, Scale, Scheme, SeedMode, SimConfig, SimRun, StreamConfig, TenantPolicy,
+    build_plan, effective_jobs, profile_stream, render_chrome_trace, AppSpec, Benchmark, Campaign,
+    CampaignReport, ChaosPreset, CollectingSink, CountingSink, Cycles, HistogramSink, InputSet,
+    JsonlWriterSink, NotifyPlacement, RecordedTrace, RunReport, Scale, Scheme, SeedMode,
+    SeriesFormat, SimConfig, SimRun, StreamConfig, TenantPolicy, TimeSeriesSink,
+    DEFAULT_TIMELINE_SERIES_INTERVAL,
 };
 
 const USAGE: &str = "\
@@ -35,7 +36,9 @@ COMMANDS:
     profile                    profile a benchmark and show the SIP plan
     trace                      record a benchmark's access trace to CSV
     replay                     run a recorded trace through the simulator
-    timeline                   print the kernel's paging-event sequence
+    timeline                   run one benchmark and export its causal span
+                               timeline (event table, Chrome trace, gauge
+                               series, cycle attribution)
     chaos                      run a benchmark under fault injection and
                                check the graceful-degradation invariants
     contend                    co-run a victim with an aggressor enclave and
@@ -54,8 +57,12 @@ suite/campaign OPTIONS:
     --json-out <file>              write the full campaign report as JSON
     --trace-out <dir>              stream each cell's paging events to
                                    <dir>/<index>_<label>.jsonl
+    --timeline-out <dir>           write each cell's Chrome trace + gauge series
+                                   to <dir>/<index>_<label>.{chrome.json,series.csv}
     --hist                         print per-cell fault-latency and preload-lead
                                    percentiles (p50/p90/p99)
+    --attr                         print per-cell cycle attribution (percent of
+                                   total cycles per subsystem bucket)
 
 campaign OPTIONS:
     --benches <a,b,..>             comma-separated benchmarks (default: all)
@@ -85,7 +92,16 @@ replay OPTIONS:
     --trace <file>                 trace CSV recorded by `trace`
 
 timeline OPTIONS:
-    --bench <name> --scheme <s> -n <events to print, default 40>
+    --bench <name> --scheme <s>    workload and scheme (scheme default: baseline)
+    -n <N>                         events to print (default 40; 0 = none)
+    --chrome-out <file>            write the run's Chrome trace-event JSON
+                                   (load it at ui.perfetto.dev)
+    --series-out <file>            sample kernel gauges into a time series
+                                   (CSV, or JSON when the path ends in .json)
+    --series-every <N>             sampling interval in cycles (default 100000)
+    --attr                         print the cycle-attribution table
+    --json-out <file>              write a timeline summary (event/span counts,
+                                   attribution, invariant checks) as JSON
 
 chaos OPTIONS:
     --bench <name> --scheme <s>    workload and scheme (scheme default: baseline)
@@ -120,7 +136,7 @@ struct Args {
 }
 
 /// Flags that take no value; their presence means `true`.
-const BOOL_FLAGS: [&str; 1] = ["hist"];
+const BOOL_FLAGS: [&str; 2] = ["hist", "attr"];
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
@@ -310,12 +326,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 /// The schemes the `suite` table compares against baseline, in column order.
 const SUITE_SCHEMES: [Scheme; 4] = [Scheme::Dfp, Scheme::DfpStop, Scheme::Sip, Scheme::Hybrid];
 
-/// Applies the shared `--trace-out` option to a campaign.
-fn apply_trace_out(args: &Args, campaign: Campaign) -> Campaign {
-    match args.get("trace-out") {
-        Some(dir) => campaign.with_trace_dir(dir),
-        None => campaign,
+/// Applies the shared `--trace-out` / `--timeline-out` options to a
+/// campaign.
+fn apply_trace_out(args: &Args, mut campaign: Campaign) -> Campaign {
+    if let Some(dir) = args.get("trace-out") {
+        campaign = campaign.with_trace_dir(dir);
     }
+    if let Some(dir) = args.get("timeline-out") {
+        campaign = campaign.with_timeline_dir(dir);
+    }
+    campaign
 }
 
 /// The `--hist` table: per-cell latency percentiles, derived from the
@@ -337,6 +357,24 @@ fn print_percentiles(report: &CampaignReport) {
             r.preload_lead_p90.raw(),
             r.preload_lead_p99.raw(),
         );
+    }
+}
+
+/// The `--attr` table: per-cell cycle attribution as percentages of each
+/// cell's own total (the buckets sum to the total exactly).
+fn print_attribution(report: &CampaignReport) {
+    println!(
+        "\n{:<32} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "cell", "compute", "demand", "aex", "chwait", "preload", "wasted", "scan", "evict"
+    );
+    for c in &report.cells {
+        let a = &c.report.attribution;
+        let total = a.total().max(1) as f64;
+        print!("{:<32}", c.label);
+        for (_, v) in a.buckets() {
+            print!(" {:>7.1}%", v as f64 * 100.0 / total);
+        }
+        println!();
     }
 }
 
@@ -375,6 +413,9 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
     if args.flag("hist") {
         print_percentiles(&report);
     }
+    if args.flag("attr") {
+        print_attribution(&report);
+    }
     write_json_out(args, &report.to_json())?;
     Ok(())
 }
@@ -395,6 +436,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     print!("{report}");
     if args.flag("hist") {
         print_percentiles(&report);
+    }
+    if args.flag("attr") {
+        print_attribution(&report);
     }
     write_json_out(args, &report.to_json())?;
     Ok(())
@@ -847,7 +891,8 @@ fn cmd_contend(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_timeline(args: &Args) -> Result<(), String> {
-    let cfg = args.config()?;
+    let t0 = std::time::Instant::now();
+    let mut cfg = args.config()?;
     let bench = args.bench()?;
     let scheme = args.scheme()?;
     if scheme.is_user_level() {
@@ -856,44 +901,163 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
         );
     }
     let limit = args.parsed::<usize>("n")?.unwrap_or(40);
-    let predictor: Box<dyn Predictor> = if scheme.uses_dfp() {
-        Box::new(MultiStreamPredictor::new(cfg.stream))
-    } else {
-        Box::new(NoPredictor)
-    };
-    let mut kernel = Kernel::try_new(
-        KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs),
-        predictor,
-    )
-    .map_err(|e| e.to_string())?;
-    let pid = ProcessId(0);
-    kernel
-        .register_enclave(pid, bench.elrange_pages(cfg.scale))
-        .map_err(|e| e.to_string())?;
-    let (sink, events) = CollectingSink::new();
-    kernel.subscribe(Box::new(sink));
+    if args.get("series-out").is_some() && cfg.series_interval == 0 {
+        let every = args
+            .parsed::<u64>("series-every")?
+            .unwrap_or(DEFAULT_TIMELINE_SERIES_INTERVAL);
+        cfg = cfg.with_series_interval(every);
+    }
 
-    println!("{:>16}  {:<14} page", "cycle", "event");
-    let mut printed = 0usize;
-    let mut now = Cycles::ZERO;
-    for a in bench.build(InputSet::Ref, cfg.scale, cfg.seed) {
-        now += a.compute;
-        if kernel.app_access(now, pid, a.page).is_none() {
-            now = kernel.page_fault(now, pid, a.page).resume_at;
-        }
-        for e in events.borrow_mut().drain(..) {
+    let (collector, collected) = CollectingSink::new();
+    let mut run = SimRun::new(&cfg)
+        .scheme(scheme)
+        .bench(bench)
+        .sink(Box::new(collector));
+    if let Some(path) = args.get("series-out") {
+        let format = if path.ends_with(".json") {
+            SeriesFormat::Json
+        } else {
+            SeriesFormat::Csv
+        };
+        let series = TimeSeriesSink::create(path, format)
+            .map_err(|e| format!("--series-out {path}: {e}"))?;
+        run = run.sink(Box::new(series));
+    }
+    let report = run.run_one().map_err(|e| e.to_string())?;
+    let events = collected.borrow();
+
+    if limit > 0 {
+        println!(
+            "{:>16}  {:<16} {:>8} {:>8}  page",
+            "cycle", "event", "span", "parent"
+        );
+        for e in events.iter().take(limit) {
             println!(
-                "{:>16}  {:<14} {}",
+                "{:>16}  {:<16} {:>8} {:>8}  {}",
                 e.at.to_string(),
                 e.what.to_string(),
+                e.span.to_string(),
+                e.parent.map(|p| p.to_string()).unwrap_or_default(),
                 e.page.map(|p| p.to_string()).unwrap_or_default()
             );
-            printed += 1;
         }
-        if printed >= limit {
-            break;
+        if events.len() > limit {
+            println!("  ... {} more events (raise -n)", events.len() - limit);
         }
     }
+
+    // The lineage invariants the span model promises (DESIGN.md §4.4).
+    let mut violations: Vec<String> = Vec::new();
+    let emitted: BTreeSet<u64> = events.iter().map(|e| e.span.raw()).collect();
+    let preload_spans: BTreeSet<u64> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.what,
+                EventKind::PreloadStart | EventKind::SipPrefetchStart
+            )
+        })
+        .map(|e| e.span.raw())
+        .collect();
+    for e in events.iter() {
+        if let Some(p) = e.parent {
+            if !emitted.contains(&p.raw()) {
+                violations.push(format!(
+                    "{} at {} has parent {p} which no event carries",
+                    e.what, e.at
+                ));
+            }
+            if e.what == EventKind::FaultResolved && !preload_spans.contains(&p.raw()) {
+                violations.push(format!(
+                    "fault-resolved at {} parents {p}, which is not a preload span",
+                    e.at
+                ));
+            }
+        }
+    }
+    let run_ends = events
+        .iter()
+        .filter(|e| e.what == EventKind::RunEnd)
+        .count();
+    match events.last() {
+        Some(last) if last.what == EventKind::RunEnd && run_ends == 1 => {
+            if last.value != Some(report.total_cycles.raw()) {
+                violations.push(format!(
+                    "run-end carries {:?} cycles, report says {}",
+                    last.value,
+                    report.total_cycles.raw()
+                ));
+            }
+        }
+        _ => violations.push(format!(
+            "expected the trace to end with exactly one run-end, saw {run_ends}"
+        )),
+    }
+    let reconciles = report.attribution.total() == report.total_cycles.raw();
+    if !reconciles {
+        violations.push(format!(
+            "attribution buckets sum to {}, run total is {}",
+            report.attribution.total(),
+            report.total_cycles.raw()
+        ));
+    }
+
+    println!(
+        "{} events across {} spans; total {} cycles",
+        events.len(),
+        emitted.len(),
+        report.total_cycles
+    );
+    if args.flag("attr") {
+        let total = report.attribution.total().max(1) as f64;
+        println!("cycle attribution (buckets sum to the total exactly):");
+        for (name, v) in report.attribution.buckets() {
+            println!(
+                "  {:<16} {:>16} ({:>5.1}%)",
+                name,
+                v,
+                v as f64 * 100.0 / total
+            );
+        }
+    }
+    if let Some(path) = args.get("chrome-out") {
+        let json = render_chrome_trace(&events);
+        std::fs::write(path, &json).map_err(|e| format!("--chrome-out {path}: {e}"))?;
+        println!("chrome trace: {path} (open at ui.perfetto.dev)");
+    }
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"bench\":\"{}\",\"scheme\":\"{}\",\"total_cycles\":{},\"events\":{},\"spans\":{},\"run_ends\":{},\"reconciles\":{},\"violations\":[",
+        bench.name(),
+        scheme.name(),
+        report.total_cycles.raw(),
+        events.len(),
+        emitted.len(),
+        run_ends,
+        reconciles,
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{v:?}"));
+    }
+    json.push_str("],\"attribution\":");
+    report.attribution.write_json(&mut json);
+    json.push_str(&format!(
+        ",\"wall_nanos\":{}}}",
+        t0.elapsed().as_nanos() as u64
+    ));
+    write_json_out(args, &json)?;
+
+    if !violations.is_empty() {
+        return Err(format!(
+            "span invariants violated: {}",
+            violations.join("; ")
+        ));
+    }
+    println!("span invariants hold (lineage, run-end, attribution reconciles)");
     Ok(())
 }
 

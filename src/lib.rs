@@ -64,14 +64,16 @@ pub use sgx_dfp::{
 };
 pub use sgx_epc::{CostModel, VictimPolicy, VirtPage};
 pub use sgx_kernel::{
-    CollectingSink, CountingSink, HistogramSink, JsonlWriterSink, KernelError, TailSink,
-    TraceHistograms, TraceSink,
+    render_chrome_trace, ChromeTraceSink, CollectingSink, CountingSink, CycleAttribution,
+    GaugeSample, HistogramSink, JsonlWriterSink, KernelError, SeriesFormat, SpanId, TailSink,
+    TimeSeriesSink, TraceHistograms, TraceSink,
 };
 pub use sgx_preload_core::{
     build_plan, derive_cell_seed, effective_jobs, run_userspace_paging, AppSpec, AppSpecBuilder,
     Campaign, CampaignReport, Cell, CellReport, ChaosPreset, ChaosSchedule, ChaosStats,
     EventCounts, FaultInjector, RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun,
-    SpecError, TenantPolicy, TenantQuota, TenantShare, TenantStats, UserPagingConfig, MAX_TENANTS,
+    SpecError, TenantPolicy, TenantQuota, TenantShare, TenantStats, UserPagingConfig,
+    DEFAULT_TIMELINE_SERIES_INTERVAL, MAX_TENANTS,
 };
 pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{

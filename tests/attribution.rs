@@ -1,0 +1,137 @@
+//! Property tests for the per-subsystem cycle attribution (DESIGN.md §4.4).
+//!
+//! The contract: the eight buckets are non-negative (they are `u64` by
+//! construction) and sum *exactly* to the run's total cycles — no cycle is
+//! counted twice and none goes missing — on every workload × scheme ×
+//! chaos-preset combination. Schemes that never preload never bill the
+//! preload buckets, and every resolved fault's causal parent is a preload
+//! span.
+
+use std::collections::BTreeSet;
+
+use sgx_preloading::kernel::EventKind;
+use sgx_preloading::{Benchmark, ChaosPreset, CollectingSink, Scale, Scheme, SimConfig, SimRun};
+
+fn cfg(preset: ChaosPreset) -> SimConfig {
+    let cfg = SimConfig::at_scale(Scale::new(64));
+    match preset {
+        ChaosPreset::None => cfg,
+        _ => {
+            let seed = cfg.seed;
+            cfg.with_chaos(preset.schedule(seed))
+        }
+    }
+}
+
+#[test]
+fn buckets_sum_to_total_on_every_workload_scheme_and_preset() {
+    for bench in Benchmark::ALL {
+        for scheme in Scheme::ALL {
+            for preset in ChaosPreset::ALL {
+                let r = SimRun::new(&cfg(preset))
+                    .scheme(scheme)
+                    .bench(bench)
+                    .run_one()
+                    .expect("kernel scheme on a known benchmark");
+                let a = &r.attribution;
+                assert_eq!(
+                    a.total(),
+                    r.total_cycles.raw(),
+                    "{}/{}/{}: buckets must sum to the run total",
+                    bench.name(),
+                    scheme.name(),
+                    preset.name(),
+                );
+                // `buckets()` walks every field exactly once: the table
+                // view and the struct agree.
+                let by_hand: u64 = a.buckets().iter().map(|&(_, v)| v).sum();
+                assert_eq!(by_hand, a.total());
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_without_chaos_never_bills_preload_buckets() {
+    for bench in Benchmark::ALL {
+        let r = SimRun::new(&cfg(ChaosPreset::None))
+            .bench(bench)
+            .run_one()
+            .expect("baseline on a known benchmark");
+        assert_eq!(r.scheme, Scheme::Baseline);
+        assert_eq!(
+            r.attribution.wasted_preload,
+            0,
+            "{}: no predictor, nothing to waste",
+            bench.name()
+        );
+        assert_eq!(r.attribution.preload_work, 0, "{}", bench.name());
+    }
+}
+
+#[test]
+fn user_level_attribution_reconciles_too() {
+    let r = SimRun::new(&SimConfig::at_scale(Scale::new(64)))
+        .scheme(Scheme::UserLevel)
+        .bench(Benchmark::Lbm)
+        .run_one()
+        .expect("user-level runtime on a known benchmark");
+    assert_eq!(r.attribution.total(), r.total_cycles.raw());
+    assert_eq!(r.attribution.preload_work, 0);
+}
+
+/// Every `FaultResolved` event either has no parent (a cold fault the
+/// predictor never saw coming) or parents the `PreloadStart` /
+/// `SipPrefetchStart` span whose page the fault collided with.
+#[test]
+fn fault_resolved_parents_are_preload_spans() {
+    for scheme in Scheme::ALL {
+        for preset in ChaosPreset::ALL {
+            let (sink, collected) = CollectingSink::new();
+            let _ = SimRun::new(&cfg(preset))
+                .scheme(scheme)
+                .bench(Benchmark::MixedBlood)
+                .sink(Box::new(sink))
+                .run_one()
+                .expect("kernel scheme on a known benchmark");
+            let events = collected.borrow();
+            let preload_spans: BTreeSet<u64> = events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.what,
+                        EventKind::PreloadStart | EventKind::SipPrefetchStart
+                    )
+                })
+                .map(|e| e.span.raw())
+                .collect();
+            let mut linked = 0u64;
+            for e in events.iter() {
+                if e.what != EventKind::FaultResolved {
+                    continue;
+                }
+                if let Some(p) = e.parent {
+                    assert!(
+                        preload_spans.contains(&p.raw()),
+                        "{}/{}: fault-resolved at {} parents {p}, not a preload",
+                        scheme.name(),
+                        preset.name(),
+                        e.at,
+                    );
+                    linked += 1;
+                }
+            }
+            // SIP alone serves instrumented pages with blocking loads, so
+            // its faults rarely collide with in-flight work; the DFP
+            // family must race at least once on this workload.
+            if scheme.uses_dfp() && preset == ChaosPreset::None {
+                assert!(
+                    linked > 0,
+                    "{}: a DFP scheme should race at least one fault \
+                     against an in-flight preload on this workload",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}

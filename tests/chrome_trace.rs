@@ -1,0 +1,184 @@
+//! Chrome-trace export regression tests (DESIGN.md §4.4).
+//!
+//! The rendered trace for one fixed small run is pinned as a golden file
+//! under `tests/golden/` (regenerate with `SGX_GOLDEN_UPDATE=1 cargo test
+//! --test chrome_trace`), campaign timeline files are byte-identical
+//! regardless of worker count, and every flow arrow the renderer draws
+//! references two emitted spans.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use sgx_preloading::kernel::{EventKind, LoggedEvent};
+use sgx_preloading::{
+    render_chrome_trace, Benchmark, Campaign, CollectingSink, Scale, Scheme, SimConfig, SimRun,
+};
+
+const UPDATE_ENV: &str = "SGX_GOLDEN_UPDATE";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The fixed small run the golden trace pins: DFP on the microbenchmark,
+/// tiny scale — a few hundred events with faults, preloads and hits.
+fn small_run_events() -> Vec<LoggedEvent> {
+    let cfg = SimConfig::at_scale(Scale::new(16_384));
+    let (sink, collected) = CollectingSink::new();
+    SimRun::new(&cfg)
+        .scheme(Scheme::Dfp)
+        .bench(Benchmark::Microbenchmark)
+        .sink(Box::new(sink))
+        .run_one()
+        .expect("DFP on the microbenchmark");
+    let events = collected.borrow().clone();
+    events
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let got = render_chrome_trace(&small_run_events());
+    let path = golden_path("timeline_small.chrome.json");
+    if std::env::var_os(UPDATE_ENV).is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, &got).expect("write golden trace");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); regenerate with {UPDATE_ENV}=1")
+    });
+    assert_eq!(
+        got, want,
+        "chrome trace diverged from the golden; if intentional, regenerate \
+         with {UPDATE_ENV}=1"
+    );
+}
+
+/// Pulls the `"id":N` field out of a rendered flow-arrow line.
+fn flow_id(line: &str) -> u64 {
+    let at = line.find("\"id\":").expect("flow line carries an id") + 5;
+    line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("id is a number")
+}
+
+#[test]
+fn every_flow_arrow_references_two_emitted_spans() {
+    let events = small_run_events();
+    let emitted: BTreeSet<u64> = events.iter().map(|e| e.span.raw()).collect();
+    let json = render_chrome_trace(&events);
+
+    let mut starts: Vec<u64> = Vec::new();
+    let mut finishes: Vec<u64> = Vec::new();
+    for line in json.lines() {
+        if line.contains("\"ph\":\"s\"") {
+            starts.push(flow_id(line));
+        } else if line.contains("\"ph\":\"f\"") {
+            finishes.push(flow_id(line));
+        }
+    }
+    assert!(!starts.is_empty(), "a DFP run draws causal arrows");
+    assert_eq!(
+        starts, finishes,
+        "every flow start pairs with a finish carrying the same id, in order"
+    );
+    for id in &starts {
+        // The arrow's id is the child span; it and its parent were both
+        // emitted (the renderer drops links to spans absent from the
+        // stream).
+        assert!(emitted.contains(id), "flow id {id} was never emitted");
+        let child = events
+            .iter()
+            .find(|e| e.span.raw() == *id && e.parent.is_some())
+            .unwrap_or_else(|| panic!("flow id {id} has no event with a parent"));
+        let parent = child.parent.expect("filtered above").raw();
+        assert!(
+            emitted.contains(&parent),
+            "flow {id} parent {parent} missing"
+        );
+    }
+}
+
+/// The golden run's event stream itself is well-formed: it ends with the
+/// one and only `RunEnd`, and every parent link resolves.
+#[test]
+fn small_run_stream_is_well_formed() {
+    let events = small_run_events();
+    let emitted: BTreeSet<u64> = events.iter().map(|e| e.span.raw()).collect();
+    for e in &events {
+        if let Some(p) = e.parent {
+            assert!(emitted.contains(&p.raw()), "{} parent unresolved", e.what);
+        }
+    }
+    let run_ends = events
+        .iter()
+        .filter(|e| e.what == EventKind::RunEnd)
+        .count();
+    assert_eq!(run_ends, 1);
+    assert_eq!(events.last().expect("non-empty").what, EventKind::RunEnd);
+}
+
+fn timeline_campaign(dir: &Path) -> Campaign {
+    Campaign::grid(
+        "timelined",
+        11,
+        &[Benchmark::Microbenchmark],
+        &[Scheme::Baseline, Scheme::Dfp],
+        SimConfig::at_scale(Scale::new(16_384)),
+    )
+    .with_timeline_dir(dir)
+}
+
+/// `Campaign::with_timeline_dir` drops one chrome trace and one gauge
+/// series per cell, named by cell index + label, with identical bytes no
+/// matter how many workers ran the grid.
+#[test]
+fn campaign_timeline_files_are_stable_under_jobs() {
+    let base = std::env::temp_dir().join("sgx_chrome_trace_jobs_test");
+    let _ = std::fs::remove_dir_all(&base);
+    let serial_dir = base.join("serial");
+    let jobs_dir = base.join("jobs");
+    timeline_campaign(&serial_dir).run_serial();
+    timeline_campaign(&jobs_dir).run_with_jobs(4);
+
+    let names = |dir: &Path| -> Vec<String> {
+        let mut v: Vec<String> = std::fs::read_dir(dir)
+            .expect("timeline dir created")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        v.sort();
+        v
+    };
+    let serial = names(&serial_dir);
+    assert_eq!(
+        serial,
+        [
+            "000_microbenchmark-baseline.chrome.json",
+            "000_microbenchmark-baseline.series.csv",
+            "001_microbenchmark-DFP.chrome.json",
+            "001_microbenchmark-DFP.series.csv",
+        ]
+    );
+    assert_eq!(serial, names(&jobs_dir));
+    for name in &serial {
+        let a = std::fs::read(serial_dir.join(name)).unwrap();
+        let b = std::fs::read(jobs_dir.join(name)).unwrap();
+        assert_eq!(a, b, "{name}: bytes diverged between serial and 4 workers");
+        if name.ends_with(".chrome.json") {
+            let text = String::from_utf8(a).expect("trace is UTF-8");
+            assert!(text.starts_with("{\"displayTimeUnit\""), "{name}");
+            assert!(text.trim_end().ends_with("]}"), "{name}: truncated");
+        } else {
+            let text = String::from_utf8(a).expect("series is UTF-8");
+            assert!(text.starts_with("at,epc_resident,"), "{name}: header");
+            assert!(text.lines().count() > 1, "{name}: no samples");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

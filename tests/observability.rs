@@ -135,6 +135,43 @@ fn percentiles_are_ordered_and_deterministic_across_jobs() {
     }
 }
 
+/// The terminal `RunEnd` event is emitted exactly once, last, with the
+/// run's total cycles as its value — a stream consumer can tell a complete
+/// trace from a truncated one and reconcile it against the report without
+/// ever seeing the report.
+#[test]
+fn run_end_is_emitted_once_last_and_reconciles_with_the_report() {
+    use sgx_preloading::kernel::EventKind;
+    for scheme in KERNEL_SCHEMES {
+        let (sink, collected) = CollectingSink::new();
+        let r = SimRun::new(&cfg())
+            .scheme(scheme)
+            .bench(Benchmark::Microbenchmark)
+            .sink(Box::new(sink))
+            .run_one()
+            .expect("kernel scheme on the microbenchmark");
+        let events = collected.borrow();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.what == EventKind::RunEnd)
+            .collect();
+        assert_eq!(ends.len(), 1, "{}: exactly one run-end", scheme.name());
+        assert_eq!(
+            ends[0].value,
+            Some(r.total_cycles.raw()),
+            "{}: run-end carries the total",
+            scheme.name()
+        );
+        assert!(ends[0].parent.is_none(), "{}", scheme.name());
+        assert_eq!(
+            events.last().expect("stream non-empty").what,
+            EventKind::RunEnd,
+            "{}: run-end is the final event",
+            scheme.name()
+        );
+    }
+}
+
 /// `Campaign::with_trace_dir` drops one parseable JSONL file per cell.
 #[test]
 fn campaign_trace_dir_streams_one_jsonl_file_per_cell() {
