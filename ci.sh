@@ -62,6 +62,27 @@ print(f"timeline OK: {summary['events']} events, {summary['spans']} spans, "
       f"{len(trace['traceEvents'])} chrome entries")
 EOF
 
+echo "==> throughput"
+# The hot-path engine's headline number: wall-clock events/sec on the
+# timeline microbenchmark cell (Chrome-trace sink attached). The stage
+# fails if the engine falls back under 10x the pre-rewrite baseline.
+mkdir -p results
+./target/release/sgx-preload throughput --bench microbenchmark --scheme dfp \
+  --scale 48 --iters 5 --json-out results/BENCH_throughput.json
+python3 - <<'EOF'
+import json
+with open("results/BENCH_throughput.json") as f:
+    t = json.load(f)
+assert t["events"] > 0 and t["pages"] > 0, t
+floor = 10.0 * t["baseline_events_per_sec"]
+assert t["events_per_sec"] >= floor, (
+    f"throughput regression: {t['events_per_sec']:.0f} events/sec is below "
+    f"10x the pre-rewrite baseline ({floor:.0f})")
+print(f"throughput OK: {t['events_per_sec']:.0f} events/sec "
+      f"({t['speedup_vs_baseline']:.1f}x baseline), "
+      f"{t['simulated_pages_per_sec']:.0f} simulated-pages/sec")
+EOF
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 

@@ -293,9 +293,22 @@ pub(crate) fn run_kernel_apps(
                 st.now = kernel.sip_load(st.now, st.pid, access.page);
                 st.sip_notifies += 1;
             }
-            let touched = kernel.app_access(st.now, st.pid, access.page);
-            debug_assert!(touched.is_some(), "page present after SIP load");
-            st.epc_hits += 1;
+            match kernel.app_access(st.now, st.pid, access.page) {
+                Some(_) => st.epc_hits += 1,
+                None => {
+                    // Chaos pressure can evict the just-SIP-loaded page
+                    // before the touch lands; fall back to the demand
+                    // path instead of crediting a phantom hit.
+                    let r = kernel.page_fault(st.now, st.pid, access.page);
+                    st.faults += 1;
+                    match r.kind {
+                        sgx_kernel::FaultServicing::WaitedForInflight => st.faults_waited += 1,
+                        sgx_kernel::FaultServicing::FoundResident => st.faults_raced += 1,
+                        sgx_kernel::FaultServicing::DemandLoaded => {}
+                    }
+                    st.now = r.resume_at;
+                }
+            }
         } else {
             match kernel.app_access(st.now, st.pid, access.page) {
                 Some(_) => st.epc_hits += 1,

@@ -59,6 +59,22 @@ pub trait Predictor {
     /// are already gone). Returns the pages to preload.
     fn on_fault(&mut self, now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction;
 
+    /// Allocation-free form of [`Predictor::on_fault`]: appends the
+    /// predicted pages to `out` (the caller's reused scratch buffer, passed
+    /// in empty) in the same order `on_fault` would return them.
+    ///
+    /// The default forwards to `on_fault`; hot-path predictors override it
+    /// to write into `out` directly and skip the per-fault `Vec`.
+    fn on_fault_into(
+        &mut self,
+        now: Cycles,
+        pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
+        out.extend(self.on_fault(now, pid, npn).pages);
+    }
+
     /// A short, stable name for reports (e.g. `"multi-stream"`).
     fn name(&self) -> &'static str;
 

@@ -24,7 +24,6 @@
 //! Algorithm 1 passes a `direction`; descending streams (backward scans) are
 //! recognized when [`StreamConfig::backward`] is set.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use sgx_epc::VirtPage;
@@ -189,6 +188,14 @@ impl StreamList {
     /// stream's direction) are predicted. On a miss the LRU entry is
     /// replaced by a new stream seeded at `npn` and nothing is predicted.
     pub fn on_fault(&mut self, npn: VirtPage) -> Prediction {
+        let mut pages = Vec::new();
+        self.on_fault_into(npn, &mut pages);
+        Prediction::of(pages)
+    }
+
+    /// Allocation-free form of [`StreamList::on_fault`]: appends the pages
+    /// to preload to `out` (in the same order `on_fault` returns them).
+    pub fn on_fault_into(&mut self, npn: VirtPage, out: &mut Vec<VirtPage>) {
         let hit = self
             .entries
             .iter()
@@ -201,18 +208,16 @@ impl StreamList {
                 e.stpn = npn;
                 e.dir = dir;
                 self.entries.push_front(e);
-                let mut pages = Vec::with_capacity(self.cfg.load_length as usize);
                 for k in 1..=self.cfg.load_length {
                     match dir {
-                        Direction::Forward => pages.push(npn.offset(k)),
+                        Direction::Forward => out.push(npn.offset(k)),
                         Direction::Backward => {
                             if npn.raw() >= k {
-                                pages.push(VirtPage::new(npn.raw() - k));
+                                out.push(VirtPage::new(npn.raw() - k));
                             }
                         }
                     }
                 }
-                Prediction::of(pages)
             }
             None => {
                 self.misses += 1;
@@ -223,7 +228,6 @@ impl StreamList {
                     stpn: npn,
                     dir: Direction::Forward,
                 });
-                Prediction::none()
             }
         }
     }
@@ -260,7 +264,9 @@ impl StreamList {
 #[derive(Debug, Clone)]
 pub struct MultiStreamPredictor {
     cfg: StreamConfig,
-    per_process: HashMap<ProcessId, StreamList>,
+    // Few processes fault per run, so a first-fault-ordered Vec with a
+    // linear probe beats hashing every fault (and stays deterministic).
+    per_process: Vec<(ProcessId, StreamList)>,
 }
 
 impl MultiStreamPredictor {
@@ -268,7 +274,7 @@ impl MultiStreamPredictor {
     pub fn new(cfg: StreamConfig) -> Self {
         MultiStreamPredictor {
             cfg,
-            per_process: HashMap::new(),
+            per_process: Vec::new(),
         }
     }
 
@@ -279,17 +285,32 @@ impl MultiStreamPredictor {
 
     /// The stream list of `pid`, if that process has faulted.
     pub fn stream_list(&self, pid: ProcessId) -> Option<&StreamList> {
-        self.per_process.get(&pid)
+        self.per_process
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, l)| l)
+    }
+
+    /// The stream list of `pid`, creating it on first fault.
+    fn list_mut(&mut self, pid: ProcessId) -> &mut StreamList {
+        let idx = match self.per_process.iter().position(|(p, _)| *p == pid) {
+            Some(i) => i,
+            None => {
+                self.per_process.push((pid, StreamList::new(self.cfg)));
+                self.per_process.len() - 1
+            }
+        };
+        &mut self.per_process[idx].1
     }
 
     /// Total stream matches across processes.
     pub fn total_matches(&self) -> u64 {
-        self.per_process.values().map(StreamList::matches).sum()
+        self.per_process.iter().map(|(_, l)| l.matches()).sum()
     }
 
     /// Total stream misses across processes.
     pub fn total_misses(&self) -> u64 {
-        self.per_process.values().map(StreamList::misses).sum()
+        self.per_process.iter().map(|(_, l)| l.misses()).sum()
     }
 }
 
@@ -301,10 +322,17 @@ impl Default for MultiStreamPredictor {
 
 impl Predictor for MultiStreamPredictor {
     fn on_fault(&mut self, _now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
-        self.per_process
-            .entry(pid)
-            .or_insert_with(|| StreamList::new(self.cfg))
-            .on_fault(npn)
+        self.list_mut(pid).on_fault(npn)
+    }
+
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
+        self.list_mut(pid).on_fault_into(npn, out)
     }
 
     fn name(&self) -> &'static str {
@@ -316,7 +344,7 @@ impl Predictor for MultiStreamPredictor {
     }
 
     fn live_streams(&self) -> u64 {
-        self.per_process.values().map(|l| l.len() as u64).sum()
+        self.per_process.iter().map(|(_, l)| l.len() as u64).sum()
     }
 }
 

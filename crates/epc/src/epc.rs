@@ -4,12 +4,31 @@
 //! got there (demand fault, DFP preload, SIP request), CLOCK access bits,
 //! and the preload-accuracy accounting that feeds DFP's abort mechanism
 //! (paper §4.2: `PreloadCounter` / `AccPreloadCounter`).
+//!
+//! # Layout
+//!
+//! The residency table is struct-of-arrays: each resident page occupies a
+//! dense *slot*, and per-page metadata (page number, load origin, touch
+//! bit, owning tenant) lives in parallel arrays indexed by slot. A flat
+//! hash index maps page number → slot; the default CLOCK engine runs
+//! directly over slot indices (see [`crate::ClockQueue`]'s ring), so the
+//! hot fault path does one hash probe and a few array writes instead of
+//! the `HashMap`-per-structure design this replaced. Non-default victim
+//! policies still plug in through the boxed [`ReplacementPolicy`] trait.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
+use sgx_sim::FastMap;
+
+use crate::clock::ClockRing;
 use crate::{ReplacementPolicy, VictimPolicy, VirtPage};
+
+/// Sentinel page number marking a dead slot.
+const NO_PAGE: u64 = u64::MAX;
+
+/// Sentinel tenant index for pages outside every registered extent.
+const NO_OWNER: u16 = u16::MAX;
 
 /// How a page came to be loaded into EPC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -20,13 +39,6 @@ pub enum LoadOrigin {
     Preload,
     /// Loaded on an explicit SIP notification from instrumented code.
     Sip,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PageMeta {
-    origin: LoadOrigin,
-    /// For preloaded pages: has the application touched it yet?
-    touched: bool,
 }
 
 /// Returned by [`Epc::insert`] when no free slot exists; the caller must
@@ -53,6 +65,10 @@ pub struct TouchOutcome {
     /// `true` exactly once per preloaded page: on its first touch. Drives
     /// the `AccPreloadCounter` of the DFP abort mechanism.
     pub first_touch_of_preload: bool,
+    /// The slot holding the page while it stays resident (`None` on a
+    /// miss). Callers can key side tables off this instead of re-hashing
+    /// the page.
+    pub slot: Option<u32>,
 }
 
 /// Outcome of [`Epc::evict_victim`].
@@ -66,6 +82,9 @@ pub struct Eviction {
     /// Entries the replacement policy inspected to find this victim (CLOCK
     /// sweep length; 1 for direct-pick policies).
     pub scanned: u64,
+    /// The slot the page occupied; freed by this eviction, so side tables
+    /// keyed on it must be cleared before the slot is reused.
+    pub slot: u32,
 }
 
 /// An EPC residency quota for one registered tenant extent.
@@ -104,9 +123,18 @@ struct TenantExtent {
     resident: u64,
     preloads_completed: u64,
     preloads_touched: u64,
+    /// Dense page → slot table over the extent's local page numbers
+    /// (`slot + 1`; `0` = not resident). One array load replaces the hash
+    /// probe for every page inside a registered extent — the entire hot
+    /// path once the kernel has registered its enclaves.
+    slots: Vec<u32>,
 }
 
 impl TenantExtent {
+    /// Extents above this page count keep their residency in the shared
+    /// hash index instead of a dense table (bounds worst-case memory).
+    const DENSE_LIMIT: u64 = 1 << 26;
+
     fn contains(&self, page: VirtPage) -> bool {
         page >= self.base && page.raw() < self.base.raw() + self.pages
     }
@@ -114,6 +142,16 @@ impl TenantExtent {
     fn over_soft(&self) -> bool {
         self.quota.soft_pages > 0 && self.resident > self.quota.soft_pages
     }
+}
+
+/// Victim-selection engine: the default CLOCK scheme runs natively over
+/// slot indices; everything else goes through the boxed trait object.
+#[derive(Debug)]
+enum Engine {
+    /// Word-at-a-time CLOCK ring whose tokens are EPC slot indices.
+    Clock(ClockRing),
+    /// Pluggable page-keyed policies (FIFO, LRU, random).
+    Boxed(Box<dyn ReplacementPolicy>),
 }
 
 /// The EPC: a fixed number of page slots plus residency metadata.
@@ -140,8 +178,21 @@ impl TenantExtent {
 #[derive(Debug)]
 pub struct Epc {
     capacity: u64,
-    resident: HashMap<VirtPage, PageMeta>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Page number per slot; `NO_PAGE` marks a free slot.
+    slot_page: Vec<u64>,
+    /// Load origin per slot (stale in free slots).
+    slot_origin: Vec<LoadOrigin>,
+    /// Whether the application has touched the page in this slot.
+    slot_touched: Vec<bool>,
+    /// Owning tenant per slot (`NO_OWNER` outside every extent).
+    slot_owner: Vec<u16>,
+    /// Free slots, recycled LIFO.
+    free: Vec<u32>,
+    /// page number → slot for pages outside every dense extent table.
+    index: FastMap,
+    /// Resident page count (dense tables plus `index`).
+    resident: u64,
+    engine: Engine,
     preloads_completed: u64,
     preloads_touched: u64,
     preloads_evicted_untouched: u64,
@@ -171,10 +222,20 @@ impl Epc {
     /// Panics if `capacity == 0`.
     pub fn with_policy(capacity: u64, policy: VictimPolicy) -> Self {
         assert!(capacity > 0, "EPC must have at least one slot");
+        let engine = match policy {
+            VictimPolicy::Clock => Engine::Clock(ClockRing::new()),
+            other => Engine::Boxed(other.build()),
+        };
         Epc {
             capacity,
-            resident: HashMap::new(),
-            policy: policy.build(),
+            slot_page: Vec::new(),
+            slot_origin: Vec::new(),
+            slot_touched: Vec::new(),
+            slot_owner: Vec::new(),
+            free: Vec::new(),
+            index: FastMap::new(),
+            resident: 0,
+            engine,
             preloads_completed: 0,
             preloads_touched: 0,
             preloads_evicted_untouched: 0,
@@ -185,7 +246,10 @@ impl Epc {
 
     /// The victim-selection policy's name (e.g. `"clock"`).
     pub fn policy_name(&self) -> &'static str {
-        self.policy.name()
+        match &self.engine {
+            Engine::Clock(_) => "clock",
+            Engine::Boxed(p) => p.name(),
+        }
     }
 
     /// Total page slots.
@@ -195,7 +259,7 @@ impl Epc {
 
     /// Resident page count.
     pub fn resident_count(&self) -> u64 {
-        self.resident.len() as u64
+        self.resident
     }
 
     /// Free page slots.
@@ -203,12 +267,64 @@ impl Epc {
         self.capacity - self.resident_count()
     }
 
-    /// Whether `page` is resident.
-    pub fn is_resident(&self, page: VirtPage) -> bool {
-        self.resident.contains_key(&page)
+    /// The slot holding page number `g`, via the owning extent's dense
+    /// table when one exists, the hash index otherwise.
+    #[inline]
+    fn lookup(&self, g: u64) -> Option<u32> {
+        for e in &self.extents {
+            if g.wrapping_sub(e.base.raw()) < e.pages && !e.slots.is_empty() {
+                let s = e.slots[(g - e.base.raw()) as usize];
+                return if s == 0 { None } else { Some(s - 1) };
+            }
+        }
+        self.index.get(g).map(|s| s as u32)
     }
 
-    /// Loads `page` into a free slot.
+    /// Records (or clears, with `None`) the slot holding page number `g`.
+    #[inline]
+    fn store(&mut self, g: u64, slot: Option<u32>) {
+        for e in &mut self.extents {
+            if g.wrapping_sub(e.base.raw()) < e.pages && !e.slots.is_empty() {
+                e.slots[(g - e.base.raw()) as usize] = match slot {
+                    Some(s) => s + 1,
+                    None => 0,
+                };
+                return;
+            }
+        }
+        match slot {
+            Some(s) => {
+                self.index.insert(g, u64::from(s));
+            }
+            None => {
+                self.index.remove(g);
+            }
+        }
+    }
+
+    /// Whether `page` is resident.
+    #[inline]
+    pub fn is_resident(&self, page: VirtPage) -> bool {
+        self.lookup(page.raw()).is_some()
+    }
+
+    /// The slot currently holding `page`, if resident. Slot indices are
+    /// stable while the page stays resident and recycle after eviction.
+    #[inline]
+    pub fn slot_of(&self, page: VirtPage) -> Option<u32> {
+        self.lookup(page.raw())
+    }
+
+    /// The resident page in `slot`, if any.
+    #[inline]
+    pub fn page_in_slot(&self, slot: u32) -> Option<VirtPage> {
+        match self.slot_page.get(slot as usize) {
+            Some(&raw) if raw != NO_PAGE => Some(VirtPage::new(raw)),
+            _ => None,
+        }
+    }
+
+    /// Loads `page` into a free slot, returning the slot it occupies.
     ///
     /// Demand/SIP loads enter the CLOCK queue hot (they are about to be
     /// accessed); preloads enter cold so mispredictions are evicted first.
@@ -223,7 +339,7 @@ impl Epc {
     ///
     /// Panics if the page is already resident — a double load indicates a
     /// kernel-model bug.
-    pub fn insert(&mut self, page: VirtPage, origin: LoadOrigin) -> Result<(), EpcFullError> {
+    pub fn insert(&mut self, page: VirtPage, origin: LoadOrigin) -> Result<u32, EpcFullError> {
         if self.free_slots() == 0 {
             return Err(EpcFullError {
                 capacity: self.capacity,
@@ -231,81 +347,167 @@ impl Epc {
         }
         assert!(!self.is_resident(page), "double load of {page}");
         let hot = !matches!(origin, LoadOrigin::Preload);
-        self.policy.insert(page, hot);
-        self.resident.insert(
-            page,
-            PageMeta {
-                origin,
-                touched: hot,
-            },
-        );
+        let owner = self
+            .owner_of(page)
+            .map_or(NO_OWNER, |t| u16::try_from(t).expect("too many tenants"));
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let i = s as usize;
+                self.slot_page[i] = page.raw();
+                self.slot_origin[i] = origin;
+                self.slot_touched[i] = hot;
+                self.slot_owner[i] = owner;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slot_page.len()).expect("EPC exceeds u32 slots");
+                self.slot_page.push(page.raw());
+                self.slot_origin.push(origin);
+                self.slot_touched.push(hot);
+                self.slot_owner.push(owner);
+                s
+            }
+        };
+        self.store(page.raw(), Some(slot));
+        self.resident += 1;
+        match &mut self.engine {
+            Engine::Clock(r) => r.insert(slot, hot),
+            Engine::Boxed(p) => p.insert(page, hot),
+        }
         if matches!(origin, LoadOrigin::Preload) {
             self.preloads_completed += 1;
         }
-        if let Some(t) = self.owner_of(page) {
-            let ext = &mut self.extents[t];
+        if owner != NO_OWNER {
+            let ext = &mut self.extents[owner as usize];
             ext.resident += 1;
             if matches!(origin, LoadOrigin::Preload) {
                 ext.preloads_completed += 1;
             }
         }
-        Ok(())
+        Ok(slot)
     }
 
     /// Records an application access to `page`: sets its CLOCK access bit
     /// and reports whether this was the first touch of a preloaded page.
+    #[inline]
     pub fn touch(&mut self, page: VirtPage) -> TouchOutcome {
-        let owner = self.owner_of(page);
-        match self.resident.get_mut(&page) {
-            None => TouchOutcome {
+        let Some(slot) = self.lookup(page.raw()) else {
+            return TouchOutcome {
                 resident: false,
                 first_touch_of_preload: false,
-            },
-            Some(meta) => {
-                let first_preload_touch =
-                    matches!(meta.origin, LoadOrigin::Preload) && !meta.touched;
-                if first_preload_touch {
-                    self.preloads_touched += 1;
-                    if let Some(t) = owner {
-                        self.extents[t].preloads_touched += 1;
-                    }
-                }
-                meta.touched = true;
-                self.policy.touch(page);
-                TouchOutcome {
-                    resident: true,
-                    first_touch_of_preload: first_preload_touch,
-                }
+                slot: None,
+            };
+        };
+        let i = slot as usize;
+        let first_preload_touch =
+            matches!(self.slot_origin[i], LoadOrigin::Preload) && !self.slot_touched[i];
+        if first_preload_touch {
+            self.preloads_touched += 1;
+            let owner = self.slot_owner[i];
+            if owner != NO_OWNER {
+                self.extents[owner as usize].preloads_touched += 1;
             }
+        }
+        self.slot_touched[i] = true;
+        match &mut self.engine {
+            Engine::Clock(r) => {
+                r.touch(slot);
+            }
+            Engine::Boxed(p) => {
+                p.touch(page);
+            }
+        }
+        TouchOutcome {
+            resident: true,
+            first_touch_of_preload: first_preload_touch,
+            slot: Some(slot),
+        }
+    }
+
+    /// Pops the engine's next victim, returning its slot (already removed
+    /// from the engine but still in the residency table).
+    fn engine_evict(&mut self) -> Option<u32> {
+        let page = match &mut self.engine {
+            Engine::Clock(r) => return r.evict(),
+            Engine::Boxed(p) => p.evict()?,
+        };
+        let slot = self
+            .lookup(page.raw())
+            .expect("policy and residency map diverged");
+        Some(slot)
+    }
+
+    /// Visit count of the most recent engine eviction.
+    fn engine_last_scan(&self) -> u64 {
+        match &self.engine {
+            Engine::Clock(r) => r.last_sweep(),
+            Engine::Boxed(p) => p.last_evict_scan(),
+        }
+    }
+
+    /// Re-enters a still-resident slot into the engine (cold).
+    fn engine_insert_cold(&mut self, slot: u32) {
+        let page = VirtPage::new(self.slot_page[slot as usize]);
+        match &mut self.engine {
+            Engine::Clock(r) => r.insert(slot, false),
+            Engine::Boxed(p) => p.insert(page, false),
+        }
+    }
+
+    /// Drops a slot from the engine without evicting it through a sweep.
+    fn engine_remove(&mut self, slot: u32) -> bool {
+        let page = VirtPage::new(self.slot_page[slot as usize]);
+        match &mut self.engine {
+            Engine::Clock(r) => r.remove(slot),
+            Engine::Boxed(p) => p.remove(page),
+        }
+    }
+
+    /// Entries currently tracked by the engine.
+    fn engine_len(&self) -> usize {
+        match &self.engine {
+            Engine::Clock(r) => r.len(),
+            Engine::Boxed(p) => p.len(),
         }
     }
 
     /// Evicts the policy's victim, returning it, or `None` if the EPC is
     /// empty.
     pub fn evict_victim(&mut self) -> Option<Eviction> {
-        let page = self.policy.evict()?;
-        Some(self.finish_eviction(page, self.policy.last_evict_scan()))
+        let slot = self.engine_evict()?;
+        Some(self.finish_eviction(slot, self.engine_last_scan()))
     }
 
-    /// Removes an already-chosen victim from the residency map and settles
-    /// the accounting shared by every eviction path.
-    fn finish_eviction(&mut self, page: VirtPage, scanned: u64) -> Eviction {
+    /// Removes an already-chosen victim (by slot) from the residency table
+    /// and settles the accounting shared by every eviction path. The
+    /// engine must already have dropped the slot.
+    fn finish_eviction(&mut self, slot: u32, scanned: u64) -> Eviction {
         self.scanned_total += scanned;
-        let meta = self
-            .resident
-            .remove(&page)
-            .expect("policy and residency map diverged");
-        let wasted = matches!(meta.origin, LoadOrigin::Preload) && !meta.touched;
+        let i = slot as usize;
+        let raw = self.slot_page[i];
+        debug_assert_ne!(raw, NO_PAGE, "evicting a free slot");
+        let page = VirtPage::new(raw);
+        let wasted = matches!(self.slot_origin[i], LoadOrigin::Preload) && !self.slot_touched[i];
         if wasted {
             self.preloads_evicted_untouched += 1;
         }
-        if let Some(t) = self.owner_of(page) {
-            self.extents[t].resident -= 1;
+        let owner = self.slot_owner[i];
+        if owner != NO_OWNER {
+            self.extents[owner as usize].resident -= 1;
         }
+        debug_assert!(
+            self.lookup(raw).is_some(),
+            "policy and residency map diverged"
+        );
+        self.store(raw, None);
+        self.resident -= 1;
+        self.slot_page[i] = NO_PAGE;
+        self.free.push(slot);
         Eviction {
             page,
             wasted_preload: wasted,
             scanned,
+            slot,
         }
     }
 
@@ -322,19 +524,39 @@ impl Epc {
                 .any(|e| base.raw() < e.base.raw() + e.pages && e.base.raw() < base.raw() + pages),
             "tenant extents must not overlap"
         );
+        let tenant = self.extents.len();
+        let owner = u16::try_from(tenant).expect("too many tenants");
+        let mut slots = if pages <= TenantExtent::DENSE_LIMIT {
+            vec![0u32; pages as usize]
+        } else {
+            Vec::new()
+        };
+        // Adopt already-resident pages in range: count them, stamp the
+        // per-slot owner cache (they had no owner, extents don't overlap)
+        // and migrate their index entries into the dense table.
+        let mut resident = 0u64;
+        for i in 0..self.slot_page.len() {
+            let raw = self.slot_page[i];
+            if raw != NO_PAGE && raw >= base.raw() && raw < base.raw() + pages {
+                self.slot_owner[i] = owner;
+                resident += 1;
+                if !slots.is_empty() {
+                    self.index.remove(raw);
+                    slots[(raw - base.raw()) as usize] =
+                        u32::try_from(i).expect("EPC exceeds u32 slots") + 1;
+                }
+            }
+        }
         self.extents.push(TenantExtent {
             base,
             pages,
             quota: TenantQuota::NONE,
-            resident: self
-                .resident
-                .keys()
-                .filter(|p| **p >= base && p.raw() < base.raw() + pages)
-                .count() as u64,
+            resident,
             preloads_completed: 0,
             preloads_touched: 0,
+            slots,
         });
-        self.extents.len() - 1
+        tenant
     }
 
     /// Sets (or clears) the residency quota for a registered extent.
@@ -412,9 +634,9 @@ impl Epc {
         if !self.any_over_soft_quota() {
             return self.evict_victim();
         }
-        self.evict_victim_where(|epc, page| {
-            epc.owner_of(page)
-                .is_some_and(|t| epc.extents[t].over_soft())
+        self.evict_victim_where(|epc, slot| {
+            let owner = epc.slot_owner[slot as usize];
+            owner != NO_OWNER && epc.extents[owner as usize].over_soft()
         })
     }
 
@@ -426,45 +648,46 @@ impl Epc {
         if self.extents.get(tenant).map_or(0, |e| e.resident) == 0 {
             return None;
         }
-        self.evict_victim_where(|epc, page| epc.owner_of(page) == Some(tenant))
+        let owner = u16::try_from(tenant).expect("too many tenants");
+        self.evict_victim_where(move |epc, slot| epc.slot_owner[slot as usize] == owner)
     }
 
     /// Shared search: pops policy victims until `keep` matches, bounded by
     /// one pass over the resident set; non-matching victims are reinserted
     /// cold in their original order. Falls back to the first victim popped
     /// when nothing matches.
-    fn evict_victim_where(&mut self, keep: impl Fn(&Epc, VirtPage) -> bool) -> Option<Eviction> {
-        let mut skipped: Vec<VirtPage> = Vec::new();
+    fn evict_victim_where(&mut self, keep: impl Fn(&Epc, u32) -> bool) -> Option<Eviction> {
+        let mut skipped: Vec<u32> = Vec::new();
         let mut scanned = 0u64;
-        let mut chosen: Option<VirtPage> = None;
-        let budget = self.policy.len();
+        let mut chosen: Option<u32> = None;
+        let budget = self.engine_len();
         for _ in 0..budget {
-            let Some(page) = self.policy.evict() else {
+            let Some(slot) = self.engine_evict() else {
                 break;
             };
-            scanned += self.policy.last_evict_scan();
-            if keep(self, page) {
-                chosen = Some(page);
+            scanned += self.engine_last_scan();
+            if keep(self, slot) {
+                chosen = Some(slot);
                 break;
             }
-            skipped.push(page);
+            skipped.push(slot);
         }
         // Skipped victims re-enter cold, preserving their relative order.
-        for page in &skipped {
-            self.policy.insert(*page, false);
+        for &slot in &skipped {
+            self.engine_insert_cold(slot);
         }
-        let page = match chosen {
-            Some(p) => p,
+        let slot = match chosen {
+            Some(s) => s,
             // Nothing matched: fall back to the overall coldest page, which
             // was the first one the sweep produced.
             None => {
                 let first = *skipped.first()?;
-                let removed = self.policy.remove(first);
+                let removed = self.engine_remove(first);
                 debug_assert!(removed, "fallback victim vanished from the policy");
                 first
             }
         };
-        Some(self.finish_eviction(page, scanned))
+        Some(self.finish_eviction(slot, scanned))
     }
 
     /// Total preloads that completed (the paper's `PreloadCounter`).
@@ -498,7 +721,12 @@ impl Epc {
 
     /// All resident pages, ascending (the service thread's page-table view).
     pub fn resident_pages(&self) -> Vec<VirtPage> {
-        let mut pages: Vec<VirtPage> = self.resident.keys().copied().collect();
+        let mut pages: Vec<VirtPage> = self
+            .slot_page
+            .iter()
+            .filter(|&&raw| raw != NO_PAGE)
+            .map(|&raw| VirtPage::new(raw))
+            .collect();
         pages.sort_unstable();
         pages
     }
@@ -564,6 +792,25 @@ mod tests {
         let t = epc.touch(p(5));
         assert!(!t.resident);
         assert!(!t.first_touch_of_preload);
+        assert_eq!(t.slot, None);
+    }
+
+    #[test]
+    fn slots_are_stable_and_recycle_after_eviction() {
+        let mut epc = Epc::new(2);
+        let s1 = epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        let s2 = epc.insert(p(2), LoadOrigin::Preload).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(epc.slot_of(p(1)), Some(s1));
+        assert_eq!(epc.page_in_slot(s2), Some(p(2)));
+        assert_eq!(epc.touch(p(1)).slot, Some(s1));
+        let ev = epc.evict_victim().unwrap();
+        assert_eq!(ev.slot, s2, "cold preload evicted from its slot");
+        assert_eq!(epc.page_in_slot(s2), None);
+        assert_eq!(epc.slot_of(p(2)), None);
+        // The freed slot is recycled for the next load.
+        let s3 = epc.insert(p(3), LoadOrigin::Demand).unwrap();
+        assert_eq!(s3, s2);
     }
 
     #[test]
@@ -624,6 +871,19 @@ mod tests {
         }
         assert_eq!(epc.tenant_resident(a), 0);
         assert_eq!(epc.tenant_resident(b), 0);
+    }
+
+    #[test]
+    fn late_extent_registration_adopts_resident_pages() {
+        let mut epc = Epc::new(8);
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Demand).unwrap();
+        epc.insert(p(1000), LoadOrigin::Demand).unwrap();
+        let a = epc.register_extent(p(0), 100);
+        assert_eq!(epc.tenant_resident(a), 2);
+        // Adopted pages are charged back on eviction.
+        while epc.evict_victim().is_some() {}
+        assert_eq!(epc.tenant_resident(a), 0);
     }
 
     #[test]
@@ -719,5 +979,19 @@ mod tests {
             assert_eq!(epc.resident_count(), 8);
             assert_eq!(epc.resident_pages().len(), 8);
         }
+    }
+
+    #[test]
+    fn boxed_policy_engine_matches_old_behavior() {
+        // FIFO is the simplest boxed engine: pure insertion order.
+        let mut epc = Epc::with_policy(3, VictimPolicy::Fifo);
+        assert_eq!(epc.policy_name(), "fifo");
+        epc.insert(p(1), LoadOrigin::Demand).unwrap();
+        epc.insert(p(2), LoadOrigin::Demand).unwrap();
+        epc.insert(p(3), LoadOrigin::Demand).unwrap();
+        epc.touch(p(1)); // FIFO ignores touches
+        assert_eq!(epc.evict_victim().unwrap().page, p(1));
+        assert_eq!(epc.evict_victim().unwrap().page, p(2));
+        assert_eq!(epc.evict_victim().unwrap().page, p(3));
     }
 }

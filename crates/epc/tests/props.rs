@@ -129,3 +129,134 @@ proptest! {
         prop_assert_eq!(iterated, sorted);
     }
 }
+
+#[derive(Debug, Clone)]
+enum ClockOp {
+    /// Inserts a page (no-op when already tracked), referenced or not.
+    Insert(u64, bool),
+    Touch(u64),
+    Evict,
+    Remove(u64),
+}
+
+fn clock_op() -> impl Strategy<Value = ClockOp> {
+    prop_oneof![
+        ((0u64..128), any::<bool>()).prop_map(|(p, r)| ClockOp::Insert(p, r)),
+        (0u64..128).prop_map(ClockOp::Touch),
+        Just(ClockOp::Evict),
+        (0u64..128).prop_map(ClockOp::Remove),
+    ]
+}
+
+/// Naive bit-by-bit CLOCK: a deque of (page, referenced) scanned one
+/// entry at a time, second chances rotating to the tail.
+#[derive(Default)]
+struct NaiveClock {
+    ring: std::collections::VecDeque<(u64, bool)>,
+}
+
+impl NaiveClock {
+    fn insert(&mut self, p: u64, referenced: bool) {
+        if !self.ring.iter().any(|&(q, _)| q == p) {
+            self.ring.push_back((p, referenced));
+        }
+    }
+
+    fn touch(&mut self, p: u64) -> bool {
+        for e in &mut self.ring {
+            if e.0 == p {
+                e.1 = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn evict(&mut self) -> Option<u64> {
+        loop {
+            let (p, referenced) = self.ring.pop_front()?;
+            if referenced {
+                self.ring.push_back((p, false));
+            } else {
+                return Some(p);
+            }
+        }
+    }
+
+    fn remove(&mut self, p: u64) -> bool {
+        match self.ring.iter().position(|&(q, _)| q == p) {
+            Some(i) => {
+                self.ring.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    /// The word-at-a-time CLOCK ring picks victims in exactly the order a
+    /// naive one-entry-at-a-time second-chance scan does, under random
+    /// insert/touch/evict/remove interleavings.
+    #[test]
+    fn clock_victim_order_matches_naive_scan(
+        ops in proptest::collection::vec(clock_op(), 1..400),
+    ) {
+        use sgx_epc::ClockQueue;
+
+        let mut fast = ClockQueue::new();
+        let mut naive = NaiveClock::default();
+        for op in &ops {
+            match *op {
+                ClockOp::Insert(p, r) => {
+                    if !fast.contains(VirtPage::new(p)) {
+                        fast.insert(VirtPage::new(p), r);
+                    }
+                    naive.insert(p, r);
+                }
+                ClockOp::Touch(p) => {
+                    prop_assert_eq!(fast.touch(VirtPage::new(p)), naive.touch(p));
+                }
+                ClockOp::Evict => {
+                    prop_assert_eq!(fast.evict().map(|p| p.raw()), naive.evict());
+                }
+                ClockOp::Remove(p) => {
+                    prop_assert_eq!(fast.remove(VirtPage::new(p)), naive.remove(p));
+                }
+            }
+            prop_assert_eq!(fast.len(), naive.ring.len());
+        }
+        // Drain both: the full victim order must agree to the end.
+        loop {
+            let (a, b) = (fast.evict().map(|p| p.raw()), naive.evict());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Find-first-present over the word-scanned bitmap equals a naive
+    /// bit-by-bit search, after any set/clear sequence.
+    #[test]
+    fn bitmap_first_present_matches_bit_by_bit(
+        size in 1u64..4_000,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..4_000), 0..200),
+    ) {
+        let mut bm = PresenceBitmap::new(size);
+        let mut model: HashSet<u64> = HashSet::new();
+        for &(set, p) in &ops {
+            let p = p % size;
+            if set {
+                bm.set_present(VirtPage::new(p));
+                model.insert(p);
+            } else {
+                bm.clear_present(VirtPage::new(p));
+                model.remove(&p);
+            }
+            let naive_first = (0..size).find(|q| model.contains(q));
+            prop_assert_eq!(bm.iter_present().next().map(|q| q.raw()), naive_first);
+            prop_assert_eq!(bm.present_count(), model.len() as u64);
+        }
+    }
+}

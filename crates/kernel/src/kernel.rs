@@ -19,9 +19,9 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
-use sgx_dfp::{AbortPolicy, AbortValve, Prediction, Predictor, ProcessId};
+use sgx_dfp::{AbortPolicy, AbortValve, Predictor, ProcessId};
 use sgx_epc::{CostModel, Epc, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage};
-use sgx_sim::{Cycles, Histogram};
+use sgx_sim::{Cycles, FastMap, Histogram};
 
 use crate::span::SpanAlloc;
 use crate::{
@@ -32,6 +32,10 @@ use crate::{
 /// Virtual-page gap between consecutive enclaves' ELRANGEs, so that no
 /// stream prediction can run off the end of one enclave into the next.
 const ENCLAVE_GUARD_PAGES: u64 = 1 << 24;
+
+/// Enclave bases are laid out at guard-page strides, so a global page's
+/// enclave index is its page number shifted right by this.
+const ENCLAVE_SHIFT: u32 = ENCLAVE_GUARD_PAGES.trailing_zeros();
 
 /// Static configuration of the kernel model.
 #[derive(Debug, Clone, Copy)]
@@ -388,6 +392,7 @@ impl InFlight {
 
 #[derive(Debug)]
 struct EnclaveSlot {
+    pid: ProcessId,
     base: u64,
     pages: u64,
     bitmap: PresenceBitmap,
@@ -413,15 +418,10 @@ struct TenantRt {
 struct RetryEntry {
     not_before: Cycles,
     page: VirtPage,
-}
-
-/// A background load's completed-but-untouched residue: the span that
-/// staged the page (fault lineage) and its billed channel cost, moved to
-/// `preload_work` on first touch or `wasted_preload` on eviction/run end.
-#[derive(Debug, Clone, Copy)]
-struct Staged {
-    span: SpanId,
-    cost: u64,
+    /// Raw id of the prediction-batch span that queued the page (0 =
+    /// none), preserved across the backoff so the retried load still
+    /// parents the original batch.
+    batch: u64,
 }
 
 /// Running overhead-cycle ledger; [`Kernel::attribution`] turns it into a
@@ -462,11 +462,17 @@ pub struct Kernel {
     costs: CostModel,
     wm: Watermarks,
     epc: Epc,
-    enclaves: BTreeMap<ProcessId, EnclaveSlot>,
+    /// Registered enclaves in registration order — the same index space as
+    /// the EPC's tenant extents, and recoverable from any global page as
+    /// `page >> ENCLAVE_SHIFT` because bases sit at guard-page strides.
+    enclaves: Vec<EnclaveSlot>,
+    /// Enclave-owner pid → index into `enclaves`.
+    pid_index: FastMap,
     /// Threads aliasing another process's enclave (paper §3.1: fault
     /// history is collected *per thread*, so each thread gets its own
     /// ProcessId-keyed stream list while sharing the owner's ELRANGE).
-    thread_owner: BTreeMap<ProcessId, ProcessId>,
+    /// Keyed thread pid → owner pid.
+    thread_owner: FastMap,
     next_base: u64,
     predictor: Box<dyn Predictor>,
     valve: Option<AbortValve>,
@@ -480,10 +486,8 @@ pub struct Kernel {
     /// registration when the policy scopes valves per enclave).
     abort_cfg: Option<AbortPolicy>,
     /// Per-enclave runtime (valve, latch, telemetry), by registration
-    /// order.
+    /// order. The tenant index *is* the enclave index.
     tenants: Vec<TenantRt>,
-    /// Enclave-owner pid → tenant index.
-    tenant_of: BTreeMap<ProcessId, usize>,
     /// Per-enclave preload queues, used instead of `preload_q` when the
     /// tenant policy is active; drained by weighted deficit round-robin.
     per_q: Vec<PreloadQueue>,
@@ -502,10 +506,11 @@ pub struct Kernel {
     bg_evicted_last: bool,
     preload_stopped: bool,
     sinks: Vec<Box<dyn crate::TraceSink>>,
-    /// Completion instants of DFP preloads whose pages are resident but not
-    /// yet touched; consumed at first touch to compute the preload lead
-    /// time, dropped on eviction.
-    preload_done_at: BTreeMap<VirtPage, Cycles>,
+    /// Completion instants (raw cycles) of DFP preloads whose pages are
+    /// resident but not yet touched, indexed by EPC slot (`u64::MAX` =
+    /// none); consumed at first touch to compute the preload lead time,
+    /// dropped on eviction.
+    preload_done: Vec<u64>,
     /// The chaos layer, if installed. A `None` (or an injector with an
     /// all-zero schedule, which never draws) leaves every path identical
     /// to an uninjected run.
@@ -521,10 +526,22 @@ pub struct Kernel {
     /// Monotonic span-id allocator; ids are assigned whether or not any
     /// sink is subscribed, so observation never perturbs a run.
     spans: SpanAlloc,
-    /// Completed background loads not yet touched, keyed by page.
-    staged: BTreeMap<VirtPage, Staged>,
-    /// Queued preload page → the prediction-batch span that queued it.
-    batch_of: BTreeMap<VirtPage, SpanId>,
+    /// Completed background loads not yet touched, indexed by EPC slot:
+    /// the staging span's raw id (0 = none; span ids start at 1) and its
+    /// billed channel cost. Moved to `preload_work` on first touch,
+    /// `wasted_preload` on eviction or run end.
+    staged_span: Vec<u64>,
+    staged_cost: Vec<u64>,
+    /// Scratch for the fault handler's abort path, reused across faults.
+    abort_buf: Vec<(VirtPage, u64)>,
+    /// Scratch for predictor output, reused across faults.
+    pred_buf: Vec<VirtPage>,
+    /// Scratch for expired chaos retries, reused across channel steps.
+    due_buf: Vec<(VirtPage, u64)>,
+    /// Events batched since the last flush; delivered to every sink, in
+    /// order, at public entry-point boundaries and before gauge samples,
+    /// so sinks observe exactly the unbatched call sequence.
+    pending: Vec<LoggedEvent>,
     /// Overhead-cycle ledger behind [`Kernel::attribution`].
     attr: AttrLedger,
     /// Start of the app stall currently being serviced, if any; channel
@@ -580,8 +597,9 @@ impl Kernel {
             costs: cfg.costs,
             wm,
             epc: Epc::with_policy(cfg.epc_pages, cfg.victim_policy),
-            enclaves: BTreeMap::new(),
-            thread_owner: BTreeMap::new(),
+            enclaves: Vec::new(),
+            pid_index: FastMap::new(),
+            thread_owner: FastMap::new(),
             next_base: 0,
             predictor,
             valve: global_valve,
@@ -589,7 +607,6 @@ impl Kernel {
             tenant_active,
             abort_cfg: cfg.abort_policy,
             tenants: Vec::new(),
-            tenant_of: BTreeMap::new(),
             per_q: Vec::new(),
             drr_deficit: Vec::new(),
             drr_cursor: 0,
@@ -602,15 +619,19 @@ impl Kernel {
             bg_evicted_last: false,
             preload_stopped: false,
             sinks: Vec::new(),
-            preload_done_at: BTreeMap::new(),
+            preload_done: vec![u64::MAX; cfg.epc_pages as usize],
             injector: cfg.chaos.map(FaultInjector::new),
             retry_q: Vec::new(),
             retry_attempts: BTreeMap::new(),
             chaos_reserved_pages: 0,
             chaos_reserved_until: Cycles::ZERO,
             spans: SpanAlloc::default(),
-            staged: BTreeMap::new(),
-            batch_of: BTreeMap::new(),
+            staged_span: vec![0; cfg.epc_pages as usize],
+            staged_cost: vec![0; cfg.epc_pages as usize],
+            abort_buf: Vec::new(),
+            pred_buf: Vec::new(),
+            due_buf: Vec::new(),
+            pending: Vec::new(),
             attr: AttrLedger::default(),
             stall_from: None,
             last_stall: None,
@@ -649,14 +670,16 @@ impl Kernel {
         owner: ProcessId,
         thread: ProcessId,
     ) -> Result<(), KernelError> {
-        if self.enclaves.contains_key(&thread) || self.thread_owner.contains_key(&thread) {
+        if self.pid_index.contains(thread.0 as u64) || self.thread_owner.contains(thread.0 as u64) {
             return Err(KernelError::DuplicateProcess(thread));
         }
         let owner = self.owner_pid(owner);
-        if !self.enclaves.contains_key(&owner) {
+        let Some(idx) = self.pid_index.get(owner.0 as u64) else {
             return Err(KernelError::UnknownOwner(owner));
-        }
-        self.thread_owner.insert(thread, owner);
+        };
+        self.thread_owner.insert(thread.0 as u64, owner.0 as u64);
+        // Threads resolve to their enclave in one probe on the hot path.
+        self.pid_index.insert(thread.0 as u64, idx);
         Ok(())
     }
 
@@ -668,7 +691,7 @@ impl Kernel {
     /// Fails on duplicate registration, an empty range, or a range larger
     /// than the guard spacing between enclaves.
     pub fn register_enclave(&mut self, pid: ProcessId, pages: u64) -> Result<(), KernelError> {
-        if self.enclaves.contains_key(&pid) {
+        if self.pid_index.contains(pid.0 as u64) && !self.thread_owner.contains(pid.0 as u64) {
             return Err(KernelError::DuplicateProcess(pid));
         }
         if pages == 0 {
@@ -680,24 +703,28 @@ impl Kernel {
                 max: ENCLAVE_GUARD_PAGES,
             });
         }
-        if self.thread_owner.contains_key(&pid) {
+        if self.thread_owner.contains(pid.0 as u64) {
             return Err(KernelError::DuplicateProcess(pid));
         }
         let base = self.next_base;
         self.next_base += ENCLAVE_GUARD_PAGES;
-        self.enclaves.insert(
+        self.pid_index
+            .insert(pid.0 as u64, self.enclaves.len() as u64);
+        self.enclaves.push(EnclaveSlot {
             pid,
-            EnclaveSlot {
-                base,
-                pages,
-                bitmap: PresenceBitmap::new(pages),
-            },
-        );
+            base,
+            pages,
+            bitmap: PresenceBitmap::new(pages),
+        });
         // Every enclave becomes an EPC tenant extent (telemetry is
         // unconditional); quotas, per-enclave valves and a DRR queue slot
         // only when the policy is active.
         let ten = self.epc.register_extent(VirtPage::new(base), pages);
-        self.tenant_of.insert(pid, ten);
+        debug_assert_eq!(
+            ten,
+            self.enclaves.len() - 1,
+            "tenant index == enclave index"
+        );
         if self.tenant_active {
             self.epc.set_quota(ten, self.tenant_policy.quota(ten));
         }
@@ -718,17 +745,24 @@ impl Kernel {
     }
 
     /// Resolves a thread alias to the enclave-owning process.
+    #[inline]
     fn owner_pid(&self, pid: ProcessId) -> ProcessId {
-        self.thread_owner.get(&pid).copied().unwrap_or(pid)
+        match self.thread_owner.get(pid.0 as u64) {
+            Some(owner) => ProcessId(owner as u32),
+            None => pid,
+        }
     }
 
+    #[inline]
     fn slot(&self, pid: ProcessId) -> &EnclaveSlot {
-        let owner = self.owner_pid(pid);
-        self.enclaves
-            .get(&owner)
-            .unwrap_or_else(|| panic!("{pid} has no registered enclave"))
+        let idx = self
+            .pid_index
+            .get(pid.0 as u64)
+            .unwrap_or_else(|| panic!("{pid} has no registered enclave"));
+        &self.enclaves[idx as usize]
     }
 
+    #[inline]
     fn global(&self, pid: ProcessId, local: VirtPage) -> VirtPage {
         let slot = self.slot(pid);
         assert!(
@@ -739,39 +773,50 @@ impl Kernel {
         VirtPage::new(slot.base + local.raw())
     }
 
-    fn owner_of(&self, page: VirtPage) -> Option<(ProcessId, u64)> {
+    /// The enclave (== tenant) index owning `page`, from the guard-stride
+    /// base layout — no scan, no map probe.
+    #[inline]
+    fn enclave_of_page(&self, page: VirtPage) -> Option<usize> {
         let g = page.raw();
-        self.enclaves
-            .iter()
-            .find(|(_, s)| g >= s.base && g < s.base + s.pages)
-            .map(|(&pid, s)| (pid, g - s.base))
+        let idx = (g >> ENCLAVE_SHIFT) as usize;
+        match self.enclaves.get(idx) {
+            Some(s) if g - s.base < s.pages => Some(idx),
+            _ => None,
+        }
+    }
+
+    fn owner_of(&self, page: VirtPage) -> Option<(ProcessId, u64)> {
+        let idx = self.enclave_of_page(page)?;
+        let s = &self.enclaves[idx];
+        Some((s.pid, page.raw() - s.base))
     }
 
     fn set_bitmap(&mut self, page: VirtPage, present: bool) {
-        if let Some((pid, local)) = self.owner_of(page) {
-            let slot = self.enclaves.get_mut(&pid).expect("owner exists");
+        if let Some(idx) = self.enclave_of_page(page) {
+            let slot = &mut self.enclaves[idx];
+            let local = VirtPage::new(page.raw() - slot.base);
             if present {
-                slot.bitmap.set_present(VirtPage::new(local));
+                slot.bitmap.set_present(local);
             } else {
-                slot.bitmap.clear_present(VirtPage::new(local));
+                slot.bitmap.clear_present(local);
             }
         }
     }
 
     /// The tenant index of `pid`'s enclave (resolving thread aliases).
+    #[inline]
     fn tenant_of_pid(&self, pid: ProcessId) -> usize {
-        let owner = self.owner_pid(pid);
-        *self
-            .tenant_of
-            .get(&owner)
-            .unwrap_or_else(|| panic!("{owner} has no registered enclave"))
+        // An unregistered pid is its own owner, so the message matches the
+        // old resolve-then-probe path bit for bit.
+        self.pid_index
+            .get(pid.0 as u64)
+            .unwrap_or_else(|| panic!("{pid} has no registered enclave")) as usize
     }
 
     /// Whether `page` sits on a preload queue (global or per-tenant).
     fn preload_queued(&self, page: VirtPage) -> bool {
         if self.tenant_active {
-            self.epc
-                .owner_of(page)
+            self.enclave_of_page(page)
                 .is_some_and(|t| self.per_q[t].contains(page))
         } else {
             self.preload_q.contains(page)
@@ -781,14 +826,14 @@ impl Kernel {
     /// Queues `page` for preloading on the owning tenant's queue (or the
     /// global queue when the policy is inactive). Returns `false` on a
     /// duplicate.
-    fn preload_enqueue(&mut self, page: VirtPage) -> bool {
+    fn preload_enqueue(&mut self, page: VirtPage, batch: u64) -> bool {
         if self.tenant_active {
-            match self.epc.owner_of(page) {
-                Some(t) => self.per_q[t].enqueue(page),
-                None => self.preload_q.enqueue(page),
+            match self.enclave_of_page(page) {
+                Some(t) => self.per_q[t].enqueue_tagged(page, batch),
+                None => self.preload_q.enqueue_tagged(page, batch),
             }
         } else {
-            self.preload_q.enqueue(page)
+            self.preload_q.enqueue_tagged(page, batch)
         }
     }
 
@@ -813,9 +858,9 @@ impl Kernel {
     /// active. Each tenant spends a quantum of `weight` pops before the
     /// cursor moves on, so queued preloads from different enclaves
     /// interleave by configured weight instead of strict FIFO.
-    fn preload_pop(&mut self) -> Option<VirtPage> {
+    fn preload_pop(&mut self) -> Option<(VirtPage, u64)> {
         if !self.tenant_active {
-            return self.preload_q.pop();
+            return self.preload_q.pop_tagged();
         }
         let n = self.per_q.len();
         for _ in 0..n {
@@ -828,7 +873,7 @@ impl Kernel {
             if self.drr_deficit[i] == 0 {
                 self.drr_deficit[i] = self.tenant_policy.weight(i);
             }
-            let page = self.per_q[i].pop();
+            let page = self.per_q[i].pop_tagged();
             self.drr_deficit[i] -= 1;
             if self.per_q[i].is_empty() {
                 self.drr_deficit[i] = 0;
@@ -841,15 +886,15 @@ impl Kernel {
         None
     }
 
-    /// Drops queued preloads on a demand fault, returning the dropped
-    /// pages (for batch-span lineage). With the tenant policy active only
-    /// the *faulting* enclave's queue is cleared — one tenant's miss no
-    /// longer cancels another's pipeline.
-    fn abort_preloads_for(&mut self, ten: usize) -> Vec<VirtPage> {
+    /// Drops queued preloads on a demand fault, appending the dropped
+    /// pages to `out` (for batch-span lineage). With the tenant policy
+    /// active only the *faulting* enclave's queue is cleared — one
+    /// tenant's miss no longer cancels another's pipeline.
+    fn abort_preloads_for(&mut self, ten: usize, out: &mut Vec<(VirtPage, u64)>) {
         if self.tenant_active {
-            self.per_q[ten].abort_pages()
+            self.per_q[ten].abort_into(out)
         } else {
-            self.preload_q.abort_pages()
+            self.preload_q.abort_into(out)
         }
     }
 
@@ -873,23 +918,20 @@ impl Kernel {
         }
         match f.job {
             Job::Load { page, origin } => {
-                self.epc
+                let slot = self
+                    .epc
                     .insert(page, origin)
-                    .expect("background load started with a free slot reserved");
+                    .expect("background load started with a free slot reserved")
+                    as usize;
                 self.set_bitmap(page, true);
                 if matches!(origin, LoadOrigin::Preload) {
-                    self.preload_done_at.insert(page, f.done_at);
+                    self.preload_done[slot] = f.done_at.raw();
                 }
-                if let Some(t) = self.epc.owner_of(page) {
+                if let Some(t) = self.enclave_of_page(page) {
                     self.tenants[t].stats.preload_dones += 1;
                 }
-                self.staged.insert(
-                    page,
-                    Staged {
-                        span: f.span,
-                        cost: f.billed,
-                    },
-                );
+                self.staged_span[slot] = f.span.raw();
+                self.staged_cost[slot] = f.billed;
                 self.log(
                     f.done_at,
                     EventKind::PreloadDone,
@@ -910,10 +952,13 @@ impl Kernel {
     /// Kernel-side bookkeeping for an eviction the EPC already performed.
     fn note_eviction(&mut self, ev: &sgx_epc::Eviction) {
         self.set_bitmap(ev.page, false);
-        self.preload_done_at.remove(&ev.page);
+        let slot = ev.slot as usize;
+        self.preload_done[slot] = u64::MAX;
         // A staged page evicted before its first touch was wasted work.
-        if let Some(s) = self.staged.remove(&ev.page) {
-            self.attr.wasted_preload += s.cost;
+        if self.staged_span[slot] != 0 {
+            self.attr.wasted_preload += self.staged_cost[slot];
+            self.staged_span[slot] = 0;
+            self.staged_cost[slot] = 0;
         }
         self.stats.evict_scan.record(Cycles::new(ev.scanned));
     }
@@ -937,15 +982,24 @@ impl Kernel {
     /// DFP-preloaded page. `at` is the access instant.
     fn touch_tracked(&mut self, at: Cycles, g: VirtPage) -> TouchOutcome {
         let t = self.epc.touch(g);
+        let Some(slot) = t.slot else {
+            return t;
+        };
+        let slot = slot as usize;
         // First touch of a staged background load: its billed channel
         // cost becomes useful preload work.
-        let staged = self.staged.remove(&g);
-        if let Some(s) = &staged {
-            self.attr.preload_work += s.cost;
+        let mut staged = None;
+        if self.staged_span[slot] != 0 {
+            staged = Some(SpanId::new(self.staged_span[slot]));
+            self.attr.preload_work += self.staged_cost[slot];
+            self.staged_span[slot] = 0;
+            self.staged_cost[slot] = 0;
         }
         if t.first_touch_of_preload {
-            if let Some(done) = self.preload_done_at.remove(&g) {
-                let lead = Cycles::new(at.raw().saturating_sub(done.raw()));
+            let done = self.preload_done[slot];
+            if done != u64::MAX {
+                self.preload_done[slot] = u64::MAX;
+                let lead = Cycles::new(at.raw().saturating_sub(done));
                 self.stats.preload_lead.record(lead);
                 let hspan = self.spans.next();
                 self.log(
@@ -954,7 +1008,7 @@ impl Kernel {
                     Some(g),
                     Some(lead.raw()),
                     hspan,
-                    staged.map(|s| s.span),
+                    staged,
                 );
             }
         }
@@ -975,7 +1029,7 @@ impl Kernel {
 
     /// A popped preload batch entry was dropped by the injector: schedule a
     /// backoff retry, or abandon the page once its retry budget is spent.
-    fn chaos_drop(&mut self, t: Cycles, page: VirtPage) {
+    fn chaos_drop(&mut self, t: Cycles, page: VirtPage, batch: u64) {
         let attempt = self.retry_attempts.get(&page).copied().unwrap_or(0);
         let backoff = self
             .injector
@@ -987,6 +1041,7 @@ impl Kernel {
                 self.retry_q.push(RetryEntry {
                     not_before: t + b,
                     page,
+                    batch,
                 });
             }
             None => {
@@ -1008,16 +1063,17 @@ impl Kernel {
             }
             return;
         }
-        let mut due = Vec::new();
+        let mut due = std::mem::take(&mut self.due_buf);
+        due.clear();
         self.retry_q.retain(|e| {
             if e.not_before <= t {
-                due.push(e.page);
+                due.push((e.page, e.batch));
                 false
             } else {
                 true
             }
         });
-        for page in due {
+        for &(page, batch) in &due {
             if self.epc.is_resident(page)
                 || self.preload_queued(page)
                 || matches!(self.in_flight, Some(f) if f.is_load_of(page))
@@ -1026,9 +1082,11 @@ impl Kernel {
                 continue;
             }
             // Re-entry is not a new enqueue for the stats: the page was
-            // already accounted for when first predicted.
-            self.preload_enqueue(page);
+            // already accounted for when first predicted, and it carries
+            // the original batch tag so lineage survives the backoff.
+            self.preload_enqueue(page, batch);
         }
+        self.due_buf = due;
     }
 
     /// Lazily runs background channel work (reclaim, preloads) up to `now`.
@@ -1075,7 +1133,7 @@ impl Kernel {
                     None,
                 );
                 self.stats.background_evictions += 1;
-                if let Some(vt) = self.epc.owner_of(ev.page) {
+                if let Some(vt) = self.enclave_of_page(ev.page) {
                     self.tenants[vt].stats.background_evictions += 1;
                 }
                 let mut ewb = self.costs.ewb;
@@ -1102,10 +1160,10 @@ impl Kernel {
             }
             if want_preload {
                 // Explicit application prefetches outrank speculation.
-                let (page, origin) = if let Some(page) = self.sip_q.pop() {
-                    (page, LoadOrigin::Sip)
-                } else if let Some(page) = self.preload_pop() {
-                    (page, LoadOrigin::Preload)
+                let (page, batch, origin) = if let Some(page) = self.sip_q.pop() {
+                    (page, 0, LoadOrigin::Sip)
+                } else if let Some((page, batch)) = self.preload_pop() {
+                    (page, batch, LoadOrigin::Preload)
                 } else {
                     break;
                 };
@@ -1114,7 +1172,6 @@ impl Kernel {
                         LoadOrigin::Sip => self.stats.sip_raced += 1,
                         _ => self.stats.preloads_skipped_resident += 1,
                     }
-                    self.batch_of.remove(&page);
                     continue;
                 }
                 // Hard cap: a tenant at its ceiling may not grow through
@@ -1122,22 +1179,21 @@ impl Kernel {
                 // (SIP loads are explicit application demands and instead
                 // self-evict in `blocking_load`.)
                 if matches!(origin, LoadOrigin::Preload) && self.tenant_active {
-                    if let Some(t) = self.epc.owner_of(page) {
+                    if let Some(t) = self.enclave_of_page(page) {
                         if self.epc.at_hard_cap(t) {
                             self.tenants[t].stats.preloads_shed += 1;
-                            self.batch_of.remove(&page);
                             continue;
                         }
                     }
                 }
                 // Chaos: only speculative (DFP) batches are droppable —
                 // SIP requests are explicit application demands. A dropped
-                // page keeps its `batch_of` entry so a backoff retry still
+                // page keeps its batch tag so a backoff retry still
                 // parents the original prediction batch.
                 if matches!(origin, LoadOrigin::Preload)
                     && self.injector.as_mut().is_some_and(|i| i.drop_preload())
                 {
-                    self.chaos_drop(t, page);
+                    self.chaos_drop(t, page, batch);
                     continue;
                 }
                 let (span, parent) = match origin {
@@ -1150,10 +1206,10 @@ impl Kernel {
                     _ => {
                         self.retry_attempts.remove(&page);
                         self.stats.preloads_started += 1;
-                        if let Some(ten) = self.epc.owner_of(page) {
+                        if let Some(ten) = self.enclave_of_page(page) {
                             self.tenants[ten].stats.preload_starts += 1;
                         }
-                        let parent = self.batch_of.remove(&page);
+                        let parent = (batch != 0).then(|| SpanId::new(batch));
                         let span = self.spans.next();
                         self.log(t, EventKind::PreloadStart, Some(page), None, span, parent);
                         (span, parent)
@@ -1229,7 +1285,7 @@ impl Kernel {
         // A tenant at its hard cap frees one of its *own* pages before
         // loading, even when the global free pool has room — the cap is a
         // ceiling on residency, not a reservation against others.
-        let owner = self.epc.owner_of(page);
+        let owner = self.enclave_of_page(page);
         let cap_evict = self.tenant_active && owner.is_some_and(|o| self.epc.at_hard_cap(o));
         let ev = if cap_evict {
             let o = owner.expect("cap implies a registered owner");
@@ -1254,7 +1310,7 @@ impl Kernel {
                 cause,
             );
             self.stats.foreground_evictions += 1;
-            if let Some(vt) = self.epc.owner_of(ev.page) {
+            if let Some(vt) = self.enclave_of_page(ev.page) {
                 self.tenants[vt].stats.foreground_evictions += 1;
             }
             let mut ewb = self.costs.ewb;
@@ -1323,17 +1379,9 @@ impl Kernel {
     /// "once stopped, zero further preloads" invariant has a single owner.
     fn stop_preloading(&mut self, now: Cycles, cause: SpanId) {
         self.preload_stopped = true;
-        let pages = self.preload_q.abort_pages();
-        let mut dropped = pages.len() as u64;
-        for p in pages {
-            self.batch_of.remove(&p);
-        }
+        let mut dropped = self.preload_q.abort();
         for i in 0..self.per_q.len() {
-            let pages = self.per_q[i].abort_pages();
-            let d = pages.len() as u64;
-            for p in pages {
-                self.batch_of.remove(&p);
-            }
+            let d = self.per_q[i].abort();
             self.tenants[i].stats.preload_aborts += d;
             dropped += d;
         }
@@ -1355,11 +1403,7 @@ impl Kernel {
     /// (the kernel-global stop keeps `page = None`).
     fn stop_tenant_preloading(&mut self, now: Cycles, ten: usize, cause: SpanId) {
         self.tenants[ten].stopped = true;
-        let pages = self.per_q[ten].abort_pages();
-        let dropped = pages.len() as u64;
-        for p in pages {
-            self.batch_of.remove(&p);
-        }
+        let dropped = self.per_q[ten].abort();
         self.stats.preloads_aborted += dropped;
         self.tenants[ten].stats.preload_aborts += dropped;
         self.tenants[ten].stats.dfp_stopped_at = Some(now);
@@ -1396,7 +1440,7 @@ impl Kernel {
         }
     }
 
-    fn enqueue_predictions(&mut self, pid: ProcessId, pred: Prediction, batch: Option<SpanId>) {
+    fn enqueue_predictions(&mut self, pid: ProcessId, pred: &[VirtPage], batch: Option<SpanId>) {
         let ten = self.tenant_of_pid(pid);
         // Admission control: under memory pressure (free pool below the
         // reclaimer's low watermark) an enclave already above its soft
@@ -1406,14 +1450,14 @@ impl Kernel {
             && self.epc.free_slots() < self.wm.low()
             && self.epc.over_soft_quota(ten)
         {
-            self.tenants[ten].stats.preloads_shed += pred.pages.len() as u64;
+            self.tenants[ten].stats.preloads_shed += pred.len() as u64;
             return;
         }
         let (base, pages) = {
             let s = self.slot(pid);
             (s.base, s.pages)
         };
-        for page in pred.pages {
+        for &page in pred {
             let g = page.raw();
             if g < base || g >= base + pages {
                 self.stats.preloads_rejected_range += 1;
@@ -1425,19 +1469,11 @@ impl Kernel {
             {
                 continue;
             }
-            if self.preload_enqueue(page) {
+            // A genuine batch tags the node for lineage; a chaos storm
+            // (no batch) enqueues untagged so its loads don't inherit a
+            // bogus parent.
+            if self.preload_enqueue(page, batch.map_or(0, SpanId::raw)) {
                 self.stats.preloads_enqueued += 1;
-                // A genuine batch stamps its span for lineage; a chaos
-                // storm (no batch) clears any stale entry so its loads
-                // don't inherit a bogus parent.
-                match batch {
-                    Some(b) => {
-                        self.batch_of.insert(page, b);
-                    }
-                    None => {
-                        self.batch_of.remove(&page);
-                    }
-                }
             }
         }
     }
@@ -1459,6 +1495,7 @@ impl Kernel {
         self.advance(now);
         self.maybe_sample(now);
         let t = self.touch_tracked(now, g);
+        self.flush_events();
         t.resident.then_some(t)
     }
 
@@ -1491,9 +1528,11 @@ impl Kernel {
         // Fault lineage: the span of the background load that staged (or
         // is staging) this page; `None` means a cold fault.
         let cause = self
-            .staged
-            .get(&g)
-            .map(|s| s.span)
+            .epc
+            .slot_of(g)
+            .map(|s| self.staged_span[s as usize])
+            .filter(|&raw| raw != 0)
+            .map(SpanId::new)
             .or(match &self.in_flight {
                 Some(f) if f.is_load_of(g) => Some(f.span),
                 _ => None,
@@ -1520,13 +1559,14 @@ impl Kernel {
                 done.max(t) + self.costs.os_fault_path,
             )
         } else {
-            let pages = self.abort_preloads_for(ten);
+            let mut pages = std::mem::take(&mut self.abort_buf);
+            pages.clear();
+            self.abort_preloads_for(ten, &mut pages);
             let dropped = pages.len() as u64;
             if dropped > 0 {
-                let abort_parent = pages.first().and_then(|p| self.batch_of.get(p).copied());
-                for p in &pages {
-                    self.batch_of.remove(p);
-                }
+                let abort_parent = pages
+                    .first()
+                    .and_then(|&(_, b)| (b != 0).then(|| SpanId::new(b)));
                 let aspan = self.spans.next();
                 self.log(
                     t,
@@ -1537,6 +1577,7 @@ impl Kernel {
                     abort_parent,
                 );
             }
+            self.abort_buf = pages;
             self.stats.preloads_aborted += dropped;
             self.tenants[ten].stats.preload_aborts += dropped;
             let done = self.blocking_load(
@@ -1562,8 +1603,10 @@ impl Kernel {
         };
 
         if !self.preloading_stopped_for(ten) {
-            let pred = self.predictor.on_fault(t, pid, g);
-            let predicted = pred.pages.len() as u64;
+            let mut pred = std::mem::take(&mut self.pred_buf);
+            pred.clear();
+            self.predictor.on_fault_into(t, pid, g, &mut pred);
+            let predicted = pred.len() as u64;
             let mut batch = None;
             if predicted > 0 {
                 self.stats.stream_len.record(Cycles::new(predicted));
@@ -1578,7 +1621,8 @@ impl Kernel {
                     Some(fspan),
                 );
             }
-            self.enqueue_predictions(pid, pred, batch);
+            self.enqueue_predictions(pid, &pred, batch);
+            self.pred_buf = pred;
             // Chaos: a spurious mispredict storm rides in with the genuine
             // prediction, through the same range/dedup/enqueue filter.
             if self.injector.is_some() {
@@ -1592,7 +1636,7 @@ impl Kernel {
                     .map(|i| i.spurious_storm(base, pages))
                     .unwrap_or_default();
                 if !storm.is_empty() {
-                    self.enqueue_predictions(pid, Prediction::of(storm), None);
+                    self.enqueue_predictions(pid, &storm, None);
                 }
             }
         }
@@ -1612,6 +1656,7 @@ impl Kernel {
         self.stall_from = None;
         self.last_stall = Some((now, resume_at));
         self.maybe_sample(resume_at);
+        self.flush_events();
         FaultResolution { resume_at, kind }
     }
 
@@ -1625,6 +1670,7 @@ impl Kernel {
     pub fn sip_present(&mut self, now: Cycles, pid: ProcessId, local: VirtPage) -> bool {
         let _ = self.global(pid, local); // range validation
         self.advance(now);
+        self.flush_events();
         self.slot(pid).bitmap.is_present(local)
     }
 
@@ -1642,6 +1688,7 @@ impl Kernel {
         if self.epc.is_resident(g) {
             self.stats.sip_raced += 1;
             self.maybe_sample(now);
+            self.flush_events();
             return now;
         }
         if matches!(self.in_flight, Some(f) if f.is_load_of(g)) {
@@ -1654,6 +1701,7 @@ impl Kernel {
             self.stall_from = None;
             self.last_stall = Some((now, done.max(now)));
             self.maybe_sample(done.max(now));
+            self.flush_events();
             return done.max(now);
         }
         self.stall_from = Some(now);
@@ -1664,6 +1712,7 @@ impl Kernel {
         self.stall_from = None;
         self.last_stall = Some((now, done));
         self.maybe_sample(done);
+        self.flush_events();
         done
     }
 
@@ -1684,6 +1733,7 @@ impl Kernel {
             || self.sip_q.contains(g)
             || matches!(self.in_flight, Some(f) if f.is_load_of(g))
         {
+            self.flush_events();
             return;
         }
         if self.sip_q.enqueue(g) {
@@ -1692,6 +1742,7 @@ impl Kernel {
         // The request may start immediately if the channel is idle.
         self.advance(now);
         self.maybe_sample(now);
+        self.flush_events();
     }
 
     #[inline]
@@ -1707,17 +1758,32 @@ impl Kernel {
         if self.sinks.is_empty() {
             return;
         }
-        let event = LoggedEvent {
+        self.pending.push(LoggedEvent {
             at,
             what,
             page,
             value,
             span,
             parent,
-        };
-        for sink in &mut self.sinks {
-            sink.on_event(&event);
+        });
+    }
+
+    /// Delivers batched events to every sink, preserving the per-event
+    /// sink order of unbatched delivery. Called at public entry-point
+    /// boundaries and before any gauge sample, so each sink observes the
+    /// exact `on_event`/`on_sample` interleaving of immediate delivery.
+    fn flush_events(&mut self) {
+        if self.pending.is_empty() {
+            return;
         }
+        let mut pending = std::mem::take(&mut self.pending);
+        for event in &pending {
+            for sink in &mut self.sinks {
+                sink.on_event(event);
+            }
+        }
+        pending.clear();
+        self.pending = pending;
     }
 
     /// Subscribes a streaming [`TraceSink`](crate::TraceSink): every
@@ -1784,7 +1850,7 @@ impl Kernel {
     /// Tenant index of `pid`'s enclave (resolving thread aliases), if
     /// registered.
     pub fn tenant_index(&self, pid: ProcessId) -> Option<usize> {
-        self.tenant_of.get(&self.owner_pid(pid)).copied()
+        self.pid_index.get(pid.0 as u64).map(|i| i as usize)
     }
 
     /// Per-enclave fairness telemetry for tenant `idx` (registration
@@ -1826,6 +1892,7 @@ impl Kernel {
         }
         let span = self.spans.next();
         self.log(now, EventKind::RunEnd, None, Some(now.raw()), span, None);
+        self.flush_events();
     }
 
     /// Sets the gauge-sampling interval: one
@@ -1854,8 +1921,10 @@ impl Kernel {
     /// invariant unconditionally.
     pub fn attribution(&self, total: Cycles) -> CycleAttribution {
         let mut a = self.attr;
-        for s in self.staged.values() {
-            a.wasted_preload += s.cost;
+        for (i, &span) in self.staged_span.iter().enumerate() {
+            if span != 0 {
+                a.wasted_preload += self.staged_cost[i];
+            }
         }
         if let Some(f) = &self.in_flight {
             match f.job {
@@ -1936,6 +2005,7 @@ impl Kernel {
     }
 
     fn emit_sample(&mut self, now: Cycles) {
+        self.flush_events();
         self.last_sample_at = now;
         let stopped_tenants = self.tenants.iter().filter(|t| t.stopped).count() as u64;
         let sample = GaugeSample {
@@ -1969,10 +2039,9 @@ impl Kernel {
     /// Checks the internal invariant that every enclave's shared bitmap
     /// agrees with EPC residency. Used by tests and debug assertions.
     pub fn bitmap_consistent(&self) -> bool {
-        for (pid, slot) in &self.enclaves {
+        for slot in &self.enclaves {
             for local in slot.bitmap.iter_present() {
                 if !self.epc.is_resident(VirtPage::new(slot.base + local.raw())) {
-                    let _ = pid;
                     return false;
                 }
             }

@@ -5,10 +5,17 @@
 //! queued* (paper §4.1: "all the remaining pages yet to be preloaded …
 //! will be aborted"); the generation counter lets tests and stats attribute
 //! work to prediction batches.
+//!
+//! Each queue node carries the raw id of the prediction-batch span that
+//! queued it (0 = none, e.g. a chaos storm), so batch lineage travels with
+//! the node instead of through a side table probed on every transition.
+//! The membership map doubles as the tag store: one probe answers both
+//! "is it queued?" and "which batch?".
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use sgx_epc::VirtPage;
+use sgx_sim::FastMap;
 
 /// FIFO queue of pages awaiting preload, with O(1) membership tests and
 /// whole-queue abort.
@@ -28,8 +35,9 @@ use sgx_epc::VirtPage;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PreloadQueue {
-    queue: VecDeque<VirtPage>,
-    members: HashSet<VirtPage>,
+    queue: VecDeque<(VirtPage, u64)>,
+    /// page → batch-span raw id (0 = untagged). Presence = queued.
+    members: FastMap,
     generation: u64,
     enqueued_total: u64,
     aborted_total: u64,
@@ -52,51 +60,82 @@ impl PreloadQueue {
     }
 
     /// Whether `page` is queued.
+    #[inline]
     pub fn contains(&self, page: VirtPage) -> bool {
-        self.members.contains(&page)
+        self.members.get(page.raw()).is_some()
     }
 
-    /// Appends `page` unless already queued. Returns `true` if enqueued.
+    /// Appends `page` with no batch tag. Returns `true` if enqueued.
+    #[inline]
     pub fn enqueue(&mut self, page: VirtPage) -> bool {
-        if self.members.insert(page) {
-            self.queue.push_back(page);
-            self.enqueued_total += 1;
-            true
-        } else {
-            false
+        self.enqueue_tagged(page, 0)
+    }
+
+    /// Appends `page` carrying `batch` (raw span id of the prediction
+    /// batch, 0 = none) unless already queued. Returns `true` if enqueued.
+    #[inline]
+    pub fn enqueue_tagged(&mut self, page: VirtPage, batch: u64) -> bool {
+        if self.members.get(page.raw()).is_some() {
+            return false;
         }
+        self.members.insert(page.raw(), batch);
+        self.queue.push_back((page, batch));
+        self.enqueued_total += 1;
+        true
     }
 
     /// Pops the next page to preload.
+    #[inline]
     pub fn pop(&mut self) -> Option<VirtPage> {
-        let page = self.queue.pop_front()?;
-        self.members.remove(&page);
-        Some(page)
+        self.pop_tagged().map(|(page, _)| page)
+    }
+
+    /// Pops the next page together with its batch tag (0 = untagged).
+    #[inline]
+    pub fn pop_tagged(&mut self) -> Option<(VirtPage, u64)> {
+        let (page, batch) = self.queue.pop_front()?;
+        self.members.remove(page.raw());
+        Some((page, batch))
     }
 
     /// Puts a popped page back at the front (used when the channel must
-    /// evict before it can load).
-    pub fn push_front(&mut self, page: VirtPage) {
-        if self.members.insert(page) {
-            self.queue.push_front(page);
+    /// evict before it can load), restoring its batch tag.
+    pub fn push_front(&mut self, page: VirtPage, batch: u64) {
+        if self.members.get(page.raw()).is_none() {
+            self.members.insert(page.raw(), batch);
+            self.queue.push_front((page, batch));
         }
     }
 
     /// Cancels everything queued; returns how many pages were dropped.
     /// Bumps the generation.
     pub fn abort(&mut self) -> u64 {
-        self.abort_pages().len() as u64
+        let before = self.aborted_total;
+        let mut dropped = Vec::new();
+        self.abort_into(&mut dropped);
+        self.aborted_total - before
     }
 
-    /// Cancels everything queued; returns the dropped pages in queue
-    /// order (so callers can release per-page bookkeeping). Bumps the
-    /// generation.
-    pub fn abort_pages(&mut self) -> Vec<VirtPage> {
-        let pages: Vec<VirtPage> = self.queue.drain(..).collect();
-        self.aborted_total += pages.len() as u64;
+    /// Cancels everything queued; returns the dropped `(page, batch)`
+    /// pairs in queue order (so callers can attribute the abort to the
+    /// batch that queued the work). Bumps the generation.
+    pub fn abort_pages(&mut self) -> Vec<(VirtPage, u64)> {
+        let mut pages = Vec::new();
+        self.abort_into(&mut pages);
+        pages
+    }
+
+    /// Cancels everything queued, appending the dropped `(page, batch)`
+    /// pairs in queue order to `out` — the allocation-free form of
+    /// [`abort_pages`] (callers reuse one scratch buffer across faults).
+    /// Bumps the generation.
+    ///
+    /// [`abort_pages`]: PreloadQueue::abort_pages
+    pub fn abort_into(&mut self, out: &mut Vec<(VirtPage, u64)>) {
+        self.aborted_total += self.queue.len() as u64;
+        out.extend(self.queue.drain(..));
         self.members.clear();
         self.generation += 1;
-        pages
     }
 
     /// Number of aborts (prediction-batch generations) so far.
@@ -154,6 +193,16 @@ mod tests {
     }
 
     #[test]
+    fn batch_tag_travels_with_the_node() {
+        let mut q = PreloadQueue::new();
+        assert!(q.enqueue_tagged(p(7), 41));
+        assert!(q.enqueue(p(8)));
+        assert!(!q.enqueue_tagged(p(7), 99), "tag not rewritten on dup");
+        assert_eq!(q.pop_tagged(), Some((p(7), 41)));
+        assert_eq!(q.pop_tagged(), Some((p(8), 0)));
+    }
+
+    #[test]
     fn abort_clears_and_counts() {
         let mut q = PreloadQueue::new();
         for n in 0..5 {
@@ -169,12 +218,22 @@ mod tests {
     }
 
     #[test]
+    fn abort_yields_tags_in_queue_order() {
+        let mut q = PreloadQueue::new();
+        q.enqueue_tagged(p(1), 10);
+        q.enqueue_tagged(p(2), 10);
+        q.enqueue(p(3));
+        assert_eq!(q.abort_pages(), vec![(p(1), 10), (p(2), 10), (p(3), 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn push_front_reinserts_at_head() {
         let mut q = PreloadQueue::new();
         q.enqueue(p(1));
         q.enqueue(p(2));
-        let got = q.pop().unwrap();
-        q.push_front(got);
+        let (got, tag) = q.pop_tagged().unwrap();
+        q.push_front(got, tag);
         assert_eq!(q.pop(), Some(p(1)));
         assert_eq!(q.pop(), Some(p(2)));
     }

@@ -12,7 +12,7 @@ use std::io::{self, Write};
 
 use sgx_sim::Cycles;
 
-use crate::{EventKind, LoggedEvent, SpanId, TraceSink};
+use crate::{EventKind, LoggedEvent, TraceSink};
 
 /// A run's total cycles split into named buckets, one per paging
 /// subsystem, with the invariant that the buckets sum exactly to the
@@ -416,123 +416,126 @@ impl<W: Write> Drop for ChromeTraceSink<W> {
 /// trace-event JSON document. Deterministic: a byte-identical stream
 /// renders to byte-identical JSON.
 pub fn render_chrome_trace(events: &[LoggedEvent]) -> String {
-    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
 
-    // First event of every span: the flow-arrow anchor.
-    let mut anchor: BTreeMap<SpanId, (Cycles, u64)> = BTreeMap::new();
+    use sgx_sim::{FastMap, FastSet};
+
+    // One linear indexing pass replaces the per-close-event stream rescans
+    // this used to do (the render was quadratic in stream length), and the
+    // records are written straight into the output buffer instead of
+    // through one heap-allocated `String` per record.
+    //
+    // First event of every span: the flow-arrow anchor `(ts, lane)`.
+    let mut anchor_idx = FastMap::new();
+    let mut anchors: Vec<(u64, u64)> = Vec::new();
     // span -> close timestamp, for open events rendered as durations.
-    let mut close_at: BTreeMap<SpanId, Cycles> = BTreeMap::new();
+    let mut close_at = FastMap::new();
+    // Spans with an opening event somewhere in the stream.
+    let mut openers = FastSet::new();
     let mut lanes: std::collections::BTreeSet<u64> = [0].into();
     for e in events {
         let lane = chrome_lane(e);
         lanes.insert(lane);
-        anchor.entry(e.span).or_insert((e.at, lane));
-        if closes_span(e.what) {
-            close_at.entry(e.span).or_insert(e.at);
+        let s = e.span.raw();
+        if anchor_idx.get(s).is_none() {
+            anchor_idx.insert(s, anchors.len() as u64);
+            anchors.push((e.at.raw(), lane));
+        }
+        if opens_span(e.what) {
+            openers.insert(s);
+        }
+        if closes_span(e.what) && close_at.get(s).is_none() {
+            close_at.insert(s, e.at.raw());
         }
     }
 
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
-    let push = |out: &mut String, line: &str, first: &mut bool| {
-        if !*first {
+    let mut sep = |out: &mut String| {
+        if !first {
             out.push_str(",\n");
         }
-        *first = false;
-        out.push_str(line);
+        first = false;
     };
-    push(
-        &mut out,
+    sep(&mut out);
+    out.push_str(
         "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"sgx-preload\"}}",
-        &mut first,
     );
     for &lane in &lanes {
-        let name = if lane == 0 {
-            "load channel".to_string()
-        } else {
-            format!("enclave {}", lane - 1)
-        };
-        push(
-            &mut out,
-            &format!(
-                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"{name}\"}}}}"
-            ),
-            &mut first,
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\""
         );
+        if lane == 0 {
+            out.push_str("load channel");
+        } else {
+            let _ = write!(out, "enclave {}", lane - 1);
+        }
+        out.push_str("\"}}");
     }
 
+    let mut args = String::new();
     for e in events {
         let lane = chrome_lane(e);
-        let mut args = format!("\"span\":{}", e.span.raw());
+        let s = e.span.raw();
+        if closes_span(e.what) && close_at.get(s) == Some(e.at.raw()) && openers.contains(s) {
+            // Rendered as the duration of its opening event; closes with
+            // no opener (foreign stream) fall through to an instant.
+            continue;
+        }
+        args.clear();
+        let _ = write!(args, "\"span\":{}", s);
         if let Some(p) = e.parent {
-            args.push_str(&format!(",\"parent\":{}", p.raw()));
+            let _ = write!(args, ",\"parent\":{}", p.raw());
         }
         if let Some(p) = e.page {
-            args.push_str(&format!(",\"page\":{}", p.raw()));
+            let _ = write!(args, ",\"page\":{}", p.raw());
         }
         if let Some(v) = e.value {
-            args.push_str(&format!(",\"value\":{v}"));
+            let _ = write!(args, ",\"value\":{v}");
         }
-        if closes_span(e.what) && close_at.get(&e.span) == Some(&e.at) {
-            // Rendered as the duration of its opening event; but if no
-            // opener exists (foreign stream), fall through to an instant.
-            if events
-                .iter()
-                .any(|o| o.span == e.span && opens_span(o.what))
-            {
-                continue;
-            }
-        }
-        let line = if opens_span(e.what) {
-            match close_at.get(&e.span) {
-                Some(&done) => format!(
+        sep(&mut out);
+        match close_at.get(s).filter(|_| opens_span(e.what)) {
+            Some(done) => {
+                let _ = write!(
+                    out,
                     "{{\"ph\":\"X\",\"pid\":1,\"tid\":{lane},\"ts\":{},\"dur\":{},\
                      \"name\":\"{}\",\"args\":{{{args}}}}}",
                     e.at.raw(),
-                    done.raw().saturating_sub(e.at.raw()),
+                    done.saturating_sub(e.at.raw()),
                     e.what,
-                ),
-                None => format!(
+                );
+            }
+            None => {
+                let _ = write!(
+                    out,
                     "{{\"ph\":\"i\",\"pid\":1,\"tid\":{lane},\"ts\":{},\"s\":\"t\",\
                      \"name\":\"{}\",\"args\":{{{args}}}}}",
                     e.at.raw(),
                     e.what,
-                ),
+                );
             }
-        } else {
-            format!(
-                "{{\"ph\":\"i\",\"pid\":1,\"tid\":{lane},\"ts\":{},\"s\":\"t\",\
-                 \"name\":\"{}\",\"args\":{{{args}}}}}",
-                e.at.raw(),
-                e.what,
-            )
-        };
-        push(&mut out, &line, &mut first);
+        }
         // One flow arrow per causal link, anchored at the parent span's
         // first event. Links to spans absent from the stream draw nothing
         // — a rendered arrow always references two emitted spans.
         if let Some(parent) = e.parent {
-            if let Some(&(pts, ptid)) = anchor.get(&parent) {
-                push(
-                    &mut out,
-                    &format!(
-                        "{{\"ph\":\"s\",\"pid\":1,\"tid\":{ptid},\"ts\":{},\
-                         \"id\":{},\"name\":\"cause\",\"cat\":\"flow\"}}",
-                        pts.raw(),
-                        e.span.raw(),
-                    ),
-                    &mut first,
+            if let Some(i) = anchor_idx.get(parent.raw()) {
+                let (pts, ptid) = anchors[i as usize];
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"s\",\"pid\":1,\"tid\":{ptid},\"ts\":{pts},\
+                     \"id\":{s},\"name\":\"cause\",\"cat\":\"flow\"}}",
                 );
-                push(
-                    &mut out,
-                    &format!(
-                        "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{lane},\
-                         \"ts\":{},\"id\":{},\"name\":\"cause\",\"cat\":\"flow\"}}",
-                        e.at.raw(),
-                        e.span.raw(),
-                    ),
-                    &mut first,
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{lane},\
+                     \"ts\":{},\"id\":{s},\"name\":\"cause\",\"cat\":\"flow\"}}",
+                    e.at.raw(),
                 );
             }
         }
@@ -544,6 +547,7 @@ pub fn render_chrome_trace(events: &[LoggedEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SpanId;
     use sgx_epc::VirtPage;
 
     fn ev(

@@ -33,13 +33,17 @@
 #![warn(missing_docs)]
 
 mod cycles;
+mod fastmap;
 mod queue;
 mod resource;
 mod rng;
+mod slab;
 mod stats;
 
 pub use cycles::Cycles;
+pub use fastmap::{FastMap, FastSet};
 pub use queue::EventQueue;
 pub use resource::{Grant, Resource};
 pub use rng::{mix, DetRng};
+pub use slab::Slab;
 pub use stats::{Counter, Histogram, HistogramSummary};

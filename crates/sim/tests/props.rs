@@ -111,3 +111,110 @@ proptest! {
         }
     }
 }
+
+#[derive(Debug, Clone)]
+enum SlabOp {
+    Alloc(u64),
+    /// Frees the n-th live slot (mod the live count); no-op when empty.
+    Free(usize),
+}
+
+fn slab_op() -> impl Strategy<Value = SlabOp> {
+    prop_oneof![
+        any::<u64>().prop_map(SlabOp::Alloc),
+        (0usize..64).prop_map(SlabOp::Free),
+    ]
+}
+
+proptest! {
+    /// The slab never hands a live index to two owners: under random
+    /// alloc/free interleavings its view matches a naive map keyed by
+    /// slot index, and every `alloc` lands on a slot the map says is
+    /// dead.
+    #[test]
+    fn slab_never_reissues_a_live_index(
+        ops in proptest::collection::vec(slab_op(), 1..400),
+    ) {
+        use std::collections::BTreeMap;
+
+        use sgx_sim::Slab;
+
+        let mut slab: Slab<u64> = Slab::new();
+        let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                SlabOp::Alloc(v) => {
+                    let idx = slab.alloc(v);
+                    prop_assert!(
+                        !model.contains_key(&idx),
+                        "slot {} was still live when re-issued",
+                        idx
+                    );
+                    model.insert(idx, v);
+                }
+                SlabOp::Free(n) => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let idx = *model.keys().nth(n % model.len()).unwrap();
+                    let expect = model.remove(&idx).unwrap();
+                    prop_assert_eq!(slab.free(idx), expect);
+                }
+            }
+            prop_assert_eq!(slab.len(), model.len());
+            for (&idx, &v) in &model {
+                prop_assert_eq!(slab.get(idx), Some(&v));
+            }
+        }
+    }
+
+    /// Span records stored in recycled slab slots keep monotonic ids:
+    /// reusing a slot never resurrects an old span id, so a recycled
+    /// slot's id never collides with any open span (the kernel's
+    /// unconditional-span-allocation contract).
+    #[test]
+    fn recycled_slots_never_collide_with_open_spans(
+        ops in proptest::collection::vec(slab_op(), 1..400),
+    ) {
+        use std::collections::{BTreeMap, BTreeSet};
+
+        use sgx_sim::Slab;
+
+        let mut slab: Slab<u64> = Slab::new();
+        let mut open: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut closed: BTreeSet<u64> = BTreeSet::new();
+        let mut next_span = 0u64;
+        for op in &ops {
+            match *op {
+                SlabOp::Alloc(_) => {
+                    next_span += 1; // ids start at 1, 0 is the sentinel
+                    let idx = slab.alloc(next_span);
+                    prop_assert!(
+                        !open.values().any(|&s| s == next_span),
+                        "fresh span id {} collides with an open span",
+                        next_span
+                    );
+                    prop_assert!(
+                        !closed.contains(&next_span),
+                        "span id {} was recycled",
+                        next_span
+                    );
+                    open.insert(idx, next_span);
+                }
+                SlabOp::Free(n) => {
+                    if open.is_empty() {
+                        continue;
+                    }
+                    let idx = *open.keys().nth(n % open.len()).unwrap();
+                    let span = open.remove(&idx).unwrap();
+                    prop_assert_eq!(slab.free(idx), span);
+                    closed.insert(span);
+                }
+            }
+            // Every live slot holds a distinct, never-closed id.
+            let live: BTreeSet<u64> = open.values().copied().collect();
+            prop_assert_eq!(live.len(), open.len());
+            prop_assert!(live.intersection(&closed).next().is_none());
+        }
+    }
+}

@@ -16,9 +16,9 @@ use std::process::ExitCode;
 use sgx_preloading::kernel::EventKind;
 use sgx_preloading::{
     build_plan, effective_jobs, profile_stream, render_chrome_trace, AppSpec, Benchmark, Campaign,
-    CampaignReport, ChaosPreset, CollectingSink, CountingSink, Cycles, HistogramSink, InputSet,
-    JsonlWriterSink, NotifyPlacement, RecordedTrace, RunReport, Scale, Scheme, SeedMode,
-    SeriesFormat, SimConfig, SimRun, StreamConfig, TenantPolicy, TimeSeriesSink,
+    CampaignReport, ChaosPreset, ChromeTraceSink, CollectingSink, CountingSink, Cycles,
+    HistogramSink, InputSet, JsonlWriterSink, NotifyPlacement, RecordedTrace, RunReport, Scale,
+    Scheme, SeedMode, SeriesFormat, SimConfig, SimRun, StreamConfig, TenantPolicy, TimeSeriesSink,
     DEFAULT_TIMELINE_SERIES_INTERVAL,
 };
 
@@ -39,6 +39,10 @@ COMMANDS:
     timeline                   run one benchmark and export its causal span
                                timeline (event table, Chrome trace, gauge
                                series, cycle attribution)
+    throughput                 run the timeline pipeline repeatedly and
+                               report wall-clock events/sec and
+                               simulated-pages/sec vs the pre-rewrite
+                               baseline
     chaos                      run a benchmark under fault injection and
                                check the graceful-degradation invariants
     contend                    co-run a victim with an aggressor enclave and
@@ -1061,6 +1065,92 @@ fn cmd_timeline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Pre-rewrite events/sec on the timeline microbenchmark cell (DFP,
+/// scale 48, Chrome-trace sink attached, best of three), measured on the
+/// commit before the hot-path engine rewrite. The throughput stage
+/// reports its speedup against this anchor.
+const PRE_REWRITE_EVENTS_PER_SEC: f64 = 48_243.0;
+
+fn cmd_throughput(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let scheme = args.scheme()?;
+    if scheme.is_user_level() {
+        return Err(
+            "throughput measures the kernel pipeline; the user-level runtime has none".into(),
+        );
+    }
+    let iters = args.parsed::<u32>("iters")?.unwrap_or(5).max(1);
+    let baseline = args
+        .parsed::<f64>("baseline-events-per-sec")?
+        .unwrap_or(PRE_REWRITE_EVENTS_PER_SEC);
+
+    // The timeline pipeline end to end: simulate the cell with the
+    // Chrome-trace sink subscribed (buffer + render, output discarded)
+    // while a counting sink tallies the stream.
+    let mut events = 0u64;
+    let mut pages = 0u64;
+    let mut accesses = 0u64;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let (counter, counts) = CountingSink::new();
+        let report = SimRun::new(&cfg)
+            .scheme(scheme)
+            .bench(bench)
+            .sink(Box::new(ChromeTraceSink::new(std::io::sink())))
+            .sink(Box::new(counter))
+            .run_one()
+            .map_err(|e| e.to_string())?;
+        let c = counts.get();
+        events += c.total();
+        // Pages actually moved over the load channel: demand loads,
+        // completed background loads (DFP + SIP prefetch), and blocking
+        // SIP loads.
+        pages += c.demand_loads + c.preload_dones + c.sip_loads;
+        accesses += report.accesses;
+    }
+    let wall = t0.elapsed();
+    let secs = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    let events_per_sec = events as f64 / secs;
+    let pages_per_sec = pages as f64 / secs;
+    let speedup = events_per_sec / baseline;
+
+    println!(
+        "{}/{} x{}: {} events, {} pages, {} accesses in {:.3}s",
+        bench.name(),
+        scheme.name(),
+        iters,
+        events,
+        pages,
+        accesses,
+        secs
+    );
+    println!(
+        "{events_per_sec:.0} events/sec, {pages_per_sec:.0} simulated-pages/sec \
+         ({speedup:.1}x the pre-rewrite baseline of {baseline:.0})"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"{}\",\"scheme\":\"{}\",\"iters\":{},\"events\":{},\"pages\":{},\
+         \"accesses\":{},\"wall_nanos\":{},\"events_per_sec\":{:.1},\
+         \"simulated_pages_per_sec\":{:.1},\"baseline_events_per_sec\":{:.1},\
+         \"speedup_vs_baseline\":{:.2}}}",
+        bench.name(),
+        scheme.name(),
+        iters,
+        events,
+        pages,
+        accesses,
+        wall.as_nanos() as u64,
+        events_per_sec,
+        pages_per_sec,
+        baseline,
+        speedup,
+    );
+    write_json_out(args, &json)?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
@@ -1087,6 +1177,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args),
         "replay" => cmd_replay(&args),
         "timeline" => cmd_timeline(&args),
+        "throughput" => cmd_throughput(&args),
         "chaos" => cmd_chaos(&args),
         "contend" => cmd_contend(&args),
         "help" | "--help" | "-h" => {
