@@ -13,8 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps"
 # Our packages only: the vendored registry stand-ins don't doc cleanly.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
-  -p sgx-preloading -p sgx-preload-core -p sgx-bench -p sgx-kernel \
-  -p sgx-epc -p sgx-dfp -p sgx-sip -p sgx-workloads -p sgx-sim
+  -p sgx-preloading -p sgx-preload-core -p sgx-fleet -p sgx-bench \
+  -p sgx-kernel -p sgx-epc -p sgx-dfp -p sgx-sip -p sgx-workloads -p sgx-sim
 
 echo "==> cargo build --release"
 cargo build --release
@@ -81,6 +81,41 @@ assert t["events_per_sec"] >= floor, (
 print(f"throughput OK: {t['events_per_sec']:.0f} events/sec "
       f"({t['speedup_vs_baseline']:.1f}x baseline), "
       f"{t['simulated_pages_per_sec']:.0f} simulated-pages/sec")
+EOF
+
+echo "==> fleet smoke"
+# The fleet simulator end to end: the golden 4x3 fleet must produce
+# byte-identical canonical JSON at --jobs 1 and --jobs 4, match the
+# pinned golden, and balance its books (zero accounting residual).
+# Writes wall-clock hosts/sec, requests/sec and p99 SLO latency.
+mkdir -p results
+FLEET_FLAGS=(--hosts 4 --enclaves 3 --fleet-seed 2020 --scale 64
+  --arrival bursty:262144x4 --placement least-loaded
+  --duration 8388608 --idle-timeout 1048576)
+./target/release/sgx-preload fleet "${FLEET_FLAGS[@]}" --jobs 1 \
+  --json-out results/fleet_j1.json >/dev/null
+./target/release/sgx-preload fleet "${FLEET_FLAGS[@]}" --jobs 4 \
+  --json-out results/fleet_j4.json \
+  --bench-out results/BENCH_fleet.json >/dev/null
+cmp results/fleet_j1.json results/fleet_j4.json
+python3 - <<'EOF'
+import json
+with open("results/fleet_j4.json") as f:
+    fleet = json.load(f)
+with open("tests/golden/fleet_small.json") as f:
+    golden = json.load(f)
+assert fleet == golden, "fleet report drifted from tests/golden/fleet_small.json"
+assert fleet["accounting_residual"] == 0, fleet["accounting_residual"]
+assert fleet["total_cycles"] == sum(h["end_cycles"] for h in fleet["host_reports"])
+with open("results/BENCH_fleet.json") as f:
+    bench = json.load(f)
+assert bench["requests"] == fleet["requests"], bench
+assert bench["accounting_residual"] == 0, bench
+print(f"fleet OK: {bench['hosts_per_sec']:.0f} hosts/sec, "
+      f"{bench['requests_per_sec']:.0f} requests/sec, "
+      f"p99 latency {bench['p99_latency_cycles']} cycles "
+      f"(SLO {fleet['slo']}, {fleet['slo_violations']} violations, "
+      f"{fleet['shed']} shed)")
 EOF
 
 echo "==> cargo test -q"

@@ -30,7 +30,7 @@ fn main() {
 
     let campaign = Campaign::grid("fig8_dfp", cfg.seed, &BENCHES, &SCHEMES, cfg)
         .with_seed_mode(SeedMode::Shared);
-    let report = campaign.run();
+    let report = campaign.run().expect("campaign run failed");
     let arm = |bench: Benchmark, scheme: Scheme| -> &RunReport {
         &report
             .cell(&format!("{}/{}", bench.name(), scheme.name()))

@@ -40,7 +40,7 @@ fn main() {
             }
         }
     }
-    let report = campaign.run();
+    let report = campaign.run().expect("campaign run failed");
     let arm = |bench: Benchmark, scheme: Scheme, threshold: f64| -> &RunReport {
         &report
             .cell(&label(bench, scheme, threshold))

@@ -41,12 +41,14 @@
 //!     &[Scheme::Baseline, Scheme::Dfp],
 //!     cfg,
 //! );
-//! let serial = campaign.run_serial();
-//! let parallel = campaign.run_with_jobs(4);
+//! let serial = campaign.run_serial()?;
+//! let parallel = campaign.run_with_jobs(4)?;
 //! assert_eq!(serial.to_canonical_json(), parallel.to_canonical_json());
+//! # Ok::<(), sgx_preload_core::CampaignError>(())
 //! ```
 
 use std::collections::VecDeque;
+use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -59,7 +61,7 @@ use sgx_kernel::{
 use sgx_workloads::Benchmark;
 
 use crate::report::push_json_str;
-use crate::{RunReport, Scheme, SimConfig, SimRun};
+use crate::{RunReport, Scheme, SimConfig, SimError, SimRun};
 
 /// Environment variable overriding the default worker count.
 pub const JOBS_ENV: &str = "SGX_PRELOAD_JOBS";
@@ -86,6 +88,85 @@ pub fn effective_jobs(requested: Option<usize>) -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A cell that failed to run, with enough context to find it: the label
+/// and enumeration index of the offending cell plus the underlying
+/// [`SimError`]. Returned by the `Campaign::run*` family; when several
+/// cells fail in one parallel run, the error reported is the failing cell
+/// with the lowest index, so serial and parallel runs agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// Enumeration index of the failing cell.
+    pub index: usize,
+    /// Label of the failing cell.
+    pub label: String,
+    /// What went wrong inside the cell.
+    pub source: SimError,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign cell {} (index {}): {}",
+            self.label, self.index, self.source
+        )
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Locks a mutex, tolerating poison: a panicking sibling worker must not
+/// cascade into a second panic while the first unwinds — the original
+/// panic is the error the caller sees.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f(0..n)` on a `jobs`-worker work-stealing pool and returns the
+/// results in index order regardless of scheduling. This is the pool
+/// behind [`Campaign::run_with_jobs`] and the fleet layer's host shards:
+/// per-worker deques are round-robin seeded, and an idle worker steals
+/// from the back of the fullest sibling. `f` must produce a result that
+/// depends only on its index for parallel runs to stay deterministic.
+pub fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1);
+    if jobs == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| Mutex::new((w..n).step_by(jobs).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                while let Some(i) = pop_or_steal(queues, w) {
+                    *lock_clean(&slots[i]) = Some(f(i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            lock_clean(&slot)
+                .take()
+                .expect("every queued index produced a result")
+        })
+        .collect()
 }
 
 /// How cells derive their workload seeds from the campaign seed.
@@ -294,76 +375,74 @@ impl Campaign {
     }
 
     /// Runs the campaign with [`effective_jobs`]`(None)` workers.
-    pub fn run(&self) -> CampaignReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError`] for the lowest-indexed cell whose run failed.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
         self.run_with_jobs(effective_jobs(None))
     }
 
     /// Runs every cell on the calling thread, in order (the reference
     /// execution the regression harness compares parallel runs against).
-    pub fn run_serial(&self) -> CampaignReport {
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError`] for the first cell whose run failed; later cells
+    /// do not run.
+    pub fn run_serial(&self) -> Result<CampaignReport, CampaignError> {
         let t0 = Instant::now();
-        let cells = self
-            .cells
-            .iter()
-            .enumerate()
-            .map(|(i, cell)| {
-                run_cell(
-                    cell,
-                    i,
-                    self.cell_seed(i),
-                    self.trace_dir.as_deref(),
-                    self.timeline_dir.as_deref(),
-                )
-            })
-            .collect();
-        self.assemble(cells, 1, t0)
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            cells.push(run_cell(
+                cell,
+                i,
+                self.cell_seed(i),
+                self.trace_dir.as_deref(),
+                self.timeline_dir.as_deref(),
+            )?);
+        }
+        Ok(self.assemble(cells, 1, t0))
     }
 
-    /// Runs the campaign on a `jobs`-worker work-stealing pool. Results
-    /// are returned in cell order regardless of scheduling.
-    pub fn run_with_jobs(&self, jobs: usize) -> CampaignReport {
+    /// Runs the campaign on a `jobs`-worker work-stealing pool (see
+    /// [`run_indexed`]). Results are returned in cell order regardless of
+    /// scheduling.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError`] for the lowest-indexed cell whose run failed —
+    /// the same cell a serial run would report first, so error behaviour
+    /// is scheduling-independent too. Every queued cell still runs.
+    pub fn run_with_jobs(&self, jobs: usize) -> Result<CampaignReport, CampaignError> {
         let jobs = jobs.max(1);
         if jobs == 1 || self.cells.len() <= 1 {
-            let mut r = self.run_serial();
+            let mut r = self.run_serial()?;
             r.jobs = jobs;
-            return r;
+            return Ok(r);
         }
         let t0 = Instant::now();
-        let n = self.cells.len();
-        // Per-worker deques, round-robin seeded; an idle worker steals
-        // from the back of the fullest sibling.
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
-            .map(|w| Mutex::new((w..n).step_by(jobs).collect()))
-            .collect();
-        let slots: Vec<Mutex<Option<CellReport>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for w in 0..jobs {
-                let queues = &queues;
-                let slots = &slots;
-                let campaign = &*self;
-                scope.spawn(move || loop {
-                    let next = pop_or_steal(queues, w);
-                    let Some(i) = next else { break };
-                    let report = run_cell(
-                        &campaign.cells[i],
-                        i,
-                        campaign.cell_seed(i),
-                        campaign.trace_dir.as_deref(),
-                        campaign.timeline_dir.as_deref(),
-                    );
-                    *slots[i].lock().expect("result slot poisoned") = Some(report);
-                });
-            }
+        let results = run_indexed(self.cells.len(), jobs, |i| {
+            run_cell(
+                &self.cells[i],
+                i,
+                self.cell_seed(i),
+                self.trace_dir.as_deref(),
+                self.timeline_dir.as_deref(),
+            )
         });
-        let cells = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every queued cell ran")
-            })
-            .collect();
-        self.assemble(cells, jobs, t0)
+        let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(self.assemble(cells, jobs, t0))
+    }
+
+    /// Former panicking entry point, kept for one release: runs the
+    /// campaign and panics with the failing cell's label on error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Campaign::run` and handle `CampaignError`"
+    )]
+    pub fn run_or_panic(&self) -> CampaignReport {
+        self.run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn assemble(&self, cells: Vec<CellReport>, jobs: usize, t0: Instant) -> CampaignReport {
@@ -380,7 +459,7 @@ impl Campaign {
 /// Pops from worker `w`'s own deque, else steals from the back of the
 /// fullest non-empty sibling. Returns `None` when every deque is empty.
 fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
-    if let Some(i) = queues[w].lock().expect("queue poisoned").pop_front() {
+    if let Some(i) = lock_clean(&queues[w]).pop_front() {
         return Some(i);
     }
     loop {
@@ -389,7 +468,7 @@ fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
             if q == w {
                 continue;
             }
-            let len = queue.lock().expect("queue poisoned").len();
+            let len = lock_clean(queue).len();
             if len > 0 && victim.map(|(_, l)| len > l).unwrap_or(true) {
                 victim = Some((q, len));
             }
@@ -397,7 +476,7 @@ fn pop_or_steal(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
         let (q, _) = victim?;
         // The victim may have drained between the scan and this lock;
         // rescan in that case.
-        if let Some(i) = queues[q].lock().expect("queue poisoned").pop_back() {
+        if let Some(i) = lock_clean(&queues[q]).pop_back() {
             return Some(i);
         }
     }
@@ -472,7 +551,7 @@ fn run_cell(
     seed: u64,
     trace_dir: Option<&Path>,
     timeline_dir: Option<&Path>,
-) -> CellReport {
+) -> Result<CellReport, CampaignError> {
     let mut cfg = cell.cfg.with_seed(seed);
     if timeline_dir.is_some() && cfg.series_interval == 0 {
         cfg = cfg.with_series_interval(DEFAULT_TIMELINE_SERIES_INTERVAL);
@@ -495,18 +574,20 @@ fn run_cell(
     }
     // A user-level cell bypasses the kernel, so its sinks see no events
     // and the tallies stay zero — same behavior the event log had.
-    let report = run
-        .run_one()
-        .unwrap_or_else(|e| panic!("campaign cell {}: {e}", cell.label));
+    let report = run.run_one().map_err(|e| CampaignError {
+        index,
+        label: cell.label.clone(),
+        source: e,
+    })?;
     let events = counts.get();
-    CellReport {
+    Ok(CellReport {
         index,
         label: cell.label.clone(),
         seed,
         report,
         events,
         wall_nanos: t0.elapsed().as_nanos() as u64,
-    }
+    })
 }
 
 /// One executed cell: the run report plus event telemetry and timing.
@@ -678,8 +759,8 @@ mod tests {
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let c = tiny_campaign();
-        let serial = c.run_serial();
-        let parallel = c.run_with_jobs(4);
+        let serial = c.run_serial().unwrap();
+        let parallel = c.run_with_jobs(4).unwrap();
         assert_eq!(serial.cells.len(), parallel.cells.len());
         for (s, p) in serial.cells.iter().zip(parallel.cells.iter()) {
             assert_eq!(s.report, p.report, "cell {} diverged", s.label);
@@ -697,7 +778,7 @@ mod tests {
             Scheme::Baseline,
             tiny_cfg(),
         ));
-        let r = c.run_with_jobs(8);
+        let r = c.run_with_jobs(8).unwrap();
         assert_eq!(r.cells.len(), 1);
         assert!(r.cells[0].report.accesses > 0);
     }
@@ -710,7 +791,7 @@ mod tests {
             Scheme::Baseline,
             tiny_cfg(),
         ));
-        let r = c.run_serial();
+        let r = c.run_serial().unwrap();
         let canon = r.to_canonical_json();
         let full = r.to_json();
         assert!(!canon.contains("wall_nanos"));
@@ -729,7 +810,7 @@ mod tests {
             tiny_cfg(),
         )
         .with_seed_mode(SeedMode::Shared);
-        let r = c.run_serial();
+        let r = c.run_serial().unwrap();
         // Same workload stream under both schemes: identical access counts.
         assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
     }
@@ -757,7 +838,7 @@ mod tests {
         );
         assert!(c.cells()[0].cfg.chaos.is_none());
         assert!(!c.cells()[1].cfg.chaos.is_none());
-        let r = c.with_seed_mode(SeedMode::Shared).run_serial();
+        let r = c.with_seed_mode(SeedMode::Shared).run_serial().unwrap();
         // Same workload either way; chaos only perturbs the kernel.
         assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
     }
@@ -786,7 +867,7 @@ mod tests {
         );
         assert!(c.cells()[0].cfg.tenant.is_none());
         assert!(!c.cells()[1].cfg.tenant.is_none());
-        let r = c.with_seed_mode(SeedMode::Shared).run_serial();
+        let r = c.with_seed_mode(SeedMode::Shared).run_serial().unwrap();
         // Same workload either way; the policy only perturbs the kernel.
         assert_eq!(r.cells[0].report.accesses, r.cells[1].report.accesses);
         // A single-enclave cell under fair(2) stays within its share, so
@@ -802,11 +883,43 @@ mod tests {
             Scheme::Dfp,
             tiny_cfg(),
         ));
-        let r = c.run_serial();
+        let r = c.run_serial().unwrap();
         let cell = &r.cells[0];
         assert_eq!(cell.events.faults, cell.report.faults);
         assert_eq!(cell.events.preload_starts, cell.report.preloads_started);
         assert!(cell.events.total() > 0);
+    }
+
+    #[test]
+    fn failing_cell_error_names_the_lowest_indexed_cell() {
+        // An EPC of zero pages fails kernel construction, so every cell
+        // errors; serial and parallel must both blame cell 0.
+        let bad = tiny_cfg().with_epc_pages(0);
+        let c = Campaign::grid(
+            "bad",
+            7,
+            &[Benchmark::Microbenchmark, Benchmark::Leela],
+            &[Scheme::Baseline, Scheme::Dfp],
+            bad,
+        );
+        let serial = c.run_serial().unwrap_err();
+        let parallel = c.run_with_jobs(4).unwrap_err();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.index, 0);
+        assert_eq!(serial.label, "microbenchmark/baseline");
+        let msg = serial.to_string();
+        assert!(msg.contains("microbenchmark/baseline"), "{msg}");
+        use std::error::Error;
+        assert!(serial.source().is_some());
+    }
+
+    #[test]
+    fn run_indexed_serial_and_parallel_agree() {
+        let serial = run_indexed(9, 1, |i| i * i);
+        let parallel = run_indexed(9, 4, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, (0..9).map(|i| i * i).collect::<Vec<_>>());
+        assert!(run_indexed(0, 3, |i| i).is_empty());
     }
 
     #[test]

@@ -45,8 +45,8 @@ mod simulator;
 mod userspace;
 
 pub use campaign::{
-    derive_cell_seed, effective_jobs, Campaign, CampaignReport, Cell, CellReport, SeedMode,
-    DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
+    derive_cell_seed, effective_jobs, run_indexed, Campaign, CampaignError, CampaignReport, Cell,
+    CellReport, SeedMode, DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
 };
 pub use config::SimConfig;
 pub use report::RunReport;
@@ -58,5 +58,5 @@ pub use sgx_kernel::{
     TenantPolicy, TenantShare, TenantStats, TimeSeriesSink, MAX_TENANTS,
 };
 pub use simrun::{SimError, SimRun};
-pub use simulator::{build_plan, AppSpec, AppSpecBuilder, SpecError};
+pub use simulator::{build_kernel, build_plan, AppSpec, AppSpecBuilder, SpecError};
 pub use userspace::{run_userspace_paging, UserPagingConfig};

@@ -180,7 +180,18 @@ fn make_predictor(cfg: &SimConfig, scheme: Scheme) -> Box<dyn Predictor> {
     }
 }
 
-fn make_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelError> {
+/// Builds the kernel a [`SimRun`](crate::SimRun) would drive for `cfg`
+/// under `scheme`:
+/// EPC sizing, per-operation costs, the scheme's predictor, the abort
+/// valve when the scheme uses one, plus any configured chaos schedule,
+/// tenant policy, and gauge-sampling interval. Exported so higher layers
+/// (the fleet simulator) can drive the same kernel directly.
+///
+/// # Errors
+///
+/// [`KernelError`] when the configuration is unbuildable (e.g. zero EPC
+/// pages).
+pub fn build_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelError> {
     let mut kcfg = KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs);
     if scheme.uses_valve() {
         kcfg = kcfg.with_abort_policy(cfg.abort);
@@ -231,7 +242,7 @@ pub(crate) fn run_kernel_apps(
             return Err(SimError::Spec(crate::SpecError::ThreadOrder { app: i }));
         }
     }
-    let mut kernel = make_kernel(cfg, scheme)?;
+    let mut kernel = build_kernel(cfg, scheme)?;
     for sink in sinks {
         kernel.subscribe(sink);
     }

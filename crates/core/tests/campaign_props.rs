@@ -55,9 +55,9 @@ proptest! {
     /// under 1, 2 and 4 workers, and so is the canonical JSON.
     #[test]
     fn worker_count_never_changes_reports(campaign in arb_campaign()) {
-        let serial = campaign.run_serial();
+        let serial = campaign.run_serial().expect("serial campaign run failed");
         for jobs in [1usize, 2, 4] {
-            let parallel = campaign.run_with_jobs(jobs);
+            let parallel = campaign.run_with_jobs(jobs).expect("parallel campaign run failed");
             prop_assert_eq!(serial.cells.len(), parallel.cells.len());
             for (s, p) in serial.cells.iter().zip(parallel.cells.iter()) {
                 prop_assert_eq!(s.index, p.index);

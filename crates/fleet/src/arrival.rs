@@ -1,0 +1,279 @@
+//! Open-loop request arrival processes.
+//!
+//! Each service instance draws its request schedule from a seeded
+//! [`DetRng`] stream, so the schedule depends only on the fleet seed and
+//! the service's position — never on worker count or wall-clock time.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sgx_sim::DetRng;
+
+/// Default mean inter-arrival gap in cycles. Sized against the measured
+/// unloaded service time at dev scale (~0.5–1 M cycles per request), so
+/// a fleet run with default knobs is moderately loaded rather than in
+/// permanent overload.
+pub const DEFAULT_MEAN_GAP: u64 = 2_097_152;
+
+/// Default burst length for [`ArrivalProcess::Bursty`].
+pub const DEFAULT_BURST: u32 = 8;
+
+/// Default period multiplier for [`ArrivalProcess::Diurnal`]: the period
+/// defaults to `mean_gap * 256`.
+pub const DEFAULT_PERIOD_GAPS: u64 = 256;
+
+/// Gap multipliers across the eight phases of a diurnal period: long
+/// gaps at "night" (phases 0, 7), short gaps at "midday" (phases 3, 4).
+const DIURNAL_GAP_MULT: [u64; 8] = [8, 4, 2, 1, 1, 2, 4, 8];
+
+/// An open-loop arrival process: how request inter-arrival gaps are
+/// drawn. All three processes draw from geometric distributions (the
+/// discrete analogue of exponential gaps), so every gap is at least one
+/// cycle and the draw count per request is fixed — schedules are
+/// bit-stable for a given seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals with the given mean gap (cycles).
+    Poisson {
+        /// Mean inter-arrival gap in cycles (must be non-zero).
+        mean_gap: u64,
+    },
+    /// On/off arrivals: runs of `burst` back-to-back requests (mean gap
+    /// `mean_gap / 8`, floored at one) separated by long off periods
+    /// (mean gap `mean_gap * burst`).
+    Bursty {
+        /// Mean gap of the underlying process in cycles (non-zero).
+        mean_gap: u64,
+        /// Requests per burst (non-zero).
+        burst: u32,
+    },
+    /// Daily-curve arrivals: the mean gap is scaled by an eight-phase
+    /// multiplier table over each `period` (slow "nights", fast
+    /// "middays").
+    Diurnal {
+        /// Baseline mean gap in cycles (non-zero).
+        mean_gap: u64,
+        /// Length of one day in cycles (non-zero).
+        period: u64,
+    },
+}
+
+impl Default for ArrivalProcess {
+    fn default() -> Self {
+        ArrivalProcess::Poisson {
+            mean_gap: DEFAULT_MEAN_GAP,
+        }
+    }
+}
+
+impl ArrivalProcess {
+    /// The process's mean gap parameter.
+    pub fn mean_gap(&self) -> u64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap }
+            | ArrivalProcess::Bursty { mean_gap, .. }
+            | ArrivalProcess::Diurnal { mean_gap, .. } => mean_gap,
+        }
+    }
+
+    /// True when every parameter is non-zero (a zero mean gap, burst, or
+    /// period would make the process degenerate).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => mean_gap > 0,
+            ArrivalProcess::Bursty { mean_gap, burst } => mean_gap > 0 && burst > 0,
+            ArrivalProcess::Diurnal { mean_gap, period } => mean_gap > 0 && period > 0,
+        }
+    }
+
+    /// Draws the gap (cycles, ≥ 1) before request `index` of a service,
+    /// given the previous arrival instant `t`.
+    pub fn next_gap(&self, rng: &mut DetRng, t: u64, index: u64) -> u64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => geometric_mean(rng, mean_gap),
+            ArrivalProcess::Bursty { mean_gap, burst } => {
+                if index.is_multiple_of(burst as u64) {
+                    // Off period before the burst starts.
+                    geometric_mean(rng, mean_gap.saturating_mul(burst as u64))
+                } else {
+                    geometric_mean(rng, (mean_gap / 8).max(1))
+                }
+            }
+            ArrivalProcess::Diurnal { mean_gap, period } => {
+                let phase_len = (period / 8).max(1);
+                let phase = (t / phase_len) % 8;
+                geometric_mean(
+                    rng,
+                    mean_gap.saturating_mul(DIURNAL_GAP_MULT[phase as usize]),
+                )
+            }
+        }
+    }
+}
+
+/// A geometric draw with the given mean (support ≥ 1).
+fn geometric_mean(rng: &mut DetRng, mean: u64) -> u64 {
+    if mean <= 1 {
+        1
+    } else {
+        rng.geometric(1.0 / mean as f64)
+    }
+}
+
+impl fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => write!(f, "poisson:{mean_gap}"),
+            ArrivalProcess::Bursty { mean_gap, burst } => write!(f, "bursty:{mean_gap}x{burst}"),
+            ArrivalProcess::Diurnal { mean_gap, period } => {
+                write!(f, "diurnal:{mean_gap}/{period}")
+            }
+        }
+    }
+}
+
+/// Error parsing an [`ArrivalProcess`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArrivalError {
+    input: String,
+}
+
+impl fmt::Display for ParseArrivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown arrival process {:?} (expected poisson[:GAP], \
+             bursty[:GAPxBURST], or diurnal[:GAP/PERIOD] with non-zero \
+             parameters)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseArrivalError {}
+
+impl FromStr for ArrivalProcess {
+    type Err = ParseArrivalError;
+
+    /// Parses `poisson[:GAP]`, `bursty[:GAPxBURST]`, or
+    /// `diurnal[:GAP/PERIOD]` (names case-insensitive; bare names take
+    /// the defaults). Zero parameters are rejected, so a parsed process
+    /// is always [`ArrivalProcess::is_valid`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseArrivalError {
+            input: s.to_string(),
+        };
+        let (name, params) = match s.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (s, None),
+        };
+        let process = match name.to_ascii_lowercase().as_str() {
+            "poisson" => {
+                let mean_gap = match params {
+                    None => DEFAULT_MEAN_GAP,
+                    Some(p) => p.parse().map_err(|_| err())?,
+                };
+                ArrivalProcess::Poisson { mean_gap }
+            }
+            "bursty" => match params {
+                None => ArrivalProcess::Bursty {
+                    mean_gap: DEFAULT_MEAN_GAP,
+                    burst: DEFAULT_BURST,
+                },
+                Some(p) => {
+                    let (gap, burst) = p.split_once('x').ok_or_else(err)?;
+                    ArrivalProcess::Bursty {
+                        mean_gap: gap.parse().map_err(|_| err())?,
+                        burst: burst.parse().map_err(|_| err())?,
+                    }
+                }
+            },
+            "diurnal" => match params {
+                None => ArrivalProcess::Diurnal {
+                    mean_gap: DEFAULT_MEAN_GAP,
+                    period: DEFAULT_MEAN_GAP * DEFAULT_PERIOD_GAPS,
+                },
+                Some(p) => {
+                    let (gap, period) = p.split_once('/').ok_or_else(err)?;
+                    ArrivalProcess::Diurnal {
+                        mean_gap: gap.parse().map_err(|_| err())?,
+                        period: period.parse().map_err(|_| err())?,
+                    }
+                }
+            },
+            _ => return Err(err()),
+        };
+        if !process.is_valid() {
+            return Err(err());
+        }
+        Ok(process)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for p in [
+            ArrivalProcess::Poisson { mean_gap: 1 },
+            ArrivalProcess::Poisson { mean_gap: 8192 },
+            ArrivalProcess::Bursty {
+                mean_gap: 4096,
+                burst: 8,
+            },
+            ArrivalProcess::Diurnal {
+                mean_gap: 4096,
+                period: 1 << 20,
+            },
+        ] {
+            assert_eq!(p.to_string().parse::<ArrivalProcess>(), Ok(p));
+        }
+    }
+
+    #[test]
+    fn bare_names_take_defaults() {
+        assert_eq!(
+            "poisson".parse::<ArrivalProcess>(),
+            Ok(ArrivalProcess::Poisson {
+                mean_gap: DEFAULT_MEAN_GAP
+            })
+        );
+        assert_eq!(
+            "BURSTY".parse::<ArrivalProcess>(),
+            Ok(ArrivalProcess::Bursty {
+                mean_gap: DEFAULT_MEAN_GAP,
+                burst: DEFAULT_BURST
+            })
+        );
+        assert!("diurnal".parse::<ArrivalProcess>().is_ok());
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!("poisson:0".parse::<ArrivalProcess>().is_err());
+        assert!("bursty:4096x0".parse::<ArrivalProcess>().is_err());
+        assert!("diurnal:0/100".parse::<ArrivalProcess>().is_err());
+        assert!("exponential:5".parse::<ArrivalProcess>().is_err());
+        assert!("bursty:4096".parse::<ArrivalProcess>().is_err());
+    }
+
+    #[test]
+    fn gaps_are_positive_and_deterministic() {
+        let p = ArrivalProcess::Diurnal {
+            mean_gap: 1000,
+            period: 1 << 16,
+        };
+        let mut a = DetRng::seed_from(7);
+        let mut b = DetRng::seed_from(7);
+        let mut t = 0;
+        for i in 0..256 {
+            let ga = p.next_gap(&mut a, t, i);
+            let gb = p.next_gap(&mut b, t, i);
+            assert_eq!(ga, gb);
+            assert!(ga >= 1);
+            t += ga;
+        }
+    }
+}

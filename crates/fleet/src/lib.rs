@@ -1,0 +1,415 @@
+//! # sgx-fleet — fleet-scale serving simulation
+//!
+//! The paper evaluates a handful of enclaves on one machine; this crate
+//! scales the same substrate to a serving fleet: `N` simulated hosts ×
+//! `M` service enclaves each, an open-loop request [`ArrivalProcess`],
+//! per-request working-set draws mapped onto the existing workload
+//! generators, enclave lifecycle (cold-start billing from the EPC
+//! [`StartupModel`], idle teardown, [`PlacementPolicy`] tenant placement,
+//! optional plan-time migration under sustained EPC pressure), and
+//! fleet-level outputs: SLO latency percentiles (p50/p95/p99/p99.9),
+//! per-host EPC-pressure gauge series, and shed/violation counts.
+//!
+//! ## Determinism
+//!
+//! Planning (schedules, placement, migration) happens serially from
+//! seeded [`DetRng`] streams; host `i` then runs with the positional
+//! seed `mix(fleet_seed, i)` and no cross-host state, so sharding hosts
+//! across the work-stealing pool ([`run_indexed`]) is bit-invisible:
+//! [`FleetReport::to_canonical_json`] is byte-identical at any `--jobs`.
+//!
+//! [`StartupModel`]: sgx_epc::StartupModel
+//! [`DetRng`]: sgx_sim::DetRng
+//! [`run_indexed`]: sgx_preload_core::run_indexed
+//!
+//! # Examples
+//!
+//! ```
+//! use sgx_fleet::{ArrivalProcess, FleetSpec};
+//!
+//! let report = FleetSpec::new(2, 2)
+//!     .arrival(ArrivalProcess::Poisson { mean_gap: 8_192 })
+//!     .duration(1 << 18)
+//!     .build()?
+//!     .run(1)?;
+//! assert!(report.requests > 0);
+//! assert_eq!(report.accounting_residual, 0);
+//! # Ok::<(), sgx_fleet::FleetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod host;
+mod placement;
+mod report;
+mod spec;
+
+use std::time::Instant;
+
+use sgx_preload_core::run_indexed;
+use sgx_sim::{mix, DetRng, Histogram};
+use sgx_workloads::Benchmark;
+
+use host::{HostPlan, Instance, PlannedRequest};
+
+pub use arrival::{
+    ArrivalProcess, ParseArrivalError, DEFAULT_BURST, DEFAULT_MEAN_GAP, DEFAULT_PERIOD_GAPS,
+};
+pub use placement::{ParsePlacementError, PlacementPolicy};
+pub use report::{FleetReport, HostReport, LatencySummary};
+pub use spec::{
+    FleetError, FleetSpec, FleetSpecBuilder, DEFAULT_DURATION, DEFAULT_SHED_AFTER, DEFAULT_SLO,
+    MAX_REQUESTS_PER_SERVICE,
+};
+
+/// The service catalog fleet instances cycle through (service `k` runs
+/// `CATALOG[k % 4]`): one EPC-swamping program and three smaller ones,
+/// so co-location pressure depends on placement.
+pub const SERVICE_CATALOG: [Benchmark; 4] = [
+    Benchmark::Microbenchmark,
+    Benchmark::Leela,
+    Benchmark::Nab,
+    Benchmark::Exchange2,
+];
+
+/// Cap on the `EEXTEND`-measured initial image billed at spawn: larger
+/// ELRANGEs are assumed to be heap, `EAUG`ed on demand and not measured
+/// at build time.
+pub const MEASURED_IMAGE_PAGES: u64 = 64;
+
+/// Salt offset separating service seeds from positional host seeds.
+const SERVICE_SALT: u64 = 1 << 32;
+
+/// Epochs the migration planner slices the run into.
+const MIGRATION_EPOCHS: u64 = 8;
+
+/// Builds every host's plan serially: request schedules, working-set
+/// draws, placement, and (when enabled) migration splits. Returns the
+/// plans plus the number of migrations applied.
+fn plan_fleet(spec: &FleetSpec) -> (Vec<HostPlan>, u64) {
+    let total = spec.hosts * spec.enclaves_per_host;
+    let mut services = Vec::with_capacity(total);
+    for k in 0..total {
+        let bench = SERVICE_CATALOG[k % SERVICE_CATALOG.len()];
+        let elrange = bench.elrange_pages(spec.cfg.scale);
+        let seed = mix(spec.seed, SERVICE_SALT + k as u64);
+        let mut rng = DetRng::seed_from(mix(seed, 1));
+        let mut requests = Vec::new();
+        let mut t = 0u64;
+        for i in 0..MAX_REQUESTS_PER_SERVICE {
+            t = t.saturating_add(spec.arrival.next_gap(&mut rng, t, i));
+            if t >= spec.duration {
+                break;
+            }
+            // Working-set draw: a small base plus a geometric tail,
+            // capped so one request stays bounded.
+            let work = 8 + rng.geometric(1.0 / 24.0).min(248) as u32;
+            requests.push(PlannedRequest { arrival: t, work });
+        }
+        services.push(Instance {
+            bench,
+            elrange,
+            seed,
+            requests,
+            migrated_in: false,
+        });
+    }
+
+    let footprints: Vec<u64> = services.iter().map(|s| s.elrange).collect();
+    let assign = spec
+        .placement
+        .assign(&footprints, spec.hosts, spec.enclaves_per_host);
+    let mut per_host: Vec<Vec<Instance>> = (0..spec.hosts).map(|_| Vec::new()).collect();
+    for (inst, host) in services.into_iter().zip(assign) {
+        per_host[host].push(inst);
+    }
+
+    let migrations = if spec.migrate {
+        apply_migrations(spec, &mut per_host)
+    } else {
+        0
+    };
+
+    let plans = per_host
+        .into_iter()
+        .enumerate()
+        .map(|(index, instances)| HostPlan {
+            index,
+            seed: mix(spec.seed, index as u64),
+            instances,
+        })
+        .collect();
+    (plans, migrations)
+}
+
+/// Plan-time migration: slices the run into [`MIGRATION_EPOCHS`] epochs,
+/// estimates each host's EPC pressure per epoch (the summed ELRANGE of
+/// services active in that epoch over the EPC size), and when a host
+/// stays above the threshold for two consecutive epochs, moves its
+/// largest pressured service's remaining requests to the least-loaded
+/// other host at the epoch boundary. At most one migration per source
+/// host; the moved instance re-pays its cold start on the target.
+fn apply_migrations(spec: &FleetSpec, per_host: &mut [Vec<Instance>]) -> u64 {
+    if per_host.len() < 2 {
+        return 0;
+    }
+    let epoch_len = (spec.duration / MIGRATION_EPOCHS).max(1);
+    let mut total_fp: Vec<u64> = per_host
+        .iter()
+        .map(|v| v.iter().map(|i| i.elrange).sum())
+        .collect();
+    let mut migrations = 0;
+    for h in 0..per_host.len() {
+        let mut consec = 0;
+        let mut boundary = None;
+        for e in 0..MIGRATION_EPOCHS {
+            let lo = e * epoch_len;
+            let hi = if e == MIGRATION_EPOCHS - 1 {
+                u64::MAX
+            } else {
+                (e + 1) * epoch_len
+            };
+            let active: u64 = per_host[h]
+                .iter()
+                .filter(|inst| {
+                    inst.requests
+                        .iter()
+                        .any(|r| r.arrival >= lo && r.arrival < hi)
+                })
+                .map(|inst| inst.elrange)
+                .sum();
+            if active as f64 / spec.cfg.epc_pages as f64 > spec.migrate_threshold {
+                consec += 1;
+            } else {
+                consec = 0;
+            }
+            if consec >= 2 {
+                boundary = Some(hi.min(spec.duration));
+                break;
+            }
+        }
+        let Some(boundary) = boundary else { continue };
+        let candidate = per_host[h]
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| {
+                !inst.migrated_in && inst.requests.iter().any(|r| r.arrival >= boundary)
+            })
+            .max_by_key(|(i, inst)| (inst.elrange, usize::MAX - i))
+            .map(|(i, _)| i);
+        let Some(ci) = candidate else { continue };
+        let target = (0..per_host.len())
+            .filter(|&t| t != h)
+            .min_by_key(|&t| (total_fp[t], t))
+            .expect("at least two hosts");
+        let src = &mut per_host[h][ci];
+        let split_at = src.requests.partition_point(|r| r.arrival < boundary);
+        let moved = src.requests.split_off(split_at);
+        if moved.is_empty() {
+            continue;
+        }
+        let inst = Instance {
+            bench: src.bench,
+            elrange: src.elrange,
+            seed: mix(src.seed, 2),
+            requests: moved,
+            migrated_in: true,
+        };
+        total_fp[target] += inst.elrange;
+        per_host[target].push(inst);
+        migrations += 1;
+    }
+    migrations
+}
+
+impl FleetSpec {
+    /// Runs the fleet on a `jobs`-worker work-stealing pool (hosts are
+    /// the work items). Results are bit-identical at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Host`] for the lowest-indexed host whose simulation
+    /// failed.
+    pub fn run(&self, jobs: usize) -> Result<FleetReport, FleetError> {
+        let t0 = Instant::now();
+        let (plans, migrations) = plan_fleet(self);
+        let jobs = jobs.max(1);
+        let results = run_indexed(plans.len(), jobs, |i| host::simulate_host(&plans[i], self));
+        let mut outcomes = Vec::with_capacity(results.len());
+        for r in results {
+            outcomes.push(r?);
+        }
+
+        let mut latency = Histogram::new("fleet_latency");
+        let mut report = FleetReport {
+            fleet_seed: self.seed,
+            hosts: self.hosts,
+            enclaves_per_host: self.enclaves_per_host,
+            scheme: self.scheme,
+            arrival: self.arrival,
+            placement: self.placement,
+            duration: self.duration,
+            slo: self.slo,
+            jobs,
+            wall_nanos: 0,
+            requests: 0,
+            shed: 0,
+            slo_violations: 0,
+            spawns: 0,
+            teardowns: 0,
+            migrations,
+            accesses: 0,
+            faults: 0,
+            demand_loads: 0,
+            preloads_started: 0,
+            preloads_touched: 0,
+            preloads_wasted: 0,
+            startup_cycles: 0,
+            total_cycles: 0,
+            accounting_residual: 0,
+            latency: LatencySummary::default(),
+            host_reports: Vec::with_capacity(outcomes.len()),
+        };
+        for o in &outcomes {
+            latency.merge(&o.latency);
+            report.requests += o.requests;
+            report.shed += o.shed;
+            report.slo_violations += o.violations;
+            report.spawns += o.spawns;
+            report.teardowns += o.teardowns;
+            report.accesses += o.accesses;
+            report.faults += o.faults;
+            report.demand_loads += o.demand_loads;
+            report.preloads_started += o.preloads_started;
+            report.preloads_touched += o.preloads_touched;
+            report.preloads_wasted += o.preloads_wasted;
+            report.startup_cycles += o.startup_cycles;
+            report.total_cycles += o.end_cycles;
+            report.accounting_residual += o.accounting_residual;
+            report.host_reports.push(HostReport::from_outcome(o));
+        }
+        report.latency = LatencySummary::from_histogram(&latency);
+        report.wall_nanos = t0.elapsed().as_nanos() as u64;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> FleetSpec {
+        FleetSpec::new(3, 2)
+            .arrival(ArrivalProcess::Poisson { mean_gap: 8_192 })
+            .duration(1 << 18)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_byte_identical() {
+        let spec = tiny_spec();
+        let a = spec.run(1).unwrap();
+        let b = spec.run(4).unwrap();
+        assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+        assert_eq!(a.jobs, 1);
+        assert_eq!(b.jobs, 4);
+    }
+
+    #[test]
+    fn books_balance_and_hosts_sum_to_the_fleet() {
+        let r = tiny_spec().run(2).unwrap();
+        assert_eq!(r.accounting_residual, 0);
+        assert_eq!(
+            r.total_cycles,
+            r.host_reports.iter().map(|h| h.end_cycles).sum::<u64>()
+        );
+        assert_eq!(
+            r.requests,
+            r.host_reports.iter().map(|h| h.requests).sum::<u64>()
+        );
+        for h in &r.host_reports {
+            assert_eq!(h.attribution.total(), h.end_cycles, "host {}", h.index);
+        }
+        // Every service spawned at least once.
+        assert_eq!(r.spawns, (r.hosts * r.enclaves_per_host) as u64);
+    }
+
+    #[test]
+    fn idle_timeout_bills_teardowns_and_respawns() {
+        // Sparse arrivals leave long idle gaps once the cold-start
+        // backlog drains, so a modest timeout reaps idle services.
+        let base = FleetSpec::new(1, 2)
+            .arrival(ArrivalProcess::Poisson { mean_gap: 200_000 })
+            .duration(1 << 23);
+        let without = base.clone().build().unwrap().run(1).unwrap();
+        let with = base.idle_timeout(50_000).build().unwrap().run(1).unwrap();
+        assert_eq!(without.teardowns, 0);
+        assert!(with.teardowns > 0);
+        assert!(with.spawns > without.spawns);
+        assert!(with.startup_cycles > without.startup_cycles);
+    }
+
+    #[test]
+    fn migration_splits_pressured_hosts() {
+        // Packed placement puts the EPC-swamping microbenchmark services
+        // together; migration must move one off.
+        let spec = FleetSpec::new(2, 4)
+            .arrival(ArrivalProcess::Poisson { mean_gap: 8_192 })
+            .placement(PlacementPolicy::Packed)
+            .migrate(true)
+            .duration(1 << 18)
+            .build()
+            .unwrap();
+        let (plans, migrations) = plan_fleet(&spec);
+        assert!(migrations > 0);
+        let instance_count: usize = plans.iter().map(|p| p.instances.len()).sum();
+        assert_eq!(
+            instance_count,
+            spec.hosts * spec.enclaves_per_host + migrations as usize
+        );
+        // Requests are conserved across the split.
+        let baseline = plan_fleet(
+            &FleetSpec::new(2, 4)
+                .arrival(ArrivalProcess::Poisson { mean_gap: 8_192 })
+                .placement(PlacementPolicy::Packed)
+                .duration(1 << 18)
+                .build()
+                .unwrap(),
+        );
+        let planned: usize = plans
+            .iter()
+            .flat_map(|p| &p.instances)
+            .map(|i| i.requests.len())
+            .sum();
+        let unmigrated: usize = baseline
+            .0
+            .iter()
+            .flat_map(|p| &p.instances)
+            .map(|i| i.requests.len())
+            .sum();
+        assert_eq!(planned, unmigrated);
+        // And the migrated fleet still runs clean.
+        let r = spec.run(2).unwrap();
+        assert_eq!(r.migrations, migrations);
+        assert_eq!(r.accounting_residual, 0);
+    }
+
+    #[test]
+    fn shedding_engages_under_overload() {
+        // A brutal arrival rate against one host: queue waits explode and
+        // the shed valve must engage.
+        let r = FleetSpec::new(1, 4)
+            .arrival(ArrivalProcess::Poisson { mean_gap: 64 })
+            .duration(1 << 18)
+            .shed_after(100_000)
+            .build()
+            .unwrap()
+            .run(1)
+            .unwrap();
+        assert!(r.shed > 0);
+        assert_eq!(r.latency.count, r.requests - r.shed);
+    }
+}

@@ -1,0 +1,149 @@
+//! Tenant placement: which host each service instance lands on.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How the fleet controller assigns service instances to hosts. All
+/// policies are pure functions of the spec, so placement is identical at
+/// any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Service `k` lands on host `k % hosts`: consecutive services (and
+    /// so consecutive catalog entries) spread across hosts.
+    #[default]
+    RoundRobin,
+    /// Hosts fill one at a time: service `k` lands on host
+    /// `k / enclaves_per_host`, co-locating consecutive services.
+    Packed,
+    /// Greedy footprint balancing: each service (in order) lands on the
+    /// host with the smallest total ELRANGE footprint so far, subject to
+    /// the per-host enclave capacity; ties break toward the lowest host
+    /// index.
+    LeastLoaded,
+}
+
+impl PlacementPolicy {
+    /// Assigns `footprints.len()` services to `hosts` hosts, returning
+    /// one host index per service. `per_host` is the nominal enclave
+    /// capacity of each host (services.len() / hosts for a full grid).
+    pub fn assign(&self, footprints: &[u64], hosts: usize, per_host: usize) -> Vec<usize> {
+        assert!(hosts > 0, "placement needs at least one host");
+        let capacity = per_host.max(footprints.len().div_ceil(hosts));
+        match self {
+            PlacementPolicy::RoundRobin => (0..footprints.len()).map(|k| k % hosts).collect(),
+            PlacementPolicy::Packed => (0..footprints.len())
+                .map(|k| (k / capacity).min(hosts - 1))
+                .collect(),
+            PlacementPolicy::LeastLoaded => {
+                let mut load = vec![0u64; hosts];
+                let mut count = vec![0usize; hosts];
+                footprints
+                    .iter()
+                    .map(|&fp| {
+                        let host = (0..hosts)
+                            .filter(|&h| count[h] < capacity)
+                            .min_by_key(|&h| (load[h], h))
+                            .expect("capacity covers every service");
+                        load[host] += fp;
+                        count[host] += 1;
+                        host
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::Packed => "packed",
+            PlacementPolicy::LeastLoaded => "least-loaded",
+        })
+    }
+}
+
+/// Error parsing a [`PlacementPolicy`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlacementError {
+    input: String,
+}
+
+impl fmt::Display for ParsePlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown placement policy {:?} (expected round-robin, packed, \
+             or least-loaded)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePlacementError {}
+
+impl FromStr for PlacementPolicy {
+    type Err = ParsePlacementError;
+
+    /// Parses `round-robin`, `packed`, or `least-loaded`
+    /// (case-insensitive; `rr`, `roundrobin`, and `leastloaded` are
+    /// accepted aliases).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "round-robin" | "roundrobin" | "rr" => Ok(PlacementPolicy::RoundRobin),
+            "packed" => Ok(PlacementPolicy::Packed),
+            "least-loaded" | "leastloaded" => Ok(PlacementPolicy::LeastLoaded),
+            _ => Err(ParsePlacementError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for p in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::Packed,
+            PlacementPolicy::LeastLoaded,
+        ] {
+            assert_eq!(p.to_string().parse::<PlacementPolicy>(), Ok(p));
+        }
+        assert_eq!(
+            "RR".parse::<PlacementPolicy>(),
+            Ok(PlacementPolicy::RoundRobin)
+        );
+        assert!("spread".parse::<PlacementPolicy>().is_err());
+    }
+
+    #[test]
+    fn round_robin_and_packed_differ_in_colocation() {
+        let fp = [10, 10, 10, 10];
+        assert_eq!(
+            PlacementPolicy::RoundRobin.assign(&fp, 2, 2),
+            vec![0, 1, 0, 1]
+        );
+        assert_eq!(PlacementPolicy::Packed.assign(&fp, 2, 2), vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn least_loaded_balances_footprints_within_capacity() {
+        // One giant service: the second host absorbs the small ones.
+        let fp = [100, 1, 1, 1];
+        let hosts = PlacementPolicy::LeastLoaded.assign(&fp, 2, 2);
+        assert_eq!(hosts[0], 0);
+        assert_eq!(hosts[1], 1);
+        assert_eq!(hosts[2], 1);
+        // Host 1 is at capacity (2 services), so the last one spills to
+        // host 0 despite its load.
+        assert_eq!(hosts[3], 0);
+        for h in 0..2 {
+            assert_eq!(hosts.iter().filter(|&&x| x == h).count(), 2);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Fleet-level results: SLO latency percentiles, lifecycle counts, and
+//! per-host breakdowns, with canonical (jobs/wall-clock free) and full
+//! JSON serializations mirroring the campaign report conventions.
+
+use std::fmt;
+
+use sgx_kernel::CycleAttribution;
+use sgx_preload_core::Scheme;
+use sgx_sim::Histogram;
+
+use crate::host::HostOutcome;
+use crate::{ArrivalProcess, PlacementPolicy};
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The SLO latency distribution over every executed (non-shed) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Executed requests (sheds excluded).
+    pub count: u64,
+    /// Mean latency in cycles.
+    pub mean: u64,
+    /// Median latency in cycles (log2-bucket resolution).
+    pub p50: u64,
+    /// 95th-percentile latency in cycles.
+    pub p95: u64,
+    /// 99th-percentile latency in cycles.
+    pub p99: u64,
+    /// 99.9th-percentile latency in cycles.
+    pub p999: u64,
+    /// Worst observed latency in cycles.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        let q = |q| h.quantile(q).map(|c| c.raw()).unwrap_or(0);
+        LatencySummary {
+            count: h.count(),
+            mean: h.mean().raw(),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            p999: q(0.999),
+            max: h.max().map(|c| c.raw()).unwrap_or(0),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\
+             \"p999\":{},\"max\":{}}}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.p999, self.max
+        ));
+    }
+}
+
+/// One host's share of the fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostReport {
+    /// Host index in the fleet.
+    pub index: usize,
+    /// The positional seed the host ran with (`mix(fleet_seed, index)`).
+    pub seed: u64,
+    /// Service enclave instances placed on this host.
+    pub services: usize,
+    /// The host's final simulated instant (max service clock).
+    pub end_cycles: u64,
+    /// Requests that arrived here (executed + shed).
+    pub requests: u64,
+    /// Requests shed by overload protection.
+    pub shed: u64,
+    /// Executed requests whose latency exceeded the SLO bound.
+    pub violations: u64,
+    /// Enclave cold starts billed (first request + post-teardown).
+    pub spawns: u64,
+    /// Idle teardowns (EREMOVE-style reaps).
+    pub teardowns: u64,
+    /// Instances migrated onto this host by the plan.
+    pub migrations_in: u64,
+    /// Application page accesses executed.
+    pub accesses: u64,
+    /// Accesses that hit the EPC.
+    pub epc_hits: u64,
+    /// Page faults (kernel-counted; equals the driver's tally whenever
+    /// the accounting residual is zero).
+    pub faults: u64,
+    /// Demand loads the fault handler issued.
+    pub demand_loads: u64,
+    /// Preloads started on the load channel.
+    pub preloads_started: u64,
+    /// Preloaded pages later touched (useful speculation).
+    pub preloads_touched: u64,
+    /// Preloaded pages evicted untouched (wasted speculation).
+    pub preloads_wasted: u64,
+    /// Cold-start cycles billed to requests on this host.
+    pub startup_cycles: u64,
+    /// This host's latency distribution.
+    pub latency: LatencySummary,
+    /// Per-subsystem split of `end_cycles`.
+    pub attribution: CycleAttribution,
+    /// `|attribution total - end_cycles| + |driver faults - kernel
+    /// faults|`; zero when the books balance.
+    pub accounting_residual: u64,
+}
+
+impl HostReport {
+    pub(crate) fn from_outcome(o: &HostOutcome) -> Self {
+        HostReport {
+            index: o.index,
+            seed: o.seed,
+            services: o.services,
+            end_cycles: o.end_cycles,
+            requests: o.requests,
+            shed: o.shed,
+            violations: o.violations,
+            spawns: o.spawns,
+            teardowns: o.teardowns,
+            migrations_in: o.migrations_in,
+            accesses: o.accesses,
+            epc_hits: o.epc_hits,
+            faults: o.faults,
+            demand_loads: o.demand_loads,
+            preloads_started: o.preloads_started,
+            preloads_touched: o.preloads_touched,
+            preloads_wasted: o.preloads_wasted,
+            startup_cycles: o.startup_cycles,
+            latency: LatencySummary::from_histogram(&o.latency),
+            attribution: o.attribution,
+            accounting_residual: o.accounting_residual,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"index\":{},\"seed\":{},\"services\":{},\"end_cycles\":{},\
+             \"requests\":{},\"shed\":{},\"violations\":{},\"spawns\":{},\
+             \"teardowns\":{},\"migrations_in\":{},\"accesses\":{},\
+             \"epc_hits\":{},\"faults\":{},\"demand_loads\":{},\
+             \"preloads_started\":{},\"preloads_touched\":{},\
+             \"preloads_wasted\":{},\"startup_cycles\":{},\"latency\":",
+            self.index,
+            self.seed,
+            self.services,
+            self.end_cycles,
+            self.requests,
+            self.shed,
+            self.violations,
+            self.spawns,
+            self.teardowns,
+            self.migrations_in,
+            self.accesses,
+            self.epc_hits,
+            self.faults,
+            self.demand_loads,
+            self.preloads_started,
+            self.preloads_touched,
+            self.preloads_wasted,
+            self.startup_cycles,
+        ));
+        self.latency.write_json(out);
+        out.push_str(",\"attribution\":");
+        self.attribution.write_json(out);
+        out.push_str(&format!(
+            ",\"accounting_residual\":{}}}",
+            self.accounting_residual
+        ));
+    }
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// The master fleet seed.
+    pub fleet_seed: u64,
+    /// Hosts simulated.
+    pub hosts: usize,
+    /// Nominal service enclaves per host (migration may shift instances).
+    pub enclaves_per_host: usize,
+    /// The paging scheme every host ran.
+    pub scheme: Scheme,
+    /// The arrival process (serialized through its `Display` form).
+    pub arrival: ArrivalProcess,
+    /// The placement policy.
+    pub placement: PlacementPolicy,
+    /// Run duration in cycles.
+    pub duration: u64,
+    /// SLO latency bound in cycles.
+    pub slo: u64,
+    /// Worker threads the run used (excluded from canonical JSON).
+    pub jobs: usize,
+    /// Host wall-clock nanoseconds (non-deterministic; excluded from
+    /// canonical JSON).
+    pub wall_nanos: u64,
+    /// Requests that arrived fleet-wide (executed + shed).
+    pub requests: u64,
+    /// Requests shed by overload protection.
+    pub shed: u64,
+    /// Executed requests whose latency exceeded the SLO.
+    pub slo_violations: u64,
+    /// Enclave cold starts billed.
+    pub spawns: u64,
+    /// Idle teardowns.
+    pub teardowns: u64,
+    /// Plan-time migrations applied.
+    pub migrations: u64,
+    /// Application page accesses executed.
+    pub accesses: u64,
+    /// Page faults fleet-wide.
+    pub faults: u64,
+    /// Demand loads fleet-wide.
+    pub demand_loads: u64,
+    /// Preloads started fleet-wide.
+    pub preloads_started: u64,
+    /// Preloads later touched fleet-wide.
+    pub preloads_touched: u64,
+    /// Preloads evicted untouched fleet-wide.
+    pub preloads_wasted: u64,
+    /// Cold-start cycles billed fleet-wide.
+    pub startup_cycles: u64,
+    /// Sum of every host's final instant — the fleet's aggregate
+    /// simulated cycles, which the per-host attribution buckets must
+    /// re-add to exactly.
+    pub total_cycles: u64,
+    /// Sum of per-host accounting residuals; zero when every host's
+    /// attribution and fault tallies balance.
+    pub accounting_residual: u64,
+    /// The fleet-wide latency distribution (per-host histograms merged).
+    pub latency: LatencySummary,
+    /// Per-host breakdowns, host-index order.
+    pub host_reports: Vec<HostReport>,
+}
+
+impl FleetReport {
+    fn write_json(&self, out: &mut String, canonical: bool) {
+        out.push_str(&format!(
+            "{{\"fleet_seed\":{},\"hosts\":{},\"enclaves_per_host\":{},",
+            self.fleet_seed, self.hosts, self.enclaves_per_host
+        ));
+        out.push_str("\"scheme\":");
+        push_json_str(out, &self.scheme.to_string());
+        out.push_str(",\"arrival\":");
+        push_json_str(out, &self.arrival.to_string());
+        out.push_str(",\"placement\":");
+        push_json_str(out, &self.placement.to_string());
+        out.push_str(&format!(
+            ",\"duration\":{},\"slo\":{},",
+            self.duration, self.slo
+        ));
+        if !canonical {
+            out.push_str(&format!(
+                "\"jobs\":{},\"wall_nanos\":{},",
+                self.jobs, self.wall_nanos
+            ));
+        }
+        out.push_str(&format!(
+            "\"requests\":{},\"shed\":{},\"slo_violations\":{},\"spawns\":{},\
+             \"teardowns\":{},\"migrations\":{},\"accesses\":{},\"faults\":{},\
+             \"demand_loads\":{},\"preloads_started\":{},\
+             \"preloads_touched\":{},\"preloads_wasted\":{},\
+             \"startup_cycles\":{},\"total_cycles\":{},\
+             \"accounting_residual\":{},\"latency\":",
+            self.requests,
+            self.shed,
+            self.slo_violations,
+            self.spawns,
+            self.teardowns,
+            self.migrations,
+            self.accesses,
+            self.faults,
+            self.demand_loads,
+            self.preloads_started,
+            self.preloads_touched,
+            self.preloads_wasted,
+            self.startup_cycles,
+            self.total_cycles,
+            self.accounting_residual,
+        ));
+        self.latency.write_json(out);
+        out.push_str(",\"host_reports\":[");
+        for (i, h) in self.host_reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            h.write_json(out);
+        }
+        out.push_str("]}");
+    }
+
+    /// Deterministic JSON: everything except worker count and wall-clock
+    /// timing, so reports from any `--jobs` compare byte-for-byte.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, true);
+        out.push('\n');
+        out
+    }
+
+    /// Full JSON including `jobs` and `wall_nanos`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, false);
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} hosts x {} enclaves, {} ({}, {})",
+            self.hosts, self.enclaves_per_host, self.scheme, self.arrival, self.placement
+        )?;
+        writeln!(
+            f,
+            "  requests: {} ({} shed, {} SLO violations of {} cycles)",
+            self.requests, self.shed, self.slo_violations, self.slo
+        )?;
+        writeln!(
+            f,
+            "  lifecycle: {} spawns, {} teardowns, {} migrations, {} startup cycles",
+            self.spawns, self.teardowns, self.migrations, self.startup_cycles
+        )?;
+        writeln!(
+            f,
+            "  latency p50/p95/p99/p99.9: {}/{}/{}/{} cycles (max {})",
+            self.latency.p50,
+            self.latency.p95,
+            self.latency.p99,
+            self.latency.p999,
+            self.latency.max
+        )?;
+        write!(
+            f,
+            "  paging: {} faults, {} preloads started ({} touched, {} wasted)",
+            self.faults, self.preloads_started, self.preloads_touched, self.preloads_wasted
+        )
+    }
+}

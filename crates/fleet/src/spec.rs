@@ -1,0 +1,286 @@
+//! The fleet specification: a validated, typed description of one fleet
+//! run, built through [`FleetSpecBuilder`] (fallible-first — malformed
+//! specs are rejected before any host kernel exists).
+
+use std::fmt;
+use std::path::PathBuf;
+
+use sgx_preload_core::{Scheme, SimConfig, SimError};
+use sgx_workloads::Scale;
+
+use crate::{ArrivalProcess, PlacementPolicy};
+
+/// Default run duration in simulated cycles: long enough for every
+/// service to pay its cold start (~2 M cycles at dev scale) and then
+/// serve a handful of warm requests at the default arrival gap.
+pub const DEFAULT_DURATION: u64 = 1 << 24;
+
+/// Default SLO latency bound in cycles (a cold-start spawn typically
+/// blows through it — the paper's "lost seconds").
+pub const DEFAULT_SLO: u64 = 500_000;
+
+/// Default shed bound: a request that has queued longer than this before
+/// starting is dropped without executing.
+pub const DEFAULT_SHED_AFTER: u64 = 4_000_000;
+
+/// Hard per-service request cap (memory bound for degenerate specs).
+pub const MAX_REQUESTS_PER_SERVICE: u64 = 4_096;
+
+/// A fleet run that failed to validate or execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The spec declared zero hosts.
+    NoHosts,
+    /// The spec declared zero enclaves per host.
+    NoEnclaves,
+    /// The spec declared a zero-cycle duration.
+    ZeroDuration,
+    /// The arrival process has a zero parameter (mean gap, burst, or
+    /// period).
+    DegenerateArrival,
+    /// The SLO latency bound is zero.
+    ZeroSlo,
+    /// A host simulation failed; carries the failing host's index and
+    /// the underlying simulator error.
+    Host {
+        /// Index of the failing host.
+        host: usize,
+        /// What went wrong on that host.
+        source: SimError,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoHosts => f.write_str("a fleet needs at least one host"),
+            FleetError::NoEnclaves => f.write_str("a fleet needs at least one enclave per host"),
+            FleetError::ZeroDuration => f.write_str("a fleet run needs a non-zero duration"),
+            FleetError::DegenerateArrival => {
+                f.write_str("the arrival process needs non-zero parameters")
+            }
+            FleetError::ZeroSlo => f.write_str("the SLO latency bound must be non-zero"),
+            FleetError::Host { host, source } => write!(f, "fleet host {host}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Host { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A validated fleet specification. Construct through [`FleetSpec::new`]
+/// (which returns the builder); run with [`FleetSpec::run`].
+///
+/// [`FleetSpec::run`]: crate::FleetSpec::run
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of simulated hosts.
+    pub hosts: usize,
+    /// Service enclaves per host.
+    pub enclaves_per_host: usize,
+    /// Master fleet seed; host `i` derives `mix(seed, i)`.
+    pub seed: u64,
+    /// The open-loop request arrival process.
+    pub arrival: ArrivalProcess,
+    /// How services are assigned to hosts.
+    pub placement: PlacementPolicy,
+    /// Run duration in simulated cycles (arrivals stop at this instant).
+    pub duration: u64,
+    /// The paging scheme every host kernel runs.
+    pub scheme: Scheme,
+    /// Per-host simulator configuration (EPC size, costs, scale).
+    pub cfg: SimConfig,
+    /// SLO latency bound in cycles; completions above it count as
+    /// violations.
+    pub slo: u64,
+    /// Queue-wait bound in cycles; a request that waited longer before
+    /// starting is shed without executing (`0` disables shedding).
+    pub shed_after: u64,
+    /// Idle gap in cycles after which a service enclave is torn down and
+    /// its next request re-pays the cold-start cost (`0` disables
+    /// teardown).
+    pub idle_timeout: u64,
+    /// Enables plan-time migration off hosts under sustained EPC
+    /// pressure.
+    pub migrate: bool,
+    /// Pressure threshold (estimated resident footprint over EPC pages)
+    /// that must hold for two consecutive epochs to trigger a migration.
+    pub migrate_threshold: f64,
+    /// When set, each host writes an EPC-pressure gauge series to
+    /// `<dir>/host_<i>.series.csv`.
+    pub series_dir: Option<PathBuf>,
+}
+
+impl FleetSpec {
+    /// Starts building a fleet of `hosts` hosts with `enclaves_per_host`
+    /// service enclaves each. Finish with [`FleetSpecBuilder::build`].
+    #[allow(clippy::new_ret_no_self)] // `new` is the builder's entry point
+    pub fn new(hosts: usize, enclaves_per_host: usize) -> FleetSpecBuilder {
+        FleetSpecBuilder {
+            spec: FleetSpec {
+                hosts,
+                enclaves_per_host,
+                seed: 42,
+                arrival: ArrivalProcess::default(),
+                placement: PlacementPolicy::default(),
+                duration: DEFAULT_DURATION,
+                scheme: Scheme::Dfp,
+                cfg: SimConfig::at_scale(Scale::new(64)),
+                slo: DEFAULT_SLO,
+                shed_after: DEFAULT_SHED_AFTER,
+                idle_timeout: 0,
+                migrate: false,
+                migrate_threshold: 1.25,
+                series_dir: None,
+            },
+        }
+    }
+}
+
+/// Builder for [`FleetSpec`] (mirrors the workspace naming:
+/// `FleetSpec::new(..).arrival(..).build()?`).
+#[derive(Debug, Clone)]
+pub struct FleetSpecBuilder {
+    spec: FleetSpec,
+}
+
+impl FleetSpecBuilder {
+    /// Sets the master fleet seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.spec.arrival = arrival;
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn placement(mut self, placement: PlacementPolicy) -> Self {
+        self.spec.placement = placement;
+        self
+    }
+
+    /// Sets the run duration in cycles.
+    pub fn duration(mut self, cycles: u64) -> Self {
+        self.spec.duration = cycles;
+        self
+    }
+
+    /// Sets the paging scheme every host runs.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.spec.scheme = scheme;
+        self
+    }
+
+    /// Replaces the per-host simulator configuration.
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.spec.cfg = cfg;
+        self
+    }
+
+    /// Sets the SLO latency bound in cycles.
+    pub fn slo(mut self, cycles: u64) -> Self {
+        self.spec.slo = cycles;
+        self
+    }
+
+    /// Sets the shed bound in cycles (`0` disables shedding).
+    pub fn shed_after(mut self, cycles: u64) -> Self {
+        self.spec.shed_after = cycles;
+        self
+    }
+
+    /// Sets the idle-teardown gap in cycles (`0` disables teardown).
+    pub fn idle_timeout(mut self, cycles: u64) -> Self {
+        self.spec.idle_timeout = cycles;
+        self
+    }
+
+    /// Enables plan-time migration under sustained EPC pressure.
+    pub fn migrate(mut self, on: bool) -> Self {
+        self.spec.migrate = on;
+        self
+    }
+
+    /// Sets the sustained-pressure threshold that triggers migration.
+    pub fn migrate_threshold(mut self, threshold: f64) -> Self {
+        self.spec.migrate_threshold = threshold;
+        self
+    }
+
+    /// Streams per-host EPC-pressure gauge series into `dir`.
+    pub fn series_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.series_dir = Some(dir.into());
+        self
+    }
+
+    /// Validates the spec and builds it.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NoHosts`], [`FleetError::NoEnclaves`],
+    /// [`FleetError::ZeroDuration`], [`FleetError::DegenerateArrival`],
+    /// or [`FleetError::ZeroSlo`] when the corresponding parameter is
+    /// degenerate.
+    pub fn build(self) -> Result<FleetSpec, FleetError> {
+        let s = &self.spec;
+        if s.hosts == 0 {
+            return Err(FleetError::NoHosts);
+        }
+        if s.enclaves_per_host == 0 {
+            return Err(FleetError::NoEnclaves);
+        }
+        if s.duration == 0 {
+            return Err(FleetError::ZeroDuration);
+        }
+        if !s.arrival.is_valid() {
+            return Err(FleetError::DegenerateArrival);
+        }
+        if s.slo == 0 {
+            return Err(FleetError::ZeroSlo);
+        }
+        Ok(self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_degenerate_specs() {
+        assert_eq!(
+            FleetSpec::new(0, 4).build().unwrap_err(),
+            FleetError::NoHosts
+        );
+        assert_eq!(
+            FleetSpec::new(2, 0).build().unwrap_err(),
+            FleetError::NoEnclaves
+        );
+        assert_eq!(
+            FleetSpec::new(2, 2).duration(0).build().unwrap_err(),
+            FleetError::ZeroDuration
+        );
+        assert_eq!(
+            FleetSpec::new(2, 2)
+                .arrival(ArrivalProcess::Poisson { mean_gap: 0 })
+                .build()
+                .unwrap_err(),
+            FleetError::DegenerateArrival
+        );
+        assert_eq!(
+            FleetSpec::new(2, 2).slo(0).build().unwrap_err(),
+            FleetError::ZeroSlo
+        );
+        assert!(FleetSpec::new(2, 2).build().is_ok());
+    }
+}

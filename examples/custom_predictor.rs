@@ -14,9 +14,9 @@
 
 use sgx_preloading::dfp::{NextLinePredictor, StridePredictor};
 use sgx_preloading::kernel::{Kernel, KernelConfig};
+use sgx_preloading::prelude::*;
 use sgx_preloading::{
-    AppSpec, Benchmark, Cycles, InputSet, MultiStreamPredictor, NoPredictor, Prediction, Predictor,
-    ProcessId, Scale, Scheme, SimConfig, SimRun, StreamConfig, VirtPage,
+    MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId, StreamConfig, VirtPage,
 };
 
 /// Preloads the `width` pages surrounding every fault — a deliberately

@@ -10,7 +10,7 @@
 //! cargo run --release --example image_pipeline -- dev
 //! ```
 
-use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
+use sgx_preloading::prelude::*;
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {

@@ -6,7 +6,7 @@
 //! cargo run --release --example multi_enclave -- dev
 //! ```
 
-use sgx_preloading::{AppSpec, Benchmark, InputSet, Scale, Scheme, SimConfig, SimRun};
+use sgx_preloading::prelude::*;
 
 fn apps(cfg: &SimConfig, n: usize) -> Vec<AppSpec> {
     (0..n)

@@ -10,7 +10,7 @@
 //! cargo run --release --example quickstart -- dev     # 1/16 scale, fast
 //! ```
 
-use sgx_preloading::{Benchmark, InputSet, Scale, Scheme, SimConfig, SimRun};
+use sgx_preloading::prelude::*;
 
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {

@@ -6,7 +6,7 @@
 //! cargo run --release --example spec_campaign -- dev
 //! ```
 
-use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
+use sgx_preloading::prelude::*;
 use sgx_workloads::Category;
 
 fn main() {

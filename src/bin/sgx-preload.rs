@@ -14,12 +14,11 @@ use std::collections::{BTreeSet, HashMap};
 use std::process::ExitCode;
 
 use sgx_preloading::kernel::EventKind;
+use sgx_preloading::prelude::*;
 use sgx_preloading::{
-    build_plan, effective_jobs, profile_stream, render_chrome_trace, AppSpec, Benchmark, Campaign,
-    CampaignReport, ChaosPreset, ChromeTraceSink, CollectingSink, CountingSink, Cycles,
-    HistogramSink, InputSet, JsonlWriterSink, NotifyPlacement, RecordedTrace, RunReport, Scale,
-    Scheme, SeedMode, SeriesFormat, SimConfig, SimRun, StreamConfig, TenantPolicy, TimeSeriesSink,
-    DEFAULT_TIMELINE_SERIES_INTERVAL,
+    build_plan, effective_jobs, profile_stream, render_chrome_trace, ChromeTraceSink,
+    CollectingSink, CountingSink, HistogramSink, NotifyPlacement, RecordedTrace, SeriesFormat,
+    StreamConfig, DEFAULT_TIMELINE_SERIES_INTERVAL,
 };
 
 const USAGE: &str = "\
@@ -47,6 +46,10 @@ COMMANDS:
                                check the graceful-degradation invariants
     contend                    co-run a victim with an aggressor enclave and
                                report per-tenant fairness telemetry
+    fleet                      simulate a serving fleet: N hosts × M service
+                               enclaves under an open-loop arrival process,
+                               with cold-start billing, SLO latency
+                               percentiles and per-host EPC telemetry
 
 COMMON OPTIONS:
     --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
@@ -124,6 +127,37 @@ chaos OPTIONS:
                                    cycle ratio exceeds F
     --json-out <file>              write the differential report as JSON
 
+fleet OPTIONS:
+    --hosts <N>                    simulated hosts (default 8)
+    --enclaves <N>                 service enclaves per host (default 4)
+    --arrival <spec>               poisson[:GAP] | bursty[:GAPxBURST] |
+                                   diurnal[:GAP/PERIOD] (default
+                                   poisson:2097152)
+    --placement <p>                round-robin | packed | least-loaded
+                                   (default round-robin)
+    --duration <N>                 fleet horizon in cycles (default 16777216)
+    --fleet-seed <N>               fleet master seed (default 42); host and
+                                   service seeds are derived positionally
+    --scheme <s>                   kernel scheme on every host (default dfp)
+    --slo <N>                      latency SLO in cycles (default 500000)
+    --shed-after <N>               shed requests queued longer than N cycles
+                                   (0 = never shed; default 4000000)
+    --idle-timeout <N>             tear an enclave down after N idle cycles,
+                                   re-billing the cold start on the next
+                                   request (0 = keep warm; default 0)
+    --migrate                      enable plan-time migration of the heaviest
+                                   service off hosts under sustained EPC
+                                   pressure
+    --jobs <N>                     worker threads; the report is byte-identical
+                                   for every worker count
+    --series-out <dir>             per-host EPC gauge series to
+                                   <dir>/host_<i>.series.csv
+    --json-out <file>              write the canonical fleet report JSON
+                                   (excludes jobs/wall time, so it is
+                                   byte-identical across --jobs)
+    --bench-out <file>             write wall-clock throughput JSON
+                                   (hosts/sec, requests/sec, p99 latency)
+
 contend OPTIONS:
     --victim <name>                victim benchmark (default: microbenchmark)
     --aggressor <name>             aggressor benchmark (default: mixed-blood)
@@ -140,7 +174,7 @@ struct Args {
 }
 
 /// Flags that take no value; their presence means `true`.
-const BOOL_FLAGS: [&str; 2] = ["hist", "attr"];
+const BOOL_FLAGS: [&str; 3] = ["hist", "attr", "migrate"];
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
@@ -394,7 +428,9 @@ fn cmd_suite(args: &Args) -> Result<(), String> {
         Campaign::grid("suite", cfg.seed, &Benchmark::ALL, &schemes, cfg)
             .with_seed_mode(SeedMode::Shared),
     );
-    let report = campaign.run_with_jobs(args.jobs()?);
+    let report = campaign
+        .run_with_jobs(args.jobs()?)
+        .map_err(|e| e.to_string())?;
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9}",
         "benchmark", "DFP", "DFP-stop", "SIP", "SIP+DFP"
@@ -436,7 +472,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             cfg,
         ),
     );
-    let report = campaign.run_with_jobs(args.jobs()?);
+    let report = campaign
+        .run_with_jobs(args.jobs()?)
+        .map_err(|e| e.to_string())?;
     print!("{report}");
     if args.flag("hist") {
         print_percentiles(&report);
@@ -1151,6 +1189,82 @@ fn cmd_throughput(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let hosts = args.parsed::<usize>("hosts")?.unwrap_or(8);
+    let enclaves = args.parsed::<usize>("enclaves")?.unwrap_or(4);
+    let arrival = match args.get("arrival") {
+        None => ArrivalProcess::default(),
+        Some(s) => s.parse::<ArrivalProcess>().map_err(|e| e.to_string())?,
+    };
+    let placement = match args.get("placement") {
+        None => PlacementPolicy::default(),
+        Some(s) => s.parse::<PlacementPolicy>().map_err(|e| e.to_string())?,
+    };
+    let scheme = args
+        .get("scheme")
+        .unwrap_or("dfp")
+        .parse::<Scheme>()
+        .map_err(|e| e.to_string())?;
+    let mut builder = FleetSpec::new(hosts, enclaves)
+        .seed(args.parsed::<u64>("fleet-seed")?.unwrap_or(42))
+        .arrival(arrival)
+        .placement(placement)
+        .scheme(scheme)
+        .config(cfg)
+        .migrate(args.flag("migrate"));
+    if let Some(d) = args.parsed::<u64>("duration")? {
+        builder = builder.duration(d);
+    }
+    if let Some(s) = args.parsed::<u64>("slo")? {
+        builder = builder.slo(s);
+    }
+    if let Some(s) = args.parsed::<u64>("shed-after")? {
+        builder = builder.shed_after(s);
+    }
+    if let Some(t) = args.parsed::<u64>("idle-timeout")? {
+        builder = builder.idle_timeout(t);
+    }
+    if let Some(dir) = args.get("series-out") {
+        builder = builder.series_dir(dir);
+    }
+    let spec = builder.build().map_err(|e| e.to_string())?;
+    let jobs = args.jobs()?;
+    let t0 = std::time::Instant::now();
+    let report = spec.run(jobs).map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+    print!("{report}");
+
+    if let Some(path) = args.get("json-out") {
+        std::fs::write(path, report.to_canonical_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("bench-out") {
+        let secs = wall.as_secs_f64().max(1e-9);
+        let json = format!(
+            "{{\"hosts\":{},\"enclaves_per_host\":{},\"jobs\":{},\"wall_nanos\":{},\
+             \"hosts_per_sec\":{:.2},\"requests_per_sec\":{:.1},\"requests\":{},\
+             \"shed\":{},\"slo_violations\":{},\"p99_latency_cycles\":{},\
+             \"accounting_residual\":{}}}\n",
+            report.hosts,
+            report.enclaves_per_host,
+            jobs,
+            wall.as_nanos() as u64,
+            report.hosts as f64 / secs,
+            report.requests as f64 / secs,
+            report.requests,
+            report.shed,
+            report.slo_violations,
+            report.latency.p99,
+            report.accounting_residual,
+        );
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().map(String::as_str) else {
@@ -1180,6 +1294,7 @@ fn main() -> ExitCode {
         "throughput" => cmd_throughput(&args),
         "chaos" => cmd_chaos(&args),
         "contend" => cmd_contend(&args),
+        "fleet" => cmd_fleet(&args),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

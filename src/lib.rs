@@ -19,8 +19,11 @@
 //! | [`sip`] | `sgx-sip` | profiler, Class 1/2/3 classifier, instrumentation plans |
 //! | [`workloads`] | `sgx-workloads` | the 18 evaluated programs as page-level models |
 //! | [`core`] | `sgx-preload-core` | schemes, configs, the simulator, reports |
+//! | [`fleet`] | `sgx-fleet` | fleet-scale serving: hosts × enclaves, arrivals, SLOs |
 //!
-//! The most common entry points are re-exported at the top level.
+//! The most common entry points are re-exported at the top level, and the
+//! blessed public surface is collected in [`prelude`] — new code should
+//! `use sgx_preloading::prelude::*;` and stay within it.
 //!
 //! # Examples
 //!
@@ -53,6 +56,7 @@
 
 pub use sgx_dfp as dfp;
 pub use sgx_epc as epc;
+pub use sgx_fleet as fleet;
 pub use sgx_kernel as kernel;
 pub use sgx_preload_core as core;
 pub use sgx_sim as sim;
@@ -63,20 +67,45 @@ pub use sgx_dfp::{
     AbortPolicy, MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId, StreamConfig,
 };
 pub use sgx_epc::{CostModel, VictimPolicy, VirtPage};
+pub use sgx_fleet::{
+    ArrivalProcess, FleetError, FleetReport, FleetSpec, FleetSpecBuilder, HostReport,
+    LatencySummary, PlacementPolicy,
+};
 pub use sgx_kernel::{
     render_chrome_trace, ChromeTraceSink, CollectingSink, CountingSink, CycleAttribution,
     GaugeSample, HistogramSink, JsonlWriterSink, KernelError, SeriesFormat, SpanId, TailSink,
     TimeSeriesSink, TraceHistograms, TraceSink,
 };
 pub use sgx_preload_core::{
-    build_plan, derive_cell_seed, effective_jobs, run_userspace_paging, AppSpec, AppSpecBuilder,
-    Campaign, CampaignReport, Cell, CellReport, ChaosPreset, ChaosSchedule, ChaosStats,
-    EventCounts, FaultInjector, RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun,
-    SpecError, TenantPolicy, TenantQuota, TenantShare, TenantStats, UserPagingConfig,
-    DEFAULT_TIMELINE_SERIES_INTERVAL, MAX_TENANTS,
+    build_kernel, build_plan, derive_cell_seed, effective_jobs, run_indexed, run_userspace_paging,
+    AppSpec, AppSpecBuilder, Campaign, CampaignError, CampaignReport, Cell, CellReport,
+    ChaosPreset, ChaosSchedule, ChaosStats, EventCounts, FaultInjector, RunReport, Scheme,
+    SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy, TenantQuota, TenantShare,
+    TenantStats, UserPagingConfig, DEFAULT_TIMELINE_SERIES_INTERVAL, MAX_TENANTS,
 };
 pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{
     profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig, TraceSummary,
 };
 pub use sgx_workloads::{Access, Benchmark, InputSet, RecordedTrace, Scale, SiteId};
+
+/// The blessed public surface in one import: entry points ([`SimRun`],
+/// [`Campaign`], [`FleetSpec`]), their configs, enums (parse through
+/// `FromStr`), reports, errors, and the streaming sink traits. New code
+/// should reach the simulator through this front door; anything outside
+/// it is a substrate detail that may move between releases.
+pub mod prelude {
+    pub use sgx_fleet::{
+        ArrivalProcess, FleetError, FleetReport, FleetSpec, FleetSpecBuilder, PlacementPolicy,
+    };
+    pub use sgx_kernel::{
+        ChaosPreset, ChaosSchedule, CountingSink, GaugeSample, JsonlWriterSink, TimeSeriesSink,
+        TraceSink,
+    };
+    pub use sgx_preload_core::{
+        AppSpec, Campaign, CampaignError, CampaignReport, Cell, CellReport, RunReport, Scheme,
+        SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy,
+    };
+    pub use sgx_sim::Cycles;
+    pub use sgx_workloads::{Benchmark, InputSet, Scale};
+}

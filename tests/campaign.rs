@@ -13,8 +13,7 @@
 
 use std::path::PathBuf;
 
-use sgx_preloading::workloads::Benchmark;
-use sgx_preloading::{Campaign, Scale, Scheme, SimConfig};
+use sgx_preloading::prelude::*;
 
 /// Environment variable that switches the harness from compare to
 /// regenerate.
@@ -41,8 +40,10 @@ fn golden_campaign() -> Campaign {
 #[test]
 fn parallel_report_is_field_identical_to_serial() {
     let campaign = golden_campaign();
-    let serial = campaign.run_serial();
-    let parallel = campaign.run_with_jobs(4);
+    let serial = campaign.run_serial().expect("serial campaign run failed");
+    let parallel = campaign
+        .run_with_jobs(4)
+        .expect("parallel campaign run failed");
     assert_eq!(serial.cells.len(), 6);
     assert_eq!(parallel.cells.len(), 6);
     for (s, p) in serial.cells.iter().zip(parallel.cells.iter()) {
@@ -62,10 +63,16 @@ fn parallel_report_is_field_identical_to_serial() {
 #[test]
 fn worker_count_does_not_change_canonical_json() {
     let campaign = golden_campaign();
-    let reference = campaign.run_serial().to_canonical_json();
+    let reference = campaign
+        .run_serial()
+        .expect("serial campaign run failed")
+        .to_canonical_json();
     for jobs in [2, 3, 4, 8] {
         assert_eq!(
-            campaign.run_with_jobs(jobs).to_canonical_json(),
+            campaign
+                .run_with_jobs(jobs)
+                .expect("parallel campaign run failed")
+                .to_canonical_json(),
             reference,
             "{jobs} workers diverged from serial"
         );
@@ -74,7 +81,10 @@ fn worker_count_does_not_change_canonical_json() {
 
 #[test]
 fn campaign_matches_golden_report() {
-    let got = golden_campaign().run_with_jobs(4).to_canonical_json();
+    let got = golden_campaign()
+        .run_with_jobs(4)
+        .expect("campaign run failed")
+        .to_canonical_json();
     let path = golden_path("campaign_small.json");
     if std::env::var_os(UPDATE_ENV).is_some() {
         std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
@@ -98,7 +108,9 @@ fn campaign_matches_golden_report() {
 
 #[test]
 fn full_json_superset_carries_timing_context() {
-    let report = golden_campaign().run_with_jobs(2);
+    let report = golden_campaign()
+        .run_with_jobs(2)
+        .expect("campaign run failed");
     let full = report.to_json();
     assert!(full.contains("\"jobs\":2"));
     assert!(full.contains("\"wall_nanos\""));

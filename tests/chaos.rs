@@ -20,10 +20,8 @@
 use std::path::PathBuf;
 
 use sgx_preloading::kernel::EventKind;
-use sgx_preloading::{
-    Benchmark, Campaign, ChaosSchedule, CollectingSink, CountingSink, Scale, Scheme, SimConfig,
-    SimRun,
-};
+use sgx_preloading::prelude::*;
+use sgx_preloading::CollectingSink;
 
 const UPDATE_ENV: &str = "SGX_GOLDEN_UPDATE";
 
@@ -157,7 +155,10 @@ fn zero_chaos_campaign_matches_the_existing_golden_report() {
         &[Scheme::Baseline, Scheme::DfpStop, Scheme::Sip],
         SimConfig::at_scale(Scale::new(64)).with_chaos(ChaosSchedule::none().with_seed(31337)),
     );
-    let got = campaign.run_with_jobs(2).to_canonical_json();
+    let got = campaign
+        .run_with_jobs(2)
+        .expect("campaign run failed")
+        .to_canonical_json();
     let want = std::fs::read_to_string(golden_path("campaign_small.json"))
         .expect("golden campaign report exists");
     assert_eq!(
@@ -237,8 +238,14 @@ fn chaos_campaign_matches_golden_report() {
             ("heavy", ChaosSchedule::heavy(9)),
         ],
     );
-    let serial = campaign.run_serial().to_canonical_json();
-    let parallel = campaign.run_with_jobs(4).to_canonical_json();
+    let serial = campaign
+        .run_serial()
+        .expect("serial campaign run failed")
+        .to_canonical_json();
+    let parallel = campaign
+        .run_with_jobs(4)
+        .expect("parallel campaign run failed")
+        .to_canonical_json();
     assert_eq!(
         serial, parallel,
         "chaos campaign must parallelize deterministically"

@@ -10,9 +10,8 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use sgx_preloading::kernel::{EventKind, LoggedEvent};
-use sgx_preloading::{
-    render_chrome_trace, Benchmark, Campaign, CollectingSink, Scale, Scheme, SimConfig, SimRun,
-};
+use sgx_preloading::prelude::*;
+use sgx_preloading::{render_chrome_trace, CollectingSink};
 
 const UPDATE_ENV: &str = "SGX_GOLDEN_UPDATE";
 
@@ -144,8 +143,12 @@ fn campaign_timeline_files_are_stable_under_jobs() {
     let _ = std::fs::remove_dir_all(&base);
     let serial_dir = base.join("serial");
     let jobs_dir = base.join("jobs");
-    timeline_campaign(&serial_dir).run_serial();
-    timeline_campaign(&jobs_dir).run_with_jobs(4);
+    timeline_campaign(&serial_dir)
+        .run_serial()
+        .expect("serial campaign run failed");
+    timeline_campaign(&jobs_dir)
+        .run_with_jobs(4)
+        .expect("parallel campaign run failed");
 
     let names = |dir: &Path| -> Vec<String> {
         let mut v: Vec<String> = std::fs::read_dir(dir)

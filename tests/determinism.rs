@@ -1,7 +1,7 @@
 //! Reproducibility guarantees: the simulation is a pure function of
 //! (benchmark, scheme, config, seed).
 
-use sgx_preloading::{Benchmark, Scale, Scheme, SimConfig, SimRun};
+use sgx_preloading::prelude::*;
 
 #[test]
 fn every_scheme_is_bit_reproducible() {

@@ -10,10 +10,8 @@
 
 use std::path::PathBuf;
 
-use sgx_preloading::kernel::{ChaosSchedule, TenantPolicy};
-use sgx_preloading::{
-    render_chrome_trace, Benchmark, Campaign, CollectingSink, Scale, Scheme, SimConfig, SimRun,
-};
+use sgx_preloading::prelude::*;
+use sgx_preloading::{render_chrome_trace, CollectingSink};
 
 fn golden(name: &str) -> String {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -56,7 +54,10 @@ fn campaign_golden_bits_survive_the_rewrite_at_jobs_1_and_4() {
     let campaign = small_campaign();
     for jobs in [1, 4] {
         assert_eq!(
-            campaign.run_with_jobs(jobs).to_canonical_json(),
+            campaign
+                .run_with_jobs(jobs)
+                .expect("campaign run failed")
+                .to_canonical_json(),
             want,
             "campaign_small.json diverged at --jobs {jobs}"
         );
@@ -69,7 +70,10 @@ fn chaos_campaign_golden_bits_survive_the_rewrite_at_jobs_1_and_4() {
     let campaign = small_chaos_campaign();
     for jobs in [1, 4] {
         assert_eq!(
-            campaign.run_with_jobs(jobs).to_canonical_json(),
+            campaign
+                .run_with_jobs(jobs)
+                .expect("campaign run failed")
+                .to_canonical_json(),
             want,
             "campaign_chaos_small.json diverged at --jobs {jobs}"
         );
@@ -127,8 +131,14 @@ fn full_grid_is_byte_identical_serial_vs_parallel() {
             cfg.with_tenant_policy(policy),
             &chaos,
         );
-        let serial = campaign.run_with_jobs(1).to_canonical_json();
-        let parallel = campaign.run_with_jobs(4).to_canonical_json();
+        let serial = campaign
+            .run_with_jobs(1)
+            .expect("serial campaign run failed")
+            .to_canonical_json();
+        let parallel = campaign
+            .run_with_jobs(4)
+            .expect("parallel campaign run failed")
+            .to_canonical_json();
         assert_eq!(
             serial, parallel,
             "tenant={tlabel}: serial and 4-worker grids diverged"

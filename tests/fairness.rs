@@ -6,10 +6,8 @@
 //! the over-share aggressor instead. The bounds pinned here are the
 //! regression contract behind `benches/fairness_isolation.rs`.
 
+use sgx_preloading::prelude::*;
 use sgx_preloading::workloads::{AccessIter, PageRange, SequentialScan, SiteRange};
-use sgx_preloading::{
-    AppSpec, Benchmark, Cycles, InputSet, Scale, Scheme, SimConfig, SimRun, TenantPolicy,
-};
 
 fn cfg() -> SimConfig {
     SimConfig::at_scale(Scale::new(32))

@@ -1,0 +1,108 @@
+//! Golden-report regression and determinism harness for the fleet
+//! simulator.
+//!
+//! A small fixed fleet runs once serially and once on four workers; the
+//! canonical JSON must (a) be byte-identical between the two (host
+//! sharding is bit-invisible) and (b) match the checked-in golden report
+//! under `tests/golden/`. A separate accounting check pins the fleet
+//! totals to the sum of the per-host kernel books.
+//!
+//! When an intentional change shifts the numbers, regenerate with:
+//!
+//! ```text
+//! SGX_GOLDEN_UPDATE=1 cargo test --test fleet
+//! ```
+
+use std::path::PathBuf;
+
+use sgx_preloading::prelude::*;
+
+/// Environment variable that switches the harness from compare to
+/// regenerate.
+const UPDATE_ENV: &str = "SGX_GOLDEN_UPDATE";
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The fixed fleet the golden file pins: four hosts × three services
+/// under bursty arrivals, least-loaded placement, and an idle timeout so
+/// lifecycle (teardown + respawn) shows up in the report.
+fn golden_fleet() -> FleetSpec {
+    FleetSpec::new(4, 3)
+        .seed(2020)
+        .arrival(ArrivalProcess::Bursty {
+            mean_gap: 262_144,
+            burst: 4,
+        })
+        .placement(PlacementPolicy::LeastLoaded)
+        .duration(1 << 23)
+        .idle_timeout(1 << 20)
+        .build()
+        .expect("golden fleet spec must validate")
+}
+
+#[test]
+fn fleet_report_is_byte_identical_across_worker_counts() {
+    let spec = golden_fleet();
+    let serial = spec.run(1).expect("serial fleet run failed");
+    let sharded = spec.run(4).expect("sharded fleet run failed");
+    assert_eq!(
+        serial.to_canonical_json(),
+        sharded.to_canonical_json(),
+        "host sharding leaked into the fleet report"
+    );
+
+    let path = golden_path("fleet_small.json");
+    let got = serial.to_canonical_json();
+    if std::env::var_os(UPDATE_ENV).is_some() {
+        std::fs::write(&path, &got).expect("cannot write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with {UPDATE_ENV}=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "fleet report drifted from tests/golden/fleet_small.json; if the \
+         change is intentional, regenerate with {UPDATE_ENV}=1"
+    );
+}
+
+#[test]
+fn fleet_books_balance_against_per_host_kernels() {
+    let report = golden_fleet().run(2).expect("fleet run failed");
+    // The run exercised every lifecycle path the golden is meant to pin.
+    assert!(report.requests > 0, "golden fleet served no requests");
+    assert!(report.teardowns > 0, "idle timeout never engaged");
+    assert!(report.spawns > report.teardowns, "respawns missing");
+    // Fleet totals are exactly the sum of the per-host kernel books.
+    assert_eq!(report.accounting_residual, 0);
+    let hosts = &report.host_reports;
+    assert_eq!(hosts.len(), report.hosts);
+    assert_eq!(
+        report.total_cycles,
+        hosts.iter().map(|h| h.end_cycles).sum::<u64>()
+    );
+    assert_eq!(report.faults, hosts.iter().map(|h| h.faults).sum::<u64>());
+    assert_eq!(
+        report.requests,
+        hosts.iter().map(|h| h.requests).sum::<u64>()
+    );
+    for h in hosts {
+        assert_eq!(
+            h.attribution.total(),
+            h.end_cycles,
+            "host {} cycle attribution does not cover its clock",
+            h.index
+        );
+    }
+    // Every served (non-shed) request recorded exactly one latency.
+    assert_eq!(report.latency.count, report.requests - report.shed);
+}

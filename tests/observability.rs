@@ -2,10 +2,8 @@
 //! subscribed through [`SimRun`], the histogram percentiles surfaced in
 //! [`RunReport`], and their agreement with the simulator's own counters.
 
-use sgx_preloading::{
-    Benchmark, CollectingSink, CountingSink, Cycles, HistogramSink, JsonlWriterSink, Scale, Scheme,
-    SimConfig, SimRun,
-};
+use sgx_preloading::prelude::*;
+use sgx_preloading::{CollectingSink, HistogramSink};
 
 fn cfg() -> SimConfig {
     SimConfig::at_scale(Scale::new(64))
@@ -120,9 +118,9 @@ fn percentiles_are_ordered_and_deterministic_across_jobs() {
         cfg(),
     )
     .with_seed_mode(SeedMode::Shared);
-    let one = campaign.run_with_jobs(1);
-    let two = campaign.run_with_jobs(2);
-    let four = campaign.run_with_jobs(4);
+    let one = campaign.run_with_jobs(1).expect("campaign run failed");
+    let two = campaign.run_with_jobs(2).expect("campaign run failed");
+    let four = campaign.run_with_jobs(4).expect("campaign run failed");
     assert_eq!(one.to_canonical_json(), two.to_canonical_json());
     assert_eq!(one.to_canonical_json(), four.to_canonical_json());
     assert!(one.to_canonical_json().contains("\"fault_service_p50\""));
@@ -186,7 +184,7 @@ fn campaign_trace_dir_streams_one_jsonl_file_per_cell() {
         cfg(),
     )
     .with_trace_dir(&dir);
-    let report = campaign.run_with_jobs(2);
+    let report = campaign.run_with_jobs(2).expect("campaign run failed");
     let mut files: Vec<_> = std::fs::read_dir(&dir)
         .expect("trace dir created")
         .map(|e| e.unwrap().file_name().into_string().unwrap())

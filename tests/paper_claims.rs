@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the paper's qualitative claims, checked
 //! end-to-end at 1/16 scale through the public facade.
 
-use sgx_preloading::{Benchmark, InputSet, Scale, Scheme, SimConfig, SimRun};
+use sgx_preloading::prelude::*;
 
 fn cfg() -> SimConfig {
     SimConfig::at_scale(Scale::DEV)
