@@ -118,6 +118,52 @@ print(f"fleet OK: {bench['hosts_per_sec']:.0f} hosts/sec, "
       f"{fleet['shed']} shed)")
 EOF
 
+echo "==> trace record/convert/replay"
+# The compact binary trace format end to end: record a small trace,
+# convert .sgxt -> CSV -> .sgxt (must be byte-identical), replay it with
+# the source benchmark declared and --diff (the replayed report must
+# match the generator run exactly), and write replayed-pages/sec and
+# round-trip bytes/access. Then the four workload-diversity families run
+# their full scheme grid against the pinned golden.
+mkdir -p results
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+./target/release/sgx-preload trace record --bench kvstore --scale 32 \
+  --out "$TRACE_DIR/kv.sgxt" >/dev/null
+./target/release/sgx-preload trace convert --in "$TRACE_DIR/kv.sgxt" \
+  --out "$TRACE_DIR/kv.csv" >/dev/null
+./target/release/sgx-preload trace convert --in "$TRACE_DIR/kv.csv" \
+  --out "$TRACE_DIR/kv2.sgxt" >/dev/null
+cmp "$TRACE_DIR/kv.sgxt" "$TRACE_DIR/kv2.sgxt"
+./target/release/sgx-preload trace replay --trace "$TRACE_DIR/kv.sgxt" \
+  --scale 32 --scheme hybrid --source-bench kvstore --diff \
+  --bench-out results/BENCH_trace_replay.json >/dev/null
+./target/release/sgx-preload campaign --scale 32 \
+  --benches kvstore,phase-shift,graph-frontier,ml-inference \
+  --json-out "$TRACE_DIR/diverse.json" >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_trace_replay.json") as f:
+    t = json.load(f)
+assert t["accesses"] > 0 and t["trace_bytes"] > 0, t
+assert t["replayed_pages_per_sec"] > 0, t
+# The binary format must beat CSV's ~14 bytes/access comfortably.
+assert t["bytes_per_access"] < 8.0, t
+print(f"trace replay OK: {t['accesses']} accesses, "
+      f"{t['replayed_pages_per_sec']:.0f} replayed-pages/sec, "
+      f"{t['bytes_per_access']:.2f} bytes/access")
+EOF
+python3 - "$TRACE_DIR/diverse.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+cells = report["cells"]
+assert len(cells) == 20, f"expected 4 families x 5 schemes, got {len(cells)}"
+families = {c["label"].split("/")[0] for c in cells}
+assert families == {"kvstore", "phase-shift", "graph-frontier", "ml-inference"}
+print(f"diverse campaign OK: {len(cells)} cells over {sorted(families)}")
+EOF
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 

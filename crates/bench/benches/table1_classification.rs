@@ -47,6 +47,7 @@ fn main() {
             Category::LargeRegular => "large, regular",
             Category::RealWorld => "(real-world)",
             Category::Synthetic => "(synthetic)",
+            Category::Diverse => "(diverse)",
         };
         t.row(
             bench.name(),

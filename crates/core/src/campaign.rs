@@ -60,6 +60,7 @@ use sgx_kernel::{
 };
 use sgx_workloads::Benchmark;
 
+use crate::replay::TraceReplay;
 use crate::report::push_json_str;
 use crate::{RunReport, Scheme, SimConfig, SimError, SimRun};
 
@@ -181,14 +182,35 @@ pub enum SeedMode {
     Shared,
 }
 
-/// One campaign cell: a benchmark, a scheme, and the full configuration
+/// The workload a campaign cell runs: a synthetic benchmark model, or a
+/// recorded trace replayed through the simulator.
+#[derive(Debug, Clone)]
+pub enum CellWork {
+    /// A synthetic benchmark model.
+    Bench(Benchmark),
+    /// A recorded-trace replay (see [`TraceReplay`]).
+    Replay(TraceReplay),
+}
+
+impl CellWork {
+    /// The workload's display name: the benchmark's paper name, or the
+    /// replay's label.
+    pub fn name(&self) -> &str {
+        match self {
+            CellWork::Bench(b) => b.name(),
+            CellWork::Replay(r) => r.label(),
+        }
+    }
+}
+
+/// One campaign cell: a workload, a scheme, and the full configuration
 /// it runs under.
 #[derive(Debug, Clone)]
 pub struct Cell {
-    /// Display label (`bench/scheme` by default, extendable for sweeps).
+    /// Display label (`work/scheme` by default, extendable for sweeps).
     pub label: String,
-    /// The benchmark to run.
-    pub bench: Benchmark,
+    /// The workload to run.
+    pub work: CellWork,
     /// The scheme arming the kernel.
     pub scheme: Scheme,
     /// Full configuration; the campaign overrides its `seed` according to
@@ -201,7 +223,20 @@ impl Cell {
     pub fn new(bench: Benchmark, scheme: Scheme, cfg: SimConfig) -> Self {
         Cell {
             label: format!("{}/{}", bench.name(), scheme.name()),
-            bench,
+            work: CellWork::Bench(bench),
+            scheme,
+            cfg,
+        }
+    }
+
+    /// A cell replaying a recorded trace, labeled `label/scheme`. With a
+    /// source-declared replay ([`TraceReplay::of_benchmark`]) the cell is
+    /// indistinguishable — label and report alike — from the equivalent
+    /// [`Cell::new`] cell run on the recording's seed.
+    pub fn replay(replay: TraceReplay, scheme: Scheme, cfg: SimConfig) -> Self {
+        Cell {
+            label: format!("{}/{}", replay.label(), scheme.name()),
+            work: CellWork::Replay(replay),
             scheme,
             cfg,
         }
@@ -255,6 +290,27 @@ impl Campaign {
         for &bench in benches {
             for &scheme in schemes {
                 c.push(Cell::new(bench, scheme, cfg));
+            }
+        }
+        c
+    }
+
+    /// The full `replays × schemes` cross-product over one base config,
+    /// enumerated replay-major — the trace-driven twin of
+    /// [`Campaign::grid`]. Combine with [`SeedMode::Shared`] when the
+    /// replays were recorded at the campaign seed, so source-declared
+    /// replays reproduce the generator grid byte-for-byte.
+    pub fn replay_grid(
+        name: impl Into<String>,
+        seed: u64,
+        replays: &[TraceReplay],
+        schemes: &[Scheme],
+        cfg: SimConfig,
+    ) -> Self {
+        let mut c = Campaign::new(name, seed);
+        for replay in replays {
+            for &scheme in schemes {
+                c.push(Cell::replay(replay.clone(), scheme, cfg));
             }
         }
         c
@@ -558,10 +614,12 @@ fn run_cell(
     }
     let t0 = Instant::now();
     let (counting, counts) = CountingSink::new();
-    let mut run = SimRun::new(&cfg)
-        .scheme(cell.scheme)
-        .bench(cell.bench)
-        .sink(Box::new(counting));
+    let mut run = SimRun::new(&cfg).scheme(cell.scheme);
+    run = match &cell.work {
+        CellWork::Bench(bench) => run.bench(*bench),
+        CellWork::Replay(replay) => run.replay(replay.clone()),
+    };
+    run = run.sink(Box::new(counting));
     if let Some(dir) = trace_dir {
         if let Some(sink) = open_cell_trace(dir, index, &cell.label) {
             run = run.sink(Box::new(sink) as Box<dyn TraceSink>);
@@ -873,6 +931,34 @@ mod tests {
         // A single-enclave cell under fair(2) stays within its share, so
         // the tenant fields serialize (zero wait, zero shed) either way.
         assert!(r.to_canonical_json().contains("\"channel_wait_cycles\":"));
+    }
+
+    #[test]
+    fn replay_grid_reproduces_generator_grid() {
+        use sgx_workloads::{InputSet, RecordedTrace};
+        let cfg = tiny_cfg();
+        let seed = 29;
+        let benches = [Benchmark::Microbenchmark, Benchmark::Leela];
+        let schemes = [Scheme::Baseline, Scheme::Dfp];
+        let direct = Campaign::grid("replay_eq", seed, &benches, &schemes, cfg)
+            .with_seed_mode(SeedMode::Shared)
+            .run_serial()
+            .unwrap();
+        // Record each bench's full ref stream at the shared seed, then
+        // drive the identical grid from the recordings.
+        let replays: Vec<TraceReplay> = benches
+            .iter()
+            .map(|&b| {
+                let trace =
+                    RecordedTrace::record(b.build(InputSet::Ref, cfg.scale, seed), usize::MAX);
+                TraceReplay::of_benchmark(b, trace)
+            })
+            .collect();
+        let replayed = Campaign::replay_grid("replay_eq", seed, &replays, &schemes, cfg)
+            .with_seed_mode(SeedMode::Shared)
+            .run_with_jobs(4)
+            .unwrap();
+        assert_eq!(direct.to_canonical_json(), replayed.to_canonical_json());
     }
 
     #[test]

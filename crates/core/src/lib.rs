@@ -38,6 +38,7 @@
 
 mod campaign;
 mod config;
+mod replay;
 mod report;
 mod scheme;
 mod simrun;
@@ -46,9 +47,10 @@ mod userspace;
 
 pub use campaign::{
     derive_cell_seed, effective_jobs, run_indexed, Campaign, CampaignError, CampaignReport, Cell,
-    CellReport, SeedMode, DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
+    CellReport, CellWork, SeedMode, DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
 };
 pub use config::SimConfig;
+pub use replay::TraceReplay;
 pub use report::RunReport;
 pub use scheme::{ParseSchemeError, Scheme};
 pub use sgx_epc::TenantQuota;

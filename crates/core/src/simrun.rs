@@ -11,8 +11,10 @@ use std::error::Error;
 use std::fmt;
 
 use sgx_kernel::{KernelError, TraceSink};
+use sgx_sip::InstrumentationPlan;
 use sgx_workloads::{AccessIter, Benchmark, InputSet};
 
+use crate::replay::TraceReplay;
 use crate::simulator::{build_plan, run_kernel_apps, run_outside_model, AppSpec, SpecError};
 use crate::{RunReport, Scheme, SimConfig};
 
@@ -61,6 +63,7 @@ impl From<SpecError> for SimError {
 enum Entry {
     App(AppSpec),
     Bench(Benchmark),
+    Replay(TraceReplay),
     Outside { label: String, workload: AccessIter },
 }
 
@@ -148,6 +151,17 @@ impl<'a> SimRun<'a> {
         self
     }
 
+    /// Adds a recorded trace as a workload. With a declared source
+    /// benchmark ([`TraceReplay::of_benchmark`]) the entry behaves
+    /// exactly like [`SimRun::bench`] — same label, ELRANGE, and SIP
+    /// profiling pass — so a full recording replays to a byte-identical
+    /// report. Anonymous replays size their ELRANGE from the trace and
+    /// skip instrumentation.
+    pub fn replay(mut self, replay: TraceReplay) -> Self {
+        self.entries.push(Entry::Replay(replay));
+        self
+    }
+
     /// Adds a workload running *outside* any enclave: unlimited RAM,
     /// first-touch faults at the regular ≈2,000-cycle cost (the "without
     /// SGX" side of the paper's §1 motivation).
@@ -216,6 +230,28 @@ impl<'a> SimRun<'a> {
                         bench.name(),
                         bench.elrange_pages(cfg.scale),
                         bench.build(InputSet::Ref, cfg.scale, cfg.seed),
+                    )
+                    .plan(plan)
+                    .build()?;
+                    kernel_apps.push(app);
+                    slots.push(Slot::Kernel);
+                }
+                Entry::Replay(replay) if scheme.is_user_level() => {
+                    slots.push(Slot::Ready(Box::new(crate::run_userspace_paging(
+                        replay.label().to_string(),
+                        replay.stream(),
+                        &cfg.user_paging,
+                    ))));
+                }
+                Entry::Replay(replay) => {
+                    let plan = match replay.source() {
+                        Some(bench) => build_plan(bench, cfg, scheme),
+                        None => InstrumentationPlan::none(),
+                    };
+                    let app = AppSpec::new(
+                        replay.label().to_string(),
+                        replay.elrange_pages(cfg.scale),
+                        replay.stream(),
                     )
                     .plan(plan)
                     .build()?;
@@ -379,6 +415,28 @@ mod tests {
         assert_eq!(ev.faults, report.faults);
         assert_eq!(ev.preload_starts, report.preloads_started);
         assert!(ev.preload_hits > 0, "streaming workload preloads pages");
+    }
+
+    #[test]
+    fn replayed_recordings_match_generator_runs() {
+        let c = cfg();
+        for scheme in Scheme::ALL {
+            let direct = SimRun::new(&c)
+                .scheme(scheme)
+                .bench(Benchmark::Lbm)
+                .run_one()
+                .unwrap();
+            let trace = sgx_workloads::RecordedTrace::record(
+                Benchmark::Lbm.build(InputSet::Ref, c.scale, c.seed),
+                usize::MAX,
+            );
+            let replayed = SimRun::new(&c)
+                .scheme(scheme)
+                .replay(TraceReplay::of_benchmark(Benchmark::Lbm, trace))
+                .run_one()
+                .unwrap();
+            assert_eq!(direct, replayed, "{scheme}: replay must be exact");
+        }
     }
 
     #[test]

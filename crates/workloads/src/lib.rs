@@ -36,6 +36,7 @@
 
 mod access;
 mod combine;
+mod diverse;
 mod irregular;
 mod regular;
 mod spec;
@@ -43,7 +44,8 @@ mod trace;
 
 pub use access::{Access, AccessIter, PageRange, SiteId, SiteRange};
 pub use combine::{Mix, PhaseChain};
+pub use diverse::{BatchScan, FrontierSweep, PhasedStream, ZipfKv};
 pub use irregular::{HotColdSites, PointerChase, UniformRandom, ZipfRandom};
 pub use regular::{working_set_loop, BurstyScan, InterleavedStreams, SequentialScan};
 pub use spec::{Benchmark, Category, InputSet, Language, Scale};
-pub use trace::{RecordedTrace, TraceParseError};
+pub use trace::{RecordedTrace, SgxtReader, SgxtWriter, TraceParseError, SGXT_MAGIC, SGXT_VERSION};

@@ -18,8 +18,9 @@ use std::fmt;
 use sgx_sim::{Cycles, DetRng};
 
 use crate::{
-    AccessIter, BurstyScan, HotColdSites, InterleavedStreams, Mix, PageRange, PhaseChain,
-    SequentialScan, SiteRange, UniformRandom, ZipfRandom,
+    AccessIter, BatchScan, BurstyScan, FrontierSweep, HotColdSites, InterleavedStreams, Mix,
+    PageRange, PhaseChain, PhasedStream, SequentialScan, SiteRange, UniformRandom, ZipfKv,
+    ZipfRandom,
 };
 
 /// Source language of the original benchmark. The paper's SIP prototype
@@ -56,6 +57,10 @@ pub enum Category {
     RealWorld,
     /// Synthesized programs (microbenchmark, mixed-blood).
     Synthetic,
+    /// Workload-diversity scenarios beyond the paper's evaluation (KV
+    /// store, phase-shift, graph frontier, ML inference) — the enclave
+    /// workload classes the SGX benchmarking literature adds.
+    Diverse,
 }
 
 /// Which input set drives a run: the paper profiles on *train* and measures
@@ -137,6 +142,12 @@ pub enum Benchmark {
     Sift,
     Mser,
     MixedBlood,
+    // Workload-diversity scenarios (appended so the discriminants of the
+    // paper benchmarks — which salt each model's RNG fork — never move).
+    KvStore,
+    PhaseShift,
+    GraphFrontier,
+    MlInference,
 }
 
 impl fmt::Display for Benchmark {
@@ -167,8 +178,9 @@ fn stream_regions(fp: u64, want: u64) -> Vec<PageRange> {
 }
 
 impl Benchmark {
-    /// All benchmarks, in the paper's presentation order.
-    pub const ALL: [Benchmark; 18] = [
+    /// All benchmarks: the paper's, in presentation order, then the
+    /// workload-diversity scenarios.
+    pub const ALL: [Benchmark; 22] = [
         Benchmark::Microbenchmark,
         Benchmark::Bwaves,
         Benchmark::Lbm,
@@ -187,6 +199,46 @@ impl Benchmark {
         Benchmark::Sift,
         Benchmark::Mser,
         Benchmark::MixedBlood,
+        Benchmark::KvStore,
+        Benchmark::PhaseShift,
+        Benchmark::GraphFrontier,
+        Benchmark::MlInference,
+    ];
+
+    /// The paper's evaluation set (Table 1 plus §5.3–5.4) — [`ALL`]
+    /// without the workload-diversity scenarios.
+    ///
+    /// [`ALL`]: Benchmark::ALL
+    pub const PAPER: [Benchmark; 18] = [
+        Benchmark::Microbenchmark,
+        Benchmark::Bwaves,
+        Benchmark::Lbm,
+        Benchmark::Wrf,
+        Benchmark::Roms,
+        Benchmark::Mcf,
+        Benchmark::Deepsjeng,
+        Benchmark::Omnetpp,
+        Benchmark::Xz,
+        Benchmark::CactuBssn,
+        Benchmark::Imagick,
+        Benchmark::Leela,
+        Benchmark::Nab,
+        Benchmark::Exchange2,
+        Benchmark::Mcf2006,
+        Benchmark::Sift,
+        Benchmark::Mser,
+        Benchmark::MixedBlood,
+    ];
+
+    /// The workload-diversity scenarios — [`ALL`] minus [`PAPER`].
+    ///
+    /// [`ALL`]: Benchmark::ALL
+    /// [`PAPER`]: Benchmark::PAPER
+    pub const DIVERSE: [Benchmark; 4] = [
+        Benchmark::KvStore,
+        Benchmark::PhaseShift,
+        Benchmark::GraphFrontier,
+        Benchmark::MlInference,
     ];
 
     /// The paper's name for the benchmark.
@@ -210,6 +262,10 @@ impl Benchmark {
             Benchmark::Sift => "SIFT",
             Benchmark::Mser => "MSER",
             Benchmark::MixedBlood => "mixed-blood",
+            Benchmark::KvStore => "kvstore",
+            Benchmark::PhaseShift => "phase-shift",
+            Benchmark::GraphFrontier => "graph-frontier",
+            Benchmark::MlInference => "ml-inference",
         }
     }
 
@@ -225,7 +281,8 @@ impl Benchmark {
             Benchmark::Deepsjeng
             | Benchmark::Omnetpp
             | Benchmark::Leela
-            | Benchmark::MixedBlood => Language::Cpp,
+            | Benchmark::MixedBlood
+            | Benchmark::GraphFrontier => Language::Cpp,
             _ => Language::C,
         }
     }
@@ -247,6 +304,10 @@ impl Benchmark {
             Benchmark::Bwaves | Benchmark::Lbm | Benchmark::Wrf => Category::LargeRegular,
             Benchmark::Sift | Benchmark::Mser => Category::RealWorld,
             Benchmark::Microbenchmark | Benchmark::MixedBlood => Category::Synthetic,
+            Benchmark::KvStore
+            | Benchmark::PhaseShift
+            | Benchmark::GraphFrontier
+            | Benchmark::MlInference => Category::Diverse,
         }
     }
 
@@ -277,6 +338,10 @@ impl Benchmark {
             Benchmark::Sift => mb(300),
             Benchmark::Mser => mb(250),
             Benchmark::MixedBlood => mb(300),
+            Benchmark::KvStore => mb(512),
+            Benchmark::PhaseShift => mb(384),
+            Benchmark::GraphFrontier => mb(320),
+            Benchmark::MlInference => mb(256),
         }
     }
 
@@ -307,6 +372,10 @@ impl Benchmark {
             Benchmark::Sift => 10,
             Benchmark::Mser => 57,
             Benchmark::MixedBlood => 59,
+            Benchmark::KvStore => 40,
+            Benchmark::PhaseShift => 8,
+            Benchmark::GraphFrontier => 24,
+            Benchmark::MlInference => 6,
         }
     }
 
@@ -644,6 +713,85 @@ fn build_model(
             let mser = mser_phase(fp, rng, count);
             Box::new(PhaseChain::new(vec![Box::new(scan), Box::new(mser)]))
         }
+
+        Benchmark::KvStore => {
+            // Skewed KV store: Zipf-popular keys on a resident hot prefix
+            // (read in tight server loops), the long tail scattered over
+            // the cold remainder, plus a sequentially-swept append log.
+            let store = PageRange::first(boundary(fp, 15, 16));
+            let log = PageRange::new(store.end, fp);
+            let hot = boundary(store.end, 16, 512);
+            let lookups = ZipfKv::new(
+                store,
+                count(420_000),
+                hot,
+                1.1,
+                Cycles::new(2_000),
+                SiteRange::new(0, 36),
+                rng.fork(1),
+            )
+            .with_hot_repeats(12);
+            let append = SequentialScan::new(log, 2, Cycles::new(1_400), SiteRange::new(36, 4));
+            Box::new(Mix::new(
+                vec![
+                    (Box::new(lookups) as AccessIter, 0.9),
+                    (Box::new(append), 0.1),
+                ],
+                rng.fork(2),
+            ))
+        }
+
+        Benchmark::PhaseShift => {
+            // Stream → random → stream at fixed boundaries: the preloader
+            // must unlearn and re-learn its model mid-run.
+            Box::new(PhasedStream::new(
+                PageRange::first(fp),
+                vec![count(150_000), count(120_000), count(150_000)],
+                Cycles::new(1_600),
+                SiteRange::new(0, 8),
+                rng.fork(1),
+            ))
+        }
+
+        Benchmark::GraphFrontier => Box::new(FrontierSweep::new(
+            PageRange::first(fp),
+            count(380_000),
+            2,
+            6,
+            Cycles::new(2_400),
+            SiteRange::new(0, 24),
+            rng.fork(1),
+        )),
+
+        Benchmark::MlInference => {
+            // Batched inference: one stride-regular sweep over the weight
+            // region per batch, over a small hot activation scratchpad.
+            let act = PageRange::first(boundary(fp, 1, 32));
+            let weights = PageRange::new(act.end, fp);
+            let per_batch = weights.len().div_ceil(2);
+            let batches = (count(500_000) / per_batch).max(1);
+            let scan = BatchScan::new(
+                weights,
+                batches,
+                2,
+                Cycles::new(1_500),
+                SiteRange::new(0, 4),
+            );
+            let scratch = UniformRandom::new(
+                act,
+                count(80_000),
+                Cycles::new(1_200),
+                SiteRange::new(4, 2),
+                rng.fork(1),
+            );
+            Box::new(Mix::new(
+                vec![
+                    (Box::new(scan) as AccessIter, 0.85),
+                    (Box::new(scratch), 0.15),
+                ],
+                rng.fork(2),
+            ))
+        }
     }
 }
 
@@ -718,6 +866,27 @@ mod tests {
             (Benchmark::Wrf, LargeRegular),
         ] {
             assert_eq!(b.category(), want, "{b}");
+        }
+    }
+
+    #[test]
+    fn paper_and_diverse_partition_all() {
+        assert_eq!(
+            Benchmark::PAPER.len() + Benchmark::DIVERSE.len(),
+            Benchmark::ALL.len()
+        );
+        assert_eq!(&Benchmark::ALL[..18], &Benchmark::PAPER[..]);
+        assert_eq!(&Benchmark::ALL[18..], &Benchmark::DIVERSE[..]);
+        for b in Benchmark::DIVERSE {
+            assert_eq!(b.category(), Category::Diverse, "{b}");
+            assert!(b.sip_supported(), "{b} models a C/C++ program");
+            assert!(
+                b.footprint_pages() > sgx_epc::usable_epc_pages(),
+                "{b} must be paging-bound"
+            );
+        }
+        for b in Benchmark::PAPER {
+            assert_ne!(b.category(), Category::Diverse, "{b}");
         }
     }
 

@@ -4,9 +4,36 @@ use proptest::prelude::*;
 
 use sgx_sim::{Cycles, DetRng};
 use sgx_workloads::{
-    Benchmark, BurstyScan, InputSet, PageRange, PointerChase, RecordedTrace, Scale, SequentialScan,
-    SiteRange, UniformRandom, ZipfRandom,
+    Access, BatchScan, Benchmark, BurstyScan, FrontierSweep, InputSet, PageRange, PhasedStream,
+    PointerChase, RecordedTrace, Scale, SequentialScan, SgxtReader, SgxtWriter, SiteId, SiteRange,
+    UniformRandom, ZipfKv, ZipfRandom,
 };
+
+/// Builds a trace from `(page, compute, site, repeats)` tuples.
+fn mk_trace(raw: &[(u64, u64, u32, u32)]) -> RecordedTrace {
+    raw.iter()
+        .map(|&(page, compute, site, repeats)| {
+            Access::with_repeats(
+                sgx_epc::VirtPage::new(page),
+                Cycles::new(compute),
+                SiteId(site),
+                repeats,
+            )
+        })
+        .collect()
+}
+
+/// Access tuples biased toward the encoder's edge cases: page 0, the
+/// maximum page (the zigzag delta wraps), zero and huge cycle gaps, and
+/// extreme site/repeat values.
+fn arb_access() -> impl Strategy<Value = (u64, u64, u32, u32)> {
+    (
+        prop_oneof![any::<u64>(), Just(0u64), Just(u64::MAX)],
+        prop_oneof![any::<u64>(), Just(0u64), Just(u64::MAX)],
+        prop_oneof![any::<u32>(), Just(0u32), Just(u32::MAX)],
+        prop_oneof![1u32..1 << 16, Just(1u32), Just(u32::MAX)],
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -75,7 +102,7 @@ proptest! {
     /// seeds: the same (input, scale, seed) triple always yields the same
     /// prefix.
     #[test]
-    fn benchmark_builds_reproducible(seed in any::<u64>(), pick in 0usize..18) {
+    fn benchmark_builds_reproducible(seed in any::<u64>(), pick in 0usize..Benchmark::ALL.len()) {
         let bench = Benchmark::ALL[pick];
         let collect = || -> Vec<(u64, u32)> {
             bench
@@ -108,5 +135,197 @@ proptest! {
             .collect();
         let back = RecordedTrace::from_csv(&trace.to_csv()).unwrap();
         prop_assert_eq!(trace, back);
+    }
+
+    /// Arbitrary access vectors survive `RecordedTrace` → `.sgxt` bytes →
+    /// `RecordedTrace` losslessly, including page 0, the maximum page,
+    /// zero and huge cycle gaps, and extreme site/repeat counts — and the
+    /// CSV and `.sgxt` serializations commute.
+    #[test]
+    fn trace_sgxt_roundtrip_and_commutes_with_csv(
+        raw in proptest::collection::vec(arb_access(), 0..300),
+    ) {
+        let trace = mk_trace(&raw);
+        let back = RecordedTrace::from_sgxt(&trace.to_sgxt()).unwrap();
+        prop_assert_eq!(&trace, &back);
+        // CSV → .sgxt and .sgxt → CSV meet in the same place.
+        let via_csv = RecordedTrace::from_csv(&trace.to_csv()).unwrap();
+        let csv_then_sgxt = RecordedTrace::from_sgxt(&via_csv.to_sgxt()).unwrap();
+        let sgxt_then_csv = RecordedTrace::from_csv(&back.to_csv()).unwrap();
+        prop_assert_eq!(&csv_then_sgxt, &trace);
+        prop_assert_eq!(&sgxt_then_csv, &trace);
+    }
+
+    /// Multi-section `.sgxt` files round-trip arbitrary thread
+    /// interleavings: sections concatenate in file order and every access
+    /// reports its section's thread id.
+    #[test]
+    fn sgxt_sections_preserve_thread_interleavings(
+        sections in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(arb_access(), 0..50)),
+            0..6,
+        ),
+    ) {
+        let mut w = SgxtWriter::new();
+        let mut want: Vec<(u64, Access)> = Vec::new();
+        for (thread, raw) in &sections {
+            let trace = mk_trace(raw);
+            w.section(*thread, trace.accesses());
+            want.extend(trace.accesses().iter().map(|&a| (*thread, a)));
+        }
+        let bytes = w.finish();
+        let mut got: Vec<(u64, Access)> = Vec::new();
+        let mut r = SgxtReader::new(bytes.as_slice()).unwrap();
+        while let Some(item) = r.next() {
+            let a = item.expect("writer output always parses");
+            got.push((r.thread(), a));
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    /// Zipf-KV preserves rank-frequency ordering for any seed: the rank-0
+    /// page dominates every other page, and frequency decays across the
+    /// hot prefix; no page escapes the region.
+    #[test]
+    fn zipf_kv_preserves_rank_frequency_ordering(
+        seed in any::<u64>(),
+        hot in 4u64..64,
+        len in 256u64..2_048,
+    ) {
+        let region = PageRange::first(len);
+        let g = ZipfKv::new(
+            region, 20_000, hot, 1.3, Cycles::ZERO, SiteRange::single(0),
+            DetRng::seed_from(seed),
+        );
+        let mut counts = vec![0u64; len as usize];
+        for a in g {
+            prop_assert!(region.contains(a.page));
+            counts[a.page.raw() as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c <= counts[0]), "rank 0 must dominate");
+        // hot^1.3 >= 6x separation: far outside sampling noise at 20k draws.
+        prop_assert!(
+            counts[0] > counts[(hot - 1) as usize],
+            "rank 0 ({}) must outdraw the last hot rank ({})",
+            counts[0],
+            counts[(hot - 1) as usize]
+        );
+    }
+
+    /// The phase-change generator switches pattern exactly at the
+    /// configured boundaries: even phases replay the deterministic
+    /// sequential ramp from the region start, odd phases stay in-region,
+    /// and the stream length is the sum of the phase lengths.
+    #[test]
+    fn phased_stream_switches_exactly_at_configured_boundaries(
+        seed in any::<u64>(),
+        lens in proptest::collection::vec(1u64..400, 1..6),
+        len in 64u64..4_096,
+    ) {
+        let region = PageRange::first(len);
+        let g = PhasedStream::new(
+            region, lens.clone(), Cycles::ZERO, SiteRange::single(0),
+            DetRng::seed_from(seed),
+        );
+        let bounds = g.boundaries();
+        let ps: Vec<u64> = g.map(|a| a.page.raw()).collect();
+        prop_assert_eq!(ps.len() as u64, lens.iter().sum::<u64>());
+        let mut start = 0usize;
+        for (k, &end) in bounds.iter().enumerate() {
+            let phase = &ps[start..end as usize];
+            for (i, &p) in phase.iter().enumerate() {
+                if k % 2 == 0 {
+                    prop_assert_eq!(p, i as u64 % len, "phase {} index {}", k, i);
+                } else {
+                    prop_assert!(p < len, "phase {} escaped the region", k);
+                }
+            }
+            start = end as usize;
+        }
+    }
+
+    /// Frontier expansion never escapes the configured region (the
+    /// enclave's ELRANGE) and always emits exactly `total` visits, for
+    /// arbitrary regions, degree bounds, and seeds.
+    #[test]
+    fn frontier_sweep_never_escapes_elrange(
+        seed in any::<u64>(),
+        start in 0u64..5_000,
+        len in 2u64..4_000,
+        total in 1u64..4_000,
+        deg_lo in 0u64..4,
+        deg_span in 0u64..5,
+    ) {
+        let region = PageRange::new(start, start + len);
+        let (lo, hi) = (deg_lo, deg_lo + deg_span);
+        let mut n = 0u64;
+        for a in FrontierSweep::new(
+            region, total, lo, hi, Cycles::ZERO, SiteRange::single(0),
+            DetRng::seed_from(seed),
+        ) {
+            prop_assert!(region.contains(a.page));
+            n += 1;
+        }
+        prop_assert_eq!(n, total);
+    }
+
+    /// Batch scans are stride-regular for arbitrary geometry: every batch
+    /// restarts at the region start, intra-batch deltas equal the stride,
+    /// and the total length is `batches * batch_len`.
+    #[test]
+    fn batch_scan_is_stride_regular_for_any_geometry(
+        start in 0u64..10_000,
+        len in 1u64..2_000,
+        batches in 1u64..5,
+        stride in 1u64..7,
+    ) {
+        let region = PageRange::new(start, start + len);
+        let g = BatchScan::new(region, batches, stride, Cycles::ZERO, SiteRange::single(0));
+        let bl = g.batch_len();
+        let ps: Vec<u64> = g.map(|a| a.page.raw()).collect();
+        prop_assert_eq!(ps.len() as u64, batches * bl);
+        for batch in ps.chunks(bl as usize) {
+            prop_assert_eq!(batch[0], start, "each batch restarts at the region start");
+            for w in batch.windows(2) {
+                prop_assert_eq!(w[1], w[0] + stride);
+            }
+            prop_assert!(*batch.last().expect("batches are non-empty") < start + len);
+        }
+    }
+
+    /// The diverse generators are deterministic per seed — same seed,
+    /// same stream; the RNG-driven ones diverge across seeds.
+    #[test]
+    fn diverse_generators_are_deterministic_per_seed(seed in any::<u64>()) {
+        let kv = |s: u64| -> Vec<u64> {
+            ZipfKv::new(
+                PageRange::first(512), 400, 16, 1.1, Cycles::ZERO,
+                SiteRange::single(0), DetRng::seed_from(s),
+            )
+            .map(|a| a.page.raw())
+            .collect()
+        };
+        prop_assert_eq!(kv(seed), kv(seed));
+
+        let ph = |s: u64| -> Vec<u64> {
+            PhasedStream::new(
+                PageRange::first(512), vec![100, 100], Cycles::ZERO,
+                SiteRange::single(0), DetRng::seed_from(s),
+            )
+            .map(|a| a.page.raw())
+            .collect()
+        };
+        prop_assert_eq!(ph(seed), ph(seed));
+
+        let fs = |s: u64| -> Vec<u64> {
+            FrontierSweep::new(
+                PageRange::first(512), 400, 1, 4, Cycles::ZERO,
+                SiteRange::single(0), DetRng::seed_from(s),
+            )
+            .map(|a| a.page.raw())
+            .collect()
+        };
+        prop_assert_eq!(fs(seed), fs(seed));
+        prop_assert_ne!(fs(seed), fs(seed.wrapping_add(1)));
     }
 }

@@ -40,6 +40,7 @@ fn main() {
             Category::LargeRegular => "large/regular",
             Category::RealWorld => "real-world",
             Category::Synthetic => "synthetic",
+            Category::Diverse => "diverse",
         };
         print!("{:<16} {:<14}", bench.name(), class);
         let mut points = 0;

@@ -7,6 +7,9 @@
 //! sgx-preload campaign --benches lbm,mcf --schemes baseline,dfp --json-out out.json
 //! sgx-preload profile --bench deepsjeng --scale dev
 //! sgx-preload trace --bench lbm -n 5000 --out lbm.csv
+//! sgx-preload trace record --bench kvstore --out kv.sgxt
+//! sgx-preload trace convert --in kv.sgxt --out kv.csv
+//! sgx-preload trace replay --trace kv.sgxt --scheme dfp --source-bench kvstore --diff
 //! sgx-preload replay --trace lbm.csv --scheme dfp
 //! ```
 
@@ -15,6 +18,7 @@ use std::process::ExitCode;
 
 use sgx_preloading::kernel::EventKind;
 use sgx_preloading::prelude::*;
+use sgx_preloading::workloads::SGXT_MAGIC;
 use sgx_preloading::{
     build_plan, effective_jobs, profile_stream, render_chrome_trace, ChromeTraceSink,
     CollectingSink, CountingSink, HistogramSink, NotifyPlacement, RecordedTrace, SeriesFormat,
@@ -34,6 +38,12 @@ COMMANDS:
     campaign                   run a benchmark × scheme campaign, JSON telemetry
     profile                    profile a benchmark and show the SIP plan
     trace                      record a benchmark's access trace to CSV
+    trace record               record a full access trace to the compact
+                               binary .sgxt format (or CSV by extension)
+    trace convert              convert a trace between .sgxt and CSV
+    trace replay               replay a recorded trace file through the
+                               simulator, optionally diffing the report
+                               against the source generator's
     replay                     run a recorded trace through the simulator
     timeline                   run one benchmark and export its causal span
                                timeline (event table, Chrome trace, gauge
@@ -94,6 +104,29 @@ trace OPTIONS:
     --hist                         simulate under --scheme and print cycle
                                    histograms (fault latency, preload lead,
                                    stream length, eviction scan cost)
+
+trace record OPTIONS:
+    --bench <name>                 benchmark to record (full Ref stream)
+    -n <N>                         cap the recording at N accesses
+    --out <file>                   output file (default <bench>.trace.sgxt;
+                                   a .csv extension writes CSV instead)
+
+trace convert OPTIONS:
+    --in <file>  --out <file>      input is sniffed by its SGXT magic;
+                                   output format follows the extension
+                                   (.csv => CSV, anything else => .sgxt)
+
+trace replay OPTIONS:
+    --trace <file>                 .sgxt or CSV trace (sniffed by magic)
+    --scheme <s>                   kernel or user-level scheme to replay under
+    --source-bench <name>          declare the generator the trace was
+                                   recorded from: the replay inherits its
+                                   label, ELRANGE and SIP profile, making
+                                   the report byte-identical to a direct run
+    --diff                         re-run the source generator and exit 1
+                                   unless the replayed report matches exactly
+    --bench-out <file>             write replay throughput JSON
+                                   (replayed-pages/sec, trace bytes/access)
 
 replay OPTIONS:
     --trace <file>                 trace CSV recorded by `trace`
@@ -174,7 +207,7 @@ struct Args {
 }
 
 /// Flags that take no value; their presence means `true`.
-const BOOL_FLAGS: [&str; 3] = ["hist", "attr", "migrate"];
+const BOOL_FLAGS: [&str; 4] = ["hist", "attr", "migrate", "diff"];
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
@@ -628,6 +661,140 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
             "\nimprovement over baseline: {:+.2}%",
             r.improvement_over(&base) * 100.0
         );
+    }
+    Ok(())
+}
+
+/// Writes a trace in the format the path's extension selects: `.csv`
+/// writes the text format, anything else the compact binary `.sgxt`.
+fn write_trace(trace: &RecordedTrace, path: &str) -> Result<(), String> {
+    if path.ends_with(".csv") {
+        trace.write_csv(path)
+    } else {
+        trace.write_sgxt(path)
+    }
+    .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Loads a trace file, sniffing the format from its leading bytes: the
+/// `SGXT` magic selects the binary parser, anything else is CSV.
+fn load_trace(path: &str) -> Result<RecordedTrace, String> {
+    use std::io::Read;
+    let mut magic = [0u8; 4];
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sgxt = matches!(file.read(&mut magic), Ok(4)) && magic == SGXT_MAGIC;
+    drop(file);
+    if sgxt {
+        RecordedTrace::read_sgxt(path)
+    } else {
+        RecordedTrace::read_csv(path)
+    }
+    .map_err(|e| e.to_string())
+}
+
+/// `trace record`: record a benchmark's full Ref-input access stream to
+/// `.sgxt` (or CSV, by extension).
+fn cmd_trace_record(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let bench = args.bench()?;
+    let limit = args.parsed::<usize>("n")?.unwrap_or(usize::MAX);
+    let out = args
+        .get("out")
+        .map(String::from)
+        .unwrap_or_else(|| format!("{}.trace.sgxt", bench.name()));
+    let trace = RecordedTrace::record(bench.build(InputSet::Ref, cfg.scale, cfg.seed), limit);
+    write_trace(&trace, &out)?;
+    println!(
+        "recorded {} accesses over {} distinct pages -> {out}",
+        trace.len(),
+        trace.footprint_pages()
+    );
+    Ok(())
+}
+
+/// `trace convert`: CSV ⇄ `.sgxt`, both directions lossless.
+fn cmd_trace_convert(args: &Args) -> Result<(), String> {
+    let input = args.get("in").ok_or("missing --in")?;
+    let out = args.get("out").ok_or("missing --out")?;
+    let trace = load_trace(input)?;
+    write_trace(&trace, out)?;
+    println!("converted {input} -> {out} ({} accesses)", trace.len());
+    Ok(())
+}
+
+/// `trace replay`: run a trace file through the simulator as a
+/// first-class workload, optionally diffing against the generator run
+/// it was recorded from and reporting replay throughput.
+fn cmd_trace_replay(args: &Args) -> Result<(), String> {
+    let cfg = args.config()?;
+    let scheme = args.scheme()?;
+    let path = args.get("trace").ok_or("missing --trace")?;
+    let trace = load_trace(path)?;
+    if trace.is_empty() {
+        return Err(format!("trace {path} is empty"));
+    }
+    let file_bytes = std::fs::metadata(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?
+        .len();
+    let replay = match args.get("source-bench") {
+        Some(name) => {
+            let bench = Benchmark::from_name(name)
+                .ok_or_else(|| format!("unknown benchmark {name:?} (try `sgx-preload list`)"))?;
+            TraceReplay::of_benchmark(bench, trace)
+        }
+        None => TraceReplay::new(path.to_string(), trace),
+    };
+    let accesses = replay.len();
+    let t0 = std::time::Instant::now();
+    let report = SimRun::new(&cfg)
+        .scheme(scheme)
+        .replay(replay.clone())
+        .run_one()
+        .map_err(|e| e.to_string())?;
+    let wall = t0.elapsed();
+    println!("{report}");
+
+    if args.flag("diff") {
+        let bench = replay
+            .source()
+            .ok_or("--diff needs --source-bench so the generator run can be reproduced")?;
+        let direct = SimRun::new(&cfg)
+            .scheme(scheme)
+            .bench(bench)
+            .run_one()
+            .map_err(|e| e.to_string())?;
+        if direct != report {
+            return Err(format!(
+                "replayed report diverges from the {} generator run ({} vs {} cycles, {} vs {} faults)",
+                bench.name(),
+                report.total_cycles,
+                direct.total_cycles,
+                report.faults,
+                direct.faults,
+            ));
+        }
+        println!(
+            "replay matches the {}/{} generator run exactly",
+            bench.name(),
+            scheme.name()
+        );
+    }
+
+    if let Some(out) = args.get("bench-out") {
+        let secs = wall.as_secs_f64().max(1e-9);
+        let json = format!(
+            "{{\"trace\":\"{}\",\"scheme\":\"{}\",\"accesses\":{},\"trace_bytes\":{},\
+             \"wall_nanos\":{},\"replayed_pages_per_sec\":{:.1},\"bytes_per_access\":{:.3}}}\n",
+            path,
+            scheme.name(),
+            accesses,
+            file_bytes,
+            wall.as_nanos() as u64,
+            accesses as f64 / secs,
+            file_bytes as f64 / accesses.max(1) as f64,
+        );
+        std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("wrote {out}");
     }
     Ok(())
 }
@@ -1271,7 +1438,18 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let args = match Args::parse(&argv[1..]) {
+    // `trace` grew subcommands (record/convert/replay); a bare `trace
+    // --bench ...` still records CSV as it always did.
+    let subcommand = (command == "trace")
+        .then(|| argv.get(1).map(String::as_str))
+        .flatten()
+        .filter(|s| ["record", "convert", "replay"].contains(s));
+    let flag_argv = if subcommand.is_some() {
+        &argv[2..]
+    } else {
+        &argv[1..]
+    };
+    let args = match Args::parse(flag_argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -1279,27 +1457,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command {
-        "list" => {
-            cmd_list();
-            Ok(())
-        }
-        "run" => cmd_run(&args),
-        "suite" => cmd_suite(&args),
-        "campaign" => cmd_campaign(&args),
-        "profile" => cmd_profile(&args),
-        "trace" => cmd_trace(&args),
-        "replay" => cmd_replay(&args),
-        "timeline" => cmd_timeline(&args),
-        "throughput" => cmd_throughput(&args),
-        "chaos" => cmd_chaos(&args),
-        "contend" => cmd_contend(&args),
-        "fleet" => cmd_fleet(&args),
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}")),
+    let result = match (command, subcommand) {
+        ("trace", Some("record")) => cmd_trace_record(&args),
+        ("trace", Some("convert")) => cmd_trace_convert(&args),
+        ("trace", Some("replay")) => cmd_trace_replay(&args),
+        (command, _) => match command {
+            "list" => {
+                cmd_list();
+                Ok(())
+            }
+            "run" => cmd_run(&args),
+            "suite" => cmd_suite(&args),
+            "campaign" => cmd_campaign(&args),
+            "profile" => cmd_profile(&args),
+            "trace" => cmd_trace(&args),
+            "replay" => cmd_replay(&args),
+            "timeline" => cmd_timeline(&args),
+            "throughput" => cmd_throughput(&args),
+            "chaos" => cmd_chaos(&args),
+            "contend" => cmd_contend(&args),
+            "fleet" => cmd_fleet(&args),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command {other:?}")),
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -78,16 +78,19 @@ pub use sgx_kernel::{
 };
 pub use sgx_preload_core::{
     build_kernel, build_plan, derive_cell_seed, effective_jobs, run_indexed, run_userspace_paging,
-    AppSpec, AppSpecBuilder, Campaign, CampaignError, CampaignReport, Cell, CellReport,
+    AppSpec, AppSpecBuilder, Campaign, CampaignError, CampaignReport, Cell, CellReport, CellWork,
     ChaosPreset, ChaosSchedule, ChaosStats, EventCounts, FaultInjector, RunReport, Scheme,
     SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy, TenantQuota, TenantShare,
-    TenantStats, UserPagingConfig, DEFAULT_TIMELINE_SERIES_INTERVAL, MAX_TENANTS,
+    TenantStats, TraceReplay, UserPagingConfig, DEFAULT_TIMELINE_SERIES_INTERVAL, MAX_TENANTS,
 };
 pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{
     profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig, TraceSummary,
 };
-pub use sgx_workloads::{Access, Benchmark, InputSet, RecordedTrace, Scale, SiteId};
+pub use sgx_workloads::{
+    Access, Benchmark, InputSet, RecordedTrace, Scale, SgxtReader, SgxtWriter, SiteId,
+    TraceParseError,
+};
 
 /// The blessed public surface in one import: entry points ([`SimRun`],
 /// [`Campaign`], [`FleetSpec`]), their configs, enums (parse through
@@ -103,9 +106,9 @@ pub mod prelude {
         TraceSink,
     };
     pub use sgx_preload_core::{
-        AppSpec, Campaign, CampaignError, CampaignReport, Cell, CellReport, RunReport, Scheme,
-        SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy,
+        AppSpec, Campaign, CampaignError, CampaignReport, Cell, CellReport, CellWork, RunReport,
+        Scheme, SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy, TraceReplay,
     };
     pub use sgx_sim::Cycles;
-    pub use sgx_workloads::{Benchmark, InputSet, Scale};
+    pub use sgx_workloads::{Benchmark, InputSet, RecordedTrace, Scale, TraceParseError};
 }

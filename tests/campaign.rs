@@ -37,6 +37,41 @@ fn golden_campaign() -> Campaign {
     )
 }
 
+/// The workload-diversity grid: the four non-SPEC scenario families
+/// across the full kernel-scheme grid, pinned by its own golden file.
+fn diverse_campaign() -> Campaign {
+    Campaign::grid(
+        "golden_diverse",
+        2020,
+        &Benchmark::DIVERSE,
+        &Scheme::ALL,
+        SimConfig::at_scale(Scale::new(64)),
+    )
+}
+
+/// Shared compare-or-regenerate harness for golden campaign reports.
+fn check_golden(got: &str, name: &str) {
+    let path = golden_path(name);
+    if std::env::var_os(UPDATE_ENV).is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, got).expect("write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run `{UPDATE_ENV}=1 cargo test --test campaign` to generate it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, &want,
+        "campaign output drifted from {name}; if the change is intentional, \
+         regenerate with `{UPDATE_ENV}=1 cargo test --test campaign`"
+    );
+}
+
 #[test]
 fn parallel_report_is_field_identical_to_serial() {
     let campaign = golden_campaign();
@@ -104,6 +139,29 @@ fn campaign_matches_golden_report() {
         "campaign output drifted from the golden report; if the change is \
          intentional, regenerate with `{UPDATE_ENV}=1 cargo test --test campaign`"
     );
+}
+
+#[test]
+fn diverse_campaign_matches_golden_report_at_any_worker_count() {
+    let campaign = diverse_campaign();
+    let serial = campaign
+        .run_serial()
+        .expect("serial diverse campaign failed");
+    assert_eq!(
+        serial.cells.len(),
+        Benchmark::DIVERSE.len() * Scheme::ALL.len(),
+        "full scheme grid over the four diversity families"
+    );
+    let got = serial.to_canonical_json();
+    assert_eq!(
+        got,
+        campaign
+            .run_with_jobs(4)
+            .expect("parallel diverse campaign failed")
+            .to_canonical_json(),
+        "diverse grid must be byte-identical across worker counts"
+    );
+    check_golden(&got, "campaign_diverse.json");
 }
 
 #[test]

@@ -108,6 +108,171 @@ fn trace_then_replay_roundtrip() {
 }
 
 #[test]
+fn trace_record_convert_replay_roundtrip() {
+    let dir = std::env::temp_dir().join("sgx_preload_cli_sgxt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sgxt = dir.join("kv.sgxt");
+    let csv = dir.join("kv.csv");
+    let sgxt2 = dir.join("kv2.sgxt");
+    let bench_json = dir.join("replay_bench.json");
+
+    // Record the full kvstore stream in the binary format.
+    let out = run_ok(&[
+        "trace",
+        "record",
+        "--bench",
+        "kvstore",
+        "--scale",
+        "24",
+        "--out",
+        sgxt.to_str().unwrap(),
+    ]);
+    assert!(out.contains("recorded"), "{out}");
+
+    // Convert .sgxt -> CSV -> .sgxt; the binary files must be identical.
+    run_ok(&[
+        "trace",
+        "convert",
+        "--in",
+        sgxt.to_str().unwrap(),
+        "--out",
+        csv.to_str().unwrap(),
+    ]);
+    run_ok(&[
+        "trace",
+        "convert",
+        "--in",
+        csv.to_str().unwrap(),
+        "--out",
+        sgxt2.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read(&sgxt).unwrap(),
+        std::fs::read(&sgxt2).unwrap(),
+        ".sgxt -> CSV -> .sgxt must be byte-identical"
+    );
+    // The binary format earns its keep against the text format.
+    let bin_len = std::fs::metadata(&sgxt).unwrap().len();
+    let csv_len = std::fs::metadata(&csv).unwrap().len();
+    assert!(
+        bin_len * 2 < csv_len,
+        ".sgxt ({bin_len} B) should be well under half the CSV ({csv_len} B)"
+    );
+
+    // Replay with the source declared and --diff: the replayed report
+    // must match the generator run exactly.
+    let out = run_ok(&[
+        "trace",
+        "replay",
+        "--trace",
+        sgxt.to_str().unwrap(),
+        "--scale",
+        "24",
+        "--scheme",
+        "dfp",
+        "--source-bench",
+        "kvstore",
+        "--diff",
+        "--bench-out",
+        bench_json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.contains("replay matches the kvstore/DFP generator run exactly"),
+        "{out}"
+    );
+    let json = std::fs::read_to_string(&bench_json).unwrap();
+    for key in ["\"replayed_pages_per_sec\":", "\"bytes_per_access\":"] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn trace_replay_rejects_corrupt_inputs_with_structured_errors() {
+    let dir = std::env::temp_dir().join("sgx_preload_cli_corrupt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let write = |name: &str, bytes: &[u8]| {
+        let p = dir.join(name);
+        std::fs::write(&p, bytes).unwrap();
+        p
+    };
+
+    // A valid .sgxt to corrupt: record a tiny benchmark first.
+    let good = dir.join("good.sgxt");
+    run_ok(&[
+        "trace",
+        "record",
+        "--bench",
+        "microbenchmark",
+        "--scale",
+        "24",
+        "-n",
+        "500",
+        "--out",
+        good.to_str().unwrap(),
+    ]);
+    let good_bytes = std::fs::read(&good).unwrap();
+
+    let replay =
+        |p: &std::path::Path| run_err(&["trace", "replay", "--trace", p.to_str().unwrap()]);
+
+    // Truncated header.
+    let p = write("trunc.sgxt", &good_bytes[..6]);
+    assert!(
+        replay(&p).contains("truncated .sgxt trace"),
+        "truncated header"
+    );
+    // Truncated mid-stream.
+    let p = write("cut.sgxt", &good_bytes[..good_bytes.len() - 3]);
+    assert!(
+        replay(&p).contains("truncated .sgxt trace"),
+        "truncated body"
+    );
+    // Wrong version.
+    let mut v = good_bytes.clone();
+    v[4] = 9;
+    let p = write("badver.sgxt", &v);
+    assert!(
+        replay(&p).contains("unsupported .sgxt version 9"),
+        "bad version"
+    );
+    // A varint that never terminates (0xff forever) overruns.
+    let mut o = good_bytes[..10].to_vec();
+    o.extend([0xff; 12]);
+    let p = write("overrun.sgxt", &o);
+    assert!(replay(&p).contains("varint"), "varint overrun");
+    // Trailing garbage after the last section.
+    let mut t = good_bytes.clone();
+    t.extend(b"junk");
+    let p = write("trailing.sgxt", &t);
+    assert!(replay(&p).contains("trailing garbage"), "trailing garbage");
+    // A bad magic demotes the file to the CSV parser, which rejects it.
+    let p = write("badmagic.sgxt", b"SGXU not a trace at all");
+    assert!(replay(&p).contains("line 1"), "bad magic falls back to CSV");
+    // Missing file.
+    let err = run_err(&[
+        "trace",
+        "replay",
+        "--trace",
+        dir.join("absent.sgxt").to_str().unwrap(),
+    ]);
+    assert!(err.contains("cannot read"), "missing file: {err}");
+    // Empty trace.
+    let p = write("empty.csv", b"page,compute,site,repeats\n");
+    assert!(replay(&p).contains("is empty"), "empty trace");
+    // --diff without --source-bench cannot reproduce the generator.
+    let err = run_err(&[
+        "trace",
+        "replay",
+        "--trace",
+        good.to_str().unwrap(),
+        "--diff",
+    ]);
+    assert!(err.contains("--source-bench"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn timeline_streams_kernel_events() {
     let out = run_ok(&[
         "timeline",

@@ -1,0 +1,90 @@
+//! The record/replay differential battery.
+//!
+//! Every paper benchmark is recorded in full, round-tripped through the
+//! compact binary `.sgxt` format *on disk*, and replayed through the
+//! campaign engine under every kernel scheme. The replayed grid's
+//! canonical JSON must be byte-identical to the generator grid's — at
+//! one worker and at four.
+
+use sgx_preloading::prelude::*;
+
+/// Records each paper benchmark's full Ref stream, writes it to `.sgxt`
+/// on disk, reads it back, and wraps it for replay.
+fn roundtripped_replays(dir: &std::path::Path, cfg: &SimConfig) -> Vec<TraceReplay> {
+    Benchmark::PAPER
+        .iter()
+        .map(|&bench| {
+            let trace =
+                RecordedTrace::record(bench.build(InputSet::Ref, cfg.scale, cfg.seed), usize::MAX);
+            let path = dir.join(format!("{}.sgxt", bench.name()));
+            trace.write_sgxt(&path).expect("write .sgxt");
+            let loaded = RecordedTrace::read_sgxt(&path).expect("read .sgxt back");
+            assert_eq!(
+                loaded.accesses(),
+                trace.accesses(),
+                "{} did not survive the .sgxt disk round-trip",
+                bench.name()
+            );
+            TraceReplay::of_benchmark(bench, loaded)
+        })
+        .collect()
+}
+
+#[test]
+fn replayed_sgxt_grids_match_generator_grids_at_any_worker_count() {
+    let cfg = SimConfig::at_scale(Scale::new(64));
+    let dir = std::env::temp_dir().join("sgx_trace_replay_battery");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let replays = roundtripped_replays(&dir, &cfg);
+
+    // Shared seeding: every cell sees the campaign seed verbatim, which
+    // is the seed the traces were recorded at.
+    let generator = Campaign::grid("battery", cfg.seed, &Benchmark::PAPER, &Scheme::ALL, cfg)
+        .with_seed_mode(SeedMode::Shared)
+        .run_serial()
+        .expect("generator grid")
+        .to_canonical_json();
+
+    let replay_campaign = Campaign::replay_grid("battery", cfg.seed, &replays, &Scheme::ALL, cfg)
+        .with_seed_mode(SeedMode::Shared);
+    let replayed_serial = replay_campaign
+        .run_serial()
+        .expect("replay grid, serial")
+        .to_canonical_json();
+    let replayed_parallel = replay_campaign
+        .run_with_jobs(4)
+        .expect("replay grid, 4 workers")
+        .to_canonical_json();
+
+    assert_eq!(
+        generator, replayed_serial,
+        "serial replay diverged from the generator grid"
+    );
+    assert_eq!(
+        generator, replayed_parallel,
+        "4-worker replay diverged from the generator grid"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The CSV leg of the losslessness contract at engine level: a trace
+/// converted `.sgxt` → CSV → `.sgxt` replays to the identical report.
+#[test]
+fn csv_converted_traces_replay_identically() {
+    let cfg = SimConfig::at_scale(Scale::new(64));
+    let bench = Benchmark::KvStore;
+    let trace = RecordedTrace::record(bench.build(InputSet::Ref, cfg.scale, cfg.seed), usize::MAX);
+    let via_csv = RecordedTrace::from_csv(&trace.to_csv()).expect("csv round-trip");
+    let via_sgxt = RecordedTrace::from_sgxt(&via_csv.to_sgxt()).expect("sgxt round-trip");
+    let direct = SimRun::new(&cfg)
+        .scheme(Scheme::Hybrid)
+        .bench(bench)
+        .run_one()
+        .expect("direct run");
+    let replayed = SimRun::new(&cfg)
+        .scheme(Scheme::Hybrid)
+        .replay(TraceReplay::of_benchmark(bench, via_sgxt))
+        .run_one()
+        .expect("replayed run");
+    assert_eq!(direct, replayed);
+}
