@@ -164,6 +164,69 @@ assert families == {"kvstore", "phase-shift", "graph-frontier", "ml-inference"}
 print(f"diverse campaign OK: {len(cells)} cells over {sorted(families)}")
 EOF
 
+echo "==> predictor zoo ablation"
+# The predictor-zoo ablation: every shipped predictor drives the diverse
+# campaign over the baseline/DFP-stop/EDMM scheme axes. Each predictor's
+# report must be identical at --jobs 1 and --jobs 4 modulo timing
+# context; the stage aggregates cells/sec and per-predictor demand-fault
+# totals into results/BENCH_predictor_zoo.json.
+mkdir -p results
+for p in multi-stream next-line stride stride-confident markov leap; do
+  for j in 1 4; do
+    ./target/release/sgx-preload campaign --scale 32 \
+      --benches kvstore,phase-shift,graph-frontier,ml-inference \
+      --schemes baseline,dfp-stop,edmm,edmm+dfp-stop \
+      --predictor "$p" --jobs "$j" \
+      --json-out "$TRACE_DIR/zoo_${p}_j${j}.json" >/dev/null
+  done
+done
+python3 - "$TRACE_DIR" <<'EOF'
+import json, sys
+
+trace_dir = sys.argv[1]
+predictors = ["multi-stream", "next-line", "stride",
+              "stride-confident", "markov", "leap"]
+
+def canonical(path):
+    """The report with the timing context (jobs, wall clocks) removed."""
+    with open(path) as f:
+        report = json.load(f)
+    report.pop("jobs", None)
+    report.pop("wall_nanos", None)
+    for cell in report["cells"]:
+        cell.pop("wall_nanos", None)
+    return report
+
+zoo, cells_total, wall_total = {}, 0, 0
+for p in predictors:
+    j1 = canonical(f"{trace_dir}/zoo_{p}_j1.json")
+    j4 = canonical(f"{trace_dir}/zoo_{p}_j4.json")
+    assert j1 == j4, f"{p}: --jobs 1 and --jobs 4 reports diverged"
+    with open(f"{trace_dir}/zoo_{p}_j4.json") as f:
+        timed = json.load(f)
+    cells = j4["cells"]
+    assert cells, f"{p}: empty campaign"
+    cells_total += len(cells)
+    wall_total += timed["wall_nanos"]
+    zoo[p] = {
+        "cells": len(cells),
+        "demand_faults": sum(c["report"]["faults"] for c in cells),
+        "preloads_touched": sum(c["report"]["preloads_touched"] for c in cells),
+        "total_cycles": sum(c["report"]["total_cycles"] for c in cells),
+    }
+bench = {
+    "predictors": zoo,
+    "cells": cells_total,
+    "cells_per_sec": cells_total / (wall_total / 1e9),
+}
+assert bench["predictors"] and bench["cells"] > 0, bench
+with open("results/BENCH_predictor_zoo.json", "w") as f:
+    json.dump(bench, f, indent=2, sort_keys=True)
+faults = {p: z["demand_faults"] for p, z in zoo.items()}
+print(f"predictor zoo OK: {cells_total} cells at "
+      f"{bench['cells_per_sec']:.1f} cells/sec; demand faults {faults}")
+EOF
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 

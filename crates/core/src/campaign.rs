@@ -54,6 +54,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use sgx_dfp::PredictorKind;
 use sgx_kernel::{
     ChaosSchedule, ChromeTraceSink, CountingSink, EventCounts, JsonlWriterSink, SeriesFormat,
     TenantPolicy, TimeSeriesSink, TraceSink,
@@ -371,6 +372,36 @@ impl Campaign {
         c
     }
 
+    /// The `benches × schemes × predictor` cross-product:
+    /// [`Campaign::grid`] extended with a third axis of
+    /// [`PredictorKind`]s — the predictor-zoo ablation. Cells are labeled
+    /// `bench/scheme/pred=<kind>` and enumerated benchmark-major, then
+    /// scheme, then predictor — so one bench/scheme pair's predictors are
+    /// adjacent and rows line up across schemes. Schemes that run no
+    /// predictor (e.g. [`Scheme::Baseline`]) still get one cell per kind,
+    /// so every comparison column is complete; those cells simply ignore
+    /// the predictor.
+    pub fn predictor_grid(
+        name: impl Into<String>,
+        seed: u64,
+        benches: &[Benchmark],
+        schemes: &[Scheme],
+        cfg: SimConfig,
+        predictors: &[PredictorKind],
+    ) -> Self {
+        let mut c = Campaign::new(name, seed);
+        for &bench in benches {
+            for &scheme in schemes {
+                for &kind in predictors {
+                    let cell = Cell::new(bench, scheme, cfg.with_predictor(kind))
+                        .with_label(format!("{}/{}/pred={kind}", bench.name(), scheme.name()));
+                    c.push(cell);
+                }
+            }
+        }
+        c
+    }
+
     /// Selects how cells derive their seeds (default
     /// [`SeedMode::PerCell`]).
     pub fn with_seed_mode(mut self, mode: SeedMode) -> Self {
@@ -489,16 +520,6 @@ impl Campaign {
         });
         let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(self.assemble(cells, jobs, t0))
-    }
-
-    /// Former panicking entry point, kept for one release: runs the
-    /// campaign and panics with the failing cell's label on error.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Campaign::run` and handle `CampaignError`"
-    )]
-    pub fn run_or_panic(&self) -> CampaignReport {
-        self.run().unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn assemble(&self, cells: Vec<CellReport>, jobs: usize, t0: Instant) -> CampaignReport {

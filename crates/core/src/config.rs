@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
-use sgx_dfp::{AbortPolicy, StreamConfig};
-use sgx_epc::CostModel;
+use sgx_dfp::{AbortPolicy, PredictorKind, StreamConfig};
+use sgx_epc::{CostModel, EpcSizing};
 use sgx_kernel::{ChaosSchedule, TenantPolicy};
 use sgx_sim::Cycles;
 use sgx_sip::{NotifyPlacement, SipConfig};
@@ -36,6 +36,14 @@ pub struct SimConfig {
     pub costs: CostModel,
     /// DFP's Algorithm 1 parameters.
     pub stream: StreamConfig,
+    /// Which fault-driven predictor DFP-style schemes run. The default
+    /// ([`PredictorKind::MultiStream`]) is the paper's Algorithm 1, so
+    /// existing configurations are bit-identical unless overridden.
+    pub predictor: PredictorKind,
+    /// EDMM dynamic-sizing policy, consulted only by `edmm*` schemes. The
+    /// default ([`EpcSizing::physical`]) lets enclaves grow until physical
+    /// EPC is the limit.
+    pub epc_sizing: EpcSizing,
     /// The DFP-stop safety valve (used by the `DfpStop`/`Hybrid` schemes).
     pub abort: AbortPolicy,
     /// SIP instrumentation selection.
@@ -75,6 +83,8 @@ impl SimConfig {
             epc_pages: scale.epc_pages(),
             costs: CostModel::paper_defaults(),
             stream: StreamConfig::paper_defaults(),
+            predictor: PredictorKind::MultiStream,
+            epc_sizing: EpcSizing::physical(),
             abort: AbortPolicy::paper_defaults()
                 .with_slack(slack)
                 .with_check_interval(Cycles::new(interval)),
@@ -116,6 +126,20 @@ impl SimConfig {
     /// Overrides the abort valve.
     pub fn with_abort(mut self, abort: AbortPolicy) -> Self {
         self.abort = abort;
+        self
+    }
+
+    /// Selects the fault-driven predictor for DFP-style schemes (the
+    /// predictor-zoo ablation axis).
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Overrides the EDMM dynamic-sizing policy used by `edmm*` schemes
+    /// (e.g. a per-enclave committed-page ceiling).
+    pub fn with_epc_sizing(mut self, sizing: EpcSizing) -> Self {
+        self.epc_sizing = sizing;
         self
     }
 
@@ -210,6 +234,23 @@ mod tests {
         assert_eq!(c.series_interval, 0);
         let c = c.with_series_interval(50_000);
         assert_eq!(c.series_interval, 50_000);
+    }
+
+    #[test]
+    fn predictor_defaults_to_multi_stream_and_overrides() {
+        let c = SimConfig::at_scale(Scale::DEV);
+        assert_eq!(c.predictor, PredictorKind::MultiStream);
+        let c = c.with_predictor(PredictorKind::Leap);
+        assert_eq!(c.predictor, PredictorKind::Leap);
+        assert_eq!(c.seed, 42, "workload seed untouched by predictor choice");
+    }
+
+    #[test]
+    fn epc_sizing_defaults_to_physical_and_overrides() {
+        let c = SimConfig::at_scale(Scale::DEV);
+        assert_eq!(c.epc_sizing, EpcSizing::physical());
+        let c = c.with_epc_sizing(EpcSizing::physical().with_ceiling(512));
+        assert_eq!(c.epc_sizing.ceiling, Some(512));
     }
 
     #[test]

@@ -2,8 +2,10 @@
 //!
 //! Ties the substrate together: workloads from `sgx-workloads` execute
 //! against the `sgx-kernel`/`sgx-epc` paging model under one of the paper's
-//! five experimental arms ([`Scheme`]): baseline, DFP, DFP-stop, SIP, or
-//! the SIP+DFP hybrid.
+//! five experimental arms ([`Scheme`]) — baseline, DFP, DFP-stop, SIP, or
+//! the SIP+DFP hybrid — or one of the rival schemes: the §6 user-level
+//! comparator and the EDMM-style dynamic-EPC arms (`edmm`,
+//! `edmm+dfp-stop`).
 //!
 //! * [`SimConfig`] — the paper's parameters (EPC size, costs, `LOADLENGTH`,
 //!   `stream_list` length, SIP threshold, valve slack), scalable for tests.
@@ -53,7 +55,8 @@ pub use config::SimConfig;
 pub use replay::TraceReplay;
 pub use report::RunReport;
 pub use scheme::{ParseSchemeError, Scheme};
-pub use sgx_epc::TenantQuota;
+pub use sgx_dfp::{ParsePredictorKindError, PredictorKind};
+pub use sgx_epc::{EpcSizing, TenantQuota};
 pub use sgx_kernel::{
     render_chrome_trace, ChaosPreset, ChaosSchedule, ChaosStats, ChromeTraceSink, CycleAttribution,
     EventCounts, FaultInjector, GaugeSample, ParseChaosPresetError, SeriesFormat, SpanId,

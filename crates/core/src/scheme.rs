@@ -24,6 +24,15 @@ pub enum Scheme {
     /// inside the enclave (not one of the paper's arms; excluded from
     /// [`Scheme::ALL`]).
     UserLevel,
+    /// EDMM-style dynamic EPC sizing without any preloader: enclaves grow
+    /// by EAUG on first-touch faults instead of swapping, up to the
+    /// configured ceiling (the SGX2 rival scheme; not a paper arm, so
+    /// excluded from [`Scheme::ALL`]).
+    Edmm,
+    /// Dynamic EPC sizing composed with DFP-stop: growth absorbs the cold
+    /// first touches while the valve-guarded preloader hides the refaults
+    /// once reclamation starts (excluded from [`Scheme::ALL`]).
+    EdmmDfpStop,
 }
 
 impl Scheme {
@@ -39,7 +48,16 @@ impl Scheme {
 
     /// Whether the scheme runs the DFP predictor.
     pub fn uses_dfp(self) -> bool {
-        matches!(self, Scheme::Dfp | Scheme::DfpStop | Scheme::Hybrid)
+        matches!(
+            self,
+            Scheme::Dfp | Scheme::DfpStop | Scheme::Hybrid | Scheme::EdmmDfpStop
+        )
+    }
+
+    /// Whether EDMM-style dynamic EPC sizing (the EAUG grow-before-evict
+    /// fault path) is enabled.
+    pub fn uses_edmm(self) -> bool {
+        matches!(self, Scheme::Edmm | Scheme::EdmmDfpStop)
     }
 
     /// Whether the scheme replaces hardware paging with the user-level
@@ -50,7 +68,7 @@ impl Scheme {
 
     /// Whether the DFP-stop safety valve is armed.
     pub fn uses_valve(self) -> bool {
-        matches!(self, Scheme::DfpStop | Scheme::Hybrid)
+        matches!(self, Scheme::DfpStop | Scheme::Hybrid | Scheme::EdmmDfpStop)
     }
 
     /// Whether source instrumentation (SIP) is applied.
@@ -67,6 +85,8 @@ impl Scheme {
             Scheme::Sip => "SIP",
             Scheme::Hybrid => "SIP+DFP",
             Scheme::UserLevel => "user-level",
+            Scheme::Edmm => "edmm",
+            Scheme::EdmmDfpStop => "edmm+dfp-stop",
         }
     }
 }
@@ -85,7 +105,7 @@ impl fmt::Display for ParseSchemeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown scheme {:?} (baseline|dfp|dfp-stop|sip|hybrid|user-level)",
+            "unknown scheme {:?} (baseline|dfp|dfp-stop|sip|hybrid|user-level|edmm|edmm+dfp-stop)",
             self.0
         )
     }
@@ -107,6 +127,8 @@ impl FromStr for Scheme {
             "sip" => Ok(Scheme::Sip),
             "hybrid" | "sip+dfp" => Ok(Scheme::Hybrid),
             "user-level" | "userlevel" | "eleos" => Ok(Scheme::UserLevel),
+            "edmm" => Ok(Scheme::Edmm),
+            "edmm+dfp-stop" | "edmm-dfp-stop" | "edmmdfpstop" => Ok(Scheme::EdmmDfpStop),
             _ => Err(ParseSchemeError(s.to_string())),
         }
     }
@@ -129,6 +151,16 @@ mod tests {
         assert!(Scheme::Hybrid.uses_sip());
         assert!(Scheme::Hybrid.uses_dfp());
         assert!(Scheme::Hybrid.uses_valve());
+        assert!(Scheme::Edmm.uses_edmm());
+        assert!(!Scheme::Edmm.uses_dfp());
+        assert!(!Scheme::Edmm.uses_sip());
+        assert!(Scheme::EdmmDfpStop.uses_edmm());
+        assert!(Scheme::EdmmDfpStop.uses_dfp());
+        assert!(Scheme::EdmmDfpStop.uses_valve());
+        assert!(!Scheme::EdmmDfpStop.uses_sip());
+        for s in Scheme::ALL {
+            assert!(!s.uses_edmm(), "paper arms never grow the EPC");
+        }
     }
 
     #[test]
@@ -141,7 +173,11 @@ mod tests {
 
     #[test]
     fn parse_round_trips_every_display_name() {
-        for s in Scheme::ALL.iter().copied().chain([Scheme::UserLevel]) {
+        for s in Scheme::ALL.iter().copied().chain([
+            Scheme::UserLevel,
+            Scheme::Edmm,
+            Scheme::EdmmDfpStop,
+        ]) {
             assert_eq!(s.to_string().parse::<Scheme>(), Ok(s));
         }
     }
@@ -155,6 +191,14 @@ mod tests {
         let err = "turbo".parse::<Scheme>().unwrap_err();
         assert!(err.to_string().contains("unknown scheme"));
         assert!(err.to_string().contains("turbo"));
+    }
+
+    #[test]
+    fn edmm_schemes_are_not_paper_arms() {
+        assert!(!Scheme::ALL.contains(&Scheme::Edmm));
+        assert!(!Scheme::ALL.contains(&Scheme::EdmmDfpStop));
+        assert_eq!("edmm-dfp-stop".parse::<Scheme>(), Ok(Scheme::EdmmDfpStop));
+        assert_eq!("EDMM".parse::<Scheme>(), Ok(Scheme::Edmm));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use sgx_dfp::{MultiStreamPredictor, NoPredictor, Predictor, ProcessId};
+use sgx_dfp::{NoPredictor, Predictor, ProcessId};
 use sgx_kernel::{CycleAttribution, Kernel, KernelConfig, KernelError, TraceSink};
 use sgx_sim::Cycles;
 use sgx_sip::{profile_stream, InstrumentationPlan};
@@ -174,7 +174,7 @@ fn next_access(
 
 fn make_predictor(cfg: &SimConfig, scheme: Scheme) -> Box<dyn Predictor> {
     if scheme.uses_dfp() {
-        Box::new(MultiStreamPredictor::new(cfg.stream))
+        cfg.predictor.build(cfg.stream)
     } else {
         Box::new(NoPredictor)
     }
@@ -195,6 +195,9 @@ pub fn build_kernel(cfg: &SimConfig, scheme: Scheme) -> Result<Kernel, KernelErr
     let mut kcfg = KernelConfig::new(cfg.epc_pages).with_costs(cfg.costs);
     if scheme.uses_valve() {
         kcfg = kcfg.with_abort_policy(cfg.abort);
+    }
+    if scheme.uses_edmm() {
+        kcfg = kcfg.with_edmm(cfg.epc_sizing);
     }
     if !cfg.chaos.is_none() {
         kcfg.chaos = Some(cfg.chaos);

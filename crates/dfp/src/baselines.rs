@@ -7,12 +7,12 @@
 //! compared against next-line, stride, and a first-order Markov table under
 //! identical workloads.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use sgx_epc::VirtPage;
 use sgx_sim::Cycles;
 
-use crate::{Prediction, Predictor, ProcessId};
+use crate::{Predictor, ProcessId};
 
 /// Next-line prefetching: always predict the `degree` pages following the
 /// fault.
@@ -46,8 +46,14 @@ impl NextLinePredictor {
 }
 
 impl Predictor for NextLinePredictor {
-    fn on_fault(&mut self, _now: Cycles, _pid: ProcessId, npn: VirtPage) -> Prediction {
-        Prediction::of((1..=self.degree).map(|k| npn.offset(k)).collect())
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        _pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
+        out.extend((1..=self.degree).map(|k| npn.offset(k)));
     }
 
     fn name(&self) -> &'static str {
@@ -88,7 +94,13 @@ impl StridePredictor {
 }
 
 impl Predictor for StridePredictor {
-    fn on_fault(&mut self, _now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
         let entry = self.state.get(&pid).copied();
         let new_stride = entry.map(|s| npn.raw() as i64 - s.last.raw() as i64);
         let confirmed = match (entry.and_then(|s| s.stride), new_stride) {
@@ -102,23 +114,215 @@ impl Predictor for StridePredictor {
                 stride: new_stride.filter(|&s| s != 0),
             },
         );
-        match confirmed {
-            None => Prediction::none(),
-            Some(stride) => {
-                let mut pages = Vec::with_capacity(self.degree as usize);
-                for k in 1..=self.degree as i64 {
-                    let target = npn.raw() as i64 + stride * k;
-                    if target >= 0 {
-                        pages.push(VirtPage::new(target as u64));
-                    }
-                }
-                Prediction::of(pages)
-            }
+        if let Some(stride) = confirmed {
+            push_strided(out, npn, stride, self.degree);
         }
     }
 
     fn name(&self) -> &'static str {
         "stride"
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+/// Appends `degree` pages at `stride` beyond `npn`, dropping targets that
+/// would fall below page zero.
+fn push_strided(out: &mut Vec<VirtPage>, npn: VirtPage, stride: i64, degree: u64) {
+    for k in 1..=degree as i64 {
+        let target = npn.raw() as i64 + stride * k;
+        if target >= 0 {
+            out.push(VirtPage::new(target as u64));
+        }
+    }
+}
+
+/// Stride prefetching gated by a two-bit saturating confidence counter:
+/// the stride must repeat before the predictor fires, and a single broken
+/// stride only halves the confidence instead of discarding the pattern.
+///
+/// This is the classic Baer–Chen reference-prediction-table refinement of
+/// [`StridePredictor`]: occasional irregular faults (an interrupt, a cold
+/// branch) no longer silence an otherwise steady stride.
+#[derive(Debug, Clone)]
+pub struct StrideConfidentPredictor {
+    degree: u64,
+    state: HashMap<ProcessId, ConfidentState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConfidentState {
+    last: VirtPage,
+    stride: i64,
+    /// Two-bit saturating counter; predictions fire at ≥ `FIRE_AT`.
+    confidence: u8,
+}
+
+impl StrideConfidentPredictor {
+    const MAX_CONFIDENCE: u8 = 3;
+    const FIRE_AT: u8 = 2;
+
+    /// Creates a confidence-gated stride predictor issuing `degree` pages
+    /// per confident fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "prefetch degree must be positive");
+        StrideConfidentPredictor {
+            degree,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Predictor for StrideConfidentPredictor {
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
+        let next = match self.state.get(&pid).copied() {
+            None => ConfidentState {
+                last: npn,
+                stride: 0,
+                confidence: 0,
+            },
+            Some(prev) => {
+                let observed = npn.raw() as i64 - prev.last.raw() as i64;
+                if observed != 0 && observed == prev.stride {
+                    ConfidentState {
+                        last: npn,
+                        stride: observed,
+                        confidence: (prev.confidence + 1).min(Self::MAX_CONFIDENCE),
+                    }
+                } else {
+                    // A broken stride decays confidence instead of zeroing
+                    // it, so one stray fault does not kill a hot stream —
+                    // but the *tracked* stride switches to the new delta.
+                    ConfidentState {
+                        last: npn,
+                        stride: if observed == 0 { prev.stride } else { observed },
+                        confidence: prev.confidence / 2,
+                    }
+                }
+            }
+        };
+        self.state.insert(pid, next);
+        if next.confidence >= Self::FIRE_AT && next.stride != 0 {
+            push_strided(out, npn, next.stride, self.degree);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stride-confident"
+    }
+
+    fn reset(&mut self) {
+        self.state.clear();
+    }
+}
+
+/// Leap-style majority-vector prefetching: finds the Boyer–Moore majority
+/// element among the last [`LeapPredictor::WINDOW`] fault deltas and, when
+/// a strict majority exists, prefetches `degree` multiples of it ahead.
+///
+/// This follows the Leap remote-paging prefetcher (ATC'20): a majority
+/// vote over a sliding delta window tolerates interleaved noise that
+/// breaks single-stride detectors, while still collapsing to simple
+/// sequential prefetch on a clean stream (majority delta 1).
+#[derive(Debug, Clone)]
+pub struct LeapPredictor {
+    degree: u64,
+    state: HashMap<ProcessId, LeapState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct LeapState {
+    last: Option<VirtPage>,
+    /// Most recent fault deltas, oldest first, at most `WINDOW` long.
+    deltas: VecDeque<i64>,
+}
+
+impl LeapPredictor {
+    /// Sliding delta-window length (Leap's access-history buffer).
+    pub const WINDOW: usize = 32;
+
+    /// Deltas observed before the vote may fire — a single sample is not a
+    /// pattern.
+    pub const MIN_SAMPLES: usize = 2;
+
+    /// Creates a Leap-style predictor issuing `degree` pages per majority
+    /// hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: u64) -> Self {
+        assert!(degree > 0, "prefetch degree must be positive");
+        LeapPredictor {
+            degree,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Boyer–Moore majority vote: the candidate that would survive
+    /// pairwise cancellation, verified to hold a strict (> half) majority.
+    fn majority(deltas: &VecDeque<i64>) -> Option<i64> {
+        if deltas.len() < Self::MIN_SAMPLES {
+            return None;
+        }
+        let mut candidate = 0i64;
+        let mut count = 0usize;
+        for &d in deltas {
+            if count == 0 {
+                candidate = d;
+                count = 1;
+            } else if d == candidate {
+                count += 1;
+            } else {
+                count -= 1;
+            }
+        }
+        if count == 0 {
+            return None;
+        }
+        let occurrences = deltas.iter().filter(|&&d| d == candidate).count();
+        (occurrences * 2 > deltas.len()).then_some(candidate)
+    }
+}
+
+impl Predictor for LeapPredictor {
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
+        let st = self.state.entry(pid).or_default();
+        if let Some(last) = st.last {
+            let delta = npn.raw() as i64 - last.raw() as i64;
+            if st.deltas.len() == Self::WINDOW {
+                st.deltas.pop_front();
+            }
+            st.deltas.push_back(delta);
+        }
+        st.last = Some(npn);
+        if let Some(delta) = Self::majority(&st.deltas) {
+            if delta != 0 {
+                push_strided(out, npn, delta, self.degree);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "leap"
     }
 
     fn reset(&mut self) {
@@ -165,24 +369,29 @@ impl MarkovPredictor {
 }
 
 impl Predictor for MarkovPredictor {
-    fn on_fault(&mut self, _now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
         if let Some(prev) = self.last_fault.insert(pid, npn) {
             if self.successor.len() < self.capacity || self.successor.contains_key(&prev) {
                 self.successor.insert(prev, npn);
             }
         }
-        let mut pages = Vec::new();
+        let start = out.len();
         let mut cur = npn;
         for _ in 0..self.degree {
             match self.successor.get(&cur) {
-                Some(&next) if !pages.contains(&next) && next != npn => {
-                    pages.push(next);
+                Some(&next) if !out[start..].contains(&next) && next != npn => {
+                    out.push(next);
                     cur = next;
                 }
                 _ => break,
             }
         }
-        Prediction::of(pages)
     }
 
     fn name(&self) -> &'static str {
@@ -198,6 +407,7 @@ impl Predictor for MarkovPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Prediction;
 
     fn p(n: u64) -> VirtPage {
         VirtPage::new(n)
@@ -318,6 +528,120 @@ mod tests {
         // Chain from 1: 2 → (1 = the fault itself, stop). No infinite loop.
         let out = fault(&mut m, 1);
         assert_eq!(out.pages, vec![p(2)]);
+    }
+
+    #[test]
+    fn stride_confident_needs_two_repeats_before_firing() {
+        let mut s = StrideConfidentPredictor::new(2);
+        assert!(fault(&mut s, 10).is_empty()); // no history
+        assert!(fault(&mut s, 13).is_empty()); // stride 3 seen once (conf 0)
+        assert!(fault(&mut s, 16).is_empty()); // conf 1 — still gated
+        let out = fault(&mut s, 19); // conf 2 — fires
+        assert_eq!(out.pages, vec![p(22), p(25)]);
+        assert_eq!(s.name(), "stride-confident");
+    }
+
+    #[test]
+    fn stride_confident_survives_one_stray_fault() {
+        let mut s = StrideConfidentPredictor::new(1);
+        for n in [0u64, 3, 6, 9, 12] {
+            fault(&mut s, n); // confidence saturates at 3
+        }
+        assert!(fault(&mut s, 500).is_empty()); // stray: conf 3 → 1, never negative
+                                                // The stream resumes (stride 3 relative to the stray point) and the
+                                                // counter climbs back over the firing threshold.
+        assert!(fault(&mut s, 503).is_empty()); // stride 3 vs tracked 488 — conf 0
+        assert!(fault(&mut s, 506).is_empty()); // conf 1
+        assert_eq!(fault(&mut s, 509).pages, vec![p(512)]); // conf 2 — fires
+    }
+
+    #[test]
+    fn stride_confident_ignores_zero_stride_repeats() {
+        let mut s = StrideConfidentPredictor::new(1);
+        for _ in 0..5 {
+            assert!(fault(&mut s, 7).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn stride_confident_zero_degree_rejected() {
+        let _ = StrideConfidentPredictor::new(0);
+    }
+
+    #[test]
+    fn leap_finds_majority_delta_through_noise() {
+        let mut l = LeapPredictor::new(2);
+        // Deltas: 2, 2, 9, 2 — strict majority is 2.
+        for n in [0u64, 2, 4, 13, 15] {
+            fault(&mut l, n);
+        }
+        let out = fault(&mut l, 17); // deltas now [2,2,9,2,2]
+        assert_eq!(out.pages, vec![p(19), p(21)]);
+        assert_eq!(l.name(), "leap");
+    }
+
+    #[test]
+    fn leap_stays_silent_without_strict_majority() {
+        let mut l = LeapPredictor::new(1);
+        fault(&mut l, 0);
+        assert!(fault(&mut l, 1).is_empty()); // one delta — below MIN_SAMPLES
+        assert!(fault(&mut l, 6).is_empty()); // deltas [1, 5] — tied vote
+        assert_eq!(fault(&mut l, 7).pages, vec![p(8)]); // [1, 5, 1] — majority 1
+    }
+
+    #[test]
+    fn leap_window_slides_old_deltas_out() {
+        let mut l = LeapPredictor::new(1);
+        // Fill the window with delta 7...
+        let mut at = 0u64;
+        fault(&mut l, at);
+        for _ in 0..LeapPredictor::WINDOW {
+            at += 7;
+            fault(&mut l, at);
+        }
+        assert_eq!(fault(&mut l, at + 7).pages, vec![p(at + 14)]);
+        at += 7;
+        // ...then overwrite it with delta 1 until 7 loses its majority and
+        // 1 gains one (window 32: after 17 ones, 1 holds a strict majority).
+        for _ in 0..17 {
+            at += 1;
+            fault(&mut l, at);
+        }
+        assert_eq!(fault(&mut l, at + 1).pages, vec![p(at + 2)]);
+    }
+
+    #[test]
+    fn leap_clamps_negative_targets() {
+        let mut l = LeapPredictor::new(3);
+        for n in [9u64, 6, 3] {
+            fault(&mut l, n); // deltas [-3, -3]
+        }
+        // Majority -3 from page 0: all targets below zero are dropped.
+        assert!(fault(&mut l, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be positive")]
+    fn leap_zero_degree_rejected() {
+        let _ = LeapPredictor::new(0);
+    }
+
+    #[test]
+    fn new_baselines_reset_clears_state() {
+        let mut s = StrideConfidentPredictor::new(1);
+        for n in [0u64, 3, 6, 9] {
+            fault(&mut s, n);
+        }
+        s.reset();
+        assert!(fault(&mut s, 12).is_empty());
+
+        let mut l = LeapPredictor::new(1);
+        for n in [0u64, 1, 2, 3] {
+            fault(&mut l, n);
+        }
+        l.reset();
+        assert!(fault(&mut l, 4).is_empty());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The blessed predictor selection surface: [`PredictorKind`].
+//!
+//! Every predictor the crate ships is reachable by name through one enum,
+//! so configuration layers (`SimConfig`, campaign grids, the CLI) can carry
+//! "which predictor" as plain data instead of a `Box<dyn Predictor>` —
+//! keeping configs `Copy`, comparable and printable, and making the
+//! predictor × workload ablation expressible without custom wiring.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{
+    LeapPredictor, MarkovPredictor, MultiStreamPredictor, NextLinePredictor, Predictor,
+    StreamConfig, StrideConfidentPredictor, StridePredictor,
+};
+
+/// Every built-in fault-driven predictor, selectable by name.
+///
+/// The default is [`PredictorKind::MultiStream`] — the paper's Algorithm 1 —
+/// so existing configurations behave identically unless a different kind is
+/// chosen explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_dfp::{PredictorKind, StreamConfig};
+///
+/// let kind: PredictorKind = "stride-confident".parse()?;
+/// assert_eq!(kind, PredictorKind::StrideConfident);
+/// assert_eq!(kind.to_string(), "stride-confident");
+///
+/// let mut predictor = kind.build(StreamConfig::paper_defaults());
+/// assert_eq!(predictor.name(), "stride-confident");
+/// # Ok::<(), sgx_dfp::ParsePredictorKindError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredictorKind {
+    /// The paper's multiple-stream predictor (Algorithm 1).
+    #[default]
+    MultiStream,
+    /// Next-line prefetch: always the following pages.
+    NextLine,
+    /// Single-stride detection, firing on one repeat.
+    Stride,
+    /// Stride gated by a two-bit saturating confidence counter.
+    StrideConfident,
+    /// First-order Markov successor table.
+    Markov,
+    /// Leap-style Boyer–Moore majority vote over a delta window.
+    Leap,
+}
+
+impl PredictorKind {
+    /// All predictor kinds, in display order.
+    pub const ALL: [PredictorKind; 6] = [
+        PredictorKind::MultiStream,
+        PredictorKind::NextLine,
+        PredictorKind::Stride,
+        PredictorKind::StrideConfident,
+        PredictorKind::Markov,
+        PredictorKind::Leap,
+    ];
+
+    /// The kind's stable name, matching the built predictor's
+    /// [`Predictor::name`].
+    pub const fn name(self) -> &'static str {
+        match self {
+            PredictorKind::MultiStream => "multi-stream",
+            PredictorKind::NextLine => "next-line",
+            PredictorKind::Stride => "stride",
+            PredictorKind::StrideConfident => "stride-confident",
+            PredictorKind::Markov => "markov",
+            PredictorKind::Leap => "leap",
+        }
+    }
+
+    /// Builds the predictor. `stream` fully configures the multi-stream
+    /// kind; the baselines borrow its `load_length` as their prefetch
+    /// degree so "pages issued per fault" stays comparable across the zoo.
+    pub fn build(self, stream: StreamConfig) -> Box<dyn Predictor> {
+        let degree = stream.load_length.max(1);
+        match self {
+            PredictorKind::MultiStream => Box::new(MultiStreamPredictor::new(stream)),
+            PredictorKind::NextLine => Box::new(NextLinePredictor::new(degree)),
+            PredictorKind::Stride => Box::new(StridePredictor::new(degree)),
+            PredictorKind::StrideConfident => Box::new(StrideConfidentPredictor::new(degree)),
+            PredictorKind::Markov => Box::new(MarkovPredictor::new(degree, Self::MARKOV_CAPACITY)),
+            PredictorKind::Leap => Box::new(LeapPredictor::new(degree)),
+        }
+    }
+
+    /// Transition-table capacity for the Markov kind: 4096 entries, the
+    /// scale of a generous hardware correlation table.
+    pub const MARKOV_CAPACITY: usize = 4096;
+}
+
+impl fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`PredictorKind`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePredictorKindError {
+    input: String,
+}
+
+impl fmt::Display for ParsePredictorKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown predictor {:?}; expected one of multi-stream, next-line, \
+             stride, stride-confident, markov, leap",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParsePredictorKindError {}
+
+impl FromStr for PredictorKind {
+    type Err = ParsePredictorKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "multi-stream" | "multistream" => Ok(PredictorKind::MultiStream),
+            "next-line" | "nextline" => Ok(PredictorKind::NextLine),
+            "stride" => Ok(PredictorKind::Stride),
+            "stride-confident" | "strideconfident" => Ok(PredictorKind::StrideConfident),
+            "markov" => Ok(PredictorKind::Markov),
+            "leap" => Ok(PredictorKind::Leap),
+            _ => Err(ParsePredictorKindError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_multi_stream() {
+        assert_eq!(PredictorKind::default(), PredictorKind::MultiStream);
+    }
+
+    #[test]
+    fn names_round_trip_through_display_and_fromstr() {
+        for kind in PredictorKind::ALL {
+            let parsed: PredictorKind = kind.to_string().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+    }
+
+    #[test]
+    fn built_predictor_name_matches_kind_name() {
+        for kind in PredictorKind::ALL {
+            let built = kind.build(StreamConfig::paper_defaults());
+            assert_eq!(built.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn parse_accepts_hyphenless_aliases_and_any_case() {
+        assert_eq!(
+            "MultiStream".parse::<PredictorKind>().unwrap(),
+            PredictorKind::MultiStream
+        );
+        assert_eq!(
+            "NEXT-LINE".parse::<PredictorKind>().unwrap(),
+            PredictorKind::NextLine
+        );
+        assert_eq!(
+            "strideconfident".parse::<PredictorKind>().unwrap(),
+            PredictorKind::StrideConfident
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_with_the_full_menu() {
+        let err = "perceptron".parse::<PredictorKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("perceptron"));
+        assert!(msg.contains("multi-stream"));
+        assert!(msg.contains("leap"));
+    }
+
+    #[test]
+    fn zero_load_length_still_builds_baselines() {
+        // StreamConfig can't carry load_length 0 into MultiStream (it
+        // panics there), but baselines clamp the degree to at least 1.
+        let cfg = StreamConfig {
+            load_length: 0,
+            ..StreamConfig::paper_defaults()
+        };
+        let _ = PredictorKind::NextLine.build(cfg);
+        let _ = PredictorKind::Leap.build(cfg);
+    }
+}

@@ -10,8 +10,12 @@
 //! * [`MultiStreamPredictor`] / [`StreamList`] — the paper's Algorithm 1:
 //!   an LRU list of sequential streams, `LOADLENGTH` pages preloaded per
 //!   stream extension.
-//! * [`NextLinePredictor`], [`StridePredictor`], [`MarkovPredictor`] —
-//!   baselines from the design space the paper surveys (§4.1).
+//! * [`NextLinePredictor`], [`StridePredictor`], [`StrideConfidentPredictor`],
+//!   [`MarkovPredictor`], [`LeapPredictor`] — the predictor zoo: baselines
+//!   from the design space the paper surveys (§4.1) plus a confidence-gated
+//!   stride and a Leap-style majority-vector prefetcher.
+//! * [`PredictorKind`] — every built-in predictor selectable by name, for
+//!   configs, campaign grids and CLIs.
 //! * [`AbortPolicy`] / [`AbortValve`] — the *DFP-stop* safety valve
 //!   (§4.2): stop preloading when
 //!   `AccPreloadCounter + slack < PreloadCounter / 2`.
@@ -37,10 +41,14 @@
 
 mod abort;
 mod baselines;
+mod kind;
 mod predictor;
 mod stream;
 
 pub use abort::{AbortPolicy, AbortValve};
-pub use baselines::{MarkovPredictor, NextLinePredictor, StridePredictor};
+pub use baselines::{
+    LeapPredictor, MarkovPredictor, NextLinePredictor, StrideConfidentPredictor, StridePredictor,
+};
+pub use kind::{ParsePredictorKindError, PredictorKind};
 pub use predictor::{NoPredictor, Prediction, Predictor, ProcessId};
 pub use stream::{Direction, MultiStreamPredictor, StreamConfig, StreamList};

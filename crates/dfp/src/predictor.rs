@@ -50,29 +50,35 @@ impl Prediction {
 ///
 /// Implementations must be deterministic: the simulation relies on
 /// reproducible runs. The crate provides the paper's multiple-stream
-/// predictor plus next-line, stride and Markov baselines; downstream users
-/// can plug in their own (see the `custom_predictor` example in the
+/// predictor plus next-line, stride, confidence-gated stride, Markov and
+/// Leap-style majority baselines (see [`crate::PredictorKind`]); downstream
+/// users can plug in their own (see the `custom_predictor` example in the
 /// workspace root).
 pub trait Predictor {
     /// Called on every enclave page fault with the faulting process and the
     /// faulted page number (`npn` in Algorithm 1; the bottom 12 address bits
-    /// are already gone). Returns the pages to preload.
-    fn on_fault(&mut self, now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction;
-
-    /// Allocation-free form of [`Predictor::on_fault`]: appends the
-    /// predicted pages to `out` (the caller's reused scratch buffer, passed
-    /// in empty) in the same order `on_fault` would return them.
+    /// are already gone). Appends the pages to preload to `out` (the
+    /// caller's reused scratch buffer, passed in empty), most-urgent first.
     ///
-    /// The default forwards to `on_fault`; hot-path predictors override it
-    /// to write into `out` directly and skip the per-fault `Vec`.
+    /// This is the required hot-path entry point: the kernel calls it once
+    /// per fault with a recycled buffer, so implementations never pay a
+    /// per-fault allocation.
     fn on_fault_into(
         &mut self,
         now: Cycles,
         pid: ProcessId,
         npn: VirtPage,
         out: &mut Vec<VirtPage>,
-    ) {
-        out.extend(self.on_fault(now, pid, npn).pages);
+    );
+
+    /// Allocating convenience form of [`Predictor::on_fault_into`]: returns
+    /// the predicted pages as an owned [`Prediction`]. The default collects
+    /// `on_fault_into` output into a fresh `Vec`; there is normally no
+    /// reason to override it.
+    fn on_fault(&mut self, now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
+        let mut pages = Vec::new();
+        self.on_fault_into(now, pid, npn, &mut pages);
+        Prediction::of(pages)
     }
 
     /// A short, stable name for reports (e.g. `"multi-stream"`).
@@ -93,8 +99,13 @@ pub trait Predictor {
 pub struct NoPredictor;
 
 impl Predictor for NoPredictor {
-    fn on_fault(&mut self, _now: Cycles, _pid: ProcessId, _npn: VirtPage) -> Prediction {
-        Prediction::none()
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        _pid: ProcessId,
+        _npn: VirtPage,
+        _out: &mut Vec<VirtPage>,
+    ) {
     }
 
     fn name(&self) -> &'static str {

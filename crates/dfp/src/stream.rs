@@ -321,10 +321,6 @@ impl Default for MultiStreamPredictor {
 }
 
 impl Predictor for MultiStreamPredictor {
-    fn on_fault(&mut self, _now: Cycles, pid: ProcessId, npn: VirtPage) -> Prediction {
-        self.list_mut(pid).on_fault(npn)
-    }
-
     fn on_fault_into(
         &mut self,
         _now: Cycles,

@@ -40,6 +40,7 @@ mod enclave;
 mod epc;
 mod page;
 mod replacement;
+mod sizing;
 mod startup;
 
 pub use bitmap::PresenceBitmap;
@@ -49,6 +50,7 @@ pub use enclave::{EmptyElrangeError, Enclave, EnclaveId};
 pub use epc::{Epc, EpcFullError, Eviction, LoadOrigin, TenantQuota, TouchOutcome};
 pub use page::{pages_for_bytes, VirtPage, PAGE_SIZE_BYTES};
 pub use replacement::{FifoPolicy, LruPolicy, RandomPolicy, ReplacementPolicy, VictimPolicy};
+pub use sizing::EpcSizing;
 pub use startup::StartupModel;
 
 /// Usable EPC capacity in pages: the paper's ≈96 MiB after enclave metadata.

@@ -1,0 +1,94 @@
+//! EDMM-style dynamic EPC sizing (SGX2's EAUG-grow model).
+//!
+//! SGX1 enclaves commit their whole ELRANGE at build time and live with
+//! swap-based reclamation from the first fault. SGX2's Enclave Dynamic
+//! Memory Management instead *grows* an enclave on fault: the OS EAUGs a
+//! fresh EPC page into the faulting address, the enclave EACCEPTs it, and
+//! no eviction happens until committed pages hit a ceiling. [`EpcSizing`]
+//! captures the only policy knob that model needs — the per-enclave
+//! committed-page ceiling — and leaves the mechanism (commit tracking,
+//! the grow-before-evict fault path, EAUG billing) to the kernel model.
+
+/// Per-enclave committed-page budget for EDMM-style dynamic sizing.
+///
+/// `ceiling` bounds how many *distinct* pages an enclave may ever have
+/// made resident before growth stops and the classic swap path takes
+/// over; `None` lets the enclave grow until physical EPC is the limit.
+/// The effective ceiling is always clamped to the physical EPC size —
+/// an enclave cannot commit more pages than exist.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_epc::EpcSizing;
+///
+/// let grow_all = EpcSizing::physical();
+/// assert_eq!(grow_all.ceiling_pages(24_576), 24_576);
+///
+/// let capped = EpcSizing::physical().with_ceiling(1_024);
+/// assert_eq!(capped.ceiling_pages(24_576), 1_024);
+/// // A ceiling above physical EPC clamps to physical.
+/// assert_eq!(capped.ceiling_pages(512), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpcSizing {
+    /// Committed-page ceiling per enclave; `None` means physical EPC is
+    /// the only limit.
+    pub ceiling: Option<u64>,
+}
+
+impl EpcSizing {
+    /// Growth bounded only by physical EPC (the common EDMM deployment:
+    /// commit-on-demand up to the hardware).
+    pub const fn physical() -> Self {
+        EpcSizing { ceiling: None }
+    }
+
+    /// Caps committed pages per enclave at `pages` (still clamped to
+    /// physical EPC when resolved).
+    pub const fn with_ceiling(mut self, pages: u64) -> Self {
+        self.ceiling = Some(pages);
+        self
+    }
+
+    /// Resolves the effective per-enclave ceiling against a physical EPC
+    /// of `epc_pages` slots: `min(ceiling, epc_pages)`.
+    pub fn ceiling_pages(&self, epc_pages: u64) -> u64 {
+        match self.ceiling {
+            Some(c) => c.min(epc_pages),
+            None => epc_pages,
+        }
+    }
+}
+
+impl Default for EpcSizing {
+    fn default() -> Self {
+        Self::physical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn physical_is_default_and_unbounded() {
+        assert_eq!(EpcSizing::default(), EpcSizing::physical());
+        assert_eq!(EpcSizing::physical().ceiling, None);
+        assert_eq!(EpcSizing::physical().ceiling_pages(100), 100);
+    }
+
+    #[test]
+    fn ceiling_clamps_to_physical_epc() {
+        let s = EpcSizing::physical().with_ceiling(64);
+        assert_eq!(s.ceiling_pages(1_000), 64);
+        assert_eq!(s.ceiling_pages(64), 64);
+        assert_eq!(s.ceiling_pages(10), 10);
+    }
+
+    #[test]
+    fn zero_ceiling_disables_growth_entirely() {
+        let s = EpcSizing::physical().with_ceiling(0);
+        assert_eq!(s.ceiling_pages(1_000), 0);
+    }
+}

@@ -365,11 +365,10 @@ const SALT_VALVE: u64 = 5;
 const SALT_STORM: u64 = 6;
 
 /// The deterministic fault injector, installed on a kernel via
-/// [`Kernel::install_injector`] or [`KernelConfig::with_chaos`] —
+/// [`Kernel::install_injector`] or the `KernelConfig::chaos` field —
 /// alongside [`TraceSink`] on the builder path.
 ///
 /// [`Kernel::install_injector`]: crate::Kernel::install_injector
-/// [`KernelConfig::with_chaos`]: crate::KernelConfig::with_chaos
 /// [`TraceSink`]: crate::TraceSink
 pub struct FaultInjector {
     schedule: ChaosSchedule,

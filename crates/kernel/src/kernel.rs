@@ -20,7 +20,9 @@ use std::error::Error;
 use std::fmt;
 
 use sgx_dfp::{AbortPolicy, AbortValve, Predictor, ProcessId};
-use sgx_epc::{CostModel, Epc, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage};
+use sgx_epc::{
+    CostModel, Epc, EpcSizing, LoadOrigin, PresenceBitmap, TouchOutcome, VictimPolicy, VirtPage,
+};
 use sgx_sim::{Cycles, FastMap, Histogram};
 
 use crate::span::SpanAlloc;
@@ -57,6 +59,10 @@ pub struct KernelConfig {
     /// Multi-tenant scheduling policy; `None` (or [`TenantPolicy::none`])
     /// keeps the shared-everything driver behaviour, bit-identically.
     pub tenant: Option<TenantPolicy>,
+    /// EDMM-style dynamic EPC sizing; `None` keeps the SGX1 model (whole
+    /// ELRANGE committed up front, swap-based reclamation from the first
+    /// fault), bit-identically.
+    pub edmm: Option<EpcSizing>,
 }
 
 impl KernelConfig {
@@ -71,6 +77,7 @@ impl KernelConfig {
             victim_policy: VictimPolicy::Clock,
             chaos: None,
             tenant: None,
+            edmm: None,
         }
     }
 
@@ -98,18 +105,10 @@ impl KernelConfig {
         self
     }
 
-    /// Installs a deterministic fault-injection schedule (the chaos
-    /// layer).
-    ///
-    /// Deprecated: this duplicated `SimConfig::with_chaos` threading
-    /// logic. Route chaos through the documented `SimConfig` path (or set
-    /// the public `chaos` field directly when building a bare kernel).
-    #[deprecated(
-        since = "0.2.0",
-        note = "route chaos through SimConfig::with_chaos (or set the public `chaos` field)"
-    )]
-    pub fn with_chaos(mut self, schedule: ChaosSchedule) -> Self {
-        self.chaos = Some(schedule);
+    /// Enables EDMM-style dynamic EPC sizing (the EAUG grow-before-evict
+    /// fault path).
+    pub fn with_edmm(mut self, sizing: EpcSizing) -> Self {
+        self.edmm = Some(sizing);
         self
     }
 }
@@ -159,10 +158,6 @@ impl fmt::Display for KernelError {
 }
 
 impl Error for KernelError {}
-
-/// Former name of [`KernelError`].
-#[deprecated(since = "0.2.0", note = "renamed to KernelError")]
-pub type RegisterError = KernelError;
 
 /// One streamed paging event, delivered to every subscribed
 /// [`TraceSink`](crate::TraceSink): the raw material of the paper's
@@ -358,6 +353,25 @@ impl Default for KernelStats {
     }
 }
 
+/// EDMM telemetry, exposed via [`Kernel::edmm_stats`] when dynamic EPC
+/// sizing is configured. Kept apart from [`KernelStats`] (like
+/// [`ChaosStats`]) so the streamed-event reconciliation — kernel counters
+/// versus sink-reconstructed event counts — is untouched by the growth
+/// bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdmmStats {
+    /// Faults serviced by EAUG growth instead of a swap-in load.
+    pub eaug_faults: u64,
+    /// Cycles billed to EAUG/EACCEPT (folded into the `demand_fault`
+    /// attribution bucket).
+    pub eaug_cycles: u64,
+    /// First-touch faults denied growth because the enclave's committed
+    /// pages had reached the ceiling (serviced via the swap path).
+    pub denied_at_ceiling: u64,
+    /// Peak committed (distinct ever-resident) pages of any one enclave.
+    pub committed_peak: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Job {
     /// A background ELDU; the page becomes resident at completion.
@@ -550,6 +564,22 @@ pub struct Kernel {
     /// The previous app-stall window; channel jobs lazily dispatched into
     /// it deduct the overlap at dispatch.
     last_stall: Option<(Cycles, Cycles)>,
+    /// EDMM dynamic sizing, if configured; `None` is the SGX1 model.
+    edmm: Option<EpcSizing>,
+    /// The resolved per-enclave committed-page ceiling (0 without EDMM).
+    edmm_ceiling: u64,
+    /// Per-enclave "ever resident" bitmaps (registration order): a set
+    /// bit means the page was committed at some point, so a refault goes
+    /// through the swap path, not EAUG. Zero-sized when EDMM is off.
+    ever: Vec<PresenceBitmap>,
+    /// Distinct pages ever committed per enclave (the EDMM growth
+    /// budget's consumption; never decreases while the enclave lives).
+    committed: Vec<u64>,
+    /// Latched once any enclave reaches the ceiling: from then on the
+    /// background reclaimer behaves exactly as in the SGX1 model.
+    edmm_at_ceiling: bool,
+    /// EDMM telemetry behind [`Kernel::edmm_stats`].
+    edmm_stats: EdmmStats,
     /// Whether [`Kernel::finish`] already emitted the terminal event.
     finished: bool,
     /// Gauge-sampling interval in cycles (0 = off, the default).
@@ -635,6 +665,12 @@ impl Kernel {
             attr: AttrLedger::default(),
             stall_from: None,
             last_stall: None,
+            edmm: cfg.edmm,
+            edmm_ceiling: cfg.edmm.map_or(0, |s| s.ceiling_pages(cfg.epc_pages)),
+            ever: Vec::new(),
+            committed: Vec::new(),
+            edmm_at_ceiling: false,
+            edmm_stats: EdmmStats::default(),
             finished: false,
             sample_every: 0,
             last_sample_at: Cycles::ZERO,
@@ -741,6 +777,14 @@ impl Kernel {
         });
         self.per_q.push(PreloadQueue::new());
         self.drr_deficit.push(0);
+        // EDMM commit tracking (index-aligned with `enclaves`; zero-sized
+        // placeholders keep the SGX1 configuration allocation-free).
+        self.ever.push(if self.edmm.is_some() {
+            PresenceBitmap::new(pages)
+        } else {
+            PresenceBitmap::new(0)
+        });
+        self.committed.push(0);
         Ok(())
     }
 
@@ -786,6 +830,12 @@ impl Kernel {
         }
         let slot = &mut self.enclaves[idx];
         slot.bitmap = PresenceBitmap::new(slot.pages);
+        // EREMOVE decommits: a respawned instance grows again via EAUG.
+        if self.edmm.is_some() {
+            self.ever[idx] = PresenceBitmap::new(slot.pages);
+            self.committed[idx] = 0;
+            self.edmm_at_ceiling = self.committed.iter().any(|&c| c >= self.edmm_ceiling);
+        }
         Ok(freed)
     }
 
@@ -846,6 +896,38 @@ impl Kernel {
                 slot.bitmap.clear_present(local);
             }
         }
+    }
+
+    /// EDMM bookkeeping at every EPC insert: the first time a page becomes
+    /// resident it consumes one unit of its enclave's committed-page
+    /// budget, whatever path loaded it (EAUG growth, demand swap-in, DFP
+    /// preload, SIP prefetch) — so a preloaded-then-evicted page refaults
+    /// through the swap path, never through a second EAUG.
+    fn edmm_mark_committed(&mut self, page: VirtPage) {
+        if self.edmm.is_none() {
+            return;
+        }
+        let Some(idx) = self.enclave_of_page(page) else {
+            return;
+        };
+        let local = VirtPage::new(page.raw() - self.enclaves[idx].base);
+        if !self.ever[idx].is_present(local) {
+            self.ever[idx].set_present(local);
+            self.committed[idx] += 1;
+            self.edmm_stats.committed_peak =
+                self.edmm_stats.committed_peak.max(self.committed[idx]);
+            if self.committed[idx] >= self.edmm_ceiling {
+                self.edmm_at_ceiling = true;
+            }
+        }
+    }
+
+    /// EDMM grow-before-evict: while every enclave is still below its
+    /// committed-page ceiling, the background reclaimer stays parked —
+    /// free-pool pressure is expected (the EPC is filling with committed
+    /// pages) and background eviction would only manufacture refaults.
+    fn edmm_defers_reclaim(&self) -> bool {
+        self.edmm.is_some() && !self.edmm_at_ceiling
     }
 
     /// The tenant index of `pid`'s enclave (resolving thread aliases).
@@ -969,6 +1051,7 @@ impl Kernel {
                     .expect("background load started with a free slot reserved")
                     as usize;
                 self.set_bitmap(page, true);
+                self.edmm_mark_committed(page);
                 if matches!(origin, LoadOrigin::Preload) {
                     self.preload_done[slot] = f.done_at.raw();
                 }
@@ -1151,7 +1234,7 @@ impl Kernel {
             let t = self.channel_free_at;
             self.chaos_release_retries(t);
             let free = self.usable_free_slots(t);
-            if self.wm.start_reclaim(free) {
+            if self.wm.start_reclaim(free) && !self.edmm_defers_reclaim() {
                 self.reclaiming = true;
             }
             if !self.wm.keep_reclaiming(free) {
@@ -1380,6 +1463,7 @@ impl Kernel {
             .insert(page, origin)
             .expect("a real free slot exists");
         self.set_bitmap(page, true);
+        self.edmm_mark_committed(page);
         done
     }
 
@@ -1603,6 +1687,23 @@ impl Kernel {
                 FaultServicing::WaitedForInflight,
                 done.max(t) + self.costs.os_fault_path,
             )
+        } else if let Some(done) = self.try_eaug_grow(t, ten, g) {
+            // EDMM growth: the page was EAUG'd directly in the fault
+            // handler — no channel job, no ELDU, and no preload abort
+            // (growth never contends with the preload pipeline).
+            self.stats.demand_loads += 1;
+            self.tenants[ten].stats.demand_loads += 1;
+            let dspan = self.spans.next();
+            self.log(
+                done,
+                EventKind::DemandLoaded,
+                Some(g),
+                None,
+                dspan,
+                Some(fspan),
+            );
+            self.touch_tracked(done, g);
+            (FaultServicing::DemandLoaded, done)
         } else {
             let mut pages = std::mem::take(&mut self.abort_buf);
             pages.clear();
@@ -1703,6 +1804,47 @@ impl Kernel {
         self.maybe_sample(resume_at);
         self.flush_events();
         FaultResolution { resume_at, kind }
+    }
+
+    /// Attempts to service a missing-page fault by EDMM growth: if the
+    /// page was never committed, the enclave is below its ceiling (and
+    /// any hard tenant cap), and a physical slot is free, the OS EAUGs a
+    /// fresh page into the faulting address and the enclave EACCEPTs it —
+    /// entirely inside the fault handler, without touching the load
+    /// channel. Returns the handler-done instant, or `None` when the
+    /// classic swap path must run instead.
+    fn try_eaug_grow(&mut self, t: Cycles, ten: usize, g: VirtPage) -> Option<Cycles> {
+        self.edmm?;
+        let local = VirtPage::new(g.raw() - self.enclaves[ten].base);
+        if self.ever[ten].is_present(local) {
+            // Evicted-and-refaulted pages reload their content from swap;
+            // EDMM only covers first-touch growth.
+            return None;
+        }
+        if self.committed[ten] >= self.edmm_ceiling {
+            self.edmm_stats.denied_at_ceiling += 1;
+            return None;
+        }
+        if self.tenant_active && self.epc.at_hard_cap(ten) {
+            return None;
+        }
+        // EAUG bypasses the load channel, so it must not consume the slot
+        // an in-flight background load will insert into at completion.
+        let reserved =
+            matches!(self.in_flight, Some(f) if matches!(f.job, Job::Load { .. })) as u64;
+        if self.usable_free_slots(t) <= reserved {
+            return None;
+        }
+        let eaug = self.costs.eaug;
+        self.attr.demand_fault += eaug.raw();
+        self.edmm_stats.eaug_faults += 1;
+        self.edmm_stats.eaug_cycles += eaug.raw();
+        self.epc
+            .insert(g, LoadOrigin::Demand)
+            .expect("EAUG checked a free physical slot");
+        self.set_bitmap(g, true);
+        self.edmm_mark_committed(g);
+        Some(t + self.costs.os_fault_path + eaug)
     }
 
     /// SIP: reads the shared presence bitmap for `local` (the
@@ -1857,6 +1999,19 @@ impl Kernel {
     /// Preload retries currently waiting out a chaos backoff.
     pub fn chaos_retry_queue_len(&self) -> usize {
         self.retry_q.len()
+    }
+
+    /// EDMM telemetry, if dynamic EPC sizing is configured. Kept apart
+    /// from [`KernelStats`] so growth bookkeeping never disturbs the
+    /// streamed-event reconciliation.
+    pub fn edmm_stats(&self) -> Option<&EdmmStats> {
+        self.edmm.map(|_| &self.edmm_stats)
+    }
+
+    /// Distinct pages ever committed for tenant `idx` (zero without EDMM
+    /// or for an unknown index).
+    pub fn edmm_committed(&self, idx: usize) -> u64 {
+        self.committed.get(idx).copied().unwrap_or(0)
     }
 
     /// Kernel statistics so far.

@@ -78,11 +78,9 @@ mod trace;
 mod watermark;
 
 pub use chaos::{ChaosPreset, ChaosSchedule, ChaosStats, FaultInjector, ParseChaosPresetError};
-#[allow(deprecated)]
-pub use kernel::RegisterError;
 pub use kernel::{
-    EventKind, FaultResolution, FaultServicing, Kernel, KernelConfig, KernelError, KernelStats,
-    LoggedEvent,
+    EdmmStats, EventKind, FaultResolution, FaultServicing, Kernel, KernelConfig, KernelError,
+    KernelStats, LoggedEvent,
 };
 pub use queue::PreloadQueue;
 pub use span::SpanId;

@@ -12,12 +12,9 @@
 //! cargo run --release --example custom_predictor -- dev
 //! ```
 
-use sgx_preloading::dfp::{NextLinePredictor, StridePredictor};
 use sgx_preloading::kernel::{Kernel, KernelConfig};
 use sgx_preloading::prelude::*;
-use sgx_preloading::{
-    MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId, StreamConfig, VirtPage,
-};
+use sgx_preloading::{NoPredictor, Predictor, ProcessId, StreamConfig, VirtPage};
 
 /// Preloads the `width` pages surrounding every fault — a deliberately
 /// blunt spatial scheme, useful as a foil for Algorithm 1.
@@ -26,15 +23,21 @@ struct NeighborhoodPredictor {
 }
 
 impl Predictor for NeighborhoodPredictor {
-    fn on_fault(&mut self, _now: Cycles, _pid: ProcessId, npn: VirtPage) -> Prediction {
-        let mut pages = Vec::with_capacity(2 * self.width as usize);
+    // `on_fault_into` is the one required method: append the pages to
+    // preload to the kernel's reused scratch buffer, most-urgent first.
+    fn on_fault_into(
+        &mut self,
+        _now: Cycles,
+        _pid: ProcessId,
+        npn: VirtPage,
+        out: &mut Vec<VirtPage>,
+    ) {
         for k in 1..=self.width {
-            pages.push(npn.offset(k));
+            out.push(npn.offset(k));
             if npn.raw() >= k {
-                pages.push(VirtPage::new(npn.raw() - k));
+                out.push(VirtPage::new(npn.raw() - k));
             }
         }
-        Prediction::of(pages)
     }
 
     fn name(&self) -> &'static str {
@@ -97,13 +100,12 @@ fn main() {
             bench.name(),
             base.total_cycles
         );
-        let contenders: Vec<Box<dyn Predictor>> = vec![
-            Box::new(NoPredictor),
-            Box::new(MultiStreamPredictor::new(StreamConfig::paper_defaults())),
-            Box::new(NextLinePredictor::new(4)),
-            Box::new(StridePredictor::new(4)),
-            Box::new(NeighborhoodPredictor { width: 2 }),
-        ];
+        // Every shipped predictor is reachable by name through
+        // `PredictorKind`; a custom one slots in beside them.
+        let stream = StreamConfig::paper_defaults();
+        let mut contenders: Vec<Box<dyn Predictor>> = vec![Box::new(NoPredictor)];
+        contenders.extend(PredictorKind::ALL.iter().map(|kind| kind.build(stream)));
+        contenders.push(Box::new(NeighborhoodPredictor { width: 2 }));
         for p in contenders {
             let name = p.name();
             let (cycles, accuracy) = race(bench, &cfg, p);
@@ -117,9 +119,9 @@ fn main() {
         }
     }
     println!(
-        "\nAlgorithm 1 (multi-stream) leads on lbm and loses least of the \
-         window-based schemes on roms; blunt spatial predictors flood the \
-         non-preemptible load channel. A stride detector wins roms outright — \
-         the kind of scheme the paper's §4.1 leaves as future design space."
+        "\nAlgorithm 1 (multi-stream) leads on lbm; blunt spatial predictors \
+         flood the non-preemptible load channel. On roms the zoo's majority-\
+         vote (leap) and stride detectors win outright — the kind of scheme \
+         the paper's §4.1 leaves as future design space."
     );
 }

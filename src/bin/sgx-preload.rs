@@ -21,8 +21,8 @@ use sgx_preloading::prelude::*;
 use sgx_preloading::workloads::SGXT_MAGIC;
 use sgx_preloading::{
     build_plan, effective_jobs, profile_stream, render_chrome_trace, ChromeTraceSink,
-    CollectingSink, CountingSink, HistogramSink, NotifyPlacement, RecordedTrace, SeriesFormat,
-    StreamConfig, DEFAULT_TIMELINE_SERIES_INTERVAL,
+    CollectingSink, CountingSink, EpcSizing, HistogramSink, NotifyPlacement, RecordedTrace,
+    SeriesFormat, StreamConfig, DEFAULT_TIMELINE_SERIES_INTERVAL,
 };
 
 const USAGE: &str = "\
@@ -64,6 +64,12 @@ COMMANDS:
 COMMON OPTIONS:
     --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
     --seed <N>                     workload seed (default: 42)
+    --predictor <name>             fault-driven predictor for DFP-style schemes:
+                                   multi-stream (default) | next-line | stride |
+                                   stride-confident | markov | leap
+    --epc-ceiling <N>              EDMM committed-page ceiling per enclave for
+                                   edmm/edmm+dfp-stop schemes (default: grow to
+                                   physical EPC)
 
 suite/campaign OPTIONS:
     --jobs <N>                     worker threads (default: $SGX_PRELOAD_JOBS,
@@ -84,11 +90,13 @@ suite/campaign OPTIONS:
 campaign OPTIONS:
     --benches <a,b,..>             comma-separated benchmarks (default: all)
     --schemes <a,b,..>             comma-separated schemes (default: all kernel
-                                   schemes: baseline,dfp,dfp-stop,sip,hybrid)
+                                   schemes: baseline,dfp,dfp-stop,sip,hybrid;
+                                   also: edmm, edmm+dfp-stop, user-level)
 
 run/replay OPTIONS:
     --bench <name>                 benchmark name (see `list`)
-    --scheme <name>                baseline | dfp | dfp-stop | sip | hybrid | user-level
+    --scheme <name>                baseline | dfp | dfp-stop | sip | hybrid |
+                                   user-level | edmm | edmm+dfp-stop
     --epc-pages <N>                override EPC capacity
     --load-length <N>              DFP LOADLENGTH (default 4)
     --list-len <N>                 DFP stream_list length (default 30)
@@ -343,6 +351,13 @@ impl Args {
         if let Some(d) = self.parsed::<usize>("early")? {
             cfg = cfg.with_placement(NotifyPlacement::Early { distance: d });
         }
+        if let Some(p) = self.get("predictor") {
+            let kind: PredictorKind = p.parse().map_err(|e| format!("{e}"))?;
+            cfg = cfg.with_predictor(kind);
+        }
+        if let Some(ceiling) = self.parsed::<u64>("epc-ceiling")? {
+            cfg = cfg.with_epc_sizing(EpcSizing::physical().with_ceiling(ceiling));
+        }
         Ok(cfg)
     }
 }
@@ -366,7 +381,15 @@ fn cmd_list() {
             if b.sip_supported() { "" } else { "  (no SIP)" }
         );
     }
-    println!("\nschemes: baseline, dfp, dfp-stop, sip, hybrid, user-level (§6 comparator)");
+    println!(
+        "\nschemes: baseline, dfp, dfp-stop, sip, hybrid, user-level (§6 comparator), \
+         edmm, edmm+dfp-stop (SGX2 dynamic-EPC rivals)"
+    );
+    print!("\npredictors (--predictor):");
+    for kind in PredictorKind::ALL {
+        print!(" {kind}");
+    }
+    println!();
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {

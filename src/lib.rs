@@ -64,17 +64,19 @@ pub use sgx_sip as sip;
 pub use sgx_workloads as workloads;
 
 pub use sgx_dfp::{
-    AbortPolicy, MultiStreamPredictor, NoPredictor, Prediction, Predictor, ProcessId, StreamConfig,
+    AbortPolicy, LeapPredictor, MarkovPredictor, MultiStreamPredictor, NextLinePredictor,
+    NoPredictor, ParsePredictorKindError, Prediction, Predictor, PredictorKind, ProcessId,
+    StreamConfig, StrideConfidentPredictor, StridePredictor,
 };
-pub use sgx_epc::{CostModel, VictimPolicy, VirtPage};
+pub use sgx_epc::{CostModel, EpcSizing, VictimPolicy, VirtPage};
 pub use sgx_fleet::{
     ArrivalProcess, FleetError, FleetReport, FleetSpec, FleetSpecBuilder, HostReport,
     LatencySummary, PlacementPolicy,
 };
 pub use sgx_kernel::{
     render_chrome_trace, ChromeTraceSink, CollectingSink, CountingSink, CycleAttribution,
-    GaugeSample, HistogramSink, JsonlWriterSink, KernelError, SeriesFormat, SpanId, TailSink,
-    TimeSeriesSink, TraceHistograms, TraceSink,
+    EdmmStats, GaugeSample, HistogramSink, JsonlWriterSink, KernelError, SeriesFormat, SpanId,
+    TailSink, TimeSeriesSink, TraceHistograms, TraceSink,
 };
 pub use sgx_preload_core::{
     build_kernel, build_plan, derive_cell_seed, effective_jobs, run_indexed, run_userspace_paging,
@@ -106,8 +108,9 @@ pub mod prelude {
         TraceSink,
     };
     pub use sgx_preload_core::{
-        AppSpec, Campaign, CampaignError, CampaignReport, Cell, CellReport, CellWork, RunReport,
-        Scheme, SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy, TraceReplay,
+        AppSpec, Campaign, CampaignError, CampaignReport, Cell, CellReport, CellWork, EpcSizing,
+        PredictorKind, RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun, SpecError,
+        TenantPolicy, TraceReplay,
     };
     pub use sgx_sim::Cycles;
     pub use sgx_workloads::{Benchmark, InputSet, RecordedTrace, Scale, TraceParseError};

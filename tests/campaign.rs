@@ -49,6 +49,27 @@ fn diverse_campaign() -> Campaign {
     )
 }
 
+/// The predictor-zoo grid: every shipped predictor across the four
+/// diversity families and the EDMM rival arms, pinned by its own golden
+/// file. The EPC is provisioned growth-friendly — the phase-shift
+/// footprint *nearly* fits — so deferred reclamation has room to pay off.
+fn predictor_zoo_campaign() -> Campaign {
+    let base = SimConfig::at_scale(Scale::new(32));
+    Campaign::predictor_grid(
+        "golden_predictor_zoo",
+        2020,
+        &Benchmark::DIVERSE,
+        &[
+            Scheme::Baseline,
+            Scheme::DfpStop,
+            Scheme::Edmm,
+            Scheme::EdmmDfpStop,
+        ],
+        base.with_epc_pages(2900),
+        &PredictorKind::ALL,
+    )
+}
+
 /// Shared compare-or-regenerate harness for golden campaign reports.
 fn check_golden(got: &str, name: &str) {
     let path = golden_path(name);
@@ -162,6 +183,57 @@ fn diverse_campaign_matches_golden_report_at_any_worker_count() {
         "diverse grid must be byte-identical across worker counts"
     );
     check_golden(&got, "campaign_diverse.json");
+}
+
+#[test]
+fn predictor_zoo_matches_golden_report_at_any_worker_count() {
+    let campaign = predictor_zoo_campaign();
+    let serial = campaign.run_serial().expect("serial zoo campaign failed");
+    assert_eq!(
+        serial.cells.len(),
+        Benchmark::DIVERSE.len() * 4 * PredictorKind::ALL.len(),
+        "four schemes and the full predictor menu over the diversity families"
+    );
+    let got = serial.to_canonical_json();
+    assert_eq!(
+        got,
+        campaign
+            .run_with_jobs(4)
+            .expect("parallel zoo campaign failed")
+            .to_canonical_json(),
+        "zoo grid must be byte-identical across worker counts"
+    );
+    check_golden(&got, "campaign_predictor_zoo.json");
+}
+
+#[test]
+fn edmm_pays_off_on_a_growth_friendly_family_in_the_pinned_report() {
+    let report = predictor_zoo_campaign()
+        .run_with_jobs(4)
+        .expect("zoo campaign failed");
+    let cell = |label: &str| {
+        report
+            .cells
+            .iter()
+            .find(|c| c.label == label)
+            .unwrap_or_else(|| panic!("no cell labelled {label}"))
+    };
+    let evictions = |c: &CellReport| c.report.background_evictions + c.report.foreground_evictions;
+    let base = cell("phase-shift/baseline/pred=multi-stream");
+    let edmm = cell("phase-shift/edmm/pred=multi-stream");
+    let both = cell("phase-shift/edmm+dfp-stop/pred=multi-stream");
+    assert!(
+        evictions(edmm) < evictions(base),
+        "deferred reclaim must shed demand evictions: edmm {} vs baseline {}",
+        evictions(edmm),
+        evictions(base)
+    );
+    assert!(
+        both.report.total_cycles < edmm.report.total_cycles,
+        "DFP-stop on top of EDMM must pay for itself: {} vs {}",
+        both.report.total_cycles,
+        edmm.report.total_cycles
+    );
 }
 
 #[test]
