@@ -14,7 +14,8 @@ echo "==> cargo doc --no-deps"
 # Our packages only: the vendored registry stand-ins don't doc cleanly.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p sgx-preloading -p sgx-preload-core -p sgx-fleet -p sgx-bench \
-  -p sgx-kernel -p sgx-epc -p sgx-dfp -p sgx-sip -p sgx-workloads -p sgx-sim
+  -p sgx-kernel -p sgx-epc -p sgx-dfp -p sgx-sip -p sgx-workloads \
+  -p sgx-observer -p sgx-sim
 
 echo "==> cargo build --release"
 cargo build --release
@@ -225,6 +226,59 @@ with open("results/BENCH_predictor_zoo.json", "w") as f:
 faults = {p: z["demand_faults"] for p, z in zoo.items()}
 print(f"predictor zoo OK: {cells_total} cells at "
       f"{bench['cells_per_sec']:.1f} cells/sec; demand faults {faults}")
+EOF
+
+echo "==> leakage observatory"
+# The untrusted-OS leakage grid: all three secret pairs under the
+# baseline/DFP/SIP panel plus the per-pair ORAM reference rows. The
+# canonical JSON must be byte-identical at --jobs 1 and --jobs 4 and
+# match the pinned golden cell-for-cell. The gate is EXPECTED to fire
+# (exit 1) on this panel: plain DFP amplifies the dfp-echo pair beyond
+# the tolerance — that demonstrated amplification is the stage's point.
+mkdir -p results
+LEAK_FLAGS=(--scale 64 --campaign-seed 2020 --window 64)
+set +e
+./target/release/sgx-preload leakage "${LEAK_FLAGS[@]}" --jobs 1 \
+  --json-out results/leakage_j1.json >/dev/null 2>&1
+leak_j1=$?
+./target/release/sgx-preload leakage "${LEAK_FLAGS[@]}" --jobs 4 \
+  --json-out results/leakage_j4.json \
+  --bench-out results/BENCH_leakage.json >/dev/null 2>&1
+leak_j4=$?
+set -e
+if [ "$leak_j1" -ne 1 ] || [ "$leak_j4" -ne 1 ]; then
+  echo "leakage gate was expected to fire (DFP amplifies dfp-echo);" \
+       "got exit $leak_j1 (jobs 1) / $leak_j4 (jobs 4)"
+  exit 1
+fi
+cmp results/leakage_j1.json results/leakage_j4.json
+python3 - <<'EOF'
+import json
+with open("results/leakage_j4.json") as f:
+    got = json.load(f)
+with open("tests/golden/campaign_leakage.json") as f:
+    want = json.load(f)
+assert got["campaign_seed"] == want["campaign_seed"], got["campaign_seed"]
+assert got["cells"] == want["cells"], \
+    "leakage grid drifted from tests/golden/campaign_leakage.json"
+with open("results/BENCH_leakage.json") as f:
+    bench = json.load(f)
+assert bench["cells"] == len(got["cells"]), bench
+assert bench["obs_events"] > 0 and bench["obs_events_per_sec"] > 0, bench
+rows = {r["label"]: r for r in bench["rows"]}
+oram = [r for r in bench["rows"] if r["label"].endswith("/oram")]
+assert len(oram) == 3, oram
+assert all(r["distinguishability"] == 0 for r in oram), oram
+# The two directional claims the observatory exists to show.
+assert rows["branch-halves/SIP"]["fault_edit"] == 0.0, rows["branch-halves/SIP"]
+assert rows["branch-halves/baseline"]["fault_edit"] > 0.5, \
+    rows["branch-halves/baseline"]
+assert rows["dfp-echo/DFP"]["distinguishability"] > \
+    rows["dfp-echo/baseline"]["distinguishability"], rows["dfp-echo/DFP"]
+print(f"leakage OK: {bench['cells']} cells, "
+      f"{bench['obs_events']} observed events at "
+      f"{bench['obs_events_per_sec']:.0f} events/sec; "
+      f"SIP masks branch-halves, DFP amplifies dfp-echo, ORAM rows at 0")
 EOF
 
 echo "==> cargo test -q"

@@ -7,29 +7,19 @@
 //! behaviour, is stable across runs).
 
 use sgx_bench::{pct, ResultTable};
+use sgx_observer::OramModel;
 use sgx_preload_core::{AppSpec, Scheme, SimConfig, SimRun};
-use sgx_sim::{Cycles, DetRng};
-use sgx_workloads::{AccessIter, PageRange, SiteRange, UniformRandom};
-
-fn oram_stream(cfg: &SimConfig, run_seed: u64) -> AccessIter {
-    // 512 MiB of oblivious storage, uniformly and independently accessed;
-    // the seed differs per run, as ORAM re-randomizes positions.
-    let pages = cfg.scale.pages(512 * 256);
-    Box::new(UniformRandom::new(
-        PageRange::first(pages),
-        cfg.scale.count(300_000),
-        Cycles::new(2_000),
-        SiteRange::new(0, 12),
-        DetRng::seed_from(run_seed),
-    ))
-}
 
 fn run(cfg: &SimConfig, scheme: Scheme, run_seed: u64) -> sgx_preload_core::RunReport {
-    let pages = cfg.scale.pages(512 * 256);
+    // 512 MiB of oblivious storage, uniformly and independently accessed;
+    // the seed differs per run, as ORAM re-randomizes positions. The same
+    // model feeds the leakage observatory's known-private reference rows.
+    let oram = OramModel::paper_defaults();
     let plan = if scheme.uses_sip() {
         // Profile a *different* run of the ORAM program, as the paper's
         // PGO flow would: page numbers do not transfer, sites do.
-        let profile = sgx_sip::profile_stream(oram_stream(cfg, 7_777), cfg.epc_pages as usize);
+        let profile =
+            sgx_sip::profile_stream(oram.stream(cfg.scale, 7_777), cfg.epc_pages as usize);
         sgx_sip::InstrumentationPlan::from_profile(&profile, cfg.sip)
     } else {
         sgx_sip::InstrumentationPlan::none()
@@ -37,10 +27,14 @@ fn run(cfg: &SimConfig, scheme: Scheme, run_seed: u64) -> sgx_preload_core::RunR
     SimRun::new(cfg)
         .scheme(scheme)
         .app(
-            AppSpec::new("oram", pages, oram_stream(cfg, run_seed))
-                .plan(plan)
-                .build()
-                .expect("non-empty ELRANGE"),
+            AppSpec::new(
+                "oram",
+                oram.scaled_pages(cfg.scale),
+                oram.stream(cfg.scale, run_seed),
+            )
+            .plan(plan)
+            .build()
+            .expect("non-empty ELRANGE"),
         )
         .run_one()
         .expect("one report")

@@ -59,10 +59,12 @@ use sgx_kernel::{
     ChaosSchedule, ChromeTraceSink, CountingSink, EventCounts, JsonlWriterSink, SeriesFormat,
     TenantPolicy, TimeSeriesSink, TraceSink,
 };
-use sgx_workloads::Benchmark;
+use sgx_observer::{LeakageReport, ObserverSink, OramModel};
+use sgx_workloads::{AccessIter, Benchmark, PageRange, SecretBit, SecretPair};
 
 use crate::replay::TraceReplay;
 use crate::report::push_json_str;
+use crate::simulator::AppSpec;
 use crate::{RunReport, Scheme, SimConfig, SimError, SimRun};
 
 /// Environment variable overriding the default worker count.
@@ -183,23 +185,44 @@ pub enum SeedMode {
     Shared,
 }
 
-/// The workload a campaign cell runs: a synthetic benchmark model, or a
-/// recorded trace replayed through the simulator.
+/// A leakage-observatory cell: both variants of one secret pair run
+/// under the cell's scheme, watched by the untrusted-OS observer, and
+/// the cell's result carries a [`LeakageReport`] comparing what the OS
+/// saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakageSpec {
+    /// The secret pair to run (also supplies the ORAM row's footprint).
+    pub pair: SecretPair,
+    /// Windowed-entropy window, in faults.
+    pub window: usize,
+    /// When set, both secret labels run the **same** ORAM-style padded
+    /// stream ([`OramModel`]) instead of the pair's secret-dependent
+    /// variants — the known-private reference row (distinguishability
+    /// exactly 0).
+    pub oram: bool,
+}
+
+/// The workload a campaign cell runs: a synthetic benchmark model, a
+/// recorded trace replayed through the simulator, or a secret-pair
+/// leakage measurement.
 #[derive(Debug, Clone)]
 pub enum CellWork {
     /// A synthetic benchmark model.
     Bench(Benchmark),
     /// A recorded-trace replay (see [`TraceReplay`]).
     Replay(TraceReplay),
+    /// A secret-pair leakage measurement (see [`LeakageSpec`]).
+    Leakage(LeakageSpec),
 }
 
 impl CellWork {
-    /// The workload's display name: the benchmark's paper name, or the
-    /// replay's label.
+    /// The workload's display name: the benchmark's paper name, the
+    /// replay's label, or the secret pair's name.
     pub fn name(&self) -> &str {
         match self {
             CellWork::Bench(b) => b.name(),
             CellWork::Replay(r) => r.label(),
+            CellWork::Leakage(spec) => spec.pair.name(),
         }
     }
 }
@@ -238,6 +261,22 @@ impl Cell {
         Cell {
             label: format!("{}/{}", replay.label(), scheme.name()),
             work: CellWork::Replay(replay),
+            scheme,
+            cfg,
+        }
+    }
+
+    /// A leakage-observatory cell, labeled `pair/scheme` (or `pair/oram`
+    /// for the reference row).
+    pub fn leakage(spec: LeakageSpec, scheme: Scheme, cfg: SimConfig) -> Self {
+        let label = if spec.oram {
+            format!("{}/oram", spec.pair.name())
+        } else {
+            format!("{}/{}", spec.pair.name(), scheme.name())
+        };
+        Cell {
+            label,
+            work: CellWork::Leakage(spec),
             scheme,
             cfg,
         }
@@ -398,6 +437,49 @@ impl Campaign {
                     c.push(cell);
                 }
             }
+        }
+        c
+    }
+
+    /// The `pairs × (schemes + oram)` leakage grid: for every secret
+    /// pair, one leakage cell per scheme (labeled `pair/scheme`) plus
+    /// the ORAM-style known-private reference row (`pair/oram`, run at
+    /// the pair's footprint under [`Scheme::Baseline`]). Enumerated
+    /// pair-major so one pair's scheme rows are adjacent.
+    ///
+    /// The campaign is forced to [`SeedMode::Shared`]: distinguishing a
+    /// scheme's leakage from the baseline's only makes sense when every
+    /// cell of a pair runs the *same* secret-dependent workload streams.
+    pub fn leakage_grid(
+        name: impl Into<String>,
+        seed: u64,
+        pairs: &[SecretPair],
+        schemes: &[Scheme],
+        cfg: SimConfig,
+        window: usize,
+    ) -> Self {
+        let mut c = Campaign::new(name, seed).with_seed_mode(SeedMode::Shared);
+        for &pair in pairs {
+            for &scheme in schemes {
+                c.push(Cell::leakage(
+                    LeakageSpec {
+                        pair,
+                        window,
+                        oram: false,
+                    },
+                    scheme,
+                    cfg,
+                ));
+            }
+            c.push(Cell::leakage(
+                LeakageSpec {
+                    pair,
+                    window,
+                    oram: true,
+                },
+                Scheme::Baseline,
+                cfg,
+            ));
         }
         c
     }
@@ -633,12 +715,16 @@ fn run_cell(
     if timeline_dir.is_some() && cfg.series_interval == 0 {
         cfg = cfg.with_series_interval(DEFAULT_TIMELINE_SERIES_INTERVAL);
     }
+    if let CellWork::Leakage(spec) = &cell.work {
+        return run_leakage_cell(cell, *spec, &cfg, index, seed, trace_dir, timeline_dir);
+    }
     let t0 = Instant::now();
     let (counting, counts) = CountingSink::new();
     let mut run = SimRun::new(&cfg).scheme(cell.scheme);
     run = match &cell.work {
         CellWork::Bench(bench) => run.bench(*bench),
         CellWork::Replay(replay) => run.replay(replay.clone()),
+        CellWork::Leakage(_) => unreachable!("dispatched above"),
     };
     run = run.sink(Box::new(counting));
     if let Some(dir) = trace_dir {
@@ -665,6 +751,107 @@ fn run_cell(
         seed,
         report,
         events,
+        leakage: None,
+        wall_nanos: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Executes one leakage cell: both secret labels of the pair run under
+/// the cell's scheme on the cell seed, each watched by the untrusted-OS
+/// [`ObserverSink`], and the two observations are compared into a
+/// [`LeakageReport`].
+///
+/// The SIP plan (when the scheme instruments) is compiled from the
+/// pair's *train* stream — variant A on a decorrelated seed — exactly
+/// once per program, never per secret, mirroring the paper's PGO flow.
+/// Trace/timeline artifacts, when requested, capture variant A's run.
+fn run_leakage_cell(
+    cell: &Cell,
+    spec: LeakageSpec,
+    cfg: &SimConfig,
+    index: usize,
+    seed: u64,
+    trace_dir: Option<&Path>,
+    timeline_dir: Option<&Path>,
+) -> Result<CellReport, CampaignError> {
+    let t0 = Instant::now();
+    let fail = |source: SimError| CampaignError {
+        index,
+        label: cell.label.clone(),
+        source,
+    };
+    let oram = OramModel::paper_defaults();
+    let elrange = if spec.oram {
+        oram.scaled_pages(cfg.scale)
+    } else {
+        spec.pair.elrange_pages(cfg.scale)
+    };
+    let mut first: Option<(RunReport, EventCounts)> = None;
+    let mut observations = Vec::with_capacity(2);
+    for secret in SecretBit::BOTH {
+        // The ORAM row feeds the *same* padded stream to both labels:
+        // the observable pattern is secret-independent by construction.
+        let stream: AccessIter = if spec.oram {
+            oram.stream(cfg.scale, seed)
+        } else {
+            spec.pair.build(secret, cfg.scale, seed)
+        };
+        let plan = if cell.scheme.uses_sip() {
+            let train: AccessIter = if spec.oram {
+                oram.stream(cfg.scale, sgx_sim::mix(seed, 0x5EC7))
+            } else {
+                spec.pair.train(cfg.scale, seed)
+            };
+            let profile = sgx_sip::profile_stream(train, cfg.epc_pages as usize);
+            sgx_sip::InstrumentationPlan::from_profile(&profile, cfg.sip)
+        } else {
+            sgx_sip::InstrumentationPlan::none()
+        };
+        let (observer, obs) = ObserverSink::new();
+        let observer = observer.with_enclave(cell.work.name(), PageRange::new(0, elrange.max(1)));
+        let (counting, counts) = CountingSink::new();
+        let app = AppSpec::new(cell.work.name(), elrange, stream)
+            .plan(plan)
+            .build()
+            .map_err(|e| fail(e.into()))?;
+        let mut run = SimRun::new(cfg)
+            .scheme(cell.scheme)
+            .app(app)
+            .sink(Box::new(observer))
+            .sink(Box::new(counting));
+        if secret == SecretBit::A {
+            if let Some(dir) = trace_dir {
+                if let Some(sink) = open_cell_trace(dir, index, &cell.label) {
+                    run = run.sink(Box::new(sink) as Box<dyn TraceSink>);
+                }
+            }
+            if let Some(dir) = timeline_dir {
+                for sink in open_cell_timeline(dir, index, &cell.label) {
+                    run = run.sink(sink);
+                }
+            }
+        }
+        let report = run.run_one().map_err(fail)?;
+        if first.is_none() {
+            first = Some((report, counts.get()));
+        }
+        observations.push(obs.borrow().clone());
+    }
+    let leakage = LeakageReport::from_observations(
+        spec.pair.name(),
+        spec.window,
+        spec.oram,
+        &observations[0],
+        &observations[1],
+    );
+    let (report, events) = first.expect("variant A ran");
+    Ok(CellReport {
+        index,
+        label: cell.label.clone(),
+        seed,
+        report,
+        events,
+        leakage: Some(leakage),
         wall_nanos: t0.elapsed().as_nanos() as u64,
     })
 }
@@ -678,10 +865,15 @@ pub struct CellReport {
     pub label: String,
     /// The seed the cell actually ran with.
     pub seed: u64,
-    /// The simulator's measurements.
+    /// The simulator's measurements. For a leakage cell, variant A's run
+    /// (both variants are structurally identical; A is the reference).
     pub report: RunReport,
     /// Per-kind paging-event tallies drained from the kernel event log.
+    /// For a leakage cell, variant A's tallies.
     pub events: EventCounts,
+    /// What the untrusted-OS observer learned — present on leakage cells
+    /// only, `null` in the JSON otherwise.
+    pub leakage: Option<LeakageReport>,
     /// Host wall-clock nanoseconds the cell took (non-deterministic;
     /// excluded from canonical JSON).
     pub wall_nanos: u64,
@@ -695,6 +887,11 @@ impl CellReport {
         self.report.write_json(out);
         out.push_str(",\"events\":");
         self.events.write_json(out);
+        out.push_str(",\"leakage\":");
+        match &self.leakage {
+            Some(l) => l.write_json(out),
+            None => out.push_str("null"),
+        }
         if !canonical {
             out.push_str(&format!(",\"wall_nanos\":{}", self.wall_nanos));
         }
@@ -1018,6 +1215,64 @@ mod tests {
         assert!(msg.contains("microbenchmark/baseline"), "{msg}");
         use std::error::Error;
         assert!(serial.source().is_some());
+    }
+
+    #[test]
+    fn leakage_grid_enumerates_pair_major_with_oram_rows() {
+        let c = Campaign::leakage_grid(
+            "leak",
+            9,
+            &[SecretPair::BranchHalves, SecretPair::DfpEcho],
+            &[Scheme::Baseline, Scheme::Dfp],
+            tiny_cfg(),
+            64,
+        );
+        let labels: Vec<&str> = c.cells().iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "branch-halves/baseline",
+                "branch-halves/DFP",
+                "branch-halves/oram",
+                "dfp-echo/baseline",
+                "dfp-echo/DFP",
+                "dfp-echo/oram",
+            ]
+        );
+        // Scheme-vs-baseline comparisons need the same workload streams.
+        assert_eq!(c.cell_seed(0), c.cell_seed(5));
+    }
+
+    #[test]
+    fn leakage_cells_carry_reports_and_oram_is_indistinguishable() {
+        let c = Campaign::leakage_grid(
+            "leak",
+            9,
+            &[SecretPair::LookupOrder],
+            &[Scheme::Baseline],
+            tiny_cfg(),
+            64,
+        );
+        let r = c.run_serial().unwrap();
+        let base = r.cells[0].leakage.as_ref().expect("leakage cell");
+        assert!(!base.oram);
+        assert!(
+            base.distinguishability() > 0.5,
+            "order pair leaks at baseline: {}",
+            base.distinguishability()
+        );
+        let oram = r.cells[1].leakage.as_ref().expect("oram row");
+        assert!(oram.oram);
+        assert_eq!(
+            oram.distinguishability(),
+            0.0,
+            "padded reference row is secret-independent"
+        );
+        // Schema: leakage serializes on every cell — null for plain runs.
+        let json = r.to_canonical_json();
+        assert!(json.contains("\"leakage\":{\"pair\":\"lookup-order\""));
+        let plain = tiny_campaign().run_serial().unwrap();
+        assert!(plain.to_canonical_json().contains("\"leakage\":null"));
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod userspace;
 
 pub use campaign::{
     derive_cell_seed, effective_jobs, run_indexed, Campaign, CampaignError, CampaignReport, Cell,
-    CellReport, CellWork, SeedMode, DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
+    CellReport, CellWork, LeakageSpec, SeedMode, DEFAULT_TIMELINE_SERIES_INTERVAL, JOBS_ENV,
 };
 pub use config::SimConfig;
 pub use replay::TraceReplay;
@@ -61,6 +61,10 @@ pub use sgx_kernel::{
     render_chrome_trace, ChaosPreset, ChaosSchedule, ChaosStats, ChromeTraceSink, CycleAttribution,
     EventCounts, FaultInjector, GaugeSample, ParseChaosPresetError, SeriesFormat, SpanId,
     TenantPolicy, TenantShare, TenantStats, TimeSeriesSink, MAX_TENANTS,
+};
+pub use sgx_observer::{
+    is_os_visible, LeakageMetric, LeakageReport, Observation, ObserverSink, OramModel,
+    ParseLeakageMetricError, VariantLeakage,
 };
 pub use simrun::{SimError, SimRun};
 pub use simulator::{build_kernel, build_plan, AppSpec, AppSpecBuilder, SpecError};

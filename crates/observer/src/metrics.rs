@@ -1,0 +1,249 @@
+//! Information-theoretic metrics over observed page sequences.
+//!
+//! Everything here is deterministic bit-for-bit: histograms live in
+//! `BTreeMap`s (fixed iteration order), floating-point reductions run in
+//! that fixed order, and no randomness is involved — a requirement for
+//! the campaign goldens, which pin leakage reports byte-identical across
+//! worker counts.
+//!
+//! Entropies are in bits (log base 2).
+
+use std::collections::BTreeMap;
+
+/// Sequences longer than this are truncated before the O(n·m) edit
+/// distance; at full scale a fault trace can run to millions of events
+/// and the quadratic table would dominate the whole simulation.
+pub const EDIT_DISTANCE_CAP: usize = 4096;
+
+/// Shannon entropy (bits) of the empirical symbol distribution of `seq`.
+/// An empty sequence has zero entropy.
+pub fn shannon_entropy(seq: &[u64]) -> f64 {
+    let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
+    for &s in seq {
+        *hist.entry(s).or_insert(0) += 1;
+    }
+    entropy_of_counts(hist.values().copied(), seq.len() as f64)
+}
+
+/// Windowed entropy summary over non-overlapping windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowedEntropy {
+    /// Mean per-window entropy (bits); 0 when no window completes.
+    pub mean: f64,
+    /// Maximum per-window entropy (bits); 0 when no window completes.
+    pub max: f64,
+    /// Number of full windows summarized (a trailing partial window is
+    /// dropped — a short remainder would bias the mean low).
+    pub windows: u64,
+}
+
+/// Per-window Shannon entropy over non-overlapping windows of `window`
+/// symbols — the time-resolved view: a program can have high global
+/// entropy yet leak through low-entropy (predictable) phases.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn windowed_entropy(seq: &[u64], window: usize) -> WindowedEntropy {
+    assert!(window > 0, "window must be non-empty");
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    let mut n = 0u64;
+    for chunk in seq.chunks_exact(window) {
+        let h = shannon_entropy(chunk);
+        sum += h;
+        max = max.max(h);
+        n += 1;
+    }
+    WindowedEntropy {
+        mean: if n == 0 { 0.0 } else { sum / n as f64 },
+        max,
+        windows: n,
+    }
+}
+
+/// Bigram conditional entropy H(next | prev) of the sequence, in bits:
+/// the chain-rule difference H(pairs) − H(singletons over prefixes).
+/// Captures *order* information a plain symbol histogram misses — two
+/// runs touching the same pages ascending vs descending have equal
+/// symbol entropy but both have near-zero conditional entropy, while a
+/// random walk keeps it high.
+pub fn bigram_conditional_entropy(seq: &[u64]) -> f64 {
+    if seq.len() < 2 {
+        return 0.0;
+    }
+    let pairs = transition_histogram(seq);
+    let total = (seq.len() - 1) as f64;
+    let h_pairs = entropy_of_counts(pairs.values().copied(), total);
+    let mut prev: BTreeMap<u64, u64> = BTreeMap::new();
+    for &s in &seq[..seq.len() - 1] {
+        *prev.entry(s).or_insert(0) += 1;
+    }
+    let h_prev = entropy_of_counts(prev.values().copied(), total);
+    (h_pairs - h_prev).max(0.0)
+}
+
+/// The page-transition histogram: counts of adjacent `(prev, next)`
+/// pairs. `BTreeMap` keeps downstream reductions order-deterministic.
+pub fn transition_histogram(seq: &[u64]) -> BTreeMap<(u64, u64), u64> {
+    let mut hist = BTreeMap::new();
+    for w in seq.windows(2) {
+        *hist.entry((w[0], w[1])).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Smoothed symmetrized Kullback–Leibler divergence (bits) between two
+/// transition histograms: KL(P‖Q) + KL(Q‖P) with add-half smoothing over
+/// the union support, so disjoint supports stay finite. Zero iff the
+/// histograms are identical.
+pub fn symmetrized_kl(a: &BTreeMap<(u64, u64), u64>, b: &BTreeMap<(u64, u64), u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut support: BTreeMap<(u64, u64), (u64, u64)> = BTreeMap::new();
+    for (&k, &v) in a {
+        support.entry(k).or_insert((0, 0)).0 = v;
+    }
+    for (&k, &v) in b {
+        support.entry(k).or_insert((0, 0)).1 = v;
+    }
+    let k = support.len() as f64;
+    let ta = a.values().sum::<u64>() as f64 + 0.5 * k;
+    let tb = b.values().sum::<u64>() as f64 + 0.5 * k;
+    let mut kl = 0.0;
+    for &(ca, cb) in support.values() {
+        let p = (ca as f64 + 0.5) / ta;
+        let q = (cb as f64 + 0.5) / tb;
+        kl += p * (p / q).log2() + q * (q / p).log2();
+    }
+    kl.max(0.0)
+}
+
+/// Normalized Levenshtein edit distance between two symbol sequences, in
+/// `[0, 1]`: 0 for identical sequences, 1 for nothing in common. Inputs
+/// are truncated to [`EDIT_DISTANCE_CAP`] symbols first (the distance is
+/// O(n·m)); both sides truncate identically, so the comparison stays
+/// fair.
+pub fn normalized_edit_distance(a: &[u64], b: &[u64]) -> f64 {
+    let a = &a[..a.len().min(EDIT_DISTANCE_CAP)];
+    let b = &b[..b.len().min(EDIT_DISTANCE_CAP)];
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / denom as f64
+}
+
+fn levenshtein(a: &[u64], b: &[u64]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row dynamic program; rows sized by the shorter side.
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &x) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &y) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+fn entropy_of_counts(counts: impl Iterator<Item = u64>, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for c in counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / total;
+        h -= p * p.log2();
+    }
+    h.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_bounds() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[7, 7, 7, 7]), 0.0);
+        let h = shannon_entropy(&[0, 1, 2, 3]);
+        assert!((h - 2.0).abs() < 1e-12, "uniform over 4 symbols: {h}");
+    }
+
+    #[test]
+    fn windowed_entropy_summarizes_full_windows_only() {
+        // Two full windows (one constant, one uniform) + a partial tail.
+        let seq = [5, 5, 5, 5, 0, 1, 2, 3, 9];
+        let w = windowed_entropy(&seq, 4);
+        assert_eq!(w.windows, 2);
+        assert!((w.max - 2.0).abs() < 1e-12);
+        assert!((w.mean - 1.0).abs() < 1e-12);
+        let none = windowed_entropy(&[1, 2], 4);
+        assert_eq!((none.mean, none.max, none.windows), (0.0, 0.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_window_panics() {
+        let _ = windowed_entropy(&[1], 0);
+    }
+
+    #[test]
+    fn conditional_entropy_sees_order() {
+        let asc: Vec<u64> = (0..64).collect();
+        let desc: Vec<u64> = (0..64).rev().collect();
+        // Deterministic successor ⇒ zero conditional entropy, either way.
+        assert!(bigram_conditional_entropy(&asc) < 1e-9);
+        assert!(bigram_conditional_entropy(&desc) < 1e-9);
+        // ...while symbol entropy is maximal and identical.
+        assert_eq!(shannon_entropy(&asc), shannon_entropy(&desc));
+        // A shuffled-ish walk keeps successors uncertain.
+        let scrambled: Vec<u64> = (0..64u64).map(|i| (i * 29) % 64).chain(0..64).collect();
+        assert!(bigram_conditional_entropy(&scrambled) > 0.5);
+    }
+
+    #[test]
+    fn kl_zero_iff_identical() {
+        let a = transition_histogram(&[1, 2, 3, 1, 2, 3]);
+        let b = transition_histogram(&[1, 2, 3, 1, 2, 3]);
+        assert_eq!(symmetrized_kl(&a, &b), 0.0);
+        let c = transition_histogram(&[3, 2, 1, 3, 2, 1]);
+        assert!(symmetrized_kl(&a, &c) > 1.0, "reversed transitions differ");
+        assert_eq!(symmetrized_kl(&BTreeMap::new(), &BTreeMap::new()), 0.0);
+    }
+
+    #[test]
+    fn edit_distance_normalization() {
+        assert_eq!(normalized_edit_distance(&[], &[]), 0.0);
+        assert_eq!(normalized_edit_distance(&[1, 2, 3], &[1, 2, 3]), 0.0);
+        assert_eq!(normalized_edit_distance(&[1, 1, 1], &[2, 2, 2]), 1.0);
+        let d = normalized_edit_distance(&[1, 2, 3, 4], &[1, 9, 3, 4]);
+        assert_eq!(d, 0.25);
+        // Symmetry.
+        assert_eq!(
+            normalized_edit_distance(&[1, 2], &[1, 2, 3, 4]),
+            normalized_edit_distance(&[1, 2, 3, 4], &[1, 2]),
+        );
+    }
+
+    #[test]
+    fn edit_distance_caps_input_length() {
+        let long: Vec<u64> = (0..EDIT_DISTANCE_CAP as u64 + 50_000).collect();
+        let d = normalized_edit_distance(&long, &long[..10]);
+        assert!(d > 0.99, "cap applies to both sides: {d}");
+    }
+}

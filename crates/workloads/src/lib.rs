@@ -39,6 +39,7 @@ mod combine;
 mod diverse;
 mod irregular;
 mod regular;
+mod secret;
 mod spec;
 mod trace;
 
@@ -47,5 +48,6 @@ pub use combine::{Mix, PhaseChain};
 pub use diverse::{BatchScan, FrontierSweep, PhasedStream, ZipfKv};
 pub use irregular::{HotColdSites, PointerChase, UniformRandom, ZipfRandom};
 pub use regular::{working_set_loop, BurstyScan, InterleavedStreams, SequentialScan};
+pub use secret::{ParseSecretBitError, ParseSecretPairError, SecretBit, SecretPair};
 pub use spec::{Benchmark, Category, InputSet, Language, Scale};
 pub use trace::{RecordedTrace, SgxtReader, SgxtWriter, TraceParseError, SGXT_MAGIC, SGXT_VERSION};

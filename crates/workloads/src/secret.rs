@@ -1,0 +1,531 @@
+//! Secret-pair workloads for the leakage observatory.
+//!
+//! Each [`SecretPair`] is one program modelled twice: the two variants
+//! share the exact same structure — phase layout, access count, compute
+//! per access, site vocabulary, page footprint *size* — and differ only
+//! in a secret-dependent branch target or lookup order, the shape the
+//! SGX page-fault side channel literature attacks ("Leaky Cauldron on
+//! the Dark Land"; the pigeonhole defence paper in PAPERS.md). Running
+//! both variants under one scheme and comparing what the untrusted OS
+//! observes (see `sgx-observer`) measures how much of the secret each
+//! preloading scheme leaks, masks, or amplifies.
+//!
+//! The three shipped pairs probe three distinct mechanisms:
+//!
+//! * [`SecretPair::BranchHalves`] — a secret bit selects which half of a
+//!   cold lookup table a single irregular site hammers. Every lookup
+//!   demand-faults at baseline, so the fault trace names the half; SIP
+//!   instruments the site (irregular ratio ≈ 1) and converts the faults
+//!   into blocking loads, closing the AEX fault channel.
+//! * [`SecretPair::LookupOrder`] — both variants sweep the *same*
+//!   EPC-exceeding table; the secret is the traversal direction. The
+//!   fault *set* is identical, only transition order differs — the
+//!   canonical order-revealing channel.
+//! * [`SecretPair::DfpEcho`] — a large identical irregular phase plus a
+//!   periodic 6-page sequential burst whose base address is secret. At
+//!   baseline the bursts are a small fraction of the trace; a stream
+//!   predictor detects them and preloads *beyond* what the program ever
+//!   touches, echoing an amplified copy of the secret region back to the
+//!   OS through the load channel.
+//!
+//! Variants are deterministic per seed, and the shared portions of a
+//! pair draw from the same RNG stream in both variants, so any observed
+//! difference is attributable to the secret alone.
+
+use std::fmt;
+use std::str::FromStr;
+
+use sgx_epc::VirtPage;
+use sgx_sim::Cycles;
+
+use crate::{Access, AccessIter, Scale, SiteId, SiteRange};
+
+/// Large odd multiplier used to scramble lookup offsets (odd ⇒ invertible
+/// mod 2^64), matching the diverse generators' cold-tail scatter.
+const SCRAMBLE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The secret bit a paired run is labelled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecretBit {
+    /// The first variant.
+    A,
+    /// The second variant.
+    B,
+}
+
+impl SecretBit {
+    /// Both variants, in report order.
+    pub const BOTH: [SecretBit; 2] = [SecretBit::A, SecretBit::B];
+
+    /// The variant's label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SecretBit::A => "a",
+            SecretBit::B => "b",
+        }
+    }
+}
+
+impl fmt::Display for SecretBit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The error [`SecretBit::from_str`] reports for an unknown label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSecretBitError(String);
+
+impl fmt::Display for ParseSecretBitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown secret variant {:?} (a|b)", self.0)
+    }
+}
+
+impl std::error::Error for ParseSecretBitError {}
+
+impl FromStr for SecretBit {
+    type Err = ParseSecretBitError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" | "0" => Ok(SecretBit::A),
+            "b" | "1" => Ok(SecretBit::B),
+            _ => Err(ParseSecretBitError(s.to_string())),
+        }
+    }
+}
+
+/// A secret-labelled workload pair: one program, two secret-dependent
+/// variants of identical structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecretPair {
+    /// A secret bit selects which half of a cold lookup table one
+    /// irregular site touches (branch-dependent data).
+    BranchHalves,
+    /// Both variants sweep the same EPC-exceeding table; the secret is
+    /// the traversal direction (order-dependent lookup).
+    LookupOrder,
+    /// An identical irregular phase plus periodic secret-based sequential
+    /// bursts — bait for a stream predictor to extrapolate.
+    DfpEcho,
+}
+
+impl SecretPair {
+    /// Every shipped pair, in table order.
+    pub const ALL: [SecretPair; 3] = [
+        SecretPair::BranchHalves,
+        SecretPair::LookupOrder,
+        SecretPair::DfpEcho,
+    ];
+
+    /// The pair's identifier (stable; used in cell labels and goldens).
+    pub fn name(self) -> &'static str {
+        match self {
+            SecretPair::BranchHalves => "branch-halves",
+            SecretPair::LookupOrder => "lookup-order",
+            SecretPair::DfpEcho => "dfp-echo",
+        }
+    }
+
+    /// One line on what the secret controls.
+    pub fn description(self) -> &'static str {
+        match self {
+            SecretPair::BranchHalves => {
+                "secret bit selects which half of a cold table one irregular site reads"
+            }
+            SecretPair::LookupOrder => {
+                "same EPC-exceeding table, secret-dependent traversal direction"
+            }
+            SecretPair::DfpEcho => {
+                "identical irregular phase + periodic sequential bursts at a secret base"
+            }
+        }
+    }
+
+    /// ELRANGE (pages) the pair's enclave needs at `scale` — identical
+    /// for both variants by construction.
+    pub fn elrange_pages(self, scale: Scale) -> u64 {
+        let g = Geometry::of(self, scale);
+        g.elrange
+    }
+
+    /// Builds one variant's access stream. The shared phases of both
+    /// variants are identical for a fixed `seed`; only secret-dependent
+    /// branch targets / lookup order differ.
+    pub fn build(self, secret: SecretBit, scale: Scale, seed: u64) -> AccessIter {
+        let g = Geometry::of(self, scale);
+        match self {
+            SecretPair::BranchHalves => Box::new(BranchHalvesGen::new(g, secret, seed)),
+            SecretPair::LookupOrder => Box::new(LookupOrderGen::new(g, secret)),
+            SecretPair::DfpEcho => Box::new(DfpEchoGen::new(g, secret)),
+        }
+    }
+
+    /// The profiling (train) stream: variant A on a decorrelated seed, the
+    /// PGO flow the paper uses — the instrumentation plan is compiled once
+    /// per *program*, never per secret.
+    pub fn train(self, scale: Scale, seed: u64) -> AccessIter {
+        self.build(SecretBit::A, scale, sgx_sim::mix(seed, 0x5EC7))
+    }
+}
+
+impl fmt::Display for SecretPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The error [`SecretPair::from_str`] reports for an unknown name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSecretPairError(String);
+
+impl fmt::Display for ParseSecretPairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown secret pair {:?} (branch-halves|lookup-order|dfp-echo)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSecretPairError {}
+
+impl FromStr for SecretPair {
+    type Err = ParseSecretPairError;
+
+    /// Parses a pair name, case-insensitively. Accepts the stable names
+    /// ([`SecretPair::name`], so `parse(x.to_string()) == x` round-trips)
+    /// plus the CLI aliases `branchhalves`, `branch`, `lookuporder`,
+    /// `order`, `dfpecho` and `echo`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "branch-halves" | "branchhalves" | "branch" => Ok(SecretPair::BranchHalves),
+            "lookup-order" | "lookuporder" | "order" => Ok(SecretPair::LookupOrder),
+            "dfp-echo" | "dfpecho" | "echo" => Ok(SecretPair::DfpEcho),
+            _ => Err(ParseSecretPairError(s.to_string())),
+        }
+    }
+}
+
+/// Scaled page-range geometry shared by a pair's variants.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    /// Shared/hot region: `[0, shared)`.
+    shared: u64,
+    /// Secret region size (per half / per table / per burst arena).
+    secret: u64,
+    /// Total ELRANGE pages.
+    elrange: u64,
+    /// Total structural iterations.
+    iters: u64,
+}
+
+impl Geometry {
+    fn of(pair: SecretPair, scale: Scale) -> Geometry {
+        match pair {
+            // Shared walk region stays resident; the two table halves each
+            // exceed what the EPC has left, so lookups keep faulting.
+            SecretPair::BranchHalves => {
+                let shared = scale.pages(2_048);
+                let secret = scale.pages(32_768);
+                Geometry {
+                    shared,
+                    secret,
+                    elrange: shared + 2 * secret,
+                    iters: scale.count(40_000),
+                }
+            }
+            // One table, larger than the EPC, swept repeatedly. Whole
+            // sweeps only, so both variants touch the exact same page set.
+            SecretPair::LookupOrder => {
+                let secret = scale.pages(32_768);
+                let sweeps = scale.count(60_000).div_ceil(secret).max(1);
+                Geometry {
+                    shared: 0,
+                    secret,
+                    elrange: secret,
+                    iters: sweeps * secret,
+                }
+            }
+            // A big identical scrambled phase + two burst arenas.
+            SecretPair::DfpEcho => {
+                let shared = scale.pages(16_384);
+                let secret = scale.pages(32_768);
+                Geometry {
+                    shared,
+                    secret,
+                    elrange: shared + 2 * secret,
+                    iters: scale.count(40_000),
+                }
+            }
+        }
+    }
+}
+
+/// Compute cycles modelled per access across every pair — identical in
+/// both variants so timing never encodes the secret in the workload
+/// itself.
+const COMPUTE: Cycles = Cycles::new(400);
+
+/// `branch-halves`: interleaves a sequential shared walk (regular sites
+/// 0–3) with scrambled lookups into the secret half (dedicated irregular
+/// site 8).
+struct BranchHalvesGen {
+    g: Geometry,
+    half_base: u64,
+    walk: u64,
+    lookup: u64,
+    emitted: u64,
+    sites: SiteRange,
+}
+
+impl BranchHalvesGen {
+    fn new(g: Geometry, secret: SecretBit, _seed: u64) -> Self {
+        let half_base = match secret {
+            SecretBit::A => g.shared,
+            SecretBit::B => g.shared + g.secret,
+        };
+        BranchHalvesGen {
+            g,
+            half_base,
+            walk: 0,
+            lookup: 0,
+            emitted: 0,
+            sites: SiteRange::new(0, 4),
+        }
+    }
+}
+
+impl Iterator for BranchHalvesGen {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.emitted >= 2 * self.g.iters {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        if i.is_multiple_of(2) {
+            // Shared walk step: sequential over the shared prefix.
+            let page = VirtPage::new(self.walk % self.g.shared);
+            self.walk += 1;
+            Some(Access::new(page, COMPUTE, self.sites.next_site()))
+        } else {
+            // Secret-half lookup: scrambled, at one dedicated site.
+            let off = self.lookup.wrapping_mul(SCRAMBLE) % self.g.secret;
+            self.lookup += 1;
+            Some(Access::new(
+                VirtPage::new(self.half_base + off),
+                COMPUTE,
+                SiteId(8),
+            ))
+        }
+    }
+}
+
+/// `lookup-order`: sweeps the whole table repeatedly; variant A ascends,
+/// variant B descends. Identical page *set* per sweep, reversed order.
+struct LookupOrderGen {
+    g: Geometry,
+    secret: SecretBit,
+    emitted: u64,
+    sites: SiteRange,
+}
+
+impl LookupOrderGen {
+    fn new(g: Geometry, secret: SecretBit) -> Self {
+        LookupOrderGen {
+            g,
+            secret,
+            emitted: 0,
+            sites: SiteRange::new(0, 4),
+        }
+    }
+}
+
+impl Iterator for LookupOrderGen {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.emitted >= self.g.iters {
+            return None;
+        }
+        let pos = self.emitted % self.g.secret;
+        self.emitted += 1;
+        let page = match self.secret {
+            SecretBit::A => pos,
+            SecretBit::B => self.g.secret - 1 - pos,
+        };
+        Some(Access::new(
+            VirtPage::new(page),
+            COMPUTE,
+            self.sites.next_site(),
+        ))
+    }
+}
+
+/// How often `dfp-echo` interrupts the irregular phase with a burst.
+const ECHO_PERIOD: u64 = 64;
+/// Sequential pages per burst — enough to seed a stream-table entry.
+const ECHO_BURST: u64 = 6;
+
+/// `dfp-echo`: a scrambled walk over the shared region (identical in both
+/// variants) punctuated every [`ECHO_PERIOD`] iterations by an
+/// [`ECHO_BURST`]-page sequential burst advancing through the secret
+/// arena. Consecutive bursts are contiguous, so a stream predictor keeps
+/// the secret stream alive and extrapolates past it.
+struct DfpEchoGen {
+    g: Geometry,
+    arena_base: u64,
+    shared_pos: u64,
+    burst_pos: u64,
+    burst_left: u64,
+    emitted: u64,
+    sites: SiteRange,
+}
+
+impl DfpEchoGen {
+    fn new(g: Geometry, secret: SecretBit) -> Self {
+        let arena_base = match secret {
+            SecretBit::A => g.shared,
+            SecretBit::B => g.shared + g.secret,
+        };
+        DfpEchoGen {
+            g,
+            arena_base,
+            shared_pos: 0,
+            burst_pos: 0,
+            burst_left: 0,
+            emitted: 0,
+            sites: SiteRange::new(0, 4),
+        }
+    }
+}
+
+impl Iterator for DfpEchoGen {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.emitted >= self.g.iters {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        if self.burst_left == 0 && i > 0 && i.is_multiple_of(ECHO_PERIOD) {
+            self.burst_left = ECHO_BURST;
+        }
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            let page = self.arena_base + (self.burst_pos % self.g.secret);
+            self.burst_pos += 1;
+            // The burst runs at its own site, like a distinct loop would.
+            return Some(Access::new(VirtPage::new(page), COMPUTE, SiteId(9)));
+        }
+        // Identical-in-both-variants scrambled walk over the shared region.
+        let off = self.shared_pos.wrapping_mul(SCRAMBLE) % self.g.shared;
+        self.shared_pos += 1;
+        Some(Access::new(
+            VirtPage::new(off),
+            COMPUTE,
+            self.sites.next_site(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(it: AccessIter) -> Vec<u64> {
+        it.map(|a| a.page.raw()).collect()
+    }
+
+    #[test]
+    fn names_round_trip_and_aliases_parse() {
+        for p in SecretPair::ALL {
+            assert_eq!(p.to_string().parse::<SecretPair>(), Ok(p));
+        }
+        assert_eq!("branch".parse::<SecretPair>(), Ok(SecretPair::BranchHalves));
+        assert_eq!("ORDER".parse::<SecretPair>(), Ok(SecretPair::LookupOrder));
+        assert_eq!("echo".parse::<SecretPair>(), Ok(SecretPair::DfpEcho));
+        assert!("turbo".parse::<SecretPair>().is_err());
+        assert_eq!("a".parse::<SecretBit>(), Ok(SecretBit::A));
+        assert_eq!("1".parse::<SecretBit>(), Ok(SecretBit::B));
+        assert!("c".parse::<SecretBit>().is_err());
+    }
+
+    #[test]
+    fn variants_have_identical_structure() {
+        let scale = Scale::new(64);
+        for pair in SecretPair::ALL {
+            let a: Vec<Access> = pair.build(SecretBit::A, scale, 7).collect();
+            let b: Vec<Access> = pair.build(SecretBit::B, scale, 7).collect();
+            assert_eq!(a.len(), b.len(), "{pair}: access counts must match");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.site, y.site, "{pair}: site sequences must match");
+                assert_eq!(x.compute, y.compute);
+                assert_eq!(x.repeats, y.repeats);
+            }
+            let el = pair.elrange_pages(scale);
+            assert!(a.iter().chain(&b).all(|x| x.page.raw() < el));
+        }
+    }
+
+    #[test]
+    fn variants_differ_only_in_secret_pages() {
+        let scale = Scale::new(64);
+        let a = pages(SecretPair::BranchHalves.build(SecretBit::A, scale, 3));
+        let b = pages(SecretPair::BranchHalves.build(SecretBit::B, scale, 3));
+        let shared = Scale::new(64).pages(2_048);
+        let half = Scale::new(64).pages(32_768);
+        for (x, y) in a.iter().zip(&b) {
+            if *x < shared {
+                assert_eq!(x, y, "shared walk must be identical");
+            } else {
+                assert_eq!(y - x, half, "lookups differ exactly by the half offset");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_order_is_set_identical_order_reversed() {
+        let scale = Scale::new(64);
+        let a = pages(SecretPair::LookupOrder.build(SecretBit::A, scale, 1));
+        let b = pages(SecretPair::LookupOrder.build(SecretBit::B, scale, 1));
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb, "fault sets must be identical");
+        assert_ne!(a, b, "orders must differ");
+    }
+
+    #[test]
+    fn dfp_echo_bursts_are_contiguous_per_variant() {
+        let scale = Scale::new(64);
+        let shared = scale.pages(16_384);
+        let a = pages(SecretPair::DfpEcho.build(SecretBit::A, scale, 1));
+        let bursts: Vec<u64> = a.iter().copied().filter(|&p| p >= shared).collect();
+        assert!(!bursts.is_empty(), "echo pair must emit bursts");
+        for w in bursts.windows(2) {
+            assert!(
+                w[1] == w[0] + 1 || w[1] % ECHO_BURST == 0,
+                "bursts advance sequentially: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn train_stream_is_a_variant_shape() {
+        let scale = Scale::new(64);
+        for pair in SecretPair::ALL {
+            let n = pair.train(scale, 1).count();
+            let m = pair.build(SecretBit::A, scale, 1).count();
+            assert_eq!(n, m, "{pair}: train input has the program's shape");
+        }
+    }
+}

@@ -60,6 +60,12 @@ COMMANDS:
                                enclaves under an open-loop arrival process,
                                with cold-start billing, SLO latency
                                percentiles and per-host EPC telemetry
+    leakage                    run the side-channel leakage observatory: for
+                               each secret pair × scheme, replay both
+                               secret-labelled variants past an untrusted-OS
+                               observer and score how distinguishable they
+                               are; exits 1 if any scheme leaks more than
+                               baseline beyond --tolerance
 
 COMMON OPTIONS:
     --scale <dev|quarter|full|N>   workload/EPC scale (default: dev)
@@ -198,6 +204,25 @@ fleet OPTIONS:
                                    byte-identical across --jobs)
     --bench-out <file>             write wall-clock throughput JSON
                                    (hosts/sec, requests/sec, p99 latency)
+
+leakage OPTIONS:
+    --pairs <a,b,..>               secret pairs (default: all —
+                                   branch-halves,lookup-order,dfp-echo)
+    --schemes <a,b,..>             kernel schemes to observe (default:
+                                   baseline,dfp,sip); every pair also gets an
+                                   ORAM padded-access reference row
+    --window <N>                   windowed-entropy window in faults
+                                   (default 64)
+    --tolerance <F>                max distinguishability increase over the
+                                   baseline row before the gate fails
+                                   (default 0.05)
+    --jobs <N>                     worker threads; the canonical JSON is
+                                   byte-identical for every worker count
+    --campaign-seed <N>            campaign master seed (default 42)
+    --json-out <file>              write the canonical campaign report JSON
+                                   (excludes jobs/wall time)
+    --bench-out <file>             write observer throughput JSON
+                                   (observed-events/sec, per-scheme scores)
 
 contend OPTIONS:
     --victim <name>                victim benchmark (default: microbenchmark)
@@ -1122,6 +1147,166 @@ fn cmd_contend(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The default scheme panel for the leakage observatory: the baseline
+/// fault channel plus the two preloading arms with opposite leakage
+/// stories (DFP echoes the predictor, SIP masks faults).
+const LEAKAGE_SCHEMES: [Scheme; 3] = [Scheme::Baseline, Scheme::Dfp, Scheme::Sip];
+
+/// `leakage`: run every secret pair's two variants under every scheme
+/// past the untrusted-OS observer, print the distinguishability table,
+/// and gate on "no scheme leaks more than baseline + tolerance".
+fn cmd_leakage(args: &Args) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let cfg = args.config()?;
+    let pairs: Vec<SecretPair> = match args.get("pairs") {
+        None => SecretPair::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse::<SecretPair>().map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?,
+    };
+    let schemes = if args.get("schemes").is_some() {
+        args.schemes()?
+    } else {
+        LEAKAGE_SCHEMES.to_vec()
+    };
+    if let Some(s) = schemes.iter().find(|s| s.is_user_level()) {
+        return Err(format!(
+            "the observer watches kernel paging events; {} has none",
+            s.name()
+        ));
+    }
+    let window = args
+        .parsed::<usize>("window")?
+        .unwrap_or(sgx_preloading::observer::DEFAULT_WINDOW);
+    if window == 0 {
+        return Err("--window must be positive".into());
+    }
+    let tolerance = args.parsed::<f64>("tolerance")?.unwrap_or(0.05);
+    if tolerance.is_nan() || tolerance < 0.0 {
+        return Err("--tolerance must be non-negative".into());
+    }
+
+    let campaign = apply_trace_out(
+        args,
+        Campaign::leakage_grid(
+            "leakage",
+            args.campaign_seed()?,
+            &pairs,
+            &schemes,
+            cfg,
+            window,
+        ),
+    );
+    let report = campaign
+        .run_with_jobs(args.jobs()?)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "pair/scheme", "faults", "H_fault", "H_win", "H_trans", "f_edit", "c_edit", "D"
+    );
+    let mut obs_events = 0u64;
+    for c in &report.cells {
+        let l = c
+            .leakage
+            .as_ref()
+            .expect("every leakage-grid cell carries a report");
+        let a = &l.variants[0];
+        obs_events += l.variants.iter().map(|v| v.observed_events).sum::<u64>();
+        println!(
+            "{:<28} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.4} {:>8.4} {:>8.4}",
+            c.label,
+            a.faults,
+            a.fault_entropy,
+            a.window_entropy_mean,
+            a.transition_entropy,
+            l.fault_edit_distance,
+            l.channel_edit_distance,
+            l.distinguishability(),
+        );
+    }
+
+    // The gate: on every pair, no scheme may be more distinguishable
+    // than that pair's baseline row by more than the tolerance.
+    let mut violations: Vec<String> = Vec::new();
+    for pair in &pairs {
+        let Some(base) = report.cell(&format!("{}/baseline", pair.name())) else {
+            continue;
+        };
+        let base_d = base
+            .leakage
+            .as_ref()
+            .expect("leakage cell carries a report")
+            .distinguishability();
+        for scheme in &schemes {
+            if *scheme == Scheme::Baseline {
+                continue;
+            }
+            let label = format!("{}/{}", pair.name(), scheme.name());
+            let Some(cell) = report.cell(&label) else {
+                continue;
+            };
+            let d = cell
+                .leakage
+                .as_ref()
+                .expect("leakage cell carries a report")
+                .distinguishability();
+            if d > base_d + tolerance {
+                violations.push(format!(
+                    "{label}: distinguishability {d:.4} exceeds baseline {base_d:.4} + {tolerance}"
+                ));
+            }
+        }
+    }
+
+    if let Some(path) = args.get("json-out") {
+        std::fs::write(path, report.to_canonical_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("bench-out") {
+        let wall = t0.elapsed();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let mut json = format!(
+            "{{\"pairs\":{},\"schemes\":{},\"cells\":{},\"window\":{window},\
+             \"tolerance\":{tolerance},\"obs_events\":{obs_events},\
+             \"wall_nanos\":{},\"obs_events_per_sec\":{:.1},\"rows\":[",
+            pairs.len(),
+            schemes.len(),
+            report.cells.len(),
+            wall.as_nanos() as u64,
+            obs_events as f64 / secs,
+        );
+        for (i, c) in report.cells.iter().enumerate() {
+            let l = c.leakage.as_ref().expect("leakage cell carries a report");
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"label\":{:?},\"fault_entropy\":{},\"fault_edit\":{},\
+                 \"distinguishability\":{}}}",
+                c.label,
+                l.variants[0].fault_entropy,
+                l.fault_edit_distance,
+                l.distinguishability(),
+            ));
+        }
+        json.push_str("]}\n");
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+
+    if !violations.is_empty() {
+        return Err(format!("leakage gate failed: {}", violations.join("; ")));
+    }
+    println!(
+        "leakage gate holds: no scheme exceeds its baseline row by more than {tolerance} \
+         distinguishability"
+    );
+    Ok(())
+}
+
 fn cmd_timeline(args: &Args) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let mut cfg = args.config()?;
@@ -1500,6 +1685,7 @@ fn main() -> ExitCode {
             "chaos" => cmd_chaos(&args),
             "contend" => cmd_contend(&args),
             "fleet" => cmd_fleet(&args),
+            "leakage" => cmd_leakage(&args),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 Ok(())

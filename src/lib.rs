@@ -18,6 +18,7 @@
 //! | [`dfp`] | `sgx-dfp` | Algorithm 1 multi-stream predictor, baselines, DFP-stop |
 //! | [`sip`] | `sgx-sip` | profiler, Class 1/2/3 classifier, instrumentation plans |
 //! | [`workloads`] | `sgx-workloads` | the 18 evaluated programs as page-level models |
+//! | [`observer`] | `sgx-observer` | untrusted-OS observer, side-channel leakage metrics |
 //! | [`core`] | `sgx-preload-core` | schemes, configs, the simulator, reports |
 //! | [`fleet`] | `sgx-fleet` | fleet-scale serving: hosts × enclaves, arrivals, SLOs |
 //!
@@ -58,6 +59,7 @@ pub use sgx_dfp as dfp;
 pub use sgx_epc as epc;
 pub use sgx_fleet as fleet;
 pub use sgx_kernel as kernel;
+pub use sgx_observer as observer;
 pub use sgx_preload_core as core;
 pub use sgx_sim as sim;
 pub use sgx_sip as sip;
@@ -78,20 +80,25 @@ pub use sgx_kernel::{
     EdmmStats, GaugeSample, HistogramSink, JsonlWriterSink, KernelError, SeriesFormat, SpanId,
     TailSink, TimeSeriesSink, TraceHistograms, TraceSink,
 };
+pub use sgx_observer::{
+    is_os_visible, LeakageMetric, LeakageReport, Observation, ObserverSink, OramModel,
+    ParseLeakageMetricError, VariantLeakage,
+};
 pub use sgx_preload_core::{
     build_kernel, build_plan, derive_cell_seed, effective_jobs, run_indexed, run_userspace_paging,
     AppSpec, AppSpecBuilder, Campaign, CampaignError, CampaignReport, Cell, CellReport, CellWork,
-    ChaosPreset, ChaosSchedule, ChaosStats, EventCounts, FaultInjector, RunReport, Scheme,
-    SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy, TenantQuota, TenantShare,
-    TenantStats, TraceReplay, UserPagingConfig, DEFAULT_TIMELINE_SERIES_INTERVAL, MAX_TENANTS,
+    ChaosPreset, ChaosSchedule, ChaosStats, EventCounts, FaultInjector, LeakageSpec, RunReport,
+    Scheme, SeedMode, SimConfig, SimError, SimRun, SpecError, TenantPolicy, TenantQuota,
+    TenantShare, TenantStats, TraceReplay, UserPagingConfig, DEFAULT_TIMELINE_SERIES_INTERVAL,
+    MAX_TENANTS,
 };
 pub use sgx_sim::{Cycles, Histogram, HistogramSummary};
 pub use sgx_sip::{
     profile_stream, summarize_trace, InstrumentationPlan, NotifyPlacement, SipConfig, TraceSummary,
 };
 pub use sgx_workloads::{
-    Access, Benchmark, InputSet, RecordedTrace, Scale, SgxtReader, SgxtWriter, SiteId,
-    TraceParseError,
+    Access, Benchmark, InputSet, RecordedTrace, Scale, SecretBit, SecretPair, SgxtReader,
+    SgxtWriter, SiteId, TraceParseError,
 };
 
 /// The blessed public surface in one import: entry points ([`SimRun`],
@@ -107,11 +114,17 @@ pub mod prelude {
         ChaosPreset, ChaosSchedule, CountingSink, GaugeSample, JsonlWriterSink, TimeSeriesSink,
         TraceSink,
     };
+    pub use sgx_observer::{
+        is_os_visible, LeakageMetric, LeakageReport, Observation, ObserverSink, OramModel,
+        VariantLeakage,
+    };
     pub use sgx_preload_core::{
         AppSpec, Campaign, CampaignError, CampaignReport, Cell, CellReport, CellWork, EpcSizing,
-        PredictorKind, RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun, SpecError,
-        TenantPolicy, TraceReplay,
+        LeakageSpec, PredictorKind, RunReport, Scheme, SeedMode, SimConfig, SimError, SimRun,
+        SpecError, TenantPolicy, TraceReplay,
     };
     pub use sgx_sim::Cycles;
-    pub use sgx_workloads::{Benchmark, InputSet, RecordedTrace, Scale, TraceParseError};
+    pub use sgx_workloads::{
+        Benchmark, InputSet, RecordedTrace, Scale, SecretBit, SecretPair, TraceParseError,
+    };
 }
